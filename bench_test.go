@@ -1,0 +1,209 @@
+// Package-level benchmarks: one per table/figure of the paper's
+// evaluation (§7). Each benchmark runs a representative slice of its
+// figure's grid so that `go test -bench=.` stays tractable on one core;
+// the full grids are regenerated with `go run ./cmd/benchfig -fig N`.
+// Custom metrics (acc = satisfied fraction, sec = wall time per target
+// batch) are reported alongside ns/op.
+package learnedsqlgen_test
+
+import (
+	"testing"
+
+	"learnedsqlgen/internal/bench"
+	"learnedsqlgen/internal/meta"
+	"learnedsqlgen/internal/rl"
+)
+
+// benchBudget sizes the per-figure benchmark slices.
+func benchBudget() bench.Budget {
+	return bench.Budget{
+		NQueries:         100,
+		NSatisfied:       10,
+		MaxAttempts:      1500,
+		TrainEpochs:      250,
+		EpisodesPerEpoch: 25,
+		Templates:        10,
+	}
+}
+
+func benchSetup(b *testing.B, dataset string) *bench.Setup {
+	b.Helper()
+	s, err := bench.NewSetup(dataset, 1.0, 50, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkFig4Accuracy reproduces a Figure 4 slice: accuracy under a
+// cardinality constraint for SQLSmith, Template and LearnedSQLGen.
+func BenchmarkFig4Accuracy(b *testing.B) {
+	s := benchSetup(b, "tpch")
+	grid := bench.ConstraintGrid{Points: []float64{100}, Ranges: [][2]float64{{100, 400}}}
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunAccuracy(s, rl.Cardinality, grid, benchBudget())
+		for _, r := range rows {
+			for m, acc := range r.Acc {
+				b.ReportMetric(acc, "acc_"+m+"_"+r.Constraint)
+			}
+		}
+	}
+}
+
+// BenchmarkFig5Accuracy reproduces a Figure 5 slice: accuracy under a cost
+// constraint.
+func BenchmarkFig5Accuracy(b *testing.B) {
+	s := benchSetup(b, "tpch")
+	grid := bench.ConstraintGrid{Ranges: [][2]float64{{1000, 4000}}}
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunAccuracy(s, rl.Cost, grid, benchBudget())
+		for _, r := range rows {
+			for m, acc := range r.Acc {
+				b.ReportMetric(acc, "acc_"+m+"_"+r.Constraint)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6Efficiency reproduces a Figure 6 slice: seconds to
+// NSatisfied queries under a cardinality constraint per method.
+func BenchmarkFig6Efficiency(b *testing.B) {
+	s := benchSetup(b, "tpch")
+	grid := bench.ConstraintGrid{Ranges: [][2]float64{{100, 600}}}
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunEfficiency(s, rl.Cardinality, grid, benchBudget())
+		for _, r := range rows {
+			for m, sec := range r.Seconds {
+				b.ReportMetric(sec, "sec_"+m)
+			}
+		}
+	}
+}
+
+// BenchmarkFig7Efficiency reproduces a Figure 7 slice: seconds to
+// NSatisfied queries under a cost constraint per method.
+func BenchmarkFig7Efficiency(b *testing.B) {
+	s := benchSetup(b, "xuetang")
+	grid := bench.ConstraintGrid{Ranges: [][2]float64{{1000, 2000}}}
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunEfficiency(s, rl.Cost, grid, benchBudget())
+		for _, r := range rows {
+			for m, sec := range r.Seconds {
+				b.ReportMetric(sec, "sec_"+m)
+			}
+		}
+	}
+}
+
+// BenchmarkFig8RLCompare reproduces Figure 8: actor–critic vs REINFORCE on
+// a range constraint (accuracy, time, reward traces).
+func BenchmarkFig8RLCompare(b *testing.B) {
+	s := benchSetup(b, "job")
+	grid := bench.ConstraintGrid{Ranges: [][2]float64{{100, 200}, {100, 400}}}
+	budget := benchBudget()
+	budget.TrainEpochs = 120 // fixed-epoch comparison, like Fig 8(c)
+	for i := 0; i < b.N; i++ {
+		res := bench.RunRLCompare(s, grid, budget)
+		for _, r := range res.Rows {
+			b.ReportMetric(r.Acc["LearnedSQLGen"], "acc_AC_"+r.Constraint)
+			b.ReportMetric(r.Acc["REINFORCE"], "acc_RF_"+r.Constraint)
+		}
+	}
+}
+
+// BenchmarkFig9MetaCritic reproduces Figure 9: adaptation to a new
+// constraint with Scratch, AC-extend and MetaCritic.
+func BenchmarkFig9MetaCritic(b *testing.B) {
+	s := benchSetup(b, "xuetang")
+	domain := meta.Domain{Metric: rl.Cardinality, Lo: 0, Hi: 1000, K: 5}
+	newTasks := []rl.Constraint{rl.RangeConstraint(rl.Cardinality, 350, 450)}
+	budget := benchBudget()
+	budget.TrainEpochs = 90
+	for i := 0; i < b.N; i++ {
+		res := bench.RunMetaCompare(s, domain, newTasks, budget)
+		for m, sec := range res.Times[0].Seconds {
+			b.ReportMetric(sec, "sec_"+m)
+		}
+		for m, acc := range res.Rows[0].Acc {
+			b.ReportMetric(acc, "acc_"+m)
+		}
+	}
+}
+
+// BenchmarkFig10Distribution reproduces Figure 10: the diversity profile
+// of 100 generated queries under a cost constraint with the full grammar.
+func BenchmarkFig10Distribution(b *testing.B) {
+	s := benchSetup(b, "tpch")
+	c := rl.PointConstraint(rl.Cost, 10000)
+	budget := benchBudget()
+	budget.TrainEpochs = 120
+	for i := 0; i < b.N; i++ {
+		dist := bench.RunDistribution(s, c, budget)
+		b.ReportMetric(dist.NestedFraction, "nested_pct")
+		b.ReportMetric(dist.AggregateFraction, "agg_pct")
+		b.ReportMetric(dist.SkeletonEntropy, "skeleton_entropy")
+	}
+}
+
+// BenchmarkFig11Complex reproduces a Figure 11 slice: time to generate M
+// satisfied complex statements (nested / insert / delete).
+func BenchmarkFig11Complex(b *testing.B) {
+	s := benchSetup(b, "tpch")
+	c := rl.RangeConstraint(rl.Cost, 1000, 8000)
+	budget := benchBudget()
+	budget.TrainEpochs = 100
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunComplex(s, c, []int{10}, budget)
+		for _, r := range rows {
+			b.ReportMetric(r.Seconds, "sec_"+r.Kind)
+		}
+	}
+}
+
+// BenchmarkFig12SampleSize reproduces a Figure 12 slice: accuracy and time
+// versus the per-column value-sample size k.
+func BenchmarkFig12SampleSize(b *testing.B) {
+	c := rl.RangeConstraint(rl.Cardinality, 100, 400)
+	budget := benchBudget()
+	budget.TrainEpochs = 150
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunSampleSize("tpch", 1.0, 1, []int{10, 100}, c, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Accuracy, "acc_k"+itoa(r.SampleK))
+			b.ReportMetric(r.Seconds, "sec_k"+itoa(r.SampleK))
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkRewardAblation compares the reward-design variants discussed in
+// DESIGN.md on one point constraint (shaped vs paper-literal dense vs
+// terminal-only vs no-entropy).
+func BenchmarkRewardAblation(b *testing.B) {
+	s := benchSetup(b, "tpch")
+	c := rl.PointConstraint(rl.Cardinality, 1000)
+	budget := benchBudget()
+	budget.TrainEpochs = 150
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunRewardAblation(s, c, budget)
+		for _, r := range rows {
+			b.ReportMetric(r.Accuracy, "acc_"+r.Variant)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command sqlgen trains a LearnedSQLGen generator for a user-specified
+// constraint and prints satisfied SQL queries.
+//
+// Usage:
+//
+//	sqlgen -dataset tpch -metric cardinality -range 100:400 -n 10
+//	sqlgen -dataset xuetang -metric cost -point 10000 -n 5 -show-measure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"learnedsqlgen"
+)
+
+func main() {
+	dataset := flag.String("dataset", "tpch", "dataset: tpch, job, xuetang")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	metricName := flag.String("metric", "cardinality", "constraint metric: cardinality or cost")
+	point := flag.Float64("point", 0, "point constraint target (exclusive with -range)")
+	rangeSpec := flag.String("range", "", "range constraint lo:hi (exclusive with -point)")
+	n := flag.Int("n", 10, "number of satisfied queries to emit")
+	epochs := flag.Int("epochs", 0, "max training epochs (0 = adaptive)")
+	sampleK := flag.Int("k", 100, "sampled values per column")
+	seed := flag.Int64("seed", 1, "random seed")
+	showMeasure := flag.Bool("show-measure", false, "print the estimated metric next to each query")
+	maxAttempts := flag.Int("max-attempts", 10000, "generation attempt cap")
+	out := flag.String("out", "", "write the satisfied queries to a SQL workload file")
+	saveModel := flag.String("save-model", "", "save the trained model to this path")
+	loadModel := flag.String("load-model", "", "load a trained model instead of training")
+	profile := flag.Bool("profile", false, "print a structural/diversity profile of the output")
+	flag.Parse()
+
+	var metric learnedsqlgen.Metric
+	switch strings.ToLower(*metricName) {
+	case "cardinality", "card":
+		metric = learnedsqlgen.Cardinality
+	case "cost":
+		metric = learnedsqlgen.Cost
+	default:
+		fmt.Fprintf(os.Stderr, "unknown metric %q\n", *metricName)
+		os.Exit(2)
+	}
+
+	var constraint learnedsqlgen.Constraint
+	switch {
+	case *rangeSpec != "":
+		parts := strings.SplitN(*rangeSpec, ":", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "-range must be lo:hi")
+			os.Exit(2)
+		}
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil || hi < lo {
+			fmt.Fprintln(os.Stderr, "bad -range bounds")
+			os.Exit(2)
+		}
+		constraint = learnedsqlgen.RangeConstraint(metric, lo, hi)
+	case *point > 0:
+		constraint = learnedsqlgen.PointConstraint(metric, *point)
+	default:
+		fmt.Fprintln(os.Stderr, "one of -point or -range is required")
+		os.Exit(2)
+	}
+
+	db, err := learnedsqlgen.OpenBenchmark(*dataset, *scale, &learnedsqlgen.Options{
+		SampleValues: *sampleK,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var gen *learnedsqlgen.Generator
+	if *loadModel != "" {
+		var err error
+		gen, err = db.LoadGenerator(constraint, *loadModel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "load model:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loaded model %s\n", *loadModel)
+	} else {
+		fmt.Fprintf(os.Stderr, "training generator for %s on %s...\n", constraint, *dataset)
+		gen = db.NewGenerator(constraint)
+		maxEpochs := *epochs
+		if maxEpochs <= 0 {
+			maxEpochs = 800
+		}
+		trace := gen.TrainAdaptive(maxEpochs, 25)
+		last := trace[len(trace)-1]
+		fmt.Fprintf(os.Stderr, "trained %d epochs (final satisfied rate %.0f%%)\n",
+			len(trace), 100*last.SatisfiedRate)
+	}
+	if *saveModel != "" {
+		if err := gen.Save(*saveModel); err != nil {
+			fmt.Fprintln(os.Stderr, "save model:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "saved model to %s\n", *saveModel)
+	}
+
+	queries, attempts := gen.GenerateSatisfied(*n, *maxAttempts)
+	fmt.Fprintf(os.Stderr, "%d satisfied queries in %d attempts\n", len(queries), attempts)
+	for _, q := range queries {
+		if *showMeasure {
+			fmt.Printf("-- %s = %.1f\n", metric, q.Measured)
+		}
+		fmt.Println(q.SQL + ";")
+	}
+	if *out != "" {
+		if err := learnedsqlgen.WriteWorkloadFile(*out, queries, metric); err != nil {
+			fmt.Fprintln(os.Stderr, "write workload:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "workload written to %s\n", *out)
+	}
+	if *profile {
+		p := learnedsqlgen.AnalyzeWorkload(queries)
+		fmt.Fprintf(os.Stderr,
+			"profile: %d queries, %d distinct skeletons (entropy %.2f), %.0f%% nested, %.0f%% aggregated\n",
+			p.Total, p.DistinctSkeletons, p.SkeletonEntropy,
+			100*p.NestedFraction, 100*p.AggregateFraction)
+	}
+	if len(queries) < *n {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,134 @@
+package learnedsqlgen
+
+import (
+	"fmt"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/storage"
+)
+
+// ColType is a column datatype for custom schemas.
+type ColType uint8
+
+// Supported column types.
+const (
+	Int ColType = iota
+	Float
+	String
+)
+
+func (t ColType) kind() sqltypes.Kind {
+	switch t {
+	case Int:
+		return sqltypes.KindInt
+	case Float:
+		return sqltypes.KindFloat
+	default:
+		return sqltypes.KindString
+	}
+}
+
+// ColumnDef declares one column of a custom table.
+type ColumnDef struct {
+	Name string
+	Type ColType
+	// Categorical marks a string column with a small closed domain; its
+	// full domain enters the token vocabulary.
+	Categorical bool
+	// PrimaryKey marks the table key (at most one per table).
+	PrimaryKey bool
+}
+
+// TableDef declares one custom table.
+type TableDef struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+// ForeignKeyDef declares a PK–FK join edge; generated queries join only
+// along these edges.
+type ForeignKeyDef struct {
+	FromTable, FromColumn string
+	ToTable, ToColumn     string
+}
+
+// SchemaDef declares a full custom schema.
+type SchemaDef struct {
+	Name        string
+	Tables      []TableDef
+	ForeignKeys []ForeignKeyDef
+}
+
+// OpenCustom opens a user-defined database. rows maps table names to row
+// literals; each cell must be an int/int64, float64, or string matching
+// the column type.
+func OpenCustom(def SchemaDef, rows map[string][][]any, opt *Options) (*DB, error) {
+	b := schema.NewBuilder(def.Name)
+	for _, t := range def.Tables {
+		cols := make([]schema.Column, 0, len(t.Columns))
+		for _, c := range t.Columns {
+			cols = append(cols, schema.Column{
+				Name:        c.Name,
+				Kind:        c.Type.kind(),
+				Categorical: c.Categorical,
+				PrimaryKey:  c.PrimaryKey,
+			})
+		}
+		b.Table(t.Name, "", cols...)
+	}
+	for _, fk := range def.ForeignKeys {
+		b.ForeignKey(fk.FromTable, fk.FromColumn, fk.ToTable, fk.ToColumn)
+	}
+	sch, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	raw := storage.NewDatabase(sch)
+	for tableName, tableRows := range rows {
+		tab := raw.Table(tableName)
+		if tab == nil {
+			return nil, fmt.Errorf("learnedsqlgen: rows for unknown table %q", tableName)
+		}
+		for ri, r := range tableRows {
+			row := make(storage.Row, len(r))
+			for ci, cell := range r {
+				v, err := toValue(cell)
+				if err != nil {
+					return nil, fmt.Errorf("learnedsqlgen: %s row %d col %d: %w", tableName, ri, ci, err)
+				}
+				want := tab.Meta.Columns[ci].Kind
+				if !v.IsNull() && v.Kind() != want {
+					return nil, fmt.Errorf("learnedsqlgen: %s row %d col %s: %v value for %v column",
+						tableName, ri, tab.Meta.Columns[ci].Name, v.Kind(), want)
+				}
+				row[ci] = v
+			}
+			if err := tab.Append(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	name := def.Name
+	if name == "" {
+		name = "custom"
+	}
+	return openStorage(name, raw, opt), nil
+}
+
+func toValue(cell any) (sqltypes.Value, error) {
+	switch v := cell.(type) {
+	case nil:
+		return sqltypes.Null, nil
+	case int:
+		return sqltypes.NewInt(int64(v)), nil
+	case int64:
+		return sqltypes.NewInt(v), nil
+	case float64:
+		return sqltypes.NewFloat(v), nil
+	case string:
+		return sqltypes.NewString(v), nil
+	default:
+		return sqltypes.Null, fmt.Errorf("unsupported cell type %T", cell)
+	}
+}

@@ -1,0 +1,62 @@
+// Slow-query generation for optimizer diagnosis: the paper's motivating
+// scenario of feeding a database optimizer with expensive queries. We ask
+// for queries whose estimated cost falls in a high band, then profile what
+// makes them slow (join depth, scanned rows).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"learnedsqlgen"
+)
+
+func main() {
+	db, err := learnedsqlgen.OpenBenchmark("job", 1.0, &learnedsqlgen.Options{
+		SampleValues: 50,
+		Seed:         3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// "Slow" on the micro-scale IMDB data ≈ cost above 50 000 units
+	// (roughly the most expensive percentile of random queries).
+	constraint := learnedsqlgen.RangeConstraint(learnedsqlgen.Cost, 50000, 500000)
+	gen := db.NewGenerator(constraint)
+
+	fmt.Printf("training for %s ...\n", constraint)
+	trace := gen.TrainAdaptive(300, 25)
+	fmt.Printf("trained %d epochs; final satisfied rate %.0f%%\n",
+		len(trace), 100*trace[len(trace)-1].SatisfiedRate)
+
+	slow, attempts := gen.GenerateSatisfied(15, 3000)
+	fmt.Printf("%d slow queries in %d attempts\n\n", len(slow), attempts)
+
+	// Profile the slow set: how deep are the join chains?
+	joinDepth := map[int]int{}
+	for _, q := range slow {
+		joinDepth[strings.Count(q.SQL, " JOIN ")]++
+	}
+	depths := make([]int, 0, len(joinDepth))
+	for d := range joinDepth {
+		depths = append(depths, d)
+	}
+	sort.Ints(depths)
+	fmt.Println("join-depth profile of the slow workload:")
+	for _, d := range depths {
+		fmt.Printf("  %d joins: %d queries\n", d, joinDepth[d])
+	}
+
+	// Show the three most expensive, with their estimated plans.
+	sort.Slice(slow, func(i, j int) bool { return slow[i].Measured > slow[j].Measured })
+	fmt.Println("\nmost expensive generated queries:")
+	for i := 0; i < 3 && i < len(slow); i++ {
+		fmt.Printf("-- estimated cost %.0f\n%s;\n", slow[i].Measured, slow[i].SQL)
+		if plan, err := db.Explain(slow[i].SQL); err == nil {
+			fmt.Println(plan)
+		}
+	}
+}

@@ -1,0 +1,400 @@
+package learnedsqlgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func openTPCH(t testing.TB) *DB {
+	t.Helper()
+	db, err := OpenBenchmark("tpch", 0.05, &Options{SampleValues: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenBenchmark(t *testing.T) {
+	db := openTPCH(t)
+	if db.Name() != "tpch" {
+		t.Errorf("Name = %q", db.Name())
+	}
+	tables := db.Tables()
+	if len(tables) != 8 {
+		t.Errorf("tables = %d, want 8", len(tables))
+	}
+	if tables["lineitem"] == 0 {
+		t.Error("lineitem empty")
+	}
+	if _, err := OpenBenchmark("nope", 1, nil); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+	if _, err := OpenBenchmark("tpch", -1, nil); err == nil {
+		t.Error("negative scale must fail")
+	}
+}
+
+func TestNilOptionsDefaults(t *testing.T) {
+	var opt *Options
+	if opt.sampleValues() != 100 {
+		t.Error("default k must be 100 (paper setting)")
+	}
+	if opt.seed() != 1 {
+		t.Error("default seed must be 1")
+	}
+	cfg := opt.fsmConfig()
+	if !cfg.AllowAggregates || cfg.AllowInsert {
+		t.Error("default grammar must allow aggregates, not DML")
+	}
+}
+
+func TestGrammarOptionsApplied(t *testing.T) {
+	opt := &Options{Grammar: &GrammarOptions{
+		MaxJoins: 1, MaxSelectItems: 2, MaxPredicates: 2,
+		AllowInsert: true,
+	}}
+	cfg := opt.fsmConfig()
+	if cfg.MaxJoins != 1 || cfg.MaxSelectItems != 2 || cfg.MaxPredicates != 2 {
+		t.Errorf("limits not applied: %+v", cfg)
+	}
+	if !cfg.AllowInsert || cfg.AllowUpdate || cfg.AllowAggregates {
+		t.Errorf("booleans not applied: %+v", cfg)
+	}
+}
+
+func TestExecuteAndEstimate(t *testing.T) {
+	db := openTPCH(t)
+	res, err := db.Execute("SELECT region.r_name FROM region WHERE region.r_regionkey < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cardinality != 3 || len(res.Rows) != 3 {
+		t.Errorf("cardinality = %d", res.Cardinality)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "region.r_name" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+
+	card, cost, err := db.Estimate("SELECT region.r_name FROM region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card != 5 || cost <= 0 {
+		t.Errorf("estimate = %v, %v", card, cost)
+	}
+
+	if _, err := db.Execute("not sql"); err == nil {
+		t.Error("bad SQL must fail Execute")
+	}
+	if _, _, err := db.Estimate("not sql"); err == nil {
+		t.Error("bad SQL must fail Estimate")
+	}
+}
+
+func TestExecuteDMLDoesNotMutate(t *testing.T) {
+	db := openTPCH(t)
+	before := db.Tables()["region"]
+	res, err := db.Execute("DELETE FROM region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cardinality != before {
+		t.Errorf("delete affected %d, want %d", res.Cardinality, before)
+	}
+	if db.Tables()["region"] != before {
+		t.Error("Execute(DELETE) must not mutate the opened database")
+	}
+}
+
+func TestGeneratorEndToEnd(t *testing.T) {
+	db := openTPCH(t)
+	c := RangeConstraint(Cardinality, 1, 500)
+	gen := db.NewGenerator(c)
+	if gen.Constraint() != c {
+		t.Error("constraint not stored")
+	}
+	trace := gen.TrainAdaptive(10, 10)
+	if len(trace) == 0 || len(trace) > 10 {
+		t.Errorf("trace length = %d", len(trace))
+	}
+	out := gen.Generate(8)
+	if len(out) != 8 {
+		t.Fatalf("Generate = %d", len(out))
+	}
+	for _, q := range out {
+		if !strings.HasPrefix(q.SQL, "SELECT") {
+			t.Errorf("unexpected statement: %s", q.SQL)
+		}
+		// Everything generated must execute.
+		if _, err := db.Execute(q.SQL); err != nil {
+			t.Fatalf("generated SQL fails: %q: %v", q.SQL, err)
+		}
+	}
+	sat, attempts := gen.GenerateSatisfied(3, 200)
+	if attempts > 200 {
+		t.Error("attempt cap ignored")
+	}
+	for _, q := range sat {
+		if !q.Satisfied {
+			t.Error("unsatisfied result")
+		}
+	}
+}
+
+func TestMustGenerateSatisfiedPanicsWhenImpossible(t *testing.T) {
+	db := openTPCH(t)
+	gen := db.NewGenerator(RangeConstraint(Cardinality, 1e17, 1e18))
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerateSatisfied must panic on impossible constraints")
+		}
+	}()
+	gen.MustGenerateSatisfied(1, 5)
+}
+
+func TestBaselineFacades(t *testing.T) {
+	db := openTPCH(t)
+	c := RangeConstraint(Cardinality, 1, 1e6)
+	rnd := db.RandomGenerator(c)
+	if got := rnd.Generate(5); len(got) != 5 {
+		t.Error("random baseline broken")
+	}
+	tpl, err := db.TemplateGenerator(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tpl.Templates) == 0 {
+		t.Error("template baseline has no templates")
+	}
+	custom, err := db.TemplateGenerator(c, []string{
+		"SELECT orders.o_orderkey FROM orders WHERE orders.o_totalprice > 1000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(custom.Templates) != 1 {
+		t.Error("custom template list ignored")
+	}
+}
+
+func TestMetaGeneratorFacade(t *testing.T) {
+	db := openTPCH(t)
+	m := db.NewMetaGenerator(MetaDomain{Metric: Cardinality, Lo: 0, Hi: 600, K: 3})
+	if tr := m.Pretrain(2, 6); len(tr) != 2 {
+		t.Error("pretrain trace size")
+	}
+	a := m.Adapt(RangeConstraint(Cardinality, 100, 200))
+	a.Train(2, 6)
+	if out := a.Generate(3); len(out) != 3 {
+		t.Error("adapted generate broken")
+	}
+	if _, attempts := a.GenerateSatisfied(1, 10); attempts > 10 {
+		t.Error("attempt cap ignored")
+	}
+}
+
+func TestOpenCustom(t *testing.T) {
+	def := SchemaDef{
+		Name: "mini",
+		Tables: []TableDef{
+			{Name: "a", Columns: []ColumnDef{
+				{Name: "id", Type: Int, PrimaryKey: true},
+				{Name: "v", Type: Float},
+				{Name: "tag", Type: String, Categorical: true},
+			}},
+			{Name: "b", Columns: []ColumnDef{
+				{Name: "id", Type: Int, PrimaryKey: true},
+				{Name: "aid", Type: Int},
+			}},
+		},
+		ForeignKeys: []ForeignKeyDef{{FromTable: "b", FromColumn: "aid", ToTable: "a", ToColumn: "id"}},
+	}
+	rows := map[string][][]any{
+		"a": {{1, 1.5, "x"}, {2, 2.5, "y"}, {int64(3), 3.5, "x"}},
+		"b": {{1, 1}, {2, 2}, {3, 3}, {4, 1}},
+	}
+	db, err := OpenCustom(def, rows, &Options{SampleValues: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Name() != "mini" {
+		t.Errorf("name = %q", db.Name())
+	}
+	res, err := db.Execute("SELECT b.id FROM b JOIN a ON b.aid = a.id WHERE a.tag = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cardinality != 3 { // aids 1 and 3 are 'x'; b rows 1, 3, 4
+		t.Errorf("cardinality = %d, want 3", res.Cardinality)
+	}
+
+	// Generation works on custom schemas too.
+	gen := db.NewGenerator(RangeConstraint(Cardinality, 1, 10))
+	gen.TrainAdaptive(5, 10)
+	for _, q := range gen.Generate(5) {
+		if _, err := db.Execute(q.SQL); err != nil {
+			t.Fatalf("generated SQL fails on custom schema: %q: %v", q.SQL, err)
+		}
+	}
+}
+
+func TestOpenCustomErrors(t *testing.T) {
+	good := SchemaDef{Name: "g", Tables: []TableDef{
+		{Name: "t", Columns: []ColumnDef{{Name: "x", Type: Int}}},
+	}}
+	if _, err := OpenCustom(good, map[string][][]any{"nope": {{1}}}, nil); err == nil {
+		t.Error("rows for unknown table must fail")
+	}
+	if _, err := OpenCustom(good, map[string][][]any{"t": {{"wrong"}}}, nil); err == nil {
+		t.Error("type mismatch must fail")
+	}
+	if _, err := OpenCustom(good, map[string][][]any{"t": {{struct{}{}}}}, nil); err == nil {
+		t.Error("unsupported cell type must fail")
+	}
+	bad := SchemaDef{Name: "b", Tables: []TableDef{
+		{Name: "t", Columns: []ColumnDef{{Name: "x", Type: Int}, {Name: "x", Type: Int}}},
+	}}
+	if _, err := OpenCustom(bad, nil, nil); err == nil {
+		t.Error("duplicate column must fail")
+	}
+}
+
+func TestDefaultDataIsDeterministic(t *testing.T) {
+	a := openTPCH(t)
+	b := openTPCH(t)
+	ra, err := a.Execute("SELECT nation.n_name FROM nation ORDER BY nation.n_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Execute("SELECT nation.n_name FROM nation ORDER BY nation.n_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra.Rows {
+		if ra.Rows[i][0] != rb.Rows[i][0] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+}
+
+func TestGeneratorSaveLoad(t *testing.T) {
+	db := openTPCH(t)
+	c := RangeConstraint(Cardinality, 1, 500)
+	gen := db.NewGenerator(c)
+	gen.Train(3, 10)
+	path := t.TempDir() + "/gen.model"
+	if err := gen.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := db.LoadGenerator(c, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := loaded.Generate(5); len(out) != 5 {
+		t.Fatal("loaded generator cannot generate")
+	}
+	// Loading into a mismatched vocabulary must fail loudly.
+	other, err := OpenBenchmark("tpch", 0.05, &Options{SampleValues: 25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.LoadGenerator(c, path); err == nil {
+		t.Error("vocabulary mismatch must fail")
+	}
+	if _, err := db.LoadGenerator(c, path+".missing"); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	db := openTPCH(t)
+	gen := db.NewGenerator(RangeConstraint(Cardinality, 1, 1e6))
+	gen.Train(2, 10)
+	queries := gen.Generate(12)
+
+	profile := AnalyzeWorkload(queries)
+	if profile.Total != 12 {
+		t.Fatalf("profile total = %d", profile.Total)
+	}
+	if profile.DistinctSkeletons < 1 {
+		t.Error("no skeletons")
+	}
+
+	path := t.TempDir() + "/workload.sql"
+	if err := WriteWorkloadFile(path, queries, Cardinality); err != nil {
+		t.Fatal(err)
+	}
+	back, err := db.ReadWorkloadFile(path, Cardinality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(queries) {
+		t.Fatalf("read %d, want %d", len(back), len(queries))
+	}
+	for i := range back {
+		if back[i].SQL != queries[i].SQL {
+			t.Errorf("statement %d mismatch", i)
+		}
+		if back[i].Measured != queries[i].Measured {
+			t.Errorf("re-measured value %d: %v vs %v", i, back[i].Measured, queries[i].Measured)
+		}
+	}
+	if _, err := db.ReadWorkloadFile(path+".missing", Cardinality); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestTrueExecutionOption(t *testing.T) {
+	db, err := OpenBenchmark("tpch", 0.05, &Options{
+		SampleValues: 10, Seed: 1, TrueExecutionRewards: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, _, err := db.Estimate("SELECT region.r_name FROM region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimate always uses the estimator; generation uses true execution.
+	_ = card
+	gen := db.NewGenerator(RangeConstraint(Cardinality, 1, 100))
+	gen.Train(1, 5)
+	out := gen.Generate(3)
+	for _, g := range out {
+		if g.Measured != float64(int(g.Measured)) {
+			t.Errorf("true-execution cardinality must be integral: %v", g.Measured)
+		}
+	}
+}
+
+func TestDisableSelectOption(t *testing.T) {
+	db, err := OpenBenchmark("tpch", 0.05, &Options{
+		SampleValues: 10, Seed: 1,
+		Grammar: &GrammarOptions{MaxPredicates: 2, AllowDelete: true, DisableSelect: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := db.NewGenerator(RangeConstraint(Cardinality, 0, 1e9))
+	for _, q := range gen.Generate(10) {
+		if strings.HasPrefix(q.SQL, "SELECT") {
+			t.Fatalf("SELECT generated with DisableSelect: %s", q.SQL)
+		}
+	}
+}
+
+func TestExplainFacade(t *testing.T) {
+	db := openTPCH(t)
+	plan, err := db.Explain("SELECT orders.o_orderkey FROM orders JOIN customer ON orders.o_custkey = customer.c_custkey WHERE customer.c_acctbal > 0 ORDER BY orders.o_orderkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"output", "sort", "filter", "hash-join", "scan orders", "scan customer"} {
+		if !strings.Contains(plan, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, plan)
+		}
+	}
+	if _, err := db.Explain("not sql"); err == nil {
+		t.Error("bad SQL must fail")
+	}
+}

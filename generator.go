@@ -1,0 +1,150 @@
+package learnedsqlgen
+
+import (
+	"fmt"
+
+	"learnedsqlgen/internal/baselines"
+	"learnedsqlgen/internal/meta"
+	"learnedsqlgen/internal/rl"
+)
+
+// TrainStats summarizes one training epoch.
+type TrainStats = rl.EpochStats
+
+// Generator is a trained (or trainable) constraint-aware SQL generator —
+// the LearnedSQLGen agent of the paper.
+type Generator struct {
+	trainer *rl.Trainer
+}
+
+// NewGenerator builds an untrained generator for the constraint. Training
+// hyper-parameters follow §7.1, with learning rates scaled for micro data
+// (rl.FastConfig).
+func (db *DB) NewGenerator(c Constraint) *Generator {
+	cfg := rl.FastConfig()
+	cfg.Seed = db.seed
+	return &Generator{trainer: rl.NewTrainer(db.env, c, cfg)}
+}
+
+// Train runs epochs × episodesPerEpoch training episodes and returns the
+// per-epoch reward/satisfaction trace. 250 × 25 converges on the bundled
+// benchmarks.
+func (g *Generator) Train(epochs, episodesPerEpoch int) []TrainStats {
+	return g.trainer.Train(epochs, episodesPerEpoch)
+}
+
+// TrainAdaptive trains with early stopping: it stops once three quarters
+// of an epoch's episodes satisfy the constraint on two consecutive
+// epochs, or after maxEpochs. Easy constraints converge in seconds; hard
+// point constraints use the full budget.
+func (g *Generator) TrainAdaptive(maxEpochs, episodesPerEpoch int) []TrainStats {
+	return g.trainer.TrainUntil(0.75, 2, maxEpochs, episodesPerEpoch)
+}
+
+// Generate samples n statements from the current policy (Algorithm 2);
+// unsatisfied statements are included so callers can compute accuracy.
+func (g *Generator) Generate(n int) []Generated {
+	return g.trainer.Generate(n)
+}
+
+// GenerateSatisfied samples until n satisfied statements are produced or
+// maxAttempts episodes have run.
+func (g *Generator) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
+	return g.trainer.GenerateSatisfied(n, maxAttempts)
+}
+
+// MustGenerateSatisfied is GenerateSatisfied but panics if fewer than n
+// satisfied statements were found within maxAttempts — convenient in
+// examples and scripts.
+func (g *Generator) MustGenerateSatisfied(n, maxAttempts int) []Generated {
+	out, attempts := g.trainer.GenerateSatisfied(n, maxAttempts)
+	if len(out) < n {
+		panic(fmt.Sprintf("learnedsqlgen: found only %d/%d satisfied queries in %d attempts (constraint %s)",
+			len(out), n, attempts, g.trainer.Constraint))
+	}
+	return out
+}
+
+// Constraint returns the generator's target.
+func (g *Generator) Constraint() Constraint { return g.trainer.Constraint }
+
+// RandomGenerator is the SQLSmith-style baseline over the same grammar.
+func (db *DB) RandomGenerator(c Constraint) *baselines.Random {
+	return baselines.NewRandom(db.env, c, db.seed)
+}
+
+// TemplateGenerator is the Bruno-style template baseline. With nil sqls it
+// uses the dataset's bundled benchmark templates when available, otherwise
+// synthesized skeletons.
+func (db *DB) TemplateGenerator(c Constraint, sqls []string) (*baselines.TemplateGen, error) {
+	if sqls == nil {
+		sqls = baselines.DatasetTemplates(db.name)
+	}
+	if len(sqls) > 0 {
+		return baselines.NewTemplateGenFromSQL(db.env, c, sqls, db.seed)
+	}
+	return baselines.NewTemplateGen(db.env, c, 12, db.seed), nil
+}
+
+// MetaDomain describes the constraint domain a meta-critic is pre-trained
+// on (§6).
+type MetaDomain = meta.Domain
+
+// MetaGenerator wraps the §6 meta-critic: pre-train once over a domain,
+// then adapt quickly to any constraint inside it.
+type MetaGenerator struct {
+	trainer *meta.MetaTrainer
+}
+
+// NewMetaGenerator builds the multi-task meta-critic setup.
+func (db *DB) NewMetaGenerator(domain MetaDomain) *MetaGenerator {
+	cfg := rl.FastConfig()
+	cfg.Seed = db.seed
+	return &MetaGenerator{trainer: meta.NewMetaTrainer(db.env, domain, cfg)}
+}
+
+// Pretrain cycles the domain's tasks for the given rounds.
+func (m *MetaGenerator) Pretrain(rounds, episodesPerTask int) []TrainStats {
+	return m.trainer.Pretrain(rounds, episodesPerTask)
+}
+
+// Adapt prepares a generator for a new constraint, warm-started from the
+// nearest pre-trained task and guided by the shared meta-critic.
+func (m *MetaGenerator) Adapt(c Constraint) *AdaptedGenerator {
+	return &AdaptedGenerator{adapted: m.trainer.Adapt(c)}
+}
+
+// AdaptedGenerator is a meta-critic-backed generator for one new
+// constraint.
+type AdaptedGenerator struct {
+	adapted *meta.Adapted
+}
+
+// Train fine-tunes the adapted policy.
+func (a *AdaptedGenerator) Train(epochs, episodesPerEpoch int) []TrainStats {
+	return a.adapted.Train(epochs, episodesPerEpoch)
+}
+
+// Generate samples n statements.
+func (a *AdaptedGenerator) Generate(n int) []Generated { return a.adapted.Generate(n) }
+
+// GenerateSatisfied samples until n satisfied statements or maxAttempts.
+func (a *AdaptedGenerator) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
+	return a.adapted.GenerateSatisfied(n, maxAttempts)
+}
+
+// Save writes the generator's trained weights to path; LoadGenerator
+// restores them. This implements §3.3's promise that a trained model can
+// be reused at any time without retraining.
+func (g *Generator) Save(path string) error { return g.trainer.SaveFile(path) }
+
+// LoadGenerator builds a generator for c and restores weights saved by
+// Generator.Save. The database must be opened with the same options
+// (vocabulary) the model was trained under.
+func (db *DB) LoadGenerator(c Constraint, path string) (*Generator, error) {
+	gen := db.NewGenerator(c)
+	if err := gen.trainer.LoadFile(path); err != nil {
+		return nil, err
+	}
+	return gen, nil
+}

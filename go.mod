@@ -1,0 +1,3 @@
+module learnedsqlgen
+
+go 1.22

@@ -1,0 +1,229 @@
+package baselines
+
+import (
+	"testing"
+
+	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/fsm"
+	"learnedsqlgen/internal/rl"
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/token"
+)
+
+func testEnv(t testing.TB) *rl.Env {
+	t.Helper()
+	db, err := datagen.Generate(datagen.NameTPCH, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab := token.Build(db, 20, 7)
+	return rl.NewEnv(db, vocab, fsm.DefaultConfig())
+}
+
+func TestRandomGenerates(t *testing.T) {
+	env := testEnv(t)
+	r := NewRandom(env, rl.RangeConstraint(rl.Cardinality, 1, 1e6), 3)
+	gen := r.Generate(50)
+	if len(gen) != 50 {
+		t.Fatalf("generated %d", len(gen))
+	}
+	sat := 0
+	for _, g := range gen {
+		if g.Statement == nil || g.SQL == "" {
+			t.Fatal("missing statement")
+		}
+		if _, err := executor.New(env.DB.Clone()).Execute(g.Statement); err != nil {
+			t.Fatalf("invalid statement %q: %v", g.SQL, err)
+		}
+		if g.Satisfied {
+			sat++
+		}
+	}
+	if sat == 0 {
+		t.Error("broad constraint should be satisfied sometimes")
+	}
+}
+
+func TestRandomGenerateSatisfiedCaps(t *testing.T) {
+	env := testEnv(t)
+	impossible := rl.RangeConstraint(rl.Cardinality, 1e17, 1e18)
+	r := NewRandom(env, impossible, 3)
+	got, attempts := r.GenerateSatisfied(5, 40)
+	if len(got) != 0 || attempts != 40 {
+		t.Errorf("impossible: %d found, %d attempts", len(got), attempts)
+	}
+
+	easy := rl.RangeConstraint(rl.Cardinality, 0, 1e12)
+	r2 := NewRandom(env, easy, 3)
+	got2, attempts2 := r2.GenerateSatisfied(5, 500)
+	if len(got2) != 5 {
+		t.Errorf("easy constraint found only %d in %d attempts", len(got2), attempts2)
+	}
+	for _, g := range got2 {
+		if !g.Satisfied {
+			t.Error("unsatisfied result returned")
+		}
+	}
+}
+
+func TestTemplateSynthesis(t *testing.T) {
+	env := testEnv(t)
+	g := NewTemplateGen(env, rl.PointConstraint(rl.Cardinality, 100), 8, 5)
+	if len(g.Templates) == 0 {
+		t.Fatal("no templates synthesized")
+	}
+	for _, tpl := range g.Templates {
+		if len(tpl.Slots) == 0 {
+			t.Error("template without slots")
+		}
+		if len(tpl.Slots) != len(tpl.Candidates) {
+			t.Error("slot/candidate mismatch")
+		}
+		// Templates are plain SPJ: no aggregates, no subqueries.
+		if tpl.Stmt.HasAggregate() || len(sqlast.Subqueries(tpl.Stmt)) > 0 {
+			t.Errorf("template not SPJ: %s", tpl.Stmt.SQL())
+		}
+	}
+}
+
+func TestTemplateClimbImprovesDistance(t *testing.T) {
+	env := testEnv(t)
+	target := rl.PointConstraint(rl.Cardinality, 50)
+	g := NewTemplateGen(env, target, 8, 5)
+
+	// Hill-climbed outcomes should be closer to the target than pure
+	// random generation on average.
+	tplGen := g.Generate(40)
+	rnd := NewRandom(env, target, 6).Generate(40)
+	avgDist := func(gen []rl.Generated) float64 {
+		s := 0.0
+		for _, x := range gen {
+			s += g.distance(x.Measured)
+		}
+		return s / float64(len(gen))
+	}
+	dTpl, dRnd := avgDist(tplGen), avgDist(rnd)
+	if dTpl >= dRnd {
+		t.Errorf("template distance %.3f should beat random %.3f", dTpl, dRnd)
+	}
+}
+
+func TestTemplateGenerateSatisfied(t *testing.T) {
+	env := testEnv(t)
+	target := rl.RangeConstraint(rl.Cardinality, 10, 1000)
+	g := NewTemplateGen(env, target, 8, 5)
+	got, attempts := g.GenerateSatisfied(5, 100)
+	if attempts > 100 {
+		t.Error("attempt cap breached")
+	}
+	for _, x := range got {
+		if !x.Satisfied {
+			t.Error("unsatisfied result returned")
+		}
+		if _, err := executor.New(env.DB.Clone()).Execute(x.Statement); err != nil {
+			t.Fatalf("invalid statement %q: %v", x.SQL, err)
+		}
+	}
+	if len(got) == 0 {
+		t.Error("no satisfied queries for a broad range")
+	}
+}
+
+func TestTemplateEmittedStatementsDoNotAlias(t *testing.T) {
+	env := testEnv(t)
+	target := rl.RangeConstraint(rl.Cardinality, 1, 1e9)
+	g := NewTemplateGen(env, target, 4, 5)
+	out := g.Generate(8)
+	if len(out) < 2 {
+		t.Skip("not enough outputs")
+	}
+	sqlBefore := make([]string, len(out))
+	for i, x := range out {
+		sqlBefore[i] = x.Statement.SQL()
+	}
+	// More generation mutates template slots in place; emitted statements
+	// must not change.
+	g.Generate(8)
+	for i, x := range out {
+		if x.Statement.SQL() != sqlBefore[i] {
+			t.Fatal("emitted statement aliased template storage")
+		}
+	}
+}
+
+func TestClonePredCoversAllForms(t *testing.T) {
+	inner := &sqlast.Select{Tables: []string{"region"},
+		Items: []sqlast.SelectItem{{Col: qc("region", "r_regionkey")}}}
+	p := &sqlast.And{
+		Left: &sqlast.Or{
+			Left:  &sqlast.Not{Inner: &sqlast.Compare{Col: qc("nation", "n_nationkey"), Op: sqlast.OpEq}},
+			Right: &sqlast.In{Col: qc("nation", "n_regionkey"), Sub: inner},
+		},
+		Right: &sqlast.And{
+			Left:  &sqlast.Exists{Sub: inner},
+			Right: &sqlast.CompareSub{Col: qc("nation", "n_nationkey"), Op: sqlast.OpGt, Sub: inner},
+		},
+	}
+	cp := sqlast.ClonePredicate(p)
+	if cp.SQL() != p.SQL() {
+		t.Error("clone must render identically")
+	}
+	// Mutating the original leaf must not affect the clone.
+	p.Left.(*sqlast.Or).Left.(*sqlast.Not).Inner.(*sqlast.Compare).Op = sqlast.OpNe
+	if cp.SQL() == p.SQL() {
+		t.Error("clone aliases original")
+	}
+	if sqlast.ClonePredicate(nil) != nil {
+		t.Error("nil clone must be nil")
+	}
+}
+
+func qc(t, c string) schema.QualifiedColumn {
+	return schema.QualifiedColumn{Table: t, Column: c}
+}
+
+func TestDatasetTemplatesParseOnTheirDatasets(t *testing.T) {
+	for _, name := range []string{"tpch", "job", "xuetang"} {
+		db, err := datagen.Generate(name, 0.05, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := rl.NewEnv(db, token.Build(db, 20, 7), fsm.DefaultConfig())
+		sqls := DatasetTemplates(name)
+		if len(sqls) < 8 {
+			t.Fatalf("%s: only %d templates", name, len(sqls))
+		}
+		g, err := NewTemplateGenFromSQL(env, rl.PointConstraint(rl.Cardinality, 50), sqls, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(g.Templates) != len(sqls) {
+			t.Errorf("%s: %d of %d templates usable", name, len(g.Templates), len(sqls))
+		}
+		// Every template must execute on the real data.
+		for _, tpl := range g.Templates {
+			if _, err := executor.New(env.DB.Clone()).Select(tpl.Stmt); err != nil {
+				t.Errorf("%s: template %q does not execute: %v", name, tpl.Stmt.SQL(), err)
+			}
+		}
+	}
+	if DatasetTemplates("nope") != nil {
+		t.Error("unknown dataset must return nil templates")
+	}
+}
+
+func TestNewTemplateGenFromSQLErrors(t *testing.T) {
+	env := testEnv(t)
+	c := rl.PointConstraint(rl.Cardinality, 50)
+	if _, err := NewTemplateGenFromSQL(env, c, []string{"SELEC nope"}, 1); err == nil {
+		t.Error("unparseable template must fail")
+	}
+	if _, err := NewTemplateGenFromSQL(env, c, []string{"SELECT t.x FROM t"}, 1); err == nil {
+		t.Error("template on unknown table must fail")
+	}
+	if _, err := NewTemplateGenFromSQL(env, c, nil, 1); err == nil {
+		t.Error("empty template list must fail")
+	}
+}

@@ -1,0 +1,76 @@
+// Package baselines implements the two comparison methods of §7.1:
+//
+//   - Random: SQLSmith-style generation [Seltenreich] — uniform random
+//     walks over the grammar (our FSM), keeping whatever satisfies the
+//     constraint by luck;
+//   - Template: the template-based method of Bruno et al. [10] with the
+//     Mishra–Koudas-style restart pruning [38] — fixed query skeletons
+//     whose predicate constants are hill-climbed towards the cardinality
+//     or cost target.
+//
+// Both consume the same environment (FSM validity masking + estimator
+// feedback) as LearnedSQLGen, so comparisons isolate the generation
+// strategy.
+package baselines
+
+import (
+	"math/rand"
+
+	"learnedsqlgen/internal/rl"
+)
+
+// Random is the SQLSmith-style baseline: every token is drawn uniformly
+// from the FSM's unmasked set, with no learning.
+type Random struct {
+	Env        *rl.Env
+	Constraint rl.Constraint
+	rng        *rand.Rand
+}
+
+// NewRandom builds the baseline.
+func NewRandom(env *rl.Env, constraint rl.Constraint, seed int64) *Random {
+	return &Random{Env: env, Constraint: constraint, rng: rand.New(rand.NewSource(seed))}
+}
+
+// generateOne runs one uniform walk and measures it.
+func (r *Random) generateOne() rl.Generated {
+	b := r.Env.NewBuilder()
+	for !b.Done() {
+		valid := b.Valid()
+		if err := b.Apply(valid[r.rng.Intn(len(valid))]); err != nil {
+			panic("baselines: FSM rejected an unmasked action: " + err.Error())
+		}
+	}
+	st, _ := b.Statement()
+	g := rl.Generated{Statement: st, SQL: st.SQL()}
+	if m, err := r.Env.Measure(st, r.Constraint.Metric); err == nil {
+		g.Measured = m
+		g.Satisfied = r.Constraint.Satisfied(m)
+	}
+	return g
+}
+
+// Generate produces n random statements (satisfied or not); accuracy is
+// the satisfied fraction.
+func (r *Random) Generate(n int) []rl.Generated {
+	out := make([]rl.Generated, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.generateOne())
+	}
+	return out
+}
+
+// GenerateSatisfied keeps sampling until n satisfied statements are found
+// or maxAttempts walks have run.
+func (r *Random) GenerateSatisfied(n, maxAttempts int) ([]rl.Generated, int) {
+	var out []rl.Generated
+	attempts := 0
+	for attempts < maxAttempts && len(out) < n {
+		g := r.generateOne()
+		attempts++
+		if g.Satisfied {
+			out = append(out, g)
+		}
+	}
+	return out, attempts
+}

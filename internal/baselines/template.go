@@ -1,0 +1,229 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"learnedsqlgen/internal/rl"
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+)
+
+// Template is one query skeleton: a SELECT whose structure is fixed and
+// whose numeric predicate constants ("the x in R.a < x", Bruno et al.) are
+// the only degrees of freedom.
+type Template struct {
+	Stmt *sqlast.Select
+	// Slots are the tweakable comparison leaves of Stmt's WHERE clause.
+	Slots []*sqlast.Compare
+	// Candidates[i] lists the sorted candidate values for slot i.
+	Candidates [][]sqltypes.Value
+}
+
+// TemplateGen is the template-based baseline. Skeletons are synthesized
+// once (the stand-in for the expert-crafted templates of [10], built by
+// "reassembling the predicates" like §7.1 describes) and reused for every
+// constraint; generation hill-climbs each skeleton's constants toward the
+// target, with random restarts as the Mishra-style search-space pruning.
+type TemplateGen struct {
+	Env        *rl.Env
+	Constraint rl.Constraint
+	Templates  []*Template
+	// MaxClimbSteps bounds estimator calls per hill-climbing run.
+	MaxClimbSteps int
+	rng           *rand.Rand
+}
+
+// NewTemplateGen synthesizes numTemplates SPJ skeletons via seeded random
+// FSM walks (aggregates/nesting/DML disabled — the template shapes of
+// [10]) and prepares their value candidate lists.
+func NewTemplateGen(env *rl.Env, constraint rl.Constraint, numTemplates int, seed int64) *TemplateGen {
+	g := &TemplateGen{
+		Env:           env,
+		Constraint:    constraint,
+		MaxClimbSteps: 40,
+		rng:           rand.New(rand.NewSource(seed)),
+	}
+	cfg := env.Cfg
+	cfg.AllowAggregates = false
+	cfg.AllowOrderBy = false
+	cfg.AllowInsert, cfg.AllowUpdate, cfg.AllowDelete = false, false, false
+	cfg.MaxNestDepth = 0
+
+	tplEnv := &rl.Env{DB: env.DB, Vocab: env.Vocab, Est: env.Est, Cfg: cfg}
+	for tries := 0; tries < numTemplates*50 && len(g.Templates) < numTemplates; tries++ {
+		b := tplEnv.NewBuilder()
+		for !b.Done() {
+			valid := b.Valid()
+			if err := b.Apply(valid[g.rng.Intn(len(valid))]); err != nil {
+				panic("baselines: FSM rejected an unmasked action: " + err.Error())
+			}
+		}
+		st, _ := b.Statement()
+		sel := st.(*sqlast.Select)
+		tpl := g.buildTemplate(sel)
+		if tpl != nil {
+			g.Templates = append(g.Templates, tpl)
+		}
+	}
+	return g
+}
+
+// buildTemplate extracts tweakable slots; templates without at least one
+// numeric slot with ≥3 candidates are rejected.
+func (g *TemplateGen) buildTemplate(sel *sqlast.Select) *Template {
+	tpl := &Template{Stmt: sel}
+	sqlast.WalkPredicates(sel.Where, func(p sqlast.Predicate) {
+		cmp, ok := p.(*sqlast.Compare)
+		if !ok {
+			return
+		}
+		cands := g.candidateValues(cmp.Col)
+		if len(cands) < 3 {
+			return
+		}
+		tpl.Slots = append(tpl.Slots, cmp)
+		tpl.Candidates = append(tpl.Candidates, cands)
+	})
+	if len(tpl.Slots) == 0 {
+		return nil
+	}
+	return tpl
+}
+
+// candidateValues lists the vocabulary's sampled values for a column.
+func (g *TemplateGen) candidateValues(qc schema.QualifiedColumn) []sqltypes.Value {
+	ids := g.Env.Vocab.ValueTokens(qc)
+	vals := make([]sqltypes.Value, 0, len(ids))
+	for _, id := range ids {
+		vals = append(vals, g.Env.Vocab.Token(id).Value)
+	}
+	return vals
+}
+
+// distance measures how far a measured value is from the constraint in
+// log space (0 when satisfied).
+func (g *TemplateGen) distance(measured float64) float64 {
+	c := g.Constraint
+	logDist := func(a, b float64) float64 {
+		return math.Abs(math.Log(a+1) - math.Log(b+1))
+	}
+	if c.IsRange {
+		if measured >= c.Lo && measured <= c.Hi {
+			return 0
+		}
+		return math.Min(logDist(measured, c.Lo), logDist(measured, c.Hi))
+	}
+	return logDist(measured, c.Point)
+}
+
+// measure estimates the template's current metric value.
+func (g *TemplateGen) measure(tpl *Template) (float64, bool) {
+	m, err := g.Env.Measure(tpl.Stmt, g.Constraint.Metric)
+	if err != nil {
+		return 0, false
+	}
+	return m, true
+}
+
+// climb performs one hill-climbing run from a random restart: each round
+// tries coarse and fine moves on every slot and keeps the best
+// improvement, stopping at a local optimum, a satisfied query, or the
+// step budget.
+func (g *TemplateGen) climb(tpl *Template) (rl.Generated, bool) {
+	// Random restart (the top-k restart sampling of [38] degenerates to
+	// random restarts at k=1 per attempt).
+	idx := make([]int, len(tpl.Slots))
+	for i := range tpl.Slots {
+		idx[i] = g.rng.Intn(len(tpl.Candidates[i]))
+		tpl.Slots[i].Value = tpl.Candidates[i][idx[i]]
+	}
+	m, ok := g.measure(tpl)
+	if !ok {
+		return rl.Generated{}, false
+	}
+	best := g.distance(m)
+	bestM := m
+	steps := 1
+
+	for steps < g.MaxClimbSteps && best > 0 {
+		improved := false
+		for i := range tpl.Slots {
+			n := len(tpl.Candidates[i])
+			coarse := n / 8
+			if coarse < 1 {
+				coarse = 1
+			}
+			for _, delta := range []int{-coarse, -1, 1, coarse} {
+				j := idx[i] + delta
+				if j < 0 || j >= n || j == idx[i] {
+					continue
+				}
+				old := idx[i]
+				idx[i] = j
+				tpl.Slots[i].Value = tpl.Candidates[i][j]
+				m, ok := g.measure(tpl)
+				steps++
+				if ok {
+					if d := g.distance(m); d < best {
+						best, bestM = d, m
+						improved = true
+						continue // keep the move, try further from here
+					}
+				}
+				idx[i] = old
+				tpl.Slots[i].Value = tpl.Candidates[i][old]
+				if steps >= g.MaxClimbSteps {
+					break
+				}
+			}
+			if steps >= g.MaxClimbSteps {
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	gen := rl.Generated{
+		Statement: sqlast.CloneStatement(tpl.Stmt),
+		Measured:  bestM,
+		Satisfied: g.Constraint.Satisfied(bestM),
+	}
+	gen.SQL = gen.Statement.SQL()
+	return gen, true
+}
+
+// Generate produces n statements, one hill-climbing run each (templates
+// round-robin); unsatisfied outcomes are included, as in the paper's
+// accuracy accounting.
+func (g *TemplateGen) Generate(n int) []rl.Generated {
+	out := make([]rl.Generated, 0, n)
+	for i := 0; i < n; i++ {
+		tpl := g.Templates[i%len(g.Templates)]
+		if gen, ok := g.climb(tpl); ok {
+			out = append(out, gen)
+		}
+	}
+	return out
+}
+
+// GenerateSatisfied runs hill-climbing attempts until n satisfied
+// statements are found or maxAttempts runs finish.
+func (g *TemplateGen) GenerateSatisfied(n, maxAttempts int) ([]rl.Generated, int) {
+	var out []rl.Generated
+	attempts := 0
+	for attempts < maxAttempts && len(out) < n {
+		tpl := g.Templates[attempts%len(g.Templates)]
+		attempts++
+		if gen, ok := g.climb(tpl); ok && gen.Satisfied {
+			out = append(out, gen)
+		}
+	}
+	return out, attempts
+}
+
+// newSeededRand centralizes seeding for template generators.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"testing"
+
+	"learnedsqlgen/internal/meta"
+	"learnedsqlgen/internal/rl"
+)
+
+func quickSetup(t testing.TB) *Setup {
+	t.Helper()
+	s, err := NewSetup("tpch", 0.1, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func tinyBudget() Budget {
+	return Budget{
+		NQueries:         20,
+		NSatisfied:       3,
+		MaxAttempts:      120,
+		TrainEpochs:      4,
+		EpisodesPerEpoch: 10,
+		Templates:        6,
+	}
+}
+
+func TestNewSetupErrors(t *testing.T) {
+	if _, err := NewSetup("nope", 1, 10, 1); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestGridHelpers(t *testing.T) {
+	grid := CardinalityGrid()
+	cs := GridConstraints(rl.Cardinality, grid)
+	if len(cs) != len(grid.Points)+len(grid.Ranges) {
+		t.Fatalf("constraints = %d", len(cs))
+	}
+	for i, c := range cs {
+		if c.Metric != rl.Cardinality {
+			t.Errorf("constraint %d wrong metric", i)
+		}
+	}
+	if Label(rl.PointConstraint(rl.Cost, 100)) != "100" {
+		t.Error("point label")
+	}
+	if Label(rl.RangeConstraint(rl.Cost, 1, 2)) != "[1,2]" {
+		t.Error("range label")
+	}
+}
+
+func TestExtrapolate(t *testing.T) {
+	if extrapolate(10, 5, 5) != 10 {
+		t.Error("complete runs must not scale")
+	}
+	if extrapolate(10, 1, 5) != 50 {
+		t.Error("partial runs scale linearly")
+	}
+	if extrapolate(2, 0, 5) != 10 {
+		t.Error("empty runs scale by the target")
+	}
+}
+
+func TestRunAccuracyShape(t *testing.T) {
+	s := quickSetup(t)
+	grid := ConstraintGrid{Points: []float64{50}, Ranges: [][2]float64{{10, 200}}}
+	rows := RunAccuracy(s, rl.Cardinality, grid, tinyBudget())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, m := range []string{MethodSQLSmith, MethodTemplate, MethodLearned} {
+			acc, ok := r.Acc[m]
+			if !ok {
+				t.Fatalf("missing method %s", m)
+			}
+			if acc < 0 || acc > 1 {
+				t.Errorf("%s acc %v out of range", m, acc)
+			}
+		}
+	}
+}
+
+func TestRunEfficiencyShape(t *testing.T) {
+	s := quickSetup(t)
+	grid := ConstraintGrid{Ranges: [][2]float64{{1, 500}}}
+	rows := RunEfficiency(s, rl.Cardinality, grid, tinyBudget())
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, m := range []string{MethodSQLSmith, MethodTemplate, MethodLearned} {
+		if rows[0].Seconds[m] <= 0 {
+			t.Errorf("%s time must be positive", m)
+		}
+	}
+}
+
+func TestRunRLCompareShape(t *testing.T) {
+	s := quickSetup(t)
+	grid := ConstraintGrid{Ranges: [][2]float64{{1, 500}, {1, 800}}}
+	res := RunRLCompare(s, grid, tinyBudget())
+	if len(res.Rows) != 2 || len(res.Times) != 2 {
+		t.Fatalf("rows/times = %d/%d", len(res.Rows), len(res.Times))
+	}
+	if len(res.TraceAC) == 0 || len(res.TraceREINFORCE) == 0 {
+		t.Error("missing training traces")
+	}
+	for _, r := range res.Rows {
+		if _, ok := r.Acc["REINFORCE"]; !ok {
+			t.Error("missing REINFORCE accuracy")
+		}
+		if _, ok := r.Acc["LearnedSQLGen"]; !ok {
+			t.Error("missing LearnedSQLGen accuracy")
+		}
+	}
+}
+
+func TestRunMetaCompareShape(t *testing.T) {
+	s := quickSetup(t)
+	domain := meta.Domain{Metric: rl.Cardinality, Lo: 0, Hi: 400, K: 2}
+	newTasks := []rl.Constraint{rl.RangeConstraint(rl.Cardinality, 50, 150)}
+	res := RunMetaCompare(s, domain, newTasks, tinyBudget())
+	if len(res.Rows) != 1 || len(res.Times) != 1 {
+		t.Fatal("row shape")
+	}
+	for _, m := range []string{"Scratch", "AC-extend", "MetaCritic"} {
+		if _, ok := res.Rows[0].Acc[m]; !ok {
+			t.Errorf("missing %s", m)
+		}
+		if res.Times[0].Seconds[m] <= 0 {
+			t.Errorf("%s time must be positive", m)
+		}
+	}
+	if len(res.TraceScratch) == 0 || len(res.TraceACExtend) == 0 || len(res.TraceMeta) == 0 {
+		t.Error("missing adaptation traces")
+	}
+}
+
+func TestRunDistributionShape(t *testing.T) {
+	s := quickSetup(t)
+	dist := RunDistribution(s, rl.RangeConstraint(rl.Cost, 1, 1e9), tinyBudget())
+	if dist.Total != tinyBudget().NQueries {
+		t.Fatalf("total = %d", dist.Total)
+	}
+	// ByType combines the SELECT-structure sample with the per-family DML
+	// samples, so it can exceed Total (the structural sample size).
+	if dist.ByType["select"] != dist.Total {
+		t.Errorf("select count = %d, want %d", dist.ByType["select"], dist.Total)
+	}
+	if dist.NestedFraction < 0 || dist.NestedFraction > 1 ||
+		dist.AggregateFraction < 0 || dist.AggregateFraction > 1 {
+		t.Error("percentages out of range")
+	}
+	if dist.DistinctSkeletons < 1 || dist.DistinctSkeletons > dist.Total {
+		t.Errorf("skeletons = %d", dist.DistinctSkeletons)
+	}
+	lengths := 0
+	for _, n := range dist.TokenLength {
+		lengths += n
+	}
+	if lengths != dist.Total {
+		t.Error("token-length histogram incomplete")
+	}
+}
+
+func TestRunComplexShape(t *testing.T) {
+	s := quickSetup(t)
+	rows := RunComplex(s, rl.RangeConstraint(rl.Cost, 1, 1e9), []int{2, 4}, tinyBudget())
+	if len(rows) != 6 { // 3 kinds × 2 targets
+		t.Fatalf("rows = %d", len(rows))
+	}
+	kinds := map[string]int{}
+	for _, r := range rows {
+		kinds[r.Kind]++
+		if r.Seconds <= 0 {
+			t.Errorf("%s/%d time must be positive", r.Kind, r.M)
+		}
+	}
+	for _, k := range []string{"nested", "insert", "delete"} {
+		if kinds[k] != 2 {
+			t.Errorf("kind %s rows = %d", k, kinds[k])
+		}
+	}
+}
+
+func TestRunSampleSizeShape(t *testing.T) {
+	rows, err := RunSampleSize("tpch", 0.1, 1, []int{3, 10}, rl.RangeConstraint(rl.Cardinality, 1, 500), tinyBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seconds <= 0 || r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Errorf("bad row %+v", r)
+		}
+	}
+	if _, err := RunSampleSize("nope", 1, 1, []int{3}, rl.PointConstraint(rl.Cardinality, 5), tinyBudget()); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestRunRewardAblationShape(t *testing.T) {
+	s := quickSetup(t)
+	rows := RunRewardAblation(s, rl.RangeConstraint(rl.Cardinality, 1, 500), tinyBudget())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Variant] = true
+		if r.Accuracy < 0 || r.Accuracy > 1 || r.Seconds <= 0 {
+			t.Errorf("bad row %+v", r)
+		}
+	}
+	for _, v := range []string{"shaped", "dense", "terminal", "no-entropy"} {
+		if !names[v] {
+			t.Errorf("missing variant %s", v)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package datagen
+
+import (
+	"testing"
+
+	"learnedsqlgen/internal/sqltypes"
+)
+
+func TestGenerateDispatch(t *testing.T) {
+	for _, name := range []string{NameTPCH, NameJOB, NameXueTang} {
+		db, err := Generate(name, 0.1, 1)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", name, err)
+		}
+		if db.TotalRows() == 0 {
+			t.Errorf("%s: no rows", name)
+		}
+	}
+	if _, err := Generate("nope", 1, 1); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+	if _, err := Generate(NameTPCH, 0, 1); err == nil {
+		t.Error("zero scale must fail")
+	}
+	if _, err := Generate(NameTPCH, -1, 1); err == nil {
+		t.Error("negative scale must fail")
+	}
+}
+
+func TestTableCountsMatchPaper(t *testing.T) {
+	cases := []struct {
+		name string
+		want int
+	}{
+		{NameTPCH, 8},     // "TPC-H ... contains 8 relational tables"
+		{NameJOB, 21},     // "JOB ... consists of 21 tables"
+		{NameXueTang, 14}, // "XueTang ... contains 14 tables"
+	}
+	for _, c := range cases {
+		db, err := Generate(c.name, 0.05, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(db.Schema.Tables); got != c.want {
+			t.Errorf("%s: %d tables, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	a := TPCH(0.05, 42)
+	b := TPCH(0.05, 42)
+	c := TPCH(0.05, 43)
+	ta, tb, tc := a.Table("lineitem"), b.Table("lineitem"), c.Table("lineitem")
+	if ta.NumRows() != tb.NumRows() {
+		t.Fatal("same seed, different row counts")
+	}
+	diff := false
+	for i := 0; i < ta.NumRows(); i++ {
+		for j := range ta.Row(i) {
+			if !sqltypes.Equal(ta.Row(i)[j], tb.Row(i)[j]) {
+				t.Fatalf("same seed differs at row %d col %d", i, j)
+			}
+		}
+		if i < tc.NumRows() {
+			for j := range ta.Row(i) {
+				if !sqltypes.Equal(ta.Row(i)[j], tc.Row(i)[j]) {
+					diff = true
+				}
+			}
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestScaleChangesRowCounts(t *testing.T) {
+	small := TPCH(0.1, 1)
+	big := TPCH(0.5, 1)
+	s, b := small.Table("lineitem").NumRows(), big.Table("lineitem").NumRows()
+	if b <= s {
+		t.Errorf("scale 0.5 lineitem (%d) must exceed scale 0.1 (%d)", b, s)
+	}
+	ratio := float64(b) / float64(s)
+	if ratio < 4 || ratio > 6 {
+		t.Errorf("row ratio %.2f, want ≈5", ratio)
+	}
+}
+
+// TestForeignKeyIntegrity checks that every FK value references an existing
+// parent key in all three datasets.
+func TestForeignKeyIntegrity(t *testing.T) {
+	for _, name := range []string{NameTPCH, NameJOB, NameXueTang} {
+		db, err := Generate(name, 0.05, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fk := range db.Schema.FKs {
+			parent := db.Table(fk.ToTable)
+			pIdx := parent.Meta.ColumnIndex(fk.ToColumn)
+			keys := map[int64]bool{}
+			for _, r := range parent.Rows() {
+				keys[r[pIdx].Int()] = true
+			}
+			child := db.Table(fk.FromTable)
+			cIdx := child.Meta.ColumnIndex(fk.FromColumn)
+			for ri, r := range child.Rows() {
+				if !keys[r[cIdx].Int()] {
+					t.Fatalf("%s: %s.%s row %d = %v has no parent in %s.%s",
+						name, fk.FromTable, fk.FromColumn, ri, r[cIdx], fk.ToTable, fk.ToColumn)
+				}
+			}
+		}
+	}
+}
+
+// TestPrimaryKeysUnique verifies PK uniqueness in every table.
+func TestPrimaryKeysUnique(t *testing.T) {
+	for _, name := range []string{NameTPCH, NameJOB, NameXueTang} {
+		db, err := Generate(name, 0.05, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tab := range db.Tables() {
+			pk := tab.Meta.PrimaryKeyIndex()
+			if pk < 0 {
+				continue
+			}
+			seen := map[int64]bool{}
+			for _, r := range tab.Rows() {
+				k := r[pk].Int()
+				if seen[k] {
+					t.Fatalf("%s.%s: duplicate PK %d", name, tab.Meta.Name, k)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
+
+// TestColumnKindsMatchData verifies every stored value matches its declared
+// column kind (and is non-null: the generators never emit NULL).
+func TestColumnKindsMatchData(t *testing.T) {
+	for _, name := range []string{NameTPCH, NameJOB, NameXueTang} {
+		db, err := Generate(name, 0.05, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tab := range db.Tables() {
+			for ri, r := range tab.Rows() {
+				for ci, v := range r {
+					want := tab.Meta.Columns[ci].Kind
+					if v.IsNull() {
+						t.Fatalf("%s.%s row %d col %d: NULL", name, tab.Meta.Name, ri, ci)
+					}
+					if v.Kind() != want {
+						t.Fatalf("%s.%s row %d col %s: kind %v, want %v",
+							name, tab.Meta.Name, ri, tab.Meta.Columns[ci].Name, v.Kind(), want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSkewPresent verifies the Zipf-flavoured FK skew: the most popular
+// parent key should appear far more often than the uniform share.
+func TestSkewPresent(t *testing.T) {
+	db := TPCH(0.3, 5)
+	orders := db.Table("orders")
+	custIdx := orders.Meta.ColumnIndex("o_custkey")
+	counts := map[int64]int{}
+	for _, r := range orders.Rows() {
+		counts[r[custIdx].Int()]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := float64(orders.NumRows()) / float64(db.Table("customer").NumRows())
+	if float64(max) < 3*uniform {
+		t.Errorf("hottest customer %d orders; expected > 3× the uniform share %.1f", max, uniform)
+	}
+}
+
+// TestCategoricalDomainsSmall verifies categorical columns keep small
+// closed domains (the vocabulary enumerates them exhaustively).
+func TestCategoricalDomainsSmall(t *testing.T) {
+	for _, name := range []string{NameTPCH, NameJOB, NameXueTang} {
+		db, err := Generate(name, 0.2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tab := range db.Tables() {
+			for ci, c := range tab.Meta.Columns {
+				if !c.Categorical {
+					continue
+				}
+				distinct := map[string]bool{}
+				for _, r := range tab.Rows() {
+					distinct[r[ci].Str()] = true
+				}
+				if len(distinct) > 32 {
+					t.Errorf("%s.%s.%s: %d distinct values is too many for categorical",
+						name, tab.Meta.Name, c.Name, len(distinct))
+				}
+			}
+		}
+	}
+}
+
+func TestWordAndNameHelpers(t *testing.T) {
+	if word(5) != word(5) {
+		t.Error("word must be deterministic")
+	}
+	if word(-3) != word(3) {
+		t.Error("word must handle negatives")
+	}
+	if nameOf("x", 12) == nameOf("x", 13) {
+		t.Error("names must be unique per id")
+	}
+}
+
+func TestScaledFloorsAtOne(t *testing.T) {
+	if scaled(10, 0.001) != 1 {
+		t.Error("scaled must floor at 1")
+	}
+	if scaled(10, 2) != 20 {
+		t.Error("scaled must multiply")
+	}
+}

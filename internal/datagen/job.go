@@ -1,0 +1,220 @@
+package datagen
+
+import (
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/storage"
+)
+
+// JOB builds the 21-table IMDB schema used by the Join Order Benchmark:
+// the title/name entity tables, the big many-to-many link tables
+// (cast_info, movie_info, movie_keyword, movie_companies, ...) and the
+// small dimension/type tables. FK distributions are skewed the way the
+// real IMDB data is (a few prolific actors/popular movies dominate the
+// link tables).
+func JOB(scale float64, seed int64) *storage.Database {
+	db := storage.NewDatabase(mustBuild(schemaJOB()))
+	g := newGen(seed)
+
+	nKind := 7
+	nInfoType := 20
+	nRoleType := 12
+	nLinkType := 10
+	nCompType := 4
+	nCCType := 4
+	nCompany := scaled(200, scale)
+	nKeyword := scaled(400, scale)
+	nTitle := scaled(2500, scale)
+	nName := scaled(2000, scale)
+	nCharName := scaled(1200, scale)
+	nAkaName := scaled(400, scale)
+	nAkaTitle := scaled(300, scale)
+	nCastInfo := scaled(9000, scale)
+	nMovieInfo := scaled(6000, scale)
+	nMovieInfoIdx := scaled(1500, scale)
+	nMovieKeyword := scaled(4000, scale)
+	nMovieCompanies := scaled(2500, scale)
+	nMovieLink := scaled(600, scale)
+	nPersonInfo := scaled(1500, scale)
+	nCompleteCast := scaled(500, scale)
+
+	kinds := []string{"movie", "tv series", "tv movie", "video movie",
+		"tv mini series", "video game", "episode"}
+	for i := 0; i < nKind; i++ {
+		mustAppend(db, "kind_type", storage.Row{iv(int64(i)), sv(kinds[i])})
+	}
+	infoKinds := []string{"runtimes", "color info", "genres", "languages",
+		"certificates", "sound mix", "countries", "rating", "votes", "budget",
+		"gross", "release dates", "locations", "tech info", "trivia", "goofs",
+		"quotes", "soundtrack", "taglines", "plot"}
+	for i := 0; i < nInfoType; i++ {
+		mustAppend(db, "info_type", storage.Row{iv(int64(i)), sv(infoKinds[i])})
+	}
+	roles := []string{"actor", "actress", "producer", "writer", "cinematographer",
+		"composer", "costume designer", "director", "editor", "miscellaneous crew",
+		"production designer", "guest"}
+	for i := 0; i < nRoleType; i++ {
+		mustAppend(db, "role_type", storage.Row{iv(int64(i)), sv(roles[i])})
+	}
+	links := []string{"follows", "followed by", "remake of", "remade as",
+		"references", "referenced in", "spoofs", "spoofed in", "features",
+		"featured in"}
+	for i := 0; i < nLinkType; i++ {
+		mustAppend(db, "link_type", storage.Row{iv(int64(i)), sv(links[i])})
+	}
+	compKinds := []string{"distributors", "production companies",
+		"special effects companies", "miscellaneous companies"}
+	for i := 0; i < nCompType; i++ {
+		mustAppend(db, "company_type", storage.Row{iv(int64(i)), sv(compKinds[i])})
+	}
+	ccKinds := []string{"cast", "crew", "complete", "complete+verified"}
+	for i := 0; i < nCCType; i++ {
+		mustAppend(db, "comp_cast_type", storage.Row{iv(int64(i)), sv(ccKinds[i])})
+	}
+	countries := []string{"[us]", "[gb]", "[fr]", "[de]", "[jp]", "[in]", "[it]", "[ca]"}
+	for i := 0; i < nCompany; i++ {
+		mustAppend(db, "company_name", storage.Row{
+			iv(int64(i)), sv(nameOf("company", int64(i))), sv(g.pick(countries)),
+		})
+	}
+	for i := 0; i < nKeyword; i++ {
+		mustAppend(db, "keyword", storage.Row{iv(int64(i)), sv(nameOf("kw", int64(i)))})
+	}
+	for i := 0; i < nTitle; i++ {
+		mustAppend(db, "title", storage.Row{
+			iv(int64(i)), sv(nameOf("title", int64(i))), iv(g.fkSkew(nKind)),
+			iv(g.intIn(1930, 2021)), iv(g.intIn(1, 10000)),
+		})
+	}
+	genders := []string{"m", "f"}
+	for i := 0; i < nName; i++ {
+		mustAppend(db, "name", storage.Row{
+			iv(int64(i)), sv(nameOf("person", int64(i))), sv(g.pick(genders)),
+			iv(g.intIn(1, 10000)),
+		})
+	}
+	for i := 0; i < nCharName; i++ {
+		mustAppend(db, "char_name", storage.Row{iv(int64(i)), sv(nameOf("char", int64(i)))})
+	}
+	for i := 0; i < nAkaName; i++ {
+		mustAppend(db, "aka_name", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nName)), sv(nameOf("aka", int64(i))),
+		})
+	}
+	for i := 0; i < nAkaTitle; i++ {
+		mustAppend(db, "aka_title", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nTitle)), sv(nameOf("akat", int64(i))),
+			iv(g.intIn(1930, 2021)),
+		})
+	}
+	notes := []string{"", "(uncredited)", "(voice)", "(archive footage)", "(as himself)"}
+	for i := 0; i < nCastInfo; i++ {
+		mustAppend(db, "cast_info", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nName)), iv(g.fkSkew(nTitle)),
+			iv(g.fkUniform(nCharName)), iv(g.fkSkew(nRoleType)),
+			iv(g.intIn(1, 100)), sv(g.pickSkew(notes)),
+		})
+	}
+	for i := 0; i < nMovieInfo; i++ {
+		mustAppend(db, "movie_info", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nTitle)), iv(g.fkUniform(nInfoType)),
+			sv(nameOf("info", g.intIn(0, 500))),
+		})
+	}
+	for i := 0; i < nMovieInfoIdx; i++ {
+		mustAppend(db, "movie_info_idx", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nTitle)), iv(g.fkUniform(nInfoType)),
+			fv(g.floatIn(1, 10)),
+		})
+	}
+	for i := 0; i < nMovieKeyword; i++ {
+		mustAppend(db, "movie_keyword", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nTitle)), iv(g.fkSkew(nKeyword)),
+		})
+	}
+	for i := 0; i < nMovieCompanies; i++ {
+		mustAppend(db, "movie_companies", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nTitle)), iv(g.fkSkew(nCompany)),
+			iv(g.fkUniform(nCompType)),
+		})
+	}
+	for i := 0; i < nMovieLink; i++ {
+		mustAppend(db, "movie_link", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nTitle)), iv(g.fkSkew(nTitle)),
+			iv(g.fkUniform(nLinkType)),
+		})
+	}
+	for i := 0; i < nPersonInfo; i++ {
+		mustAppend(db, "person_info", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nName)), iv(g.fkUniform(nInfoType)),
+			sv(nameOf("pinfo", g.intIn(0, 300))),
+		})
+	}
+	for i := 0; i < nCompleteCast; i++ {
+		mustAppend(db, "complete_cast", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nTitle)), iv(g.fkUniform(nCCType)),
+			iv(g.fkUniform(nCCType)),
+		})
+	}
+	return db
+}
+
+func schemaJOB() *schema.Builder {
+	return schema.NewBuilder("job").
+		Table("kind_type", "kt", pkCol("id"), catCol("kind")).
+		Table("info_type", "it", pkCol("id"), catCol("info")).
+		Table("role_type", "rt", pkCol("id"), catCol("role")).
+		Table("link_type", "lt", pkCol("id"), catCol("link")).
+		Table("company_type", "ct", pkCol("id"), catCol("kind")).
+		Table("comp_cast_type", "cct", pkCol("id"), catCol("kind")).
+		Table("company_name", "cn", pkCol("id"), strCol("name"), catCol("country_code")).
+		Table("keyword", "k", pkCol("id"), strCol("keyword")).
+		Table("title", "t",
+			pkCol("id"), strCol("title"), intCol("kind_id"),
+			intCol("production_year"), intCol("imdb_id")).
+		Table("name", "n",
+			pkCol("id"), strCol("name"), catCol("gender"), intCol("imdb_id")).
+		Table("char_name", "chn", pkCol("id"), strCol("name")).
+		Table("aka_name", "an", pkCol("id"), intCol("person_id"), strCol("name")).
+		Table("aka_title", "at",
+			pkCol("id"), intCol("movie_id"), strCol("title"), intCol("production_year")).
+		Table("cast_info", "ci",
+			pkCol("id"), intCol("person_id"), intCol("movie_id"),
+			intCol("person_role_id"), intCol("role_id"), intCol("nr_order"),
+			catCol("note")).
+		Table("movie_info", "mi",
+			pkCol("id"), intCol("movie_id"), intCol("info_type_id"), strCol("info")).
+		Table("movie_info_idx", "mii",
+			pkCol("id"), intCol("movie_id"), intCol("info_type_id"), floatCol("info")).
+		Table("movie_keyword", "mk",
+			pkCol("id"), intCol("movie_id"), intCol("keyword_id")).
+		Table("movie_companies", "mc",
+			pkCol("id"), intCol("movie_id"), intCol("company_id"), intCol("company_type_id")).
+		Table("movie_link", "ml",
+			pkCol("id"), intCol("movie_id"), intCol("linked_movie_id"), intCol("link_type_id")).
+		Table("person_info", "pi",
+			pkCol("id"), intCol("person_id"), intCol("info_type_id"), strCol("info")).
+		Table("complete_cast", "cc",
+			pkCol("id"), intCol("movie_id"), intCol("subject_id"), intCol("status_id")).
+		ForeignKey("title", "kind_id", "kind_type", "id").
+		ForeignKey("aka_name", "person_id", "name", "id").
+		ForeignKey("aka_title", "movie_id", "title", "id").
+		ForeignKey("cast_info", "person_id", "name", "id").
+		ForeignKey("cast_info", "movie_id", "title", "id").
+		ForeignKey("cast_info", "person_role_id", "char_name", "id").
+		ForeignKey("cast_info", "role_id", "role_type", "id").
+		ForeignKey("movie_info", "movie_id", "title", "id").
+		ForeignKey("movie_info", "info_type_id", "info_type", "id").
+		ForeignKey("movie_info_idx", "movie_id", "title", "id").
+		ForeignKey("movie_info_idx", "info_type_id", "info_type", "id").
+		ForeignKey("movie_keyword", "movie_id", "title", "id").
+		ForeignKey("movie_keyword", "keyword_id", "keyword", "id").
+		ForeignKey("movie_companies", "movie_id", "title", "id").
+		ForeignKey("movie_companies", "company_id", "company_name", "id").
+		ForeignKey("movie_companies", "company_type_id", "company_type", "id").
+		ForeignKey("movie_link", "movie_id", "title", "id").
+		ForeignKey("movie_link", "link_type_id", "link_type", "id").
+		ForeignKey("person_info", "person_id", "name", "id").
+		ForeignKey("person_info", "info_type_id", "info_type", "id").
+		ForeignKey("complete_cast", "movie_id", "title", "id").
+		ForeignKey("complete_cast", "subject_id", "comp_cast_type", "id")
+}

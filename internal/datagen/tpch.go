@@ -1,0 +1,125 @@
+package datagen
+
+import (
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/storage"
+)
+
+// TPCH builds the 8-table TPC-H schema (region, nation, supplier, customer,
+// part, partsupp, orders, lineitem) with the standard PK–FK graph. At
+// scale 1.0 the fact table lineitem holds ~12 000 rows; real TPC-H column
+// semantics (order/ship dates as day numbers, prices, discounts, flags)
+// are preserved so that cost/cardinality constraints behave like the
+// paper's workloads.
+func TPCH(scale float64, seed int64) *storage.Database {
+	sch := mustBuild(schemaTPCH())
+	db := storage.NewDatabase(sch)
+	g := newGen(seed)
+
+	nRegion := 5
+	nNation := 25
+	nSupplier := scaled(100, scale)
+	nCustomer := scaled(1500, scale)
+	nPart := scaled(2000, scale)
+	nPartSupp := scaled(4000, scale)
+	nOrders := scaled(3000, scale)
+	nLineitem := scaled(12000, scale)
+
+	regions := []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	for i := 0; i < nRegion; i++ {
+		mustAppend(db, "region", storage.Row{iv(int64(i)), sv(regions[i])})
+	}
+	for i := 0; i < nNation; i++ {
+		mustAppend(db, "nation", storage.Row{
+			iv(int64(i)), sv(nameOf("nation", int64(i))), iv(int64(i % nRegion)),
+		})
+	}
+	for i := 0; i < nSupplier; i++ {
+		mustAppend(db, "supplier", storage.Row{
+			iv(int64(i)), sv(nameOf("supp", int64(i))), iv(g.fkUniform(nNation)),
+			fv(g.floatIn(-999, 9999)),
+		})
+	}
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	for i := 0; i < nCustomer; i++ {
+		mustAppend(db, "customer", storage.Row{
+			iv(int64(i)), sv(nameOf("cust", int64(i))), iv(g.fkUniform(nNation)),
+			fv(g.floatIn(-999, 9999)), sv(g.pick(segments)),
+		})
+	}
+	brands := []string{"Brand#11", "Brand#12", "Brand#21", "Brand#22", "Brand#31",
+		"Brand#32", "Brand#41", "Brand#42", "Brand#51", "Brand#52"}
+	containers := []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE",
+		"LG BOX", "JUMBO PKG", "WRAP PACK"}
+	for i := 0; i < nPart; i++ {
+		mustAppend(db, "part", storage.Row{
+			iv(int64(i)), sv(nameOf("part", int64(i))), sv(g.pick(brands)),
+			iv(g.intIn(1, 50)), sv(g.pick(containers)), fv(g.floatIn(900, 2100)),
+		})
+	}
+	for i := 0; i < nPartSupp; i++ {
+		mustAppend(db, "partsupp", storage.Row{
+			iv(int64(i)), iv(g.fkUniform(nPart)), iv(g.fkUniform(nSupplier)),
+			iv(g.intIn(1, 9999)), fv(g.floatIn(1, 1000)),
+		})
+	}
+	orderStatus := []string{"F", "O", "P"}
+	priorities := []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	for i := 0; i < nOrders; i++ {
+		mustAppend(db, "orders", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nCustomer)), sv(g.pick(orderStatus)),
+			fv(g.floatIn(800, 450000)), iv(g.intIn(8000, 10600)), // orderdate as day number
+			sv(g.pick(priorities)),
+		})
+	}
+	flags := []string{"A", "N", "R"}
+	shipModes := []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+	for i := 0; i < nLineitem; i++ {
+		order := g.fkSkew(nOrders)
+		mustAppend(db, "lineitem", storage.Row{
+			iv(int64(i)), iv(order), iv(g.fkUniform(nPart)), iv(g.fkUniform(nSupplier)),
+			iv(g.intIn(1, 50)), fv(g.floatIn(900, 105000)),
+			fv(g.floatIn(0, 0.1)), fv(g.floatIn(0, 0.08)),
+			sv(g.pick(flags)), iv(g.intIn(8000, 10700)), // shipdate day number
+			sv(g.pick(shipModes)),
+		})
+	}
+	return db
+}
+
+func schemaTPCH() *schema.Builder {
+	return schema.NewBuilder("tpch").
+		Table("region", "r",
+			pkCol("r_regionkey"), catCol("r_name")).
+		Table("nation", "n",
+			pkCol("n_nationkey"), strCol("n_name"), intCol("n_regionkey")).
+		Table("supplier", "s",
+			pkCol("s_suppkey"), strCol("s_name"), intCol("s_nationkey"),
+			floatCol("s_acctbal")).
+		Table("customer", "c",
+			pkCol("c_custkey"), strCol("c_name"), intCol("c_nationkey"),
+			floatCol("c_acctbal"), catCol("c_mktsegment")).
+		Table("part", "p",
+			pkCol("p_partkey"), strCol("p_name"), catCol("p_brand"),
+			intCol("p_size"), catCol("p_container"), floatCol("p_retailprice")).
+		Table("partsupp", "ps",
+			pkCol("ps_key"), intCol("ps_partkey"), intCol("ps_suppkey"),
+			intCol("ps_availqty"), floatCol("ps_supplycost")).
+		Table("orders", "o",
+			pkCol("o_orderkey"), intCol("o_custkey"), catCol("o_orderstatus"),
+			floatCol("o_totalprice"), intCol("o_orderdate"), catCol("o_orderpriority")).
+		Table("lineitem", "l",
+			pkCol("l_linekey"), intCol("l_orderkey"), intCol("l_partkey"),
+			intCol("l_suppkey"), intCol("l_quantity"), floatCol("l_extendedprice"),
+			floatCol("l_discount"), floatCol("l_tax"), catCol("l_returnflag"),
+			intCol("l_shipdate"), catCol("l_shipmode")).
+		ForeignKey("nation", "n_regionkey", "region", "r_regionkey").
+		ForeignKey("supplier", "s_nationkey", "nation", "n_nationkey").
+		ForeignKey("customer", "c_nationkey", "nation", "n_nationkey").
+		ForeignKey("partsupp", "ps_partkey", "part", "p_partkey").
+		ForeignKey("partsupp", "ps_suppkey", "supplier", "s_suppkey").
+		ForeignKey("orders", "o_custkey", "customer", "c_custkey").
+		ForeignKey("lineitem", "l_orderkey", "orders", "o_orderkey").
+		ForeignKey("lineitem", "l_partkey", "part", "p_partkey").
+		ForeignKey("lineitem", "l_suppkey", "supplier", "s_suppkey")
+}

@@ -1,0 +1,183 @@
+package datagen
+
+import (
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/storage"
+)
+
+// XueTang builds the 14-table online-education OLTP schema modelled on the
+// XuetangX benchmark used in the paper: schools, teachers, courses and
+// chapters on the catalog side; users, enrollments, video-watch events,
+// exercise submissions, forum threads/posts, ratings and certificates on
+// the activity side. Activity tables skew towards popular courses and
+// highly active users.
+func XueTang(scale float64, seed int64) *storage.Database {
+	db := storage.NewDatabase(mustBuild(schemaXueTang()))
+	g := newGen(seed)
+
+	nSchool := 30
+	nTeacher := scaled(150, scale)
+	nUser := scaled(2500, scale)
+	nCourse := scaled(300, scale)
+	nChapter := scaled(1500, scale)
+	nVideo := scaled(3000, scale)
+	nExercise := scaled(2000, scale)
+	nEnrollment := scaled(8000, scale)
+	nVideoWatch := scaled(10000, scale)
+	nSubmission := scaled(7000, scale)
+	nThread := scaled(800, scale)
+	nPost := scaled(2500, scale)
+	nCertificate := scaled(1200, scale)
+	nRating := scaled(1800, scale)
+
+	for i := 0; i < nSchool; i++ {
+		mustAppend(db, "school", storage.Row{
+			iv(int64(i)), sv(nameOf("school", int64(i))), iv(g.intIn(1900, 2005)),
+		})
+	}
+	titles := []string{"lecturer", "associate professor", "professor", "assistant"}
+	for i := 0; i < nTeacher; i++ {
+		mustAppend(db, "teacher", storage.Row{
+			iv(int64(i)), sv(nameOf("teacher", int64(i))), iv(g.fkUniform(nSchool)),
+			sv(g.pick(titles)),
+		})
+	}
+	genders := []string{"male", "female", "unknown"}
+	degrees := []string{"none", "bachelor", "master", "phd"}
+	for i := 0; i < nUser; i++ {
+		mustAppend(db, "user", storage.Row{
+			iv(int64(i)), sv(nameOf("user", int64(i))), sv(g.pick(genders)),
+			iv(g.intIn(14, 70)), sv(g.pickSkew(degrees)),
+		})
+	}
+	subjects := []string{"cs", "math", "physics", "biology", "economics",
+		"art", "history", "language"}
+	levels := []string{"beginner", "intermediate", "advanced"}
+	for i := 0; i < nCourse; i++ {
+		mustAppend(db, "course", storage.Row{
+			iv(int64(i)), sv(nameOf("course", int64(i))), iv(g.fkUniform(nTeacher)),
+			iv(g.fkUniform(nSchool)), sv(g.pickSkew(subjects)), sv(g.pick(levels)),
+			iv(g.intIn(2, 20)), // weeks
+		})
+	}
+	for i := 0; i < nChapter; i++ {
+		mustAppend(db, "chapter", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nCourse)), iv(g.intIn(1, 20)),
+			sv(nameOf("chapter", int64(i))),
+		})
+	}
+	for i := 0; i < nVideo; i++ {
+		mustAppend(db, "video", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nChapter)), sv(nameOf("video", int64(i))),
+			iv(g.intIn(60, 3600)), // seconds
+		})
+	}
+	kindsEx := []string{"single-choice", "multi-choice", "fill-in", "code"}
+	for i := 0; i < nExercise; i++ {
+		mustAppend(db, "exercise", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nChapter)), sv(g.pick(kindsEx)),
+			fv(g.floatIn(0.5, 10)), // points
+		})
+	}
+	for i := 0; i < nEnrollment; i++ {
+		mustAppend(db, "enrollment", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nUser)), iv(g.fkSkew(nCourse)),
+			iv(g.intIn(18000, 19200)), // enroll day number
+			fv(g.floatIn(0, 1)),       // progress
+		})
+	}
+	for i := 0; i < nVideoWatch; i++ {
+		mustAppend(db, "video_watch", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nUser)), iv(g.fkSkew(nVideo)),
+			iv(g.intIn(0, 3600)), fv(g.floatIn(0.25, 2)), // seconds watched, speed
+		})
+	}
+	for i := 0; i < nSubmission; i++ {
+		mustAppend(db, "submission", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nUser)), iv(g.fkSkew(nExercise)),
+			fv(g.floatIn(0, 10)), iv(g.intIn(1, 10)), // score, attempt
+		})
+	}
+	for i := 0; i < nThread; i++ {
+		mustAppend(db, "forum_thread", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nCourse)), iv(g.fkSkew(nUser)),
+			sv(nameOf("thread", int64(i))),
+		})
+	}
+	for i := 0; i < nPost; i++ {
+		mustAppend(db, "forum_post", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nThread)), iv(g.fkSkew(nUser)),
+			iv(g.intIn(1, 2000)), // body length
+		})
+	}
+	grades := []string{"pass", "merit", "distinction"}
+	for i := 0; i < nCertificate; i++ {
+		mustAppend(db, "certificate", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nUser)), iv(g.fkSkew(nCourse)),
+			sv(g.pickSkew(grades)),
+		})
+	}
+	for i := 0; i < nRating; i++ {
+		mustAppend(db, "rating", storage.Row{
+			iv(int64(i)), iv(g.fkSkew(nUser)), iv(g.fkSkew(nCourse)),
+			iv(g.intIn(1, 5)),
+		})
+	}
+	return db
+}
+
+func schemaXueTang() *schema.Builder {
+	return schema.NewBuilder("xuetang").
+		Table("school", "sc", pkCol("id"), strCol("name"), intCol("founded")).
+		Table("teacher", "te",
+			pkCol("id"), strCol("name"), intCol("school_id"), catCol("title")).
+		Table("user", "u",
+			pkCol("id"), strCol("name"), catCol("gender"), intCol("age"),
+			catCol("degree")).
+		Table("course", "co",
+			pkCol("id"), strCol("name"), intCol("teacher_id"), intCol("school_id"),
+			catCol("subject"), catCol("level"), intCol("weeks")).
+		Table("chapter", "ch",
+			pkCol("id"), intCol("course_id"), intCol("seq"), strCol("name")).
+		Table("video", "vi",
+			pkCol("id"), intCol("chapter_id"), strCol("name"), intCol("duration")).
+		Table("exercise", "ex",
+			pkCol("id"), intCol("chapter_id"), catCol("kind"), floatCol("points")).
+		Table("enrollment", "en",
+			pkCol("id"), intCol("user_id"), intCol("course_id"),
+			intCol("enroll_date"), floatCol("progress")).
+		Table("video_watch", "vw",
+			pkCol("id"), intCol("user_id"), intCol("video_id"),
+			intCol("seconds"), floatCol("speed")).
+		Table("submission", "su",
+			pkCol("id"), intCol("user_id"), intCol("exercise_id"),
+			floatCol("score"), intCol("attempt")).
+		Table("forum_thread", "ft",
+			pkCol("id"), intCol("course_id"), intCol("user_id"), strCol("title")).
+		Table("forum_post", "fp",
+			pkCol("id"), intCol("thread_id"), intCol("user_id"), intCol("length")).
+		Table("certificate", "ce",
+			pkCol("id"), intCol("user_id"), intCol("course_id"), catCol("grade")).
+		Table("rating", "ra",
+			pkCol("id"), intCol("user_id"), intCol("course_id"), intCol("stars")).
+		ForeignKey("teacher", "school_id", "school", "id").
+		ForeignKey("course", "teacher_id", "teacher", "id").
+		ForeignKey("course", "school_id", "school", "id").
+		ForeignKey("chapter", "course_id", "course", "id").
+		ForeignKey("video", "chapter_id", "chapter", "id").
+		ForeignKey("exercise", "chapter_id", "chapter", "id").
+		ForeignKey("enrollment", "user_id", "user", "id").
+		ForeignKey("enrollment", "course_id", "course", "id").
+		ForeignKey("video_watch", "user_id", "user", "id").
+		ForeignKey("video_watch", "video_id", "video", "id").
+		ForeignKey("submission", "user_id", "user", "id").
+		ForeignKey("submission", "exercise_id", "exercise", "id").
+		ForeignKey("forum_thread", "course_id", "course", "id").
+		ForeignKey("forum_thread", "user_id", "user", "id").
+		ForeignKey("forum_post", "thread_id", "forum_thread", "id").
+		ForeignKey("forum_post", "user_id", "user", "id").
+		ForeignKey("certificate", "user_id", "user", "id").
+		ForeignKey("certificate", "course_id", "course", "id").
+		ForeignKey("rating", "user_id", "user", "id").
+		ForeignKey("rating", "course_id", "course", "id")
+}

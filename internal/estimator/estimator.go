@@ -1,0 +1,455 @@
+// Package estimator implements the database cost estimator that provides
+// the RL environment feedback: given a statement, it estimates the result
+// cardinality and the execution cost from per-column statistics alone,
+// exactly like a real optimizer's estimator (the paper uses the DBMS
+// estimate "for the efficiency issue" rather than running every query).
+//
+// Cardinality estimation uses the textbook formulas: histogram/MCV
+// selectivity for comparisons, the independence assumption for AND, the
+// inclusion–exclusion rule for OR, and NDV containment for PK–FK joins.
+// The cost model is Postgres-flavoured: per-tuple CPU cost, hash-join
+// build/probe costs, per-predicate operator cost, grouping and output
+// costs.
+package estimator
+
+import (
+	"fmt"
+	"math"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/stats"
+)
+
+// CostParams weights the operator costs of the cost model.
+type CostParams struct {
+	CPUTuple    float64 // per row scanned
+	CPUOperator float64 // per predicate evaluation
+	HashBuild   float64 // per row inserted into a join hash table
+	HashProbe   float64 // per probe of a join hash table
+	GroupRow    float64 // per row grouped
+	SortRow     float64 // per row×log(rows) sorted
+	OutputRow   float64 // per row emitted
+	DMLRow      float64 // per row inserted/updated/deleted
+}
+
+// DefaultCost mirrors the relative magnitudes of PostgreSQL's defaults.
+var DefaultCost = CostParams{
+	CPUTuple:    1.0,
+	CPUOperator: 0.25,
+	HashBuild:   1.5,
+	HashProbe:   1.0,
+	GroupRow:    0.5,
+	SortRow:     0.25,
+	OutputRow:   1.0,
+	DMLRow:      2.0,
+}
+
+// Estimate is the estimator's output for one statement.
+type Estimate struct {
+	Card float64 // estimated result cardinality (or affected rows for DML)
+	Cost float64 // estimated execution cost (abstract units)
+}
+
+// Estimator estimates cardinality and cost from statistics.
+type Estimator struct {
+	Schema *schema.Schema
+	Stats  *stats.Database
+	Cost   CostParams
+}
+
+// New builds an estimator with default cost parameters.
+func New(sch *schema.Schema, st *stats.Database) *Estimator {
+	return &Estimator{Schema: sch, Stats: st, Cost: DefaultCost}
+}
+
+// Estimate dispatches on statement kind.
+func (e *Estimator) Estimate(st sqlast.Statement) (Estimate, error) {
+	switch t := st.(type) {
+	case *sqlast.Select:
+		return e.EstimateSelect(t)
+	case *sqlast.Insert:
+		return e.estimateInsert(t)
+	case *sqlast.Update:
+		return e.estimateUpdateDelete(t.Table, t.Where, len(t.Sets))
+	case *sqlast.Delete:
+		return e.estimateUpdateDelete(t.Table, t.Where, 0)
+	default:
+		return Estimate{}, fmt.Errorf("estimator: unsupported statement %T", st)
+	}
+}
+
+// EstimateSelect estimates a SELECT query.
+func (e *Estimator) EstimateSelect(q *sqlast.Select) (Estimate, error) {
+	if len(q.Tables) == 0 || len(q.Items) == 0 {
+		return Estimate{}, fmt.Errorf("estimator: incomplete SELECT")
+	}
+	if len(q.Joins) != len(q.Tables)-1 {
+		return Estimate{}, fmt.Errorf("estimator: malformed join list")
+	}
+
+	var cost float64
+
+	// Join cardinality: |T0| then NDV containment per join edge.
+	t0 := e.Stats.Table(q.Tables[0])
+	if t0 == nil {
+		return Estimate{}, fmt.Errorf("estimator: unknown table %q", q.Tables[0])
+	}
+	card := float64(t0.RowCount)
+	cost += float64(t0.RowCount) * e.Cost.CPUTuple
+
+	for i := 1; i < len(q.Tables); i++ {
+		ti := e.Stats.Table(q.Tables[i])
+		if ti == nil {
+			return Estimate{}, fmt.Errorf("estimator: unknown table %q", q.Tables[i])
+		}
+		j := q.Joins[i-1]
+		lNDV, err := e.columnNDV(j.Left)
+		if err != nil {
+			return Estimate{}, err
+		}
+		rNDV, err := e.columnNDV(j.Right)
+		if err != nil {
+			return Estimate{}, err
+		}
+		maxNDV := math.Max(math.Max(lNDV, rNDV), 1)
+		joined := card * float64(ti.RowCount) / maxNDV
+		cost += float64(ti.RowCount)*(e.Cost.CPUTuple+e.Cost.HashBuild) +
+			card*e.Cost.HashProbe
+		card = joined
+	}
+
+	// WHERE selectivity.
+	if q.Where != nil {
+		sel, subCost, err := e.predicateSelectivity(q.Where)
+		if err != nil {
+			return Estimate{}, err
+		}
+		cost += subCost
+		cost += card * float64(countLeaves(q.Where)) * e.Cost.CPUOperator
+		card *= sel
+	}
+
+	// Grouping / aggregation.
+	hasAgg := q.HasAggregate() || q.Having != nil
+	if len(q.GroupBy) > 0 {
+		groupNDV := 1.0
+		for _, g := range q.GroupBy {
+			ndv, err := e.columnNDV(g)
+			if err != nil {
+				return Estimate{}, err
+			}
+			groupNDV *= math.Max(ndv, 1)
+		}
+		groups := math.Min(card, groupNDV)
+		cost += card*e.Cost.GroupRow + groups*e.Cost.OutputRow
+		card = groups
+		if q.Having != nil {
+			sel, subCost, err := e.havingSelectivity(q.Having)
+			if err != nil {
+				return Estimate{}, err
+			}
+			cost += subCost
+			card *= sel
+		}
+	} else if hasAgg {
+		// Global aggregate: one output row when any input rows exist.
+		cost += card * e.Cost.GroupRow
+		card = math.Min(card, 1)
+		if q.Having != nil {
+			sel, subCost, err := e.havingSelectivity(q.Having)
+			if err != nil {
+				return Estimate{}, err
+			}
+			cost += subCost
+			card *= sel
+		}
+	}
+
+	if len(q.OrderBy) > 0 {
+		cost += card * math.Log2(card+2) * e.Cost.SortRow
+	}
+	cost += card * e.Cost.OutputRow
+
+	return Estimate{Card: card, Cost: cost}, nil
+}
+
+// columnStats resolves statistics for a qualified column.
+func (e *Estimator) columnStats(q schema.QualifiedColumn) (*stats.ColumnStats, error) {
+	t := e.Schema.TableByName(q.Table)
+	if t == nil {
+		return nil, fmt.Errorf("estimator: unknown table %q", q.Table)
+	}
+	ci := t.ColumnIndex(q.Column)
+	if ci < 0 {
+		return nil, fmt.Errorf("estimator: unknown column %s", q)
+	}
+	cs := e.Stats.Column(q.Table, ci)
+	if cs == nil {
+		return nil, fmt.Errorf("estimator: no statistics for %s", q)
+	}
+	return cs, nil
+}
+
+func (e *Estimator) columnNDV(q schema.QualifiedColumn) (float64, error) {
+	cs, err := e.columnStats(q)
+	if err != nil {
+		return 0, err
+	}
+	return float64(cs.NDV), nil
+}
+
+// statsOp converts the AST operator to the stats-layer operator.
+func statsOp(op sqlast.CmpOp) stats.Op {
+	switch op {
+	case sqlast.OpLt:
+		return stats.OpLt
+	case sqlast.OpGt:
+		return stats.OpGt
+	case sqlast.OpLe:
+		return stats.OpLe
+	case sqlast.OpGe:
+		return stats.OpGe
+	case sqlast.OpEq:
+		return stats.OpEq
+	case sqlast.OpNe:
+		return stats.OpNe
+	default:
+		return stats.OpInvalid
+	}
+}
+
+// predicateSelectivity estimates the fraction of rows satisfying p plus the
+// cost of any subqueries it contains.
+func (e *Estimator) predicateSelectivity(p sqlast.Predicate) (sel, cost float64, err error) {
+	switch t := p.(type) {
+	case *sqlast.Compare:
+		cs, err := e.columnStats(t.Col)
+		if err != nil {
+			return 0, 0, err
+		}
+		return cs.Selectivity(statsOp(t.Op), t.Value), 0, nil
+
+	case *sqlast.CompareSub:
+		subEst, err := e.EstimateSelect(t.Sub)
+		if err != nil {
+			return 0, 0, err
+		}
+		cs, err := e.columnStats(t.Col)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v, ok := e.scalarOf(t.Sub, subEst); ok {
+			return cs.Selectivity(statsOp(t.Op), v), subEst.Cost, nil
+		}
+		// Unknown scalar: textbook defaults.
+		if t.Op == sqlast.OpEq {
+			return 0.005, subEst.Cost, nil
+		}
+		return 1.0 / 3.0, subEst.Cost, nil
+
+	case *sqlast.Like:
+		cs, err := e.columnStats(t.Col)
+		if err != nil {
+			return 0, 0, err
+		}
+		return cs.SelectivityLike(t.Pattern, sqlast.MatchLike), 0, nil
+
+	case *sqlast.In:
+		subEst, err := e.EstimateSelect(t.Sub)
+		if err != nil {
+			return 0, 0, err
+		}
+		cs, err := e.columnStats(t.Col)
+		if err != nil {
+			return 0, 0, err
+		}
+		// The IN-set holds at most min(|sub|, NDV(sub column)) distinct
+		// values assumed drawn from the outer column's domain.
+		setSize := subEst.Card
+		if len(t.Sub.Items) == 1 && t.Sub.Items[0].Agg == sqlast.AggNone {
+			if ndv, err2 := e.columnNDV(t.Sub.Items[0].Col); err2 == nil {
+				setSize = math.Min(setSize, ndv)
+			}
+		}
+		s := clamp01(setSize / math.Max(float64(cs.NDV), 1))
+		if t.Negate {
+			s = 1 - s
+		}
+		return s, subEst.Cost, nil
+
+	case *sqlast.Exists:
+		subEst, err := e.EstimateSelect(t.Sub)
+		if err != nil {
+			return 0, 0, err
+		}
+		s := clamp01(subEst.Card)
+		if t.Negate {
+			s = 1 - s
+		}
+		return s, subEst.Cost, nil
+
+	case *sqlast.And:
+		ls, lc, err := e.predicateSelectivity(t.Left)
+		if err != nil {
+			return 0, 0, err
+		}
+		rs, rc, err := e.predicateSelectivity(t.Right)
+		if err != nil {
+			return 0, 0, err
+		}
+		return ls * rs, lc + rc, nil
+
+	case *sqlast.Or:
+		ls, lc, err := e.predicateSelectivity(t.Left)
+		if err != nil {
+			return 0, 0, err
+		}
+		rs, rc, err := e.predicateSelectivity(t.Right)
+		if err != nil {
+			return 0, 0, err
+		}
+		return ls + rs - ls*rs, lc + rc, nil
+
+	case *sqlast.Not:
+		s, c, err := e.predicateSelectivity(t.Inner)
+		if err != nil {
+			return 0, 0, err
+		}
+		return 1 - s, c, nil
+
+	default:
+		return 0, 0, fmt.Errorf("estimator: unsupported predicate %T", p)
+	}
+}
+
+// scalarOf approximates the scalar value of an aggregate subquery from
+// statistics: AVG→mean, MAX→max, MIN→min, COUNT→|sub|, SUM→mean·|sub|.
+func (e *Estimator) scalarOf(sub *sqlast.Select, subEst Estimate) (sqltypes.Value, bool) {
+	if len(sub.Items) != 1 || len(sub.GroupBy) > 0 {
+		return sqltypes.Null, false
+	}
+	it := sub.Items[0]
+	if it.Agg == sqlast.AggNone {
+		return sqltypes.Null, false
+	}
+	cs, err := e.columnStats(it.Col)
+	if err != nil {
+		return sqltypes.Null, false
+	}
+	switch it.Agg {
+	case sqlast.AggAvg:
+		return sqltypes.NewFloat(cs.Mean), true
+	case sqlast.AggMax:
+		return sqltypes.NewFloat(cs.Max), true
+	case sqlast.AggMin:
+		return sqltypes.NewFloat(cs.Min), true
+	case sqlast.AggCount:
+		// The aggregate subquery collapses to one row; its COUNT reflects
+		// the pre-aggregation input size, which we re-derive.
+		return sqltypes.NewFloat(e.preAggCard(sub)), true
+	case sqlast.AggSum:
+		return sqltypes.NewFloat(cs.Mean * e.preAggCard(sub)), true
+	default:
+		return sqltypes.Null, false
+	}
+}
+
+// preAggCard estimates the input cardinality of an aggregate query before
+// aggregation collapses it.
+func (e *Estimator) preAggCard(sub *sqlast.Select) float64 {
+	plain := &sqlast.Select{
+		Tables: sub.Tables,
+		Joins:  sub.Joins,
+		Items:  []sqlast.SelectItem{{Col: schema.QualifiedColumn{Table: sub.Tables[0], Column: firstColumn(e.Schema, sub.Tables[0])}}},
+		Where:  sub.Where,
+	}
+	est, err := e.EstimateSelect(plain)
+	if err != nil {
+		return 0
+	}
+	return est.Card
+}
+
+func firstColumn(sch *schema.Schema, table string) string {
+	t := sch.TableByName(table)
+	if t == nil || len(t.Columns) == 0 {
+		return ""
+	}
+	return t.Columns[0].Name
+}
+
+// havingSelectivity estimates the fraction of groups surviving HAVING.
+// Group-level aggregate distributions are not tracked in statistics, so the
+// textbook defaults apply; an aggregate-vs-scalar-subquery comparison also
+// charges the subquery's cost.
+func (e *Estimator) havingSelectivity(h *sqlast.Having) (sel, cost float64, err error) {
+	if h.Sub != nil {
+		subEst, err := e.EstimateSelect(h.Sub)
+		if err != nil {
+			return 0, 0, err
+		}
+		cost = subEst.Cost
+	}
+	if h.Op == sqlast.OpEq {
+		return 0.1, cost, nil
+	}
+	return 1.0 / 3.0, cost, nil
+}
+
+func (e *Estimator) estimateInsert(st *sqlast.Insert) (Estimate, error) {
+	if e.Stats.Table(st.Table) == nil {
+		return Estimate{}, fmt.Errorf("estimator: unknown table %q", st.Table)
+	}
+	if st.Sub != nil {
+		sub, err := e.EstimateSelect(st.Sub)
+		if err != nil {
+			return Estimate{}, err
+		}
+		return Estimate{Card: sub.Card, Cost: sub.Cost + sub.Card*e.Cost.DMLRow}, nil
+	}
+	return Estimate{Card: 1, Cost: e.Cost.DMLRow}, nil
+}
+
+func (e *Estimator) estimateUpdateDelete(table string, where sqlast.Predicate, nSets int) (Estimate, error) {
+	ts := e.Stats.Table(table)
+	if ts == nil {
+		return Estimate{}, fmt.Errorf("estimator: unknown table %q", table)
+	}
+	rows := float64(ts.RowCount)
+	cost := rows * e.Cost.CPUTuple
+	card := rows
+	if where != nil {
+		sel, subCost, err := e.predicateSelectivity(where)
+		if err != nil {
+			return Estimate{}, err
+		}
+		cost += subCost + rows*float64(countLeaves(where))*e.Cost.CPUOperator
+		card = rows * sel
+	}
+	cost += card * e.Cost.DMLRow * float64(1+nSets)
+	return Estimate{Card: card, Cost: cost}, nil
+}
+
+// countLeaves counts leaf predicates for per-row evaluation cost.
+func countLeaves(p sqlast.Predicate) int {
+	n := 0
+	sqlast.WalkPredicates(p, func(q sqlast.Predicate) {
+		switch q.(type) {
+		case *sqlast.Compare, *sqlast.CompareSub, *sqlast.In, *sqlast.Exists, *sqlast.Like:
+			n++
+		}
+	})
+	return n
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

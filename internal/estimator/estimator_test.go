@@ -1,0 +1,455 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/stats"
+	"learnedsqlgen/internal/storage"
+)
+
+func col(t, c string) schema.QualifiedColumn { return schema.QualifiedColumn{Table: t, Column: c} }
+
+// ordersDB builds Customer(1..200) ← Orders(2000 rows, Zipf-ish customer
+// skew, amount uniform in [0,1000), status in {new,paid,shipped}).
+func ordersDB(t testing.TB) (*storage.Database, *Estimator) {
+	t.Helper()
+	s, err := schema.NewBuilder("shop").
+		Table("Customer", "C",
+			schema.Column{Name: "id", Kind: sqltypes.KindInt, PrimaryKey: true},
+			schema.Column{Name: "region", Kind: sqltypes.KindString, Categorical: true},
+		).
+		Table("Orders", "O",
+			schema.Column{Name: "id", Kind: sqltypes.KindInt, PrimaryKey: true},
+			schema.Column{Name: "cust", Kind: sqltypes.KindInt},
+			schema.Column{Name: "amount", Kind: sqltypes.KindFloat},
+			schema.Column{Name: "status", Kind: sqltypes.KindString, Categorical: true},
+		).
+		ForeignKey("Orders", "cust", "Customer", "id").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(s)
+	rng := rand.New(rand.NewSource(11))
+	regions := []string{"north", "south", "east", "west"}
+	for i := 0; i < 200; i++ {
+		if err := db.Table("Customer").Append(storage.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(regions[rng.Intn(len(regions))]),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	statuses := []string{"new", "paid", "shipped"}
+	for i := 0; i < 2000; i++ {
+		cust := int64(rng.Intn(200))
+		if rng.Intn(4) == 0 {
+			cust = int64(rng.Intn(10)) // skew towards the first customers
+		}
+		if err := db.Table("Orders").Append(storage.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(cust),
+			sqltypes.NewFloat(float64(rng.Intn(100000)) / 100),
+			sqltypes.NewString(statuses[rng.Intn(len(statuses))]),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, New(s, stats.Collect(db))
+}
+
+// qError returns max(est/true, true/est) with a +1 smoothing for zeros.
+func qError(est, truth float64) float64 {
+	a, b := est+1, truth+1
+	if a > b {
+		return a / b
+	}
+	return b / a
+}
+
+func checkCard(t *testing.T, db *storage.Database, e *Estimator, q *sqlast.Select, maxQErr float64) {
+	t.Helper()
+	est, err := e.EstimateSelect(q)
+	if err != nil {
+		t.Fatalf("estimate(%s): %v", q.SQL(), err)
+	}
+	res, err := executor.New(db).Select(q)
+	if err != nil {
+		t.Fatalf("execute(%s): %v", q.SQL(), err)
+	}
+	if qe := qError(est.Card, float64(res.Cardinality)); qe > maxQErr {
+		t.Errorf("%s:\n  est %.1f vs true %d (q-error %.2f > %.2f)",
+			q.SQL(), est.Card, res.Cardinality, qe, maxQErr)
+	}
+	if est.Cost <= 0 {
+		t.Errorf("%s: cost %v must be positive", q.SQL(), est.Cost)
+	}
+}
+
+func TestBaseScanCardinalityExact(t *testing.T) {
+	db, e := ordersDB(t)
+	q := &sqlast.Select{Tables: []string{"Orders"},
+		Items: []sqlast.SelectItem{{Col: col("Orders", "id")}}}
+	checkCard(t, db, e, q, 1.01)
+}
+
+func TestRangePredicateCardinality(t *testing.T) {
+	db, e := ordersDB(t)
+	for _, v := range []float64{10, 100, 500, 900} {
+		q := &sqlast.Select{
+			Tables: []string{"Orders"},
+			Items:  []sqlast.SelectItem{{Col: col("Orders", "id")}},
+			Where: &sqlast.Compare{Col: col("Orders", "amount"), Op: sqlast.OpLt,
+				Value: sqltypes.NewFloat(v)},
+		}
+		checkCard(t, db, e, q, 1.5)
+	}
+}
+
+func TestEqualityOnCategorical(t *testing.T) {
+	db, e := ordersDB(t)
+	q := &sqlast.Select{
+		Tables: []string{"Orders"},
+		Items:  []sqlast.SelectItem{{Col: col("Orders", "id")}},
+		Where: &sqlast.Compare{Col: col("Orders", "status"), Op: sqlast.OpEq,
+			Value: sqltypes.NewString("paid")},
+	}
+	checkCard(t, db, e, q, 1.2)
+}
+
+func TestConjunctionDisjunctionNegation(t *testing.T) {
+	db, e := ordersDB(t)
+	amount := func(op sqlast.CmpOp, v float64) sqlast.Predicate {
+		return &sqlast.Compare{Col: col("Orders", "amount"), Op: op, Value: sqltypes.NewFloat(v)}
+	}
+	status := &sqlast.Compare{Col: col("Orders", "status"), Op: sqlast.OpEq,
+		Value: sqltypes.NewString("new")}
+	q := &sqlast.Select{
+		Tables: []string{"Orders"},
+		Items:  []sqlast.SelectItem{{Col: col("Orders", "id")}},
+		Where:  &sqlast.And{Left: amount(sqlast.OpGt, 250), Right: status},
+	}
+	checkCard(t, db, e, q, 1.6)
+
+	q.Where = &sqlast.Or{Left: amount(sqlast.OpLt, 100), Right: status}
+	checkCard(t, db, e, q, 1.6)
+
+	q.Where = &sqlast.Not{Inner: status}
+	checkCard(t, db, e, q, 1.3)
+}
+
+func TestJoinCardinality(t *testing.T) {
+	db, e := ordersDB(t)
+	q := &sqlast.Select{
+		Tables: []string{"Orders", "Customer"},
+		Joins:  []sqlast.JoinCond{{Left: col("Orders", "cust"), Right: col("Customer", "id")}},
+		Items:  []sqlast.SelectItem{{Col: col("Orders", "id")}},
+	}
+	// PK–FK join preserves the fact-table cardinality exactly.
+	checkCard(t, db, e, q, 1.1)
+
+	q.Where = &sqlast.Compare{Col: col("Customer", "region"), Op: sqlast.OpEq,
+		Value: sqltypes.NewString("north")}
+	checkCard(t, db, e, q, 2.0)
+}
+
+func TestGroupByEstimate(t *testing.T) {
+	db, e := ordersDB(t)
+	q := &sqlast.Select{
+		Tables:  []string{"Orders"},
+		Items:   []sqlast.SelectItem{{Col: col("Orders", "status")}, {Agg: sqlast.AggCount, Col: col("Orders", "id")}},
+		GroupBy: []schema.QualifiedColumn{col("Orders", "status")},
+	}
+	checkCard(t, db, e, q, 1.5)
+}
+
+func TestGlobalAggregateEstimatesOneRow(t *testing.T) {
+	_, e := ordersDB(t)
+	q := &sqlast.Select{
+		Tables: []string{"Orders"},
+		Items:  []sqlast.SelectItem{{Agg: sqlast.AggAvg, Col: col("Orders", "amount")}},
+	}
+	est, err := e.EstimateSelect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Card-1) > 0.01 {
+		t.Errorf("global aggregate card = %v, want 1", est.Card)
+	}
+}
+
+func TestScalarSubqueryUsesStatsMean(t *testing.T) {
+	db, e := ordersDB(t)
+	avg := &sqlast.Select{
+		Tables: []string{"Orders"},
+		Items:  []sqlast.SelectItem{{Agg: sqlast.AggAvg, Col: col("Orders", "amount")}},
+	}
+	q := &sqlast.Select{
+		Tables: []string{"Orders"},
+		Items:  []sqlast.SelectItem{{Col: col("Orders", "id")}},
+		Where:  &sqlast.CompareSub{Col: col("Orders", "amount"), Op: sqlast.OpGt, Sub: avg},
+	}
+	// ≈ half the rows exceed the mean of a uniform distribution.
+	checkCard(t, db, e, q, 1.4)
+}
+
+func TestInSubquerySelectivity(t *testing.T) {
+	db, e := ordersDB(t)
+	inner := &sqlast.Select{
+		Tables: []string{"Customer"},
+		Items:  []sqlast.SelectItem{{Col: col("Customer", "id")}},
+		Where: &sqlast.Compare{Col: col("Customer", "region"), Op: sqlast.OpEq,
+			Value: sqltypes.NewString("east")},
+	}
+	q := &sqlast.Select{
+		Tables: []string{"Orders"},
+		Items:  []sqlast.SelectItem{{Col: col("Orders", "id")}},
+		Where:  &sqlast.In{Col: col("Orders", "cust"), Sub: inner},
+	}
+	checkCard(t, db, e, q, 2.0)
+	q.Where = &sqlast.In{Col: col("Orders", "cust"), Sub: inner, Negate: true}
+	checkCard(t, db, e, q, 2.0)
+}
+
+func TestExistsSelectivity(t *testing.T) {
+	db, e := ordersDB(t)
+	never := &sqlast.Select{
+		Tables: []string{"Customer"},
+		Items:  []sqlast.SelectItem{{Col: col("Customer", "id")}},
+		Where: &sqlast.Compare{Col: col("Customer", "id"), Op: sqlast.OpLt,
+			Value: sqltypes.NewInt(-5)},
+	}
+	q := &sqlast.Select{
+		Tables: []string{"Orders"},
+		Items:  []sqlast.SelectItem{{Col: col("Orders", "id")}},
+		Where:  &sqlast.Exists{Sub: never},
+	}
+	checkCard(t, db, e, q, 1.2)
+	q.Where = &sqlast.Exists{Sub: never, Negate: true}
+	checkCard(t, db, e, q, 1.2)
+}
+
+func TestDMLEstimates(t *testing.T) {
+	db, e := ordersDB(t)
+	// DELETE with predicate.
+	del := &sqlast.Delete{
+		Table: "Orders",
+		Where: &sqlast.Compare{Col: col("Orders", "amount"), Op: sqlast.OpLt,
+			Value: sqltypes.NewFloat(100)},
+	}
+	est, err := e.Estimate(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := executor.New(db.Clone()).Delete(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qe := qError(est.Card, float64(res.Cardinality)); qe > 1.5 {
+		t.Errorf("delete card est %.1f vs true %d", est.Card, res.Cardinality)
+	}
+
+	// UPDATE without predicate affects everything.
+	up := &sqlast.Update{Table: "Orders",
+		Sets: []sqlast.SetClause{{Col: "status", Value: sqltypes.NewString("x")}}}
+	est, err = e.Estimate(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Card != 2000 {
+		t.Errorf("update-all card = %v, want 2000", est.Card)
+	}
+
+	// Single-row INSERT.
+	ins := &sqlast.Insert{Table: "Customer",
+		Values: []sqltypes.Value{sqltypes.NewInt(999), sqltypes.NewString("north")}}
+	est, err = e.Estimate(ins)
+	if err != nil || est.Card != 1 {
+		t.Errorf("insert est = %+v, %v", est, err)
+	}
+
+	// INSERT ... SELECT.
+	insSel := &sqlast.Insert{Table: "Customer", Sub: &sqlast.Select{
+		Tables: []string{"Customer"},
+		Items: []sqlast.SelectItem{
+			{Col: col("Customer", "id")}, {Col: col("Customer", "region")}},
+	}}
+	est, err = e.Estimate(insSel)
+	if err != nil || math.Abs(est.Card-200) > 1 {
+		t.Errorf("insert-select est = %+v, %v", est, err)
+	}
+}
+
+func TestCostGrowsWithJoins(t *testing.T) {
+	_, e := ordersDB(t)
+	single := &sqlast.Select{Tables: []string{"Orders"},
+		Items: []sqlast.SelectItem{{Col: col("Orders", "id")}}}
+	joined := &sqlast.Select{
+		Tables: []string{"Orders", "Customer"},
+		Joins:  []sqlast.JoinCond{{Left: col("Orders", "cust"), Right: col("Customer", "id")}},
+		Items:  []sqlast.SelectItem{{Col: col("Orders", "id")}},
+	}
+	e1, err := e.EstimateSelect(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := e.EstimateSelect(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Cost <= e1.Cost {
+		t.Errorf("join cost %v must exceed scan cost %v", e2.Cost, e1.Cost)
+	}
+}
+
+func TestEstimatorErrors(t *testing.T) {
+	_, e := ordersDB(t)
+	bad := []sqlast.Statement{
+		&sqlast.Select{},
+		&sqlast.Select{Tables: []string{"Nope"}, Items: []sqlast.SelectItem{{Col: col("Nope", "x")}}},
+		&sqlast.Select{Tables: []string{"Orders", "Customer"},
+			Items: []sqlast.SelectItem{{Col: col("Orders", "id")}}},
+		&sqlast.Select{Tables: []string{"Orders"},
+			Items: []sqlast.SelectItem{{Col: col("Orders", "id")}},
+			Where: &sqlast.Compare{Col: col("Orders", "nope"), Op: sqlast.OpEq, Value: sqltypes.NewInt(1)}},
+		&sqlast.Insert{Table: "Nope"},
+		&sqlast.Delete{Table: "Nope"},
+		&sqlast.Update{Table: "Nope"},
+	}
+	for _, st := range bad {
+		if _, err := e.Estimate(st); err == nil {
+			t.Errorf("Estimate(%s) must fail", st.SQL())
+		}
+	}
+}
+
+// TestRandomPredicateQErrors sweeps many random single-predicate queries
+// and requires the median q-error to stay small — the estimator is the RL
+// reward signal, so systematic bias would distort training.
+func TestRandomPredicateQErrors(t *testing.T) {
+	db, e := ordersDB(t)
+	rng := rand.New(rand.NewSource(3))
+	var errs []float64
+	ops := []sqlast.CmpOp{sqlast.OpLt, sqlast.OpGt, sqlast.OpLe, sqlast.OpGe}
+	for i := 0; i < 100; i++ {
+		q := &sqlast.Select{
+			Tables: []string{"Orders"},
+			Items:  []sqlast.SelectItem{{Col: col("Orders", "id")}},
+			Where: &sqlast.Compare{
+				Col:   col("Orders", "amount"),
+				Op:    ops[rng.Intn(len(ops))],
+				Value: sqltypes.NewFloat(float64(rng.Intn(100000)) / 100),
+			},
+		}
+		est, err := e.EstimateSelect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := executor.New(db).Select(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, qError(est.Card, float64(res.Cardinality)))
+	}
+	worst, sum := 0.0, 0.0
+	for _, qe := range errs {
+		sum += qe
+		if qe > worst {
+			worst = qe
+		}
+	}
+	if mean := sum / float64(len(errs)); mean > 1.25 {
+		t.Errorf("mean q-error %.3f too high", mean)
+	}
+	if worst > 3 {
+		t.Errorf("worst q-error %.3f too high", worst)
+	}
+}
+
+func TestLikeSelectivityVsExecutor(t *testing.T) {
+	db, e := ordersDB(t)
+	for _, pat := range []string{"%cust%", "%ba%", "%nosuchsubstring%"} {
+		q := &sqlast.Select{
+			Tables: []string{"Customer"},
+			Items:  []sqlast.SelectItem{{Col: col("Customer", "id")}},
+			Where:  &sqlast.Like{Col: col("Customer", "region"), Pattern: pat},
+		}
+		// region is categorical with 4 values; also try the name-like
+		// column on Orders' status.
+		checkCard(t, db, e, q, 2.5)
+	}
+}
+
+// TestExplainMatchesEstimate verifies the plan root agrees with Estimate
+// on many generated statements.
+func TestExplainMatchesEstimate(t *testing.T) {
+	db, e := ordersDB(t)
+	_ = db
+	queries := []*sqlast.Select{
+		{Tables: []string{"Orders"}, Items: []sqlast.SelectItem{{Col: col("Orders", "id")}}},
+		{Tables: []string{"Orders"},
+			Items: []sqlast.SelectItem{{Col: col("Orders", "id")}},
+			Where: &sqlast.Compare{Col: col("Orders", "amount"), Op: sqlast.OpLt, Value: sqltypes.NewFloat(300)}},
+		{Tables: []string{"Orders", "Customer"},
+			Joins:   []sqlast.JoinCond{{Left: col("Orders", "cust"), Right: col("Customer", "id")}},
+			Items:   []sqlast.SelectItem{{Col: col("Orders", "id")}},
+			Where:   &sqlast.Compare{Col: col("Customer", "region"), Op: sqlast.OpEq, Value: sqltypes.NewString("west")},
+			OrderBy: []schema.QualifiedColumn{col("Orders", "id")}},
+		{Tables: []string{"Orders"},
+			Items:   []sqlast.SelectItem{{Col: col("Orders", "status")}, {Agg: sqlast.AggCount, Col: col("Orders", "id")}},
+			GroupBy: []schema.QualifiedColumn{col("Orders", "status")},
+			Having:  &sqlast.Having{Agg: sqlast.AggCount, Col: col("Orders", "id"), Op: sqlast.OpGt, Value: sqltypes.NewInt(10)}},
+		{Tables: []string{"Orders"},
+			Items: []sqlast.SelectItem{{Agg: sqlast.AggAvg, Col: col("Orders", "amount")}}},
+	}
+	for _, q := range queries {
+		plan, err := e.Explain(q)
+		if err != nil {
+			t.Fatalf("Explain(%s): %v", q.SQL(), err)
+		}
+		est, err := e.EstimateSelect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(plan.Rows-est.Card) > 1e-9*(1+est.Card) {
+			t.Errorf("%s: plan rows %.3f != estimate %.3f", q.SQL(), plan.Rows, est.Card)
+		}
+		if math.Abs(plan.Cost-est.Cost) > 1e-9*(1+est.Cost) {
+			t.Errorf("%s: plan cost %.3f != estimate %.3f", q.SQL(), plan.Cost, est.Cost)
+		}
+		if plan.String() == "" {
+			t.Error("empty plan rendering")
+		}
+	}
+}
+
+func TestExplainDMLAndErrors(t *testing.T) {
+	_, e := ordersDB(t)
+	for _, st := range []sqlast.Statement{
+		&sqlast.Insert{Table: "Customer", Values: []sqltypes.Value{sqltypes.NewInt(999), sqltypes.NewString("x")}},
+		&sqlast.Update{Table: "Orders", Sets: []sqlast.SetClause{{Col: "status", Value: sqltypes.NewString("x")}}},
+		&sqlast.Delete{Table: "Orders"},
+	} {
+		plan, err := e.Explain(st)
+		if err != nil || plan.Op != "dml" {
+			t.Errorf("Explain(%T) = %v, %v", st, plan, err)
+		}
+		est, _ := e.Estimate(st)
+		if plan.Cost != est.Cost || plan.Rows != est.Card {
+			t.Errorf("%T: plan does not match estimate", st)
+		}
+	}
+	if _, err := e.Explain(&sqlast.Select{}); err == nil {
+		t.Error("incomplete select must fail")
+	}
+	if _, err := e.Explain(&sqlast.Select{Tables: []string{"Nope"},
+		Items: []sqlast.SelectItem{{Col: col("Nope", "x")}}}); err == nil {
+		t.Error("unknown table must fail")
+	}
+}

@@ -1,0 +1,177 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"learnedsqlgen/internal/sqlast"
+)
+
+// PlanNode is one operator of an EXPLAIN-style estimate breakdown. Costs
+// are cumulative (a node includes its children), matching how EXPLAIN
+// output reads.
+type PlanNode struct {
+	Op       string  // scan, hash-join, filter, group, having, sort, output, dml
+	Detail   string  // table / condition summary
+	Rows     float64 // estimated output rows
+	Cost     float64 // cumulative estimated cost
+	Children []*PlanNode
+}
+
+// String renders the plan as an indented tree, root last-applied operator
+// first (like EXPLAIN).
+func (n *PlanNode) String() string {
+	var b strings.Builder
+	n.write(&b, 0)
+	return b.String()
+}
+
+func (n *PlanNode) write(b *strings.Builder, depth int) {
+	fmt.Fprintf(b, "%s%s", strings.Repeat("  ", depth), n.Op)
+	if n.Detail != "" {
+		fmt.Fprintf(b, " %s", n.Detail)
+	}
+	fmt.Fprintf(b, "  (rows=%.1f cost=%.1f)\n", n.Rows, n.Cost)
+	for _, c := range n.Children {
+		c.write(b, depth+1)
+	}
+}
+
+// Explain produces the operator-level breakdown of a statement's estimate.
+// The root node's Rows/Cost equal Estimate's output for the same
+// statement.
+func (e *Estimator) Explain(st sqlast.Statement) (*PlanNode, error) {
+	switch t := st.(type) {
+	case *sqlast.Select:
+		return e.explainSelect(t)
+	case *sqlast.Insert, *sqlast.Update, *sqlast.Delete:
+		est, err := e.Estimate(st)
+		if err != nil {
+			return nil, err
+		}
+		op := "dml"
+		detail := ""
+		switch d := st.(type) {
+		case *sqlast.Insert:
+			detail = "insert into " + d.Table
+		case *sqlast.Update:
+			detail = "update " + d.Table
+		case *sqlast.Delete:
+			detail = "delete from " + d.Table
+		}
+		return &PlanNode{Op: op, Detail: detail, Rows: est.Card, Cost: est.Cost}, nil
+	default:
+		return nil, fmt.Errorf("estimator: unsupported statement %T", st)
+	}
+}
+
+func (e *Estimator) explainSelect(q *sqlast.Select) (*PlanNode, error) {
+	if len(q.Tables) == 0 || len(q.Items) == 0 {
+		return nil, fmt.Errorf("estimator: incomplete SELECT")
+	}
+	if len(q.Joins) != len(q.Tables)-1 {
+		return nil, fmt.Errorf("estimator: malformed join list")
+	}
+
+	t0 := e.Stats.Table(q.Tables[0])
+	if t0 == nil {
+		return nil, fmt.Errorf("estimator: unknown table %q", q.Tables[0])
+	}
+	card := float64(t0.RowCount)
+	cost := card * e.Cost.CPUTuple
+	cur := &PlanNode{Op: "scan", Detail: q.Tables[0], Rows: card, Cost: cost}
+
+	for i := 1; i < len(q.Tables); i++ {
+		ti := e.Stats.Table(q.Tables[i])
+		if ti == nil {
+			return nil, fmt.Errorf("estimator: unknown table %q", q.Tables[i])
+		}
+		j := q.Joins[i-1]
+		lNDV, err := e.columnNDV(j.Left)
+		if err != nil {
+			return nil, err
+		}
+		rNDV, err := e.columnNDV(j.Right)
+		if err != nil {
+			return nil, err
+		}
+		rightRows := float64(ti.RowCount)
+		rightScan := &PlanNode{Op: "scan", Detail: q.Tables[i],
+			Rows: rightRows, Cost: rightRows * e.Cost.CPUTuple}
+		maxNDV := math.Max(math.Max(lNDV, rNDV), 1)
+		joined := card * rightRows / maxNDV
+		cost += rightRows*(e.Cost.CPUTuple+e.Cost.HashBuild) + card*e.Cost.HashProbe
+		cur = &PlanNode{
+			Op:       "hash-join",
+			Detail:   fmt.Sprintf("%s = %s", j.Left, j.Right),
+			Rows:     joined,
+			Cost:     cost,
+			Children: []*PlanNode{cur, rightScan},
+		}
+		card = joined
+	}
+
+	if q.Where != nil {
+		sel, subCost, err := e.predicateSelectivity(q.Where)
+		if err != nil {
+			return nil, err
+		}
+		cost += subCost + card*float64(countLeaves(q.Where))*e.Cost.CPUOperator
+		card *= sel
+		cur = &PlanNode{Op: "filter",
+			Detail: fmt.Sprintf("%d predicates, selectivity %.4f", countLeaves(q.Where), sel),
+			Rows:   card, Cost: cost, Children: []*PlanNode{cur}}
+	}
+
+	hasAgg := q.HasAggregate() || q.Having != nil
+	if len(q.GroupBy) > 0 {
+		groupNDV := 1.0
+		for _, g := range q.GroupBy {
+			ndv, err := e.columnNDV(g)
+			if err != nil {
+				return nil, err
+			}
+			groupNDV *= math.Max(ndv, 1)
+		}
+		groups := math.Min(card, groupNDV)
+		cost += card*e.Cost.GroupRow + groups*e.Cost.OutputRow
+		card = groups
+		cur = &PlanNode{Op: "group", Detail: fmt.Sprintf("%d keys", len(q.GroupBy)),
+			Rows: card, Cost: cost, Children: []*PlanNode{cur}}
+		if q.Having != nil {
+			sel, subCost, err := e.havingSelectivity(q.Having)
+			if err != nil {
+				return nil, err
+			}
+			cost += subCost
+			card *= sel
+			cur = &PlanNode{Op: "having", Detail: q.Having.SQL(),
+				Rows: card, Cost: cost, Children: []*PlanNode{cur}}
+		}
+	} else if hasAgg {
+		cost += card * e.Cost.GroupRow
+		card = math.Min(card, 1)
+		cur = &PlanNode{Op: "group", Detail: "global aggregate",
+			Rows: card, Cost: cost, Children: []*PlanNode{cur}}
+		if q.Having != nil {
+			sel, subCost, err := e.havingSelectivity(q.Having)
+			if err != nil {
+				return nil, err
+			}
+			cost += subCost
+			card *= sel
+			cur = &PlanNode{Op: "having", Detail: q.Having.SQL(),
+				Rows: card, Cost: cost, Children: []*PlanNode{cur}}
+		}
+	}
+
+	if len(q.OrderBy) > 0 {
+		cost += card * math.Log2(card+2) * e.Cost.SortRow
+		cur = &PlanNode{Op: "sort", Detail: fmt.Sprintf("%d keys", len(q.OrderBy)),
+			Rows: card, Cost: cost, Children: []*PlanNode{cur}}
+	}
+	cost += card * e.Cost.OutputRow
+	return &PlanNode{Op: "output", Rows: card, Cost: cost,
+		Children: []*PlanNode{cur}}, nil
+}

@@ -1,0 +1,152 @@
+package executor
+
+import (
+	"fmt"
+
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/storage"
+)
+
+// Insert executes an INSERT statement against the executor's database.
+// Callers that must not mutate benchmark data pass a db.Clone()-backed
+// executor.
+func (e *Executor) Insert(st *sqlast.Insert) (*Result, error) {
+	tab := e.db.Table(st.Table)
+	if tab == nil {
+		return nil, fmt.Errorf("executor: unknown table %q", st.Table)
+	}
+	res := &Result{}
+	width := len(tab.Meta.Columns)
+
+	if st.Sub != nil {
+		r, err := e.Select(st.Sub)
+		if err != nil {
+			return nil, err
+		}
+		res.Work += r.Work
+		for _, row := range r.Rows {
+			if len(row) != width {
+				return nil, fmt.Errorf("executor: INSERT SELECT arity %d != %d columns of %s",
+					len(row), width, st.Table)
+			}
+			cp := make(storage.Row, len(row))
+			copy(cp, row)
+			if err := tab.Append(cp); err != nil {
+				return nil, err
+			}
+		}
+		res.Cardinality = len(r.Rows)
+		res.Work += float64(len(r.Rows))
+		return res, nil
+	}
+
+	if len(st.Values) != width {
+		return nil, fmt.Errorf("executor: INSERT arity %d != %d columns of %s",
+			len(st.Values), width, st.Table)
+	}
+	row := make(storage.Row, width)
+	copy(row, st.Values)
+	if err := tab.Append(row); err != nil {
+		return nil, err
+	}
+	res.Cardinality = 1
+	res.Work++
+	return res, nil
+}
+
+// Update executes an UPDATE statement.
+func (e *Executor) Update(st *sqlast.Update) (*Result, error) {
+	tab := e.db.Table(st.Table)
+	if tab == nil {
+		return nil, fmt.Errorf("executor: unknown table %q", st.Table)
+	}
+	res := &Result{}
+	sc, err := e.buildScope([]string{st.Table})
+	if err != nil {
+		return nil, err
+	}
+	subs, err := e.evalSubqueries(st, res)
+	if err != nil {
+		return nil, err
+	}
+	sets := make([]struct {
+		idx int
+		val sqltypes.Value
+	}, len(st.Sets))
+	for i, s := range st.Sets {
+		ci := tab.Meta.ColumnIndex(s.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("executor: unknown column %s.%s", st.Table, s.Col)
+		}
+		sets[i].idx = ci
+		sets[i].val = s.Value
+	}
+
+	var evalErr error
+	n := tab.Update(
+		func(r storage.Row) bool {
+			if evalErr != nil || st.Where == nil {
+				return st.Where == nil && evalErr == nil
+			}
+			ok, err := e.evalPred(st.Where, sc, r, subs)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			return ok
+		},
+		func(r storage.Row) storage.Row {
+			nr := make(storage.Row, len(r))
+			copy(nr, r)
+			for _, s := range sets {
+				nr[s.idx] = s.val
+			}
+			return nr
+		})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	res.Cardinality = n
+	res.Work += float64(tab.NumRows())
+	return res, nil
+}
+
+// Delete executes a DELETE statement.
+func (e *Executor) Delete(st *sqlast.Delete) (*Result, error) {
+	tab := e.db.Table(st.Table)
+	if tab == nil {
+		return nil, fmt.Errorf("executor: unknown table %q", st.Table)
+	}
+	res := &Result{}
+	sc, err := e.buildScope([]string{st.Table})
+	if err != nil {
+		return nil, err
+	}
+	subs, err := e.evalSubqueries(st, res)
+	if err != nil {
+		return nil, err
+	}
+	scanned := tab.NumRows()
+	var evalErr error
+	n := tab.Delete(func(r storage.Row) bool {
+		if evalErr != nil {
+			return false
+		}
+		if st.Where == nil {
+			return true
+		}
+		ok, err := e.evalPred(st.Where, sc, r, subs)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return ok
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	res.Cardinality = n
+	res.Work += float64(scanned)
+	return res, nil
+}

@@ -1,0 +1,231 @@
+package executor
+
+import (
+	"fmt"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+)
+
+// sqlQC shortens the qualified column type used throughout the executor.
+type sqlQC = schema.QualifiedColumn
+
+// subResults caches the evaluation of every uncorrelated subquery of one
+// statement: IN-sets, EXISTS flags and scalar values.
+type subResults struct {
+	inSets  map[*sqlast.Select]map[uint64][]sqltypes.Value
+	exists  map[*sqlast.Select]bool
+	scalars map[*sqlast.Select]sqltypes.Value
+}
+
+func newSubResults() *subResults {
+	return &subResults{
+		inSets:  map[*sqlast.Select]map[uint64][]sqltypes.Value{},
+		exists:  map[*sqlast.Select]bool{},
+		scalars: map[*sqlast.Select]sqltypes.Value{},
+	}
+}
+
+// evalSubqueries runs every subquery referenced by the statement once and
+// caches the results in the form each predicate kind needs. Work performed
+// by subqueries is charged to res.
+func (e *Executor) evalSubqueries(st sqlast.Statement, res *Result) (*subResults, error) {
+	subs := newSubResults()
+	collect := func(p sqlast.Predicate) error {
+		switch t := p.(type) {
+		case *sqlast.In:
+			r, err := e.Select(t.Sub)
+			if err != nil {
+				return err
+			}
+			res.Work += r.Work
+			set := make(map[uint64][]sqltypes.Value, len(r.Rows))
+			for _, row := range r.Rows {
+				if len(row) != 1 {
+					return fmt.Errorf("executor: IN subquery must project one column")
+				}
+				v := row[0]
+				if v.IsNull() {
+					continue
+				}
+				set[v.Hash()] = append(set[v.Hash()], v)
+			}
+			subs.inSets[t.Sub] = set
+		case *sqlast.Exists:
+			r, err := e.Select(t.Sub)
+			if err != nil {
+				return err
+			}
+			res.Work += r.Work
+			subs.exists[t.Sub] = r.Cardinality > 0
+		case *sqlast.CompareSub:
+			v, w, err := e.scalarOf(t.Sub)
+			if err != nil {
+				return err
+			}
+			res.Work += w
+			subs.scalars[t.Sub] = v
+		}
+		return nil
+	}
+
+	var firstErr error
+	walk := func(p sqlast.Predicate) {
+		sqlast.WalkPredicates(p, func(p sqlast.Predicate) {
+			if firstErr == nil {
+				firstErr = collect(p)
+			}
+		})
+	}
+	switch t := st.(type) {
+	case *sqlast.Select:
+		walk(t.Where)
+		if t.Having != nil && t.Having.Sub != nil {
+			v, w, err := e.scalarOf(t.Having.Sub)
+			if err != nil {
+				return nil, err
+			}
+			res.Work += w
+			subs.scalars[t.Having.Sub] = v
+		}
+	case *sqlast.Update:
+		walk(t.Where)
+	case *sqlast.Delete:
+		walk(t.Where)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return subs, nil
+}
+
+// scalarOf evaluates a scalar subquery: it must return at most one row with
+// one column; zero rows yield NULL.
+func (e *Executor) scalarOf(sub *sqlast.Select) (sqltypes.Value, float64, error) {
+	r, err := e.Select(sub)
+	if err != nil {
+		return sqltypes.Null, 0, err
+	}
+	if len(r.Rows) == 0 {
+		return sqltypes.Null, r.Work, nil
+	}
+	if len(r.Rows) > 1 || len(r.Rows[0]) != 1 {
+		return sqltypes.Null, r.Work, fmt.Errorf(
+			"executor: scalar subquery returned %d rows × %d cols", len(r.Rows), len(r.Rows[0]))
+	}
+	return r.Rows[0][0], r.Work, nil
+}
+
+// scalar looks up a cached scalar subquery value.
+func (s *subResults) scalar(sub *sqlast.Select) (sqltypes.Value, error) {
+	v, ok := s.scalars[sub]
+	if !ok {
+		return sqltypes.Null, fmt.Errorf("executor: scalar subquery not pre-evaluated")
+	}
+	return v, nil
+}
+
+// evalPred evaluates a predicate on one joined row.
+func (e *Executor) evalPred(p sqlast.Predicate, sc *scope, row []sqltypes.Value, subs *subResults) (bool, error) {
+	switch t := p.(type) {
+	case *sqlast.Compare:
+		s, err := sc.slot(t.Col)
+		if err != nil {
+			return false, err
+		}
+		v := row[s]
+		if v.IsNull() || t.Value.IsNull() {
+			return false, nil
+		}
+		return t.Op.Eval(sqltypes.Compare(v, t.Value)), nil
+
+	case *sqlast.CompareSub:
+		s, err := sc.slot(t.Col)
+		if err != nil {
+			return false, err
+		}
+		rhs, err := subs.scalar(t.Sub)
+		if err != nil {
+			return false, err
+		}
+		v := row[s]
+		if v.IsNull() || rhs.IsNull() {
+			return false, nil
+		}
+		return t.Op.Eval(sqltypes.Compare(v, rhs)), nil
+
+	case *sqlast.Like:
+		s, err := sc.slot(t.Col)
+		if err != nil {
+			return false, err
+		}
+		v := row[s]
+		if v.IsNull() || v.Kind() != sqltypes.KindString {
+			return false, nil
+		}
+		return sqlast.MatchLike(v.Str(), t.Pattern), nil
+
+	case *sqlast.In:
+		s, err := sc.slot(t.Col)
+		if err != nil {
+			return false, err
+		}
+		set, ok := subs.inSets[t.Sub]
+		if !ok {
+			return false, fmt.Errorf("executor: IN subquery not pre-evaluated")
+		}
+		v := row[s]
+		if v.IsNull() {
+			return false, nil
+		}
+		found := false
+		for _, cand := range set[v.Hash()] {
+			if sqltypes.Equal(v, cand) {
+				found = true
+				break
+			}
+		}
+		if t.Negate {
+			return !found, nil
+		}
+		return found, nil
+
+	case *sqlast.Exists:
+		ex, ok := subs.exists[t.Sub]
+		if !ok {
+			return false, fmt.Errorf("executor: EXISTS subquery not pre-evaluated")
+		}
+		if t.Negate {
+			return !ex, nil
+		}
+		return ex, nil
+
+	case *sqlast.And:
+		l, err := e.evalPred(t.Left, sc, row, subs)
+		if err != nil || !l {
+			return false, err
+		}
+		return e.evalPred(t.Right, sc, row, subs)
+
+	case *sqlast.Or:
+		l, err := e.evalPred(t.Left, sc, row, subs)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return e.evalPred(t.Right, sc, row, subs)
+
+	case *sqlast.Not:
+		v, err := e.evalPred(t.Inner, sc, row, subs)
+		if err != nil {
+			return false, err
+		}
+		return !v, nil
+
+	default:
+		return false, fmt.Errorf("executor: unsupported predicate %T", p)
+	}
+}

@@ -1,0 +1,443 @@
+// Package executor evaluates sqlast statements against an in-memory
+// storage.Database. It provides the ground truth that the estimator is
+// tested against, validates that FSM-generated queries actually run, and
+// backs the optional real-execution reward mode.
+//
+// Supported plan shapes match the paper's grammar: filtered scans, PK–FK
+// hash joins in generation order, hash aggregation with GROUP BY / HAVING,
+// ORDER BY, uncorrelated subqueries (scalar, IN, EXISTS) and INSERT /
+// UPDATE / DELETE executed against the caller-supplied database (pass a
+// Clone to keep benchmark data immutable).
+package executor
+
+import (
+	"fmt"
+	"sort"
+
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/storage"
+)
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	// Columns are output column labels (SELECT only).
+	Columns []string
+	// Rows is the output relation (SELECT only).
+	Rows []storage.Row
+	// Cardinality is len(Rows) for SELECT and the number of affected rows
+	// for INSERT/UPDATE/DELETE.
+	Cardinality int
+	// Work counts the total operator effort (rows scanned + hash probes +
+	// rows grouped + rows output); it serves as the "true cost" that the
+	// cost model is sanity-checked against.
+	Work float64
+}
+
+// Executor runs statements against one database.
+type Executor struct {
+	db *storage.Database
+}
+
+// New returns an executor over db.
+func New(db *storage.Database) *Executor { return &Executor{db: db} }
+
+// Execute runs any supported statement.
+func (e *Executor) Execute(st sqlast.Statement) (*Result, error) {
+	switch t := st.(type) {
+	case *sqlast.Select:
+		return e.Select(t)
+	case *sqlast.Insert:
+		return e.Insert(t)
+	case *sqlast.Update:
+		return e.Update(t)
+	case *sqlast.Delete:
+		return e.Delete(t)
+	default:
+		return nil, fmt.Errorf("executor: unsupported statement %T", st)
+	}
+}
+
+// scope maps qualified columns of a joined row to slot offsets.
+type scope struct {
+	// offsets[table] is the first slot of the table's columns.
+	offsets map[string]int
+	tables  []*storage.Table
+	width   int
+}
+
+func (e *Executor) buildScope(tables []string) (*scope, error) {
+	sc := &scope{offsets: map[string]int{}}
+	for _, name := range tables {
+		t := e.db.Table(name)
+		if t == nil {
+			return nil, fmt.Errorf("executor: unknown table %q", name)
+		}
+		if _, dup := sc.offsets[name]; dup {
+			return nil, fmt.Errorf("executor: table %q appears twice in FROM", name)
+		}
+		sc.offsets[name] = sc.width
+		sc.tables = append(sc.tables, t)
+		sc.width += len(t.Meta.Columns)
+	}
+	return sc, nil
+}
+
+// slot resolves a qualified column to its offset in the joined row.
+func (sc *scope) slot(q sqlQC) (int, error) {
+	base, ok := sc.offsets[q.Table]
+	if !ok {
+		return 0, fmt.Errorf("executor: column %s references table outside FROM scope", q)
+	}
+	for _, t := range sc.tables {
+		if t.Meta.Name == q.Table {
+			ci := t.Meta.ColumnIndex(q.Column)
+			if ci < 0 {
+				return 0, fmt.Errorf("executor: unknown column %s", q)
+			}
+			return base + ci, nil
+		}
+	}
+	return 0, fmt.Errorf("executor: internal scope inconsistency for %s", q)
+}
+
+// Select executes a SELECT query.
+func (e *Executor) Select(q *sqlast.Select) (*Result, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("executor: SELECT with empty FROM")
+	}
+	if len(q.Items) == 0 {
+		return nil, fmt.Errorf("executor: SELECT with no projection")
+	}
+	if len(q.Joins) != len(q.Tables)-1 {
+		return nil, fmt.Errorf("executor: %d tables need %d join conditions, got %d",
+			len(q.Tables), len(q.Tables)-1, len(q.Joins))
+	}
+	sc, err := e.buildScope(q.Tables)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+
+	// Pre-evaluate uncorrelated subqueries referenced by WHERE / HAVING.
+	subs, err := e.evalSubqueries(q, res)
+	if err != nil {
+		return nil, err
+	}
+
+	rows, err := e.joinPipeline(q, sc, res)
+	if err != nil {
+		return nil, err
+	}
+
+	// WHERE.
+	if q.Where != nil {
+		filtered := rows[:0:0]
+		for _, r := range rows {
+			ok, err := e.evalPred(q.Where, sc, r, subs)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+	}
+
+	// Aggregation / projection.
+	out, cols, err := e.project(q, sc, rows, subs, res)
+	if err != nil {
+		return nil, err
+	}
+
+	// ORDER BY.
+	if len(q.OrderBy) > 0 {
+		slots := make([]int, len(q.OrderBy))
+		for i, c := range q.OrderBy {
+			// ORDER BY references output columns by their select-list
+			// position when possible; otherwise it must be a plain column
+			// present in the projection.
+			idx := -1
+			for j, it := range q.Items {
+				if it.Agg == sqlast.AggNone && it.Col == c {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("executor: ORDER BY column %s not in projection", c)
+			}
+			slots[i] = idx
+		}
+		sort.SliceStable(out, func(i, j int) bool {
+			for _, s := range slots {
+				if cmp := sqltypes.Compare(out[i][s], out[j][s]); cmp != 0 {
+					return cmp < 0
+				}
+			}
+			return false
+		})
+		res.Work += float64(len(out))
+	}
+
+	res.Columns = cols
+	res.Rows = out
+	res.Cardinality = len(out)
+	res.Work += float64(len(out))
+	return res, nil
+}
+
+// joinPipeline scans the anchor table and hash-joins each subsequent table.
+func (e *Executor) joinPipeline(q *sqlast.Select, sc *scope, res *Result) ([]storage.Row, error) {
+	anchor := sc.tables[0]
+	rows := make([]storage.Row, 0, anchor.NumRows())
+	for _, r := range anchor.Rows() {
+		joined := make(storage.Row, 0, sc.width)
+		joined = append(joined, r...)
+		rows = append(rows, joined)
+	}
+	res.Work += float64(anchor.NumRows())
+
+	for i := 1; i < len(sc.tables); i++ {
+		right := sc.tables[i]
+		jc := q.Joins[i-1]
+		leftSlot, err := sc.slot(sqlQC(jc.Left))
+		if err != nil {
+			return nil, err
+		}
+		if jc.Right.Table != right.Meta.Name {
+			return nil, fmt.Errorf("executor: join condition %v does not bind table %s",
+				jc, right.Meta.Name)
+		}
+		rci := right.Meta.ColumnIndex(jc.Right.Column)
+		if rci < 0 {
+			return nil, fmt.Errorf("executor: unknown join column %s", jc.Right)
+		}
+		// Build hash table on the right side.
+		ht := make(map[uint64][]storage.Row, right.NumRows())
+		for _, rr := range right.Rows() {
+			v := rr[rci]
+			if v.IsNull() {
+				continue
+			}
+			h := v.Hash()
+			ht[h] = append(ht[h], rr)
+		}
+		res.Work += float64(right.NumRows())
+
+		next := make([]storage.Row, 0, len(rows))
+		for _, lr := range rows {
+			lv := lr[leftSlot]
+			if lv.IsNull() {
+				continue
+			}
+			for _, rr := range ht[lv.Hash()] {
+				if !sqltypes.Equal(lv, rr[rci]) {
+					continue // hash collision
+				}
+				merged := make(storage.Row, 0, sc.width)
+				merged = append(merged, lr...)
+				merged = append(merged, rr...)
+				next = append(next, merged)
+			}
+		}
+		res.Work += float64(len(rows)) + float64(len(next))
+		rows = next
+	}
+	return rows, nil
+}
+
+// project applies grouping/aggregation or plain projection.
+func (e *Executor) project(q *sqlast.Select, sc *scope, rows []storage.Row, subs *subResults, res *Result) ([]storage.Row, []string, error) {
+	cols := make([]string, len(q.Items))
+	for i, it := range q.Items {
+		cols[i] = it.SQL()
+	}
+
+	hasAgg := q.HasAggregate() || q.Having != nil
+	if len(q.GroupBy) == 0 && !hasAgg {
+		// Plain projection.
+		slots := make([]int, len(q.Items))
+		for i, it := range q.Items {
+			s, err := sc.slot(sqlQC(it.Col))
+			if err != nil {
+				return nil, nil, err
+			}
+			slots[i] = s
+		}
+		out := make([]storage.Row, len(rows))
+		for i, r := range rows {
+			pr := make(storage.Row, len(slots))
+			for j, s := range slots {
+				pr[j] = r[s]
+			}
+			out[i] = pr
+		}
+		return out, cols, nil
+	}
+
+	// Validate: with aggregation, plain items must appear in GROUP BY.
+	gset := map[sqlQC]bool{}
+	for _, g := range q.GroupBy {
+		gset[sqlQC(g)] = true
+	}
+	for _, it := range q.Items {
+		if it.Agg == sqlast.AggNone && !gset[sqlQC(it.Col)] {
+			return nil, nil, fmt.Errorf("executor: non-aggregated column %s not in GROUP BY", it.Col)
+		}
+	}
+
+	gSlots := make([]int, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		s, err := sc.slot(sqlQC(g))
+		if err != nil {
+			return nil, nil, err
+		}
+		gSlots[i] = s
+	}
+
+	type group struct {
+		first storage.Row
+		aggs  []aggState
+		hcAgg aggState
+	}
+	itemSlots := make([]int, len(q.Items))
+	for i, it := range q.Items {
+		s, err := sc.slot(sqlQC(it.Col))
+		if err != nil {
+			return nil, nil, err
+		}
+		itemSlots[i] = s
+	}
+	var havingSlot int
+	if q.Having != nil {
+		s, err := sc.slot(sqlQC(q.Having.Col))
+		if err != nil {
+			return nil, nil, err
+		}
+		havingSlot = s
+	}
+
+	groups := map[string]*group{}
+	var order []string // deterministic output order: first-seen
+	for _, r := range rows {
+		key := groupKey(r, gSlots)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{first: r, aggs: make([]aggState, len(q.Items))}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, it := range q.Items {
+			if it.Agg != sqlast.AggNone {
+				g.aggs[i].add(it.Agg, r[itemSlots[i]])
+			}
+		}
+		if q.Having != nil {
+			g.hcAgg.add(q.Having.Agg, r[havingSlot])
+		}
+	}
+	res.Work += float64(len(rows)) + float64(len(groups))
+
+	out := make([]storage.Row, 0, len(groups))
+	for _, key := range order {
+		g := groups[key]
+		if q.Having != nil {
+			hv := g.hcAgg.result(q.Having.Agg)
+			var rhs sqltypes.Value
+			if q.Having.Sub != nil {
+				var err error
+				rhs, err = subs.scalar(q.Having.Sub)
+				if err != nil {
+					return nil, nil, err
+				}
+			} else {
+				rhs = q.Having.Value
+			}
+			if hv.IsNull() || rhs.IsNull() || !q.Having.Op.Eval(sqltypes.Compare(hv, rhs)) {
+				continue
+			}
+		}
+		pr := make(storage.Row, len(q.Items))
+		for i, it := range q.Items {
+			if it.Agg == sqlast.AggNone {
+				pr[i] = g.first[itemSlots[i]]
+			} else {
+				pr[i] = g.aggs[i].result(it.Agg)
+			}
+		}
+		out = append(out, pr)
+	}
+	return out, cols, nil
+}
+
+func groupKey(r storage.Row, slots []int) string {
+	if len(slots) == 0 {
+		return "" // single global group
+	}
+	key := ""
+	for _, s := range slots {
+		key += r[s].String() + "\x00"
+	}
+	return key
+}
+
+// aggState accumulates one aggregate.
+type aggState struct {
+	count int64
+	sum   float64
+	max   sqltypes.Value
+	min   sqltypes.Value
+	init  bool
+}
+
+func (a *aggState) add(fn sqlast.AggFunc, v sqltypes.Value) {
+	if v.IsNull() {
+		return
+	}
+	a.count++
+	if f, ok := v.AsFloat(); ok {
+		a.sum += f
+	}
+	if !a.init {
+		a.max, a.min, a.init = v, v, true
+		return
+	}
+	if sqltypes.Compare(v, a.max) > 0 {
+		a.max = v
+	}
+	if sqltypes.Compare(v, a.min) < 0 {
+		a.min = v
+	}
+}
+
+func (a *aggState) result(fn sqlast.AggFunc) sqltypes.Value {
+	switch fn {
+	case sqlast.AggCount:
+		return sqltypes.NewInt(a.count)
+	case sqlast.AggSum:
+		if a.count == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(a.sum)
+	case sqlast.AggAvg:
+		if a.count == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(a.sum / float64(a.count))
+	case sqlast.AggMax:
+		if !a.init {
+			return sqltypes.Null
+		}
+		return a.max
+	case sqlast.AggMin:
+		if !a.init {
+			return sqltypes.Null
+		}
+		return a.min
+	default:
+		return sqltypes.Null
+	}
+}

@@ -1,0 +1,561 @@
+package executor
+
+import (
+	"math/rand"
+	"testing"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/storage"
+)
+
+func col(t, c string) schema.QualifiedColumn { return schema.QualifiedColumn{Table: t, Column: c} }
+
+// figure1DB builds the running example of the paper: Score(ID, Course,
+// Grade) referencing Student(ID, Name), with deterministic contents.
+func figure1DB(t testing.TB) *storage.Database {
+	t.Helper()
+	s, err := schema.NewBuilder("example").
+		Table("Student", "T2",
+			schema.Column{Name: "ID", Kind: sqltypes.KindInt, PrimaryKey: true},
+			schema.Column{Name: "Name", Kind: sqltypes.KindString},
+		).
+		Table("Score", "T1",
+			schema.Column{Name: "ID", Kind: sqltypes.KindInt},
+			schema.Column{Name: "Course", Kind: sqltypes.KindString, Categorical: true},
+			schema.Column{Name: "Grade", Kind: sqltypes.KindFloat},
+		).
+		ForeignKey("Score", "ID", "Student", "ID").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(s)
+	students := []struct {
+		id   int64
+		name string
+	}{{1, "Ann"}, {2, "Bob"}, {3, "Cyd"}, {4, "Dee"}}
+	for _, st := range students {
+		if err := db.Table("Student").Append(storage.Row{
+			sqltypes.NewInt(st.id), sqltypes.NewString(st.name)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scores := []struct {
+		id     int64
+		course string
+		grade  float64
+	}{
+		{1, "math", 95}, {1, "cs", 80},
+		{2, "math", 60}, {2, "cs", 70},
+		{3, "math", 88}, {4, "cs", 52},
+		{4, "math", 45},
+	}
+	for _, sc := range scores {
+		if err := db.Table("Score").Append(storage.Row{
+			sqltypes.NewInt(sc.id), sqltypes.NewString(sc.course),
+			sqltypes.NewFloat(sc.grade)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func mustSelect(t *testing.T, db *storage.Database, q *sqlast.Select) *Result {
+	t.Helper()
+	r, err := New(db).Select(q)
+	if err != nil {
+		t.Fatalf("Select(%s): %v", q.SQL(), err)
+	}
+	return r
+}
+
+func TestScanProjection(t *testing.T) {
+	db := figure1DB(t)
+	q := &sqlast.Select{
+		Tables: []string{"Score"},
+		Items:  []sqlast.SelectItem{{Col: col("Score", "ID")}, {Col: col("Score", "Grade")}},
+	}
+	r := mustSelect(t, db, q)
+	if r.Cardinality != 7 {
+		t.Errorf("cardinality = %d, want 7", r.Cardinality)
+	}
+	if len(r.Columns) != 2 || r.Columns[0] != "Score.ID" {
+		t.Errorf("columns = %v", r.Columns)
+	}
+	if r.Work <= 0 {
+		t.Error("work must be positive")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	db := figure1DB(t)
+	q := &sqlast.Select{
+		Tables: []string{"Score"},
+		Items:  []sqlast.SelectItem{{Col: col("Score", "ID")}},
+		Where: &sqlast.Compare{Col: col("Score", "Grade"), Op: sqlast.OpLt,
+			Value: sqltypes.NewFloat(70)},
+	}
+	r := mustSelect(t, db, q)
+	if r.Cardinality != 3 { // 60, 52, 45
+		t.Errorf("cardinality = %d, want 3", r.Cardinality)
+	}
+}
+
+func TestFilterAndOrNot(t *testing.T) {
+	db := figure1DB(t)
+	grade := func(op sqlast.CmpOp, v float64) sqlast.Predicate {
+		return &sqlast.Compare{Col: col("Score", "Grade"), Op: op, Value: sqltypes.NewFloat(v)}
+	}
+	course := func(c string) sqlast.Predicate {
+		return &sqlast.Compare{Col: col("Score", "Course"), Op: sqlast.OpEq, Value: sqltypes.NewString(c)}
+	}
+	q := &sqlast.Select{
+		Tables: []string{"Score"},
+		Items:  []sqlast.SelectItem{{Col: col("Score", "ID")}},
+		Where: &sqlast.And{
+			Left:  course("math"),
+			Right: &sqlast.Or{Left: grade(sqlast.OpGe, 90), Right: grade(sqlast.OpLt, 50)},
+		},
+	}
+	if r := mustSelect(t, db, q); r.Cardinality != 2 { // math 95, math 45
+		t.Errorf("and/or cardinality = %d, want 2", r.Cardinality)
+	}
+	q.Where = &sqlast.Not{Inner: course("math")}
+	if r := mustSelect(t, db, q); r.Cardinality != 3 { // cs rows
+		t.Errorf("not cardinality = %d, want 3", r.Cardinality)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := figure1DB(t)
+	q := &sqlast.Select{
+		Tables: []string{"Score", "Student"},
+		Joins:  []sqlast.JoinCond{{Left: col("Score", "ID"), Right: col("Student", "ID")}},
+		Items:  []sqlast.SelectItem{{Col: col("Student", "Name")}, {Col: col("Score", "Grade")}},
+		Where: &sqlast.Compare{Col: col("Score", "Grade"), Op: sqlast.OpGe,
+			Value: sqltypes.NewFloat(80)},
+	}
+	r := mustSelect(t, db, q)
+	if r.Cardinality != 3 { // 95 Ann, 80 Ann, 88 Cyd
+		t.Errorf("cardinality = %d, want 3", r.Cardinality)
+	}
+	names := map[string]bool{}
+	for _, row := range r.Rows {
+		names[row[0].Str()] = true
+	}
+	if !names["Ann"] || !names["Cyd"] || names["Bob"] {
+		t.Errorf("joined names = %v", names)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := figure1DB(t)
+	q := &sqlast.Select{
+		Tables: []string{"Score"},
+		Items: []sqlast.SelectItem{
+			{Col: col("Score", "Course")},
+			{Agg: sqlast.AggAvg, Col: col("Score", "Grade")},
+			{Agg: sqlast.AggCount, Col: col("Score", "ID")},
+		},
+		GroupBy: []schema.QualifiedColumn{col("Score", "Course")},
+		Having: &sqlast.Having{Agg: sqlast.AggCount, Col: col("Score", "ID"),
+			Op: sqlast.OpGe, Value: sqltypes.NewInt(3)},
+	}
+	r := mustSelect(t, db, q)
+	// math has 4 rows, cs has 3 rows — both pass COUNT >= 3.
+	if r.Cardinality != 2 {
+		t.Fatalf("cardinality = %d, want 2", r.Cardinality)
+	}
+	for _, row := range r.Rows {
+		switch row[0].Str() {
+		case "math":
+			if row[1].Float() != (95+60+88+45)/4.0 {
+				t.Errorf("avg math = %v", row[1])
+			}
+			if row[2].Int() != 4 {
+				t.Errorf("count math = %v", row[2])
+			}
+		case "cs":
+			if row[2].Int() != 3 {
+				t.Errorf("count cs = %v", row[2])
+			}
+		default:
+			t.Errorf("unexpected group %v", row[0])
+		}
+	}
+}
+
+func TestHavingFiltersGroups(t *testing.T) {
+	db := figure1DB(t)
+	q := &sqlast.Select{
+		Tables:  []string{"Score"},
+		Items:   []sqlast.SelectItem{{Col: col("Score", "Course")}},
+		GroupBy: []schema.QualifiedColumn{col("Score", "Course")},
+		Having: &sqlast.Having{Agg: sqlast.AggMax, Col: col("Score", "Grade"),
+			Op: sqlast.OpGt, Value: sqltypes.NewFloat(90)},
+	}
+	r := mustSelect(t, db, q)
+	if r.Cardinality != 1 || r.Rows[0][0].Str() != "math" {
+		t.Errorf("having result = %v", r.Rows)
+	}
+}
+
+func TestGlobalAggregates(t *testing.T) {
+	db := figure1DB(t)
+	q := &sqlast.Select{
+		Tables: []string{"Score"},
+		Items: []sqlast.SelectItem{
+			{Agg: sqlast.AggMin, Col: col("Score", "Grade")},
+			{Agg: sqlast.AggMax, Col: col("Score", "Grade")},
+			{Agg: sqlast.AggSum, Col: col("Score", "Grade")},
+		},
+	}
+	r := mustSelect(t, db, q)
+	if r.Cardinality != 1 {
+		t.Fatalf("global aggregate must return 1 row, got %d", r.Cardinality)
+	}
+	row := r.Rows[0]
+	if row[0].Float() != 45 || row[1].Float() != 95 {
+		t.Errorf("min/max = %v/%v", row[0], row[1])
+	}
+	if row[2].Float() != 95+80+60+70+88+52+45 {
+		t.Errorf("sum = %v", row[2])
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	db := figure1DB(t)
+	q := &sqlast.Select{
+		Tables:  []string{"Student"},
+		Items:   []sqlast.SelectItem{{Col: col("Student", "Name")}},
+		OrderBy: []schema.QualifiedColumn{col("Student", "Name")},
+	}
+	r := mustSelect(t, db, q)
+	want := []string{"Ann", "Bob", "Cyd", "Dee"}
+	for i, w := range want {
+		if r.Rows[i][0].Str() != w {
+			t.Fatalf("order[%d] = %v, want %v", i, r.Rows[i][0], w)
+		}
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	db := figure1DB(t)
+	inner := &sqlast.Select{
+		Tables: []string{"Student"},
+		Items:  []sqlast.SelectItem{{Col: col("Student", "ID")}},
+		Where: &sqlast.Compare{Col: col("Student", "Name"), Op: sqlast.OpEq,
+			Value: sqltypes.NewString("Ann")},
+	}
+	q := &sqlast.Select{
+		Tables: []string{"Score"},
+		Items:  []sqlast.SelectItem{{Col: col("Score", "Grade")}},
+		Where:  &sqlast.In{Col: col("Score", "ID"), Sub: inner},
+	}
+	if r := mustSelect(t, db, q); r.Cardinality != 2 { // Ann's two scores
+		t.Errorf("IN cardinality = %d, want 2", r.Cardinality)
+	}
+	q.Where = &sqlast.In{Col: col("Score", "ID"), Sub: inner, Negate: true}
+	if r := mustSelect(t, db, q); r.Cardinality != 5 {
+		t.Errorf("NOT IN cardinality = %d, want 5", r.Cardinality)
+	}
+}
+
+func TestExistsSubquery(t *testing.T) {
+	db := figure1DB(t)
+	empty := &sqlast.Select{
+		Tables: []string{"Student"},
+		Items:  []sqlast.SelectItem{{Col: col("Student", "ID")}},
+		Where: &sqlast.Compare{Col: col("Student", "Name"), Op: sqlast.OpEq,
+			Value: sqltypes.NewString("Zed")},
+	}
+	q := &sqlast.Select{
+		Tables: []string{"Score"},
+		Items:  []sqlast.SelectItem{{Col: col("Score", "ID")}},
+		Where:  &sqlast.Exists{Sub: empty},
+	}
+	if r := mustSelect(t, db, q); r.Cardinality != 0 {
+		t.Errorf("EXISTS(empty) cardinality = %d, want 0", r.Cardinality)
+	}
+	q.Where = &sqlast.Exists{Sub: empty, Negate: true}
+	if r := mustSelect(t, db, q); r.Cardinality != 7 {
+		t.Errorf("NOT EXISTS(empty) cardinality = %d, want 7", r.Cardinality)
+	}
+}
+
+func TestScalarSubqueryCompare(t *testing.T) {
+	db := figure1DB(t)
+	avg := &sqlast.Select{
+		Tables: []string{"Score"},
+		Items:  []sqlast.SelectItem{{Agg: sqlast.AggAvg, Col: col("Score", "Grade")}},
+	}
+	q := &sqlast.Select{
+		Tables: []string{"Score"},
+		Items:  []sqlast.SelectItem{{Col: col("Score", "Grade")}},
+		Where:  &sqlast.CompareSub{Col: col("Score", "Grade"), Op: sqlast.OpGt, Sub: avg},
+	}
+	r := mustSelect(t, db, q)
+	// avg = 490/7 = 70; grades above: 95, 80, 88 → 3.
+	if r.Cardinality != 3 {
+		t.Errorf("scalar-sub cardinality = %d, want 3", r.Cardinality)
+	}
+}
+
+func TestHavingScalarSubquery(t *testing.T) {
+	db := figure1DB(t)
+	avgAll := &sqlast.Select{
+		Tables: []string{"Score"},
+		Items:  []sqlast.SelectItem{{Agg: sqlast.AggAvg, Col: col("Score", "Grade")}},
+	}
+	q := &sqlast.Select{
+		Tables:  []string{"Score"},
+		Items:   []sqlast.SelectItem{{Col: col("Score", "Course")}},
+		GroupBy: []schema.QualifiedColumn{col("Score", "Course")},
+		Having: &sqlast.Having{Agg: sqlast.AggAvg, Col: col("Score", "Grade"),
+			Op: sqlast.OpGt, Sub: avgAll},
+	}
+	r := mustSelect(t, db, q)
+	// avg(all)=70; avg(math)=72, avg(cs)=67.33 → only math passes.
+	if r.Cardinality != 1 || r.Rows[0][0].Str() != "math" {
+		t.Errorf("having-sub result = %v", r.Rows)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	db := figure1DB(t)
+	ex := New(db)
+	bad := []*sqlast.Select{
+		{Tables: nil, Items: []sqlast.SelectItem{{Col: col("Score", "ID")}}},
+		{Tables: []string{"Score"}, Items: nil},
+		{Tables: []string{"Nope"}, Items: []sqlast.SelectItem{{Col: col("Nope", "ID")}}},
+		{Tables: []string{"Score", "Student"}, Items: []sqlast.SelectItem{{Col: col("Score", "ID")}}}, // missing join
+		{Tables: []string{"Score"}, Items: []sqlast.SelectItem{{Col: col("Student", "Name")}}},        // out of scope
+		{Tables: []string{"Score"}, Items: []sqlast.SelectItem{{Col: col("Score", "Nope")}}},
+		{Tables: []string{"Score", "Score"},
+			Joins: []sqlast.JoinCond{{Left: col("Score", "ID"), Right: col("Score", "ID")}},
+			Items: []sqlast.SelectItem{{Col: col("Score", "ID")}}}, // duplicate table
+		{Tables: []string{"Score"},
+			Items:   []sqlast.SelectItem{{Col: col("Score", "ID")}, {Agg: sqlast.AggMax, Col: col("Score", "Grade")}},
+			GroupBy: nil}, // mixed agg/plain without GROUP BY
+	}
+	for _, q := range bad {
+		if _, err := ex.Select(q); err == nil {
+			t.Errorf("Select(%s) must fail", q.SQL())
+		}
+	}
+}
+
+func TestInsertValuesAndSelect(t *testing.T) {
+	db := figure1DB(t).Clone()
+	ex := New(db)
+	r, err := ex.Insert(&sqlast.Insert{Table: "Student", Values: []sqltypes.Value{
+		sqltypes.NewInt(9), sqltypes.NewString("Eve")}})
+	if err != nil || r.Cardinality != 1 {
+		t.Fatalf("insert: %v, %v", r, err)
+	}
+	if db.Table("Student").NumRows() != 5 {
+		t.Error("row not inserted")
+	}
+
+	// INSERT ... (SELECT) — duplicate all students.
+	sub := &sqlast.Select{
+		Tables: []string{"Student"},
+		Items:  []sqlast.SelectItem{{Col: col("Student", "ID")}, {Col: col("Student", "Name")}},
+	}
+	r, err = ex.Insert(&sqlast.Insert{Table: "Student", Sub: sub})
+	if err != nil || r.Cardinality != 5 {
+		t.Fatalf("insert-select: %v, %v", r, err)
+	}
+	if db.Table("Student").NumRows() != 10 {
+		t.Errorf("rows = %d, want 10", db.Table("Student").NumRows())
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	db := figure1DB(t).Clone()
+	ex := New(db)
+	if _, err := ex.Insert(&sqlast.Insert{Table: "Nope"}); err == nil {
+		t.Error("unknown table must fail")
+	}
+	if _, err := ex.Insert(&sqlast.Insert{Table: "Student",
+		Values: []sqltypes.Value{sqltypes.NewInt(1)}}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	badSub := &sqlast.Select{
+		Tables: []string{"Student"},
+		Items:  []sqlast.SelectItem{{Col: col("Student", "ID")}},
+	}
+	if _, err := ex.Insert(&sqlast.Insert{Table: "Student", Sub: badSub}); err == nil {
+		t.Error("subquery arity mismatch must fail")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := figure1DB(t).Clone()
+	ex := New(db)
+	r, err := ex.Update(&sqlast.Update{
+		Table: "Score",
+		Sets:  []sqlast.SetClause{{Col: "Grade", Value: sqltypes.NewFloat(0)}},
+		Where: &sqlast.Compare{Col: col("Score", "Grade"), Op: sqlast.OpLt,
+			Value: sqltypes.NewFloat(60)},
+	})
+	if err != nil || r.Cardinality != 2 { // 52 and 45
+		t.Fatalf("update: %+v, %v", r, err)
+	}
+	zeroes := 0
+	for _, row := range db.Table("Score").Rows() {
+		if row[2].Float() == 0 {
+			zeroes++
+		}
+	}
+	if zeroes != 2 {
+		t.Errorf("zeroed rows = %d", zeroes)
+	}
+}
+
+func TestUpdateNoWhereUpdatesAll(t *testing.T) {
+	db := figure1DB(t).Clone()
+	r, err := New(db).Update(&sqlast.Update{
+		Table: "Score",
+		Sets:  []sqlast.SetClause{{Col: "Grade", Value: sqltypes.NewFloat(1)}},
+	})
+	if err != nil || r.Cardinality != 7 {
+		t.Fatalf("update all: %+v, %v", r, err)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	db := figure1DB(t).Clone()
+	ex := New(db)
+	if _, err := ex.Update(&sqlast.Update{Table: "Nope"}); err == nil {
+		t.Error("unknown table must fail")
+	}
+	if _, err := ex.Update(&sqlast.Update{Table: "Score",
+		Sets: []sqlast.SetClause{{Col: "Nope", Value: sqltypes.NewInt(1)}}}); err == nil {
+		t.Error("unknown set column must fail")
+	}
+}
+
+func TestDeleteWithSubquery(t *testing.T) {
+	db := figure1DB(t).Clone()
+	inner := &sqlast.Select{
+		Tables: []string{"Student"},
+		Items:  []sqlast.SelectItem{{Col: col("Student", "ID")}},
+		Where: &sqlast.Compare{Col: col("Student", "Name"), Op: sqlast.OpEq,
+			Value: sqltypes.NewString("Ann")},
+	}
+	r, err := New(db).Delete(&sqlast.Delete{
+		Table: "Score",
+		Where: &sqlast.In{Col: col("Score", "ID"), Sub: inner},
+	})
+	if err != nil || r.Cardinality != 2 {
+		t.Fatalf("delete: %+v, %v", r, err)
+	}
+	if db.Table("Score").NumRows() != 5 {
+		t.Errorf("rows remaining = %d", db.Table("Score").NumRows())
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	db := figure1DB(t).Clone()
+	r, err := New(db).Delete(&sqlast.Delete{Table: "Score"})
+	if err != nil || r.Cardinality != 7 {
+		t.Fatalf("delete all: %+v, %v", r, err)
+	}
+}
+
+func TestExecuteDispatch(t *testing.T) {
+	db := figure1DB(t).Clone()
+	ex := New(db)
+	stmts := []sqlast.Statement{
+		&sqlast.Select{Tables: []string{"Student"}, Items: []sqlast.SelectItem{{Col: col("Student", "ID")}}},
+		&sqlast.Insert{Table: "Student", Values: []sqltypes.Value{sqltypes.NewInt(10), sqltypes.NewString("X")}},
+		&sqlast.Update{Table: "Student", Sets: []sqlast.SetClause{{Col: "Name", Value: sqltypes.NewString("Y")}}},
+		&sqlast.Delete{Table: "Student"},
+	}
+	for _, st := range stmts {
+		if _, err := ex.Execute(st); err != nil {
+			t.Errorf("Execute(%T): %v", st, err)
+		}
+	}
+}
+
+// TestFilterMatchesBruteForce cross-checks the executor's filtered scan
+// against a direct row loop for many random predicates.
+func TestFilterMatchesBruteForce(t *testing.T) {
+	db := figure1DB(t)
+	rng := rand.New(rand.NewSource(7))
+	tab := db.Table("Score")
+	for trial := 0; trial < 200; trial++ {
+		op := []sqlast.CmpOp{sqlast.OpLt, sqlast.OpGt, sqlast.OpLe, sqlast.OpGe, sqlast.OpEq, sqlast.OpNe}[rng.Intn(6)]
+		v := sqltypes.NewFloat(float64(rng.Intn(110)))
+		q := &sqlast.Select{
+			Tables: []string{"Score"},
+			Items:  []sqlast.SelectItem{{Col: col("Score", "ID")}},
+			Where:  &sqlast.Compare{Col: col("Score", "Grade"), Op: op, Value: v},
+		}
+		r := mustSelect(t, db, q)
+		want := 0
+		for _, row := range tab.Rows() {
+			if op.Eval(sqltypes.Compare(row[2], v)) {
+				want++
+			}
+		}
+		if r.Cardinality != want {
+			t.Fatalf("trial %d (%s): got %d, want %d", trial, q.SQL(), r.Cardinality, want)
+		}
+	}
+}
+
+// TestJoinMatchesBruteForce cross-checks the hash join against a nested
+// loop join.
+func TestJoinMatchesBruteForce(t *testing.T) {
+	db := figure1DB(t)
+	q := &sqlast.Select{
+		Tables: []string{"Score", "Student"},
+		Joins:  []sqlast.JoinCond{{Left: col("Score", "ID"), Right: col("Student", "ID")}},
+		Items:  []sqlast.SelectItem{{Col: col("Score", "ID")}},
+	}
+	r := mustSelect(t, db, q)
+	want := 0
+	for _, sr := range db.Table("Score").Rows() {
+		for _, st := range db.Table("Student").Rows() {
+			if sqltypes.Equal(sr[0], st[0]) {
+				want++
+			}
+		}
+	}
+	if r.Cardinality != want {
+		t.Errorf("join cardinality = %d, want %d", r.Cardinality, want)
+	}
+}
+
+func TestLikeEvaluation(t *testing.T) {
+	db := figure1DB(t)
+	q := &sqlast.Select{
+		Tables: []string{"Student"},
+		Items:  []sqlast.SelectItem{{Col: col("Student", "Name")}},
+		Where:  &sqlast.Like{Col: col("Student", "Name"), Pattern: "%e%"},
+	}
+	r := mustSelect(t, db, q)
+	// Names: Ann, Bob, Cyd, Dee → only Dee contains 'e'.
+	if r.Cardinality != 1 || r.Rows[0][0].Str() != "Dee" {
+		t.Errorf("LIKE result = %v", r.Rows)
+	}
+	q.Where = &sqlast.Like{Col: col("Student", "Name"), Pattern: "%"}
+	if r := mustSelect(t, db, q); r.Cardinality != 4 {
+		t.Errorf("LIKE %% cardinality = %d", r.Cardinality)
+	}
+	// LIKE on a non-string column matches nothing.
+	q.Where = &sqlast.Like{Col: col("Student", "ID"), Pattern: "%1%"}
+	if r := mustSelect(t, db, q); r.Cardinality != 0 {
+		t.Errorf("LIKE on int column = %d rows", r.Cardinality)
+	}
+	// NOT (LIKE) composes.
+	q.Where = &sqlast.Not{Inner: &sqlast.Like{Col: col("Student", "Name"), Pattern: "%e%"}}
+	if r := mustSelect(t, db, q); r.Cardinality != 3 {
+		t.Errorf("NOT LIKE cardinality = %d", r.Cardinality)
+	}
+}

@@ -1,0 +1,434 @@
+package fsm
+
+import (
+	"fmt"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/token"
+)
+
+// --- INSERT (grammar Case 4) ---
+
+type insState uint8
+
+const (
+	iTable insState = iota // expect target table
+	iKind                  // expect VALUES | FROM (select source)
+	iVal                   // expect literal for column valIdx
+	iDone                  // statement complete
+)
+
+type insertFrame struct {
+	st     sqlast.Insert
+	state  insState
+	valIdx int
+}
+
+// insertableTable reports whether every column of t has sampled literals,
+// so the VALUES branch can always complete.
+func insertableTable(b *Builder, t *schema.Table) bool {
+	for i := range t.Columns {
+		if !b.hasValues(schema.QualifiedColumn{Table: t.Name, Column: t.Columns[i].Name}) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *insertFrame) targetKinds(b *Builder) []sqltypes.Kind {
+	t := b.sch.TableByName(f.st.Table)
+	kinds := make([]sqltypes.Kind, len(t.Columns))
+	for i := range t.Columns {
+		kinds[i] = t.Columns[i].Kind
+	}
+	return kinds
+}
+
+func (f *insertFrame) valid(b *Builder, closing bool) []int {
+	switch f.state {
+	case iTable:
+		var ids []int
+		for _, t := range b.sch.Tables {
+			if insertableTable(b, t) {
+				if id := b.vocab.TableToken(t.Name); id >= 0 {
+					ids = append(ids, id)
+				}
+			}
+		}
+		return ids
+	case iKind:
+		ids := []int{b.vocab.Reserved(token.RValues)}
+		if !closing {
+			ids = append(ids, b.vocab.Reserved(token.RFrom))
+		}
+		return ids
+	case iVal:
+		t := b.sch.TableByName(f.st.Table)
+		qc := schema.QualifiedColumn{Table: f.st.Table, Column: t.Columns[f.valIdx].Name}
+		return b.vocab.ValueTokens(qc)
+	default:
+		return nil
+	}
+}
+
+func (f *insertFrame) apply(b *Builder, tok token.Token) error {
+	switch f.state {
+	case iTable:
+		if tok.Type != token.TypeTable {
+			return fmt.Errorf("fsm: expected table after INSERT INTO, got %s", tok)
+		}
+		f.st.Table = tok.Table
+		f.state = iKind
+		return nil
+	case iKind:
+		switch tok.Reserved {
+		case token.RValues:
+			f.state = iVal
+			return nil
+		case token.RFrom:
+			sub := newSelectFrame(modeInsertSrc)
+			sub.targetKinds = f.targetKinds(b)
+			b.stack = append(b.stack, sub)
+			return nil
+		}
+		return fmt.Errorf("fsm: expected VALUES or FROM, got %s", tok)
+	case iVal:
+		if tok.Type != token.TypeValue || tok.Table != f.st.Table {
+			return fmt.Errorf("fsm: expected literal for %s, got %s", f.st.Table, tok)
+		}
+		t := b.sch.TableByName(f.st.Table)
+		want := t.Columns[f.valIdx].Name
+		if tok.Column != want {
+			return fmt.Errorf("fsm: expected literal of column %s, got %s", want, tok.Column)
+		}
+		f.st.Values = append(f.st.Values, tok.Value)
+		f.valIdx++
+		if f.valIdx == len(t.Columns) {
+			f.state = iDone
+		}
+		return nil
+	default:
+		return fmt.Errorf("fsm: insert frame cannot consume %s", tok)
+	}
+}
+
+func (f *insertFrame) canClose() bool { return f.state == iDone }
+
+func (f *insertFrame) finish() (sqlast.Statement, error) {
+	if !f.canClose() {
+		return nil, fmt.Errorf("fsm: INSERT incomplete")
+	}
+	return &f.st, nil
+}
+
+func (f *insertFrame) childDone(_ *Builder, sub *sqlast.Select) error {
+	if f.state != iKind {
+		return fmt.Errorf("fsm: insert frame received unexpected subquery")
+	}
+	f.st.Sub = sub
+	f.state = iDone
+	return nil
+}
+
+func (f *insertFrame) snapshot() sqlast.Statement {
+	if !f.canClose() {
+		return nil
+	}
+	cp := f.st
+	cp.Values = append([]sqltypes.Value(nil), f.st.Values...)
+	return &cp
+}
+
+// --- UPDATE (grammar Case 5) ---
+
+type upState uint8
+
+const (
+	uTable    upState = iota // expect target table
+	uSet                     // expect SET
+	uSetCol                  // expect column to assign
+	uSetEq                   // expect '='
+	uSetVal                  // expect literal
+	uAfterSet                // expect more columns | WHERE | EOF
+	uWhere                   // inside WHERE
+)
+
+type updateFrame struct {
+	st         sqlast.Update
+	state      upState
+	pendingCol string
+	pred       *predBuilder
+}
+
+// settableColumns lists unassigned columns of the target table that have
+// sampled literals.
+func (f *updateFrame) settableColumns(b *Builder) []int {
+	assigned := map[string]bool{}
+	for _, s := range f.st.Sets {
+		assigned[s.Col] = true
+	}
+	return b.scopeColumns([]string{f.st.Table}, func(t *schema.Table, c *schema.Column) bool {
+		if assigned[c.Name] {
+			return false
+		}
+		return b.hasValues(schema.QualifiedColumn{Table: t.Name, Column: c.Name})
+	})
+}
+
+func (f *updateFrame) valid(b *Builder, closing bool) []int {
+	switch f.state {
+	case uTable:
+		var ids []int
+		for _, t := range b.sch.Tables {
+			// At least one settable column is needed to complete SET.
+			ok := false
+			for i := range t.Columns {
+				if b.hasValues(schema.QualifiedColumn{Table: t.Name, Column: t.Columns[i].Name}) {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				if id := b.vocab.TableToken(t.Name); id >= 0 {
+					ids = append(ids, id)
+				}
+			}
+		}
+		return ids
+	case uSet:
+		return []int{b.vocab.Reserved(token.RSet)}
+	case uSetCol:
+		return f.settableColumns(b)
+	case uSetEq:
+		return []int{b.vocab.OperatorToken(sqlast.OpEq)}
+	case uSetVal:
+		qc := schema.QualifiedColumn{Table: f.st.Table, Column: f.pendingCol}
+		return b.vocab.ValueTokens(qc)
+	case uAfterSet:
+		var ids []int
+		if !closing {
+			ids = append(ids, f.settableColumns(b)...)
+			if len(b.predicableColumns([]string{f.st.Table})) > 0 {
+				ids = append(ids, b.vocab.Reserved(token.RWhere))
+			}
+		}
+		return ids
+	case uWhere:
+		return f.pred.valid(b, closing)
+	default:
+		return nil
+	}
+}
+
+func (f *updateFrame) apply(b *Builder, tok token.Token) error {
+	switch f.state {
+	case uTable:
+		if tok.Type != token.TypeTable {
+			return fmt.Errorf("fsm: expected table after UPDATE, got %s", tok)
+		}
+		f.st.Table = tok.Table
+		f.state = uSet
+		return nil
+	case uSet:
+		if tok.Reserved != token.RSet {
+			return fmt.Errorf("fsm: expected SET, got %s", tok)
+		}
+		f.state = uSetCol
+		return nil
+	case uSetCol, uAfterSet:
+		switch {
+		case tok.Type == token.TypeColumn:
+			if tok.Table != f.st.Table {
+				return fmt.Errorf("fsm: SET column %s outside table %s", tok.QC(), f.st.Table)
+			}
+			f.pendingCol = tok.Column
+			f.state = uSetEq
+			return nil
+		case tok.Reserved == token.RWhere && f.state == uAfterSet:
+			f.pred = newPredBuilder([]string{f.st.Table})
+			f.state = uWhere
+			return nil
+		}
+		return fmt.Errorf("fsm: expected SET column, got %s", tok)
+	case uSetEq:
+		if tok.Type != token.TypeOperator || tok.Op != sqlast.OpEq {
+			return fmt.Errorf("fsm: expected '=', got %s", tok)
+		}
+		f.state = uSetVal
+		return nil
+	case uSetVal:
+		if tok.Type != token.TypeValue ||
+			tok.Table != f.st.Table || tok.Column != f.pendingCol {
+			return fmt.Errorf("fsm: expected literal of %s.%s, got %s",
+				f.st.Table, f.pendingCol, tok)
+		}
+		f.st.Sets = append(f.st.Sets, sqlast.SetClause{Col: f.pendingCol, Value: tok.Value})
+		f.pendingCol = ""
+		f.state = uAfterSet
+		return nil
+	case uWhere:
+		handled, err := f.pred.apply(b, tok)
+		if err != nil {
+			return err
+		}
+		if !handled {
+			return fmt.Errorf("fsm: unexpected %s after UPDATE predicate", tok)
+		}
+		return nil
+	default:
+		return fmt.Errorf("fsm: update frame cannot consume %s", tok)
+	}
+}
+
+func (f *updateFrame) canClose() bool {
+	switch f.state {
+	case uAfterSet:
+		return true
+	case uWhere:
+		return f.pred.complete()
+	default:
+		return false
+	}
+}
+
+func (f *updateFrame) finish() (sqlast.Statement, error) {
+	if !f.canClose() {
+		return nil, fmt.Errorf("fsm: UPDATE incomplete")
+	}
+	if f.pred != nil {
+		f.st.Where = f.pred.where
+	}
+	return &f.st, nil
+}
+
+func (f *updateFrame) childDone(_ *Builder, sub *sqlast.Select) error {
+	if f.state == uWhere && f.pred != nil {
+		return f.pred.childDone(sub)
+	}
+	return fmt.Errorf("fsm: update frame received unexpected subquery")
+}
+
+func (f *updateFrame) snapshot() sqlast.Statement {
+	if !f.canClose() {
+		return nil
+	}
+	cp := f.st
+	cp.Sets = append([]sqlast.SetClause(nil), f.st.Sets...)
+	if f.pred != nil && f.pred.complete() {
+		cp.Where = f.pred.where
+	} else {
+		cp.Where = nil
+	}
+	return &cp
+}
+
+// --- DELETE (grammar Case 6) ---
+
+type delState uint8
+
+const (
+	dTable delState = iota // expect target table
+	dAfter                 // expect WHERE | EOF
+	dWhere                 // inside WHERE
+)
+
+type deleteFrame struct {
+	st    sqlast.Delete
+	state delState
+	pred  *predBuilder
+}
+
+func (f *deleteFrame) valid(b *Builder, closing bool) []int {
+	switch f.state {
+	case dTable:
+		ids := make([]int, 0, len(b.sch.Tables))
+		for _, t := range b.sch.Tables {
+			if id := b.vocab.TableToken(t.Name); id >= 0 {
+				ids = append(ids, id)
+			}
+		}
+		return ids
+	case dAfter:
+		if !closing && len(b.predicableColumns([]string{f.st.Table})) > 0 {
+			return []int{b.vocab.Reserved(token.RWhere)}
+		}
+		return nil
+	case dWhere:
+		return f.pred.valid(b, closing)
+	default:
+		return nil
+	}
+}
+
+func (f *deleteFrame) apply(b *Builder, tok token.Token) error {
+	switch f.state {
+	case dTable:
+		if tok.Type != token.TypeTable {
+			return fmt.Errorf("fsm: expected table after DELETE FROM, got %s", tok)
+		}
+		f.st.Table = tok.Table
+		f.state = dAfter
+		return nil
+	case dAfter:
+		if tok.Reserved == token.RWhere {
+			f.pred = newPredBuilder([]string{f.st.Table})
+			f.state = dWhere
+			return nil
+		}
+		return fmt.Errorf("fsm: expected WHERE, got %s", tok)
+	case dWhere:
+		handled, err := f.pred.apply(b, tok)
+		if err != nil {
+			return err
+		}
+		if !handled {
+			return fmt.Errorf("fsm: unexpected %s after DELETE predicate", tok)
+		}
+		return nil
+	default:
+		return fmt.Errorf("fsm: delete frame cannot consume %s", tok)
+	}
+}
+
+func (f *deleteFrame) canClose() bool {
+	switch f.state {
+	case dAfter:
+		return true
+	case dWhere:
+		return f.pred.complete()
+	default:
+		return false
+	}
+}
+
+func (f *deleteFrame) finish() (sqlast.Statement, error) {
+	if !f.canClose() {
+		return nil, fmt.Errorf("fsm: DELETE incomplete")
+	}
+	if f.pred != nil {
+		f.st.Where = f.pred.where
+	}
+	return &f.st, nil
+}
+
+func (f *deleteFrame) childDone(_ *Builder, sub *sqlast.Select) error {
+	if f.state == dWhere && f.pred != nil {
+		return f.pred.childDone(sub)
+	}
+	return fmt.Errorf("fsm: delete frame received unexpected subquery")
+}
+
+func (f *deleteFrame) snapshot() sqlast.Statement {
+	if !f.canClose() {
+		return nil
+	}
+	cp := f.st
+	if f.pred != nil && f.pred.complete() {
+		cp.Where = f.pred.where
+	} else {
+		cp.Where = nil
+	}
+	return &cp
+}

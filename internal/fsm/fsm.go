@@ -1,0 +1,378 @@
+// Package fsm implements the dynamically-constructed finite-state machine
+// of §5: given the current partial query, it computes the set of unmasked
+// actions (tokens) whose selection keeps the query syntactically and
+// semantically valid, and it assembles the sqlast statement incrementally
+// as tokens are applied. Every walk of the FSM — no matter which unmasked
+// token is chosen at each step — terminates in a statement the executor
+// accepts (property-tested in fsm_test.go).
+//
+// Generation order follows the paper's Example 2 (From-first): the agent
+// first fixes the table scope, so column/value/type masking is always
+// local. Nested queries open with the FROM reserved word after an
+// operator / IN / EXISTS and close with EOF, mirroring the "nest" branch
+// of Figure 2; the FSM is "built on the fly" exactly as §5 describes —
+// only the edges leaving the current node are materialized.
+//
+// Semantic rules enforced (§5 "Syntactic and Semantic Checking" and
+// "Meaningful Checking"):
+//   - joins only along declared PK–FK edges, join keys auto-added;
+//   - operators and literals type-checked against the column;
+//   - string columns use only {=, <, >};
+//   - SUM/AVG/MAX/MIN only on numeric columns;
+//   - non-aggregated select items must be covered by GROUP BY;
+//   - scalar subqueries produce a single aggregate; IN subqueries a single
+//     same-kind column.
+package fsm
+
+import (
+	"fmt"
+	"strings"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/token"
+)
+
+// Config bounds the shape of generated statements.
+type Config struct {
+	// MaxJoins caps JOINs in a top-level SELECT (tables-1).
+	MaxJoins int
+	// MaxSubJoins caps JOINs inside a subquery.
+	MaxSubJoins int
+	// MaxSelectItems caps projection width.
+	MaxSelectItems int
+	// MaxPredicates caps WHERE atoms per predicate scope.
+	MaxPredicates int
+	// MaxGroupCols caps free GROUP BY columns for all-aggregate
+	// projections.
+	MaxGroupCols int
+	// MaxNestDepth is the number of subquery levels (0 disables nesting).
+	MaxNestDepth int
+	// AllowAggregates enables aggregate select items, GROUP BY and HAVING.
+	AllowAggregates bool
+	// AllowOrderBy enables ORDER BY.
+	AllowOrderBy bool
+	// AllowLike enables LIKE predicates on string columns — the §5
+	// future-work extension. Off by default for paper fidelity.
+	AllowLike bool
+	// AllowInsert/AllowUpdate/AllowDelete enable DML statements
+	// (Cases 4–6 of the grammar).
+	AllowInsert bool
+	AllowUpdate bool
+	AllowDelete bool
+	// DisableSelect removes top-level SELECT statements from the grammar
+	// (subqueries inside DML are unaffected). Used to train per-family
+	// DML generators; at least one statement kind must remain enabled.
+	DisableSelect bool
+	// SoftSteps is the step count after which the FSM steers towards
+	// termination by dropping optional continuations. Every statement
+	// completes within a bounded number of steps past it.
+	SoftSteps int
+}
+
+// DefaultConfig matches the query shapes in the paper's case study
+// (Figure 10): up to 4-way joins, a few predicates, one nesting level,
+// aggregation, ordering; DML off by default (enabled for Figure 11 runs).
+func DefaultConfig() Config {
+	return Config{
+		MaxJoins:        3,
+		MaxSubJoins:     1,
+		MaxSelectItems:  3,
+		MaxPredicates:   4,
+		MaxGroupCols:    2,
+		MaxNestDepth:    1,
+		AllowAggregates: true,
+		AllowOrderBy:    true,
+		SoftSteps:       40,
+	}
+}
+
+// frame is one level of statement construction (the top-level statement or
+// an open subquery).
+type frame interface {
+	// valid returns the currently unmasked token ids, excluding EOF (the
+	// Builder appends EOF when canClose allows it). closing asks the frame
+	// to drop optional continuations.
+	valid(b *Builder, closing bool) []int
+	// apply consumes one non-EOF token.
+	apply(b *Builder, tok token.Token) error
+	// canClose reports whether EOF may be applied now.
+	canClose() bool
+	// finish assembles the completed statement; called when EOF is applied.
+	finish() (sqlast.Statement, error)
+	// childDone delivers a closed subquery to the frame that opened it.
+	childDone(b *Builder, sub *sqlast.Select) error
+	// snapshot returns an executable prefix of the statement, or nil.
+	snapshot() sqlast.Statement
+}
+
+// Builder is the FSM instance for one statement generation episode.
+type Builder struct {
+	sch     *schema.Schema
+	vocab   *token.Vocab
+	cfg     Config
+	stack   []frame
+	emitted []int
+	done    bool
+	final   sqlast.Statement
+}
+
+// NewBuilder starts an empty statement.
+func NewBuilder(sch *schema.Schema, vocab *token.Vocab, cfg Config) *Builder {
+	return &Builder{sch: sch, vocab: vocab, cfg: cfg}
+}
+
+// Reset restarts the builder for a new episode.
+func (b *Builder) Reset() {
+	b.stack = b.stack[:0]
+	b.emitted = b.emitted[:0]
+	b.done = false
+	b.final = nil
+}
+
+// Done reports whether the statement is complete.
+func (b *Builder) Done() bool { return b.done }
+
+// Steps returns the number of tokens applied so far.
+func (b *Builder) Steps() int { return len(b.emitted) }
+
+// Tokens returns the emitted token ids. Callers must not mutate.
+func (b *Builder) Tokens() []int { return b.emitted }
+
+// Statement returns the completed statement (only after Done).
+func (b *Builder) Statement() (sqlast.Statement, error) {
+	if !b.done {
+		return nil, fmt.Errorf("fsm: statement not complete")
+	}
+	return b.final, nil
+}
+
+// Describe renders the emitted token stream for debugging.
+func (b *Builder) Describe() string {
+	parts := make([]string, len(b.emitted))
+	for i, id := range b.emitted {
+		parts[i] = b.vocab.Token(id).String()
+	}
+	return strings.Join(parts, " ")
+}
+
+func (b *Builder) top() frame { return b.stack[len(b.stack)-1] }
+
+// depth is the current subquery nesting level (0 = top statement).
+func (b *Builder) depth() int { return len(b.stack) - 1 }
+
+// nestingAllowed reports whether a new subquery may open here.
+func (b *Builder) nestingAllowed() bool {
+	return len(b.stack) > 0 && b.depth() < b.cfg.MaxNestDepth
+}
+
+// Valid returns the unmasked action set for the current state. It is never
+// empty before Done: every reachable state either offers a token or allows
+// EOF.
+func (b *Builder) Valid() []int {
+	if b.done {
+		return nil
+	}
+	closing := len(b.emitted) >= b.cfg.SoftSteps
+	if len(b.stack) == 0 {
+		var ids []int
+		if !b.cfg.DisableSelect {
+			ids = append(ids, b.vocab.Reserved(token.RFrom))
+		}
+		if b.cfg.AllowInsert && b.anyInsertableTable() {
+			ids = append(ids, b.vocab.Reserved(token.RInsert))
+		}
+		if b.cfg.AllowUpdate && b.anySettableTable() {
+			ids = append(ids, b.vocab.Reserved(token.RUpdate))
+		}
+		if b.cfg.AllowDelete {
+			ids = append(ids, b.vocab.Reserved(token.RDelete))
+		}
+		return ids
+	}
+	f := b.top()
+	ids := f.valid(b, closing)
+	if f.canClose() {
+		ids = append(ids, b.vocab.EOF())
+	}
+	return ids
+}
+
+// Apply consumes one token id. The id must be a member of Valid().
+func (b *Builder) Apply(id int) error {
+	if b.done {
+		return fmt.Errorf("fsm: statement already complete")
+	}
+	member := false
+	for _, v := range b.Valid() {
+		if v == id {
+			member = true
+			break
+		}
+	}
+	if !member {
+		return fmt.Errorf("fsm: token %d (%s) is masked in the current state",
+			id, b.vocab.Token(id))
+	}
+	tok := b.vocab.Token(id)
+
+	if len(b.stack) == 0 {
+		switch tok.Reserved {
+		case token.RFrom:
+			b.stack = append(b.stack, newSelectFrame(modeTop))
+		case token.RInsert:
+			b.stack = append(b.stack, &insertFrame{})
+		case token.RUpdate:
+			b.stack = append(b.stack, &updateFrame{})
+		case token.RDelete:
+			b.stack = append(b.stack, &deleteFrame{})
+		default:
+			return fmt.Errorf("fsm: unexpected start token %s", tok)
+		}
+		b.emitted = append(b.emitted, id)
+		return nil
+	}
+
+	if tok.Type == token.TypeEOF {
+		f := b.top()
+		st, err := f.finish()
+		if err != nil {
+			return err
+		}
+		b.stack = b.stack[:len(b.stack)-1]
+		if len(b.stack) == 0 {
+			b.done = true
+			b.final = st
+		} else {
+			sub, ok := st.(*sqlast.Select)
+			if !ok {
+				return fmt.Errorf("fsm: subquery closed with non-SELECT %T", st)
+			}
+			if err := b.top().childDone(b, sub); err != nil {
+				return err
+			}
+		}
+		b.emitted = append(b.emitted, id)
+		return nil
+	}
+
+	if err := b.top().apply(b, tok); err != nil {
+		return err
+	}
+	b.emitted = append(b.emitted, id)
+	return nil
+}
+
+// Snapshot returns an executable prefix of the statement under
+// construction, if one exists at the current step (§3.2: partial queries
+// that are executable are sent to the environment for intermediate
+// rewards). The returned AST must be consumed before the next Apply.
+func (b *Builder) Snapshot() (sqlast.Statement, bool) {
+	if b.done {
+		return b.final, true
+	}
+	if len(b.stack) != 1 {
+		return nil, false // inside an open subquery: outer atom incomplete
+	}
+	st := b.stack[0].snapshot()
+	if st == nil {
+		return nil, false
+	}
+	return st, true
+}
+
+// --- shared scope helpers ---
+
+// hasValues reports whether the vocabulary sampled any literal for qc.
+func (b *Builder) hasValues(qc schema.QualifiedColumn) bool {
+	return len(b.vocab.ValueTokens(qc)) > 0
+}
+
+// scopeColumns returns column token ids over the given tables, filtered.
+func (b *Builder) scopeColumns(tables []string, keep func(t *schema.Table, c *schema.Column) bool) []int {
+	var ids []int
+	for _, tn := range tables {
+		t := b.sch.TableByName(tn)
+		if t == nil {
+			continue
+		}
+		for i := range t.Columns {
+			c := &t.Columns[i]
+			if keep != nil && !keep(t, c) {
+				continue
+			}
+			if id := b.vocab.ColumnToken(schema.QualifiedColumn{Table: tn, Column: c.Name}); id >= 0 {
+				ids = append(ids, id)
+			}
+		}
+	}
+	return ids
+}
+
+// operatorTokens returns operator ids legal for a column kind: the paper
+// supports all of {<,>,<=,>=,=,<>} for numeric data but only {=,>,<} for
+// strings.
+func (b *Builder) operatorTokens(kind sqltypes.Kind) []int {
+	var ops []sqlast.CmpOp
+	if kind.Numeric() {
+		ops = token.Operators()
+	} else {
+		ops = []sqlast.CmpOp{sqlast.OpEq, sqlast.OpGt, sqlast.OpLt}
+	}
+	ids := make([]int, 0, len(ops))
+	for _, op := range ops {
+		if id := b.vocab.OperatorToken(op); id >= 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// columnKind resolves the kind of a qualified column (KindInvalid if
+// unknown).
+func (b *Builder) columnKind(qc schema.QualifiedColumn) sqltypes.Kind {
+	c, err := b.sch.ResolveColumn(qc)
+	if err != nil {
+		return sqltypes.KindInvalid
+	}
+	return c.Kind
+}
+
+// anyInsertableTable reports whether some table can complete an INSERT
+// VALUES form (every column has sampled literals).
+func (b *Builder) anyInsertableTable() bool {
+	for _, t := range b.sch.Tables {
+		if insertableTable(b, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// anySettableTable reports whether some table has a column with sampled
+// literals, so an UPDATE SET clause can complete.
+func (b *Builder) anySettableTable() bool {
+	for _, t := range b.sch.Tables {
+		for i := range t.Columns {
+			if b.hasValues(schema.QualifiedColumn{Table: t.Name, Column: t.Columns[i].Name}) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// predicableColumns filters scope columns usable as predicate left sides:
+// the column needs sampled literals, or (for numeric columns) an open
+// nesting budget so a scalar subquery can supply the right side.
+func (b *Builder) predicableColumns(tables []string) []int {
+	nestOK := b.nestingAllowed()
+	return b.scopeColumns(tables, func(t *schema.Table, c *schema.Column) bool {
+		qc := schema.QualifiedColumn{Table: t.Name, Column: c.Name}
+		if b.hasValues(qc) {
+			return true
+		}
+		return nestOK && c.Kind.Numeric()
+	})
+}

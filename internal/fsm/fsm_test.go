@@ -1,0 +1,471 @@
+package fsm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/estimator"
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/stats"
+	"learnedsqlgen/internal/storage"
+	"learnedsqlgen/internal/token"
+)
+
+type env struct {
+	db    *storage.Database
+	vocab *token.Vocab
+	est   *estimator.Estimator
+}
+
+func newEnv(t testing.TB, dataset string) *env {
+	t.Helper()
+	db, err := datagen.Generate(dataset, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{
+		db:    db,
+		vocab: token.Build(db, 20, 7),
+		est:   estimator.New(db.Schema, stats.Collect(db)),
+	}
+}
+
+// walk runs one uniform random episode and returns the statement.
+func walk(t testing.TB, b *Builder, rng *rand.Rand) sqlast.Statement {
+	t.Helper()
+	for !b.Done() {
+		valid := b.Valid()
+		if len(valid) == 0 {
+			t.Fatalf("dead end after %d steps: %s", b.Steps(), b.Describe())
+		}
+		id := valid[rng.Intn(len(valid))]
+		if err := b.Apply(id); err != nil {
+			t.Fatalf("apply %s after %q: %v", b.vocab.Token(id), b.Describe(), err)
+		}
+		if b.Steps() > 200 {
+			t.Fatalf("runaway episode: %s", b.Describe())
+		}
+	}
+	st, err := b.Statement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRandomWalksAlwaysValid is the core §5 guarantee: every FSM walk over
+// every dataset yields a statement the executor runs and the estimator
+// estimates without error, and every snapshot along the way is executable.
+func TestRandomWalksAlwaysValid(t *testing.T) {
+	for _, dataset := range []string{datagen.NameTPCH, datagen.NameJOB, datagen.NameXueTang} {
+		t.Run(dataset, func(t *testing.T) {
+			e := newEnv(t, dataset)
+			cfg := DefaultConfig()
+			cfg.AllowInsert, cfg.AllowUpdate, cfg.AllowDelete = true, true, true
+			rng := rand.New(rand.NewSource(99))
+			b := NewBuilder(e.db.Schema, e.vocab, cfg)
+			for trial := 0; trial < 300; trial++ {
+				b.Reset()
+				var snapshots []sqlast.Statement
+				for !b.Done() {
+					valid := b.Valid()
+					if len(valid) == 0 {
+						t.Fatalf("trial %d: dead end: %s", trial, b.Describe())
+					}
+					if err := b.Apply(valid[rng.Intn(len(valid))]); err != nil {
+						t.Fatalf("trial %d: %v", trial, err)
+					}
+					if st, ok := b.Snapshot(); ok {
+						// Snapshots must be estimable immediately.
+						if _, err := e.est.Estimate(st); err != nil {
+							t.Fatalf("trial %d: snapshot %q not estimable: %v",
+								trial, st.SQL(), err)
+						}
+						snapshots = append(snapshots, st)
+					}
+					if b.Steps() > 200 {
+						t.Fatalf("trial %d: runaway: %s", trial, b.Describe())
+					}
+				}
+				st, err := b.Statement()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(snapshots) == 0 {
+					t.Errorf("trial %d: no executable prefix for %q", trial, st.SQL())
+				}
+				if _, err := executor.New(e.db.Clone()).Execute(st); err != nil {
+					t.Fatalf("trial %d: executor rejected %q: %v", trial, st.SQL(), err)
+				}
+				if _, err := e.est.Estimate(st); err != nil {
+					t.Fatalf("trial %d: estimator rejected %q: %v", trial, st.SQL(), err)
+				}
+			}
+		})
+	}
+}
+
+func TestSelectOnlyConfigNeverEmitsDML(t *testing.T) {
+	e := newEnv(t, datagen.NameTPCH)
+	rng := rand.New(rand.NewSource(5))
+	b := NewBuilder(e.db.Schema, e.vocab, DefaultConfig())
+	for trial := 0; trial < 100; trial++ {
+		b.Reset()
+		st := walk(t, b, rng)
+		if _, ok := st.(*sqlast.Select); !ok {
+			t.Fatalf("got %T with DML disabled", st)
+		}
+	}
+}
+
+func TestEpisodesTerminateUnderSoftSteps(t *testing.T) {
+	e := newEnv(t, datagen.NameJOB)
+	cfg := DefaultConfig()
+	cfg.SoftSteps = 15
+	rng := rand.New(rand.NewSource(12))
+	b := NewBuilder(e.db.Schema, e.vocab, cfg)
+	for trial := 0; trial < 100; trial++ {
+		b.Reset()
+		walk(t, b, rng)
+		if b.Steps() > cfg.SoftSteps+25 {
+			t.Fatalf("episode ran %d steps past soft limit: %s", b.Steps(), b.Describe())
+		}
+	}
+}
+
+func TestMixedProjectionForcesGroupBy(t *testing.T) {
+	e := newEnv(t, datagen.NameTPCH)
+	rng := rand.New(rand.NewSource(21))
+	b := NewBuilder(e.db.Schema, e.vocab, DefaultConfig())
+	sawMixed := 0
+	for trial := 0; trial < 400 && sawMixed < 20; trial++ {
+		b.Reset()
+		st := walk(t, b, rng)
+		sel, ok := st.(*sqlast.Select)
+		if !ok {
+			continue
+		}
+		plain, agg := 0, 0
+		for _, it := range sel.Items {
+			if it.Agg == sqlast.AggNone {
+				plain++
+			} else {
+				agg++
+			}
+		}
+		if plain > 0 && agg > 0 {
+			sawMixed++
+			covered := map[string]bool{}
+			for _, g := range sel.GroupBy {
+				covered[g.String()] = true
+			}
+			for _, it := range sel.Items {
+				if it.Agg == sqlast.AggNone && !covered[it.Col.String()] {
+					t.Fatalf("mixed projection not grouped: %s", sel.SQL())
+				}
+			}
+		}
+	}
+	if sawMixed == 0 {
+		t.Error("no mixed projections generated in 400 trials")
+	}
+}
+
+func TestStringColumnsOnlyGetEqLtGt(t *testing.T) {
+	e := newEnv(t, datagen.NameTPCH)
+	rng := rand.New(rand.NewSource(31))
+	b := NewBuilder(e.db.Schema, e.vocab, DefaultConfig())
+	checked := 0
+	for trial := 0; trial < 500 && checked < 30; trial++ {
+		b.Reset()
+		st := walk(t, b, rng)
+		sel, ok := st.(*sqlast.Select)
+		if !ok || sel.Where == nil {
+			continue
+		}
+		sqlast.WalkPredicates(sel.Where, func(p sqlast.Predicate) {
+			cmp, ok := p.(*sqlast.Compare)
+			if !ok {
+				return
+			}
+			col, err := e.db.Schema.ResolveColumn(cmp.Col)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !col.Kind.Numeric() {
+				checked++
+				switch cmp.Op {
+				case sqlast.OpEq, sqlast.OpLt, sqlast.OpGt:
+				default:
+					t.Fatalf("string column %s got operator %s", cmp.Col, cmp.Op)
+				}
+			}
+		})
+	}
+	if checked == 0 {
+		t.Skip("no string predicates generated")
+	}
+}
+
+func TestJoinsFollowForeignKeys(t *testing.T) {
+	e := newEnv(t, datagen.NameTPCH)
+	rng := rand.New(rand.NewSource(41))
+	b := NewBuilder(e.db.Schema, e.vocab, DefaultConfig())
+	sawJoin := false
+	for trial := 0; trial < 300; trial++ {
+		b.Reset()
+		st := walk(t, b, rng)
+		sel, ok := st.(*sqlast.Select)
+		if !ok || len(sel.Joins) == 0 {
+			continue
+		}
+		sawJoin = true
+		for _, j := range sel.Joins {
+			if _, ok := e.db.Schema.JoinEdgeBetween(j.Left.Table, j.Right.Table); !ok {
+				t.Fatalf("join %v not on a declared edge in %s", j, sel.SQL())
+			}
+		}
+		if len(sel.Joins) > DefaultConfig().MaxJoins {
+			t.Fatalf("too many joins: %s", sel.SQL())
+		}
+	}
+	if !sawJoin {
+		t.Error("no joins generated in 300 trials")
+	}
+}
+
+func TestNestedQueriesAppearAndClose(t *testing.T) {
+	e := newEnv(t, datagen.NameXueTang)
+	rng := rand.New(rand.NewSource(51))
+	b := NewBuilder(e.db.Schema, e.vocab, DefaultConfig())
+	nested := 0
+	for trial := 0; trial < 400; trial++ {
+		b.Reset()
+		st := walk(t, b, rng)
+		nested += len(sqlast.Subqueries(st))
+	}
+	if nested == 0 {
+		t.Error("no nested queries generated in 400 trials")
+	}
+}
+
+func TestNestingDisabled(t *testing.T) {
+	e := newEnv(t, datagen.NameTPCH)
+	cfg := DefaultConfig()
+	cfg.MaxNestDepth = 0
+	rng := rand.New(rand.NewSource(61))
+	b := NewBuilder(e.db.Schema, e.vocab, cfg)
+	for trial := 0; trial < 200; trial++ {
+		b.Reset()
+		st := walk(t, b, rng)
+		if len(sqlast.Subqueries(st)) != 0 {
+			t.Fatalf("nesting disabled but got subquery: %s", st.SQL())
+		}
+	}
+}
+
+func TestDMLGeneration(t *testing.T) {
+	e := newEnv(t, datagen.NameTPCH)
+	cfg := DefaultConfig()
+	cfg.AllowInsert, cfg.AllowUpdate, cfg.AllowDelete = true, true, true
+	rng := rand.New(rand.NewSource(71))
+	b := NewBuilder(e.db.Schema, e.vocab, cfg)
+	kinds := map[string]int{}
+	for trial := 0; trial < 600; trial++ {
+		b.Reset()
+		st := walk(t, b, rng)
+		switch s := st.(type) {
+		case *sqlast.Insert:
+			kinds["insert"]++
+			if s.Sub == nil && len(s.Values) == 0 {
+				t.Fatalf("empty insert: %s", s.SQL())
+			}
+		case *sqlast.Update:
+			kinds["update"]++
+			if len(s.Sets) == 0 {
+				t.Fatalf("update without SET: %s", s.SQL())
+			}
+		case *sqlast.Delete:
+			kinds["delete"]++
+		case *sqlast.Select:
+			kinds["select"]++
+		}
+	}
+	for _, k := range []string{"insert", "update", "delete", "select"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s statements in 600 trials (%v)", k, kinds)
+		}
+	}
+}
+
+func TestApplyRejectsMaskedToken(t *testing.T) {
+	e := newEnv(t, datagen.NameTPCH)
+	b := NewBuilder(e.db.Schema, e.vocab, DefaultConfig())
+	// EOF at the very start is masked.
+	if err := b.Apply(e.vocab.EOF()); err == nil {
+		t.Error("EOF at start must be rejected")
+	}
+	// WHERE at the very start is masked.
+	if err := b.Apply(e.vocab.Reserved(token.RWhere)); err == nil {
+		t.Error("WHERE at start must be rejected")
+	}
+	// Valid FROM works, then a value token is masked.
+	if err := b.Apply(e.vocab.Reserved(token.RFrom)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(e.vocab.Reserved(token.RSelect)); err == nil {
+		t.Error("SELECT before table must be rejected")
+	}
+}
+
+func TestStatementBeforeDoneErrors(t *testing.T) {
+	e := newEnv(t, datagen.NameTPCH)
+	b := NewBuilder(e.db.Schema, e.vocab, DefaultConfig())
+	if _, err := b.Statement(); err == nil {
+		t.Error("Statement before Done must error")
+	}
+	if _, ok := b.Snapshot(); ok {
+		t.Error("Snapshot at start must be unavailable")
+	}
+}
+
+func TestApplyAfterDoneErrors(t *testing.T) {
+	e := newEnv(t, datagen.NameTPCH)
+	rng := rand.New(rand.NewSource(81))
+	b := NewBuilder(e.db.Schema, e.vocab, DefaultConfig())
+	walk(t, b, rng)
+	if err := b.Apply(e.vocab.EOF()); err == nil {
+		t.Error("Apply after Done must error")
+	}
+	if b.Valid() != nil {
+		t.Error("Valid after Done must be nil")
+	}
+	if st, ok := b.Snapshot(); !ok || st == nil {
+		t.Error("Snapshot after Done must return the final statement")
+	}
+}
+
+func TestDescribeMatchesTokens(t *testing.T) {
+	e := newEnv(t, datagen.NameTPCH)
+	rng := rand.New(rand.NewSource(91))
+	b := NewBuilder(e.db.Schema, e.vocab, DefaultConfig())
+	walk(t, b, rng)
+	desc := b.Describe()
+	if !strings.HasPrefix(desc, "FROM ") {
+		t.Errorf("token stream must start with FROM: %q", desc)
+	}
+	if !strings.HasSuffix(desc, " EOF") {
+		t.Errorf("token stream must end with EOF: %q", desc)
+	}
+	if len(b.Tokens()) < 4 {
+		t.Errorf("suspiciously short episode: %q", desc)
+	}
+}
+
+// TestSnapshotMatchesExecutor verifies that every snapshot the FSM reports
+// as executable actually executes.
+func TestSnapshotMatchesExecutor(t *testing.T) {
+	e := newEnv(t, datagen.NameTPCH)
+	cfg := DefaultConfig()
+	cfg.AllowInsert, cfg.AllowUpdate, cfg.AllowDelete = true, true, true
+	rng := rand.New(rand.NewSource(101))
+	b := NewBuilder(e.db.Schema, e.vocab, cfg)
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		b.Reset()
+		for !b.Done() {
+			valid := b.Valid()
+			if err := b.Apply(valid[rng.Intn(len(valid))]); err != nil {
+				t.Fatal(err)
+			}
+			if st, ok := b.Snapshot(); ok && !b.Done() {
+				if _, err := executor.New(e.db.Clone()).Execute(st); err != nil {
+					t.Fatalf("snapshot %q failed: %v", st.SQL(), err)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("no snapshots produced")
+	}
+}
+
+func TestGeneratedSQLReparses(t *testing.T) {
+	// Rendered SQL of generated statements must round-trip through the
+	// parser (ties the FSM, AST and parser layers together).
+	e := newEnv(t, datagen.NameTPCH)
+	cfg := DefaultConfig()
+	cfg.AllowInsert, cfg.AllowUpdate, cfg.AllowDelete = true, true, true
+	rng := rand.New(rand.NewSource(111))
+	b := NewBuilder(e.db.Schema, e.vocab, cfg)
+	for trial := 0; trial < 150; trial++ {
+		b.Reset()
+		st := walk(t, b, rng)
+		if err := reparse(st.SQL()); err != nil {
+			t.Fatalf("generated SQL does not reparse: %q: %v", st.SQL(), err)
+		}
+	}
+}
+
+func TestLikeGeneration(t *testing.T) {
+	e := newEnv(t, datagen.NameTPCH)
+	cfg := DefaultConfig()
+	cfg.AllowLike = true
+	rng := rand.New(rand.NewSource(121))
+	b := NewBuilder(e.db.Schema, e.vocab, cfg)
+	likes := 0
+	for trial := 0; trial < 300; trial++ {
+		b.Reset()
+		st := walk(t, b, rng)
+		sqlast.WalkPredicates(st.(*sqlast.Select).Where, func(p sqlast.Predicate) {
+			if _, ok := p.(*sqlast.Like); ok {
+				likes++
+			}
+		})
+		// Everything must still execute and estimate.
+		if _, err := executor.New(e.db.Clone()).Execute(st); err != nil {
+			t.Fatalf("LIKE statement rejected: %q: %v", st.SQL(), err)
+		}
+		if _, err := e.est.Estimate(st); err != nil {
+			t.Fatalf("LIKE statement not estimable: %q: %v", st.SQL(), err)
+		}
+	}
+	if likes == 0 {
+		t.Error("no LIKE predicates generated in 300 trials with AllowLike")
+	}
+}
+
+func TestLikeDisabledByDefault(t *testing.T) {
+	e := newEnv(t, datagen.NameTPCH)
+	rng := rand.New(rand.NewSource(131))
+	b := NewBuilder(e.db.Schema, e.vocab, DefaultConfig())
+	for trial := 0; trial < 150; trial++ {
+		b.Reset()
+		st := walk(t, b, rng)
+		sqlast.WalkPredicates(st.(*sqlast.Select).Where, func(p sqlast.Predicate) {
+			if _, ok := p.(*sqlast.Like); ok {
+				t.Fatalf("LIKE generated with AllowLike=false: %s", st.SQL())
+			}
+		})
+	}
+}
+
+func TestDisableSelect(t *testing.T) {
+	e := newEnv(t, datagen.NameTPCH)
+	cfg := DefaultConfig()
+	cfg.DisableSelect = true
+	cfg.AllowInsert, cfg.AllowDelete = true, true
+	rng := rand.New(rand.NewSource(141))
+	b := NewBuilder(e.db.Schema, e.vocab, cfg)
+	for trial := 0; trial < 100; trial++ {
+		b.Reset()
+		st := walk(t, b, rng)
+		if _, ok := st.(*sqlast.Select); ok {
+			t.Fatalf("top-level SELECT generated with DisableSelect: %s", st.SQL())
+		}
+	}
+}

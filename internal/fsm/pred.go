@@ -1,0 +1,252 @@
+package fsm
+
+import (
+	"fmt"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/token"
+)
+
+// predState tracks progress through one predicate atom.
+type predState uint8
+
+const (
+	psCol        predState = iota // expect column | NOT | EXISTS
+	psExistsFrom                  // after EXISTS: expect FROM (subquery opens)
+	psOp                          // after column: expect operator | IN | LIKE
+	psInFrom                      // after IN: expect FROM (subquery opens)
+	psVal                         // after operator: expect literal | FROM
+	psPat                         // after LIKE: expect a pattern token
+	psSub                         // subquery frame is on the stack
+	psAfter                       // atom complete: expect AND | OR | clause
+)
+
+// predBuilder assembles a WHERE predicate over one table scope, one atom at
+// a time, left-associatively. It is shared by SELECT, UPDATE and DELETE
+// frames.
+type predBuilder struct {
+	scope []string // tables visible to predicate columns
+
+	where sqlast.Predicate
+	atoms int
+
+	state   predState
+	conn    token.Reserved // pending RAnd / ROr connector
+	negated bool
+	col     schema.QualifiedColumn
+	op      sqlast.CmpOp
+	subKind predState // psExistsFrom / psInFrom / psVal marks which sub form
+}
+
+func newPredBuilder(scope []string) *predBuilder {
+	return &predBuilder{scope: scope, state: psCol}
+}
+
+// complete reports whether the predicate can stop growing here.
+func (p *predBuilder) complete() bool { return p.state == psAfter }
+
+// valid returns the predicate-layer tokens. When the state is psAfter, the
+// owning frame appends its own clause-transition tokens.
+func (p *predBuilder) valid(b *Builder, closing bool) []int {
+	switch p.state {
+	case psCol:
+		ids := b.predicableColumns(p.scope)
+		if !p.negated {
+			ids = append(ids, b.vocab.Reserved(token.RNot))
+		}
+		if b.nestingAllowed() && !closing {
+			ids = append(ids, b.vocab.Reserved(token.RExists))
+		}
+		return ids
+	case psExistsFrom, psInFrom:
+		return []int{b.vocab.Reserved(token.RFrom)}
+	case psOp:
+		ids := b.operatorTokens(b.columnKind(p.col))
+		if b.nestingAllowed() && !closing && p.inCompatible(b) {
+			ids = append(ids, b.vocab.Reserved(token.RIn))
+		}
+		if b.cfg.AllowLike && len(b.vocab.PatternTokens(p.col)) > 0 {
+			ids = append(ids, b.vocab.Reserved(token.RLike))
+		}
+		return ids
+	case psPat:
+		return b.vocab.PatternTokens(p.col)
+	case psVal:
+		var ids []int
+		ids = append(ids, b.vocab.ValueTokens(p.col)...)
+		// A scalar subquery can replace the literal for numeric columns.
+		if b.nestingAllowed() && b.columnKind(p.col).Numeric() && !(closing && len(ids) > 0) {
+			ids = append(ids, b.vocab.Reserved(token.RFrom))
+		}
+		return ids
+	case psAfter:
+		if p.atoms >= 1 && !closing {
+			var ids []int
+			// Connectors masked once the predicate budget is spent.
+			if maxed := p.atoms >= maxPreds(b); !maxed {
+				ids = append(ids, b.vocab.Reserved(token.RAnd), b.vocab.Reserved(token.ROr))
+			}
+			return ids
+		}
+		return nil
+	default: // psSub: the subquery frame on top of the stack owns Valid.
+		return nil
+	}
+}
+
+func maxPreds(b *Builder) int {
+	if b.cfg.MaxPredicates < 1 {
+		return 1
+	}
+	return b.cfg.MaxPredicates
+}
+
+// inCompatible reports whether some table offers a same-kind column for an
+// IN subquery's projection.
+func (p *predBuilder) inCompatible(b *Builder) bool {
+	kind := b.columnKind(p.col)
+	for _, t := range b.sch.Tables {
+		for i := range t.Columns {
+			if t.Columns[i].Kind == kind {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// apply consumes one predicate-layer token. It returns (handled=false) for
+// tokens that belong to the owning frame (clause transitions at psAfter).
+func (p *predBuilder) apply(b *Builder, tok token.Token) (handled bool, err error) {
+	switch p.state {
+	case psCol:
+		switch {
+		case tok.Type == token.TypeColumn:
+			p.col = tok.QC()
+			p.state = psOp
+			return true, nil
+		case tok.Type == token.TypeReserved && tok.Reserved == token.RNot:
+			if p.negated {
+				return true, fmt.Errorf("fsm: double negation")
+			}
+			p.negated = true
+			return true, nil
+		case tok.Type == token.TypeReserved && tok.Reserved == token.RExists:
+			p.state = psExistsFrom
+			return true, nil
+		}
+		return true, fmt.Errorf("fsm: unexpected %s at predicate start", tok)
+
+	case psExistsFrom:
+		if tok.Type == token.TypeReserved && tok.Reserved == token.RFrom {
+			p.subKind = psExistsFrom
+			p.state = psSub
+			b.stack = append(b.stack, newSelectFrame(modeExists))
+			return true, nil
+		}
+		return true, fmt.Errorf("fsm: expected FROM after EXISTS, got %s", tok)
+
+	case psOp:
+		switch {
+		case tok.Type == token.TypeOperator:
+			p.op = tok.Op
+			p.state = psVal
+			return true, nil
+		case tok.Type == token.TypeReserved && tok.Reserved == token.RIn:
+			p.state = psInFrom
+			return true, nil
+		case tok.Type == token.TypeReserved && tok.Reserved == token.RLike:
+			p.state = psPat
+			return true, nil
+		}
+		return true, fmt.Errorf("fsm: expected operator after %s, got %s", p.col, tok)
+
+	case psPat:
+		if tok.Type == token.TypePattern && tok.QC() == p.col {
+			p.attach(&sqlast.Like{Col: p.col, Pattern: tok.Pattern})
+			return true, nil
+		}
+		return true, fmt.Errorf("fsm: expected LIKE pattern for %s, got %s", p.col, tok)
+
+	case psInFrom:
+		if tok.Type == token.TypeReserved && tok.Reserved == token.RFrom {
+			p.subKind = psInFrom
+			p.state = psSub
+			f := newSelectFrame(modeIn)
+			f.outerKind = b.columnKind(p.col)
+			b.stack = append(b.stack, f)
+			return true, nil
+		}
+		return true, fmt.Errorf("fsm: expected FROM after IN, got %s", tok)
+
+	case psVal:
+		switch {
+		case tok.Type == token.TypeValue:
+			if tok.QC() != p.col {
+				return true, fmt.Errorf("fsm: literal of %s used for column %s", tok.QC(), p.col)
+			}
+			p.attach(&sqlast.Compare{Col: p.col, Op: p.op, Value: tok.Value})
+			return true, nil
+		case tok.Type == token.TypeReserved && tok.Reserved == token.RFrom:
+			p.subKind = psVal
+			p.state = psSub
+			b.stack = append(b.stack, newSelectFrame(modeScalar))
+			return true, nil
+		}
+		return true, fmt.Errorf("fsm: expected literal for %s, got %s", p.col, tok)
+
+	case psAfter:
+		if tok.Type == token.TypeReserved && (tok.Reserved == token.RAnd || tok.Reserved == token.ROr) {
+			if p.atoms >= maxPreds(b) {
+				return true, fmt.Errorf("fsm: predicate budget exhausted")
+			}
+			p.conn = tok.Reserved
+			p.state = psCol
+			return true, nil
+		}
+		return false, nil // clause transition: the frame handles it
+
+	default:
+		return true, fmt.Errorf("fsm: predicate in subquery state cannot consume %s", tok)
+	}
+}
+
+// childDone attaches a closed subquery as the pending atom's right side.
+func (p *predBuilder) childDone(sub *sqlast.Select) error {
+	if p.state != psSub {
+		return fmt.Errorf("fsm: unexpected subquery completion")
+	}
+	switch p.subKind {
+	case psExistsFrom:
+		p.attach(&sqlast.Exists{Sub: sub})
+	case psInFrom:
+		p.attach(&sqlast.In{Col: p.col, Sub: sub})
+	case psVal:
+		p.attach(&sqlast.CompareSub{Col: p.col, Op: p.op, Sub: sub})
+	default:
+		return fmt.Errorf("fsm: unknown subquery kind")
+	}
+	return nil
+}
+
+// attach finishes the current atom and folds it into the predicate.
+func (p *predBuilder) attach(atom sqlast.Predicate) {
+	if p.negated {
+		atom = &sqlast.Not{Inner: atom}
+		p.negated = false
+	}
+	switch {
+	case p.where == nil:
+		p.where = atom
+	case p.conn == token.ROr:
+		p.where = &sqlast.Or{Left: p.where, Right: atom}
+	default:
+		p.where = &sqlast.And{Left: p.where, Right: atom}
+	}
+	p.conn = 0
+	p.col = schema.QualifiedColumn{}
+	p.op = sqlast.OpInvalid
+	p.atoms++
+	p.state = psAfter
+}

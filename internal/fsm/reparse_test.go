@@ -1,0 +1,14 @@
+package fsm
+
+import "learnedsqlgen/internal/parser"
+
+// reparse round-trips SQL text through the parser, verifying the rendering
+// of FSM-generated statements stays within the supported grammar.
+func reparse(sql string) error {
+	st, err := parser.Parse(sql)
+	if err != nil {
+		return err
+	}
+	_, err = parser.Parse(st.SQL())
+	return err
+}

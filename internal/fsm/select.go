@@ -1,0 +1,618 @@
+package fsm
+
+import (
+	"fmt"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/token"
+)
+
+// selMode distinguishes the contexts a SELECT can be generated in; each
+// mode constrains the projection so the result shape fits the context.
+type selMode uint8
+
+const (
+	modeTop       selMode = iota // a full query
+	modeScalar                   // subquery after an operator: one aggregate
+	modeIn                       // IN subquery: one column of the outer kind
+	modeExists                   // EXISTS subquery: one column, any kind
+	modeInsertSrc                // INSERT source: items match target columns
+)
+
+// selState is the position inside the SELECT grammar.
+type selState uint8
+
+const (
+	sFrom        selState = iota // expect anchor table
+	sAfterTable                  // expect JOIN | SELECT
+	sJoinTable                   // expect joinable table
+	sItemStart                   // expect first / next required select item
+	sAggCol                      // expect column for a pending aggregate
+	sItems                       // items so far complete: extend or move on
+	sWhere                       // inside WHERE (see predBuilder)
+	sGroupCol                    // expect a GROUP BY column
+	sGroupMore                   // grouping cover complete
+	sHavingAgg                   // expect aggregate word
+	sHavingCol                   // expect aggregated column
+	sHavingOp                    // expect operator
+	sHavingVal                   // expect literal | FROM (scalar subquery)
+	sAfterHaving                 // HAVING complete
+	sOrderCol                    // expect ORDER BY column
+	sAfterOrder                  // ORDER BY complete
+)
+
+type selectFrame struct {
+	mode        selMode
+	outerKind   sqltypes.Kind   // modeIn: kind the projection must match
+	targetKinds []sqltypes.Kind // modeInsertSrc: required item kinds
+
+	sel   sqlast.Select
+	state selState
+
+	pendingAgg sqlast.AggFunc
+	pred       *predBuilder
+
+	havingAgg  sqlast.AggFunc
+	havingCol  schema.QualifiedColumn
+	havingOp   sqlast.CmpOp
+	havingWait bool // a scalar subquery for HAVING is open
+
+	groupAny bool // all-aggregate projection: free choice of group columns
+}
+
+func newSelectFrame(mode selMode) *selectFrame {
+	return &selectFrame{mode: mode, state: sFrom}
+}
+
+func (f *selectFrame) maxJoins(b *Builder) int {
+	if f.mode == modeTop {
+		return b.cfg.MaxJoins
+	}
+	return b.cfg.MaxSubJoins
+}
+
+func (f *selectFrame) hasPlain() bool {
+	for _, it := range f.sel.Items {
+		if it.Agg == sqlast.AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *selectFrame) hasAgg() bool { return f.sel.HasAggregate() }
+
+// mixed reports a projection combining plain and aggregate items, which
+// requires GROUP BY cover before the query is executable.
+func (f *selectFrame) mixed() bool { return f.hasPlain() && f.hasAgg() }
+
+// groupNeeded lists plain projected columns not yet covered by GROUP BY.
+func (f *selectFrame) groupNeeded() []schema.QualifiedColumn {
+	if !f.hasAgg() {
+		return nil
+	}
+	covered := map[schema.QualifiedColumn]bool{}
+	for _, g := range f.sel.GroupBy {
+		covered[g] = true
+	}
+	var need []schema.QualifiedColumn
+	for _, it := range f.sel.Items {
+		if it.Agg == sqlast.AggNone && !covered[it.Col] {
+			need = append(need, it.Col)
+		}
+	}
+	return need
+}
+
+// scopeHasNumeric reports a numeric column anywhere in the FROM scope.
+func (f *selectFrame) scopeHasNumeric(b *Builder) bool {
+	return len(b.scopeColumns(f.sel.Tables, func(_ *schema.Table, c *schema.Column) bool {
+		return c.Kind.Numeric()
+	})) > 0
+}
+
+// havingPossible reports whether a HAVING clause can complete: it needs a
+// numeric column with sampled literals (or an open nesting budget).
+func (f *selectFrame) havingPossible(b *Builder) bool {
+	nestOK := b.nestingAllowed()
+	return len(b.scopeColumns(f.sel.Tables, func(t *schema.Table, c *schema.Column) bool {
+		if !c.Kind.Numeric() {
+			return false
+		}
+		qc := schema.QualifiedColumn{Table: t.Name, Column: c.Name}
+		return b.hasValues(qc) || nestOK
+	})) > 0
+}
+
+// aggWords returns the aggregate reserved words applicable to the scope.
+func (f *selectFrame) aggWords(b *Builder) []int {
+	ids := []int{b.vocab.Reserved(token.RCount)}
+	if f.scopeHasNumeric(b) {
+		ids = append(ids,
+			b.vocab.Reserved(token.RMax), b.vocab.Reserved(token.RMin),
+			b.vocab.Reserved(token.RSum), b.vocab.Reserved(token.RAvg))
+	}
+	return ids
+}
+
+// insertCompatible reports whether table t can source every required kind.
+func insertCompatible(t *schema.Table, kinds []sqltypes.Kind) bool {
+	have := map[sqltypes.Kind]bool{}
+	for i := range t.Columns {
+		have[t.Columns[i].Kind] = true
+	}
+	for _, k := range kinds {
+		if !have[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *selectFrame) valid(b *Builder, closing bool) []int {
+	switch f.state {
+	case sFrom:
+		var ids []int
+		for _, t := range b.sch.Tables {
+			switch f.mode {
+			case modeIn:
+				ok := false
+				for i := range t.Columns {
+					if t.Columns[i].Kind == f.outerKind {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+			case modeInsertSrc:
+				if !insertCompatible(t, f.targetKinds) {
+					continue
+				}
+			}
+			if id := b.vocab.TableToken(t.Name); id >= 0 {
+				ids = append(ids, id)
+			}
+		}
+		return ids
+
+	case sAfterTable:
+		ids := []int{b.vocab.Reserved(token.RSelect)}
+		if !closing && len(f.sel.Tables)-1 < f.maxJoins(b) && f.mode != modeInsertSrc {
+			if len(b.joinableTables(f)) > 0 {
+				ids = append(ids, b.vocab.Reserved(token.RJoin))
+			}
+		}
+		return ids
+
+	case sJoinTable:
+		return b.joinableTables(f)
+
+	case sItemStart:
+		switch f.mode {
+		case modeScalar:
+			return f.aggWords(b)
+		case modeIn:
+			return b.scopeColumns(f.sel.Tables, func(_ *schema.Table, c *schema.Column) bool {
+				return c.Kind == f.outerKind
+			})
+		case modeExists:
+			return b.scopeColumns(f.sel.Tables, nil)
+		case modeInsertSrc:
+			need := f.targetKinds[len(f.sel.Items)]
+			return b.scopeColumns(f.sel.Tables, func(_ *schema.Table, c *schema.Column) bool {
+				return c.Kind == need
+			})
+		default: // modeTop
+			ids := b.scopeColumns(f.sel.Tables, nil)
+			if b.cfg.AllowAggregates {
+				ids = append(ids, f.aggWords(b)...)
+			}
+			return ids
+		}
+
+	case sAggCol:
+		if f.pendingAgg == sqlast.AggCount {
+			return b.scopeColumns(f.sel.Tables, nil)
+		}
+		return b.scopeColumns(f.sel.Tables, func(_ *schema.Table, c *schema.Column) bool {
+			return c.Kind.Numeric()
+		})
+
+	case sItems:
+		var ids []int
+		if f.mode == modeTop {
+			if !closing && len(f.sel.Items) < b.cfg.MaxSelectItems {
+				ids = append(ids, b.scopeColumns(f.sel.Tables, nil)...)
+				if b.cfg.AllowAggregates {
+					ids = append(ids, f.aggWords(b)...)
+				}
+			}
+			if f.hasAgg() && (f.mixed() || !closing) {
+				ids = append(ids, b.vocab.Reserved(token.RGroupBy))
+			}
+			if b.cfg.AllowOrderBy && !closing && f.hasPlain() && !f.hasAgg() {
+				ids = append(ids, b.vocab.Reserved(token.ROrderBy))
+			}
+		}
+		if !closing && len(b.predicableColumns(f.sel.Tables)) > 0 {
+			ids = append(ids, b.vocab.Reserved(token.RWhere))
+		}
+		return ids
+
+	case sWhere:
+		ids := f.pred.valid(b, closing)
+		if f.pred.complete() && f.mode == modeTop {
+			if f.hasAgg() && (f.mixed() || !closing) {
+				ids = append(ids, b.vocab.Reserved(token.RGroupBy))
+			}
+			if b.cfg.AllowOrderBy && !closing && f.hasPlain() && !f.hasAgg() {
+				ids = append(ids, b.vocab.Reserved(token.ROrderBy))
+			}
+		}
+		return ids
+
+	case sGroupCol:
+		if need := f.groupNeeded(); len(need) > 0 {
+			ids := make([]int, 0, len(need))
+			for _, qc := range need {
+				if id := b.vocab.ColumnToken(qc); id >= 0 {
+					ids = append(ids, id)
+				}
+			}
+			return ids
+		}
+		// groupAny: any scope column not yet grouped.
+		grouped := map[schema.QualifiedColumn]bool{}
+		for _, g := range f.sel.GroupBy {
+			grouped[g] = true
+		}
+		return b.scopeColumns(f.sel.Tables, func(t *schema.Table, c *schema.Column) bool {
+			return !grouped[schema.QualifiedColumn{Table: t.Name, Column: c.Name}]
+		})
+
+	case sGroupMore:
+		var ids []int
+		if f.groupAny && !closing && len(f.sel.GroupBy) < b.cfg.MaxGroupCols {
+			grouped := map[schema.QualifiedColumn]bool{}
+			for _, g := range f.sel.GroupBy {
+				grouped[g] = true
+			}
+			more := b.scopeColumns(f.sel.Tables, func(t *schema.Table, c *schema.Column) bool {
+				return !grouped[schema.QualifiedColumn{Table: t.Name, Column: c.Name}]
+			})
+			ids = append(ids, more...)
+		}
+		if !closing && f.havingPossible(b) {
+			ids = append(ids, b.vocab.Reserved(token.RHaving))
+		}
+		if b.cfg.AllowOrderBy && !closing && f.hasPlain() {
+			ids = append(ids, b.vocab.Reserved(token.ROrderBy))
+		}
+		return ids
+
+	case sHavingAgg:
+		return f.aggWords(b)
+
+	case sHavingCol:
+		nestOK := b.nestingAllowed()
+		return b.scopeColumns(f.sel.Tables, func(t *schema.Table, c *schema.Column) bool {
+			if !c.Kind.Numeric() {
+				return false
+			}
+			qc := schema.QualifiedColumn{Table: t.Name, Column: c.Name}
+			return b.hasValues(qc) || nestOK
+		})
+
+	case sHavingOp:
+		return b.operatorTokens(sqltypes.KindFloat)
+
+	case sHavingVal:
+		var ids []int
+		ids = append(ids, b.vocab.ValueTokens(f.havingCol)...)
+		if b.nestingAllowed() && !(closing && len(ids) > 0) {
+			ids = append(ids, b.vocab.Reserved(token.RFrom))
+		}
+		return ids
+
+	case sAfterHaving:
+		if b.cfg.AllowOrderBy && !closing && f.hasPlain() {
+			return []int{b.vocab.Reserved(token.ROrderBy)}
+		}
+		return nil
+
+	case sOrderCol:
+		seen := map[schema.QualifiedColumn]bool{}
+		for _, o := range f.sel.OrderBy {
+			seen[o] = true
+		}
+		var ids []int
+		for _, it := range f.sel.Items {
+			if it.Agg == sqlast.AggNone && !seen[it.Col] {
+				if id := b.vocab.ColumnToken(it.Col); id >= 0 {
+					ids = append(ids, id)
+				}
+			}
+		}
+		return ids
+
+	case sAfterOrder:
+		return nil
+
+	default:
+		return nil
+	}
+}
+
+// joinableTables lists table tokens joinable to the current scope.
+func (b *Builder) joinableTables(f *selectFrame) []int {
+	in := map[string]bool{}
+	for _, t := range f.sel.Tables {
+		in[t] = true
+	}
+	var ids []int
+	for _, name := range b.sch.JoinableFrom(in) {
+		if id := b.vocab.TableToken(name); id >= 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+func (f *selectFrame) apply(b *Builder, tok token.Token) error {
+	switch f.state {
+	case sFrom:
+		if tok.Type != token.TypeTable {
+			return fmt.Errorf("fsm: expected table after FROM, got %s", tok)
+		}
+		f.sel.Tables = append(f.sel.Tables, tok.Table)
+		f.state = sAfterTable
+		return nil
+
+	case sAfterTable:
+		switch tok.Reserved {
+		case token.RJoin:
+			f.state = sJoinTable
+			return nil
+		case token.RSelect:
+			f.state = sItemStart
+			return nil
+		}
+		return fmt.Errorf("fsm: expected JOIN or SELECT, got %s", tok)
+
+	case sJoinTable:
+		if tok.Type != token.TypeTable {
+			return fmt.Errorf("fsm: expected table after JOIN, got %s", tok)
+		}
+		// Auto-add the join keys (§5): connect the new table to the first
+		// in-scope table sharing a declared join edge.
+		for _, existing := range f.sel.Tables {
+			if e, ok := b.sch.JoinEdgeBetween(existing, tok.Table); ok {
+				f.sel.Tables = append(f.sel.Tables, tok.Table)
+				f.sel.Joins = append(f.sel.Joins, sqlast.JoinCond{
+					Left:  schema.QualifiedColumn{Table: e.LeftTable, Column: e.LeftColumn},
+					Right: schema.QualifiedColumn{Table: e.RightTable, Column: e.RightColumn},
+				})
+				f.state = sAfterTable
+				return nil
+			}
+		}
+		return fmt.Errorf("fsm: table %s not joinable with current scope", tok.Table)
+
+	case sItemStart, sItems:
+		switch {
+		case tok.Type == token.TypeColumn:
+			f.sel.Items = append(f.sel.Items, sqlast.SelectItem{Col: tok.QC()})
+			f.advanceAfterItem()
+			return nil
+		case tok.Type == token.TypeReserved && tok.Reserved.Agg() != sqlast.AggNone:
+			f.pendingAgg = tok.Reserved.Agg()
+			f.state = sAggCol
+			return nil
+		case tok.Type == token.TypeReserved && tok.Reserved == token.RWhere && f.state == sItems:
+			f.pred = newPredBuilder(f.sel.Tables)
+			f.state = sWhere
+			return nil
+		case tok.Type == token.TypeReserved && tok.Reserved == token.RGroupBy && f.state == sItems:
+			f.enterGroupBy()
+			return nil
+		case tok.Type == token.TypeReserved && tok.Reserved == token.ROrderBy && f.state == sItems:
+			f.state = sOrderCol
+			return nil
+		}
+		return fmt.Errorf("fsm: unexpected %s in select list", tok)
+
+	case sAggCol:
+		if tok.Type != token.TypeColumn {
+			return fmt.Errorf("fsm: expected column for %v, got %s", f.pendingAgg, tok)
+		}
+		f.sel.Items = append(f.sel.Items, sqlast.SelectItem{Agg: f.pendingAgg, Col: tok.QC()})
+		f.pendingAgg = sqlast.AggNone
+		f.advanceAfterItem()
+		return nil
+
+	case sWhere:
+		handled, err := f.pred.apply(b, tok)
+		if err != nil {
+			return err
+		}
+		if handled {
+			return nil
+		}
+		switch tok.Reserved {
+		case token.RGroupBy:
+			f.enterGroupBy()
+			return nil
+		case token.ROrderBy:
+			f.state = sOrderCol
+			return nil
+		}
+		return fmt.Errorf("fsm: unexpected %s after predicate", tok)
+
+	case sGroupCol:
+		if tok.Type != token.TypeColumn {
+			return fmt.Errorf("fsm: expected GROUP BY column, got %s", tok)
+		}
+		f.sel.GroupBy = append(f.sel.GroupBy, tok.QC())
+		if len(f.groupNeeded()) == 0 {
+			f.state = sGroupMore
+		}
+		return nil
+
+	case sGroupMore:
+		switch {
+		case tok.Type == token.TypeColumn: // extra free grouping column
+			f.sel.GroupBy = append(f.sel.GroupBy, tok.QC())
+			return nil
+		case tok.Reserved == token.RHaving:
+			f.state = sHavingAgg
+			return nil
+		case tok.Reserved == token.ROrderBy:
+			f.state = sOrderCol
+			return nil
+		}
+		return fmt.Errorf("fsm: unexpected %s after GROUP BY", tok)
+
+	case sHavingAgg:
+		agg := tok.Reserved.Agg()
+		if agg == sqlast.AggNone {
+			return fmt.Errorf("fsm: expected aggregate in HAVING, got %s", tok)
+		}
+		f.havingAgg = agg
+		f.state = sHavingCol
+		return nil
+
+	case sHavingCol:
+		if tok.Type != token.TypeColumn {
+			return fmt.Errorf("fsm: expected HAVING column, got %s", tok)
+		}
+		f.havingCol = tok.QC()
+		f.state = sHavingOp
+		return nil
+
+	case sHavingOp:
+		if tok.Type != token.TypeOperator {
+			return fmt.Errorf("fsm: expected operator in HAVING, got %s", tok)
+		}
+		f.havingOp = tok.Op
+		f.state = sHavingVal
+		return nil
+
+	case sHavingVal:
+		switch {
+		case tok.Type == token.TypeValue:
+			if tok.QC() != f.havingCol {
+				return fmt.Errorf("fsm: HAVING literal of %s for column %s", tok.QC(), f.havingCol)
+			}
+			f.sel.Having = &sqlast.Having{
+				Agg: f.havingAgg, Col: f.havingCol, Op: f.havingOp, Value: tok.Value,
+			}
+			f.state = sAfterHaving
+			return nil
+		case tok.Type == token.TypeReserved && tok.Reserved == token.RFrom:
+			f.havingWait = true
+			b.stack = append(b.stack, newSelectFrame(modeScalar))
+			return nil
+		}
+		return fmt.Errorf("fsm: expected HAVING literal, got %s", tok)
+
+	case sAfterHaving:
+		if tok.Reserved == token.ROrderBy {
+			f.state = sOrderCol
+			return nil
+		}
+		return fmt.Errorf("fsm: unexpected %s after HAVING", tok)
+
+	case sOrderCol:
+		if tok.Type != token.TypeColumn {
+			return fmt.Errorf("fsm: expected ORDER BY column, got %s", tok)
+		}
+		f.sel.OrderBy = append(f.sel.OrderBy, tok.QC())
+		f.state = sAfterOrder
+		return nil
+
+	default:
+		return fmt.Errorf("fsm: select frame cannot consume %s in state %d", tok, f.state)
+	}
+}
+
+// advanceAfterItem moves past a completed select item according to mode.
+func (f *selectFrame) advanceAfterItem() {
+	switch f.mode {
+	case modeInsertSrc:
+		if len(f.sel.Items) < len(f.targetKinds) {
+			f.state = sItemStart
+		} else {
+			f.state = sItems
+		}
+	default:
+		f.state = sItems
+	}
+}
+
+// enterGroupBy starts the GROUP BY clause; groupAny marks all-aggregate
+// projections where the agent may group by arbitrary scope columns.
+func (f *selectFrame) enterGroupBy() {
+	f.groupAny = !f.hasPlain()
+	f.state = sGroupCol
+}
+
+func (f *selectFrame) canClose() bool {
+	switch f.state {
+	case sItems:
+		return !f.mixed()
+	case sWhere:
+		return f.pred.complete() && !f.mixed()
+	case sGroupMore, sAfterHaving, sAfterOrder:
+		return true
+	default:
+		return false
+	}
+}
+
+func (f *selectFrame) finish() (sqlast.Statement, error) {
+	if !f.canClose() {
+		return nil, fmt.Errorf("fsm: SELECT incomplete in state %d", f.state)
+	}
+	if f.pred != nil {
+		f.sel.Where = f.pred.where
+	}
+	return &f.sel, nil
+}
+
+func (f *selectFrame) childDone(b *Builder, sub *sqlast.Select) error {
+	if f.havingWait {
+		f.havingWait = false
+		f.sel.Having = &sqlast.Having{
+			Agg: f.havingAgg, Col: f.havingCol, Op: f.havingOp, Sub: sub,
+		}
+		f.state = sAfterHaving
+		return nil
+	}
+	if f.state == sWhere && f.pred != nil {
+		return f.pred.childDone(sub)
+	}
+	return fmt.Errorf("fsm: select frame received unexpected subquery")
+}
+
+// snapshot returns the executable prefix of a top-level SELECT, or nil.
+func (f *selectFrame) snapshot() sqlast.Statement {
+	if f.mode != modeTop || len(f.sel.Items) == 0 || !f.canClose() {
+		return nil
+	}
+	cp := f.sel
+	cp.Tables = append([]string(nil), f.sel.Tables...)
+	cp.Joins = append([]sqlast.JoinCond(nil), f.sel.Joins...)
+	cp.Items = append([]sqlast.SelectItem(nil), f.sel.Items...)
+	cp.GroupBy = append([]schema.QualifiedColumn(nil), f.sel.GroupBy...)
+	cp.OrderBy = append([]schema.QualifiedColumn(nil), f.sel.OrderBy...)
+	if f.pred != nil && f.pred.complete() {
+		cp.Where = f.pred.where
+	} else {
+		cp.Where = nil
+	}
+	return &cp
+}

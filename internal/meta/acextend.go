@@ -1,0 +1,183 @@
+package meta
+
+import (
+	"math"
+	"math/rand"
+
+	"learnedsqlgen/internal/nn"
+	"learnedsqlgen/internal/rl"
+)
+
+// ACExtend is the §7.4 comparison strategy that "directly encoded multiple
+// constraints to the state without using the meta-critic": one shared
+// actor–critic pair whose input sequence is prefixed with a
+// constraint-identifying embedding row (one per pre-training task; a new
+// constraint maps to its nearest task row). The paper's finding — that
+// this coarse task conditioning generalizes worse than the meta-critic's
+// (state, action, reward) encoder — is reproduced in Figure 9.
+type ACExtend struct {
+	Env    *rl.Env
+	Cfg    rl.Config
+	Domain Domain
+	Tasks  []rl.Constraint
+
+	actor     *nn.SeqNet
+	critic    *nn.SeqNet
+	actorOpt  *nn.Adam
+	criticOpt *nn.Adam
+	sampler   *rl.Trainer
+}
+
+// NewACExtend builds the shared conditioned networks: the embedding table
+// holds |A| action rows, K task rows and the BOS row.
+func NewACExtend(env *rl.Env, domain Domain, cfg rl.Config) *ACExtend {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vocab := env.Vocab.Size()
+	rows := vocab + domain.K // + implicit BOS row from SeqNet
+	return &ACExtend{
+		Env: env, Cfg: cfg, Domain: domain, Tasks: domain.Tasks(),
+		actor:     nn.NewSeqNet("acx.actor", rows, cfg.EmbedDim, cfg.Hidden, vocab, cfg.Dropout, rng),
+		critic:    nn.NewSeqNet("acx.critic", rows, cfg.EmbedDim, cfg.Hidden, 1, cfg.Dropout, rng),
+		actorOpt:  nn.NewAdam(cfg.ActorLR),
+		criticOpt: nn.NewAdam(cfg.CriticLR),
+		sampler:   rl.NewSampler(env, domain.Tasks()[0], cfg),
+	}
+}
+
+// taskRow returns the embedding row identifying the task nearest to c.
+func (x *ACExtend) taskRow(c rl.Constraint) int {
+	best, bestDist := 0, math.Inf(1)
+	for i, task := range x.Tasks {
+		if d := math.Abs(center(task) - center(c)); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return x.Env.Vocab.Size() + best
+}
+
+// trainConstraint runs episodes under one constraint, updating the shared
+// networks.
+func (x *ACExtend) trainConstraint(c rl.Constraint, episodes int) rl.EpochStats {
+	x.sampler.SetConstraint(c)
+	start := x.taskRow(c)
+	stats := rl.EpochStats{}
+	batch := make([]*rl.Trajectory, 0, x.Cfg.BatchSize)
+	starts := make([]int, 0, x.Cfg.BatchSize)
+	flush := func() {
+		if len(batch) > 0 {
+			x.update(batch, starts)
+			batch, starts = batch[:0], starts[:0]
+		}
+	}
+	for ep := 0; ep < episodes; ep++ {
+		traj := x.sampler.SampleEpisodeFrom(x.actor, start, false, true)
+		stats.Episodes++
+		stats.AvgReward += traj.TotalReward
+		if traj.Satisfied {
+			stats.SatisfiedRate++
+		}
+		batch = append(batch, traj)
+		starts = append(starts, start)
+		if len(batch) == x.Cfg.BatchSize {
+			flush()
+		}
+	}
+	flush()
+	if stats.Episodes > 0 {
+		stats.AvgReward /= float64(stats.Episodes)
+		stats.SatisfiedRate /= float64(stats.Episodes)
+	}
+	return stats
+}
+
+// update applies one batched actor–critic step; the critic re-processes
+// each trajectory's input sequence (with the task prefix) to produce V.
+func (x *ACExtend) update(batch []*rl.Trajectory, starts []int) {
+	scale := 1.0 / float64(len(batch))
+	vocab := x.Env.Vocab.Size()
+	for bi, traj := range batch {
+		T := len(traj.Steps)
+		criticState := x.critic.NewState()
+		V := make([]float64, T)
+		in := starts[bi]
+		for i, s := range traj.Steps {
+			V[i] = x.critic.Step(criticState, in, true, nil)[0]
+			in = s.Action
+		}
+		dActor := make([][]float64, T)
+		dCritic := make([][]float64, T)
+		for i, s := range traj.Steps {
+			vNext := 0.0
+			if i+1 < T {
+				vNext = V[i+1]
+			}
+			delta := s.Reward + x.Cfg.Gamma*vNext - V[i]
+			d := make([]float64, vocab)
+			nn.PolicyGradLogits(s.Probs, s.Valid, s.Action, delta*scale, x.Cfg.EntropyWeight*scale, d)
+			dActor[i] = d
+			dCritic[i] = []float64{-2 * delta * scale}
+		}
+		x.actor.Backward(traj.ActorState, dActor)
+		x.critic.Backward(criticState, dCritic)
+	}
+	x.actorOpt.Step(x.actor.Params())
+	x.criticOpt.Step(x.critic.Params())
+}
+
+// Pretrain cycles the K tasks for rounds, like MetaTrainer.Pretrain.
+func (x *ACExtend) Pretrain(rounds, episodesPerTask int) []rl.EpochStats {
+	var out []rl.EpochStats
+	for r := 0; r < rounds; r++ {
+		agg := rl.EpochStats{}
+		for _, c := range x.Tasks {
+			s := x.trainConstraint(c, episodesPerTask)
+			agg.Episodes += s.Episodes
+			agg.AvgReward += s.AvgReward
+			agg.SatisfiedRate += s.SatisfiedRate
+		}
+		agg.AvgReward /= float64(len(x.Tasks))
+		agg.SatisfiedRate /= float64(len(x.Tasks))
+		out = append(out, agg)
+	}
+	return out
+}
+
+// AdaptEpoch continues training the shared networks on a new constraint
+// and returns the epoch stats.
+func (x *ACExtend) AdaptEpoch(c rl.Constraint, episodes int) rl.EpochStats {
+	return x.trainConstraint(c, episodes)
+}
+
+// Generate samples n statements for constraint c.
+func (x *ACExtend) Generate(c rl.Constraint, n int) []rl.Generated {
+	x.sampler.SetConstraint(c)
+	start := x.taskRow(c)
+	out := make([]rl.Generated, 0, n)
+	for i := 0; i < n; i++ {
+		traj := x.sampler.SampleEpisodeFrom(x.actor, start, false, false)
+		out = append(out, rl.Generated{
+			Statement: traj.Final, SQL: traj.Final.SQL(),
+			Measured: traj.Measured, Satisfied: traj.Satisfied,
+		})
+	}
+	return out
+}
+
+// GenerateSatisfied samples until n satisfied statements or maxAttempts.
+func (x *ACExtend) GenerateSatisfied(c rl.Constraint, n, maxAttempts int) ([]rl.Generated, int) {
+	x.sampler.SetConstraint(c)
+	start := x.taskRow(c)
+	var out []rl.Generated
+	attempts := 0
+	for attempts < maxAttempts && len(out) < n {
+		traj := x.sampler.SampleEpisodeFrom(x.actor, start, false, false)
+		attempts++
+		if traj.Satisfied {
+			out = append(out, rl.Generated{
+				Statement: traj.Final, SQL: traj.Final.SQL(),
+				Measured: traj.Measured, Satisfied: true,
+			})
+		}
+	}
+	return out, attempts
+}

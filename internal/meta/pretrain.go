@@ -1,0 +1,271 @@
+package meta
+
+import (
+	"math"
+	"math/rand"
+
+	"learnedsqlgen/internal/nn"
+	"learnedsqlgen/internal/rl"
+)
+
+// Domain is the cardinality/cost span the meta-critic is pre-trained on,
+// uniformly divided into K sub-range tasks (§6: e.g. [0, 10K] into
+// {[0,2K], [2K,4K], ...}).
+type Domain struct {
+	Metric rl.Metric
+	Lo, Hi float64
+	K      int
+}
+
+// Tasks returns the K sub-range constraints.
+func (d Domain) Tasks() []rl.Constraint {
+	width := (d.Hi - d.Lo) / float64(d.K)
+	out := make([]rl.Constraint, 0, d.K)
+	for i := 0; i < d.K; i++ {
+		lo := d.Lo + float64(i)*width
+		out = append(out, rl.RangeConstraint(d.Metric, lo, lo+width))
+	}
+	return out
+}
+
+// center of a constraint for nearest-task lookup.
+func center(c rl.Constraint) float64 {
+	if c.IsRange {
+		return (c.Lo + c.Hi) / 2
+	}
+	return c.Point
+}
+
+// MetaTrainer pre-trains one actor per task plus the shared meta-critic
+// (Figure 3: multiple actors, one meta-value network with a constraint
+// encoder).
+type MetaTrainer struct {
+	Env    *rl.Env
+	Cfg    rl.Config
+	Domain Domain
+	Tasks  []rl.Constraint
+
+	actors    []*nn.SeqNet
+	actorOpts []*nn.Adam
+	valueNet  *ValueNet
+	valOpt    *nn.Adam
+	sampler   *rl.Trainer
+	rng       *rand.Rand
+}
+
+// NewMetaTrainer builds the multi-task setup.
+func NewMetaTrainer(env *rl.Env, domain Domain, cfg rl.Config) *MetaTrainer {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vocab := env.Vocab.Size()
+	m := &MetaTrainer{
+		Env: env, Cfg: cfg, Domain: domain, Tasks: domain.Tasks(),
+		valueNet: NewValueNet(vocab, cfg.EmbedDim, cfg.Hidden, rng),
+		valOpt:   nn.NewAdam(cfg.CriticLR),
+		sampler:  rl.NewSampler(env, domain.Tasks()[0], cfg),
+		rng:      rng,
+	}
+	for range m.Tasks {
+		m.actors = append(m.actors,
+			nn.NewSeqNet("actor", vocab, cfg.EmbedDim, cfg.Hidden, vocab, cfg.Dropout, rng))
+		m.actorOpts = append(m.actorOpts, nn.NewAdam(cfg.ActorLR))
+	}
+	return m
+}
+
+// ValueNet exposes the shared meta-critic.
+func (m *MetaTrainer) ValueNet() *ValueNet { return m.valueNet }
+
+// trainBatch applies one batched update to an actor and the meta-critic
+// from trajectories sampled under one constraint.
+func (m *MetaTrainer) trainBatch(actor *nn.SeqNet, opt *nn.Adam, batch []*rl.Trajectory) {
+	scale := 1.0 / float64(len(batch))
+	vocab := m.Env.Vocab.Size()
+	for _, traj := range batch {
+		T := len(traj.Steps)
+		inputs := make([]int, T)
+		actions := make([]int, T)
+		rewards := make([]float64, T)
+		inputs[0] = m.valueNet.BOS()
+		for i, s := range traj.Steps {
+			if i > 0 {
+				inputs[i] = traj.Steps[i-1].Action
+			}
+			actions[i] = s.Action
+			rewards[i] = s.Reward
+		}
+		tape := m.valueNet.Forward(inputs, actions, rewards)
+		V := tape.Values()
+
+		dActor := make([][]float64, T)
+		dV := make([]float64, T)
+		for i, s := range traj.Steps {
+			vNext := 0.0
+			if i+1 < T {
+				vNext = V[i+1]
+			}
+			delta := s.Reward + m.Cfg.Gamma*vNext - V[i]
+			d := make([]float64, vocab)
+			nn.PolicyGradLogits(s.Probs, s.Valid, s.Action, delta*scale, m.Cfg.EntropyWeight*scale, d)
+			dActor[i] = d
+			dV[i] = -2 * delta * scale
+		}
+		actor.Backward(traj.ActorState, dActor)
+		m.valueNet.Backward(tape, dV)
+	}
+	opt.Step(actor.Params())
+	m.valOpt.Step(m.valueNet.Params())
+}
+
+// trainActor runs episodes for one (actor, constraint) pair, returning the
+// epoch stats.
+func (m *MetaTrainer) trainActor(actor *nn.SeqNet, opt *nn.Adam, c rl.Constraint, episodes int) rl.EpochStats {
+	m.sampler.SetConstraint(c)
+	stats := rl.EpochStats{}
+	batch := make([]*rl.Trajectory, 0, m.Cfg.BatchSize)
+	flush := func() {
+		if len(batch) > 0 {
+			m.trainBatch(actor, opt, batch)
+			batch = batch[:0]
+		}
+	}
+	for ep := 0; ep < episodes; ep++ {
+		traj := m.sampler.SampleEpisode(actor, false, true)
+		stats.Episodes++
+		stats.AvgReward += traj.TotalReward
+		if traj.Satisfied {
+			stats.SatisfiedRate++
+		}
+		batch = append(batch, traj)
+		if len(batch) == m.Cfg.BatchSize {
+			flush()
+		}
+	}
+	flush()
+	if stats.Episodes > 0 {
+		stats.AvgReward /= float64(stats.Episodes)
+		stats.SatisfiedRate /= float64(stats.Episodes)
+	}
+	return stats
+}
+
+// Pretrain cycles the K tasks for the given number of rounds (each task
+// runs episodesPerTask episodes per round) and returns per-round stats
+// averaged over tasks.
+func (m *MetaTrainer) Pretrain(rounds, episodesPerTask int) []rl.EpochStats {
+	var out []rl.EpochStats
+	for r := 0; r < rounds; r++ {
+		agg := rl.EpochStats{}
+		for i, c := range m.Tasks {
+			s := m.trainActor(m.actors[i], m.actorOpts[i], c, episodesPerTask)
+			agg.Episodes += s.Episodes
+			agg.AvgReward += s.AvgReward
+			agg.SatisfiedRate += s.SatisfiedRate
+		}
+		agg.AvgReward /= float64(len(m.Tasks))
+		agg.SatisfiedRate /= float64(len(m.Tasks))
+		out = append(out, agg)
+	}
+	return out
+}
+
+// Adapted is a new-constraint trainer backed by the pre-trained
+// meta-critic: its actor starts from the nearest task's actor, and the
+// shared meta-critic both guides it and keeps learning (§6: "it
+// accumulates transferable knowledge and never gets 'out of date'").
+type Adapted struct {
+	meta       *MetaTrainer
+	Constraint rl.Constraint
+	actor      *nn.SeqNet
+	opt        *nn.Adam
+	sampler    *rl.Trainer
+}
+
+// Adapt prepares training for a new constraint inside the domain.
+func (m *MetaTrainer) Adapt(c rl.Constraint) *Adapted {
+	// Warm-start from the nearest pre-trained task.
+	best, bestDist := 0, math.Inf(1)
+	for i, task := range m.Tasks {
+		if d := math.Abs(center(task) - center(c)); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	vocab := m.Env.Vocab.Size()
+	actor := nn.NewSeqNet("adapted", vocab, m.Cfg.EmbedDim, m.Cfg.Hidden, vocab, m.Cfg.Dropout, m.rng)
+	actor.CopyWeightsFrom(m.actors[best])
+	return &Adapted{
+		meta:       m,
+		Constraint: c,
+		actor:      actor,
+		opt:        nn.NewAdam(m.Cfg.ActorLR),
+		sampler:    rl.NewSampler(m.Env, c, m.Cfg),
+	}
+}
+
+// TrainEpoch trains the adapted actor with meta-critic guidance.
+func (a *Adapted) TrainEpoch(episodes int) rl.EpochStats {
+	stats := rl.EpochStats{}
+	batch := make([]*rl.Trajectory, 0, a.meta.Cfg.BatchSize)
+	flush := func() {
+		if len(batch) > 0 {
+			a.meta.trainBatch(a.actor, a.opt, batch)
+			batch = batch[:0]
+		}
+	}
+	for ep := 0; ep < episodes; ep++ {
+		traj := a.sampler.SampleEpisode(a.actor, false, true)
+		stats.Episodes++
+		stats.AvgReward += traj.TotalReward
+		if traj.Satisfied {
+			stats.SatisfiedRate++
+		}
+		batch = append(batch, traj)
+		if len(batch) == a.meta.Cfg.BatchSize {
+			flush()
+		}
+	}
+	flush()
+	if stats.Episodes > 0 {
+		stats.AvgReward /= float64(stats.Episodes)
+		stats.SatisfiedRate /= float64(stats.Episodes)
+	}
+	return stats
+}
+
+// Train runs epochs and returns stats traces (the Figure 9(c) curves).
+func (a *Adapted) Train(epochs, episodesPerEpoch int) []rl.EpochStats {
+	out := make([]rl.EpochStats, 0, epochs)
+	for i := 0; i < epochs; i++ {
+		out = append(out, a.TrainEpoch(episodesPerEpoch))
+	}
+	return out
+}
+
+// Generate samples n statements from the adapted policy.
+func (a *Adapted) Generate(n int) []rl.Generated {
+	out := make([]rl.Generated, 0, n)
+	for i := 0; i < n; i++ {
+		traj := a.sampler.SampleEpisode(a.actor, false, false)
+		out = append(out, rl.Generated{
+			Statement: traj.Final, SQL: traj.Final.SQL(),
+			Measured: traj.Measured, Satisfied: traj.Satisfied,
+		})
+	}
+	return out
+}
+
+// GenerateSatisfied mirrors rl.Trainer.GenerateSatisfied.
+func (a *Adapted) GenerateSatisfied(n, maxAttempts int) ([]rl.Generated, int) {
+	var out []rl.Generated
+	attempts := 0
+	for attempts < maxAttempts && len(out) < n {
+		traj := a.sampler.SampleEpisode(a.actor, false, false)
+		attempts++
+		if traj.Satisfied {
+			out = append(out, rl.Generated{
+				Statement: traj.Final, SQL: traj.Final.SQL(),
+				Measured: traj.Measured, Satisfied: true,
+			})
+		}
+	}
+	return out, attempts
+}

@@ -1,0 +1,166 @@
+// Package meta implements §6 of the paper: pre-training a single
+// meta-critic over K sub-range constraint tasks of a domain so that a new
+// constraint inside the domain trains quickly, plus the two §7.4
+// comparison strategies — Scratch (retrain per constraint) and AC-extend
+// (constraint encoded into the state of a single actor–critic).
+package meta
+
+import (
+	"math/rand"
+
+	"learnedsqlgen/internal/nn"
+)
+
+// ValueNet is the meta-critic: a state LSTM shared with no task, a
+// constraint encoder over a sliding window of (state, action, reward)
+// triples producing a task embedding z, and a meta-value MLP V(s, z).
+//
+// The constraint encoder sees the reward stream, which "directly
+// determines the task given the query and selected token" (§6) — that is
+// how the network identifies which constraint it is criticizing without
+// being told explicitly.
+type ValueNet struct {
+	StateDim int
+	ActDim   int
+	ZDim     int
+	Window   int
+
+	state  *nn.SeqNet    // token sequence → per-step state feature
+	actEmb *nn.Embedding // action id → ActDim
+	enc    *nn.MLP       // mean triple feature → z
+	val    *nn.MLP       // [state feature, z] → V
+}
+
+// NewValueNet builds the meta-critic for a vocabulary of the given size.
+func NewValueNet(vocab, embedDim, hidden int, rng *rand.Rand) *ValueNet {
+	v := &ValueNet{StateDim: 16, ActDim: 8, ZDim: 8, Window: 8}
+	v.state = nn.NewSeqNet("meta.state", vocab, embedDim, hidden, v.StateDim, 0, rng)
+	v.actEmb = nn.NewEmbedding("meta.act", vocab+1, v.ActDim, rng)
+	tripleDim := v.StateDim + v.ActDim + 1
+	v.enc = nn.NewMLP("meta.enc", []int{tripleDim, 16, v.ZDim}, rng)
+	v.val = nn.NewMLP("meta.val", []int{v.StateDim + v.ZDim, 24, 1}, rng)
+	return v
+}
+
+// Params lists every trainable parameter.
+func (v *ValueNet) Params() []*nn.Param {
+	ps := v.state.Params()
+	ps = append(ps, v.actEmb.Params()...)
+	ps = append(ps, v.enc.Params()...)
+	ps = append(ps, v.val.Params()...)
+	return ps
+}
+
+// BOS is the state network's begin-of-sequence id.
+func (v *ValueNet) BOS() int { return v.state.BOS() }
+
+// Tape holds one episode's forward activations for Backward.
+type Tape struct {
+	seq     *nn.SeqState
+	sfeat   [][]float64 // per-step state feature
+	actions []int
+	means   [][]float64    // per-step mean triple feature (encoder input)
+	encCc   []*nn.MLPCache // encoder caches
+	zs      [][]float64
+	valCc   []*nn.MLPCache
+	V       []float64
+	// windows[t] lists the triple indices contributing to z_t.
+	windows [][]int
+}
+
+// Values returns the per-step V estimates.
+func (t *Tape) Values() []float64 { return t.V }
+
+// Forward runs the meta-critic over one episode. inputs[t] is the token
+// fed at step t (BOS then the chosen actions); actions[t]/rewards[t] are
+// the transition at step t. z_t is computed from the triples strictly
+// before t, so V(s_t, z_t) only conditions on observed feedback.
+func (v *ValueNet) Forward(inputs, actions []int, rewards []float64) *Tape {
+	T := len(inputs)
+	tape := &Tape{seq: v.state.NewState(), actions: actions}
+	// Triple features become available as steps complete.
+	var triples [][]float64
+	for t := 0; t < T; t++ {
+		sf := v.state.Step(tape.seq, inputs[t], false, nil)
+		tape.sfeat = append(tape.sfeat, sf)
+
+		// Window over the most recent completed triples.
+		lo := len(triples) - v.Window
+		if lo < 0 {
+			lo = 0
+		}
+		var window []int
+		mean := make([]float64, v.StateDim+v.ActDim+1)
+		for i := lo; i < len(triples); i++ {
+			window = append(window, i)
+			for j, f := range triples[i] {
+				mean[j] += f
+			}
+		}
+		if len(window) > 0 {
+			inv := 1.0 / float64(len(window))
+			for j := range mean {
+				mean[j] *= inv
+			}
+		}
+		z, encCache := v.enc.Forward(mean)
+		tape.means = append(tape.means, mean)
+		tape.encCc = append(tape.encCc, encCache)
+		tape.zs = append(tape.zs, z)
+		tape.windows = append(tape.windows, window)
+
+		in := make([]float64, 0, v.StateDim+v.ZDim)
+		in = append(in, sf...)
+		in = append(in, z...)
+		val, valCache := v.val.Forward(in)
+		tape.valCc = append(tape.valCc, valCache)
+		tape.V = append(tape.V, val[0])
+
+		// Complete this step's triple for future windows. The state
+		// feature enters detached (stop-gradient): encoder gradients do
+		// not flow back into the state LSTM through the triples, the
+		// usual stabilization for meta-critics.
+		feat := make([]float64, 0, v.StateDim+v.ActDim+1)
+		feat = append(feat, sf...)
+		feat = append(feat, v.actEmb.Lookup(actions[t])...)
+		feat = append(feat, rewards[t])
+		triples = append(triples, feat)
+	}
+	return tape
+}
+
+// Backward propagates per-step value gradients dV through the value MLP,
+// the encoder (into the action embeddings) and the state LSTM.
+func (v *ValueNet) Backward(tape *Tape, dV []float64) {
+	T := len(tape.V)
+	dsfeat := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		if dV[t] == 0 {
+			continue
+		}
+		din := v.val.Backward(tape.valCc[t], []float64{dV[t]})
+		if dsfeat[t] == nil {
+			dsfeat[t] = make([]float64, v.StateDim)
+		}
+		for j := 0; j < v.StateDim; j++ {
+			dsfeat[t][j] += din[j]
+		}
+		dz := din[v.StateDim:]
+		dmean := v.enc.Backward(tape.encCc[t], dz)
+		n := len(tape.windows[t])
+		if n == 0 {
+			continue
+		}
+		inv := 1.0 / float64(n)
+		for _, i := range tape.windows[t] {
+			// Triple i = [sfeat_i (stop-grad), actEmb(a_i), r_i].
+			start := v.StateDim
+			dact := make([]float64, v.ActDim)
+			for j := 0; j < v.ActDim; j++ {
+				dact[j] = dmean[start+j] * inv
+			}
+			v.actEmb.Accumulate(tape.actions[i], dact)
+		}
+	}
+	v.state.Backward(tape.seq, dsfeat)
+}

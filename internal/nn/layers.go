@@ -1,0 +1,252 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Embedding maps token ids to dense vectors (mathematically, the one-hot
+// state encoding of §4.1 multiplied into the first weight matrix).
+type Embedding struct {
+	Dim int
+	P   *Param // rows = vocab (+ BOS row), cols = Dim
+}
+
+// NewEmbedding allocates a vocab×dim table.
+func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
+	return &Embedding{Dim: dim, P: NewParam(name, vocab, dim, rng)}
+}
+
+// Params lists trainable parameters.
+func (e *Embedding) Params() []*Param { return []*Param{e.P} }
+
+// Lookup returns a copy of the embedding row for id.
+func (e *Embedding) Lookup(id int) []float64 {
+	return append([]float64(nil), e.P.Val.Row(id)...)
+}
+
+// Accumulate adds dx into the gradient row for id.
+func (e *Embedding) Accumulate(id int, dx []float64) {
+	row := e.P.Grad.Row(id)
+	for j, d := range dx {
+		row[j] += d
+	}
+}
+
+// Linear is a fully connected layer y = W·x + b.
+type Linear struct {
+	In, Out int
+	W, B    *Param
+}
+
+// NewLinear allocates the layer.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	return &Linear{
+		In: in, Out: out,
+		W: NewParam(name+".W", out, in, rng),
+		B: NewZeroParam(name+".B", out, 1),
+	}
+}
+
+// Params lists trainable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Forward computes the output.
+func (l *Linear) Forward(x []float64) []float64 {
+	y := make([]float64, l.Out)
+	l.W.Val.MulVec(x, y)
+	for i := range y {
+		y[i] += l.B.Val.Data[i]
+	}
+	return y
+}
+
+// ForwardSparse computes only the output rows listed in ids, writing them
+// into y (length Out, other entries untouched). Combined with masked
+// softmax this avoids touching the full |A|-sized head on every step.
+func (l *Linear) ForwardSparse(x []float64, ids []int, y []float64) {
+	for _, id := range ids {
+		row := l.W.Val.Row(id)
+		s := l.B.Val.Data[id]
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		y[id] = s
+	}
+}
+
+// Backward accumulates gradients for dy at input x and returns dx.
+func (l *Linear) Backward(x, dy []float64) []float64 {
+	l.W.Grad.AddOuter(dy, x)
+	for i, d := range dy {
+		l.B.Grad.Data[i] += d
+	}
+	dx := make([]float64, l.In)
+	l.W.Val.MulVecT(dy, dx)
+	return dx
+}
+
+// MaskedSoftmax computes softmax over logits restricted to the valid ids;
+// masked entries get probability 0. The returned slice has len(logits).
+func MaskedSoftmax(logits []float64, valid []int) []float64 {
+	probs := make([]float64, len(logits))
+	if len(valid) == 0 {
+		return probs
+	}
+	max := math.Inf(-1)
+	for _, id := range valid {
+		if logits[id] > max {
+			max = logits[id]
+		}
+	}
+	var sum float64
+	for _, id := range valid {
+		e := math.Exp(logits[id] - max)
+		probs[id] = e
+		sum += e
+	}
+	for _, id := range valid {
+		probs[id] /= sum
+	}
+	return probs
+}
+
+// Entropy returns the Shannon entropy of a masked distribution.
+func Entropy(probs []float64, valid []int) float64 {
+	h := 0.0
+	for _, id := range valid {
+		p := probs[id]
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// PolicyGradLogits fills dLogits (length = len(probs)) with the gradient of
+// the scalar loss
+//
+//	L = −A·log p[action] − λ·H(p)
+//
+// with respect to the masked logits. The well-known identities used:
+// ∂(−log p_a)/∂z_j = p_j − 1{j=a} and ∂(−H)/∂z_j = p_j·(log p_j + H),
+// both restricted to valid ids (masked logits receive zero gradient).
+func PolicyGradLogits(probs []float64, valid []int, action int, advantage, entropyW float64, dLogits []float64) {
+	for i := range dLogits {
+		dLogits[i] = 0
+	}
+	h := 0.0
+	if entropyW != 0 {
+		h = Entropy(probs, valid)
+	}
+	for _, id := range valid {
+		p := probs[id]
+		g := advantage * p
+		if id == action {
+			g -= advantage
+		}
+		if entropyW != 0 && p > 0 {
+			g += entropyW * p * (math.Log(p) + h)
+		}
+		dLogits[id] = g
+	}
+}
+
+// Dropout applies inverted dropout in place, returning the keep mask used.
+// With rate 0 (or nil rng) it is the identity and returns nil.
+func Dropout(x []float64, rate float64, rng *rand.Rand) []bool {
+	if rate <= 0 || rng == nil {
+		return nil
+	}
+	keepScale := 1 / (1 - rate)
+	mask := make([]bool, len(x))
+	for i := range x {
+		if rng.Float64() < rate {
+			x[i] = 0
+		} else {
+			mask[i] = true
+			x[i] *= keepScale
+		}
+	}
+	return mask
+}
+
+// DropoutBackward applies the stored mask to the gradient in place.
+func DropoutBackward(dx []float64, mask []bool, rate float64) {
+	if mask == nil {
+		return
+	}
+	keepScale := 1 / (1 - rate)
+	for i := range dx {
+		if mask[i] {
+			dx[i] *= keepScale
+		} else {
+			dx[i] = 0
+		}
+	}
+}
+
+// MLP is a stack of Linear layers with tanh activations between them.
+type MLP struct {
+	Layers []*Linear
+}
+
+// NewMLP builds an MLP with the given layer sizes (len ≥ 2).
+func NewMLP(name string, sizes []int, rng *rand.Rand) *MLP {
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewLinear(name, sizes[i], sizes[i+1], rng))
+	}
+	return m
+}
+
+// Params lists trainable parameters.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// MLPCache stores per-layer activations for backward.
+type MLPCache struct {
+	xs  [][]float64 // input of each layer
+	pre [][]float64 // pre-activation outputs
+}
+
+// Forward runs the network; hidden layers use tanh, the final layer is
+// linear.
+func (m *MLP) Forward(x []float64) ([]float64, *MLPCache) {
+	cache := &MLPCache{}
+	cur := x
+	for li, l := range m.Layers {
+		cache.xs = append(cache.xs, append([]float64(nil), cur...))
+		y := l.Forward(cur)
+		cache.pre = append(cache.pre, append([]float64(nil), y...))
+		if li < len(m.Layers)-1 {
+			for i := range y {
+				y[i] = math.Tanh(y[i])
+			}
+		}
+		cur = y
+	}
+	return cur, cache
+}
+
+// Backward propagates dy, accumulating parameter gradients and returning
+// the gradient with respect to the input.
+func (m *MLP) Backward(cache *MLPCache, dy []float64) []float64 {
+	grad := append([]float64(nil), dy...)
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		if li < len(m.Layers)-1 {
+			pre := cache.pre[li]
+			for i := range grad {
+				t := math.Tanh(pre[i])
+				grad[i] *= 1 - t*t
+			}
+		}
+		grad = m.Layers[li].Backward(cache.xs[li], grad)
+	}
+	return grad
+}

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LSTM is one recurrent layer with input size In and Hidden units. Gate
+// weights are packed 4H×· in the order input, forget, output, candidate.
+type LSTM struct {
+	In, Hidden int
+	Wx, Wh, B  *Param
+}
+
+// NewLSTM allocates a layer. The forget-gate bias is initialized to 1, a
+// standard trick for stable early training.
+func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		In: in, Hidden: hidden,
+		Wx: NewParam(name+".Wx", 4*hidden, in, rng),
+		Wh: NewParam(name+".Wh", 4*hidden, hidden, rng),
+		B:  NewZeroParam(name+".B", 4*hidden, 1),
+	}
+	for i := hidden; i < 2*hidden; i++ { // forget gate slice
+		l.B.Val.Data[i] = 1
+	}
+	return l
+}
+
+// Params lists trainable parameters.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// LSTMCache stores one step's activations for BPTT.
+type LSTMCache struct {
+	X, HPrev, CPrev []float64
+	I, F, O, G      []float64
+	C, H, TanhC     []float64
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Step runs one forward step, returning the new hidden/cell state and the
+// cache for backward.
+func (l *LSTM) Step(x, hPrev, cPrev []float64) ([]float64, []float64, *LSTMCache) {
+	H := l.Hidden
+	pre := make([]float64, 4*H)
+	l.Wx.Val.MulVec(x, pre)
+	tmp := make([]float64, 4*H)
+	l.Wh.Val.MulVec(hPrev, tmp)
+	for i := range pre {
+		pre[i] += tmp[i] + l.B.Val.Data[i]
+	}
+	cache := &LSTMCache{
+		X:     append([]float64(nil), x...),
+		HPrev: append([]float64(nil), hPrev...),
+		CPrev: append([]float64(nil), cPrev...),
+		I:     make([]float64, H), F: make([]float64, H),
+		O: make([]float64, H), G: make([]float64, H),
+		C: make([]float64, H), H: make([]float64, H), TanhC: make([]float64, H),
+	}
+	for j := 0; j < H; j++ {
+		cache.I[j] = sigmoid(pre[j])
+		cache.F[j] = sigmoid(pre[H+j])
+		cache.O[j] = sigmoid(pre[2*H+j])
+		cache.G[j] = math.Tanh(pre[3*H+j])
+		cache.C[j] = cache.F[j]*cPrev[j] + cache.I[j]*cache.G[j]
+		cache.TanhC[j] = math.Tanh(cache.C[j])
+		cache.H[j] = cache.O[j] * cache.TanhC[j]
+	}
+	return cache.H, cache.C, cache
+}
+
+// Backward propagates (dH, dC) through one cached step, accumulating
+// parameter gradients and returning (dX, dHPrev, dCPrev).
+func (l *LSTM) Backward(cache *LSTMCache, dH, dC []float64) (dx, dhPrev, dcPrev []float64) {
+	H := l.Hidden
+	dPre := make([]float64, 4*H)
+	dcPrev = make([]float64, H)
+	for j := 0; j < H; j++ {
+		dO := dH[j] * cache.TanhC[j]
+		dCj := dC[j] + dH[j]*cache.O[j]*(1-cache.TanhC[j]*cache.TanhC[j])
+		dI := dCj * cache.G[j]
+		dF := dCj * cache.CPrev[j]
+		dG := dCj * cache.I[j]
+		dcPrev[j] = dCj * cache.F[j]
+
+		dPre[j] = dI * cache.I[j] * (1 - cache.I[j])
+		dPre[H+j] = dF * cache.F[j] * (1 - cache.F[j])
+		dPre[2*H+j] = dO * cache.O[j] * (1 - cache.O[j])
+		dPre[3*H+j] = dG * (1 - cache.G[j]*cache.G[j])
+	}
+	l.Wx.Grad.AddOuter(dPre, cache.X)
+	l.Wh.Grad.AddOuter(dPre, cache.HPrev)
+	for i, d := range dPre {
+		l.B.Grad.Data[i] += d
+	}
+	dx = make([]float64, l.In)
+	l.Wx.Val.MulVecT(dPre, dx)
+	dhPrev = make([]float64, H)
+	l.Wh.Val.MulVecT(dPre, dhPrev)
+	return dx, dhPrev, dcPrev
+}

@@ -1,0 +1,431 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const (
+	eps     = 1e-5
+	gradTol = 1e-4
+)
+
+// numGrad computes the centered finite difference of loss() with respect
+// to one weight entry.
+func numGrad(p *Param, idx int, loss func() float64) float64 {
+	orig := p.Val.Data[idx]
+	p.Val.Data[idx] = orig + eps
+	up := loss()
+	p.Val.Data[idx] = orig - eps
+	down := loss()
+	p.Val.Data[idx] = orig
+	return (up - down) / (2 * eps)
+}
+
+func checkParamGrads(t *testing.T, params []*Param, loss func() float64, rng *rand.Rand) {
+	t.Helper()
+	for _, p := range params {
+		n := len(p.Val.Data)
+		// Sample entries to keep the test fast on big matrices.
+		samples := n
+		if samples > 20 {
+			samples = 20
+		}
+		for s := 0; s < samples; s++ {
+			idx := s
+			if n > samples {
+				idx = rng.Intn(n)
+			}
+			want := numGrad(p, idx, loss)
+			got := p.Grad.Data[idx]
+			if math.Abs(want-got) > gradTol*(1+math.Abs(want)) {
+				t.Errorf("%s[%d]: analytic %.6g vs numeric %.6g", p.Name, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestLinearGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear("lin", 4, 3, rng)
+	x := []float64{0.3, -0.2, 0.9, 0.1}
+	w := []float64{0.5, -1.0, 0.25}
+
+	loss := func() float64 {
+		y := l.Forward(x)
+		s := 0.0
+		for i := range y {
+			s += w[i] * y[i]
+		}
+		return s
+	}
+	// Analytic pass.
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+	l.Backward(x, w)
+	checkParamGrads(t, l.Params(), loss, rng)
+
+	// Input gradient too.
+	dx := l.Backward(x, w)
+	_ = dx
+	for j := range x {
+		orig := x[j]
+		x[j] = orig + eps
+		up := loss()
+		x[j] = orig - eps
+		down := loss()
+		x[j] = orig
+		want := (up - down) / (2 * eps)
+		if math.Abs(want-dx[j]) > gradTol {
+			t.Errorf("dx[%d]: analytic %.6g vs numeric %.6g", j, dx[j], want)
+		}
+	}
+}
+
+func TestLSTMGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLSTM("lstm", 3, 4, rng)
+	x := []float64{0.5, -0.3, 0.8}
+	h0 := []float64{0.1, -0.1, 0.2, 0.05}
+	c0 := []float64{0.2, 0.1, -0.2, 0.3}
+	wH := []float64{1, -0.5, 0.25, 0.75}
+
+	loss := func() float64 {
+		h, _, _ := l.Step(x, h0, c0)
+		s := 0.0
+		for i := range h {
+			s += wH[i] * h[i]
+		}
+		return s
+	}
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+	_, _, cache := l.Step(x, h0, c0)
+	dC := make([]float64, 4)
+	l.Backward(cache, wH, dC)
+	checkParamGrads(t, l.Params(), loss, rng)
+}
+
+func TestSeqNetGradCheckMultiStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewSeqNet("net", 6, 5, 4, 3, 0, rng)
+	inputs := []int{net.BOS(), 2, 4, 1}
+	// Fixed loss weights per step and output.
+	ws := make([][]float64, len(inputs))
+	for t2 := range ws {
+		ws[t2] = make([]float64, 3)
+		for i := range ws[t2] {
+			ws[t2][i] = rng.NormFloat64()
+		}
+	}
+	loss := func() float64 {
+		st := net.NewState()
+		s := 0.0
+		for t2, in := range inputs {
+			out := net.Step(st, in, false, nil)
+			for i := range out {
+				s += ws[t2][i] * out[i]
+			}
+		}
+		return s
+	}
+	for _, p := range net.Params() {
+		p.ZeroGrad()
+	}
+	st := net.NewState()
+	dHead := make([][]float64, len(inputs))
+	for t2, in := range inputs {
+		net.Step(st, in, false, nil)
+		dHead[t2] = ws[t2]
+	}
+	net.Backward(st, dHead)
+	checkParamGrads(t, net.Params(), loss, rng)
+}
+
+func TestSeqNetSparseLossGrads(t *testing.T) {
+	// Only some steps contribute loss (like RL rewards): nil dHead entries.
+	rng := rand.New(rand.NewSource(4))
+	net := NewSeqNet("net", 5, 4, 3, 2, 0, rng)
+	inputs := []int{net.BOS(), 1, 3}
+	w := []float64{0.7, -1.2}
+	loss := func() float64 {
+		st := net.NewState()
+		var last []float64
+		for _, in := range inputs {
+			last = net.Step(st, in, false, nil)
+		}
+		return w[0]*last[0] + w[1]*last[1]
+	}
+	for _, p := range net.Params() {
+		p.ZeroGrad()
+	}
+	st := net.NewState()
+	for _, in := range inputs {
+		net.Step(st, in, false, nil)
+	}
+	dHead := make([][]float64, len(inputs))
+	dHead[len(inputs)-1] = w
+	net.Backward(st, dHead)
+	checkParamGrads(t, net.Params(), loss, rng)
+}
+
+func TestMLPGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP("mlp", []int{4, 6, 3}, rng)
+	x := []float64{0.2, -0.5, 0.7, 0.1}
+	w := []float64{1, -1, 0.5}
+	loss := func() float64 {
+		y, _ := m.Forward(x)
+		return w[0]*y[0] + w[1]*y[1] + w[2]*y[2]
+	}
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+	_, cache := m.Forward(x)
+	dx := m.Backward(cache, w)
+	checkParamGrads(t, m.Params(), loss, rng)
+	for j := range x {
+		orig := x[j]
+		x[j] = orig + eps
+		up := loss()
+		x[j] = orig - eps
+		down := loss()
+		x[j] = orig
+		want := (up - down) / (2 * eps)
+		if math.Abs(want-dx[j]) > gradTol {
+			t.Errorf("mlp dx[%d]: analytic %.6g vs numeric %.6g", j, dx[j], want)
+		}
+	}
+}
+
+func TestMaskedSoftmaxProperties(t *testing.T) {
+	logits := []float64{2, -1, 0.5, 3, -2}
+	valid := []int{0, 2, 3}
+	p := MaskedSoftmax(logits, valid)
+	sum := 0.0
+	for _, id := range valid {
+		if p[id] <= 0 {
+			t.Errorf("valid prob %d must be positive", id)
+		}
+		sum += p[id]
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+	if p[1] != 0 || p[4] != 0 {
+		t.Error("masked entries must be zero")
+	}
+	if p[3] <= p[2] {
+		t.Error("higher logit must get higher probability")
+	}
+	if got := MaskedSoftmax(logits, nil); got[0] != 0 {
+		t.Error("empty mask must produce zeros")
+	}
+}
+
+func TestMaskedSoftmaxNumericStability(t *testing.T) {
+	logits := []float64{1e4, 1e4 - 1}
+	p := MaskedSoftmax(logits, []int{0, 1})
+	if math.IsNaN(p[0]) || math.IsInf(p[0], 0) {
+		t.Error("softmax must be stable for huge logits")
+	}
+}
+
+func TestEntropyUniformIsMax(t *testing.T) {
+	valid := []int{0, 1, 2, 3}
+	uniform := MaskedSoftmax([]float64{1, 1, 1, 1}, valid)
+	peaked := MaskedSoftmax([]float64{10, 0, 0, 0}, valid)
+	hu, hp := Entropy(uniform, valid), Entropy(peaked, valid)
+	if hu <= hp {
+		t.Errorf("uniform entropy %v must exceed peaked %v", hu, hp)
+	}
+	if math.Abs(hu-math.Log(4)) > 1e-9 {
+		t.Errorf("uniform entropy = %v, want ln 4", hu)
+	}
+}
+
+func TestPolicyGradLogitsNumeric(t *testing.T) {
+	logits := []float64{0.4, -0.3, 1.2, 0.1, -0.9}
+	valid := []int{0, 2, 3}
+	action := 2
+	adv := 0.8
+	lambda := 0.05
+
+	lossOf := func(z []float64) float64 {
+		p := MaskedSoftmax(z, valid)
+		return -adv*math.Log(p[action]) - lambda*Entropy(p, valid)
+	}
+	probs := MaskedSoftmax(logits, valid)
+	got := make([]float64, len(logits))
+	PolicyGradLogits(probs, valid, action, adv, lambda, got)
+	for j := range logits {
+		z := append([]float64(nil), logits...)
+		z[j] += eps
+		up := lossOf(z)
+		z[j] -= 2 * eps
+		down := lossOf(z)
+		want := (up - down) / (2 * eps)
+		if math.Abs(want-got[j]) > gradTol {
+			t.Errorf("dz[%d]: analytic %.6g vs numeric %.6g", j, got[j], want)
+		}
+	}
+	// Masked entries get zero gradient.
+	if got[1] != 0 || got[4] != 0 {
+		t.Error("masked logits must receive zero gradient")
+	}
+}
+
+func TestAdamMinimizesQuadratic(t *testing.T) {
+	p := NewZeroParam("x", 2, 1)
+	p.Val.Data[0], p.Val.Data[1] = 5, -3
+	opt := NewAdam(0.1)
+	target := []float64{1, 2}
+	for i := 0; i < 500; i++ {
+		for j := range target {
+			p.Grad.Data[j] = 2 * (p.Val.Data[j] - target[j])
+		}
+		opt.Step([]*Param{p})
+	}
+	for j := range target {
+		if math.Abs(p.Val.Data[j]-target[j]) > 0.05 {
+			t.Errorf("x[%d] = %v, want %v", j, p.Val.Data[j], target[j])
+		}
+	}
+}
+
+func TestAdamClipsGradients(t *testing.T) {
+	p := NewZeroParam("x", 1, 1)
+	opt := NewAdam(0.001)
+	opt.Clip = 1
+	p.Grad.Data[0] = 1e9
+	opt.Step([]*Param{p})
+	if math.Abs(p.Val.Data[0]) > 0.01 {
+		t.Errorf("clipped step moved too far: %v", p.Val.Data[0])
+	}
+	if p.Grad.Data[0] != 0 {
+		t.Error("Step must zero gradients")
+	}
+}
+
+func TestDropout(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if mask := Dropout(x, 0, nil); mask != nil {
+		t.Error("zero-rate dropout must be identity")
+	}
+	rng := rand.New(rand.NewSource(6))
+	vals := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	mask := Dropout(vals, 0.5, rng)
+	kept, dropped := 0, 0
+	for i, v := range vals {
+		if mask[i] {
+			kept++
+			if v != 2 { // inverted scaling by 1/(1-0.5)
+				t.Errorf("kept value scaled to %v, want 2", v)
+			}
+		} else {
+			dropped++
+			if v != 0 {
+				t.Errorf("dropped value = %v, want 0", v)
+			}
+		}
+	}
+	if kept == 0 || dropped == 0 {
+		t.Skip("degenerate dropout sample")
+	}
+	grads := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	DropoutBackward(grads, mask, 0.5)
+	for i := range grads {
+		want := 0.0
+		if mask[i] {
+			want = 2
+		}
+		if grads[i] != want {
+			t.Errorf("grad[%d] = %v, want %v", i, grads[i], want)
+		}
+	}
+}
+
+func TestSeqNetCopyWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewSeqNet("a", 5, 4, 3, 2, 0, rng)
+	b := NewSeqNet("b", 5, 4, 3, 2, 0, rng)
+	b.CopyWeightsFrom(a)
+	st1, st2 := a.NewState(), b.NewState()
+	o1 := a.Step(st1, 1, false, nil)
+	o2 := b.Step(st2, 1, false, nil)
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("copied networks must agree")
+		}
+	}
+}
+
+func TestMatOps(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 2, 2)
+	m.Set(1, 1, 3)
+	if m.At(0, 2) != 2 {
+		t.Error("At/Set broken")
+	}
+	y := make([]float64, 2)
+	m.MulVec([]float64{1, 1, 1}, y)
+	if y[0] != 3 || y[1] != 3 {
+		t.Errorf("MulVec = %v", y)
+	}
+	xt := make([]float64, 3)
+	m.MulVecT([]float64{1, 1}, xt)
+	if xt[0] != 1 || xt[1] != 3 || xt[2] != 2 {
+		t.Errorf("MulVecT = %v", xt)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Error("Clone must not alias")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch must panic")
+		}
+	}()
+	m.MulVec([]float64{1}, y)
+}
+
+func TestSeqStateAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := NewSeqNet("n", 4, 3, 2, 2, 0, rng)
+	st := net.NewState()
+	if st.Len() != 0 {
+		t.Error("fresh state must have zero length")
+	}
+	for _, h := range st.LastHidden() {
+		if h != 0 {
+			t.Error("fresh hidden state must be zero")
+		}
+	}
+	net.Step(st, net.BOS(), false, nil)
+	if st.Len() != 1 {
+		t.Error("Len must track steps")
+	}
+}
+
+func TestStepMaskedMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := NewSeqNet("a", 6, 4, 3, 8, 0, rng)
+	b := NewSeqNet("b", 6, 4, 3, 8, 0, rng)
+	b.CopyWeightsFrom(a)
+	stA, stB := a.NewState(), b.NewState()
+	valid := []int{1, 4, 6}
+	for _, in := range []int{a.BOS(), 2, 5} {
+		full := a.Step(stA, in, false, nil)
+		sparse := b.StepMasked(stB, in, valid, false, nil)
+		for _, id := range valid {
+			if math.Abs(full[id]-sparse[id]) > 1e-12 {
+				t.Fatalf("masked logit %d = %v, full = %v", id, sparse[id], full[id])
+			}
+		}
+	}
+}

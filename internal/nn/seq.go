@@ -1,0 +1,181 @@
+package nn
+
+import (
+	"math/rand"
+)
+
+// SeqNet is the sequence model of §4.3: a token embedding (the one-hot
+// state encoding folded into the first weight matrix), a 2-layer LSTM with
+// 30 cell units each, dropout between layers and before the head, and a
+// linear head. The actor uses Out = |A| (softmax over tokens); the critic
+// uses Out = 1 (the V value).
+type SeqNet struct {
+	VocabSize int
+	EmbedDim  int
+	Hidden    int
+	OutDim    int
+	DropRate  float64
+
+	E    *Embedding
+	L1   *LSTM
+	L2   *LSTM
+	Head *Linear
+}
+
+// NewSeqNet builds the network. A virtual BOS token occupies embedding row
+// vocabSize and feeds the first step of every episode.
+func NewSeqNet(name string, vocabSize, embedDim, hidden, outDim int, dropRate float64, rng *rand.Rand) *SeqNet {
+	return &SeqNet{
+		VocabSize: vocabSize,
+		EmbedDim:  embedDim,
+		Hidden:    hidden,
+		OutDim:    outDim,
+		DropRate:  dropRate,
+		E:         NewEmbedding(name+".E", vocabSize+1, embedDim, rng),
+		L1:        NewLSTM(name+".L1", embedDim, hidden, rng),
+		L2:        NewLSTM(name+".L2", hidden, hidden, rng),
+		Head:      NewLinear(name+".Head", hidden, outDim, rng),
+	}
+}
+
+// BOS is the begin-of-sequence input id.
+func (n *SeqNet) BOS() int { return n.VocabSize }
+
+// Params lists all trainable parameters.
+func (n *SeqNet) Params() []*Param {
+	ps := n.E.Params()
+	ps = append(ps, n.L1.Params()...)
+	ps = append(ps, n.L2.Params()...)
+	ps = append(ps, n.Head.Params()...)
+	return ps
+}
+
+// CopyWeightsFrom copies all weights (not optimizer state) from src, which
+// must have identical shapes.
+func (n *SeqNet) CopyWeightsFrom(src *SeqNet) {
+	dst := n.Params()
+	from := src.Params()
+	for i := range dst {
+		dst[i].CopyFrom(from[i])
+	}
+}
+
+type seqStep struct {
+	in      int
+	c1, c2  *LSTMCache
+	midMask []bool
+	outMask []bool
+	headIn  []float64
+}
+
+// SeqState carries the recurrent state and the BPTT tape of one episode.
+type SeqState struct {
+	h1, c1, h2, c2 []float64
+	steps          []*seqStep
+}
+
+// NewState starts an episode with zero recurrent state.
+func (n *SeqNet) NewState() *SeqState {
+	return &SeqState{
+		h1: make([]float64, n.Hidden), c1: make([]float64, n.Hidden),
+		h2: make([]float64, n.Hidden), c2: make([]float64, n.Hidden),
+	}
+}
+
+// Len returns the number of steps taken.
+func (s *SeqState) Len() int { return len(s.steps) }
+
+// LastHidden returns the top-layer hidden state after the most recent step
+// (zeros before any step). Callers must not mutate it.
+func (s *SeqState) LastHidden() []float64 { return s.h2 }
+
+// Step feeds token id `in` and returns the head output for the new state.
+// With training=true, dropout is sampled from rng and recorded for
+// Backward.
+func (n *SeqNet) Step(st *SeqState, in int, training bool, rng *rand.Rand) []float64 {
+	step := &seqStep{in: in}
+	x := n.E.Lookup(in)
+	var h1, c1v []float64
+	h1, c1v, step.c1 = n.L1.Step(x, st.h1, st.c1)
+	st.h1, st.c1 = h1, c1v
+
+	mid := append([]float64(nil), h1...)
+	if training {
+		step.midMask = Dropout(mid, n.DropRate, rng)
+	}
+	var h2, c2v []float64
+	h2, c2v, step.c2 = n.L2.Step(mid, st.h2, st.c2)
+	st.h2, st.c2 = h2, c2v
+
+	headIn := append([]float64(nil), h2...)
+	if training {
+		step.outMask = Dropout(headIn, n.DropRate, rng)
+	}
+	step.headIn = headIn
+	st.steps = append(st.steps, step)
+	return n.Head.Forward(headIn)
+}
+
+// StepMasked is Step but computes head outputs only for the given ids
+// (other logits stay zero and must be masked downstream). It avoids the
+// full |A|-sized head matmul, which dominates the per-step cost.
+func (n *SeqNet) StepMasked(st *SeqState, in int, ids []int, training bool, rng *rand.Rand) []float64 {
+	step := &seqStep{in: in}
+	x := n.E.Lookup(in)
+	var h1, c1v []float64
+	h1, c1v, step.c1 = n.L1.Step(x, st.h1, st.c1)
+	st.h1, st.c1 = h1, c1v
+
+	mid := append([]float64(nil), h1...)
+	if training {
+		step.midMask = Dropout(mid, n.DropRate, rng)
+	}
+	var h2, c2v []float64
+	h2, c2v, step.c2 = n.L2.Step(mid, st.h2, st.c2)
+	st.h2, st.c2 = h2, c2v
+
+	headIn := append([]float64(nil), h2...)
+	if training {
+		step.outMask = Dropout(headIn, n.DropRate, rng)
+	}
+	step.headIn = headIn
+	st.steps = append(st.steps, step)
+	out := make([]float64, n.OutDim)
+	n.Head.ForwardSparse(headIn, ids, out)
+	return out
+}
+
+// Backward runs full BPTT over the episode. dHead[t] is the gradient of
+// the loss with respect to the head output at step t (nil for steps that
+// contribute no direct loss). Parameter gradients accumulate into Params.
+func (n *SeqNet) Backward(st *SeqState, dHead [][]float64) {
+	H := n.Hidden
+	dh1n := make([]float64, H)
+	dc1n := make([]float64, H)
+	dh2n := make([]float64, H)
+	dc2n := make([]float64, H)
+	for t := len(st.steps) - 1; t >= 0; t-- {
+		step := st.steps[t]
+		dh2 := append([]float64(nil), dh2n...)
+		dc2 := dc2n
+		if t < len(dHead) && dHead[t] != nil {
+			d := n.Head.Backward(step.headIn, dHead[t])
+			DropoutBackward(d, step.outMask, n.DropRate)
+			for j := range dh2 {
+				dh2[j] += d[j]
+			}
+		}
+		dx2, dh2p, dc2p := n.L2.Backward(step.c2, dh2, dc2)
+		DropoutBackward(dx2, step.midMask, n.DropRate)
+
+		dh1 := append([]float64(nil), dh1n...)
+		for j := range dh1 {
+			dh1[j] += dx2[j]
+		}
+		dx1, dh1p, dc1p := n.L1.Backward(step.c1, dh1, dc1n)
+		n.E.Accumulate(step.in, dx1)
+
+		dh1n, dc1n = dh1p, dc1p
+		dh2n, dc2n = dh2p, dc2p
+	}
+}

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// paramBlob is the wire form of one parameter.
+type paramBlob struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// checkpoint is the wire form of a parameter set.
+type checkpoint struct {
+	Magic   string
+	Version int
+	Params  []paramBlob
+}
+
+const (
+	checkpointMagic   = "learnedsqlgen-nn"
+	checkpointVersion = 1
+)
+
+// SaveParams writes the weights of params to w (gob-encoded). Gradients
+// and optimizer state are not persisted: a loaded model is ready for
+// inference and can resume training with fresh optimizer moments.
+func SaveParams(w io.Writer, params []*Param) error {
+	cp := checkpoint{Magic: checkpointMagic, Version: checkpointVersion}
+	for _, p := range params {
+		cp.Params = append(cp.Params, paramBlob{
+			Name: p.Name,
+			Rows: p.Val.Rows,
+			Cols: p.Val.Cols,
+			Data: p.Val.Data,
+		})
+	}
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// LoadParams reads weights from r into params. Every stored parameter must
+// match a target by name and shape, and vice versa — a mismatch means the
+// checkpoint was produced by a different architecture or vocabulary.
+func LoadParams(r io.Reader, params []*Param) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	if cp.Magic != checkpointMagic {
+		return fmt.Errorf("nn: not a model checkpoint")
+	}
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", cp.Version)
+	}
+	if len(cp.Params) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d",
+			len(cp.Params), len(params))
+	}
+	byName := map[string]*Param{}
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	for _, blob := range cp.Params {
+		p, ok := byName[blob.Name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint parameter %q not in model", blob.Name)
+		}
+		if p.Val.Rows != blob.Rows || p.Val.Cols != blob.Cols {
+			return fmt.Errorf("nn: %q shape %dx%d does not match model %dx%d "+
+				"(different vocabulary or architecture?)",
+				blob.Name, blob.Rows, blob.Cols, p.Val.Rows, p.Val.Cols)
+		}
+		copy(p.Val.Data, blob.Data)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := NewSeqNet("m", 7, 5, 4, 7, 0, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewSeqNet("m", 7, 5, 4, 7, 0, rand.New(rand.NewSource(99)))
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := src.NewState(), dst.NewState()
+	for _, in := range []int{src.BOS(), 2, 5} {
+		oa := src.Step(sa, in, false, nil)
+		ob := dst.Step(sb, in, false, nil)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatal("loaded model diverges from saved model")
+			}
+		}
+	}
+}
+
+func TestLoadRejectsMismatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := NewSeqNet("m", 7, 5, 4, 7, 0, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different vocabulary size → shape mismatch.
+	other := NewSeqNet("m", 9, 5, 4, 9, 0, rng)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), other.Params()); err == nil {
+		t.Error("shape mismatch must fail")
+	}
+
+	// Different name → unknown parameter.
+	renamed := NewSeqNet("x", 7, 5, 4, 7, 0, rng)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), renamed.Params()); err == nil {
+		t.Error("name mismatch must fail")
+	}
+
+	// Different parameter count.
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), src.Params()[:2]); err == nil {
+		t.Error("count mismatch must fail")
+	}
+
+	// Garbage input.
+	if err := LoadParams(bytes.NewReader([]byte("junk")), src.Params()); err == nil {
+		t.Error("garbage must fail")
+	}
+}

@@ -1,0 +1,171 @@
+// Package parser implements a lexer and recursive-descent parser for the
+// SQL subset of the paper's grammar. It round-trips with sqlast's SQL()
+// renderers and is used by the Template baseline (to load query templates),
+// the CLI, and tests.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators: ( ) , . = < > <= >= <>
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "ON": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "EXISTS": true, "LIKE": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true,
+	"MAX": true, "MIN": true, "SUM": true, "AVG": true, "COUNT": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents/numbers/strings verbatim
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "<eof>"
+	}
+	return t.text
+}
+
+// lex splits input into tokens. Errors report byte offsets.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("parser: unterminated string at offset %d", start)
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case c >= '0' && c <= '9' ||
+			(c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9' && startsValue(toks)):
+			start := i
+			if c == '-' {
+				i++
+			}
+			seenDot, seenExp := false, false
+			for i < n {
+				d := input[i]
+				if d >= '0' && d <= '9' {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i+1 < n {
+					nxt := input[i+1]
+					if nxt == '+' || nxt == '-' || (nxt >= '0' && nxt <= '9') {
+						seenExp = true
+						i += 2
+						continue
+					}
+				}
+				break
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		default:
+			start := i
+			switch c {
+			case '<':
+				if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+					toks = append(toks, token{tokSymbol, input[i : i+2], start})
+					i += 2
+				} else {
+					toks = append(toks, token{tokSymbol, "<", start})
+					i++
+				}
+			case '>':
+				if i+1 < n && input[i+1] == '=' {
+					toks = append(toks, token{tokSymbol, ">=", start})
+					i += 2
+				} else {
+					toks = append(toks, token{tokSymbol, ">", start})
+					i++
+				}
+			case '=', '(', ')', ',', '.', '*':
+				toks = append(toks, token{tokSymbol, string(c), start})
+				i++
+			default:
+				return nil, fmt.Errorf("parser: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+// startsValue reports whether a '-' at the current position can begin a
+// negative number literal (i.e. the previous token is an operator, comma,
+// opening paren or a keyword, not an identifier/number that would make '-'
+// binary). The grammar has no arithmetic, so this is only a guard.
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	t := toks[len(toks)-1]
+	switch t.kind {
+	case tokSymbol:
+		return t.text != ")" // after ')' a '-' would be arithmetic (unsupported)
+	case tokKeyword:
+		return true
+	default:
+		return false
+	}
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

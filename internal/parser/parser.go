@@ -1,0 +1,574 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+)
+
+// Parse parses one SQL statement.
+func Parse(input string) (sqlast.Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: input}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting at %q", p.peek().text)
+	}
+	return st, nil
+}
+
+// ParseSelect parses a SELECT statement specifically.
+func ParseSelect(input string) (*sqlast.Select, error) {
+	st, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqlast.Select)
+	if !ok {
+		return nil, fmt.Errorf("parser: expected SELECT, got %T", st)
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokenKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind, text string) (token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.peek().String())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("parser: %s (at offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+func (p *parser) statement() (sqlast.Statement, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		return p.selectStmt()
+	case p.at(tokKeyword, "INSERT"):
+		return p.insertStmt()
+	case p.at(tokKeyword, "UPDATE"):
+		return p.updateStmt()
+	case p.at(tokKeyword, "DELETE"):
+		return p.deleteStmt()
+	default:
+		return nil, p.errf("expected SELECT/INSERT/UPDATE/DELETE, found %q", p.peek().String())
+	}
+}
+
+func (p *parser) selectStmt() (*sqlast.Select, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	q := &sqlast.Select{}
+	for {
+		it, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, it)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	t, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	q.Tables = append(q.Tables, t)
+	for p.accept(tokKeyword, "JOIN") {
+		t, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q.Tables = append(q.Tables, t)
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.qualifiedColumn()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		right, err := p.qualifiedColumn()
+		if err != nil {
+			return nil, err
+		}
+		q.Joins = append(q.Joins, sqlast.JoinCond{Left: left, Right: right})
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.qualifiedColumn()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, c)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		h, err := p.having()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = h
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.qualifiedColumn()
+			if err != nil {
+				return nil, err
+			}
+			q.OrderBy = append(q.OrderBy, c)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) selectItem() (sqlast.SelectItem, error) {
+	if agg, ok := p.aggKeyword(); ok {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return sqlast.SelectItem{}, err
+		}
+		c, err := p.qualifiedColumn()
+		if err != nil {
+			return sqlast.SelectItem{}, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return sqlast.SelectItem{}, err
+		}
+		return sqlast.SelectItem{Agg: agg, Col: c}, nil
+	}
+	c, err := p.qualifiedColumn()
+	if err != nil {
+		return sqlast.SelectItem{}, err
+	}
+	return sqlast.SelectItem{Col: c}, nil
+}
+
+func (p *parser) aggKeyword() (sqlast.AggFunc, bool) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return sqlast.AggNone, false
+	}
+	var agg sqlast.AggFunc
+	switch t.text {
+	case "MAX":
+		agg = sqlast.AggMax
+	case "MIN":
+		agg = sqlast.AggMin
+	case "SUM":
+		agg = sqlast.AggSum
+	case "AVG":
+		agg = sqlast.AggAvg
+	case "COUNT":
+		agg = sqlast.AggCount
+	default:
+		return sqlast.AggNone, false
+	}
+	p.pos++
+	return agg, true
+}
+
+func (p *parser) ident() (string, error) {
+	if p.at(tokIdent, "") {
+		return p.next().text, nil
+	}
+	return "", p.errf("expected identifier, found %q", p.peek().String())
+}
+
+func (p *parser) qualifiedColumn() (schema.QualifiedColumn, error) {
+	t, err := p.ident()
+	if err != nil {
+		return schema.QualifiedColumn{}, err
+	}
+	if _, err := p.expect(tokSymbol, "."); err != nil {
+		return schema.QualifiedColumn{}, err
+	}
+	c, err := p.ident()
+	if err != nil {
+		return schema.QualifiedColumn{}, err
+	}
+	return schema.QualifiedColumn{Table: t, Column: c}, nil
+}
+
+// orExpr := andExpr (OR andExpr)*
+func (p *parser) orExpr() (sqlast.Predicate, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &sqlast.Or{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// andExpr := unary (AND unary)*
+func (p *parser) andExpr() (sqlast.Predicate, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &sqlast.And{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// unary := NOT unary | ( orExpr ) | atom
+func (p *parser) unary() (sqlast.Predicate, error) {
+	if p.at(tokKeyword, "NOT") {
+		// Distinguish NOT EXISTS from plain negation.
+		if p.toks[p.pos+1].kind == tokKeyword && p.toks[p.pos+1].text == "EXISTS" {
+			return p.atom()
+		}
+		p.pos++
+		inner, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Not{Inner: inner}, nil
+	}
+	if p.at(tokSymbol, "(") {
+		p.pos++
+		inner, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.atom()
+}
+
+// atom := qc op (value | ( select )) | qc [NOT] IN ( select ) | [NOT] EXISTS ( select )
+func (p *parser) atom() (sqlast.Predicate, error) {
+	negate := false
+	if p.at(tokKeyword, "NOT") && p.toks[p.pos+1].text == "EXISTS" {
+		negate = true
+		p.pos++
+	}
+	if p.accept(tokKeyword, "EXISTS") {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		sub, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &sqlast.Exists{Sub: sub, Negate: negate}, nil
+	}
+
+	colRef, err := p.qualifiedColumn()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "LIKE") {
+		t := p.peek()
+		if t.kind != tokString {
+			return nil, p.errf("expected pattern string after LIKE, found %q", t.String())
+		}
+		p.pos++
+		return &sqlast.Like{Col: colRef, Pattern: t.text}, nil
+	}
+	if p.at(tokKeyword, "NOT") || p.at(tokKeyword, "IN") {
+		neg := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "IN"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		sub, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &sqlast.In{Col: colRef, Sub: sub, Negate: neg}, nil
+	}
+
+	op, err := p.cmpOp()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokSymbol, "(") {
+		p.pos++
+		sub, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &sqlast.CompareSub{Col: colRef, Op: op, Sub: sub}, nil
+	}
+	v, err := p.value()
+	if err != nil {
+		return nil, err
+	}
+	return &sqlast.Compare{Col: colRef, Op: op, Value: v}, nil
+}
+
+func (p *parser) cmpOp() (sqlast.CmpOp, error) {
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return sqlast.OpInvalid, p.errf("expected comparison operator, found %q", t.String())
+	}
+	var op sqlast.CmpOp
+	switch t.text {
+	case "<":
+		op = sqlast.OpLt
+	case ">":
+		op = sqlast.OpGt
+	case "<=":
+		op = sqlast.OpLe
+	case ">=":
+		op = sqlast.OpGe
+	case "=":
+		op = sqlast.OpEq
+	case "<>":
+		op = sqlast.OpNe
+	default:
+		return sqlast.OpInvalid, p.errf("expected comparison operator, found %q", t.text)
+	}
+	p.pos++
+	return op, nil
+}
+
+func (p *parser) value() (sqltypes.Value, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return sqltypes.Null, p.errf("bad float literal %q", t.text)
+			}
+			return sqltypes.NewFloat(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return sqltypes.Null, p.errf("bad int literal %q", t.text)
+		}
+		return sqltypes.NewInt(i), nil
+	case tokString:
+		p.pos++
+		return sqltypes.NewString(t.text), nil
+	default:
+		return sqltypes.Null, p.errf("expected literal, found %q", t.String())
+	}
+}
+
+func (p *parser) having() (*sqlast.Having, error) {
+	agg, ok := p.aggKeyword()
+	if !ok {
+		return nil, p.errf("expected aggregate function in HAVING, found %q", p.peek().String())
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	c, err := p.qualifiedColumn()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	op, err := p.cmpOp()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokSymbol, "(") {
+		p.pos++
+		sub, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &sqlast.Having{Agg: agg, Col: c, Op: op, Sub: sub}, nil
+	}
+	v, err := p.value()
+	if err != nil {
+		return nil, err
+	}
+	return &sqlast.Having{Agg: agg, Col: c, Op: op, Value: v}, nil
+}
+
+func (p *parser) insertStmt() (*sqlast.Insert, error) {
+	if _, err := p.expect(tokKeyword, "INSERT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	t, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &sqlast.Insert{Table: t}
+	if p.accept(tokKeyword, "VALUES") {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		for {
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			st.Values = append(st.Values, v)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	sub, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	st.Sub = sub
+	return st, nil
+}
+
+func (p *parser) updateStmt() (*sqlast.Update, error) {
+	if _, err := p.expect(tokKeyword, "UPDATE"); err != nil {
+		return nil, err
+	}
+	t, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	st := &sqlast.Update{Table: t}
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, sqlast.SetClause{Col: c, Value: v})
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) deleteStmt() (*sqlast.Delete, error) {
+	if _, err := p.expect(tokKeyword, "DELETE"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	t, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &sqlast.Delete{Table: t}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}

@@ -1,0 +1,253 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+)
+
+func roundTrip(t *testing.T, sql string) sqlast.Statement {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	again, err := Parse(st.SQL())
+	if err != nil {
+		t.Fatalf("re-Parse(%q): %v", st.SQL(), err)
+	}
+	if again.SQL() != st.SQL() {
+		t.Fatalf("round trip unstable:\n first: %s\nsecond: %s", st.SQL(), again.SQL())
+	}
+	return st
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	st := roundTrip(t, "SELECT Score.ID FROM Score WHERE Score.Grade < 95")
+	sel := st.(*sqlast.Select)
+	if len(sel.Tables) != 1 || sel.Tables[0] != "Score" {
+		t.Errorf("tables = %v", sel.Tables)
+	}
+	cmp, ok := sel.Where.(*sqlast.Compare)
+	if !ok || cmp.Op != sqlast.OpLt || cmp.Value.Int() != 95 {
+		t.Errorf("where = %#v", sel.Where)
+	}
+}
+
+func TestParseJoinChain(t *testing.T) {
+	st := roundTrip(t, "SELECT A.x FROM A JOIN B ON A.id = B.id JOIN C ON B.cid = C.id")
+	sel := st.(*sqlast.Select)
+	if len(sel.Tables) != 3 || len(sel.Joins) != 2 {
+		t.Fatalf("tables=%v joins=%v", sel.Tables, sel.Joins)
+	}
+	if sel.Joins[1].Left.String() != "B.cid" || sel.Joins[1].Right.String() != "C.id" {
+		t.Errorf("second join = %+v", sel.Joins[1])
+	}
+}
+
+func TestParseAggregatesGroupHavingOrder(t *testing.T) {
+	sql := "SELECT Score.Course, AVG(Score.Grade) FROM Score GROUP BY Score.Course " +
+		"HAVING COUNT(Score.ID) >= 3 ORDER BY Score.Course"
+	st := roundTrip(t, sql)
+	sel := st.(*sqlast.Select)
+	if sel.Items[1].Agg != sqlast.AggAvg {
+		t.Errorf("agg = %v", sel.Items[1].Agg)
+	}
+	if len(sel.GroupBy) != 1 || sel.Having == nil || sel.Having.Agg != sqlast.AggCount {
+		t.Errorf("groupby/having = %v / %+v", sel.GroupBy, sel.Having)
+	}
+	if len(sel.OrderBy) != 1 {
+		t.Errorf("orderby = %v", sel.OrderBy)
+	}
+}
+
+func TestParsePredicatePrecedence(t *testing.T) {
+	// a AND b OR c parses as (a AND b) OR c.
+	st := roundTrip(t, "SELECT A.x FROM A WHERE A.x = 1 AND A.y = 2 OR A.z = 3")
+	sel := st.(*sqlast.Select)
+	or, ok := sel.Where.(*sqlast.Or)
+	if !ok {
+		t.Fatalf("top must be OR, got %T", sel.Where)
+	}
+	if _, ok := or.Left.(*sqlast.And); !ok {
+		t.Errorf("left of OR must be AND, got %T", or.Left)
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	st := roundTrip(t, "SELECT A.x FROM A WHERE A.x = 1 AND (A.y = 2 OR A.z = 3)")
+	sel := st.(*sqlast.Select)
+	and, ok := sel.Where.(*sqlast.And)
+	if !ok {
+		t.Fatalf("top must be AND, got %T", sel.Where)
+	}
+	if _, ok := and.Right.(*sqlast.Or); !ok {
+		t.Errorf("right of AND must be OR, got %T", and.Right)
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	st := roundTrip(t, "SELECT A.x FROM A WHERE NOT (A.x = 1)")
+	sel := st.(*sqlast.Select)
+	if _, ok := sel.Where.(*sqlast.Not); !ok {
+		t.Errorf("want NOT, got %T", sel.Where)
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	st := roundTrip(t, "SELECT A.x FROM A WHERE A.id IN (SELECT B.id FROM B)")
+	if p := st.(*sqlast.Select).Where.(*sqlast.In); p.Negate {
+		t.Error("IN must not negate")
+	}
+	st = roundTrip(t, "SELECT A.x FROM A WHERE A.id NOT IN (SELECT B.id FROM B WHERE B.v > 3)")
+	if p := st.(*sqlast.Select).Where.(*sqlast.In); !p.Negate {
+		t.Error("NOT IN must negate")
+	}
+	st = roundTrip(t, "SELECT A.x FROM A WHERE EXISTS (SELECT B.id FROM B)")
+	if _, ok := st.(*sqlast.Select).Where.(*sqlast.Exists); !ok {
+		t.Error("EXISTS not parsed")
+	}
+	st = roundTrip(t, "SELECT A.x FROM A WHERE NOT EXISTS (SELECT B.id FROM B)")
+	if p := st.(*sqlast.Select).Where.(*sqlast.Exists); !p.Negate {
+		t.Error("NOT EXISTS must negate")
+	}
+	st = roundTrip(t, "SELECT A.x FROM A WHERE A.v > (SELECT AVG(B.v) FROM B)")
+	if _, ok := st.(*sqlast.Select).Where.(*sqlast.CompareSub); !ok {
+		t.Error("scalar subquery not parsed")
+	}
+}
+
+func TestParseHavingSubquery(t *testing.T) {
+	sql := "SELECT A.g FROM A GROUP BY A.g HAVING MAX(A.v) > (SELECT AVG(B.v) FROM B)"
+	st := roundTrip(t, sql)
+	h := st.(*sqlast.Select).Having
+	if h == nil || h.Sub == nil {
+		t.Fatalf("having = %+v", h)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	st := roundTrip(t, "SELECT A.x FROM A WHERE A.v = -12")
+	if v := st.(*sqlast.Select).Where.(*sqlast.Compare).Value; v.Kind() != sqltypes.KindInt || v.Int() != -12 {
+		t.Errorf("neg int literal = %v", v)
+	}
+	st = roundTrip(t, "SELECT A.x FROM A WHERE A.v = 2.5")
+	if v := st.(*sqlast.Select).Where.(*sqlast.Compare).Value; v.Kind() != sqltypes.KindFloat || v.Float() != 2.5 {
+		t.Errorf("float literal = %v", v)
+	}
+	st = roundTrip(t, "SELECT A.x FROM A WHERE A.s = 'it''s'")
+	if v := st.(*sqlast.Select).Where.(*sqlast.Compare).Value; v.Str() != "it's" {
+		t.Errorf("escaped string = %q", v.Str())
+	}
+	st = roundTrip(t, "SELECT A.x FROM A WHERE A.v = 1.5e3")
+	if v := st.(*sqlast.Select).Where.(*sqlast.Compare).Value; v.Float() != 1500 {
+		t.Errorf("exponent literal = %v", v)
+	}
+}
+
+func TestParseAllOperators(t *testing.T) {
+	ops := map[string]sqlast.CmpOp{
+		"<": sqlast.OpLt, ">": sqlast.OpGt, "<=": sqlast.OpLe,
+		">=": sqlast.OpGe, "=": sqlast.OpEq, "<>": sqlast.OpNe,
+	}
+	for s, want := range ops {
+		st := roundTrip(t, "SELECT A.x FROM A WHERE A.v "+s+" 1")
+		if got := st.(*sqlast.Select).Where.(*sqlast.Compare).Op; got != want {
+			t.Errorf("op %q parsed as %v", s, got)
+		}
+	}
+}
+
+func TestParseInsertUpdateDelete(t *testing.T) {
+	st := roundTrip(t, "INSERT INTO Student VALUES (1, 'Bob')")
+	ins := st.(*sqlast.Insert)
+	if ins.Table != "Student" || len(ins.Values) != 2 {
+		t.Errorf("insert = %+v", ins)
+	}
+	st = roundTrip(t, "INSERT INTO Student (SELECT S.ID, S.Name FROM S)")
+	if st.(*sqlast.Insert).Sub == nil {
+		t.Error("insert-select sub missing")
+	}
+	st = roundTrip(t, "UPDATE Student SET Name = 'X', Age = 3 WHERE Student.ID = 7")
+	up := st.(*sqlast.Update)
+	if len(up.Sets) != 2 || up.Where == nil {
+		t.Errorf("update = %+v", up)
+	}
+	st = roundTrip(t, "DELETE FROM Student WHERE Student.ID > 10")
+	if st.(*sqlast.Delete).Where == nil {
+		t.Error("delete where missing")
+	}
+	st = roundTrip(t, "DELETE FROM Student")
+	if st.(*sqlast.Delete).Where != nil {
+		t.Error("delete without where must have nil predicate")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	st, err := Parse("select A.x from A where A.v > 1 and not exists (select B.y from B)")
+	if err != nil {
+		t.Fatalf("lower-case parse: %v", err)
+	}
+	if _, ok := st.(*sqlast.Select); !ok {
+		t.Error("not a select")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC A.x FROM A",
+		"SELECT FROM A",
+		"SELECT A.x",
+		"SELECT A.x FROM A WHERE",
+		"SELECT A.x FROM A WHERE A.v >",
+		"SELECT A.x FROM A WHERE A.v > 'unterminated",
+		"SELECT A.x FROM A JOIN B",
+		"SELECT A.x FROM A JOIN B ON A.id",
+		"SELECT A.x FROM A GROUP A.x",
+		"SELECT A.x FROM A HAVING A.x > 1", // HAVING without GROUP keyword path still requires agg
+		"SELECT A.x FROM A trailing garbage",
+		"INSERT Student VALUES (1)",
+		"UPDATE Student Name = 'X'",
+		"DELETE Student",
+		"SELECT A.x FROM A WHERE A.v @ 1",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) must fail", sql)
+		}
+	}
+}
+
+func TestParseSelectHelper(t *testing.T) {
+	if _, err := ParseSelect("SELECT A.x FROM A"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseSelect("DELETE FROM A"); err == nil {
+		t.Error("ParseSelect on DELETE must fail")
+	}
+}
+
+func TestRenderedOrIsReparseable(t *testing.T) {
+	// sqlast renders Or with parentheses; make sure deep nests survive.
+	sql := "SELECT A.x FROM A WHERE ((A.a = 1 OR A.b = 2) OR (A.c = 3 OR A.d = 4)) AND A.e = 5"
+	st := roundTrip(t, sql)
+	if !strings.Contains(st.SQL(), "OR") {
+		t.Error("OR lost in round trip")
+	}
+}
+
+func TestParseLike(t *testing.T) {
+	st := roundTrip(t, "SELECT A.x FROM A WHERE A.name LIKE '%ab%'")
+	like, ok := st.(*sqlast.Select).Where.(*sqlast.Like)
+	if !ok || like.Pattern != "%ab%" {
+		t.Fatalf("like = %#v", st.(*sqlast.Select).Where)
+	}
+	st = roundTrip(t, "SELECT A.x FROM A WHERE NOT A.name LIKE 'ab%' AND A.y > 1")
+	if _, err := Parse("SELECT A.x FROM A WHERE A.name LIKE 42"); err == nil {
+		t.Error("LIKE with non-string pattern must fail")
+	}
+	_ = st
+}

@@ -1,0 +1,105 @@
+// Package rl implements the reinforcement-learning core of LearnedSQLGen
+// (§4): constraint and reward definitions, the generation environment
+// (FSM + estimator feedback), the actor–critic trainer with entropy
+// regularization, and the plain REINFORCE trainer used as the §7.3
+// ablation baseline.
+package rl
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric selects which estimator output a constraint targets (§2.1: both
+// cardinality and cost constraints are supported and treated uniformly).
+type Metric uint8
+
+// Supported constraint metrics.
+const (
+	Cardinality Metric = iota
+	Cost
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	if m == Cost {
+		return "Cost"
+	}
+	return "Cardinality"
+}
+
+// Constraint is a point or range target on cardinality or cost.
+type Constraint struct {
+	Metric  Metric
+	IsRange bool
+	Point   float64 // point target c
+	Lo, Hi  float64 // range [c.l, c.r]
+	// Tolerance is the accuracy error bound τ for point constraints as a
+	// fraction of the target; the paper evaluates with τ = 0.1·c.
+	Tolerance float64
+}
+
+// PointConstraint builds Metric = c with the paper's τ = 0.1 accuracy
+// bound.
+func PointConstraint(m Metric, c float64) Constraint {
+	return Constraint{Metric: m, Point: c, Tolerance: 0.1}
+}
+
+// RangeConstraint builds Metric ∈ [lo, hi].
+func RangeConstraint(m Metric, lo, hi float64) Constraint {
+	return Constraint{Metric: m, IsRange: true, Lo: lo, Hi: hi}
+}
+
+// String renders the constraint like the paper ("Cardinality in [1k,2k]").
+func (c Constraint) String() string {
+	if c.IsRange {
+		return fmt.Sprintf("%s in [%g, %g]", c.Metric, c.Lo, c.Hi)
+	}
+	return fmt.Sprintf("%s = %g", c.Metric, c.Point)
+}
+
+// ratio returns min(a/b, b/a) ∈ [0, 1], the δ of §4.2; zero when either
+// side is zero or negative.
+func ratio(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	r := a / b
+	if r > 1 {
+		r = 1 / r
+	}
+	return r
+}
+
+// Reward implements the §4.2 reward functions. executable=false returns 0
+// (the e_t = 0 case); otherwise measured is the estimated cardinality/cost
+// of the (partial) query.
+//
+// Point constraint: r = δ = min(ĉ/c, c/ĉ).
+// Range constraint: r = 1 inside [lo, hi]; outside, r = max(δ_l, δ_r)
+// measures how close ĉ is to the nearer bound.
+func (c Constraint) Reward(executable bool, measured float64) float64 {
+	if !executable {
+		return 0
+	}
+	if !c.IsRange {
+		return ratio(measured, c.Point)
+	}
+	if measured >= c.Lo && measured <= c.Hi {
+		return 1
+	}
+	return math.Max(ratio(measured, c.Lo), ratio(measured, c.Hi))
+}
+
+// Satisfied reports whether a measured value meets the constraint: inside
+// the range, or within τ·c of a point target (§7.1's accuracy metric).
+func (c Constraint) Satisfied(measured float64) bool {
+	if c.IsRange {
+		return measured >= c.Lo && measured <= c.Hi
+	}
+	tol := c.Tolerance
+	if tol <= 0 {
+		tol = 0.1
+	}
+	return math.Abs(measured-c.Point) <= tol*c.Point
+}

@@ -1,0 +1,74 @@
+package rl
+
+import (
+	"learnedsqlgen/internal/estimator"
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/fsm"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/stats"
+	"learnedsqlgen/internal/storage"
+	"learnedsqlgen/internal/token"
+)
+
+// Env is the RL environment of Figure 1: it owns the FSM that masks the
+// action space and the database estimator that turns (partial) queries
+// into cardinality/cost feedback. The environment is shared by trainers
+// and baselines so all methods see identical feedback.
+type Env struct {
+	DB    *storage.Database
+	Vocab *token.Vocab
+	Est   *estimator.Estimator
+	Cfg   fsm.Config
+	// TrueExecution switches Measure from the estimator to real query
+	// execution against a snapshot. The paper deliberately uses estimates
+	// "for the efficiency issue" (§3.2); this flag quantifies that choice:
+	// true-execution rewards are exact but orders of magnitude slower.
+	TrueExecution bool
+}
+
+// NewEnv collects statistics over db and wires up the estimator.
+func NewEnv(db *storage.Database, vocab *token.Vocab, cfg fsm.Config) *Env {
+	return &Env{
+		DB:    db,
+		Vocab: vocab,
+		Est:   estimator.New(db.Schema, stats.Collect(db)),
+		Cfg:   cfg,
+	}
+}
+
+// NewBuilder starts a fresh FSM episode.
+func (e *Env) NewBuilder() *fsm.Builder {
+	return fsm.NewBuilder(e.DB.Schema, e.Vocab, e.Cfg)
+}
+
+// Measure returns the metric value of a statement: estimated by default,
+// or measured by real execution when TrueExecution is set (cardinality =
+// result rows, cost = the executor's operator-work counter).
+func (e *Env) Measure(st sqlast.Statement, m Metric) (float64, error) {
+	if e.TrueExecution {
+		res, err := executor.New(e.DB.Clone()).Execute(st)
+		if err != nil {
+			return 0, err
+		}
+		if m == Cost {
+			return res.Work, nil
+		}
+		return float64(res.Cardinality), nil
+	}
+	est, err := e.Est.Estimate(st)
+	if err != nil {
+		return 0, err
+	}
+	if m == Cost {
+		return est.Cost, nil
+	}
+	return est.Card, nil
+}
+
+// Generated is one produced statement with its measured metric value.
+type Generated struct {
+	Statement sqlast.Statement
+	SQL       string
+	Measured  float64
+	Satisfied bool
+}

@@ -1,0 +1,141 @@
+package rl
+
+import (
+	"math/rand"
+
+	"learnedsqlgen/internal/nn"
+)
+
+// Reinforce is the plain policy-gradient baseline of §4.3 (Williams'
+// REINFORCE, Eq. 2): it uses the raw cumulative future reward R(τ_{t:T})
+// in place of the critic's advantage, which the paper shows converges
+// slower and less stably (Figure 8).
+type Reinforce struct {
+	Env        *Env
+	Constraint Constraint
+	Cfg        Config
+
+	actor *nn.SeqNet
+	opt   *nn.Adam
+	rng   *rand.Rand
+
+	// sampler reuses the Trainer episode machinery without a critic.
+	sampler *Trainer
+}
+
+// NewReinforce builds the baseline trainer.
+func NewReinforce(env *Env, constraint Constraint, cfg Config) *Reinforce {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vocab := env.Vocab.Size()
+	r := &Reinforce{
+		Env:        env,
+		Constraint: constraint,
+		Cfg:        cfg,
+		actor:      nn.NewSeqNet("reinforce", vocab, cfg.EmbedDim, cfg.Hidden, vocab, cfg.Dropout, rng),
+		opt:        nn.NewAdam(cfg.ActorLR),
+		rng:        rng,
+	}
+	r.sampler = &Trainer{Env: env, Constraint: constraint, Cfg: cfg, rng: rng}
+	return r
+}
+
+// Actor exposes the policy network.
+func (r *Reinforce) Actor() *nn.SeqNet { return r.actor }
+
+// TrainEpoch samples episodes and applies REINFORCE updates.
+func (r *Reinforce) TrainEpoch(episodes int) EpochStats {
+	stats := EpochStats{}
+	batch := make([]*Trajectory, 0, r.Cfg.BatchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		r.update(batch)
+		batch = batch[:0]
+	}
+	for ep := 0; ep < episodes; ep++ {
+		traj := r.sampler.SampleEpisode(r.actor, false, true)
+		stats.Episodes++
+		stats.AvgReward += traj.TotalReward
+		if traj.Satisfied {
+			stats.SatisfiedRate++
+		}
+		batch = append(batch, traj)
+		if len(batch) == r.Cfg.BatchSize {
+			flush()
+		}
+	}
+	flush()
+	if stats.Episodes > 0 {
+		stats.AvgReward /= float64(stats.Episodes)
+		stats.SatisfiedRate /= float64(stats.Episodes)
+	}
+	return stats
+}
+
+// Train runs epochs and returns their stats traces.
+func (r *Reinforce) Train(epochs, episodesPerEpoch int) []EpochStats {
+	out := make([]EpochStats, 0, epochs)
+	for i := 0; i < epochs; i++ {
+		out = append(out, r.TrainEpoch(episodesPerEpoch))
+	}
+	return out
+}
+
+// update applies the Eq. 2 gradient: ∇θ log π(a_t|s_t) · R(τ_{t:T}).
+func (r *Reinforce) update(batch []*Trajectory) {
+	scale := 1.0 / float64(len(batch))
+	vocab := r.Env.Vocab.Size()
+	for _, traj := range batch {
+		T := len(traj.Steps)
+		// Cumulative future rewards R_{t:T}.
+		ret := make([]float64, T)
+		acc := 0.0
+		for i := T - 1; i >= 0; i-- {
+			acc = traj.Steps[i].Reward + r.Cfg.Gamma*acc
+			ret[i] = acc
+		}
+		dActor := make([][]float64, T)
+		for i, s := range traj.Steps {
+			d := make([]float64, vocab)
+			nn.PolicyGradLogits(s.Probs, s.Valid, s.Action, ret[i]*scale, r.Cfg.EntropyWeight*scale, d)
+			dActor[i] = d
+		}
+		r.actor.Backward(traj.ActorState, dActor)
+	}
+	r.opt.Step(r.actor.Params())
+}
+
+// Generate samples n statements from the trained policy.
+func (r *Reinforce) Generate(n int) []Generated {
+	out := make([]Generated, 0, n)
+	for i := 0; i < n; i++ {
+		traj := r.sampler.SampleEpisode(r.actor, false, false)
+		out = append(out, Generated{
+			Statement: traj.Final,
+			SQL:       traj.Final.SQL(),
+			Measured:  traj.Measured,
+			Satisfied: traj.Satisfied,
+		})
+	}
+	return out
+}
+
+// GenerateSatisfied mirrors Trainer.GenerateSatisfied.
+func (r *Reinforce) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
+	var out []Generated
+	attempts := 0
+	for attempts < maxAttempts && len(out) < n {
+		traj := r.sampler.SampleEpisode(r.actor, false, false)
+		attempts++
+		if traj.Satisfied {
+			out = append(out, Generated{
+				Statement: traj.Final,
+				SQL:       traj.Final.SQL(),
+				Measured:  traj.Measured,
+				Satisfied: true,
+			})
+		}
+	}
+	return out, attempts
+}

@@ -1,0 +1,350 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/fsm"
+	"learnedsqlgen/internal/nn"
+	"learnedsqlgen/internal/token"
+)
+
+func TestPointRewardMatchesPaperExamples(t *testing.T) {
+	// Example 3: Card = 10,000; ĉ = 100 → 0.01; ĉ = 11,000 → ≈0.9.
+	c := PointConstraint(Cardinality, 10000)
+	if got := c.Reward(true, 100); math.Abs(got-0.01) > 1e-9 {
+		t.Errorf("reward(100) = %v, want 0.01", got)
+	}
+	if got := c.Reward(true, 11000); math.Abs(got-10000.0/11000) > 1e-9 {
+		t.Errorf("reward(11000) = %v, want %v", got, 10000.0/11000)
+	}
+	if got := c.Reward(false, 5000); got != 0 {
+		t.Errorf("non-executable reward = %v, want 0", got)
+	}
+	if got := c.Reward(true, 0); got != 0 {
+		t.Errorf("zero-measure reward = %v, want 0 (δ=0 rule)", got)
+	}
+}
+
+func TestRangeRewardMatchesPaperExamples(t *testing.T) {
+	// Example 4: Card = [1K, 2K]; ĉ = 1.5K → 1; ĉ = 10K → 0.2.
+	c := RangeConstraint(Cardinality, 1000, 2000)
+	if got := c.Reward(true, 1500); got != 1 {
+		t.Errorf("in-range reward = %v, want 1", got)
+	}
+	if got := c.Reward(true, 10000); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("reward(10k) = %v, want 0.2", got)
+	}
+	if got := c.Reward(true, 500); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("reward(500) = %v, want 0.5 (δ_l)", got)
+	}
+	if got := c.Reward(true, 1000); got != 1 {
+		t.Errorf("boundary reward = %v, want 1", got)
+	}
+	if got := c.Reward(false, 1500); got != 0 {
+		t.Errorf("non-executable reward = %v", got)
+	}
+}
+
+func TestRewardMonotoneTowardsTarget(t *testing.T) {
+	c := PointConstraint(Cost, 1000)
+	prev := -1.0
+	for _, m := range []float64{1, 10, 100, 500, 900, 1000} {
+		r := c.Reward(true, m)
+		if r < prev {
+			t.Errorf("reward must grow towards the target: r(%v)=%v < %v", m, r, prev)
+		}
+		prev = r
+	}
+	if c.Reward(true, 1000) != 1 {
+		t.Error("exact hit must reward 1")
+	}
+}
+
+func TestSatisfied(t *testing.T) {
+	p := PointConstraint(Cardinality, 1000)
+	for m, want := range map[float64]bool{
+		1000: true, 905: true, 1095: true, 880: false, 1120: false,
+	} {
+		if got := p.Satisfied(m); got != want {
+			t.Errorf("point Satisfied(%v) = %v, want %v", m, got, want)
+		}
+	}
+	r := RangeConstraint(Cost, 10, 20)
+	for m, want := range map[float64]bool{10: true, 15: true, 20: true, 9.99: false, 21: false} {
+		if got := r.Satisfied(m); got != want {
+			t.Errorf("range Satisfied(%v) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	if got := PointConstraint(Cost, 10).String(); got != "Cost = 10" {
+		t.Errorf("point string = %q", got)
+	}
+	if got := RangeConstraint(Cardinality, 1000, 2000).String(); got != "Cardinality in [1000, 2000]" {
+		t.Errorf("range string = %q", got)
+	}
+}
+
+func testEnv(t testing.TB) *Env {
+	t.Helper()
+	db, err := datagen.Generate(datagen.NameTPCH, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab := token.Build(db, 8, 7)
+	cfg := fsm.DefaultConfig()
+	return NewEnv(db, vocab, cfg)
+}
+
+func fastConfig() Config {
+	cfg := FastConfig()
+	cfg.Hidden = 24
+	cfg.EmbedDim = 24
+	return cfg
+}
+
+func TestSampleEpisodeProducesValidStatements(t *testing.T) {
+	env := testEnv(t)
+	constraint := RangeConstraint(Cardinality, 10, 1000)
+	tr := NewTrainer(env, constraint, fastConfig())
+	for i := 0; i < 20; i++ {
+		traj := tr.SampleEpisode(tr.Actor(), true, true)
+		if traj.Final == nil {
+			t.Fatal("episode produced no statement")
+		}
+		if len(traj.Steps) == 0 {
+			t.Fatal("episode has no steps")
+		}
+		if traj.Measured < 0 {
+			t.Errorf("negative measurement %v", traj.Measured)
+		}
+		for _, s := range traj.Steps {
+			if s.Reward < -1 || s.Reward > 1 {
+				t.Errorf("reward %v out of [-1,1]", s.Reward)
+			}
+		}
+	}
+}
+
+func TestDenseRewardsPresent(t *testing.T) {
+	// The §4.2 Remark: executable prefixes earn intermediate rewards, so
+	// most episodes should have more than one non-zero reward step.
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.Mode = RewardDense
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 1, 1e9), cfg)
+	multi := 0
+	for i := 0; i < 30; i++ {
+		traj := tr.SampleEpisode(tr.Actor(), false, false)
+		nonzero := 0
+		for _, s := range traj.Steps {
+			if s.Reward > 0 {
+				nonzero++
+			}
+		}
+		if nonzero > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no episode earned dense intermediate rewards")
+	}
+}
+
+func TestTerminalRewardOnlyAblation(t *testing.T) {
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.Mode = RewardTerminal
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 1, 1e9), cfg)
+	for i := 0; i < 10; i++ {
+		traj := tr.SampleEpisode(tr.Actor(), false, false)
+		for j, s := range traj.Steps {
+			if j < len(traj.Steps)-1 && s.Reward != 0 {
+				t.Fatal("non-terminal step earned reward in terminal-only mode")
+			}
+		}
+	}
+}
+
+func TestTrainingImprovesReward(t *testing.T) {
+	env := testEnv(t)
+	// Generate queries with small result cardinality: a selective target
+	// the untrained policy rarely hits.
+	constraint := RangeConstraint(Cardinality, 1, 20)
+	cfg := fastConfig()
+	cfg.Seed = 3
+	tr := NewTrainer(env, constraint, cfg)
+
+	// Accuracy of the untrained policy (structurally a random-but-masked
+	// sampler).
+	untrainedAcc := accuracyOf(NewTrainer(env, constraint, cfg).Generate(100))
+
+	tr.TrainUntil(0.5, 2, 80, 25)
+	trainedAcc := accuracyOf(tr.Generate(100))
+	if trainedAcc <= untrainedAcc+0.1 {
+		t.Errorf("training did not raise accuracy: untrained %.2f, trained %.2f",
+			untrainedAcc, trainedAcc)
+	}
+}
+
+func accuracyOf(gen []Generated) float64 {
+	sat := 0
+	for _, g := range gen {
+		if g.Satisfied {
+			sat++
+		}
+	}
+	return float64(sat) / float64(len(gen))
+}
+
+func TestGenerateAndGenerateSatisfied(t *testing.T) {
+	env := testEnv(t)
+	constraint := RangeConstraint(Cardinality, 1, 1e6)
+	tr := NewTrainer(env, constraint, fastConfig())
+	tr.Train(2, 10)
+
+	gen := tr.Generate(15)
+	if len(gen) != 15 {
+		t.Fatalf("Generate returned %d", len(gen))
+	}
+	for _, g := range gen {
+		if g.Statement == nil || g.SQL == "" {
+			t.Fatal("missing statement")
+		}
+	}
+
+	sat, attempts := tr.GenerateSatisfied(5, 200)
+	if attempts > 200 {
+		t.Error("attempts exceeded cap")
+	}
+	for _, g := range sat {
+		if !g.Satisfied {
+			t.Error("GenerateSatisfied returned unsatisfied query")
+		}
+	}
+
+	// Impossible constraint: cap must bound the attempts.
+	impossible := RangeConstraint(Cardinality, 1e17, 1e18)
+	tr2 := NewTrainer(env, impossible, fastConfig())
+	sat2, attempts2 := tr2.GenerateSatisfied(5, 30)
+	if len(sat2) != 0 || attempts2 != 30 {
+		t.Errorf("impossible constraint: got %d satisfied in %d attempts", len(sat2), attempts2)
+	}
+}
+
+func TestReinforceTrainsAndGenerates(t *testing.T) {
+	env := testEnv(t)
+	constraint := RangeConstraint(Cardinality, 1, 20)
+	cfg := fastConfig()
+	cfg.Seed = 5
+	r := NewReinforce(env, constraint, cfg)
+	stats := r.Train(6, 20)
+	if len(stats) != 6 {
+		t.Fatalf("stats = %d epochs", len(stats))
+	}
+	gen := r.Generate(10)
+	if len(gen) != 10 {
+		t.Fatal("Generate size mismatch")
+	}
+	if _, attempts := r.GenerateSatisfied(3, 50); attempts > 50 {
+		t.Error("attempt cap breached")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	env := testEnv(t)
+	constraint := RangeConstraint(Cardinality, 10, 500)
+	cfg := fastConfig()
+	cfg.Seed = 11
+	a := NewTrainer(env, constraint, cfg)
+	b := NewTrainer(env, constraint, cfg)
+	sa := a.Train(2, 10)
+	sb := b.Train(2, 10)
+	for i := range sa {
+		if math.Abs(sa[i].AvgReward-sb[i].AvgReward) > 1e-12 {
+			t.Fatalf("epoch %d diverged: %v vs %v", i, sa[i].AvgReward, sb[i].AvgReward)
+		}
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Cardinality.String() != "Cardinality" || Cost.String() != "Cost" {
+		t.Error("metric names wrong")
+	}
+}
+
+func TestTrainerSaveLoad(t *testing.T) {
+	env := testEnv(t)
+	constraint := RangeConstraint(Cardinality, 1, 100)
+	cfg := fastConfig()
+	a := NewTrainer(env, constraint, cfg)
+	a.Train(3, 10)
+
+	path := t.TempDir() + "/model.gob"
+	if err := a.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b := NewTrainer(env, constraint, cfg)
+	if err := b.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Same weights + same sampler seed state? Seeds differ in consumed
+	// stream position, so compare greedily: the two actors must give
+	// identical probabilities on a fresh prefix.
+	trajA := a.SampleEpisode(a.Actor(), false, false)
+	_ = trajA
+	pa := probeProbs(t, env, a)
+	pb := probeProbs(t, env, b)
+	for i := range pa {
+		if math.Abs(pa[i]-pb[i]) > 1e-12 {
+			t.Fatal("loaded policy differs from saved policy")
+		}
+	}
+	if err := b.LoadFile(path + ".missing"); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+// probeProbs returns the masked policy distribution at the episode start.
+func probeProbs(t *testing.T, env *Env, tr *Trainer) []float64 {
+	t.Helper()
+	b := env.NewBuilder()
+	valid := b.Valid()
+	st := tr.Actor().NewState()
+	logits := tr.Actor().StepMasked(st, tr.Actor().BOS(), valid, false, nil)
+	return nn.MaskedSoftmax(logits, valid)
+}
+
+func TestTrueExecutionMeasure(t *testing.T) {
+	env := testEnv(t)
+	env.TrueExecution = true
+	// region has exactly 5 rows; the estimator would agree here, but the
+	// executor path must report the exact count and positive work.
+	b := env.NewBuilder()
+	_ = b
+	st := mustParse(t, "SELECT region.r_name FROM region")
+	card, err := env.Measure(st, Cardinality)
+	if err != nil || card != 5 {
+		t.Fatalf("true card = %v, %v", card, err)
+	}
+	cost, err := env.Measure(st, Cost)
+	if err != nil || cost <= 0 {
+		t.Fatalf("true cost = %v, %v", cost, err)
+	}
+	// Training under true execution still works end to end.
+	cfg := fastConfig()
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 1, 100), cfg)
+	tr.Train(2, 10)
+	out := tr.Generate(5)
+	if len(out) != 5 {
+		t.Fatal("generation under true execution broken")
+	}
+	for _, g := range out {
+		if g.Measured != float64(int(g.Measured)) {
+			t.Errorf("true cardinality must be integral, got %v", g.Measured)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package rl
+
+import (
+	"io"
+	"os"
+
+	"learnedsqlgen/internal/nn"
+)
+
+// Save writes the trained actor and critic weights to w, so the inference
+// step can later "call the trained model to generate queries satisfying
+// the constraint at any time, without retraining" (§3.3).
+func (t *Trainer) Save(w io.Writer) error {
+	params := append(t.actor.Params(), t.critic.Params()...)
+	return nn.SaveParams(w, params)
+}
+
+// Load restores actor and critic weights written by Save. The trainer must
+// have been built over the same vocabulary and configuration.
+func (t *Trainer) Load(r io.Reader) error {
+	params := append(t.actor.Params(), t.critic.Params()...)
+	return nn.LoadParams(r, params)
+}
+
+// SaveFile and LoadFile are path convenience wrappers.
+func (t *Trainer) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile restores a checkpoint from path.
+func (t *Trainer) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.Load(f)
+}

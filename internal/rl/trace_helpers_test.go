@@ -1,0 +1,18 @@
+package rl
+
+import (
+	"testing"
+
+	"learnedsqlgen/internal/parser"
+	"learnedsqlgen/internal/sqlast"
+)
+
+// mustParse parses SQL for test fixtures.
+func mustParse(t *testing.T, sql string) sqlast.Statement {
+	t.Helper()
+	st, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

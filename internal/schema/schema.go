@@ -1,0 +1,241 @@
+// Package schema defines the database catalog: tables, columns, primary
+// keys and the foreign-key join graph. The FSM's semantic rules (§5 of the
+// paper, "Meaningful Checking") consult the join graph so that generated
+// queries only join columns with declared PK–FK or user-specified join
+// relations.
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"learnedsqlgen/internal/sqltypes"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name string
+	Kind sqltypes.Kind
+	// Categorical marks a string column with a small closed domain (e.g.
+	// Gender). The token vocabulary enumerates every distinct value of a
+	// categorical column instead of sampling k values (§4.1).
+	Categorical bool
+	// PrimaryKey marks the table's key column (single-column keys only,
+	// which covers the three benchmark schemas).
+	PrimaryKey bool
+}
+
+// Table describes one relation.
+type Table struct {
+	Name    string
+	Alias   string // short alias used in generated SQL, e.g. "T1"
+	Columns []Column
+
+	byName map[string]int
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	i := t.ColumnIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return &t.Columns[i]
+}
+
+// PrimaryKeyIndex returns the index of the primary-key column, or -1.
+func (t *Table) PrimaryKeyIndex() int {
+	for i := range t.Columns {
+		if t.Columns[i].PrimaryKey {
+			return i
+		}
+	}
+	return -1
+}
+
+// ForeignKey declares that FromTable.FromColumn references ToTable.ToColumn.
+// The FSM treats foreign keys as the only legal join edges ("two columns can
+// join, only if they have Primary-key-Foreign-key relations or
+// user-specified join relations", §5).
+type ForeignKey struct {
+	FromTable, FromColumn string
+	ToTable, ToColumn     string
+}
+
+// Schema is an immutable catalog of tables plus the join graph.
+type Schema struct {
+	Name   string
+	Tables []*Table
+	FKs    []ForeignKey
+
+	byName map[string]int
+	// joinEdges[table] lists joinable neighbours with the join columns.
+	joinEdges map[string][]JoinEdge
+}
+
+// JoinEdge is a resolved join relation between two tables.
+type JoinEdge struct {
+	LeftTable, LeftColumn   string
+	RightTable, RightColumn string
+}
+
+// Builder incrementally assembles a Schema.
+type Builder struct {
+	s    *Schema
+	errs []error
+}
+
+// NewBuilder starts a schema named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{s: &Schema{
+		Name:      name,
+		byName:    map[string]int{},
+		joinEdges: map[string][]JoinEdge{},
+	}}
+}
+
+// Table adds a table with the given columns. Alias defaults to the table
+// name when empty.
+func (b *Builder) Table(name, alias string, cols ...Column) *Builder {
+	if alias == "" {
+		alias = name
+	}
+	if _, dup := b.s.byName[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("schema: duplicate table %q", name))
+		return b
+	}
+	t := &Table{Name: name, Alias: alias, Columns: cols, byName: map[string]int{}}
+	for i, c := range cols {
+		if _, dup := t.byName[c.Name]; dup {
+			b.errs = append(b.errs, fmt.Errorf("schema: duplicate column %s.%s", name, c.Name))
+			continue
+		}
+		t.byName[c.Name] = i
+	}
+	b.s.byName[name] = len(b.s.Tables)
+	b.s.Tables = append(b.s.Tables, t)
+	return b
+}
+
+// ForeignKey declares a PK–FK relation.
+func (b *Builder) ForeignKey(fromTable, fromColumn, toTable, toColumn string) *Builder {
+	b.s.FKs = append(b.s.FKs, ForeignKey{fromTable, fromColumn, toTable, toColumn})
+	return b
+}
+
+// Build validates and returns the schema.
+func (b *Builder) Build() (*Schema, error) {
+	s := b.s
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for _, fk := range s.FKs {
+		ft := s.TableByName(fk.FromTable)
+		tt := s.TableByName(fk.ToTable)
+		if ft == nil || tt == nil {
+			return nil, fmt.Errorf("schema: FK references unknown table %s→%s", fk.FromTable, fk.ToTable)
+		}
+		fc := ft.Column(fk.FromColumn)
+		tc := tt.Column(fk.ToColumn)
+		if fc == nil || tc == nil {
+			return nil, fmt.Errorf("schema: FK references unknown column %s.%s→%s.%s",
+				fk.FromTable, fk.FromColumn, fk.ToTable, fk.ToColumn)
+		}
+		if fc.Kind != tc.Kind {
+			// Columns with different datatypes cannot be joined (§5).
+			return nil, fmt.Errorf("schema: FK type mismatch %s.%s(%v)→%s.%s(%v)",
+				fk.FromTable, fk.FromColumn, fc.Kind, fk.ToTable, fk.ToColumn, tc.Kind)
+		}
+		s.joinEdges[fk.FromTable] = append(s.joinEdges[fk.FromTable], JoinEdge{
+			LeftTable: fk.FromTable, LeftColumn: fk.FromColumn,
+			RightTable: fk.ToTable, RightColumn: fk.ToColumn,
+		})
+		s.joinEdges[fk.ToTable] = append(s.joinEdges[fk.ToTable], JoinEdge{
+			LeftTable: fk.ToTable, LeftColumn: fk.ToColumn,
+			RightTable: fk.FromTable, RightColumn: fk.FromColumn,
+		})
+	}
+	return s, nil
+}
+
+// TableByName returns the named table, or nil.
+func (s *Schema) TableByName(name string) *Table {
+	if i, ok := s.byName[name]; ok {
+		return s.Tables[i]
+	}
+	return nil
+}
+
+// TableIndex returns the position of the named table, or -1.
+func (s *Schema) TableIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// JoinEdges returns every declared join relation incident to table, with the
+// table on the left side of each edge. Callers must not mutate the result.
+func (s *Schema) JoinEdges(table string) []JoinEdge {
+	return s.joinEdges[table]
+}
+
+// JoinEdgeBetween returns the join relation between two tables, if any.
+func (s *Schema) JoinEdgeBetween(left, right string) (JoinEdge, bool) {
+	for _, e := range s.joinEdges[left] {
+		if e.RightTable == right {
+			return e, true
+		}
+	}
+	return JoinEdge{}, false
+}
+
+// JoinableFrom returns the sorted names of tables reachable in one hop from
+// any table in the given set and not already in the set. The FSM uses it to
+// mask JOIN targets.
+func (s *Schema) JoinableFrom(tables map[string]bool) []string {
+	seen := map[string]bool{}
+	for t := range tables {
+		for _, e := range s.joinEdges[t] {
+			if !tables[e.RightTable] {
+				seen[e.RightTable] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QualifiedColumn names a column as table.column.
+type QualifiedColumn struct {
+	Table  string
+	Column string
+}
+
+// String renders "table.column".
+func (q QualifiedColumn) String() string { return q.Table + "." + q.Column }
+
+// ResolveColumn finds the column metadata for a qualified name.
+func (s *Schema) ResolveColumn(q QualifiedColumn) (*Column, error) {
+	t := s.TableByName(q.Table)
+	if t == nil {
+		return nil, fmt.Errorf("schema: unknown table %q", q.Table)
+	}
+	c := t.Column(q.Column)
+	if c == nil {
+		return nil, fmt.Errorf("schema: unknown column %q.%q", q.Table, q.Column)
+	}
+	return c, nil
+}

@@ -1,0 +1,169 @@
+package schema
+
+import (
+	"testing"
+
+	"learnedsqlgen/internal/sqltypes"
+)
+
+// studentScore builds the two-table example schema from Figure 1 of the
+// paper: Score(ID, Course, Score) and Student(ID, Name).
+func studentScore(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewBuilder("example").
+		Table("Score", "T1",
+			Column{Name: "ID", Kind: sqltypes.KindInt},
+			Column{Name: "Course", Kind: sqltypes.KindString, Categorical: true},
+			Column{Name: "Score", Kind: sqltypes.KindFloat},
+		).
+		Table("Student", "T2",
+			Column{Name: "ID", Kind: sqltypes.KindInt, PrimaryKey: true},
+			Column{Name: "Name", Kind: sqltypes.KindString},
+		).
+		ForeignKey("Score", "ID", "Student", "ID").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	s := studentScore(t)
+	if got := s.TableByName("Score"); got == nil || got.Alias != "T1" {
+		t.Fatalf("TableByName(Score) = %v", got)
+	}
+	if s.TableByName("Nope") != nil {
+		t.Error("unknown table must return nil")
+	}
+	if s.TableIndex("Student") != 1 {
+		t.Error("TableIndex(Student) != 1")
+	}
+	if s.TableIndex("Nope") != -1 {
+		t.Error("TableIndex(unknown) != -1")
+	}
+	tab := s.TableByName("Score")
+	if tab.ColumnIndex("Course") != 1 {
+		t.Error("ColumnIndex(Course) != 1")
+	}
+	if tab.ColumnIndex("nope") != -1 {
+		t.Error("ColumnIndex(unknown) != -1")
+	}
+	if c := tab.Column("Score"); c == nil || c.Kind != sqltypes.KindFloat {
+		t.Error("Column(Score) wrong")
+	}
+	if tab.Column("nope") != nil {
+		t.Error("Column(unknown) must be nil")
+	}
+}
+
+func TestPrimaryKeyIndex(t *testing.T) {
+	s := studentScore(t)
+	if s.TableByName("Student").PrimaryKeyIndex() != 0 {
+		t.Error("Student PK must be ID at index 0")
+	}
+	if s.TableByName("Score").PrimaryKeyIndex() != -1 {
+		t.Error("Score has no PK")
+	}
+}
+
+func TestJoinEdgesBidirectional(t *testing.T) {
+	s := studentScore(t)
+	if e, ok := s.JoinEdgeBetween("Score", "Student"); !ok || e.LeftColumn != "ID" || e.RightColumn != "ID" {
+		t.Errorf("Score→Student edge = %+v, ok=%v", e, ok)
+	}
+	if _, ok := s.JoinEdgeBetween("Student", "Score"); !ok {
+		t.Error("edge must be bidirectional")
+	}
+	if _, ok := s.JoinEdgeBetween("Score", "Score"); ok {
+		t.Error("no self edge declared")
+	}
+}
+
+func TestJoinableFrom(t *testing.T) {
+	s := studentScore(t)
+	got := s.JoinableFrom(map[string]bool{"Score": true})
+	if len(got) != 1 || got[0] != "Student" {
+		t.Errorf("JoinableFrom({Score}) = %v", got)
+	}
+	got = s.JoinableFrom(map[string]bool{"Score": true, "Student": true})
+	if len(got) != 0 {
+		t.Errorf("JoinableFrom(all) = %v, want empty", got)
+	}
+}
+
+func TestResolveColumn(t *testing.T) {
+	s := studentScore(t)
+	c, err := s.ResolveColumn(QualifiedColumn{"Student", "Name"})
+	if err != nil || c.Kind != sqltypes.KindString {
+		t.Errorf("ResolveColumn = %v, %v", c, err)
+	}
+	if _, err := s.ResolveColumn(QualifiedColumn{"Nope", "X"}); err == nil {
+		t.Error("unknown table must error")
+	}
+	if _, err := s.ResolveColumn(QualifiedColumn{"Student", "X"}); err == nil {
+		t.Error("unknown column must error")
+	}
+	if got := (QualifiedColumn{"Student", "Name"}).String(); got != "Student.Name" {
+		t.Errorf("QualifiedColumn.String() = %q", got)
+	}
+}
+
+func TestBuilderRejectsDuplicates(t *testing.T) {
+	_, err := NewBuilder("bad").
+		Table("A", "", Column{Name: "x", Kind: sqltypes.KindInt}).
+		Table("A", "", Column{Name: "x", Kind: sqltypes.KindInt}).
+		Build()
+	if err == nil {
+		t.Error("duplicate table must fail Build")
+	}
+	_, err = NewBuilder("bad").
+		Table("A", "",
+			Column{Name: "x", Kind: sqltypes.KindInt},
+			Column{Name: "x", Kind: sqltypes.KindInt}).
+		Build()
+	if err == nil {
+		t.Error("duplicate column must fail Build")
+	}
+}
+
+func TestBuilderRejectsBadForeignKeys(t *testing.T) {
+	// Unknown table.
+	_, err := NewBuilder("bad").
+		Table("A", "", Column{Name: "x", Kind: sqltypes.KindInt}).
+		ForeignKey("A", "x", "B", "y").
+		Build()
+	if err == nil {
+		t.Error("FK to unknown table must fail")
+	}
+	// Unknown column.
+	_, err = NewBuilder("bad").
+		Table("A", "", Column{Name: "x", Kind: sqltypes.KindInt}).
+		Table("B", "", Column{Name: "y", Kind: sqltypes.KindInt}).
+		ForeignKey("A", "nope", "B", "y").
+		Build()
+	if err == nil {
+		t.Error("FK from unknown column must fail")
+	}
+	// Type mismatch: "columns with different datatypes cannot be joined".
+	_, err = NewBuilder("bad").
+		Table("A", "", Column{Name: "x", Kind: sqltypes.KindInt}).
+		Table("B", "", Column{Name: "y", Kind: sqltypes.KindString}).
+		ForeignKey("A", "x", "B", "y").
+		Build()
+	if err == nil {
+		t.Error("FK with mismatched types must fail")
+	}
+}
+
+func TestDefaultAlias(t *testing.T) {
+	s, err := NewBuilder("x").
+		Table("Orders", "", Column{Name: "id", Kind: sqltypes.KindInt}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TableByName("Orders").Alias != "Orders" {
+		t.Error("empty alias must default to table name")
+	}
+}

@@ -1,0 +1,632 @@
+// Package sqlast defines the abstract syntax tree for the SQL subset of the
+// paper's grammar (Table 1): SELECT-PROJECT-JOIN queries with conjunctive/
+// disjunctive predicates, aggregation with GROUP BY / HAVING, ORDER BY,
+// nested queries in WHERE and HAVING (scalar comparison, IN, EXISTS), and
+// INSERT / UPDATE / DELETE statements.
+//
+// Joins are restricted to the schema's PK–FK join graph and carry explicit
+// equi-join conditions ("the corresponding join keys will be automatically
+// added", §5). All subqueries are uncorrelated, matching the grammar
+// `WHERE attr operator (value | QUERY)`.
+package sqlast
+
+import (
+	"strings"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqltypes"
+)
+
+// CmpOp is a comparison operator. The paper supports {>, =, <, >=, <=} plus
+// <> in the grammar table.
+type CmpOp uint8
+
+const (
+	OpInvalid CmpOp = iota
+	OpLt
+	OpGt
+	OpLe
+	OpGe
+	OpEq
+	OpNe
+)
+
+// String renders the SQL spelling of the operator.
+func (o CmpOp) String() string {
+	switch o {
+	case OpLt:
+		return "<"
+	case OpGt:
+		return ">"
+	case OpLe:
+		return "<="
+	case OpGe:
+		return ">="
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	default:
+		return "?op?"
+	}
+}
+
+// Eval applies the operator to a comparison result from sqltypes.Compare.
+func (o CmpOp) Eval(cmp int) bool {
+	switch o {
+	case OpLt:
+		return cmp < 0
+	case OpGt:
+		return cmp > 0
+	case OpLe:
+		return cmp <= 0
+	case OpGe:
+		return cmp >= 0
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	default:
+		return false
+	}
+}
+
+// AggFunc is an aggregate function, or AggNone for a plain column reference.
+type AggFunc uint8
+
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMax
+	AggMin
+)
+
+// String renders the SQL spelling of the aggregate.
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMax:
+		return "MAX"
+	case AggMin:
+		return "MIN"
+	default:
+		return ""
+	}
+}
+
+// NeedsNumeric reports whether the aggregate requires a numeric input
+// column (§5: "only numerical attributes can be included in
+// average/sum/max/min aggregation operations").
+func (a AggFunc) NeedsNumeric() bool {
+	switch a {
+	case AggSum, AggAvg, AggMax, AggMin:
+		return true
+	default:
+		return false
+	}
+}
+
+// SelectItem is one projection: a plain column or agg(column).
+type SelectItem struct {
+	Agg AggFunc
+	Col schema.QualifiedColumn
+}
+
+// SQL renders the projection term.
+func (s SelectItem) SQL() string {
+	if s.Agg == AggNone {
+		return s.Col.String()
+	}
+	return s.Agg.String() + "(" + s.Col.String() + ")"
+}
+
+// JoinCond is one auto-derived equi-join condition between a newly joined
+// table and a table already in scope.
+type JoinCond struct {
+	Left  schema.QualifiedColumn // column of the already-joined side
+	Right schema.QualifiedColumn // column of the newly joined table
+}
+
+// Predicate is a boolean expression over one row scope.
+type Predicate interface {
+	isPredicate()
+	// SQL renders the predicate.
+	SQL() string
+}
+
+// Compare is `col op literal`.
+type Compare struct {
+	Col   schema.QualifiedColumn
+	Op    CmpOp
+	Value sqltypes.Value
+}
+
+func (*Compare) isPredicate() {}
+
+// SQL renders the comparison.
+func (c *Compare) SQL() string {
+	return c.Col.String() + " " + c.Op.String() + " " + c.Value.SQL()
+}
+
+// CompareSub is `col op (subquery)` where the subquery yields a scalar
+// (single aggregate select item, no GROUP BY).
+type CompareSub struct {
+	Col schema.QualifiedColumn
+	Op  CmpOp
+	Sub *Select
+}
+
+func (*CompareSub) isPredicate() {}
+
+// SQL renders the scalar-subquery comparison.
+func (c *CompareSub) SQL() string {
+	return c.Col.String() + " " + c.Op.String() + " (" + c.Sub.SQL() + ")"
+}
+
+// Like is `col LIKE 'pattern'` where pattern uses % as the multi-character
+// wildcard. The paper's §5 leaves LIKE as future work and sketches the
+// implementation used here: the keyword joins the FSM and patterns are
+// substrings sampled from the column's values.
+type Like struct {
+	Col     schema.QualifiedColumn
+	Pattern string
+}
+
+func (*Like) isPredicate() {}
+
+// SQL renders the LIKE predicate.
+func (p *Like) SQL() string {
+	return p.Col.String() + " LIKE " + sqltypes.NewString(p.Pattern).SQL()
+}
+
+// MatchLike evaluates a LIKE pattern (with % wildcards only) against a
+// string, SQL-style: the pattern must cover the whole input.
+func MatchLike(s, pattern string) bool {
+	segments := strings.Split(pattern, "%")
+	// No wildcard: exact match.
+	if len(segments) == 1 {
+		return s == pattern
+	}
+	// Leading segment anchors at the start.
+	if segments[0] != "" {
+		if !strings.HasPrefix(s, segments[0]) {
+			return false
+		}
+		s = s[len(segments[0]):]
+	}
+	// Trailing segment anchors at the end.
+	last := segments[len(segments)-1]
+	if last != "" {
+		if !strings.HasSuffix(s, last) {
+			return false
+		}
+		s = s[:len(s)-len(last)]
+	}
+	// Middle segments match greedily in order.
+	for _, seg := range segments[1 : len(segments)-1] {
+		if seg == "" {
+			continue
+		}
+		idx := strings.Index(s, seg)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(seg):]
+	}
+	return true
+}
+
+// In is `col [NOT] IN (subquery)`; the subquery projects a single column.
+type In struct {
+	Col    schema.QualifiedColumn
+	Sub    *Select
+	Negate bool
+}
+
+func (*In) isPredicate() {}
+
+// SQL renders the IN predicate.
+func (p *In) SQL() string {
+	kw := " IN ("
+	if p.Negate {
+		kw = " NOT IN ("
+	}
+	return p.Col.String() + kw + p.Sub.SQL() + ")"
+}
+
+// Exists is `[NOT] EXISTS (subquery)`.
+type Exists struct {
+	Sub    *Select
+	Negate bool
+}
+
+func (*Exists) isPredicate() {}
+
+// SQL renders the EXISTS predicate.
+func (p *Exists) SQL() string {
+	kw := "EXISTS ("
+	if p.Negate {
+		kw = "NOT EXISTS ("
+	}
+	return kw + p.Sub.SQL() + ")"
+}
+
+// And is a conjunction.
+type And struct{ Left, Right Predicate }
+
+func (*And) isPredicate() {}
+
+// SQL renders the conjunction (left-assoc, no parens needed for AND chains;
+// OR operands are parenthesized at the Or level).
+func (p *And) SQL() string { return p.Left.SQL() + " AND " + p.Right.SQL() }
+
+// Or is a disjunction. Rendering parenthesizes both sides to keep the
+// round-trip through the parser unambiguous.
+type Or struct{ Left, Right Predicate }
+
+func (*Or) isPredicate() {}
+
+// SQL renders the disjunction.
+func (p *Or) SQL() string { return "(" + p.Left.SQL() + " OR " + p.Right.SQL() + ")" }
+
+// Not negates a predicate.
+type Not struct{ Inner Predicate }
+
+func (*Not) isPredicate() {}
+
+// SQL renders the negation.
+func (p *Not) SQL() string { return "NOT (" + p.Inner.SQL() + ")" }
+
+// Having is `agg(attr) op (value | subquery)`.
+type Having struct {
+	Agg   AggFunc
+	Col   schema.QualifiedColumn
+	Op    CmpOp
+	Value sqltypes.Value // used when Sub == nil
+	Sub   *Select
+}
+
+// SQL renders the HAVING condition.
+func (h *Having) SQL() string {
+	lhs := h.Agg.String() + "(" + h.Col.String() + ") " + h.Op.String() + " "
+	if h.Sub != nil {
+		return lhs + "(" + h.Sub.SQL() + ")"
+	}
+	return lhs + h.Value.SQL()
+}
+
+// Select is a SELECT query (possibly a subquery).
+type Select struct {
+	// Tables in join order; Tables[0] is the anchor, Tables[i] (i>0) joins
+	// to an earlier table through Joins[i-1].
+	Tables  []string
+	Joins   []JoinCond
+	Items   []SelectItem
+	Where   Predicate // nil when absent
+	GroupBy []schema.QualifiedColumn
+	Having  *Having
+	OrderBy []schema.QualifiedColumn
+}
+
+// Statement is any executable SQL statement.
+type Statement interface {
+	isStatement()
+	SQL() string
+}
+
+func (*Select) isStatement() {}
+
+// SQL renders the canonical form of the query.
+func (s *Select) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.SQL())
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(s.Tables[0])
+	for i := 1; i < len(s.Tables); i++ {
+		j := s.Joins[i-1]
+		b.WriteString(" JOIN ")
+		b.WriteString(s.Tables[i])
+		b.WriteString(" ON ")
+		b.WriteString(j.Left.String())
+		b.WriteString(" = ")
+		b.WriteString(j.Right.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, c := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	return b.String()
+}
+
+// HasAggregate reports whether any select item aggregates.
+func (s *Select) HasAggregate() bool {
+	for _, it := range s.Items {
+		if it.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert is `INSERT INTO table VALUES (...)` or `INSERT INTO table (SELECT ...)`.
+type Insert struct {
+	Table  string
+	Values []sqltypes.Value // used when Sub == nil
+	Sub    *Select
+}
+
+func (*Insert) isStatement() {}
+
+// SQL renders the insert statement.
+func (s *Insert) SQL() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(s.Table)
+	if s.Sub != nil {
+		b.WriteString(" (")
+		b.WriteString(s.Sub.SQL())
+		b.WriteString(")")
+		return b.String()
+	}
+	b.WriteString(" VALUES (")
+	for i, v := range s.Values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.SQL())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// SetClause is one `col = value` assignment of an UPDATE.
+type SetClause struct {
+	Col   string // unqualified: UPDATE has a single-table scope
+	Value sqltypes.Value
+}
+
+// Update is `UPDATE table SET col = v, ... WHERE pred`.
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where Predicate // nil when absent
+}
+
+func (*Update) isStatement() {}
+
+// SQL renders the update statement.
+func (s *Update) SQL() string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(s.Table)
+	b.WriteString(" SET ")
+	for i, sc := range s.Sets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(sc.Col)
+		b.WriteString(" = ")
+		b.WriteString(sc.Value.SQL())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.SQL())
+	}
+	return b.String()
+}
+
+// Delete is `DELETE FROM table WHERE pred`.
+type Delete struct {
+	Table string
+	Where Predicate // nil when absent
+}
+
+func (*Delete) isStatement() {}
+
+// SQL renders the delete statement.
+func (s *Delete) SQL() string {
+	var b strings.Builder
+	b.WriteString("DELETE FROM ")
+	b.WriteString(s.Table)
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.SQL())
+	}
+	return b.String()
+}
+
+// WalkPredicates calls fn on every predicate node of p in depth-first
+// order, descending into AND/OR/NOT but not into subqueries.
+func WalkPredicates(p Predicate, fn func(Predicate)) {
+	if p == nil {
+		return
+	}
+	fn(p)
+	switch t := p.(type) {
+	case *And:
+		WalkPredicates(t.Left, fn)
+		WalkPredicates(t.Right, fn)
+	case *Or:
+		WalkPredicates(t.Left, fn)
+		WalkPredicates(t.Right, fn)
+	case *Not:
+		WalkPredicates(t.Inner, fn)
+	}
+}
+
+// Subqueries returns every subquery directly referenced by the statement's
+// predicates and HAVING clause (not recursing into nested levels).
+func Subqueries(st Statement) []*Select {
+	var out []*Select
+	collect := func(p Predicate) {
+		switch t := p.(type) {
+		case *CompareSub:
+			out = append(out, t.Sub)
+		case *In:
+			out = append(out, t.Sub)
+		case *Exists:
+			out = append(out, t.Sub)
+		}
+	}
+	switch t := st.(type) {
+	case *Select:
+		WalkPredicates(t.Where, collect)
+		if t.Having != nil && t.Having.Sub != nil {
+			out = append(out, t.Having.Sub)
+		}
+	case *Insert:
+		if t.Sub != nil {
+			out = append(out, t.Sub)
+		}
+	case *Update:
+		WalkPredicates(t.Where, collect)
+	case *Delete:
+		WalkPredicates(t.Where, collect)
+	}
+	return out
+}
+
+// CountPredicates returns the number of leaf predicates (comparisons,
+// IN, EXISTS) in the statement's WHERE clause, counting subquery bodies
+// recursively. Used by the Fig 10 distribution analysis.
+func CountPredicates(st Statement) int {
+	n := 0
+	var walkSel func(s *Select)
+	countLeaf := func(p Predicate) {
+		switch p.(type) {
+		case *Compare, *CompareSub, *In, *Exists, *Like:
+			n++
+		}
+	}
+	walkPred := func(p Predicate) {
+		WalkPredicates(p, countLeaf)
+	}
+	walkSel = func(s *Select) {
+		if s == nil {
+			return
+		}
+		walkPred(s.Where)
+		for _, sub := range Subqueries(s) {
+			walkSel(sub)
+		}
+	}
+	switch t := st.(type) {
+	case *Select:
+		walkSel(t)
+	case *Update:
+		walkPred(t.Where)
+		for _, sub := range Subqueries(t) {
+			walkSel(sub)
+		}
+	case *Delete:
+		walkPred(t.Where)
+		for _, sub := range Subqueries(t) {
+			walkSel(sub)
+		}
+	case *Insert:
+		walkSel(t.Sub)
+	}
+	return n
+}
+
+// ClonePredicate deep-copies a predicate tree. Subquery pointers are
+// shared: subqueries are treated as immutable once built.
+func ClonePredicate(p Predicate) Predicate {
+	switch t := p.(type) {
+	case nil:
+		return nil
+	case *Compare:
+		c := *t
+		return &c
+	case *CompareSub:
+		c := *t
+		return &c
+	case *Like:
+		c := *t
+		return &c
+	case *In:
+		c := *t
+		return &c
+	case *Exists:
+		c := *t
+		return &c
+	case *And:
+		return &And{Left: ClonePredicate(t.Left), Right: ClonePredicate(t.Right)}
+	case *Or:
+		return &Or{Left: ClonePredicate(t.Left), Right: ClonePredicate(t.Right)}
+	case *Not:
+		return &Not{Inner: ClonePredicate(t.Inner)}
+	default:
+		return p
+	}
+}
+
+// CloneStatement deep-copies a statement's own structure (slices and
+// predicate trees); nested subquery pointers are shared.
+func CloneStatement(st Statement) Statement {
+	switch t := st.(type) {
+	case *Select:
+		cp := *t
+		cp.Tables = append([]string(nil), t.Tables...)
+		cp.Joins = append([]JoinCond(nil), t.Joins...)
+		cp.Items = append([]SelectItem(nil), t.Items...)
+		cp.GroupBy = append([]schema.QualifiedColumn(nil), t.GroupBy...)
+		cp.OrderBy = append([]schema.QualifiedColumn(nil), t.OrderBy...)
+		cp.Where = ClonePredicate(t.Where)
+		if t.Having != nil {
+			h := *t.Having
+			cp.Having = &h
+		}
+		return &cp
+	case *Insert:
+		cp := *t
+		cp.Values = append([]sqltypes.Value(nil), t.Values...)
+		return &cp
+	case *Update:
+		cp := *t
+		cp.Sets = append([]SetClause(nil), t.Sets...)
+		cp.Where = ClonePredicate(t.Where)
+		return &cp
+	case *Delete:
+		cp := *t
+		cp.Where = ClonePredicate(t.Where)
+		return &cp
+	default:
+		return st
+	}
+}

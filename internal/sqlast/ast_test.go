@@ -1,0 +1,240 @@
+package sqlast
+
+import (
+	"strings"
+	"testing"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqltypes"
+)
+
+func col(t, c string) schema.QualifiedColumn { return schema.QualifiedColumn{Table: t, Column: c} }
+
+func TestCmpOpEval(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		cmp  int
+		want bool
+	}{
+		{OpLt, -1, true}, {OpLt, 0, false}, {OpLt, 1, false},
+		{OpGt, 1, true}, {OpGt, 0, false},
+		{OpLe, 0, true}, {OpLe, 1, false},
+		{OpGe, 0, true}, {OpGe, -1, false},
+		{OpEq, 0, true}, {OpEq, 1, false},
+		{OpNe, 1, true}, {OpNe, 0, false},
+		{OpInvalid, 0, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.cmp); got != c.want {
+			t.Errorf("%v.Eval(%d) = %v, want %v", c.op, c.cmp, got, c.want)
+		}
+	}
+}
+
+func TestCmpOpStrings(t *testing.T) {
+	want := map[CmpOp]string{OpLt: "<", OpGt: ">", OpLe: "<=", OpGe: ">=", OpEq: "=", OpNe: "<>"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestAggNeedsNumeric(t *testing.T) {
+	for _, a := range []AggFunc{AggSum, AggAvg, AggMax, AggMin} {
+		if !a.NeedsNumeric() {
+			t.Errorf("%v must need numeric", a)
+		}
+	}
+	if AggCount.NeedsNumeric() || AggNone.NeedsNumeric() {
+		t.Error("COUNT and plain columns must not need numeric")
+	}
+}
+
+func TestSelectSQLBasic(t *testing.T) {
+	q := &Select{
+		Tables: []string{"Score"},
+		Items:  []SelectItem{{Col: col("Score", "ID")}},
+		Where: &Compare{Col: col("Score", "Grade"), Op: OpLt,
+			Value: sqltypes.NewInt(95)},
+	}
+	want := "SELECT Score.ID FROM Score WHERE Score.Grade < 95"
+	if got := q.SQL(); got != want {
+		t.Errorf("SQL() = %q, want %q", got, want)
+	}
+}
+
+func TestSelectSQLJoinGroupHavingOrder(t *testing.T) {
+	q := &Select{
+		Tables: []string{"Score", "Student"},
+		Joins:  []JoinCond{{Left: col("Score", "ID"), Right: col("Student", "ID")}},
+		Items: []SelectItem{
+			{Col: col("Student", "Name")},
+			{Agg: AggAvg, Col: col("Score", "Grade")},
+		},
+		GroupBy: []schema.QualifiedColumn{col("Student", "Name")},
+		Having: &Having{Agg: AggAvg, Col: col("Score", "Grade"), Op: OpGt,
+			Value: sqltypes.NewFloat(60)},
+		OrderBy: []schema.QualifiedColumn{col("Student", "Name")},
+	}
+	got := q.SQL()
+	for _, frag := range []string{
+		"SELECT Student.Name, AVG(Score.Grade)",
+		"FROM Score JOIN Student ON Score.ID = Student.ID",
+		"GROUP BY Student.Name",
+		"HAVING AVG(Score.Grade) > 60",
+		"ORDER BY Student.Name",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("SQL() = %q missing %q", got, frag)
+		}
+	}
+	if !q.HasAggregate() {
+		t.Error("HasAggregate must be true")
+	}
+}
+
+func TestPredicateSQLForms(t *testing.T) {
+	sub := &Select{
+		Tables: []string{"Student"},
+		Items:  []SelectItem{{Col: col("Student", "ID")}},
+	}
+	cases := []struct {
+		p    Predicate
+		want string
+	}{
+		{&In{Col: col("Score", "ID"), Sub: sub}, "Score.ID IN (SELECT Student.ID FROM Student)"},
+		{&In{Col: col("Score", "ID"), Sub: sub, Negate: true}, "Score.ID NOT IN (SELECT Student.ID FROM Student)"},
+		{&Exists{Sub: sub}, "EXISTS (SELECT Student.ID FROM Student)"},
+		{&Exists{Sub: sub, Negate: true}, "NOT EXISTS (SELECT Student.ID FROM Student)"},
+		{&CompareSub{Col: col("Score", "Grade"), Op: OpGe, Sub: sub}, "Score.Grade >= (SELECT Student.ID FROM Student)"},
+		{&Not{Inner: &Compare{Col: col("A", "x"), Op: OpEq, Value: sqltypes.NewInt(1)}}, "NOT (A.x = 1)"},
+		{&Or{
+			Left:  &Compare{Col: col("A", "x"), Op: OpEq, Value: sqltypes.NewInt(1)},
+			Right: &Compare{Col: col("A", "x"), Op: OpEq, Value: sqltypes.NewInt(2)},
+		}, "(A.x = 1 OR A.x = 2)"},
+		{&And{
+			Left:  &Compare{Col: col("A", "x"), Op: OpGt, Value: sqltypes.NewInt(1)},
+			Right: &Compare{Col: col("A", "y"), Op: OpLt, Value: sqltypes.NewInt(9)},
+		}, "A.x > 1 AND A.y < 9"},
+	}
+	for _, c := range cases {
+		if got := c.p.SQL(); got != c.want {
+			t.Errorf("SQL() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestInsertUpdateDeleteSQL(t *testing.T) {
+	ins := &Insert{Table: "Student", Values: []sqltypes.Value{
+		sqltypes.NewInt(1), sqltypes.NewString("Bob"),
+	}}
+	if got := ins.SQL(); got != "INSERT INTO Student VALUES (1, 'Bob')" {
+		t.Errorf("Insert SQL = %q", got)
+	}
+	sub := &Select{Tables: []string{"Student"}, Items: []SelectItem{{Col: col("Student", "ID")}}}
+	ins2 := &Insert{Table: "Student", Sub: sub}
+	if got := ins2.SQL(); got != "INSERT INTO Student (SELECT Student.ID FROM Student)" {
+		t.Errorf("Insert-select SQL = %q", got)
+	}
+	up := &Update{Table: "Student",
+		Sets:  []SetClause{{Col: "Name", Value: sqltypes.NewString("X")}},
+		Where: &Compare{Col: col("Student", "ID"), Op: OpEq, Value: sqltypes.NewInt(3)},
+	}
+	if got := up.SQL(); got != "UPDATE Student SET Name = 'X' WHERE Student.ID = 3" {
+		t.Errorf("Update SQL = %q", got)
+	}
+	del := &Delete{Table: "Student",
+		Where: &Compare{Col: col("Student", "ID"), Op: OpGt, Value: sqltypes.NewInt(10)}}
+	if got := del.SQL(); got != "DELETE FROM Student WHERE Student.ID > 10" {
+		t.Errorf("Delete SQL = %q", got)
+	}
+	delNoWhere := &Delete{Table: "Student"}
+	if got := delNoWhere.SQL(); got != "DELETE FROM Student" {
+		t.Errorf("Delete (no where) SQL = %q", got)
+	}
+}
+
+func TestWalkPredicatesVisitsAll(t *testing.T) {
+	p := &And{
+		Left: &Or{
+			Left:  &Compare{Col: col("A", "x"), Op: OpEq, Value: sqltypes.NewInt(1)},
+			Right: &Not{Inner: &Compare{Col: col("A", "y"), Op: OpEq, Value: sqltypes.NewInt(2)}},
+		},
+		Right: &Compare{Col: col("A", "z"), Op: OpEq, Value: sqltypes.NewInt(3)},
+	}
+	count := 0
+	WalkPredicates(p, func(Predicate) { count++ })
+	// and, or, cmp, not, cmp, cmp = 6 nodes.
+	if count != 6 {
+		t.Errorf("visited %d nodes, want 6", count)
+	}
+	WalkPredicates(nil, func(Predicate) { t.Error("nil predicate must not visit") })
+}
+
+func TestSubqueriesAndCountPredicates(t *testing.T) {
+	inner := &Select{
+		Tables: []string{"Student"},
+		Items:  []SelectItem{{Col: col("Student", "ID")}},
+		Where:  &Compare{Col: col("Student", "ID"), Op: OpLt, Value: sqltypes.NewInt(5)},
+	}
+	q := &Select{
+		Tables: []string{"Score"},
+		Items:  []SelectItem{{Col: col("Score", "ID")}},
+		Where: &And{
+			Left:  &In{Col: col("Score", "ID"), Sub: inner},
+			Right: &Compare{Col: col("Score", "Grade"), Op: OpGt, Value: sqltypes.NewInt(50)},
+		},
+		Having: nil,
+	}
+	subs := Subqueries(q)
+	if len(subs) != 1 || subs[0] != inner {
+		t.Errorf("Subqueries = %v", subs)
+	}
+	// Leaves: IN, outer compare, inner compare = 3.
+	if got := CountPredicates(q); got != 3 {
+		t.Errorf("CountPredicates = %d, want 3", got)
+	}
+
+	del := &Delete{Table: "Score", Where: &Exists{Sub: inner}}
+	if len(Subqueries(del)) != 1 {
+		t.Error("Delete subquery not found")
+	}
+	if got := CountPredicates(del); got != 2 { // EXISTS + inner compare
+		t.Errorf("CountPredicates(delete) = %d, want 2", got)
+	}
+
+	ins := &Insert{Table: "Student", Sub: inner}
+	if len(Subqueries(ins)) != 1 {
+		t.Error("Insert subquery not found")
+	}
+
+	up := &Update{Table: "Score", Where: &CompareSub{Col: col("Score", "ID"), Op: OpEq, Sub: inner}}
+	if len(Subqueries(up)) != 1 {
+		t.Error("Update subquery not found")
+	}
+	if got := CountPredicates(up); got != 2 {
+		t.Errorf("CountPredicates(update) = %d, want 2", got)
+	}
+}
+
+func TestHavingWithSubquery(t *testing.T) {
+	sub := &Select{
+		Tables: []string{"Score"},
+		Items:  []SelectItem{{Agg: AggAvg, Col: col("Score", "Grade")}},
+	}
+	h := &Having{Agg: AggMax, Col: col("Score", "Grade"), Op: OpGt, Sub: sub}
+	want := "MAX(Score.Grade) > (SELECT AVG(Score.Grade) FROM Score)"
+	if got := h.SQL(); got != want {
+		t.Errorf("Having SQL = %q, want %q", got, want)
+	}
+	q := &Select{
+		Tables:  []string{"Score"},
+		Items:   []SelectItem{{Agg: AggCount, Col: col("Score", "ID")}},
+		GroupBy: []schema.QualifiedColumn{col("Score", "Course")},
+		Having:  h,
+	}
+	if got := len(Subqueries(q)); got != 1 {
+		t.Errorf("having subquery not collected: %d", got)
+	}
+}

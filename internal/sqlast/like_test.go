@@ -1,0 +1,54 @@
+package sqlast
+
+import (
+	"testing"
+
+	"learnedsqlgen/internal/sqltypes"
+)
+
+func TestMatchLike(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "hell", false},
+		{"hello", "%ell%", true},
+		{"hello", "%xyz%", false},
+		{"hello", "hel%", true},
+		{"hello", "%llo", true},
+		{"hello", "h%o", true},
+		{"hello", "h%z", false},
+		{"hello", "%", true},
+		{"", "%", true},
+		{"", "", true},
+		{"abcabc", "%a%b%c%", true},
+		{"abcabc", "a%c", true},
+		{"banana", "%an%an%", true},
+		{"banana", "%an%an%an%", false},
+		{"x", "%%", true},
+	}
+	for _, c := range cases {
+		if got := MatchLike(c.s, c.pat); got != c.want {
+			t.Errorf("MatchLike(%q, %q) = %v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+}
+
+func TestLikeSQLAndCounting(t *testing.T) {
+	p := &Like{Col: col("T", "name"), Pattern: "%ab%"}
+	if got := p.SQL(); got != "T.name LIKE '%ab%'" {
+		t.Errorf("Like SQL = %q", got)
+	}
+	q := &Select{
+		Tables: []string{"T"},
+		Items:  []SelectItem{{Col: col("T", "name")}},
+		Where: &And{
+			Left:  p,
+			Right: &Compare{Col: col("T", "x"), Op: OpGt, Value: sqltypes.NewInt(1)},
+		},
+	}
+	if got := CountPredicates(q); got != 2 {
+		t.Errorf("CountPredicates with LIKE = %d, want 2", got)
+	}
+}

@@ -1,0 +1,203 @@
+// Package sqltypes defines the value model shared by the storage engine,
+// executor, estimator and SQL generator: typed scalar values, NULL handling,
+// ordering and hashing.
+package sqltypes
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the column datatypes supported by the engine. The paper
+// (§4.1) distinguishes numerical, categorical and string data; categorical
+// columns are string-valued with a small domain and are tagged so the token
+// vocabulary can enumerate them exhaustively instead of sampling.
+type Kind uint8
+
+const (
+	KindInvalid Kind = iota
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	default:
+		return "INVALID"
+	}
+}
+
+// Numeric reports whether the kind supports arithmetic aggregation
+// (SUM/AVG) and range histograms.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// Value is a scalar SQL value. The zero Value is NULL.
+//
+// Value is a small immutable struct passed by value throughout the engine;
+// it deliberately avoids interface{} so that scans do not allocate.
+type Value struct {
+	kind Kind // KindInvalid means NULL
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an INT value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a STRING value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindInvalid }
+
+// Kind returns the datatype of v (KindInvalid for NULL).
+func (v Value) Kind() Kind { return v.kind }
+
+// Int returns the int64 payload; valid only when Kind()==KindInt.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float64 payload; valid only when Kind()==KindFloat.
+func (v Value) Float() float64 { return v.f }
+
+// Str returns the string payload; valid only when Kind()==KindString.
+func (v Value) Str() string { return v.s }
+
+// AsFloat coerces a numeric value to float64. NULL and strings return 0,
+// false.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// Compare orders two values. NULL sorts before everything; ints and floats
+// compare numerically with each other; strings compare lexicographically.
+// Comparing a string against a number returns an undefined but stable order
+// (kind order) so sorting mixed columns never panics; the FSM's type checks
+// keep such comparisons out of generated queries.
+func Compare(a, b Value) int {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0
+		case a.IsNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.kind.Numeric() && b.kind.Numeric() {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind == KindString && b.kind == KindString {
+		return strings.Compare(a.s, b.s)
+	}
+	// Mixed string/number: order by kind for stability.
+	switch {
+	case a.kind < b.kind:
+		return -1
+	case a.kind > b.kind:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports SQL equality (NULL is not equal to anything, including NULL).
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Hash returns a 64-bit hash usable for hash joins and group-by. Numeric
+// values that compare equal hash equal (1 and 1.0 share a hash).
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	switch v.kind {
+	case KindInvalid:
+		mix(0)
+	case KindInt, KindFloat:
+		f, _ := v.AsFloat()
+		// Normalize -0 to +0 so they hash identically.
+		if f == 0 {
+			f = 0
+		}
+		bits := math.Float64bits(f)
+		for s := 0; s < 64; s += 8 {
+			mix(byte(bits >> s))
+		}
+	case KindString:
+		mix(1)
+		for i := 0; i < len(v.s); i++ {
+			mix(v.s[i])
+		}
+	}
+	return h
+}
+
+// String renders v for debugging ("NULL", "42", "3.5", `abc`).
+func (v Value) String() string {
+	switch v.kind {
+	case KindInvalid:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// SQL renders v as a SQL literal (strings quoted and escaped).
+func (v Value) SQL() string {
+	switch v.kind {
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,183 @@
+package sqltypes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindInt:     "INT",
+		KindFloat:   "FLOAT",
+		KindString:  "STRING",
+		KindInvalid: "INVALID",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestNumericKinds(t *testing.T) {
+	if !KindInt.Numeric() || !KindFloat.Numeric() {
+		t.Error("INT and FLOAT must be numeric")
+	}
+	if KindString.Numeric() || KindInvalid.Numeric() {
+		t.Error("STRING and INVALID must not be numeric")
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null must be null")
+	}
+	if Equal(Null, Null) {
+		t.Error("NULL = NULL must be false (SQL three-valued logic)")
+	}
+	if Equal(Null, NewInt(0)) || Equal(NewInt(0), Null) {
+		t.Error("NULL must not equal 0")
+	}
+	if Compare(Null, NewInt(-1_000_000)) != -1 {
+		t.Error("NULL must sort before any value")
+	}
+	if Compare(NewString(""), Null) != 1 {
+		t.Error("values must sort after NULL")
+	}
+	if Compare(Null, Null) != 0 {
+		t.Error("NULL must compare equal to NULL for sort stability")
+	}
+}
+
+func TestCompareNumericCross(t *testing.T) {
+	if Compare(NewInt(2), NewFloat(2.0)) != 0 {
+		t.Error("2 and 2.0 must compare equal")
+	}
+	if Compare(NewInt(2), NewFloat(2.5)) != -1 {
+		t.Error("2 < 2.5")
+	}
+	if Compare(NewFloat(3.1), NewInt(3)) != 1 {
+		t.Error("3.1 > 3")
+	}
+}
+
+func TestCompareStrings(t *testing.T) {
+	if Compare(NewString("abc"), NewString("abd")) != -1 {
+		t.Error(`"abc" < "abd"`)
+	}
+	if Compare(NewString("b"), NewString("b")) != 0 {
+		t.Error(`"b" == "b"`)
+	}
+	if Compare(NewString("b"), NewString("a")) != 1 {
+		t.Error(`"b" > "a"`)
+	}
+}
+
+func TestCompareMixedStable(t *testing.T) {
+	a, b := NewInt(1), NewString("1")
+	if Compare(a, b)+Compare(b, a) != 0 {
+		t.Error("mixed-kind compare must be antisymmetric")
+	}
+}
+
+func TestHashEqualValuesEqualHashes(t *testing.T) {
+	if NewInt(7).Hash() != NewFloat(7).Hash() {
+		t.Error("7 and 7.0 must hash equal (join keys across INT/FLOAT)")
+	}
+	if NewString("x").Hash() == NewString("y").Hash() {
+		t.Error("distinct short strings should not collide in this test")
+	}
+	if NewInt(0).Hash() != NewFloat(0).Hash() {
+		t.Error("0 and 0.0 must hash equal")
+	}
+}
+
+func TestStringAndSQLRendering(t *testing.T) {
+	cases := []struct {
+		v        Value
+		str, sql string
+	}{
+		{Null, "NULL", "NULL"},
+		{NewInt(42), "42", "42"},
+		{NewFloat(3.5), "3.5", "3.5"},
+		{NewString("ab'c"), "ab'c", "'ab''c'"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+		if got := c.v.SQL(); got != c.sql {
+			t.Errorf("SQL() = %q, want %q", got, c.sql)
+		}
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := NewInt(5).AsFloat(); !ok || f != 5 {
+		t.Error("int AsFloat")
+	}
+	if f, ok := NewFloat(2.25).AsFloat(); !ok || f != 2.25 {
+		t.Error("float AsFloat")
+	}
+	if _, ok := NewString("x").AsFloat(); ok {
+		t.Error("string AsFloat must fail")
+	}
+	if _, ok := Null.AsFloat(); ok {
+		t.Error("NULL AsFloat must fail")
+	}
+}
+
+// randValue generates an arbitrary non-null value for property tests.
+func randValue(r *rand.Rand) Value {
+	switch r.Intn(3) {
+	case 0:
+		return NewInt(r.Int63n(2000) - 1000)
+	case 1:
+		return NewFloat(float64(r.Int63n(2000)-1000) / 4)
+	default:
+		b := make([]byte, r.Intn(8))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return NewString(string(b))
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randValue(r), randValue(r)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitivityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randValue(r), randValue(r), randValue(r)
+		// If a<=b and b<=c then a<=c.
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 {
+			return Compare(a, c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashConsistentWithEqualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randValue(r)
+		b := a
+		return a.Hash() == b.Hash() && (!Equal(a, b) || a.Hash() == b.Hash())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,384 @@
+// Package stats computes per-column statistics over a storage.Database:
+// row counts, NDV, min/max/mean, equi-depth histograms, most-common values
+// and sorted samples. The estimator consumes only these statistics (never
+// raw rows), mirroring how a real optimizer's estimator works; the value
+// sampler implements the §4.1 "sample k values per numerical attribute"
+// step that builds the token vocabulary (the η knob of Figure 12).
+package stats
+
+import (
+	"math/rand"
+	"sort"
+
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/storage"
+)
+
+// Bucket is one equi-depth histogram bucket over numeric values.
+// Lo is inclusive; Hi is inclusive for the last bucket.
+type Bucket struct {
+	Lo, Hi float64
+	Count  int64
+	NDV    int64
+}
+
+// MCV is a most-common value with its frequency.
+type MCV struct {
+	Value sqltypes.Value
+	Count int64
+}
+
+// ColumnStats summarizes one column.
+type ColumnStats struct {
+	Kind      sqltypes.Kind
+	RowCount  int64
+	NullCount int64
+	NDV       int64
+	// Min/Max/Mean are set for numeric columns.
+	Min, Max, Mean float64
+	// Histogram is an equi-depth histogram over numeric non-null values.
+	Histogram []Bucket
+	// MCVs are the most common values (all kinds), most frequent first.
+	MCVs []MCV
+	// SortedSample is an ordered sample of non-null values used for range
+	// selectivity on string columns and for bounded-domain checks.
+	SortedSample []sqltypes.Value
+}
+
+const (
+	defaultBuckets = 64
+	defaultMCVs    = 16
+	defaultSample  = 256
+)
+
+// TableStats summarizes one table.
+type TableStats struct {
+	RowCount int64
+	Columns  []ColumnStats
+}
+
+// Database maps table names to their statistics.
+type Database struct {
+	Tables map[string]*TableStats
+}
+
+// Collect computes statistics for every table of db.
+func Collect(db *storage.Database) *Database {
+	out := &Database{Tables: map[string]*TableStats{}}
+	for _, t := range db.Tables() {
+		ts := &TableStats{RowCount: int64(t.NumRows())}
+		ts.Columns = make([]ColumnStats, len(t.Meta.Columns))
+		for ci := range t.Meta.Columns {
+			ts.Columns[ci] = collectColumn(t, ci)
+		}
+		out.Tables[t.Meta.Name] = ts
+	}
+	return out
+}
+
+// Table returns statistics for the named table, or nil.
+func (d *Database) Table(name string) *TableStats {
+	return d.Tables[name]
+}
+
+// Column returns statistics for table.column, or nil.
+func (d *Database) Column(table string, colIdx int) *ColumnStats {
+	t := d.Tables[table]
+	if t == nil || colIdx < 0 || colIdx >= len(t.Columns) {
+		return nil
+	}
+	return &t.Columns[colIdx]
+}
+
+func collectColumn(t *storage.Table, ci int) ColumnStats {
+	cs := ColumnStats{
+		Kind:     t.Meta.Columns[ci].Kind,
+		RowCount: int64(t.NumRows()),
+	}
+	counts := map[sqltypes.Value]int64{}
+	var nums []float64
+	var sum float64
+	for _, r := range t.Rows() {
+		v := r[ci]
+		if v.IsNull() {
+			cs.NullCount++
+			continue
+		}
+		counts[v]++
+		if f, ok := v.AsFloat(); ok {
+			nums = append(nums, f)
+			sum += f
+		}
+	}
+	cs.NDV = int64(len(counts))
+
+	// MCVs: top-k by count (ties broken by value order for determinism).
+	type vc struct {
+		v sqltypes.Value
+		c int64
+	}
+	all := make([]vc, 0, len(counts))
+	for v, c := range counts {
+		all = append(all, vc{v, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return sqltypes.Compare(all[i].v, all[j].v) < 0
+	})
+	k := defaultMCVs
+	if k > len(all) {
+		k = len(all)
+	}
+	for i := 0; i < k; i++ {
+		cs.MCVs = append(cs.MCVs, MCV{all[i].v, all[i].c})
+	}
+
+	// Sorted sample: every NDV-th distinct value up to defaultSample.
+	distinct := make([]sqltypes.Value, 0, len(counts))
+	for v := range counts {
+		distinct = append(distinct, v)
+	}
+	sort.Slice(distinct, func(i, j int) bool { return sqltypes.Compare(distinct[i], distinct[j]) < 0 })
+	if len(distinct) <= defaultSample {
+		cs.SortedSample = distinct
+	} else {
+		step := float64(len(distinct)) / float64(defaultSample)
+		for i := 0; i < defaultSample; i++ {
+			cs.SortedSample = append(cs.SortedSample, distinct[int(float64(i)*step)])
+		}
+	}
+
+	if len(nums) > 0 && cs.Kind.Numeric() {
+		sort.Float64s(nums)
+		cs.Min = nums[0]
+		cs.Max = nums[len(nums)-1]
+		cs.Mean = sum / float64(len(nums))
+		cs.Histogram = buildHistogram(nums, defaultBuckets)
+	}
+	return cs
+}
+
+// buildHistogram creates an equi-depth histogram over sorted values.
+func buildHistogram(sorted []float64, buckets int) []Bucket {
+	n := len(sorted)
+	if n == 0 {
+		return nil
+	}
+	if buckets > n {
+		buckets = n
+	}
+	out := make([]Bucket, 0, buckets)
+	per := n / buckets
+	rem := n % buckets
+	idx := 0
+	for b := 0; b < buckets; b++ {
+		cnt := per
+		if b < rem {
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		lo := sorted[idx]
+		hi := sorted[idx+cnt-1]
+		ndv := int64(1)
+		for i := idx + 1; i < idx+cnt; i++ {
+			if sorted[i] != sorted[i-1] {
+				ndv++
+			}
+		}
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: int64(cnt), NDV: ndv})
+		idx += cnt
+	}
+	return out
+}
+
+// SelectivityEq estimates the fraction of rows where the column equals v.
+func (cs *ColumnStats) SelectivityEq(v sqltypes.Value) float64 {
+	if cs.RowCount == 0 || cs.NDV == 0 || v.IsNull() {
+		return 0
+	}
+	var mcvRows int64
+	for _, m := range cs.MCVs {
+		if sqltypes.Equal(m.Value, v) {
+			return float64(m.Count) / float64(cs.RowCount)
+		}
+		mcvRows += m.Count
+	}
+	restNDV := cs.NDV - int64(len(cs.MCVs))
+	if restNDV <= 0 {
+		// Every distinct value is an MCV and v matched none of them.
+		return 0
+	}
+	restRows := cs.RowCount - cs.NullCount - mcvRows
+	if restRows <= 0 {
+		return 0
+	}
+	return float64(restRows) / float64(restNDV) / float64(cs.RowCount)
+}
+
+// SelectivityLt estimates the fraction of rows strictly below v.
+func (cs *ColumnStats) SelectivityLt(v sqltypes.Value) float64 {
+	if cs.RowCount == 0 || v.IsNull() {
+		return 0
+	}
+	if f, ok := v.AsFloat(); ok && len(cs.Histogram) > 0 {
+		return cs.histogramLt(f)
+	}
+	// Fall back to rank within the sorted sample (string columns).
+	n := len(cs.SortedSample)
+	if n == 0 {
+		return 0
+	}
+	rank := sort.Search(n, func(i int) bool {
+		return sqltypes.Compare(cs.SortedSample[i], v) >= 0
+	})
+	return float64(rank) / float64(n)
+}
+
+func (cs *ColumnStats) histogramLt(v float64) float64 {
+	var below float64
+	total := float64(cs.RowCount - cs.NullCount)
+	if total <= 0 {
+		return 0
+	}
+	for _, b := range cs.Histogram {
+		switch {
+		case v <= b.Lo:
+			// nothing from this bucket onward
+			return below / total
+		case v > b.Hi:
+			below += float64(b.Count)
+		default:
+			// Linear interpolation inside the bucket.
+			span := b.Hi - b.Lo
+			frac := 0.5
+			if span > 0 {
+				frac = (v - b.Lo) / span
+			}
+			below += float64(b.Count) * frac
+			return below / total
+		}
+	}
+	return below / total
+}
+
+// Selectivity estimates the fraction of rows satisfying `col op v`.
+// op semantics match sqlast.CmpOp ordering on sqltypes.Compare.
+func (cs *ColumnStats) Selectivity(op Op, v sqltypes.Value) float64 {
+	eq := cs.SelectivityEq(v)
+	lt := cs.SelectivityLt(v)
+	var s float64
+	switch op {
+	case OpEq:
+		s = eq
+	case OpNe:
+		s = 1 - eq
+	case OpLt:
+		s = lt
+	case OpLe:
+		s = lt + eq
+	case OpGt:
+		s = 1 - lt - eq
+	case OpGe:
+		s = 1 - lt
+	default:
+		s = 1.0 / 3.0
+	}
+	return clamp01(s)
+}
+
+// SelectivityLike estimates the fraction of rows matching a LIKE pattern
+// by evaluating the matcher over the column's MCVs (row-weighted) and the
+// sorted distinct-value sample (for the non-MCV remainder). match is
+// injected so stats stays independent of the AST layer.
+func (cs *ColumnStats) SelectivityLike(pattern string, match func(s, pattern string) bool) float64 {
+	if cs.RowCount == 0 {
+		return 0
+	}
+	var mcvRows, mcvHit int64
+	mcvSet := map[sqltypes.Value]bool{}
+	for _, m := range cs.MCVs {
+		mcvSet[m.Value] = true
+		mcvRows += m.Count
+		if m.Value.Kind() == sqltypes.KindString && match(m.Value.Str(), pattern) {
+			mcvHit += m.Count
+		}
+	}
+	sel := float64(mcvHit) / float64(cs.RowCount)
+
+	// Non-MCV remainder: distinct-sample match fraction.
+	sampled, hit := 0, 0
+	for _, v := range cs.SortedSample {
+		if mcvSet[v] {
+			continue
+		}
+		sampled++
+		if v.Kind() == sqltypes.KindString && match(v.Str(), pattern) {
+			hit++
+		}
+	}
+	restRows := cs.RowCount - cs.NullCount - mcvRows
+	if sampled > 0 && restRows > 0 {
+		sel += float64(hit) / float64(sampled) * float64(restRows) / float64(cs.RowCount)
+	}
+	return clamp01(sel)
+}
+
+// Op mirrors sqlast.CmpOp without importing it (stats stays independent of
+// the AST layer).
+type Op uint8
+
+// Comparison operators for Selectivity.
+const (
+	OpInvalid Op = iota
+	OpLt
+	OpGt
+	OpLe
+	OpGe
+	OpEq
+	OpNe
+)
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// SampleValues returns up to k values for the token vocabulary. For
+// categorical columns it returns the full distinct domain regardless of k
+// (the paper treats categorical values exhaustively); otherwise it samples
+// without replacement from the column's distinct values, deterministically
+// under rng. Returned values are sorted for stable vocabularies.
+func SampleValues(t *storage.Table, colIdx int, k int, categorical bool, rng *rand.Rand) []sqltypes.Value {
+	seen := map[sqltypes.Value]bool{}
+	for _, r := range t.Rows() {
+		v := r[colIdx]
+		if !v.IsNull() {
+			seen[v] = true
+		}
+	}
+	distinct := make([]sqltypes.Value, 0, len(seen))
+	for v := range seen {
+		distinct = append(distinct, v)
+	}
+	sort.Slice(distinct, func(i, j int) bool { return sqltypes.Compare(distinct[i], distinct[j]) < 0 })
+	if categorical || len(distinct) <= k {
+		return distinct
+	}
+	// Partial Fisher–Yates for a k-subset, then re-sort.
+	idx := rng.Perm(len(distinct))[:k]
+	sort.Ints(idx)
+	out := make([]sqltypes.Value, 0, k)
+	for _, i := range idx {
+		out = append(out, distinct[i])
+	}
+	return out
+}

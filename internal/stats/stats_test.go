@@ -1,0 +1,307 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/storage"
+)
+
+// numericDB builds one table T(v INT) holding values 0..999 plus a heavy
+// hitter value 5 repeated 100 extra times.
+func numericDB(t testing.TB) *storage.Database {
+	t.Helper()
+	s, err := schema.NewBuilder("t").
+		Table("T", "",
+			schema.Column{Name: "v", Kind: sqltypes.KindInt},
+			schema.Column{Name: "c", Kind: sqltypes.KindString, Categorical: true},
+			schema.Column{Name: "s", Kind: sqltypes.KindString},
+		).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(s)
+	tab := db.Table("T")
+	cats := []string{"red", "green", "blue"}
+	for i := 0; i < 1000; i++ {
+		if err := tab.Append(storage.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(cats[i%3]),
+			sqltypes.NewString(string(rune('a' + i%26))),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if err := tab.Append(storage.Row{
+			sqltypes.NewInt(5),
+			sqltypes.NewString("red"),
+			sqltypes.NewString("zz"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestCollectBasics(t *testing.T) {
+	db := numericDB(t)
+	d := Collect(db)
+	ts := d.Table("T")
+	if ts == nil || ts.RowCount != 1100 {
+		t.Fatalf("table stats = %+v", ts)
+	}
+	cs := d.Column("T", 0)
+	if cs.NDV != 1000 {
+		t.Errorf("NDV = %d, want 1000", cs.NDV)
+	}
+	if cs.Min != 0 || cs.Max != 999 {
+		t.Errorf("min/max = %v/%v", cs.Min, cs.Max)
+	}
+	wantMean := (999.0*1000/2 + 5*100) / 1100
+	if math.Abs(cs.Mean-wantMean) > 1e-9 {
+		t.Errorf("mean = %v, want %v", cs.Mean, wantMean)
+	}
+	if len(cs.Histogram) == 0 {
+		t.Error("numeric column must have a histogram")
+	}
+	if d.Column("T", 99) != nil || d.Column("Nope", 0) != nil {
+		t.Error("out-of-range column lookups must be nil")
+	}
+}
+
+func TestHistogramCountsSumToRows(t *testing.T) {
+	db := numericDB(t)
+	cs := Collect(db).Column("T", 0)
+	var sum int64
+	for _, b := range cs.Histogram {
+		sum += b.Count
+		if b.Hi < b.Lo {
+			t.Errorf("bucket inverted: %+v", b)
+		}
+		if b.NDV < 1 || b.NDV > b.Count {
+			t.Errorf("bucket NDV out of range: %+v", b)
+		}
+	}
+	if sum != cs.RowCount-cs.NullCount {
+		t.Errorf("histogram total = %d, want %d", sum, cs.RowCount)
+	}
+}
+
+func TestMCVCapturesHeavyHitter(t *testing.T) {
+	cs := Collect(numericDB(t)).Column("T", 0)
+	if len(cs.MCVs) == 0 {
+		t.Fatal("no MCVs")
+	}
+	top := cs.MCVs[0]
+	if top.Value.Int() != 5 || top.Count != 101 {
+		t.Errorf("top MCV = %+v, want value 5 count 101", top)
+	}
+}
+
+func TestSelectivityEqHeavyVsRare(t *testing.T) {
+	cs := Collect(numericDB(t)).Column("T", 0)
+	heavy := cs.SelectivityEq(sqltypes.NewInt(5))
+	if math.Abs(heavy-101.0/1100) > 1e-9 {
+		t.Errorf("heavy eq sel = %v, want %v", heavy, 101.0/1100)
+	}
+	rare := cs.SelectivityEq(sqltypes.NewInt(777))
+	trueSel := 1.0 / 1100
+	if rare <= 0 || rare > 10*trueSel {
+		t.Errorf("rare eq sel = %v, want near %v", rare, trueSel)
+	}
+	if cs.SelectivityEq(sqltypes.Null) != 0 {
+		t.Error("NULL eq selectivity must be 0")
+	}
+}
+
+func TestSelectivityRangeAccuracy(t *testing.T) {
+	db := numericDB(t)
+	cs := Collect(db).Column("T", 0)
+	tab := db.Table("T")
+	for _, v := range []int64{0, 5, 100, 500, 999, 1500, -5} {
+		val := sqltypes.NewInt(v)
+		want := 0.0
+		for _, r := range tab.Rows() {
+			if r[0].Int() < v {
+				want++
+			}
+		}
+		want /= float64(tab.NumRows())
+		got := cs.SelectivityLt(val)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("Lt(%d): got %.4f, want %.4f", v, got, want)
+		}
+	}
+}
+
+func TestSelectivityOpsConsistent(t *testing.T) {
+	cs := Collect(numericDB(t)).Column("T", 0)
+	v := sqltypes.NewInt(500)
+	lt := cs.Selectivity(OpLt, v)
+	le := cs.Selectivity(OpLe, v)
+	gt := cs.Selectivity(OpGt, v)
+	ge := cs.Selectivity(OpGe, v)
+	eq := cs.Selectivity(OpEq, v)
+	ne := cs.Selectivity(OpNe, v)
+	if le < lt {
+		t.Error("le < lt")
+	}
+	if math.Abs((lt+eq+gt)-1) > 1e-6 {
+		t.Errorf("lt+eq+gt = %v, want 1", lt+eq+gt)
+	}
+	if math.Abs((eq+ne)-1) > 1e-6 {
+		t.Errorf("eq+ne = %v", eq+ne)
+	}
+	if math.Abs(ge-(1-lt)) > 1e-9 {
+		t.Errorf("ge = %v, want %v", ge, 1-lt)
+	}
+	if got := cs.Selectivity(OpInvalid, v); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("unknown op default = %v", got)
+	}
+}
+
+func TestStringRangeSelectivityViaSample(t *testing.T) {
+	cs := Collect(numericDB(t)).Column("T", 2)
+	low := cs.SelectivityLt(sqltypes.NewString("a"))
+	high := cs.SelectivityLt(sqltypes.NewString("~"))
+	if low != 0 {
+		t.Errorf("nothing below 'a': %v", low)
+	}
+	if high != 1 {
+		t.Errorf("everything below '~': %v", high)
+	}
+	mid := cs.SelectivityLt(sqltypes.NewString("n"))
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("mid selectivity = %v", mid)
+	}
+}
+
+func TestSelectivityBoundsProperty(t *testing.T) {
+	cs := Collect(numericDB(t)).Column("T", 0)
+	f := func(raw int64, opRaw uint8) bool {
+		op := Op(opRaw%6) + 1
+		s := cs.Selectivity(op, sqltypes.NewInt(raw%3000))
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectivityLtMonotoneProperty(t *testing.T) {
+	cs := Collect(numericDB(t)).Column("T", 0)
+	f := func(a, b int64) bool {
+		x, y := a%2000, b%2000
+		if x > y {
+			x, y = y, x
+		}
+		return cs.SelectivityLt(sqltypes.NewInt(x)) <= cs.SelectivityLt(sqltypes.NewInt(y))+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleValues(t *testing.T) {
+	db := numericDB(t)
+	tab := db.Table("T")
+	rng := rand.New(rand.NewSource(1))
+
+	vals := SampleValues(tab, 0, 50, false, rng)
+	if len(vals) != 50 {
+		t.Fatalf("sample size = %d, want 50", len(vals))
+	}
+	for i := 1; i < len(vals); i++ {
+		if sqltypes.Compare(vals[i-1], vals[i]) >= 0 {
+			t.Fatal("sample must be sorted and distinct")
+		}
+	}
+
+	// Categorical: full domain regardless of k.
+	cats := SampleValues(tab, 1, 1, true, rng)
+	if len(cats) != 3 {
+		t.Errorf("categorical domain = %v, want 3 values", cats)
+	}
+
+	// k larger than domain: everything.
+	all := SampleValues(tab, 1, 100, false, rng)
+	if len(all) != 3 {
+		t.Errorf("over-sampling = %d values, want 3", len(all))
+	}
+}
+
+func TestSampleDeterministicUnderSeed(t *testing.T) {
+	db := numericDB(t)
+	tab := db.Table("T")
+	a := SampleValues(tab, 0, 20, false, rand.New(rand.NewSource(42)))
+	b := SampleValues(tab, 0, 20, false, rand.New(rand.NewSource(42)))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if !sqltypes.Equal(a[i], b[i]) {
+			t.Fatal("same seed must give same sample")
+		}
+	}
+}
+
+func TestEmptyTableStats(t *testing.T) {
+	s, err := schema.NewBuilder("e").
+		Table("E", "", schema.Column{Name: "x", Kind: sqltypes.KindInt}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(s)
+	cs := Collect(db).Column("E", 0)
+	if cs.RowCount != 0 || cs.NDV != 0 {
+		t.Errorf("empty stats = %+v", cs)
+	}
+	if cs.SelectivityEq(sqltypes.NewInt(1)) != 0 {
+		t.Error("empty table eq selectivity must be 0")
+	}
+	if cs.SelectivityLt(sqltypes.NewInt(1)) != 0 {
+		t.Error("empty table lt selectivity must be 0")
+	}
+}
+
+func TestSelectivityLike(t *testing.T) {
+	db := numericDB(t)
+	cs := Collect(db).Column("T", 2) // strings 'a'..'z' plus heavy 'zz'
+	match := func(s, pat string) bool {
+		// Simple contains-matcher for the test (patterns "%" / "%x%").
+		if pat == "%" {
+			return true
+		}
+		inner := pat[1 : len(pat)-1]
+		for i := 0; i+len(inner) <= len(s); i++ {
+			if s[i:i+len(inner)] == inner {
+				return true
+			}
+		}
+		return false
+	}
+	all := cs.SelectivityLike("%", match) // matches everything via contains("")
+	if all < 0.99 {
+		t.Errorf("%% selectivity = %v, want ~1", all)
+	}
+	z := cs.SelectivityLike("%z%", match)
+	// 'z' appears in ~1/26 of base rows plus 100 'zz' rows of 1100.
+	want := (1000.0/26 + 100) / 1100
+	if z < want/2 || z > want*2 {
+		t.Errorf("%%z%% selectivity = %v, want ≈%v", z, want)
+	}
+	if got := cs.SelectivityLike("%nosuch%", match); got != 0 {
+		t.Errorf("no-match selectivity = %v", got)
+	}
+	empty := ColumnStats{}
+	if empty.SelectivityLike("%x%", match) != 0 {
+		t.Error("empty-table selectivity must be 0")
+	}
+}

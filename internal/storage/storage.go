@@ -1,0 +1,123 @@
+// Package storage implements the in-memory relation store used as the
+// execution substrate. Tables are row-oriented slices of immutable values;
+// Database.Clone is a cheap copy-on-write snapshot so INSERT/UPDATE/DELETE
+// queries can be executed without mutating the benchmark data.
+package storage
+
+import (
+	"fmt"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqltypes"
+)
+
+// Row is one tuple. Rows are treated as immutable once stored: mutation
+// paths (UPDATE) replace the whole row slice, which is what makes Clone a
+// shallow, O(rows) pointer copy.
+type Row []sqltypes.Value
+
+// Table holds the rows of one relation.
+type Table struct {
+	Meta *schema.Table
+	rows []Row
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns the i-th row. Callers must not mutate it.
+func (t *Table) Row(i int) Row { return t.rows[i] }
+
+// Rows returns the backing row slice. Callers must not mutate it or the
+// rows; use Append/Delete/Replace for mutation.
+func (t *Table) Rows() []Row { return t.rows }
+
+// Append adds a row. The row length must match the column count.
+func (t *Table) Append(r Row) error {
+	if len(r) != len(t.Meta.Columns) {
+		return fmt.Errorf("storage: row width %d != %d columns of %s",
+			len(r), len(t.Meta.Columns), t.Meta.Name)
+	}
+	t.rows = append(t.rows, r)
+	return nil
+}
+
+// Delete removes every row for which keep returns false and reports how
+// many rows were removed.
+func (t *Table) Delete(drop func(Row) bool) int {
+	out := t.rows[:0:0]
+	removed := 0
+	for _, r := range t.rows {
+		if drop(r) {
+			removed++
+			continue
+		}
+		out = append(out, r)
+	}
+	t.rows = out
+	return removed
+}
+
+// Update rewrites rows matched by match using apply, which must return a
+// fresh row (the original must not be mutated in place). Returns the number
+// of updated rows.
+func (t *Table) Update(match func(Row) bool, apply func(Row) Row) int {
+	updated := 0
+	for i, r := range t.rows {
+		if match(r) {
+			t.rows[i] = apply(r)
+			updated++
+		}
+	}
+	return updated
+}
+
+// Database binds a schema to table contents.
+type Database struct {
+	Schema *schema.Schema
+	tables []*Table
+}
+
+// NewDatabase creates an empty database for the schema.
+func NewDatabase(s *schema.Schema) *Database {
+	db := &Database{Schema: s}
+	db.tables = make([]*Table, len(s.Tables))
+	for i, tm := range s.Tables {
+		db.tables[i] = &Table{Meta: tm}
+	}
+	return db
+}
+
+// Table returns the named table, or nil.
+func (db *Database) Table(name string) *Table {
+	i := db.Schema.TableIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return db.tables[i]
+}
+
+// Tables returns all tables in schema order.
+func (db *Database) Tables() []*Table { return db.tables }
+
+// TotalRows returns the sum of row counts over all tables.
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, t := range db.tables {
+		n += len(t.rows)
+	}
+	return n
+}
+
+// Clone returns a snapshot sharing row storage with the receiver. Because
+// rows are immutable, mutations on the clone (or the original) never leak
+// into the other side.
+func (db *Database) Clone() *Database {
+	c := &Database{Schema: db.Schema, tables: make([]*Table, len(db.tables))}
+	for i, t := range db.tables {
+		rows := make([]Row, len(t.rows))
+		copy(rows, t.rows)
+		c.tables[i] = &Table{Meta: t.Meta, rows: rows}
+	}
+	return c
+}

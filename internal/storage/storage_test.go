@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"testing"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqltypes"
+)
+
+func testDB(t *testing.T) *Database {
+	t.Helper()
+	s, err := schema.NewBuilder("t").
+		Table("Score", "T1",
+			schema.Column{Name: "ID", Kind: sqltypes.KindInt},
+			schema.Column{Name: "Score", Kind: sqltypes.KindFloat},
+		).
+		Table("Student", "T2",
+			schema.Column{Name: "ID", Kind: sqltypes.KindInt, PrimaryKey: true},
+			schema.Column{Name: "Name", Kind: sqltypes.KindString},
+		).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(s)
+	tab := db.Table("Score")
+	for i := 0; i < 10; i++ {
+		if err := tab.Append(Row{sqltypes.NewInt(int64(i)), sqltypes.NewFloat(float64(i) * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestAppendAndScan(t *testing.T) {
+	db := testDB(t)
+	tab := db.Table("Score")
+	if tab.NumRows() != 10 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	if got := tab.Row(3)[1].Float(); got != 30 {
+		t.Errorf("Row(3).Score = %v", got)
+	}
+	if len(tab.Rows()) != 10 {
+		t.Error("Rows() length mismatch")
+	}
+	if db.TotalRows() != 10 {
+		t.Errorf("TotalRows = %d", db.TotalRows())
+	}
+}
+
+func TestAppendWidthMismatch(t *testing.T) {
+	db := testDB(t)
+	if err := db.Table("Score").Append(Row{sqltypes.NewInt(1)}); err == nil {
+		t.Error("short row must be rejected")
+	}
+}
+
+func TestUnknownTable(t *testing.T) {
+	db := testDB(t)
+	if db.Table("Nope") != nil {
+		t.Error("unknown table must be nil")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := testDB(t)
+	tab := db.Table("Score")
+	removed := tab.Delete(func(r Row) bool { return r[0].Int()%2 == 0 })
+	if removed != 5 {
+		t.Errorf("removed = %d", removed)
+	}
+	if tab.NumRows() != 5 {
+		t.Errorf("NumRows after delete = %d", tab.NumRows())
+	}
+	for _, r := range tab.Rows() {
+		if r[0].Int()%2 == 0 {
+			t.Errorf("even row %v survived delete", r)
+		}
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := testDB(t)
+	tab := db.Table("Score")
+	n := tab.Update(
+		func(r Row) bool { return r[0].Int() < 3 },
+		func(r Row) Row {
+			nr := make(Row, len(r))
+			copy(nr, r)
+			nr[1] = sqltypes.NewFloat(99)
+			return nr
+		})
+	if n != 3 {
+		t.Errorf("updated = %d", n)
+	}
+	if tab.Row(0)[1].Float() != 99 || tab.Row(5)[1].Float() != 50 {
+		t.Error("update applied to wrong rows")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	db := testDB(t)
+	clone := db.Clone()
+
+	// Mutate the clone: delete, update, insert.
+	ct := clone.Table("Score")
+	ct.Delete(func(r Row) bool { return r[0].Int() == 0 })
+	ct.Update(func(r Row) bool { return r[0].Int() == 1 },
+		func(r Row) Row {
+			nr := make(Row, len(r))
+			copy(nr, r)
+			nr[1] = sqltypes.NewFloat(-1)
+			return nr
+		})
+	if err := ct.Append(Row{sqltypes.NewInt(100), sqltypes.NewFloat(0)}); err != nil {
+		t.Fatal(err)
+	}
+
+	orig := db.Table("Score")
+	if orig.NumRows() != 10 {
+		t.Errorf("original rows changed: %d", orig.NumRows())
+	}
+	if orig.Row(1)[1].Float() != 10 {
+		t.Error("original row mutated through clone")
+	}
+	if ct.NumRows() != 10 { // 10 - 1 + 1
+		t.Errorf("clone rows = %d", ct.NumRows())
+	}
+
+	// Mutating the original must not affect the clone either.
+	orig.Delete(func(Row) bool { return true })
+	if ct.NumRows() != 10 {
+		t.Error("clone affected by original mutation")
+	}
+}

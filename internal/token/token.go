@@ -1,0 +1,305 @@
+// Package token defines the action space A of LearnedSQLGen (§4.1): the
+// fixed vocabulary of tokens an agent can emit. Five token classes exist —
+// reserved words of the SQL grammar, schema metadata (tables and columns),
+// cell values sampled per column, comparison operators, and EOF. Each token
+// has a stable integer id; the id is the one-hot dimension used by the
+// neural networks, so vocabulary construction is deterministic under a
+// fixed (database, k, seed).
+package token
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/stats"
+	"learnedsqlgen/internal/storage"
+)
+
+// Type is the token class.
+type Type uint8
+
+// Token classes (§4.1 lists exactly these five).
+const (
+	TypeReserved Type = iota
+	TypeTable
+	TypeColumn
+	TypeValue
+	TypeOperator
+	TypeEOF
+	// TypePattern is a LIKE pattern sampled from a string column's values
+	// (the §5 future-work extension implemented by this reproduction).
+	TypePattern
+)
+
+// Reserved enumerates the reserved words of the supported grammar.
+type Reserved uint8
+
+// Reserved words. Aggregate functions are reserved words per the paper's
+// token list ("MAX/MIN, Sum, AVG, Count").
+const (
+	RInvalid Reserved = iota
+	RSelect
+	RFrom
+	RWhere
+	RJoin
+	RGroupBy
+	ROrderBy
+	RHaving
+	RAnd
+	ROr
+	RNot
+	RIn
+	RExists
+	RInsert
+	RUpdate
+	RDelete
+	RSet
+	RValues
+	RMax
+	RMin
+	RSum
+	RAvg
+	RCount
+	RLike
+)
+
+var reservedNames = map[Reserved]string{
+	RSelect: "SELECT", RFrom: "FROM", RWhere: "WHERE", RJoin: "JOIN",
+	RGroupBy: "GROUP BY", ROrderBy: "ORDER BY", RHaving: "HAVING",
+	RAnd: "AND", ROr: "OR", RNot: "NOT", RIn: "IN", RExists: "EXISTS",
+	RInsert: "INSERT INTO", RUpdate: "UPDATE", RDelete: "DELETE FROM",
+	RSet: "SET", RValues: "VALUES",
+	RMax: "MAX", RMin: "MIN", RSum: "SUM", RAvg: "AVG", RCount: "COUNT",
+	RLike: "LIKE",
+}
+
+// allReserved lists reserved words in vocabulary order.
+var allReserved = []Reserved{
+	RSelect, RFrom, RWhere, RJoin, RGroupBy, ROrderBy, RHaving,
+	RAnd, ROr, RNot, RIn, RExists,
+	RInsert, RUpdate, RDelete, RSet, RValues,
+	RMax, RMin, RSum, RAvg, RCount, RLike,
+}
+
+// String returns the SQL spelling of the reserved word.
+func (r Reserved) String() string {
+	if s, ok := reservedNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("Reserved(%d)", r)
+}
+
+// Agg maps aggregate reserved words to the AST aggregate, or AggNone.
+func (r Reserved) Agg() sqlast.AggFunc {
+	switch r {
+	case RMax:
+		return sqlast.AggMax
+	case RMin:
+		return sqlast.AggMin
+	case RSum:
+		return sqlast.AggSum
+	case RAvg:
+		return sqlast.AggAvg
+	case RCount:
+		return sqlast.AggCount
+	default:
+		return sqlast.AggNone
+	}
+}
+
+// Token is one action in A.
+type Token struct {
+	ID   int
+	Type Type
+	// Reserved is set for TypeReserved.
+	Reserved Reserved
+	// Table is set for TypeTable, TypeColumn and TypeValue tokens.
+	Table string
+	// Column is set for TypeColumn and TypeValue tokens.
+	Column string
+	// Value is set for TypeValue.
+	Value sqltypes.Value
+	// Pattern is set for TypePattern.
+	Pattern string
+	// Op is set for TypeOperator.
+	Op sqlast.CmpOp
+}
+
+// QC returns the token's qualified column (TypeColumn and TypeValue).
+func (t Token) QC() schema.QualifiedColumn {
+	return schema.QualifiedColumn{Table: t.Table, Column: t.Column}
+}
+
+// String renders the token's SQL spelling.
+func (t Token) String() string {
+	switch t.Type {
+	case TypeReserved:
+		return t.Reserved.String()
+	case TypeTable:
+		return t.Table
+	case TypeColumn:
+		return t.Table + "." + t.Column
+	case TypeValue:
+		return t.Value.SQL()
+	case TypePattern:
+		return sqltypes.NewString(t.Pattern).SQL()
+	case TypeOperator:
+		return t.Op.String()
+	case TypeEOF:
+		return "EOF"
+	default:
+		return fmt.Sprintf("Token(%d)", t.ID)
+	}
+}
+
+// Vocab is the complete, immutable action space for one database.
+type Vocab struct {
+	tokens []Token
+
+	reservedIdx map[Reserved]int
+	tableIdx    map[string]int
+	columnIdx   map[schema.QualifiedColumn]int
+	opIdx       map[sqlast.CmpOp]int
+	valueIdx    map[schema.QualifiedColumn][]int
+	patternIdx  map[schema.QualifiedColumn][]int
+	eofID       int
+}
+
+// operators supported by the generator (§4.1 lists {>, =, <, >=, <=}; the
+// grammar table adds <>).
+var operators = []sqlast.CmpOp{
+	sqlast.OpLt, sqlast.OpGt, sqlast.OpLe, sqlast.OpGe, sqlast.OpEq, sqlast.OpNe,
+}
+
+// Build constructs the vocabulary for db, sampling up to k cell values per
+// non-categorical column (categorical columns contribute their full
+// domain). The same (db, k, seed) always yields the same ids.
+func Build(db *storage.Database, k int, seed int64) *Vocab {
+	v := &Vocab{
+		reservedIdx: map[Reserved]int{},
+		tableIdx:    map[string]int{},
+		columnIdx:   map[schema.QualifiedColumn]int{},
+		opIdx:       map[sqlast.CmpOp]int{},
+		valueIdx:    map[schema.QualifiedColumn][]int{},
+		patternIdx:  map[schema.QualifiedColumn][]int{},
+	}
+	add := func(t Token) int {
+		t.ID = len(v.tokens)
+		v.tokens = append(v.tokens, t)
+		return t.ID
+	}
+
+	for _, r := range allReserved {
+		v.reservedIdx[r] = add(Token{Type: TypeReserved, Reserved: r})
+	}
+	for _, op := range operators {
+		v.opIdx[op] = add(Token{Type: TypeOperator, Op: op})
+	}
+	v.eofID = add(Token{Type: TypeEOF})
+
+	rng := rand.New(rand.NewSource(seed))
+	for _, tab := range db.Tables() {
+		v.tableIdx[tab.Meta.Name] = add(Token{Type: TypeTable, Table: tab.Meta.Name})
+		for ci, col := range tab.Meta.Columns {
+			qc := schema.QualifiedColumn{Table: tab.Meta.Name, Column: col.Name}
+			v.columnIdx[qc] = add(Token{Type: TypeColumn, Table: tab.Meta.Name, Column: col.Name})
+			vals := stats.SampleValues(tab, ci, k, col.Categorical, rng)
+			ids := make([]int, 0, len(vals))
+			for _, val := range vals {
+				ids = append(ids, add(Token{
+					Type: TypeValue, Table: tab.Meta.Name, Column: col.Name, Value: val,
+				}))
+			}
+			v.valueIdx[qc] = ids
+			if col.Kind == sqltypes.KindString && !col.Categorical {
+				pats := samplePatterns(vals, k/4+1, rng)
+				pids := make([]int, 0, len(pats))
+				for _, pat := range pats {
+					pids = append(pids, add(Token{
+						Type: TypePattern, Table: tab.Meta.Name, Column: col.Name, Pattern: pat,
+					}))
+				}
+				v.patternIdx[qc] = pids
+			}
+		}
+	}
+	return v
+}
+
+// Size is |A|, the one-hot dimension.
+func (v *Vocab) Size() int { return len(v.tokens) }
+
+// Token returns the token with the given id.
+func (v *Vocab) Token(id int) Token { return v.tokens[id] }
+
+// Reserved returns the id of a reserved word.
+func (v *Vocab) Reserved(r Reserved) int { return v.reservedIdx[r] }
+
+// TableToken returns the id of a table token, or -1.
+func (v *Vocab) TableToken(name string) int {
+	if id, ok := v.tableIdx[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// ColumnToken returns the id of a column token, or -1.
+func (v *Vocab) ColumnToken(qc schema.QualifiedColumn) int {
+	if id, ok := v.columnIdx[qc]; ok {
+		return id
+	}
+	return -1
+}
+
+// OperatorToken returns the id of an operator token, or -1.
+func (v *Vocab) OperatorToken(op sqlast.CmpOp) int {
+	if id, ok := v.opIdx[op]; ok {
+		return id
+	}
+	return -1
+}
+
+// ValueTokens returns the ids of the sampled values for a column. Callers
+// must not mutate the result.
+func (v *Vocab) ValueTokens(qc schema.QualifiedColumn) []int { return v.valueIdx[qc] }
+
+// PatternTokens returns the ids of the sampled LIKE patterns for a string
+// column. Callers must not mutate the result.
+func (v *Vocab) PatternTokens(qc schema.QualifiedColumn) []int { return v.patternIdx[qc] }
+
+// EOF returns the id of the EOF token.
+func (v *Vocab) EOF() int { return v.eofID }
+
+// samplePatterns derives up to n `%substring%` LIKE patterns from sampled
+// column values (§5's sketch: "sampling substrings from the values of a
+// column"), deduplicated and sorted for vocabulary stability.
+func samplePatterns(vals []sqltypes.Value, n int, rng *rand.Rand) []string {
+	seen := map[string]bool{}
+	var out []string
+	for tries := 0; tries < 4*n && len(out) < n && len(vals) > 0; tries++ {
+		s := vals[rng.Intn(len(vals))].Str()
+		if len(s) < 2 {
+			continue
+		}
+		width := 2 + rng.Intn(3)
+		if width > len(s) {
+			width = len(s)
+		}
+		start := rng.Intn(len(s) - width + 1)
+		pat := "%" + s[start:start+width] + "%"
+		if !seen[pat] {
+			seen[pat] = true
+			out = append(out, pat)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Operators returns the supported comparison operators in vocabulary
+// order. Callers must not mutate the result.
+func Operators() []sqlast.CmpOp { return operators }

@@ -1,0 +1,200 @@
+package token
+
+import (
+	"testing"
+
+	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+)
+
+func buildVocab(t testing.TB, k int) *Vocab {
+	t.Helper()
+	db, err := datagen.Generate(datagen.NameTPCH, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(db, k, 7)
+}
+
+func TestVocabCoversAllClasses(t *testing.T) {
+	v := buildVocab(t, 10)
+	counts := map[Type]int{}
+	for i := 0; i < v.Size(); i++ {
+		counts[v.Token(i).Type]++
+	}
+	if counts[TypeReserved] != len(allReserved) {
+		t.Errorf("reserved tokens = %d, want %d", counts[TypeReserved], len(allReserved))
+	}
+	if counts[TypeTable] != 8 {
+		t.Errorf("table tokens = %d, want 8", counts[TypeTable])
+	}
+	if counts[TypeColumn] == 0 || counts[TypeValue] == 0 {
+		t.Error("missing column or value tokens")
+	}
+	if counts[TypeOperator] != 6 {
+		t.Errorf("operator tokens = %d, want 6", counts[TypeOperator])
+	}
+	if counts[TypeEOF] != 1 {
+		t.Errorf("EOF tokens = %d, want 1", counts[TypeEOF])
+	}
+}
+
+func TestIDsAreDense(t *testing.T) {
+	v := buildVocab(t, 5)
+	for i := 0; i < v.Size(); i++ {
+		if v.Token(i).ID != i {
+			t.Fatalf("token %d has id %d", i, v.Token(i).ID)
+		}
+	}
+}
+
+func TestLookupsRoundTrip(t *testing.T) {
+	v := buildVocab(t, 10)
+	for _, r := range allReserved {
+		id := v.Reserved(r)
+		tok := v.Token(id)
+		if tok.Type != TypeReserved || tok.Reserved != r {
+			t.Errorf("Reserved(%v) lookup broken: %+v", r, tok)
+		}
+	}
+	id := v.TableToken("orders")
+	if id < 0 || v.Token(id).Table != "orders" {
+		t.Error("table lookup broken")
+	}
+	if v.TableToken("nope") != -1 {
+		t.Error("unknown table must be -1")
+	}
+	qc := schema.QualifiedColumn{Table: "orders", Column: "o_totalprice"}
+	id = v.ColumnToken(qc)
+	if id < 0 || v.Token(id).QC() != qc {
+		t.Error("column lookup broken")
+	}
+	if v.ColumnToken(schema.QualifiedColumn{Table: "x", Column: "y"}) != -1 {
+		t.Error("unknown column must be -1")
+	}
+	for _, op := range Operators() {
+		id := v.OperatorToken(op)
+		if id < 0 || v.Token(id).Op != op {
+			t.Errorf("operator %v lookup broken", op)
+		}
+	}
+	if v.OperatorToken(sqlast.OpInvalid) != -1 {
+		t.Error("invalid operator must be -1")
+	}
+	if v.Token(v.EOF()).Type != TypeEOF {
+		t.Error("EOF lookup broken")
+	}
+}
+
+func TestValueTokensRespectK(t *testing.T) {
+	v := buildVocab(t, 7)
+	qc := schema.QualifiedColumn{Table: "lineitem", Column: "l_extendedprice"}
+	ids := v.ValueTokens(qc)
+	if len(ids) != 7 {
+		t.Errorf("numeric column sampled %d values, want 7", len(ids))
+	}
+	for _, id := range ids {
+		tok := v.Token(id)
+		if tok.Type != TypeValue || tok.QC() != qc {
+			t.Errorf("value token %d misbound: %+v", id, tok)
+		}
+		if tok.Value.IsNull() {
+			t.Error("sampled value must not be NULL")
+		}
+	}
+}
+
+func TestCategoricalFullDomain(t *testing.T) {
+	v := buildVocab(t, 2)
+	qc := schema.QualifiedColumn{Table: "orders", Column: "o_orderstatus"}
+	ids := v.ValueTokens(qc)
+	// Full domain {F, O, P} even though k=2.
+	if len(ids) != 3 {
+		t.Errorf("categorical domain = %d values, want 3", len(ids))
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	db, err := datagen.Generate(datagen.NameTPCH, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Build(db, 20, 5)
+	b := Build(db, 20, 5)
+	if a.Size() != b.Size() {
+		t.Fatal("sizes differ under same seed")
+	}
+	for i := 0; i < a.Size(); i++ {
+		if a.Token(i).String() != b.Token(i).String() {
+			t.Fatalf("token %d differs: %s vs %s", i, a.Token(i), b.Token(i))
+		}
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	v := buildVocab(t, 5)
+	if got := v.Token(v.Reserved(RGroupBy)).String(); got != "GROUP BY" {
+		t.Errorf("GROUP BY spelling = %q", got)
+	}
+	if got := v.Token(v.EOF()).String(); got != "EOF" {
+		t.Errorf("EOF spelling = %q", got)
+	}
+	if got := v.Token(v.OperatorToken(sqlast.OpNe)).String(); got != "<>" {
+		t.Errorf("<> spelling = %q", got)
+	}
+	qc := schema.QualifiedColumn{Table: "orders", Column: "o_custkey"}
+	if got := v.Token(v.ColumnToken(qc)).String(); got != "orders.o_custkey" {
+		t.Errorf("column spelling = %q", got)
+	}
+}
+
+func TestReservedAggMapping(t *testing.T) {
+	cases := map[Reserved]sqlast.AggFunc{
+		RMax: sqlast.AggMax, RMin: sqlast.AggMin, RSum: sqlast.AggSum,
+		RAvg: sqlast.AggAvg, RCount: sqlast.AggCount,
+		RSelect: sqlast.AggNone, RWhere: sqlast.AggNone,
+	}
+	for r, want := range cases {
+		if got := r.Agg(); got != want {
+			t.Errorf("%v.Agg() = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestVocabSizeScalesWithK(t *testing.T) {
+	small := buildVocab(t, 5)
+	large := buildVocab(t, 50)
+	if large.Size() <= small.Size() {
+		t.Errorf("vocab size must grow with k: %d vs %d", small.Size(), large.Size())
+	}
+}
+
+func TestPatternTokens(t *testing.T) {
+	v := buildVocab(t, 20)
+	// Plain string column gets patterns.
+	qc := schema.QualifiedColumn{Table: "customer", Column: "c_name"}
+	pats := v.PatternTokens(qc)
+	if len(pats) == 0 {
+		t.Fatal("string column must have pattern tokens")
+	}
+	for _, id := range pats {
+		tok := v.Token(id)
+		if tok.Type != TypePattern || tok.QC() != qc {
+			t.Errorf("pattern token misbound: %+v", tok)
+		}
+		if len(tok.Pattern) < 4 || tok.Pattern[0] != '%' || tok.Pattern[len(tok.Pattern)-1] != '%' {
+			t.Errorf("malformed pattern %q", tok.Pattern)
+		}
+		if tok.String() != "'"+tok.Pattern+"'" {
+			t.Errorf("pattern spelling = %q", tok.String())
+		}
+	}
+	// Numeric and categorical columns get none.
+	if len(v.PatternTokens(schema.QualifiedColumn{Table: "orders", Column: "o_totalprice"})) != 0 {
+		t.Error("numeric column must have no patterns")
+	}
+	if len(v.PatternTokens(schema.QualifiedColumn{Table: "orders", Column: "o_orderstatus"})) != 0 {
+		t.Error("categorical column must have no patterns")
+	}
+}

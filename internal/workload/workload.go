@@ -1,0 +1,198 @@
+// Package workload profiles and persists generated query workloads. It
+// backs the Figure 10 diversity case study (join counts, nesting,
+// aggregation, predicate counts, statement types, token lengths) and adds
+// the diversity measures the paper argues for qualitatively — distinct
+// structural skeletons and their Shannon entropy — plus SQL file
+// import/export so generated workloads can feed downstream tools (optimizer
+// testing, learned-estimator training).
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"learnedsqlgen/internal/parser"
+	"learnedsqlgen/internal/rl"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+)
+
+// Profile summarizes the structure of a workload.
+type Profile struct {
+	Total int
+	// ByType counts select/insert/update/delete statements.
+	ByType map[string]int
+	// JoinTables histograms tables per SELECT (Fig 10a).
+	JoinTables map[int]int
+	// NestedFraction is the share of statements containing a subquery
+	// (Fig 10b).
+	NestedFraction float64
+	// AggregateFraction is the share of SELECTs using aggregation
+	// (Fig 10c).
+	AggregateFraction float64
+	// Predicates histograms leaf predicates per statement (Fig 10d).
+	Predicates map[int]int
+	// TokenLength histograms whitespace tokens per statement (Fig 10f).
+	TokenLength map[int]int
+	// DistinctSQL counts unique statements verbatim.
+	DistinctSQL int
+	// DistinctSkeletons counts unique structures after stripping literal
+	// values — two queries differing only in constants share a skeleton.
+	DistinctSkeletons int
+	// SkeletonEntropy is the Shannon entropy (nats) of the skeleton
+	// distribution; higher means the generator explores more structures
+	// (the paper's diversity claim, quantified).
+	SkeletonEntropy float64
+}
+
+// Analyze profiles a generated workload.
+func Analyze(queries []rl.Generated) *Profile {
+	p := &Profile{
+		ByType:      map[string]int{},
+		JoinTables:  map[int]int{},
+		Predicates:  map[int]int{},
+		TokenLength: map[int]int{},
+	}
+	sqlSeen := map[string]bool{}
+	skeletons := map[string]int{}
+	selects := 0
+	for _, g := range queries {
+		p.Total++
+		sqlSeen[g.SQL] = true
+		skeletons[Skeleton(g.Statement)]++
+		p.Predicates[sqlast.CountPredicates(g.Statement)]++
+		p.TokenLength[tokenLen(g.SQL)]++
+		if len(sqlast.Subqueries(g.Statement)) > 0 {
+			p.NestedFraction++
+		}
+		switch st := g.Statement.(type) {
+		case *sqlast.Select:
+			p.ByType["select"]++
+			selects++
+			p.JoinTables[len(st.Tables)]++
+			if st.HasAggregate() {
+				p.AggregateFraction++
+			}
+		case *sqlast.Insert:
+			p.ByType["insert"]++
+		case *sqlast.Update:
+			p.ByType["update"]++
+		case *sqlast.Delete:
+			p.ByType["delete"]++
+		}
+	}
+	p.DistinctSQL = len(sqlSeen)
+	p.DistinctSkeletons = len(skeletons)
+	if p.Total > 0 {
+		p.NestedFraction /= float64(p.Total)
+		for _, n := range skeletons {
+			q := float64(n) / float64(p.Total)
+			p.SkeletonEntropy -= q * math.Log(q)
+		}
+	}
+	if selects > 0 {
+		p.AggregateFraction /= float64(selects)
+	}
+	return p
+}
+
+// Skeleton renders a statement's structure with every literal value
+// blanked, so structurally identical queries collapse to one key.
+func Skeleton(st sqlast.Statement) string {
+	cp := sqlast.CloneStatement(st)
+	blankStatement(cp)
+	return cp.SQL()
+}
+
+func blankStatement(st sqlast.Statement) {
+	switch t := st.(type) {
+	case *sqlast.Select:
+		blankPredicate(t.Where)
+		if t.Having != nil {
+			t.Having.Value = sqltypes.Null
+			if t.Having.Sub != nil {
+				blankStatement(t.Having.Sub)
+			}
+		}
+		for _, sub := range sqlast.Subqueries(t) {
+			blankStatement(sub)
+		}
+	case *sqlast.Insert:
+		for i := range t.Values {
+			t.Values[i] = sqltypes.Null
+		}
+		if t.Sub != nil {
+			blankStatement(t.Sub)
+		}
+	case *sqlast.Update:
+		for i := range t.Sets {
+			t.Sets[i].Value = sqltypes.Null
+		}
+		blankPredicate(t.Where)
+		for _, sub := range sqlast.Subqueries(t) {
+			blankStatement(sub)
+		}
+	case *sqlast.Delete:
+		blankPredicate(t.Where)
+		for _, sub := range sqlast.Subqueries(t) {
+			blankStatement(sub)
+		}
+	}
+}
+
+func blankPredicate(p sqlast.Predicate) {
+	sqlast.WalkPredicates(p, func(q sqlast.Predicate) {
+		switch t := q.(type) {
+		case *sqlast.Compare:
+			t.Value = sqltypes.Null
+		case *sqlast.Like:
+			t.Pattern = "?"
+		}
+	})
+}
+
+// tokenLen counts whitespace-separated tokens.
+func tokenLen(sql string) int {
+	return len(strings.Fields(sql))
+}
+
+// WriteSQL writes the workload as executable SQL, one statement per line,
+// each preceded by a comment recording the measured metric value.
+func WriteSQL(w io.Writer, queries []rl.Generated, metric rl.Metric) error {
+	bw := bufio.NewWriter(w)
+	for _, g := range queries {
+		if _, err := fmt.Fprintf(bw, "-- %s = %.4g\n%s;\n", metric, g.Measured, g.SQL); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSQL parses a file written by WriteSQL (or any file of
+// one-statement-per-line SQL with optional -- comments) back into ASTs.
+func ReadSQL(r io.Reader) ([]sqlast.Statement, error) {
+	var out []sqlast.Statement
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "--") {
+			continue
+		}
+		text = strings.TrimSuffix(text, ";")
+		st, err := parser.Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		out = append(out, st)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

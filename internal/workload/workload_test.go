@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"learnedsqlgen/internal/parser"
+	"learnedsqlgen/internal/rl"
+)
+
+func gen(t *testing.T, sql string, measured float64) rl.Generated {
+	t.Helper()
+	st, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rl.Generated{Statement: st, SQL: st.SQL(), Measured: measured}
+}
+
+func TestAnalyzeProfile(t *testing.T) {
+	qs := []rl.Generated{
+		gen(t, "SELECT a.x FROM a WHERE a.x > 1", 10),
+		gen(t, "SELECT a.x FROM a WHERE a.x > 2", 20), // same skeleton as above
+		gen(t, "SELECT a.x FROM a JOIN b ON a.id = b.id WHERE a.x > 1 AND b.y < 2", 5),
+		gen(t, "SELECT COUNT(a.x) FROM a", 1),
+		gen(t, "SELECT a.x FROM a WHERE a.id IN (SELECT b.id FROM b)", 7),
+		gen(t, "INSERT INTO a VALUES (1, 2)", 1),
+		gen(t, "DELETE FROM a WHERE a.x = 3", 2),
+	}
+	p := Analyze(qs)
+	if p.Total != 7 {
+		t.Fatalf("total = %d", p.Total)
+	}
+	if p.ByType["select"] != 5 || p.ByType["insert"] != 1 || p.ByType["delete"] != 1 {
+		t.Errorf("types = %v", p.ByType)
+	}
+	if p.JoinTables[1] != 4 || p.JoinTables[2] != 1 {
+		t.Errorf("join tables = %v", p.JoinTables)
+	}
+	if p.NestedFraction != 1.0/7 {
+		t.Errorf("nested = %v", p.NestedFraction)
+	}
+	if p.AggregateFraction != 1.0/5 {
+		t.Errorf("agg = %v", p.AggregateFraction)
+	}
+	if p.DistinctSQL != 7 {
+		t.Errorf("distinct SQL = %d", p.DistinctSQL)
+	}
+	// Queries 1 and 2 share a skeleton → 6 skeletons for 7 queries.
+	if p.DistinctSkeletons != 6 {
+		t.Errorf("skeletons = %d, want 6", p.DistinctSkeletons)
+	}
+	if p.SkeletonEntropy <= 0 {
+		t.Error("entropy must be positive for a diverse workload")
+	}
+}
+
+func TestSkeletonCollapsesLiterals(t *testing.T) {
+	a := gen(t, "SELECT a.x FROM a WHERE a.x > 1 AND a.s LIKE '%ab%'", 0)
+	b := gen(t, "SELECT a.x FROM a WHERE a.x > 999 AND a.s LIKE '%zz%'", 0)
+	c := gen(t, "SELECT a.x FROM a WHERE a.x < 1", 0)
+	if Skeleton(a.Statement) != Skeleton(b.Statement) {
+		t.Error("literal-only differences must share a skeleton")
+	}
+	if Skeleton(a.Statement) == Skeleton(c.Statement) {
+		t.Error("operator differences must not share a skeleton")
+	}
+	// Skeletonization must not mutate the original.
+	if !strings.Contains(a.Statement.SQL(), "> 1") {
+		t.Error("Skeleton mutated its input")
+	}
+
+	// DML skeletons.
+	i1 := gen(t, "INSERT INTO a VALUES (1, 'x')", 0)
+	i2 := gen(t, "INSERT INTO a VALUES (2, 'y')", 0)
+	if Skeleton(i1.Statement) != Skeleton(i2.Statement) {
+		t.Error("insert literals must collapse")
+	}
+	u1 := gen(t, "UPDATE a SET x = 1 WHERE a.y = 2", 0)
+	u2 := gen(t, "UPDATE a SET x = 9 WHERE a.y = 8", 0)
+	if Skeleton(u1.Statement) != Skeleton(u2.Statement) {
+		t.Error("update literals must collapse")
+	}
+}
+
+func TestSingleSkeletonEntropyZero(t *testing.T) {
+	qs := []rl.Generated{
+		gen(t, "SELECT a.x FROM a WHERE a.x > 1", 0),
+		gen(t, "SELECT a.x FROM a WHERE a.x > 2", 0),
+	}
+	p := Analyze(qs)
+	if p.SkeletonEntropy != 0 {
+		t.Errorf("uniform single skeleton entropy = %v, want 0", p.SkeletonEntropy)
+	}
+}
+
+func TestWriteReadSQLRoundTrip(t *testing.T) {
+	qs := []rl.Generated{
+		gen(t, "SELECT a.x FROM a WHERE a.x > 1", 42),
+		gen(t, "DELETE FROM a WHERE a.x = 3", 7),
+		gen(t, "SELECT a.s FROM a WHERE a.s LIKE '%ab%'", 3),
+	}
+	var buf bytes.Buffer
+	if err := WriteSQL(&buf, qs, rl.Cardinality); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "-- Cardinality = 42") {
+		t.Errorf("missing metric comment:\n%s", text)
+	}
+	back, err := ReadSQL(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(qs) {
+		t.Fatalf("read %d statements, want %d", len(back), len(qs))
+	}
+	for i := range back {
+		if back[i].SQL() != qs[i].Statement.SQL() {
+			t.Errorf("statement %d: %q != %q", i, back[i].SQL(), qs[i].Statement.SQL())
+		}
+	}
+}
+
+func TestReadSQLErrors(t *testing.T) {
+	if _, err := ReadSQL(strings.NewReader("not sql at all;\n")); err == nil {
+		t.Error("bad SQL must fail")
+	}
+	out, err := ReadSQL(strings.NewReader("\n-- only comments\n\n"))
+	if err != nil || len(out) != 0 {
+		t.Errorf("comments-only input: %v, %v", out, err)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	p := Analyze(nil)
+	if p.Total != 0 || p.SkeletonEntropy != 0 {
+		t.Errorf("empty profile = %+v", p)
+	}
+}

@@ -1,0 +1,213 @@
+package learnedsqlgen
+
+import (
+	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/fsm"
+	"learnedsqlgen/internal/parser"
+	"learnedsqlgen/internal/rl"
+	"learnedsqlgen/internal/storage"
+	"learnedsqlgen/internal/token"
+)
+
+// Metric selects the constrained quantity.
+type Metric = rl.Metric
+
+// Supported metrics.
+const (
+	Cardinality = rl.Cardinality
+	Cost        = rl.Cost
+)
+
+// Constraint is a point or range target on a metric.
+type Constraint = rl.Constraint
+
+// PointConstraint targets Metric = c with the paper's 10% accuracy bound.
+func PointConstraint(m Metric, c float64) Constraint { return rl.PointConstraint(m, c) }
+
+// RangeConstraint targets Metric ∈ [lo, hi].
+func RangeConstraint(m Metric, lo, hi float64) Constraint { return rl.RangeConstraint(m, lo, hi) }
+
+// Generated is one produced SQL statement with its measured metric value.
+type Generated = rl.Generated
+
+// Options tunes database opening. The zero value (or nil) uses the paper's
+// defaults.
+type Options struct {
+	// SampleValues is k, the number of cell values sampled per
+	// non-categorical column for the token vocabulary (§4.1; paper: 100).
+	SampleValues int
+	// Seed drives dataset generation, sampling and training.
+	Seed int64
+	// Grammar bounds the generated query shapes; zero value means
+	// fsm.DefaultConfig-equivalent (SELECT queries with joins,
+	// aggregation, nesting and ordering; DML off).
+	Grammar *GrammarOptions
+	// TrueExecutionRewards makes the RL environment execute each
+	// (partial) query against a snapshot instead of estimating it — exact
+	// feedback at a large cost in training speed (the paper uses
+	// estimates "for the efficiency issue").
+	TrueExecutionRewards bool
+}
+
+// GrammarOptions mirrors the FSM limits a user may adjust.
+type GrammarOptions struct {
+	MaxJoins        int
+	MaxSelectItems  int
+	MaxPredicates   int
+	MaxNestDepth    int
+	AllowAggregates bool
+	AllowOrderBy    bool
+	// AllowLike enables LIKE predicates (the paper's future-work item,
+	// implemented here).
+	AllowLike   bool
+	AllowInsert bool
+	AllowUpdate bool
+	AllowDelete bool
+	// DisableSelect removes top-level SELECT statements, for per-family
+	// DML workload generation.
+	DisableSelect bool
+}
+
+func (o *Options) sampleValues() int {
+	if o == nil || o.SampleValues <= 0 {
+		return 100
+	}
+	return o.SampleValues
+}
+
+func (o *Options) seed() int64 {
+	if o == nil {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o *Options) fsmConfig() fsm.Config {
+	cfg := fsm.DefaultConfig()
+	if o == nil || o.Grammar == nil {
+		return cfg
+	}
+	g := o.Grammar
+	if g.MaxJoins > 0 {
+		cfg.MaxJoins = g.MaxJoins
+	}
+	if g.MaxSelectItems > 0 {
+		cfg.MaxSelectItems = g.MaxSelectItems
+	}
+	if g.MaxPredicates > 0 {
+		cfg.MaxPredicates = g.MaxPredicates
+	}
+	cfg.MaxNestDepth = g.MaxNestDepth
+	cfg.AllowAggregates = g.AllowAggregates
+	cfg.AllowOrderBy = g.AllowOrderBy
+	cfg.AllowLike = g.AllowLike
+	cfg.AllowInsert = g.AllowInsert
+	cfg.AllowUpdate = g.AllowUpdate
+	cfg.AllowDelete = g.AllowDelete
+	cfg.DisableSelect = g.DisableSelect
+	return cfg
+}
+
+// DB is an opened database ready for constraint-aware generation.
+type DB struct {
+	name string
+	seed int64
+	env  *rl.Env
+	raw  *storage.Database
+}
+
+// OpenBenchmark opens one of the paper's three evaluation datasets
+// ("tpch", "job", "xuetang") generated synthetically at the given scale
+// (1.0 ≈ tens of thousands of rows; see internal/datagen).
+func OpenBenchmark(name string, scale float64, opt *Options) (*DB, error) {
+	raw, err := datagen.Generate(name, scale, opt.seed())
+	if err != nil {
+		return nil, err
+	}
+	return openStorage(name, raw, opt), nil
+}
+
+func openStorage(name string, raw *storage.Database, opt *Options) *DB {
+	vocab := token.Build(raw, opt.sampleValues(), opt.seed())
+	env := rl.NewEnv(raw, vocab, opt.fsmConfig())
+	if opt != nil && opt.TrueExecutionRewards {
+		env.TrueExecution = true
+	}
+	return &DB{
+		name: name,
+		seed: opt.seed(),
+		env:  env,
+		raw:  raw,
+	}
+}
+
+// Name returns the dataset name this DB was opened as.
+func (db *DB) Name() string { return db.name }
+
+// Tables lists table names with their row counts.
+func (db *DB) Tables() map[string]int {
+	out := map[string]int{}
+	for _, t := range db.raw.Tables() {
+		out[t.Meta.Name] = t.NumRows()
+	}
+	return out
+}
+
+// Result is the output of executing SQL against the database.
+type Result struct {
+	Columns     []string
+	Rows        [][]string
+	Cardinality int
+}
+
+// Execute parses and runs a SQL statement against a snapshot of the
+// database (INSERT/UPDATE/DELETE never mutate the opened data).
+func (db *DB) Execute(sql string) (*Result, error) {
+	st, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := executor.New(db.raw.Clone()).Execute(st)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Columns: res.Columns, Cardinality: res.Cardinality}
+	for _, r := range res.Rows {
+		row := make([]string, len(r))
+		for i, v := range r {
+			row[i] = v.String()
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Estimate returns the optimizer-style estimated cardinality and cost of a
+// SQL statement — the same feedback signal the RL environment uses.
+func (db *DB) Estimate(sql string) (card, cost float64, err error) {
+	st, err := parser.Parse(sql)
+	if err != nil {
+		return 0, 0, err
+	}
+	est, err := db.env.Est.Estimate(st)
+	if err != nil {
+		return 0, 0, err
+	}
+	return est.Card, est.Cost, nil
+}
+
+// Explain renders an EXPLAIN-style operator breakdown of a statement's
+// estimated cardinality and cost — the same numbers the RL environment
+// scores queries with.
+func (db *DB) Explain(sql string) (string, error) {
+	st, err := parser.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	plan, err := db.env.Est.Explain(st)
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}

@@ -1,0 +1,56 @@
+package learnedsqlgen
+
+import (
+	"os"
+
+	"learnedsqlgen/internal/workload"
+)
+
+// WorkloadProfile summarizes the structure and diversity of a generated
+// workload (the Figure 10 analysis: join counts, nesting, aggregation,
+// statement types, plus skeleton-diversity measures).
+type WorkloadProfile = workload.Profile
+
+// AnalyzeWorkload profiles a set of generated queries.
+func AnalyzeWorkload(queries []Generated) *WorkloadProfile {
+	return workload.Analyze(queries)
+}
+
+// WriteWorkloadFile saves generated queries as executable SQL, one
+// statement per line, each preceded by a comment recording the measured
+// metric value.
+func WriteWorkloadFile(path string, queries []Generated, m Metric) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := workload.WriteSQL(f, queries, m); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ReadWorkloadFile loads a SQL workload file (as written by
+// WriteWorkloadFile, or any one-statement-per-line SQL file) and
+// re-measures each statement against this database with the given metric.
+func (db *DB) ReadWorkloadFile(path string, m Metric) ([]Generated, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	stmts, err := workload.ReadSQL(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Generated, 0, len(stmts))
+	for _, st := range stmts {
+		g := Generated{Statement: st, SQL: st.SQL()}
+		if v, err := db.env.Measure(st, m); err == nil {
+			g.Measured = v
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
