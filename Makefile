@@ -1,0 +1,27 @@
+# Developer / CI entry points. `make verify` is the pre-merge gate: it
+# builds, vets, runs the full suite, and re-runs the concurrency-heavy
+# packages under the race detector (the rollout worker pool and the
+# estimator cache live there).
+
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The full suite under -race is slow on small machines; the rl, estimator,
+# meta and bench packages exercise every goroutine this repo spawns.
+race:
+	$(GO) test -race ./internal/rl/ ./internal/estimator/ ./internal/meta/ ./internal/bench/ .
+
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

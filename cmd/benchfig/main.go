@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"learnedsqlgen/internal/baselines"
@@ -22,17 +23,21 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 6, 7, 8, 9, 10, 11, 12, 'ablation', or 'calibrate'")
+	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 6, 7, 8, 9, 10, 11, 12, 'ablation', 'throughput', or 'calibrate'")
 	dataset := flag.String("dataset", "tpch", "dataset: tpch, job, xuetang")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	sampleK := flag.Int("k", 50, "sampled values per column (η knob)")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "parallel rollout workers (0 = all CPUs); results are identical for any value")
 	quick := flag.Bool("quick", false, "use the reduced smoke-test budget")
 	flag.Parse()
 
 	if *fig == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
 	}
 	budget := bench.DefaultBudget()
 	if *quick {
@@ -43,8 +48,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "setup:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("# dataset=%s scale=%g k=%d seed=%d quick=%v\n",
-		*dataset, *scale, *sampleK, *seed, *quick)
+	setup.Workers = *workers
+	fmt.Printf("# dataset=%s scale=%g k=%d seed=%d workers=%d quick=%v\n",
+		*dataset, *scale, *sampleK, *seed, *workers, *quick)
 
 	switch *fig {
 	case "4":
@@ -168,6 +174,30 @@ func main() {
 		fmt.Println("variant\taccuracy\ttail-avg-reward\tseconds")
 		for _, r := range rows {
 			fmt.Printf("%s\t%.3f\t%.3f\t%.1f\n", r.Variant, r.Accuracy, r.AvgRewardTail, r.Seconds)
+		}
+	case "throughput":
+		// Rollout-engine measurement: episodes/sec for a workers sweep,
+		// with the estimator cache off and on.
+		budget.TrainEpochs = 40
+		if *quick {
+			budget.TrainEpochs = 8
+		}
+		sweep := []int{1, 2, 4}
+		if max := runtime.GOMAXPROCS(0); max > 4 {
+			sweep = append(sweep, max)
+		}
+		c := rl.RangeConstraint(rl.Cardinality, 100, 400)
+		rows := bench.RunThroughput(setup, c, budget, sweep)
+		fmt.Printf("Rollout throughput (%s, %d episodes per row, GOMAXPROCS=%d)\n",
+			c, budget.TrainEpochs*budget.EpisodesPerEpoch, runtime.GOMAXPROCS(0))
+		fmt.Println("cache\tworkers\tep/s\tspeedup\thit-rate\testimator-calls")
+		for _, r := range rows {
+			cache := "off"
+			if r.CacheEnabled {
+				cache = "on"
+			}
+			fmt.Printf("%s\t%d\t%.1f\t%.2fx\t%.1f%%\t%d\n",
+				cache, r.Workers, r.EpisodesPerSec, r.Speedup, 100*r.CacheHitRate, r.EstimatorCalls)
 		}
 	case "calibrate":
 		calibrate(setup)

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -27,6 +28,7 @@ func main() {
 	epochs := flag.Int("epochs", 0, "max training epochs (0 = adaptive)")
 	sampleK := flag.Int("k", 100, "sampled values per column")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "parallel rollout workers (0 = all CPUs); output is identical for any value")
 	showMeasure := flag.Bool("show-measure", false, "print the estimated metric next to each query")
 	maxAttempts := flag.Int("max-attempts", 10000, "generation attempt cap")
 	out := flag.String("out", "", "write the satisfied queries to a SQL workload file")
@@ -68,9 +70,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 	db, err := learnedsqlgen.OpenBenchmark(*dataset, *scale, &learnedsqlgen.Options{
 		SampleValues: *sampleK,
 		Seed:         *seed,
+		Workers:      *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

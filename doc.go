@@ -21,6 +21,27 @@
 // actor–critic trained with potential-shaped execution feedback, a
 // meta-critic for fast adaptation to new constraints (§6), and the
 // SQLSmith-style and template-based baselines used in the paper's
-// evaluation. See DESIGN.md for the architecture and EXPERIMENTS.md for
-// the reproduced figures.
+// evaluation.
+//
+// # Throughput options
+//
+// Episode rollouts are embarrassingly parallel between gradient updates,
+// and repeated partial queries dominate estimator cost, so Options
+// exposes two throughput knobs:
+//
+//   - Options.Workers sets the number of concurrent rollout goroutines
+//     per training batch (default 1, i.e. serial). Each episode owns its
+//     own RNG stream fanned out deterministically from Options.Seed, so
+//     generated queries and learning traces are byte-identical for every
+//     Workers value — set it to runtime.GOMAXPROCS(0) freely.
+//   - Options.EstimatorCacheSize bounds the LRU cache memoizing the
+//     cardinality/cost estimator across episodes (default 65536 entries;
+//     negative disables it). Estimation is a pure function of the
+//     statement, so cached feedback is exact.
+//
+// Generator.Stats (and the MetaGenerator/AdaptedGenerator equivalents)
+// reports episodes/sec and the cache's hit/miss counters.
+//
+// See ARCHITECTURE.md for the package map and dataflow, DESIGN.md for
+// design decisions, and EXPERIMENTS.md for the reproduced figures.
 package learnedsqlgen

@@ -8,8 +8,13 @@ import (
 	"learnedsqlgen/internal/rl"
 )
 
-// TrainStats summarizes one training epoch.
-type TrainStats = rl.EpochStats
+// EpochStats summarizes one training epoch (reward and satisfaction
+// trace).
+type EpochStats = rl.EpochStats
+
+// TrainStats reports a generator's lifetime rollout throughput
+// (episodes/sec) and the estimator cache's hit/miss counters.
+type TrainStats = rl.TrainStats
 
 // Generator is a trained (or trainable) constraint-aware SQL generator —
 // the LearnedSQLGen agent of the paper.
@@ -23,13 +28,14 @@ type Generator struct {
 func (db *DB) NewGenerator(c Constraint) *Generator {
 	cfg := rl.FastConfig()
 	cfg.Seed = db.seed
+	cfg.Workers = db.workers
 	return &Generator{trainer: rl.NewTrainer(db.env, c, cfg)}
 }
 
 // Train runs epochs × episodesPerEpoch training episodes and returns the
 // per-epoch reward/satisfaction trace. 250 × 25 converges on the bundled
 // benchmarks.
-func (g *Generator) Train(epochs, episodesPerEpoch int) []TrainStats {
+func (g *Generator) Train(epochs, episodesPerEpoch int) []EpochStats {
 	return g.trainer.Train(epochs, episodesPerEpoch)
 }
 
@@ -37,7 +43,7 @@ func (g *Generator) Train(epochs, episodesPerEpoch int) []TrainStats {
 // of an epoch's episodes satisfy the constraint on two consecutive
 // epochs, or after maxEpochs. Easy constraints converge in seconds; hard
 // point constraints use the full budget.
-func (g *Generator) TrainAdaptive(maxEpochs, episodesPerEpoch int) []TrainStats {
+func (g *Generator) TrainAdaptive(maxEpochs, episodesPerEpoch int) []EpochStats {
 	return g.trainer.TrainUntil(0.75, 2, maxEpochs, episodesPerEpoch)
 }
 
@@ -67,6 +73,11 @@ func (g *Generator) MustGenerateSatisfied(n, maxAttempts int) []Generated {
 
 // Constraint returns the generator's target.
 func (g *Generator) Constraint() Constraint { return g.trainer.Constraint }
+
+// Stats snapshots the generator's rollout throughput and the estimator
+// cache's hit/miss counters (cache counters are shared across all
+// generators opened on the same DB).
+func (g *Generator) Stats() TrainStats { return g.trainer.Stats() }
 
 // RandomGenerator is the SQLSmith-style baseline over the same grammar.
 func (db *DB) RandomGenerator(c Constraint) *baselines.Random {
@@ -100,13 +111,17 @@ type MetaGenerator struct {
 func (db *DB) NewMetaGenerator(domain MetaDomain) *MetaGenerator {
 	cfg := rl.FastConfig()
 	cfg.Seed = db.seed
+	cfg.Workers = db.workers
 	return &MetaGenerator{trainer: meta.NewMetaTrainer(db.env, domain, cfg)}
 }
 
 // Pretrain cycles the domain's tasks for the given rounds.
-func (m *MetaGenerator) Pretrain(rounds, episodesPerTask int) []TrainStats {
+func (m *MetaGenerator) Pretrain(rounds, episodesPerTask int) []EpochStats {
 	return m.trainer.Pretrain(rounds, episodesPerTask)
 }
+
+// Stats snapshots the pre-training rollout throughput and cache counters.
+func (m *MetaGenerator) Stats() TrainStats { return m.trainer.Stats() }
 
 // Adapt prepares a generator for a new constraint, warm-started from the
 // nearest pre-trained task and guided by the shared meta-critic.
@@ -121,7 +136,7 @@ type AdaptedGenerator struct {
 }
 
 // Train fine-tunes the adapted policy.
-func (a *AdaptedGenerator) Train(epochs, episodesPerEpoch int) []TrainStats {
+func (a *AdaptedGenerator) Train(epochs, episodesPerEpoch int) []EpochStats {
 	return a.adapted.Train(epochs, episodesPerEpoch)
 }
 
@@ -132,6 +147,10 @@ func (a *AdaptedGenerator) Generate(n int) []Generated { return a.adapted.Genera
 func (a *AdaptedGenerator) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
 	return a.adapted.GenerateSatisfied(n, maxAttempts)
 }
+
+// Stats snapshots the adapted generator's rollout throughput and cache
+// counters.
+func (a *AdaptedGenerator) Stats() TrainStats { return a.adapted.Stats() }
 
 // Save writes the generator's trained weights to path; LoadGenerator
 // restores them. This implements §3.3's promise that a trained model can

@@ -23,12 +23,15 @@ const (
 )
 
 // Setup fixes one evaluation environment: dataset, scale, value-sample
-// size k (the η knob of Figure 12) and seed.
+// size k (the η knob of Figure 12), seed and rollout worker count.
 type Setup struct {
 	Dataset string
 	Scale   float64
 	SampleK int
 	Seed    int64
+	// Workers is the rollout concurrency every trainer built from this
+	// setup uses (0/1 = serial). Results are worker-count-independent.
+	Workers int
 	Env     *rl.Env
 }
 
@@ -94,6 +97,7 @@ func QuickBudget() Budget {
 func (s *Setup) rlConfig() rl.Config {
 	cfg := rl.FastConfig()
 	cfg.Seed = s.Seed
+	cfg.Workers = s.Workers
 	return cfg
 }
 

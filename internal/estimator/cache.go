@@ -1,0 +1,130 @@
+package estimator
+
+import (
+	"container/list"
+	"sync"
+
+	"learnedsqlgen/internal/sqlast"
+)
+
+// DefaultCacheSize bounds the memoizing estimator cache. RL training
+// re-estimates the same executable prefixes thousands of times across
+// episodes (every episode passes through the same popular FROM/WHERE
+// stems), so even a modest cache absorbs most estimator work.
+const DefaultCacheSize = 1 << 16
+
+// CacheStats is a snapshot of a Cached wrapper's counters.
+type CacheStats struct {
+	Hits      uint64 // lookups answered from the cache
+	Misses    uint64 // lookups that ran the underlying estimator
+	Evictions uint64 // entries dropped by the LRU bound
+	Size      int    // current entry count
+	Capacity  int    // maximum entry count
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cached memoizes an Estimator behind a bounded, concurrency-safe LRU
+// keyed on the canonical SQL text of the statement. Estimation is a pure
+// function of the statement (statistics are immutable once collected), so
+// both successful estimates and estimation errors are cached.
+//
+// Concurrent lookups of a missing key may each run the underlying
+// estimator; the first result wins the cache slot and the duplicates are
+// discarded. That wasted work is bounded by the worker count and avoids
+// holding the lock across estimation.
+type Cached struct {
+	inner *Estimator
+
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	est Estimate
+	err error
+}
+
+// NewCached wraps inner with an LRU of the given capacity (entries);
+// capacity <= 0 selects DefaultCacheSize.
+func NewCached(inner *Estimator, capacity int) *Cached {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cached{
+		inner:    inner,
+		capacity: capacity,
+		entries:  make(map[string]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// Inner returns the wrapped estimator.
+func (c *Cached) Inner() *Estimator { return c.inner }
+
+// Estimate returns the memoized estimate for st, running the underlying
+// estimator on a miss.
+func (c *Cached) Estimate(st sqlast.Statement) (Estimate, error) {
+	key := st.SQL()
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		return e.est, e.err
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	est, err := c.inner.Estimate(st)
+
+	c.mu.Lock()
+	if _, ok := c.entries[key]; !ok {
+		el := c.order.PushFront(&cacheEntry{key: key, est: est, err: err})
+		c.entries[key] = el
+		if c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	return est, err
+}
+
+// Stats snapshots the counters.
+func (c *Cached) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.order.Len(),
+		Capacity:  c.capacity,
+	}
+}
+
+// Reset drops all entries and zeroes the counters.
+func (c *Cached) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element, c.capacity)
+	c.order = list.New()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}

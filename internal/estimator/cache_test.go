@@ -1,0 +1,163 @@
+package estimator
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+)
+
+// amountQuery builds `SELECT O.id FROM Orders WHERE O.amount < v` against
+// the ordersDB schema; distinct v gives distinct cache keys.
+func amountQuery(v float64) *sqlast.Select {
+	return &sqlast.Select{
+		Tables: []string{"Orders"},
+		Items:  []sqlast.SelectItem{{Col: col("Orders", "id")}},
+		Where: &sqlast.Compare{
+			Col: col("Orders", "amount"), Op: sqlast.OpLt, Value: sqltypes.NewFloat(v),
+		},
+	}
+}
+
+func TestCachedHitMissCounters(t *testing.T) {
+	_, est := ordersDB(t)
+	c := NewCached(est, 8)
+
+	q := amountQuery(100)
+	want, err := est.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := c.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("cached estimate %+v != direct %+v", got, want)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", s.Hits, s.Misses)
+	}
+	if s.Size != 1 || s.Capacity != 8 {
+		t.Errorf("size/capacity = %d/%d, want 1/8", s.Size, s.Capacity)
+	}
+	if hr := s.HitRate(); hr != 2.0/3.0 {
+		t.Errorf("hit rate = %v, want 2/3", hr)
+	}
+}
+
+func TestCachedEviction(t *testing.T) {
+	_, est := ordersDB(t)
+	c := NewCached(est, 2)
+
+	a, b, d := amountQuery(1), amountQuery(2), amountQuery(3)
+	for _, q := range []*sqlast.Select{a, b, d} { // d evicts a (LRU)
+		if _, err := c.Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Size != 2 {
+		t.Fatalf("evictions/size = %d/%d, want 1/2", s.Evictions, s.Size)
+	}
+	// b and d are resident; a must re-run the estimator.
+	c.Estimate(b)
+	c.Estimate(d)
+	if s = c.Stats(); s.Hits != 2 {
+		t.Errorf("resident entries missed: %+v", s)
+	}
+	c.Estimate(a)
+	if s = c.Stats(); s.Misses != 4 {
+		t.Errorf("evicted entry hit: %+v", s)
+	}
+
+	// Recency, not insertion order: touch b, insert a new key, then b
+	// must still be resident while d (now least recent) is gone.
+	c.Estimate(b)
+	c.Estimate(amountQuery(4))
+	before := c.Stats().Hits
+	c.Estimate(b)
+	if c.Stats().Hits != before+1 {
+		t.Error("recently used entry was evicted")
+	}
+}
+
+func TestCachedErrorsAreCached(t *testing.T) {
+	_, est := ordersDB(t)
+	c := NewCached(est, 4)
+	bad := &sqlast.Select{Tables: []string{"Orders"}} // no items: estimation error
+	if _, err := c.Estimate(bad); err == nil {
+		t.Fatal("expected estimation error")
+	}
+	if _, err := c.Estimate(bad); err == nil {
+		t.Fatal("cached error lost")
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("error caching counters: %+v", s)
+	}
+}
+
+func TestCachedReset(t *testing.T) {
+	_, est := ordersDB(t)
+	c := NewCached(est, 4)
+	c.Estimate(amountQuery(1))
+	c.Estimate(amountQuery(1))
+	c.Reset()
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 || s.Size != 0 {
+		t.Errorf("reset left state: %+v", s)
+	}
+}
+
+// TestCachedConcurrentAccess hammers one small cache from many goroutines
+// (run under -race); every returned estimate must equal the direct one.
+func TestCachedConcurrentAccess(t *testing.T) {
+	_, est := ordersDB(t)
+	c := NewCached(est, 16) // smaller than the key space: eviction under contention
+
+	want := make([]Estimate, 32)
+	for i := range want {
+		e, err := est.Estimate(amountQuery(float64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = e
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g*7 + i) % len(want)
+				got, err := c.Estimate(amountQuery(float64(k)))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if got != want[k] {
+					errCh <- fmt.Errorf("key %d: got %+v want %+v", k, got, want[k])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != 8*200 {
+		t.Errorf("lookup count %d, want %d", s.Hits+s.Misses, 8*200)
+	}
+	if s.Size > 16 {
+		t.Errorf("cache overflowed its bound: %+v", s)
+	}
+}

@@ -56,33 +56,30 @@ func (x *ACExtend) taskRow(c rl.Constraint) int {
 }
 
 // trainConstraint runs episodes under one constraint, updating the shared
-// networks.
+// networks. Batches roll out concurrently (every episode of a batch
+// shares the constraint's task-row start token).
 func (x *ACExtend) trainConstraint(c rl.Constraint, episodes int) rl.EpochStats {
 	x.sampler.SetConstraint(c)
 	start := x.taskRow(c)
 	stats := rl.EpochStats{}
-	batch := make([]*rl.Trajectory, 0, x.Cfg.BatchSize)
-	starts := make([]int, 0, x.Cfg.BatchSize)
-	flush := func() {
-		if len(batch) > 0 {
-			x.update(batch, starts)
-			batch, starts = batch[:0], starts[:0]
+	for done := 0; done < episodes; {
+		n := x.Cfg.BatchSize
+		if rest := episodes - done; n > rest {
+			n = rest
 		}
+		batch := x.sampler.SampleBatch(x.actor, start, n, false, true)
+		starts := make([]int, n)
+		for i, traj := range batch {
+			starts[i] = start
+			stats.Episodes++
+			stats.AvgReward += traj.TotalReward
+			if traj.Satisfied {
+				stats.SatisfiedRate++
+			}
+		}
+		x.update(batch, starts)
+		done += n
 	}
-	for ep := 0; ep < episodes; ep++ {
-		traj := x.sampler.SampleEpisodeFrom(x.actor, start, false, true)
-		stats.Episodes++
-		stats.AvgReward += traj.TotalReward
-		if traj.Satisfied {
-			stats.SatisfiedRate++
-		}
-		batch = append(batch, traj)
-		starts = append(starts, start)
-		if len(batch) == x.Cfg.BatchSize {
-			flush()
-		}
-	}
-	flush()
 	if stats.Episodes > 0 {
 		stats.AvgReward /= float64(stats.Episodes)
 		stats.SatisfiedRate /= float64(stats.Episodes)
@@ -153,8 +150,7 @@ func (x *ACExtend) Generate(c rl.Constraint, n int) []rl.Generated {
 	x.sampler.SetConstraint(c)
 	start := x.taskRow(c)
 	out := make([]rl.Generated, 0, n)
-	for i := 0; i < n; i++ {
-		traj := x.sampler.SampleEpisodeFrom(x.actor, start, false, false)
+	for _, traj := range x.sampler.SampleBatch(x.actor, start, n, false, false) {
 		out = append(out, rl.Generated{
 			Statement: traj.Final, SQL: traj.Final.SQL(),
 			Measured: traj.Measured, Satisfied: traj.Satisfied,

@@ -75,6 +75,11 @@ func NewMetaTrainer(env *rl.Env, domain Domain, cfg rl.Config) *MetaTrainer {
 // ValueNet exposes the shared meta-critic.
 func (m *MetaTrainer) ValueNet() *ValueNet { return m.valueNet }
 
+// Stats snapshots the rollout-throughput counters of the pre-training
+// sampler (every Pretrain episode flows through it; adapted trainers
+// report their own, see Adapted.Stats).
+func (m *MetaTrainer) Stats() rl.TrainStats { return m.sampler.Stats() }
+
 // trainBatch applies one batched update to an actor and the meta-critic
 // from trajectories sampled under one constraint.
 func (m *MetaTrainer) trainBatch(actor *nn.SeqNet, opt *nn.Adam, batch []*rl.Trajectory) {
@@ -117,30 +122,28 @@ func (m *MetaTrainer) trainBatch(actor *nn.SeqNet, opt *nn.Adam, batch []*rl.Tra
 }
 
 // trainActor runs episodes for one (actor, constraint) pair, returning the
-// epoch stats.
+// epoch stats. Batches roll out concurrently on Cfg.Workers goroutines
+// via the shared sampler; the meta-critic and actor update at the batch
+// barrier.
 func (m *MetaTrainer) trainActor(actor *nn.SeqNet, opt *nn.Adam, c rl.Constraint, episodes int) rl.EpochStats {
 	m.sampler.SetConstraint(c)
 	stats := rl.EpochStats{}
-	batch := make([]*rl.Trajectory, 0, m.Cfg.BatchSize)
-	flush := func() {
-		if len(batch) > 0 {
-			m.trainBatch(actor, opt, batch)
-			batch = batch[:0]
+	for done := 0; done < episodes; {
+		n := m.Cfg.BatchSize
+		if rest := episodes - done; n > rest {
+			n = rest
 		}
+		batch := m.sampler.SampleBatch(actor, actor.BOS(), n, false, true)
+		for _, traj := range batch {
+			stats.Episodes++
+			stats.AvgReward += traj.TotalReward
+			if traj.Satisfied {
+				stats.SatisfiedRate++
+			}
+		}
+		m.trainBatch(actor, opt, batch)
+		done += n
 	}
-	for ep := 0; ep < episodes; ep++ {
-		traj := m.sampler.SampleEpisode(actor, false, true)
-		stats.Episodes++
-		stats.AvgReward += traj.TotalReward
-		if traj.Satisfied {
-			stats.SatisfiedRate++
-		}
-		batch = append(batch, traj)
-		if len(batch) == m.Cfg.BatchSize {
-			flush()
-		}
-	}
-	flush()
 	if stats.Episodes > 0 {
 		stats.AvgReward /= float64(stats.Episodes)
 		stats.SatisfiedRate /= float64(stats.Episodes)
@@ -204,32 +207,31 @@ func (m *MetaTrainer) Adapt(c rl.Constraint) *Adapted {
 // TrainEpoch trains the adapted actor with meta-critic guidance.
 func (a *Adapted) TrainEpoch(episodes int) rl.EpochStats {
 	stats := rl.EpochStats{}
-	batch := make([]*rl.Trajectory, 0, a.meta.Cfg.BatchSize)
-	flush := func() {
-		if len(batch) > 0 {
-			a.meta.trainBatch(a.actor, a.opt, batch)
-			batch = batch[:0]
+	for done := 0; done < episodes; {
+		n := a.meta.Cfg.BatchSize
+		if rest := episodes - done; n > rest {
+			n = rest
 		}
+		batch := a.sampler.SampleBatch(a.actor, a.actor.BOS(), n, false, true)
+		for _, traj := range batch {
+			stats.Episodes++
+			stats.AvgReward += traj.TotalReward
+			if traj.Satisfied {
+				stats.SatisfiedRate++
+			}
+		}
+		a.meta.trainBatch(a.actor, a.opt, batch)
+		done += n
 	}
-	for ep := 0; ep < episodes; ep++ {
-		traj := a.sampler.SampleEpisode(a.actor, false, true)
-		stats.Episodes++
-		stats.AvgReward += traj.TotalReward
-		if traj.Satisfied {
-			stats.SatisfiedRate++
-		}
-		batch = append(batch, traj)
-		if len(batch) == a.meta.Cfg.BatchSize {
-			flush()
-		}
-	}
-	flush()
 	if stats.Episodes > 0 {
 		stats.AvgReward /= float64(stats.Episodes)
 		stats.SatisfiedRate /= float64(stats.Episodes)
 	}
 	return stats
 }
+
+// Stats snapshots the adapted trainer's rollout-throughput counters.
+func (a *Adapted) Stats() rl.TrainStats { return a.sampler.Stats() }
 
 // Train runs epochs and returns stats traces (the Figure 9(c) curves).
 func (a *Adapted) Train(epochs, episodesPerEpoch int) []rl.EpochStats {
@@ -243,8 +245,7 @@ func (a *Adapted) Train(epochs, episodesPerEpoch int) []rl.EpochStats {
 // Generate samples n statements from the adapted policy.
 func (a *Adapted) Generate(n int) []rl.Generated {
 	out := make([]rl.Generated, 0, n)
-	for i := 0; i < n; i++ {
-		traj := a.sampler.SampleEpisode(a.actor, false, false)
+	for _, traj := range a.sampler.SampleBatch(a.actor, a.actor.BOS(), n, false, false) {
 		out = append(out, rl.Generated{
 			Statement: traj.Final, SQL: traj.Final.SQL(),
 			Measured: traj.Measured, Satisfied: traj.Satisfied,

@@ -3,6 +3,14 @@
 // (FSM + estimator feedback), the actor–critic trainer with entropy
 // regularization, and the plain REINFORCE trainer used as the §7.3
 // ablation baseline.
+//
+// Episode sampling goes through the rollout engine (Trainer.SampleBatch):
+// the batch's episodes run concurrently on Config.Workers goroutines,
+// each with its own FSM walker and RNG stream fanned out deterministically
+// from Config.Seed, and gradients apply only at the batch barrier — so
+// output is byte-identical for every worker count. Environment feedback
+// is memoized by an estimator LRU installed in Env; TrainStats surfaces
+// episodes/sec and the cache counters.
 package rl
 
 import (

@@ -1,6 +1,8 @@
 package rl
 
 import (
+	"sync/atomic"
+
 	"learnedsqlgen/internal/estimator"
 	"learnedsqlgen/internal/executor"
 	"learnedsqlgen/internal/fsm"
@@ -13,28 +15,65 @@ import (
 // Env is the RL environment of Figure 1: it owns the FSM that masks the
 // action space and the database estimator that turns (partial) queries
 // into cardinality/cost feedback. The environment is shared by trainers
-// and baselines so all methods see identical feedback.
+// and baselines so all methods see identical feedback. Measure is safe
+// for concurrent use — the parallel rollout engine calls it from many
+// worker goroutines at once.
 type Env struct {
 	DB    *storage.Database
 	Vocab *token.Vocab
 	Est   *estimator.Estimator
+	// Cache memoizes Est behind a bounded LRU keyed on canonical SQL —
+	// training re-estimates the same executable prefixes across thousands
+	// of episodes, so most Measure calls become cache hits. nil disables
+	// memoization (see DisableCache). Counters are environment-wide.
+	Cache *estimator.Cached
 	Cfg   fsm.Config
 	// TrueExecution switches Measure from the estimator to real query
 	// execution against a snapshot. The paper deliberately uses estimates
 	// "for the efficiency issue" (§3.2); this flag quantifies that choice:
 	// true-execution rewards are exact but orders of magnitude slower.
+	// Execution results are never cached.
 	TrueExecution bool
+
+	measures uint64 // total Measure calls, accessed atomically
 }
 
-// NewEnv collects statistics over db and wires up the estimator.
+// NewEnv collects statistics over db and wires up the estimator behind a
+// default-sized memoizing cache.
 func NewEnv(db *storage.Database, vocab *token.Vocab, cfg fsm.Config) *Env {
+	est := estimator.New(db.Schema, stats.Collect(db))
 	return &Env{
 		DB:    db,
 		Vocab: vocab,
-		Est:   estimator.New(db.Schema, stats.Collect(db)),
+		Est:   est,
+		Cache: estimator.NewCached(est, estimator.DefaultCacheSize),
 		Cfg:   cfg,
 	}
 }
+
+// SetCacheSize replaces the estimator cache with a fresh one of the given
+// capacity (entries); capacity <= 0 selects the default size.
+func (e *Env) SetCacheSize(capacity int) {
+	e.Cache = estimator.NewCached(e.Est, capacity)
+}
+
+// DisableCache turns estimator memoization off (the cache-ablation arm of
+// the throughput benchmark) and resets the call counter.
+func (e *Env) DisableCache() {
+	e.Cache = nil
+	atomic.StoreUint64(&e.measures, 0)
+}
+
+// CacheStats snapshots the estimator cache counters (zero when disabled).
+func (e *Env) CacheStats() estimator.CacheStats {
+	if e.Cache == nil {
+		return estimator.CacheStats{}
+	}
+	return e.Cache.Stats()
+}
+
+// Measures returns the total number of Measure calls.
+func (e *Env) Measures() uint64 { return atomic.LoadUint64(&e.measures) }
 
 // NewBuilder starts a fresh FSM episode.
 func (e *Env) NewBuilder() *fsm.Builder {
@@ -45,6 +84,7 @@ func (e *Env) NewBuilder() *fsm.Builder {
 // or measured by real execution when TrueExecution is set (cardinality =
 // result rows, cost = the executor's operator-work counter).
 func (e *Env) Measure(st sqlast.Statement, m Metric) (float64, error) {
+	atomic.AddUint64(&e.measures, 1)
 	if e.TrueExecution {
 		res, err := executor.New(e.DB.Clone()).Execute(st)
 		if err != nil {
@@ -55,7 +95,13 @@ func (e *Env) Measure(st sqlast.Statement, m Metric) (float64, error) {
 		}
 		return float64(res.Cardinality), nil
 	}
-	est, err := e.Est.Estimate(st)
+	var est estimator.Estimate
+	var err error
+	if e.Cache != nil {
+		est, err = e.Cache.Estimate(st)
+	} else {
+		est, err = e.Est.Estimate(st)
+	}
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,145 @@
+package rl
+
+import (
+	"testing"
+)
+
+// trainAndGenerate runs the same fixed workload under a given worker
+// count and returns the per-epoch traces plus generated SQL.
+func trainAndGenerate(t *testing.T, workers int) ([]EpochStats, []string) {
+	t.Helper()
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.Seed = 11
+	cfg.Workers = workers
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+	trace := tr.Train(2, 20)
+	var sqls []string
+	for _, g := range tr.Generate(30) {
+		sqls = append(sqls, g.SQL)
+	}
+	return trace, sqls
+}
+
+// TestWorkerCountInvariance is the rollout engine's core contract: the
+// same seed produces byte-identical queries and learning traces whether
+// episodes roll out serially or on a worker pool, because every episode
+// draws from its own RNG stream fanned out from the seed.
+func TestWorkerCountInvariance(t *testing.T) {
+	trace1, sqls1 := trainAndGenerate(t, 1)
+	for _, workers := range []int{4, 7} {
+		traceN, sqlsN := trainAndGenerate(t, workers)
+		if len(trace1) != len(traceN) {
+			t.Fatalf("workers=%d: trace length %d vs %d", workers, len(traceN), len(trace1))
+		}
+		for i := range trace1 {
+			if trace1[i] != traceN[i] {
+				t.Errorf("workers=%d: epoch %d stats diverged: %+v vs %+v",
+					workers, i, traceN[i], trace1[i])
+			}
+		}
+		if len(sqls1) != len(sqlsN) {
+			t.Fatalf("workers=%d: generated %d vs %d queries", workers, len(sqlsN), len(sqls1))
+		}
+		for i := range sqls1 {
+			if sqls1[i] != sqlsN[i] {
+				t.Errorf("workers=%d: query %d differs:\n  serial:   %s\n  parallel: %s",
+					workers, i, sqls1[i], sqlsN[i])
+			}
+		}
+	}
+}
+
+// TestGenerateSatisfiedWorkerInvariance checks the chunked attempt
+// accounting is also worker-count-independent.
+func TestGenerateSatisfiedWorkerInvariance(t *testing.T) {
+	run := func(workers int) ([]string, int) {
+		env := testEnv(t)
+		cfg := fastConfig()
+		cfg.Seed = 3
+		cfg.Workers = workers
+		tr := NewTrainer(env, RangeConstraint(Cardinality, 1, 1e6), cfg)
+		gen, attempts := tr.GenerateSatisfied(10, 100)
+		var sqls []string
+		for _, g := range gen {
+			sqls = append(sqls, g.SQL)
+		}
+		return sqls, attempts
+	}
+	sqls1, attempts1 := run(1)
+	sqls4, attempts4 := run(4)
+	if attempts1 != attempts4 {
+		t.Errorf("attempts diverged: %d vs %d", attempts1, attempts4)
+	}
+	if len(sqls1) != len(sqls4) {
+		t.Fatalf("satisfied counts diverged: %d vs %d", len(sqls1), len(sqls4))
+	}
+	for i := range sqls1 {
+		if sqls1[i] != sqls4[i] {
+			t.Errorf("satisfied query %d differs: %q vs %q", i, sqls1[i], sqls4[i])
+		}
+	}
+}
+
+// TestTrainStatsCounters verifies the throughput counters: training must
+// record episodes, wall-clock, and a warm estimator cache (repeated
+// prefixes across episodes must hit).
+func TestTrainStatsCounters(t *testing.T) {
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.Workers = 2
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+	tr.Train(2, 20)
+	st := tr.Stats()
+	if st.Episodes != 40 {
+		t.Errorf("Episodes = %d, want 40", st.Episodes)
+	}
+	if st.RolloutSeconds <= 0 || st.EpisodesPerSec <= 0 {
+		t.Errorf("timing counters empty: %+v", st)
+	}
+	if st.CacheHits == 0 {
+		t.Error("estimator cache recorded no hits during training")
+	}
+	if st.CacheHitRate <= 0 || st.CacheHitRate >= 1 {
+		t.Errorf("hit rate %v out of (0,1)", st.CacheHitRate)
+	}
+	if st.EstimatorCalls != st.CacheMisses {
+		t.Errorf("with the cache on, estimator calls (%d) must equal misses (%d)",
+			st.EstimatorCalls, st.CacheMisses)
+	}
+
+	// With the cache disabled, estimator calls fall back to the Measure
+	// counter and cache counters stay zero.
+	env2 := testEnv(t)
+	env2.DisableCache()
+	tr2 := NewTrainer(env2, RangeConstraint(Cardinality, 10, 500), cfg)
+	tr2.Train(1, 10)
+	st2 := tr2.Stats()
+	if st2.CacheHits != 0 || st2.CacheMisses != 0 {
+		t.Errorf("disabled cache reported traffic: %+v", st2)
+	}
+	if st2.EstimatorCalls == 0 {
+		t.Error("uncached estimator calls not counted")
+	}
+}
+
+// TestCachedMeasureAgreesWithUncached: memoization must not change the
+// feedback signal.
+func TestCachedMeasureAgreesWithUncached(t *testing.T) {
+	envA := testEnv(t)
+	envB := testEnv(t)
+	envB.DisableCache()
+	st := mustParse(t, "SELECT region.r_name FROM region")
+	for _, m := range []Metric{Cardinality, Cost} {
+		// Twice against the cached env: miss then hit.
+		a1, err1 := envA.Measure(st, m)
+		a2, err2 := envA.Measure(st, m)
+		b, err3 := envB.Measure(st, m)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("measure errors: %v %v %v", err1, err2, err3)
+		}
+		if a1 != a2 || a1 != b {
+			t.Errorf("metric %v: cached %v/%v vs uncached %v", m, a1, a2, b)
+		}
+	}
+}

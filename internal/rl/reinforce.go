@@ -42,30 +42,27 @@ func NewReinforce(env *Env, constraint Constraint, cfg Config) *Reinforce {
 // Actor exposes the policy network.
 func (r *Reinforce) Actor() *nn.SeqNet { return r.actor }
 
-// TrainEpoch samples episodes and applies REINFORCE updates.
+// TrainEpoch samples episodes and applies REINFORCE updates. Like
+// Trainer.TrainEpoch, each batch rolls out concurrently on Cfg.Workers
+// goroutines with updates at the batch barrier.
 func (r *Reinforce) TrainEpoch(episodes int) EpochStats {
 	stats := EpochStats{}
-	batch := make([]*Trajectory, 0, r.Cfg.BatchSize)
-	flush := func() {
-		if len(batch) == 0 {
-			return
+	for done := 0; done < episodes; {
+		n := r.Cfg.BatchSize
+		if rest := episodes - done; n > rest {
+			n = rest
+		}
+		batch := r.sampler.SampleBatch(r.actor, r.actor.BOS(), n, false, true)
+		for _, traj := range batch {
+			stats.Episodes++
+			stats.AvgReward += traj.TotalReward
+			if traj.Satisfied {
+				stats.SatisfiedRate++
+			}
 		}
 		r.update(batch)
-		batch = batch[:0]
+		done += n
 	}
-	for ep := 0; ep < episodes; ep++ {
-		traj := r.sampler.SampleEpisode(r.actor, false, true)
-		stats.Episodes++
-		stats.AvgReward += traj.TotalReward
-		if traj.Satisfied {
-			stats.SatisfiedRate++
-		}
-		batch = append(batch, traj)
-		if len(batch) == r.Cfg.BatchSize {
-			flush()
-		}
-	}
-	flush()
 	if stats.Episodes > 0 {
 		stats.AvgReward /= float64(stats.Episodes)
 		stats.SatisfiedRate /= float64(stats.Episodes)
@@ -109,8 +106,7 @@ func (r *Reinforce) update(batch []*Trajectory) {
 // Generate samples n statements from the trained policy.
 func (r *Reinforce) Generate(n int) []Generated {
 	out := make([]Generated, 0, n)
-	for i := 0; i < n; i++ {
-		traj := r.sampler.SampleEpisode(r.actor, false, false)
+	for _, traj := range r.sampler.SampleBatch(r.actor, r.actor.BOS(), n, false, false) {
 		out = append(out, Generated{
 			Statement: traj.Final,
 			SQL:       traj.Final.SQL(),

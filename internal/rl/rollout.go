@@ -1,0 +1,119 @@
+package rl
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"learnedsqlgen/internal/nn"
+)
+
+// fanSeed derives episode ep's RNG seed from the trainer seed with a
+// splitmix64 finalizer, giving every episode an independent, deterministic
+// random stream. Because an episode's stream depends only on (seed, ep) —
+// not on which goroutine runs it — rollouts are byte-identical for every
+// Workers setting.
+func fanSeed(seed int64, ep uint64) int64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + (ep+1)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// nextEpisodes reserves n consecutive episode indices and returns the
+// first one.
+func (t *Trainer) nextEpisodes(n int) uint64 {
+	return atomic.AddUint64(&t.episodes, uint64(n)) - uint64(n)
+}
+
+// episodeRNG returns the deterministic random stream of episode ep.
+func (t *Trainer) episodeRNG(ep uint64) *rand.Rand {
+	return rand.New(rand.NewSource(fanSeed(t.Cfg.Seed, ep)))
+}
+
+// workers returns the effective rollout concurrency.
+func (t *Trainer) workers() int {
+	if t.Cfg.Workers < 2 {
+		return 1
+	}
+	return t.Cfg.Workers
+}
+
+// SampleBatch rolls out n episodes with the given actor and returns their
+// trajectories in episode order. With Cfg.Workers > 1 the episodes run on
+// a pool of goroutines, each owning its own FSM builder and RNG stream;
+// the actor's (and critic's) weights are only read during rollout, so the
+// caller must not apply gradient updates concurrently. Results are
+// independent of the worker count.
+func (t *Trainer) SampleBatch(actor *nn.SeqNet, startIn, n int, withCritic, train bool) []*Trajectory {
+	start := time.Now()
+	base := t.nextEpisodes(n)
+	out := make([]*Trajectory, n)
+	w := t.workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = t.sampleEpisodeRNG(actor, startIn, withCritic, train, t.episodeRNG(base+uint64(i)))
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := int64(-1)
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= n {
+						return
+					}
+					out[i] = t.sampleEpisodeRNG(actor, startIn, withCritic, train, t.episodeRNG(base+uint64(i)))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	atomic.AddInt64(&t.rolloutNanos, int64(time.Since(start)))
+	return out
+}
+
+// TrainStats aggregates a trainer's lifetime rollout-throughput counters:
+// how many episodes it sampled, how long rollouts took, and how much
+// estimator work the environment's memoizing cache absorbed. The cache
+// counters come from the shared Env, so trainers sharing one environment
+// (e.g. the bench harness) see combined cache traffic.
+type TrainStats struct {
+	Episodes       uint64  // episodes sampled (training + generation)
+	RolloutSeconds float64 // wall-clock spent inside SampleBatch
+	EpisodesPerSec float64 // Episodes / RolloutSeconds
+	EstimatorCalls uint64  // underlying estimator runs (cache misses, or all calls when uncached)
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheHitRate   float64 // hits / (hits + misses)
+}
+
+// Stats snapshots the trainer's throughput counters.
+func (t *Trainer) Stats() TrainStats {
+	s := TrainStats{
+		Episodes:       atomic.LoadUint64(&t.episodes),
+		RolloutSeconds: float64(atomic.LoadInt64(&t.rolloutNanos)) / float64(time.Second),
+	}
+	if s.RolloutSeconds > 0 {
+		s.EpisodesPerSec = float64(s.Episodes) / s.RolloutSeconds
+	}
+	cs := t.Env.CacheStats()
+	s.CacheHits, s.CacheMisses = cs.Hits, cs.Misses
+	s.CacheHitRate = cs.HitRate()
+	if t.Env.Cache != nil {
+		s.EstimatorCalls = cs.Misses
+	} else {
+		s.EstimatorCalls = t.Env.Measures()
+	}
+	return s
+}

@@ -38,6 +38,13 @@ type Config struct {
 	// IntermediateWeight scales prefix rewards in RewardDense mode.
 	IntermediateWeight float64
 	Seed               int64
+	// Workers is the number of concurrent episode-rollout goroutines used
+	// by SampleBatch (and therefore by training, generation and the meta
+	// pre-trainer). 0 or 1 rolls out serially. Every episode draws from
+	// its own RNG stream deterministically fanned out from Seed, so the
+	// generated queries and learning traces are byte-identical for every
+	// Workers value — concurrency only changes wall-clock time.
+	Workers int
 }
 
 // RewardMode selects the dense-reward scheme built on the §4.2 Remark
@@ -123,6 +130,13 @@ type Trainer struct {
 	actorOpt  *nn.Adam
 	criticOpt *nn.Adam
 	rng       *rand.Rand
+
+	// episodes counts episodes ever reserved; it both fans out per-episode
+	// RNG streams (see rollout.go) and feeds TrainStats. rolloutNanos
+	// accumulates wall-clock spent inside SampleBatch. Both are accessed
+	// atomically.
+	episodes     uint64
+	rolloutNanos int64
 }
 
 // NewTrainer builds fresh actor and critic networks for the environment.
@@ -147,7 +161,9 @@ func (t *Trainer) Actor() *nn.SeqNet { return t.actor }
 // Critic exposes the value network.
 func (t *Trainer) Critic() *nn.SeqNet { return t.critic }
 
-// Rand exposes the trainer's seeded random source.
+// Rand exposes the trainer's seeded random source (network
+// initialization; episode rollouts use per-episode streams, see
+// rollout.go).
 func (t *Trainer) Rand() *rand.Rand { return t.rng }
 
 // sampleFrom draws an action from a masked distribution.
@@ -186,6 +202,13 @@ func (t *Trainer) SampleEpisode(actor *nn.SeqNet, withCritic, train bool) *Traje
 // the AC-extend strategy of §7.4 feeds a constraint-identifying row
 // instead of BOS.
 func (t *Trainer) SampleEpisodeFrom(actor *nn.SeqNet, startIn int, withCritic, train bool) *Trajectory {
+	return t.SampleBatch(actor, startIn, 1, withCritic, train)[0]
+}
+
+// sampleEpisodeRNG is the episode body: it walks the FSM with the actor,
+// drawing all randomness (dropout, ε-exploration, action sampling) from
+// the episode's own rng so concurrent episodes never share random state.
+func (t *Trainer) sampleEpisodeRNG(actor *nn.SeqNet, startIn int, withCritic, train bool, rng *rand.Rand) *Trajectory {
 	b := t.Env.NewBuilder()
 	traj := &Trajectory{ActorState: actor.NewState()}
 	if withCritic {
@@ -195,18 +218,18 @@ func (t *Trainer) SampleEpisodeFrom(actor *nn.SeqNet, startIn int, withCritic, t
 	potential := 0.0 // Φ of the latest executable prefix (RewardShaped)
 	for !b.Done() {
 		valid := b.Valid()
-		logits := actor.StepMasked(traj.ActorState, in, valid, train, t.rng)
+		logits := actor.StepMasked(traj.ActorState, in, valid, train, rng)
 		probs := nn.MaskedSoftmax(logits, valid)
 		var action int
-		if train && t.Cfg.Epsilon > 0 && t.rng.Float64() < t.Cfg.Epsilon {
-			action = valid[t.rng.Intn(len(valid))]
+		if train && t.Cfg.Epsilon > 0 && rng.Float64() < t.Cfg.Epsilon {
+			action = valid[rng.Intn(len(valid))]
 		} else {
-			action = sampleFrom(probs, valid, t.rng)
+			action = sampleFrom(probs, valid, rng)
 		}
 
 		var v float64
 		if withCritic {
-			v = t.critic.Step(traj.CriticState, in, train, t.rng)[0]
+			v = t.critic.Step(traj.CriticState, in, train, rng)[0]
 		}
 
 		// Apply cannot fail: the action came from Valid().
@@ -261,30 +284,29 @@ type EpochStats struct {
 }
 
 // TrainEpoch samples episodes in batches and applies actor–critic updates
-// with TD-error advantages (Eq. 3/4) and the squared-TD critic loss.
+// with TD-error advantages (Eq. 3/4) and the squared-TD critic loss. Each
+// batch's trajectories roll out concurrently on Cfg.Workers goroutines
+// (Algorithm 3 samples a batch per update, so the batch is the natural
+// parallel unit); the gradient step runs at the batch barrier, when no
+// rollout is reading the weights.
 func (t *Trainer) TrainEpoch(episodes int) EpochStats {
 	stats := EpochStats{}
-	batch := make([]*Trajectory, 0, t.Cfg.BatchSize)
-	flush := func() {
-		if len(batch) == 0 {
-			return
+	for done := 0; done < episodes; {
+		n := t.Cfg.BatchSize
+		if rest := episodes - done; n > rest {
+			n = rest
+		}
+		batch := t.SampleBatch(t.actor, t.actor.BOS(), n, true, true)
+		for _, traj := range batch {
+			stats.Episodes++
+			stats.AvgReward += traj.TotalReward
+			if traj.Satisfied {
+				stats.SatisfiedRate++
+			}
 		}
 		t.update(batch)
-		batch = batch[:0]
+		done += n
 	}
-	for ep := 0; ep < episodes; ep++ {
-		traj := t.SampleEpisode(t.actor, true, true)
-		stats.Episodes++
-		stats.AvgReward += traj.TotalReward
-		if traj.Satisfied {
-			stats.SatisfiedRate++
-		}
-		batch = append(batch, traj)
-		if len(batch) == t.Cfg.BatchSize {
-			flush()
-		}
-	}
-	flush()
 	if stats.Episodes > 0 {
 		stats.AvgReward /= float64(stats.Episodes)
 		stats.SatisfiedRate /= float64(stats.Episodes)
@@ -353,11 +375,11 @@ func (t *Trainer) update(batch []*Trajectory) {
 }
 
 // Generate runs inference (Algorithm 2): sample n statements from the
-// trained policy without updating the networks.
+// trained policy without updating the networks. The episodes roll out
+// concurrently on Cfg.Workers goroutines.
 func (t *Trainer) Generate(n int) []Generated {
 	out := make([]Generated, 0, n)
-	for i := 0; i < n; i++ {
-		traj := t.SampleEpisode(t.actor, false, false)
+	for _, traj := range t.SampleBatch(t.actor, t.actor.BOS(), n, false, false) {
 		out = append(out, Generated{
 			Statement: traj.Final,
 			SQL:       traj.Final.SQL(),
@@ -371,19 +393,28 @@ func (t *Trainer) Generate(n int) []Generated {
 // GenerateSatisfied keeps sampling until n satisfied statements are found
 // or maxAttempts episodes have run; it returns the satisfied statements
 // and the number of attempts consumed (the §7.2.2 efficiency metric).
+// Episodes are sampled in batches of BatchSize and scanned in order, so
+// the attempt count is identical for every Workers value.
 func (t *Trainer) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
 	var out []Generated
 	attempts := 0
 	for attempts < maxAttempts && len(out) < n {
-		traj := t.SampleEpisode(t.actor, false, false)
-		attempts++
-		if traj.Satisfied {
-			out = append(out, Generated{
-				Statement: traj.Final,
-				SQL:       traj.Final.SQL(),
-				Measured:  traj.Measured,
-				Satisfied: true,
-			})
+		chunk := t.Cfg.BatchSize
+		if rest := maxAttempts - attempts; chunk > rest {
+			chunk = rest
+		}
+		for _, traj := range t.SampleBatch(t.actor, t.actor.BOS(), chunk, false, false) {
+			if attempts++; traj.Satisfied {
+				out = append(out, Generated{
+					Statement: traj.Final,
+					SQL:       traj.Final.SQL(),
+					Measured:  traj.Measured,
+					Satisfied: true,
+				})
+				if len(out) == n {
+					break
+				}
+			}
 		}
 	}
 	return out, attempts

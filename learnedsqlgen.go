@@ -48,6 +48,17 @@ type Options struct {
 	// feedback at a large cost in training speed (the paper uses
 	// estimates "for the efficiency issue").
 	TrueExecutionRewards bool
+	// Workers is the number of concurrent episode-rollout goroutines used
+	// during training and generation. 0 or 1 rolls out serially;
+	// runtime.GOMAXPROCS(0) saturates the machine. Generated queries and
+	// training traces are byte-identical for every value — each episode
+	// draws from its own RNG stream fanned out deterministically from
+	// Seed — so raising Workers only changes wall-clock time.
+	Workers int
+	// EstimatorCacheSize bounds the memoizing estimator cache (entries)
+	// that absorbs repeated partial-query estimations across episodes.
+	// 0 selects the default (65536); negative disables memoization.
+	EstimatorCacheSize int
 }
 
 // GrammarOptions mirrors the FSM limits a user may adjust.
@@ -83,6 +94,13 @@ func (o *Options) seed() int64 {
 	return o.Seed
 }
 
+func (o *Options) workers() int {
+	if o == nil {
+		return 1
+	}
+	return o.Workers
+}
+
 func (o *Options) fsmConfig() fsm.Config {
 	cfg := fsm.DefaultConfig()
 	if o == nil || o.Grammar == nil {
@@ -111,10 +129,11 @@ func (o *Options) fsmConfig() fsm.Config {
 
 // DB is an opened database ready for constraint-aware generation.
 type DB struct {
-	name string
-	seed int64
-	env  *rl.Env
-	raw  *storage.Database
+	name    string
+	seed    int64
+	workers int
+	env     *rl.Env
+	raw     *storage.Database
 }
 
 // OpenBenchmark opens one of the paper's three evaluation datasets
@@ -134,11 +153,19 @@ func openStorage(name string, raw *storage.Database, opt *Options) *DB {
 	if opt != nil && opt.TrueExecutionRewards {
 		env.TrueExecution = true
 	}
+	if opt != nil {
+		if opt.EstimatorCacheSize < 0 {
+			env.DisableCache()
+		} else if opt.EstimatorCacheSize > 0 {
+			env.SetCacheSize(opt.EstimatorCacheSize)
+		}
+	}
 	return &DB{
-		name: name,
-		seed: opt.seed(),
-		env:  env,
-		raw:  raw,
+		name:    name,
+		seed:    opt.seed(),
+		workers: opt.workers(),
+		env:     env,
+		raw:     raw,
 	}
 }
 
