@@ -17,11 +17,13 @@ vet:
 	$(GO) vet ./...
 
 # The full suite under -race is slow on small machines; the rl, estimator,
-# meta and bench packages exercise every goroutine this repo spawns.
+# meta and bench packages exercise every goroutine this repo spawns. The
+# bench integration tests alone run ~8 min under -race on one core, so
+# give the run headroom beyond go test's 10 min default.
 race:
-	$(GO) test -race ./internal/rl/ ./internal/estimator/ ./internal/meta/ ./internal/bench/ .
+	$(GO) test -race -timeout 30m ./internal/rl/ ./internal/estimator/ ./internal/meta/ ./internal/bench/ .
 
 verify: build vet test race
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/nn/ ./internal/rl/ .

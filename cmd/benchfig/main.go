@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"learnedsqlgen/internal/baselines"
@@ -22,7 +23,12 @@ import (
 	"learnedsqlgen/internal/rl"
 )
 
+// main delegates to run so deferred profile writers flush before exit.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 6, 7, 8, 9, 10, 11, 12, 'ablation', 'throughput', or 'calibrate'")
 	dataset := flag.String("dataset", "tpch", "dataset: tpch, job, xuetang")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
@@ -30,11 +36,39 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "parallel rollout workers (0 = all CPUs); results are identical for any value")
 	quick := flag.Bool("quick", false, "use the reduced smoke-test budget")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
 	if *fig == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
 	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -46,7 +80,7 @@ func main() {
 	setup, err := bench.NewSetup(*dataset, *scale, *sampleK, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "setup:", err)
-		os.Exit(1)
+		return 1
 	}
 	setup.Workers = *workers
 	fmt.Printf("# dataset=%s scale=%g k=%d seed=%d workers=%d quick=%v\n",
@@ -156,7 +190,7 @@ func main() {
 		rows, err := bench.RunSampleSize(*dataset, *scale, *seed, ks, c, budget)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("Figure 12: sensitivity to value-sample size k (%s)\n", c)
 		fmt.Println("k\taccuracy\tseconds")
@@ -177,7 +211,7 @@ func main() {
 		}
 	case "throughput":
 		// Rollout-engine measurement: episodes/sec for a workers sweep,
-		// with the estimator cache off and on.
+		// with the estimator cache and the actor prefix cache off and on.
 		budget.TrainEpochs = 40
 		if *quick {
 			budget.TrainEpochs = 8
@@ -188,23 +222,28 @@ func main() {
 		}
 		c := rl.RangeConstraint(rl.Cardinality, 100, 400)
 		rows := bench.RunThroughput(setup, c, budget, sweep)
-		fmt.Printf("Rollout throughput (%s, %d episodes per row, GOMAXPROCS=%d)\n",
-			c, budget.TrainEpochs*budget.EpisodesPerEpoch, runtime.GOMAXPROCS(0))
-		fmt.Println("cache\tworkers\tep/s\tspeedup\thit-rate\testimator-calls")
+		fmt.Printf("Rollout throughput (%s, %d train + %d generate episodes per row, GOMAXPROCS=%d)\n",
+			c, budget.TrainEpochs*budget.EpisodesPerEpoch, budget.NQueries, runtime.GOMAXPROCS(0))
+		fmt.Println("cache\tprefix\tworkers\tep/s\tspeedup\thit-rate\testimator-calls\tprefix-hit-rate")
 		for _, r := range rows {
-			cache := "off"
-			if r.CacheEnabled {
-				cache = "on"
+			onOff := func(b bool) string {
+				if b {
+					return "on"
+				}
+				return "off"
 			}
-			fmt.Printf("%s\t%d\t%.1f\t%.2fx\t%.1f%%\t%d\n",
-				cache, r.Workers, r.EpisodesPerSec, r.Speedup, 100*r.CacheHitRate, r.EstimatorCalls)
+			fmt.Printf("%s\t%s\t%d\t%.1f\t%.2fx\t%.1f%%\t%d\t%.1f%%\n",
+				onOff(r.CacheEnabled), onOff(r.PrefixEnabled), r.Workers,
+				r.EpisodesPerSec, r.Speedup, 100*r.CacheHitRate,
+				r.EstimatorCalls, 100*r.PrefixHitRate)
 		}
 	case "calibrate":
 		calibrate(setup)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 func printAccuracy(title string, rows []bench.AccuracyRow) {

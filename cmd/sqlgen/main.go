@@ -12,13 +12,19 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"learnedsqlgen"
 )
 
+// main delegates to run so deferred profile writers flush before exit.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	dataset := flag.String("dataset", "tpch", "dataset: tpch, job, xuetang")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	metricName := flag.String("metric", "cardinality", "constraint metric: cardinality or cost")
@@ -35,7 +41,37 @@ func main() {
 	saveModel := flag.String("save-model", "", "save the trained model to this path")
 	loadModel := flag.String("load-model", "", "load a trained model instead of training")
 	profile := flag.Bool("profile", false, "print a structural/diversity profile of the output")
+	prefixCache := flag.Int("prefix-cache", 0, "actor prefix-state cache entries (0 = default, negative = off); output is identical either way")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	var metric learnedsqlgen.Metric
 	switch strings.ToLower(*metricName) {
@@ -45,7 +81,7 @@ func main() {
 		metric = learnedsqlgen.Cost
 	default:
 		fmt.Fprintf(os.Stderr, "unknown metric %q\n", *metricName)
-		os.Exit(2)
+		return 2
 	}
 
 	var constraint learnedsqlgen.Constraint
@@ -54,33 +90,34 @@ func main() {
 		parts := strings.SplitN(*rangeSpec, ":", 2)
 		if len(parts) != 2 {
 			fmt.Fprintln(os.Stderr, "-range must be lo:hi")
-			os.Exit(2)
+			return 2
 		}
 		lo, err1 := strconv.ParseFloat(parts[0], 64)
 		hi, err2 := strconv.ParseFloat(parts[1], 64)
 		if err1 != nil || err2 != nil || hi < lo {
 			fmt.Fprintln(os.Stderr, "bad -range bounds")
-			os.Exit(2)
+			return 2
 		}
 		constraint = learnedsqlgen.RangeConstraint(metric, lo, hi)
 	case *point > 0:
 		constraint = learnedsqlgen.PointConstraint(metric, *point)
 	default:
 		fmt.Fprintln(os.Stderr, "one of -point or -range is required")
-		os.Exit(2)
+		return 2
 	}
 
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 	db, err := learnedsqlgen.OpenBenchmark(*dataset, *scale, &learnedsqlgen.Options{
-		SampleValues: *sampleK,
-		Seed:         *seed,
-		Workers:      *workers,
+		SampleValues:    *sampleK,
+		Seed:            *seed,
+		Workers:         *workers,
+		PrefixCacheSize: *prefixCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	var gen *learnedsqlgen.Generator
@@ -89,7 +126,7 @@ func main() {
 		gen, err = db.LoadGenerator(constraint, *loadModel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "load model:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "loaded model %s\n", *loadModel)
 	} else {
@@ -107,7 +144,7 @@ func main() {
 	if *saveModel != "" {
 		if err := gen.Save(*saveModel); err != nil {
 			fmt.Fprintln(os.Stderr, "save model:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "saved model to %s\n", *saveModel)
 	}
@@ -123,7 +160,7 @@ func main() {
 	if *out != "" {
 		if err := learnedsqlgen.WriteWorkloadFile(*out, queries, metric); err != nil {
 			fmt.Fprintln(os.Stderr, "write workload:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "workload written to %s\n", *out)
 	}
@@ -135,6 +172,7 @@ func main() {
 			100*p.NestedFraction, 100*p.AggregateFraction)
 	}
 	if len(queries) < *n {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -27,7 +27,7 @@
 //
 // Episode rollouts are embarrassingly parallel between gradient updates,
 // and repeated partial queries dominate estimator cost, so Options
-// exposes two throughput knobs:
+// exposes three throughput knobs:
 //
 //   - Options.Workers sets the number of concurrent rollout goroutines
 //     per training batch (default 1, i.e. serial). Each episode owns its
@@ -38,9 +38,14 @@
 //     cardinality/cost estimator across episodes (default 65536 entries;
 //     negative disables it). Estimation is a pure function of the
 //     statement, so cached feedback is exact.
+//   - Options.PrefixCacheSize bounds the per-batch trie memoizing the
+//     actor's recurrent state by token prefix during generation (default
+//     4096 entries; negative disables it). Between gradient updates the
+//     policy is frozen, so episodes sharing a prefix skip recomputing its
+//     LSTM steps; generated queries are identical either way.
 //
 // Generator.Stats (and the MetaGenerator/AdaptedGenerator equivalents)
-// reports episodes/sec and the cache's hit/miss counters.
+// reports episodes/sec and both caches' hit/miss counters.
 //
 // See ARCHITECTURE.md for the package map and dataflow, DESIGN.md for
 // design decisions, and EXPERIMENTS.md for the reproduced figures.

@@ -13,7 +13,8 @@ import (
 type EpochStats = rl.EpochStats
 
 // TrainStats reports a generator's lifetime rollout throughput
-// (episodes/sec) and the estimator cache's hit/miss counters.
+// (episodes/sec) plus the estimator cache's and the actor prefix-state
+// cache's hit/miss counters.
 type TrainStats = rl.TrainStats
 
 // Generator is a trained (or trainable) constraint-aware SQL generator —
@@ -29,6 +30,7 @@ func (db *DB) NewGenerator(c Constraint) *Generator {
 	cfg := rl.FastConfig()
 	cfg.Seed = db.seed
 	cfg.Workers = db.workers
+	cfg.PrefixCacheSize = db.prefixCacheSize
 	return &Generator{trainer: rl.NewTrainer(db.env, c, cfg)}
 }
 
@@ -112,6 +114,7 @@ func (db *DB) NewMetaGenerator(domain MetaDomain) *MetaGenerator {
 	cfg := rl.FastConfig()
 	cfg.Seed = db.seed
 	cfg.Workers = db.workers
+	cfg.PrefixCacheSize = db.prefixCacheSize
 	return &MetaGenerator{trainer: meta.NewMetaTrainer(db.env, domain, cfg)}
 }
 

@@ -4,59 +4,75 @@ import (
 	"learnedsqlgen/internal/rl"
 )
 
-// ThroughputRow is one (workers, cache) configuration of the rollout
-// -engine measurement: train a fixed episode budget and report the
-// sustained episode rate plus the estimator cache's absorption.
+// ThroughputRow is one (workers, estimator cache, prefix cache)
+// configuration of the rollout-engine measurement: train a fixed episode
+// budget, then generate NQueries statements, and report the sustained
+// episode rate plus how much work the two caches absorbed.
 type ThroughputRow struct {
-	Workers        int
-	CacheEnabled   bool
-	Episodes       uint64
-	Seconds        float64
+	Workers       int
+	CacheEnabled  bool // estimator memoization
+	PrefixEnabled bool // actor prefix-state cache (inference rollouts)
+	Episodes      uint64
+	Seconds       float64
 	EpisodesPerSec float64
 	// Speedup is EpisodesPerSec relative to the first workersList entry
-	// with the same cache setting (pass workers ascending, starting at 1,
+	// with the same cache settings (pass workers ascending, starting at 1,
 	// for the conventional reading).
 	Speedup        float64
 	CacheHitRate   float64
 	EstimatorCalls uint64
+	PrefixHitRate  float64
 }
 
-// RunThroughput measures training throughput for every (workers, cache)
-// combination on one constraint. Each row trains a fresh trainer on a
-// fresh environment (so cache contents and counters never leak between
-// rows) for episodes = b.TrainEpochs × b.EpisodesPerEpoch. Because
-// rollouts are deterministic in the episode index, every row performs
-// identical work — the rows differ only in wall-clock and cache traffic.
+// RunThroughput measures rollout throughput for every (workers, estimator
+// cache, prefix cache) combination on one constraint. Each row trains a
+// fresh trainer on a fresh environment (so cache contents and counters
+// never leak between rows) for episodes = b.TrainEpochs ×
+// b.EpisodesPerEpoch, then generates b.NQueries statements — the phase the
+// prefix-state cache accelerates. Because rollouts are deterministic in
+// the episode index, every row performs identical episode work and emits
+// identical queries — the rows differ only in wall-clock and cache
+// traffic.
 func RunThroughput(s *Setup, c rl.Constraint, b Budget, workersList []int) []ThroughputRow {
 	var out []ThroughputRow
 	for _, cache := range []bool{false, true} {
-		var baseline float64
-		for _, w := range workersList {
-			env := rl.NewEnv(s.Env.DB, s.Env.Vocab, s.Env.Cfg)
-			if !cache {
-				env.DisableCache()
+		for _, prefix := range []bool{false, true} {
+			var baseline float64
+			for _, w := range workersList {
+				env := rl.NewEnv(s.Env.DB, s.Env.Vocab, s.Env.Cfg)
+				if !cache {
+					env.DisableCache()
+				}
+				cfg := s.rlConfig()
+				cfg.Workers = w
+				if prefix {
+					cfg.PrefixCacheSize = 0 // default-sized trie
+				} else {
+					cfg.PrefixCacheSize = -1
+				}
+				tr := rl.NewTrainer(env, c, cfg)
+				tr.Train(b.TrainEpochs, b.EpisodesPerEpoch)
+				tr.Generate(b.NQueries)
+				st := tr.Stats()
+				row := ThroughputRow{
+					Workers:        w,
+					CacheEnabled:   cache,
+					PrefixEnabled:  prefix,
+					Episodes:       st.Episodes,
+					Seconds:        st.RolloutSeconds,
+					EpisodesPerSec: st.EpisodesPerSec,
+					CacheHitRate:   st.CacheHitRate,
+					EstimatorCalls: st.EstimatorCalls,
+					PrefixHitRate:  st.PrefixHitRate,
+				}
+				if baseline == 0 {
+					baseline = st.EpisodesPerSec
+				}
+				if baseline > 0 {
+					row.Speedup = st.EpisodesPerSec / baseline
+				}
+				out = append(out, row)
 			}
-			cfg := s.rlConfig()
-			cfg.Workers = w
-			tr := rl.NewTrainer(env, c, cfg)
-			tr.Train(b.TrainEpochs, b.EpisodesPerEpoch)
-			st := tr.Stats()
-			row := ThroughputRow{
-				Workers:        w,
-				CacheEnabled:   cache,
-				Episodes:       st.Episodes,
-				Seconds:        st.RolloutSeconds,
-				EpisodesPerSec: st.EpisodesPerSec,
-				CacheHitRate:   st.CacheHitRate,
-				EstimatorCalls: st.EstimatorCalls,
-			}
-			if baseline == 0 {
-				baseline = st.EpisodesPerSec
-			}
-			if baseline > 0 {
-				row.Speedup = st.EpisodesPerSec / baseline
-			}
-			out = append(out, row)
 		}
 	}
 	return out

@@ -116,6 +116,14 @@ type Builder struct {
 	emitted []int
 	done    bool
 	final   sqlast.Statement
+
+	// validMemo memoizes Valid() between state transitions: the rollout
+	// loop reads the action set and Apply re-reads it for the membership
+	// check, so without the memo every step computes it twice. Apply
+	// invalidates it before mutating. The memoized slice is freshly
+	// allocated per state, so callers may retain it across steps.
+	validMemo []int
+	validOK   bool
 }
 
 // NewBuilder starts an empty statement.
@@ -129,6 +137,7 @@ func (b *Builder) Reset() {
 	b.emitted = b.emitted[:0]
 	b.done = false
 	b.final = nil
+	b.validMemo, b.validOK = nil, false
 }
 
 // Done reports whether the statement is complete.
@@ -169,11 +178,21 @@ func (b *Builder) nestingAllowed() bool {
 
 // Valid returns the unmasked action set for the current state. It is never
 // empty before Done: every reachable state either offers a token or allows
-// EOF.
+// EOF. The result is memoized until the next Apply (the rollout loop and
+// Apply's membership check would otherwise compute it twice per step); the
+// memoized slice is freshly allocated per state, so callers may retain it.
 func (b *Builder) Valid() []int {
 	if b.done {
 		return nil
 	}
+	if !b.validOK {
+		b.validMemo = b.computeValid()
+		b.validOK = true
+	}
+	return b.validMemo
+}
+
+func (b *Builder) computeValid() []int {
 	closing := len(b.emitted) >= b.cfg.SoftSteps
 	if len(b.stack) == 0 {
 		var ids []int
@@ -215,6 +234,7 @@ func (b *Builder) Apply(id int) error {
 		return fmt.Errorf("fsm: token %d (%s) is masked in the current state",
 			id, b.vocab.Token(id))
 	}
+	b.validOK = false // state is about to change
 	tok := b.vocab.Token(id)
 
 	if len(b.stack) == 0 {

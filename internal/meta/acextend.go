@@ -92,13 +92,15 @@ func (x *ACExtend) trainConstraint(c rl.Constraint, episodes int) rl.EpochStats 
 func (x *ACExtend) update(batch []*rl.Trajectory, starts []int) {
 	scale := 1.0 / float64(len(batch))
 	vocab := x.Env.Vocab.Size()
+	ws := x.sampler.Workspace()
+	pool := ws.Pool()
 	for bi, traj := range batch {
 		T := len(traj.Steps)
-		criticState := x.critic.NewState()
+		criticState := pool.GetState(x.critic.Hidden)
 		V := make([]float64, T)
 		in := starts[bi]
 		for i, s := range traj.Steps {
-			V[i] = x.critic.Step(criticState, in, true, nil)[0]
+			V[i] = x.critic.StepInto(ws, criticState, in, true, nil)[0]
 			in = s.Action
 		}
 		dActor := make([][]float64, T)
@@ -109,14 +111,22 @@ func (x *ACExtend) update(batch []*rl.Trajectory, starts []int) {
 				vNext = V[i+1]
 			}
 			delta := s.Reward + x.Cfg.Gamma*vNext - V[i]
-			d := make([]float64, vocab)
+			d := pool.GetVec(vocab)
 			nn.PolicyGradLogits(s.Probs, s.Valid, s.Action, delta*scale, x.Cfg.EntropyWeight*scale, d)
 			dActor[i] = d
-			dCritic[i] = []float64{-2 * delta * scale}
+			dc := pool.GetVec(1)
+			dc[0] = -2 * delta * scale
+			dCritic[i] = dc
 		}
-		x.actor.Backward(traj.ActorState, dActor)
-		x.critic.Backward(criticState, dCritic)
+		x.actor.BackwardInto(ws, traj.ActorState, dActor)
+		x.critic.BackwardInto(ws, criticState, dCritic)
+		ws.Recycle(criticState)
+		for i := range dActor {
+			pool.PutVec(dActor[i])
+			pool.PutVec(dCritic[i])
+		}
 	}
+	x.sampler.ReleaseBatch(batch)
 	x.actorOpt.Step(x.actor.Params())
 	x.criticOpt.Step(x.critic.Params())
 }

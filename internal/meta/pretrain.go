@@ -85,6 +85,8 @@ func (m *MetaTrainer) Stats() rl.TrainStats { return m.sampler.Stats() }
 func (m *MetaTrainer) trainBatch(actor *nn.SeqNet, opt *nn.Adam, batch []*rl.Trajectory) {
 	scale := 1.0 / float64(len(batch))
 	vocab := m.Env.Vocab.Size()
+	ws := m.sampler.Workspace()
+	pool := ws.Pool()
 	for _, traj := range batch {
 		T := len(traj.Steps)
 		inputs := make([]int, T)
@@ -109,14 +111,18 @@ func (m *MetaTrainer) trainBatch(actor *nn.SeqNet, opt *nn.Adam, batch []*rl.Tra
 				vNext = V[i+1]
 			}
 			delta := s.Reward + m.Cfg.Gamma*vNext - V[i]
-			d := make([]float64, vocab)
+			d := pool.GetVec(vocab)
 			nn.PolicyGradLogits(s.Probs, s.Valid, s.Action, delta*scale, m.Cfg.EntropyWeight*scale, d)
 			dActor[i] = d
 			dV[i] = -2 * delta * scale
 		}
-		actor.Backward(traj.ActorState, dActor)
+		actor.BackwardInto(ws, traj.ActorState, dActor)
+		for _, d := range dActor {
+			pool.PutVec(d)
+		}
 		m.valueNet.Backward(tape, dV)
 	}
+	m.sampler.ReleaseBatch(batch)
 	opt.Step(actor.Params())
 	m.valOpt.Step(m.valueNet.Params())
 }

@@ -29,11 +29,13 @@ type ValueNet struct {
 	actEmb *nn.Embedding // action id → ActDim
 	enc    *nn.MLP       // mean triple feature → z
 	val    *nn.MLP       // [state feature, z] → V
+	ws     *nn.Workspace // scratch + tape pool for the state LSTM
 }
 
 // NewValueNet builds the meta-critic for a vocabulary of the given size.
 func NewValueNet(vocab, embedDim, hidden int, rng *rand.Rand) *ValueNet {
 	v := &ValueNet{StateDim: 16, ActDim: 8, ZDim: 8, Window: 8}
+	v.ws = nn.NewWorkspace(nil)
 	v.state = nn.NewSeqNet("meta.state", vocab, embedDim, hidden, v.StateDim, 0, rng)
 	v.actEmb = nn.NewEmbedding("meta.act", vocab+1, v.ActDim, rng)
 	tripleDim := v.StateDim + v.ActDim + 1
@@ -77,11 +79,14 @@ func (t *Tape) Values() []float64 { return t.V }
 // before t, so V(s_t, z_t) only conditions on observed feedback.
 func (v *ValueNet) Forward(inputs, actions []int, rewards []float64) *Tape {
 	T := len(inputs)
-	tape := &Tape{seq: v.state.NewState(), actions: actions}
+	tape := &Tape{seq: v.ws.Pool().GetState(v.state.Hidden), actions: actions}
 	// Triple features become available as steps complete.
 	var triples [][]float64
 	for t := 0; t < T; t++ {
-		sf := v.state.Step(tape.seq, inputs[t], false, nil)
+		// training=true records the BPTT tape (the net has no dropout, so a
+		// nil rng changes nothing); the returned slice is workspace scratch
+		// and must be copied to survive the next step.
+		sf := append([]float64(nil), v.state.StepInto(v.ws, tape.seq, inputs[t], true, nil)...)
 		tape.sfeat = append(tape.sfeat, sf)
 
 		// Window over the most recent completed triples.
@@ -122,7 +127,7 @@ func (v *ValueNet) Forward(inputs, actions []int, rewards []float64) *Tape {
 		// usual stabilization for meta-critics.
 		feat := make([]float64, 0, v.StateDim+v.ActDim+1)
 		feat = append(feat, sf...)
-		feat = append(feat, v.actEmb.Lookup(actions[t])...)
+		feat = append(feat, v.actEmb.Row(actions[t])...)
 		feat = append(feat, rewards[t])
 		triples = append(triples, feat)
 	}
@@ -162,5 +167,7 @@ func (v *ValueNet) Backward(tape *Tape, dV []float64) {
 			v.actEmb.Accumulate(tape.actions[i], dact)
 		}
 	}
-	v.state.Backward(tape.seq, dsfeat)
+	v.state.BackwardInto(v.ws, tape.seq, dsfeat)
+	v.ws.Recycle(tape.seq)
+	tape.seq = nil
 }

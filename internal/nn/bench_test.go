@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchNet mirrors the actor dimensions used on the micro benchmarks:
+// vocabulary of a few hundred tokens, 32-dim embedding, 30 hidden units.
+func benchNet() *SeqNet {
+	rng := rand.New(rand.NewSource(1))
+	return NewSeqNet("bench", 300, 32, 30, 300, 0.3, rng)
+}
+
+// BenchmarkActorStep measures one masked policy step — the innermost unit
+// of rollout work. Allocations per op are the regression guard for the
+// workspace step kernels.
+func BenchmarkActorStep(b *testing.B) {
+	net := benchNet()
+	valid := []int{3, 17, 42, 99, 120, 200, 250}
+	rng := rand.New(rand.NewSource(2))
+	ws := NewWorkspace(nil)
+	st := ws.Pool().GetState(net.Hidden)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st.Len() >= 64 { // bound the BPTT tape like a real episode
+			ws.Recycle(st)
+			st = ws.Pool().GetState(net.Hidden)
+		}
+		net.StepMaskedInto(ws, st, i%300, valid, true, rng)
+	}
+}
+
+// BenchmarkActorStepInference measures the same step without training
+// bookkeeping (no dropout, no tape) — the Generate path.
+func BenchmarkActorStepInference(b *testing.B) {
+	net := benchNet()
+	valid := []int{3, 17, 42, 99, 120, 200, 250}
+	ws := NewWorkspace(nil)
+	st := ws.Pool().GetState(net.Hidden)
+	steps := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if steps >= 64 { // inference records no tape; count steps manually
+			ws.Recycle(st)
+			st = ws.Pool().GetState(net.Hidden)
+			steps = 0
+		}
+		net.StepMaskedInto(ws, st, i%300, valid, false, nil)
+		steps++
+	}
+}
+
+// BenchmarkSeqNetBackward measures full BPTT over a 32-step episode.
+func BenchmarkSeqNetBackward(b *testing.B) {
+	net := benchNet()
+	rng := rand.New(rand.NewSource(3))
+	const T = 32
+	dHead := make([][]float64, T)
+	d := make([]float64, 300)
+	for i := range d {
+		d[i] = rng.NormFloat64() * 0.01
+	}
+	for t := range dHead {
+		dHead[t] = d
+	}
+	ws := NewWorkspace(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := ws.Pool().GetState(net.Hidden)
+		for t := 0; t < T; t++ {
+			net.StepInto(ws, st, t%300, true, rng)
+		}
+		net.BackwardInto(ws, st, dHead)
+		ws.Recycle(st)
+	}
+}

@@ -20,9 +20,13 @@ func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
 // Params lists trainable parameters.
 func (e *Embedding) Params() []*Param { return []*Param{e.P} }
 
-// Lookup returns a copy of the embedding row for id.
-func (e *Embedding) Lookup(id int) []float64 {
-	return append([]float64(nil), e.P.Val.Row(id)...)
+// Row returns a read-only view of the embedding row for id. Callers must
+// not mutate or retain it across weight updates.
+func (e *Embedding) Row(id int) []float64 { return e.P.Val.Row(id) }
+
+// LookupInto copies the embedding row for id into dst (length Dim).
+func (e *Embedding) LookupInto(id int, dst []float64) {
+	copy(dst, e.P.Val.Row(id))
 }
 
 // Accumulate adds dx into the gradient row for id.
@@ -51,14 +55,12 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 // Params lists trainable parameters.
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 
-// Forward computes the output.
-func (l *Linear) Forward(x []float64) []float64 {
-	y := make([]float64, l.Out)
+// ForwardInto computes the output into the caller-owned y (length Out).
+func (l *Linear) ForwardInto(x, y []float64) {
 	l.W.Val.MulVec(x, y)
 	for i := range y {
 		y[i] += l.B.Val.Data[i]
 	}
-	return y
 }
 
 // ForwardSparse computes only the output rows listed in ids, writing them
@@ -75,23 +77,33 @@ func (l *Linear) ForwardSparse(x []float64, ids []int, y []float64) {
 	}
 }
 
-// Backward accumulates gradients for dy at input x and returns dx.
-func (l *Linear) Backward(x, dy []float64) []float64 {
+// BackwardInto accumulates parameter gradients for dy at input x and
+// writes the input gradient into the caller-owned dx (length In,
+// overwritten).
+func (l *Linear) BackwardInto(x, dy, dx []float64) {
 	l.W.Grad.AddOuter(dy, x)
 	for i, d := range dy {
 		l.B.Grad.Data[i] += d
 	}
-	dx := make([]float64, l.In)
+	zero(dx)
 	l.W.Val.MulVecT(dy, dx)
-	return dx
 }
 
 // MaskedSoftmax computes softmax over logits restricted to the valid ids;
 // masked entries get probability 0. The returned slice has len(logits).
+// Hot paths use MaskedSoftmaxInto with a pooled buffer instead.
 func MaskedSoftmax(logits []float64, valid []int) []float64 {
 	probs := make([]float64, len(logits))
+	MaskedSoftmaxInto(logits, valid, probs)
+	return probs
+}
+
+// MaskedSoftmaxInto is MaskedSoftmax writing into the caller-owned probs
+// (length = len(logits)); every masked entry is cleared to 0.
+func MaskedSoftmaxInto(logits []float64, valid []int, probs []float64) {
+	zero(probs)
 	if len(valid) == 0 {
-		return probs
+		return
 	}
 	max := math.Inf(-1)
 	for _, id := range valid {
@@ -108,7 +120,6 @@ func MaskedSoftmax(logits []float64, valid []int) []float64 {
 	for _, id := range valid {
 		probs[id] /= sum
 	}
-	return probs
 }
 
 // Entropy returns the Shannon entropy of a masked distribution.
@@ -158,17 +169,26 @@ func Dropout(x []float64, rate float64, rng *rand.Rand) []bool {
 	if rate <= 0 || rng == nil {
 		return nil
 	}
-	keepScale := 1 / (1 - rate)
 	mask := make([]bool, len(x))
+	dropoutMasked(x, rate, rng, mask)
+	return mask
+}
+
+// dropoutMasked is Dropout writing into a caller-owned (pooled) mask.
+// Every mask entry is overwritten. The rng consumption — one Float64 per
+// element — is identical to Dropout's, which the deterministic-rollout
+// contract depends on.
+func dropoutMasked(x []float64, rate float64, rng *rand.Rand, mask []bool) {
+	keepScale := 1 / (1 - rate)
 	for i := range x {
 		if rng.Float64() < rate {
 			x[i] = 0
+			mask[i] = false
 		} else {
 			mask[i] = true
 			x[i] *= keepScale
 		}
 	}
-	return mask
 }
 
 // DropoutBackward applies the stored mask to the gradient in place.
@@ -187,6 +207,9 @@ func DropoutBackward(dx []float64, mask []bool, rate float64) {
 }
 
 // MLP is a stack of Linear layers with tanh activations between them.
+// It backs the meta-critic's encoder and value heads, which run once per
+// episode rather than once per token, so it keeps the convenient
+// allocate-per-call interface on top of the Linear kernels.
 type MLP struct {
 	Layers []*Linear
 }
@@ -222,7 +245,8 @@ func (m *MLP) Forward(x []float64) ([]float64, *MLPCache) {
 	cur := x
 	for li, l := range m.Layers {
 		cache.xs = append(cache.xs, append([]float64(nil), cur...))
-		y := l.Forward(cur)
+		y := make([]float64, l.Out)
+		l.ForwardInto(cur, y)
 		cache.pre = append(cache.pre, append([]float64(nil), y...))
 		if li < len(m.Layers)-1 {
 			for i := range y {
@@ -246,7 +270,9 @@ func (m *MLP) Backward(cache *MLPCache, dy []float64) []float64 {
 				grad[i] *= 1 - t*t
 			}
 		}
-		grad = m.Layers[li].Backward(cache.xs[li], grad)
+		dx := make([]float64, m.Layers[li].In)
+		m.Layers[li].BackwardInto(cache.xs[li], grad, dx)
+		grad = dx
 	}
 	return grad
 }

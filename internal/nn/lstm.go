@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -30,59 +31,94 @@ func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
 // Params lists trainable parameters.
 func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
 
-// LSTMCache stores one step's activations for BPTT.
+// LSTMCache stores one step's activations for BPTT. Its buffers are
+// reusable: StepInto overwrites every field, so caches cycle through a
+// CachePool without clearing.
 type LSTMCache struct {
 	X, HPrev, CPrev []float64
 	I, F, O, G      []float64
-	C, H, TanhC     []float64
+	TanhC           []float64
 }
 
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
-// Step runs one forward step, returning the new hidden/cell state and the
-// cache for backward.
-func (l *LSTM) Step(x, hPrev, cPrev []float64) ([]float64, []float64, *LSTMCache) {
+// StepInto runs one forward step in place: h and c (length Hidden) are
+// updated from their previous values, with gate scratch drawn from ws.
+// x is only read, so it may be a view into shared memory (an embedding
+// row, the previous layer's hidden state). With a non-nil cache the step's
+// activations — including copies of x and the previous state — are
+// captured into the cache's reusable buffers for BackwardInto; inference
+// passes nil and skips all BPTT bookkeeping.
+func (l *LSTM) StepInto(ws *Workspace, x, h, c []float64, cache *LSTMCache) {
 	H := l.Hidden
-	pre := make([]float64, 4*H)
+	if len(x) != l.In || len(h) != H || len(c) != H {
+		panic(fmt.Sprintf("nn: LSTM.StepInto shapes x=%d h=%d c=%d, want in=%d hidden=%d",
+			len(x), len(h), len(c), l.In, H))
+	}
+	ws.gates = grow(ws.gates, 4*H)
+	ws.hprod = grow(ws.hprod, 4*H)
+	pre, tmp := ws.gates, ws.hprod
 	l.Wx.Val.MulVec(x, pre)
-	tmp := make([]float64, 4*H)
-	l.Wh.Val.MulVec(hPrev, tmp)
+	l.Wh.Val.MulVec(h, tmp)
 	for i := range pre {
 		pre[i] += tmp[i] + l.B.Val.Data[i]
 	}
-	cache := &LSTMCache{
-		X:     append([]float64(nil), x...),
-		HPrev: append([]float64(nil), hPrev...),
-		CPrev: append([]float64(nil), cPrev...),
-		I:     make([]float64, H), F: make([]float64, H),
-		O: make([]float64, H), G: make([]float64, H),
-		C: make([]float64, H), H: make([]float64, H), TanhC: make([]float64, H),
+	// The gate pre-activations above read all of h and c, so the in-place
+	// state update below is safe: index j only reads its own old value.
+	if cache == nil {
+		for j := 0; j < H; j++ {
+			i := sigmoid(pre[j])
+			f := sigmoid(pre[H+j])
+			o := sigmoid(pre[2*H+j])
+			g := math.Tanh(pre[3*H+j])
+			cn := f*c[j] + i*g
+			c[j] = cn
+			h[j] = o * math.Tanh(cn)
+		}
+		return
 	}
+	cache.X = growCopy(cache.X, x)
+	cache.HPrev = growCopy(cache.HPrev, h)
+	cache.CPrev = growCopy(cache.CPrev, c)
+	cache.I = grow(cache.I, H)
+	cache.F = grow(cache.F, H)
+	cache.O = grow(cache.O, H)
+	cache.G = grow(cache.G, H)
+	cache.TanhC = grow(cache.TanhC, H)
 	for j := 0; j < H; j++ {
-		cache.I[j] = sigmoid(pre[j])
-		cache.F[j] = sigmoid(pre[H+j])
-		cache.O[j] = sigmoid(pre[2*H+j])
-		cache.G[j] = math.Tanh(pre[3*H+j])
-		cache.C[j] = cache.F[j]*cPrev[j] + cache.I[j]*cache.G[j]
-		cache.TanhC[j] = math.Tanh(cache.C[j])
-		cache.H[j] = cache.O[j] * cache.TanhC[j]
+		i := sigmoid(pre[j])
+		f := sigmoid(pre[H+j])
+		o := sigmoid(pre[2*H+j])
+		g := math.Tanh(pre[3*H+j])
+		cache.I[j], cache.F[j], cache.O[j], cache.G[j] = i, f, o, g
+		cn := f*c[j] + i*g
+		tc := math.Tanh(cn)
+		cache.TanhC[j] = tc
+		c[j] = cn
+		h[j] = o * tc
 	}
-	return cache.H, cache.C, cache
 }
 
-// Backward propagates (dH, dC) through one cached step, accumulating
-// parameter gradients and returning (dX, dHPrev, dCPrev).
-func (l *LSTM) Backward(cache *LSTMCache, dH, dC []float64) (dx, dhPrev, dcPrev []float64) {
+// BackwardInto propagates (dH, dC) through a cached step, accumulating
+// parameter gradients and writing the input and previous-state gradients
+// into the caller-owned dx (length In), dhPrev and dcPrev (length Hidden)
+// buffers, which are overwritten. Aliasing dhPrev with dH and dcPrev with
+// dC is allowed — the running-gradient buffers of BPTT update in place.
+func (l *LSTM) BackwardInto(ws *Workspace, cache *LSTMCache, dH, dC, dx, dhPrev, dcPrev []float64) {
 	H := l.Hidden
-	dPre := make([]float64, 4*H)
-	dcPrev = make([]float64, H)
+	if len(dH) != H || len(dC) != H || len(dx) != l.In || len(dhPrev) != H || len(dcPrev) != H {
+		panic(fmt.Sprintf("nn: LSTM.BackwardInto shapes dH=%d dC=%d dx=%d dhPrev=%d dcPrev=%d, want in=%d hidden=%d",
+			len(dH), len(dC), len(dx), len(dhPrev), len(dcPrev), l.In, H))
+	}
+	ws.dpre = grow(ws.dpre, 4*H)
+	dPre := ws.dpre
 	for j := 0; j < H; j++ {
 		dO := dH[j] * cache.TanhC[j]
 		dCj := dC[j] + dH[j]*cache.O[j]*(1-cache.TanhC[j]*cache.TanhC[j])
 		dI := dCj * cache.G[j]
 		dF := dCj * cache.CPrev[j]
 		dG := dCj * cache.I[j]
-		dcPrev[j] = dCj * cache.F[j]
+		dcPrev[j] = dCj * cache.F[j] // after the dC[j] read: dcPrev may alias dC
 
 		dPre[j] = dI * cache.I[j] * (1 - cache.I[j])
 		dPre[H+j] = dF * cache.F[j] * (1 - cache.F[j])
@@ -94,9 +130,8 @@ func (l *LSTM) Backward(cache *LSTMCache, dH, dC []float64) (dx, dhPrev, dcPrev 
 	for i, d := range dPre {
 		l.B.Grad.Data[i] += d
 	}
-	dx = make([]float64, l.In)
+	zero(dx)
 	l.Wx.Val.MulVecT(dPre, dx)
-	dhPrev = make([]float64, H)
+	zero(dhPrev) // dH fully consumed above, so aliasing is fine
 	l.Wh.Val.MulVecT(dPre, dhPrev)
-	return dx, dhPrev, dcPrev
 }

@@ -9,6 +9,11 @@ import (
 // 30 cell units each, dropout between layers and before the head, and a
 // linear head. The actor uses Out = |A| (softmax over tokens); the critic
 // uses Out = 1 (the V value).
+//
+// All step and backward kernels run through an explicit Workspace: the
+// caller owns the scratch memory and the BPTT tape objects cycle through
+// the workspace's CachePool, so steady-state rollout steps allocate
+// nothing.
 type SeqNet struct {
 	VocabSize int
 	EmbedDim  int
@@ -60,6 +65,8 @@ func (n *SeqNet) CopyWeightsFrom(src *SeqNet) {
 	}
 }
 
+// seqStep is one tape entry. Its cache/mask/vector members come from the
+// CachePool and go back there on Workspace.Recycle.
 type seqStep struct {
 	in      int
 	c1, c2  *LSTMCache
@@ -69,12 +76,17 @@ type seqStep struct {
 }
 
 // SeqState carries the recurrent state and the BPTT tape of one episode.
+// Training steps (training=true) append to the tape; inference steps
+// leave it untouched, so Generate-style rollouts carry no per-step
+// bookkeeping at all.
 type SeqState struct {
 	h1, c1, h2, c2 []float64
-	steps          []*seqStep
+	steps          []seqStep
 }
 
-// NewState starts an episode with zero recurrent state.
+// NewState starts an episode with zero recurrent state, plainly allocated.
+// Rollout engines acquire pooled states via CachePool.GetState instead and
+// return them with Workspace.Recycle.
 func (n *SeqNet) NewState() *SeqState {
 	return &SeqState{
 		h1: make([]float64, n.Hidden), c1: make([]float64, n.Hidden),
@@ -82,100 +94,136 @@ func (n *SeqNet) NewState() *SeqState {
 	}
 }
 
-// Len returns the number of steps taken.
+// Len returns the number of tape entries recorded (training steps only).
 func (s *SeqState) Len() int { return len(s.steps) }
 
 // LastHidden returns the top-layer hidden state after the most recent step
 // (zeros before any step). Callers must not mutate it.
 func (s *SeqState) LastHidden() []float64 { return s.h2 }
 
-// Step feeds token id `in` and returns the head output for the new state.
-// With training=true, dropout is sampled from rng and recorded for
-// Backward.
-func (n *SeqNet) Step(st *SeqState, in int, training bool, rng *rand.Rand) []float64 {
-	step := &seqStep{in: in}
-	x := n.E.Lookup(in)
-	var h1, c1v []float64
-	h1, c1v, step.c1 = n.L1.Step(x, st.h1, st.c1)
-	st.h1, st.c1 = h1, c1v
-
-	mid := append([]float64(nil), h1...)
-	if training {
-		step.midMask = Dropout(mid, n.DropRate, rng)
-	}
-	var h2, c2v []float64
-	h2, c2v, step.c2 = n.L2.Step(mid, st.h2, st.c2)
-	st.h2, st.c2 = h2, c2v
-
-	headIn := append([]float64(nil), h2...)
-	if training {
-		step.outMask = Dropout(headIn, n.DropRate, rng)
-	}
-	step.headIn = headIn
-	st.steps = append(st.steps, step)
-	return n.Head.Forward(headIn)
+// CopyRecurrentTo copies the recurrent state (layer 1 and 2 hidden/cell)
+// into the destination slices, each of length Hidden. The prefix-state
+// cache snapshots episode states through this.
+func (s *SeqState) CopyRecurrentTo(h1, c1, h2, c2 []float64) {
+	copy(h1, s.h1)
+	copy(c1, s.c1)
+	copy(h2, s.h2)
+	copy(c2, s.c2)
 }
 
-// StepMasked is Step but computes head outputs only for the given ids
-// (other logits stay zero and must be masked downstream). It avoids the
-// full |A|-sized head matmul, which dominates the per-step cost.
-func (n *SeqNet) StepMasked(st *SeqState, in int, ids []int, training bool, rng *rand.Rand) []float64 {
-	step := &seqStep{in: in}
-	x := n.E.Lookup(in)
-	var h1, c1v []float64
-	h1, c1v, step.c1 = n.L1.Step(x, st.h1, st.c1)
-	st.h1, st.c1 = h1, c1v
-
-	mid := append([]float64(nil), h1...)
-	if training {
-		step.midMask = Dropout(mid, n.DropRate, rng)
-	}
-	var h2, c2v []float64
-	h2, c2v, step.c2 = n.L2.Step(mid, st.h2, st.c2)
-	st.h2, st.c2 = h2, c2v
-
-	headIn := append([]float64(nil), h2...)
-	if training {
-		step.outMask = Dropout(headIn, n.DropRate, rng)
-	}
-	step.headIn = headIn
-	st.steps = append(st.steps, step)
-	out := make([]float64, n.OutDim)
-	n.Head.ForwardSparse(headIn, ids, out)
-	return out
+// SetRecurrent overwrites the recurrent state from the source slices, each
+// of length Hidden. The BPTT tape is unaffected — restoring mid-episode is
+// only valid for inference states with no tape.
+func (s *SeqState) SetRecurrent(h1, c1, h2, c2 []float64) {
+	copy(s.h1, h1)
+	copy(s.c1, c1)
+	copy(s.h2, h2)
+	copy(s.c2, c2)
 }
 
-// Backward runs full BPTT over the episode. dHead[t] is the gradient of
-// the loss with respect to the head output at step t (nil for steps that
-// contribute no direct loss). Parameter gradients accumulate into Params.
-func (n *SeqNet) Backward(st *SeqState, dHead [][]float64) {
+// stepInner advances the recurrent layers for token `in` and returns the
+// head input. With training=true it appends a tape entry with pooled
+// caches (and applies dropout drawn from rng); the returned head input is
+// then the tape-owned copy. With training=false it returns st.h2 directly
+// and records nothing.
+func (n *SeqNet) stepInner(ws *Workspace, st *SeqState, in int, training bool, rng *rand.Rand) []float64 {
+	var step *seqStep
+	var c1, c2 *LSTMCache
+	if training {
+		st.steps = append(st.steps, seqStep{in: in})
+		step = &st.steps[len(st.steps)-1]
+		step.c1 = ws.pool.getCache()
+		step.c2 = ws.pool.getCache()
+		c1, c2 = step.c1, step.c2
+	}
+
+	n.L1.StepInto(ws, n.E.Row(in), st.h1, st.c1, c1)
+
+	// Layer boundary: dropout needs a scratch copy so st.h1 keeps the
+	// undropped value for the next step; without dropout L2 reads st.h1
+	// directly (its cache captures its own copy of the input).
+	mid := st.h1
+	if training && n.DropRate > 0 && rng != nil {
+		ws.mid = growCopy(ws.mid, st.h1)
+		step.midMask = ws.pool.getMask(n.Hidden)
+		dropoutMasked(ws.mid, n.DropRate, rng, step.midMask)
+		mid = ws.mid
+	}
+	n.L2.StepInto(ws, mid, st.h2, st.c2, c2)
+
+	if !training {
+		return st.h2
+	}
+	// The head input must outlive the step (head backward reads it), so it
+	// is a pooled copy owned by the tape.
+	hi := ws.pool.GetVec(n.Hidden)
+	copy(hi, st.h2)
+	if n.DropRate > 0 && rng != nil {
+		step.outMask = ws.pool.getMask(n.Hidden)
+		dropoutMasked(hi, n.DropRate, rng, step.outMask)
+	}
+	step.headIn = hi
+	return hi
+}
+
+// StepInto feeds token id `in`, updating st in place, and returns the full
+// head output. The returned slice is workspace-owned scratch, valid only
+// until the workspace's next step — callers that retain it must copy.
+// training=true records the BPTT tape (pooled) and samples dropout from
+// rng; training=false skips tape capture entirely.
+func (n *SeqNet) StepInto(ws *Workspace, st *SeqState, in int, training bool, rng *rand.Rand) []float64 {
+	headIn := n.stepInner(ws, st, in, training, rng)
+	ws.logits = grow(ws.logits, n.OutDim)
+	n.Head.ForwardInto(headIn, ws.logits)
+	return ws.logits
+}
+
+// StepMaskedInto is StepInto but computes head outputs only for the given
+// ids; other entries of the returned workspace-owned slice are stale and
+// must be masked downstream. It avoids the full |A|-sized head matmul,
+// which dominates the per-step cost.
+func (n *SeqNet) StepMaskedInto(ws *Workspace, st *SeqState, in int, ids []int, training bool, rng *rand.Rand) []float64 {
+	headIn := n.stepInner(ws, st, in, training, rng)
+	ws.logits = grow(ws.logits, n.OutDim)
+	n.Head.ForwardSparse(headIn, ids, ws.logits)
+	return ws.logits
+}
+
+// BackwardInto runs full BPTT over the episode's tape. dHead[t] is the
+// gradient of the loss with respect to the head output at step t (nil for
+// steps that contribute no direct loss). Parameter gradients accumulate
+// into Params; all running gradients live in ws.
+func (n *SeqNet) BackwardInto(ws *Workspace, st *SeqState, dHead [][]float64) {
 	H := n.Hidden
-	dh1n := make([]float64, H)
-	dc1n := make([]float64, H)
-	dh2n := make([]float64, H)
-	dc2n := make([]float64, H)
+	ws.dh1 = grow(ws.dh1, H)
+	ws.dc1 = grow(ws.dc1, H)
+	ws.dh2 = grow(ws.dh2, H)
+	ws.dc2 = grow(ws.dc2, H)
+	zero(ws.dh1)
+	zero(ws.dc1)
+	zero(ws.dh2)
+	zero(ws.dc2)
+	ws.dmid = grow(ws.dmid, H)
+	ws.dheadIn = grow(ws.dheadIn, H)
+	ws.dxEmbed = grow(ws.dxEmbed, n.EmbedDim)
+	dh1, dc1, dh2, dc2 := ws.dh1, ws.dc1, ws.dh2, ws.dc2
+
 	for t := len(st.steps) - 1; t >= 0; t-- {
-		step := st.steps[t]
-		dh2 := append([]float64(nil), dh2n...)
-		dc2 := dc2n
+		step := &st.steps[t]
 		if t < len(dHead) && dHead[t] != nil {
-			d := n.Head.Backward(step.headIn, dHead[t])
-			DropoutBackward(d, step.outMask, n.DropRate)
+			n.Head.BackwardInto(step.headIn, dHead[t], ws.dheadIn)
+			DropoutBackward(ws.dheadIn, step.outMask, n.DropRate)
 			for j := range dh2 {
-				dh2[j] += d[j]
+				dh2[j] += ws.dheadIn[j]
 			}
 		}
-		dx2, dh2p, dc2p := n.L2.Backward(step.c2, dh2, dc2)
-		DropoutBackward(dx2, step.midMask, n.DropRate)
-
-		dh1 := append([]float64(nil), dh1n...)
+		// In-place running-gradient update: dhPrev/dcPrev alias dH/dC.
+		n.L2.BackwardInto(ws, step.c2, dh2, dc2, ws.dmid, dh2, dc2)
+		DropoutBackward(ws.dmid, step.midMask, n.DropRate)
 		for j := range dh1 {
-			dh1[j] += dx2[j]
+			dh1[j] += ws.dmid[j]
 		}
-		dx1, dh1p, dc1p := n.L1.Backward(step.c1, dh1, dc1n)
-		n.E.Accumulate(step.in, dx1)
-
-		dh1n, dc1n = dh1p, dc1p
-		dh2n, dc2n = dh2p, dc2p
+		n.L1.BackwardInto(ws, step.c1, dh1, dc1, ws.dxEmbed, dh1, dc1)
+		n.E.Accumulate(step.in, ws.dxEmbed)
 	}
 }

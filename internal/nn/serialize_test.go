@@ -17,10 +17,13 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err := LoadParams(bytes.NewReader(buf.Bytes()), dst.Params()); err != nil {
 		t.Fatal(err)
 	}
+	// Two workspaces: StepInto returns workspace-owned scratch, so the two
+	// models' outputs must live in separate buffers to compare.
+	wsA, wsB := NewWorkspace(nil), NewWorkspace(nil)
 	sa, sb := src.NewState(), dst.NewState()
 	for _, in := range []int{src.BOS(), 2, 5} {
-		oa := src.Step(sa, in, false, nil)
-		ob := dst.Step(sb, in, false, nil)
+		oa := src.StepInto(wsA, sa, in, false, nil)
+		ob := dst.StepInto(wsB, sb, in, false, nil)
 		for i := range oa {
 			if oa[i] != ob[i] {
 				t.Fatal("loaded model diverges from saved model")

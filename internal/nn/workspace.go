@@ -1,0 +1,207 @@
+package nn
+
+import "sync"
+
+// Workspace owns the scratch memory of one compute goroutine. Every
+// forward/backward kernel (LSTM.StepInto, SeqNet.StepMaskedInto,
+// SeqNet.BackwardInto, ...) draws its gate pre-activations, layer
+// boundaries and running BPTT gradients from here instead of allocating,
+// so a rollout step performs zero transient allocations once the buffers
+// have grown to the network's dimensions.
+//
+// A Workspace is not safe for concurrent use: each rollout worker owns
+// one. The CachePool it references IS concurrency-safe, so workspaces of
+// different goroutines may (and should) share one pool — episode tapes
+// acquired by workers are recycled by the main goroutine at the batch
+// barrier.
+type Workspace struct {
+	pool *CachePool
+
+	// Forward scratch.
+	gates  []float64 // 4H gate pre-activations
+	hprod  []float64 // 4H recurrent product
+	mid    []float64 // layer-1 → layer-2 boundary (dropout applied here)
+	logits []float64 // head output
+
+	// Backward scratch: running BPTT gradients and layer boundaries.
+	dpre                   []float64 // 4H gate gradient
+	dh1, dc1, dh2, dc2     []float64
+	dmid, dheadIn, dxEmbed []float64
+}
+
+// NewWorkspace builds a workspace backed by pool; a nil pool gets a fresh
+// private one.
+func NewWorkspace(pool *CachePool) *Workspace {
+	if pool == nil {
+		pool = NewCachePool()
+	}
+	return &Workspace{pool: pool}
+}
+
+// Pool returns the cache pool backing this workspace.
+func (w *Workspace) Pool() *CachePool { return w.pool }
+
+// grow returns buf resized to length n, reallocating only when the
+// capacity is short. Contents are unspecified.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+// growCopy returns buf resized to len(src) holding a copy of src.
+func growCopy(buf, src []float64) []float64 {
+	buf = grow(buf, len(src))
+	copy(buf, src)
+	return buf
+}
+
+func zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// CachePool recycles the per-episode compute objects — BPTT step caches,
+// sequence states and loose float/bool vectors — across goroutines. All
+// methods are safe for concurrent use; objects handed out by Get* carry
+// unspecified contents unless documented otherwise. The zero amount of
+// type-parameter machinery is deliberate: the four freelists cover every
+// hot-path shape and keep Put/Get allocation-free.
+type CachePool struct {
+	mu     sync.Mutex
+	caches []*LSTMCache
+	states []*SeqState
+	vecs   map[int][][]float64
+	masks  map[int][][]bool
+}
+
+// NewCachePool builds an empty pool.
+func NewCachePool() *CachePool {
+	return &CachePool{
+		vecs:  make(map[int][][]float64),
+		masks: make(map[int][][]bool),
+	}
+}
+
+// GetVec returns a float vector of length n with unspecified contents.
+func (p *CachePool) GetVec(n int) []float64 {
+	p.mu.Lock()
+	if l := p.vecs[n]; len(l) > 0 {
+		v := l[len(l)-1]
+		p.vecs[n] = l[:len(l)-1]
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+	return make([]float64, n)
+}
+
+// PutVec returns a vector obtained from GetVec. nil is ignored.
+func (p *CachePool) PutVec(v []float64) {
+	if v == nil {
+		return
+	}
+	p.mu.Lock()
+	p.vecs[len(v)] = append(p.vecs[len(v)], v)
+	p.mu.Unlock()
+}
+
+func (p *CachePool) getMask(n int) []bool {
+	p.mu.Lock()
+	if l := p.masks[n]; len(l) > 0 {
+		m := l[len(l)-1]
+		p.masks[n] = l[:len(l)-1]
+		p.mu.Unlock()
+		return m
+	}
+	p.mu.Unlock()
+	return make([]bool, n)
+}
+
+func (p *CachePool) putMask(m []bool) {
+	if m == nil {
+		return
+	}
+	p.mu.Lock()
+	p.masks[len(m)] = append(p.masks[len(m)], m)
+	p.mu.Unlock()
+}
+
+func (p *CachePool) getCache() *LSTMCache {
+	p.mu.Lock()
+	if n := len(p.caches); n > 0 {
+		c := p.caches[n-1]
+		p.caches = p.caches[:n-1]
+		p.mu.Unlock()
+		return c
+	}
+	p.mu.Unlock()
+	return &LSTMCache{}
+}
+
+func (p *CachePool) putCache(c *LSTMCache) {
+	if c == nil {
+		return
+	}
+	p.mu.Lock()
+	p.caches = append(p.caches, c)
+	p.mu.Unlock()
+}
+
+// GetState returns a SeqState with zeroed recurrent vectors of the given
+// hidden size and an empty tape. Pair with Workspace.Recycle to return the
+// state (and every tape object it holds) to the pool.
+func (p *CachePool) GetState(hidden int) *SeqState {
+	p.mu.Lock()
+	var st *SeqState
+	if n := len(p.states); n > 0 {
+		st = p.states[n-1]
+		p.states = p.states[:n-1]
+	}
+	p.mu.Unlock()
+	if st == nil {
+		st = &SeqState{}
+	}
+	st.h1 = grow(st.h1, hidden)
+	st.c1 = grow(st.c1, hidden)
+	st.h2 = grow(st.h2, hidden)
+	st.c2 = grow(st.c2, hidden)
+	zero(st.h1)
+	zero(st.c1)
+	zero(st.h2)
+	zero(st.c2)
+	st.steps = st.steps[:0]
+	return st
+}
+
+// Recycle returns an episode state and its whole BPTT tape (step caches,
+// dropout masks, head inputs) to the workspace's pool. The caller must not
+// touch st afterwards.
+func (w *Workspace) Recycle(st *SeqState) {
+	if st == nil {
+		return
+	}
+	p := w.pool
+	for i := range st.steps {
+		s := &st.steps[i]
+		p.putCache(s.c1)
+		p.putCache(s.c2)
+		p.putMask(s.midMask)
+		p.putMask(s.outMask)
+		p.PutVec(s.headIn)
+		*s = seqStep{}
+	}
+	st.steps = st.steps[:0]
+	p.mu.Lock()
+	p.states = append(p.states, st)
+	p.mu.Unlock()
+}

@@ -1,0 +1,50 @@
+package rl
+
+import (
+	"testing"
+)
+
+// BenchmarkSampleBatch measures one training batch rollout (actor + critic
+// steps, dense feedback) — the inner loop of TrainEpoch. Allocation counts
+// here are the regression guard for the workspace-based compute path;
+// EXPERIMENTS.md records the before/after numbers.
+func BenchmarkSampleBatch(b *testing.B) {
+	env := testEnv(b)
+	cfg := fastConfig()
+	cfg.Workers = 1
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Release like TrainEpoch's update does, so the pooled tapes cycle.
+		tr.ReleaseBatch(tr.SampleBatch(tr.Actor(), tr.Actor().BOS(), 8, true, true))
+	}
+}
+
+// BenchmarkSampleBatchInference measures a generation batch (no critic, no
+// BPTT tape) — the Generate/GenerateSatisfied path.
+func BenchmarkSampleBatchInference(b *testing.B) {
+	env := testEnv(b)
+	cfg := fastConfig()
+	cfg.Workers = 1
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SampleBatch(tr.Actor(), tr.Actor().BOS(), 8, false, false)
+	}
+}
+
+// BenchmarkTrainEpoch covers the full train loop including the gradient
+// update at the batch barrier.
+func BenchmarkTrainEpoch(b *testing.B) {
+	env := testEnv(b)
+	cfg := fastConfig()
+	cfg.Workers = 1
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.TrainEpoch(8)
+	}
+}

@@ -1,0 +1,102 @@
+package rl
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"learnedsqlgen/internal/nn"
+)
+
+// DefaultPrefixCacheSize bounds the actor prefix-state trie when
+// Config.PrefixCacheSize is 0.
+const DefaultPrefixCacheSize = 4096
+
+// prefixNode is one trie node: the actor's recurrent state after consuming
+// the input-token path from the root, plus the masked softmax distribution
+// the actor emits at that point. Both are pure functions of (weights,
+// prefix), so concurrent workers may insert the same node independently —
+// the copies are bitwise identical and the first insert wins.
+type prefixNode struct {
+	children       map[int]*prefixNode
+	h1, c1, h2, c2 []float64
+	probs          []float64
+}
+
+// prefixTrie is the actor prefix-state cache of one SampleBatch call. It
+// mirrors the estimator LRU one level up the stack: where that cache
+// memoizes Measure(prefix), this one memoizes the actor's LSTM state and
+// next-token distribution for a token prefix. Because the memoized value
+// depends on the actor weights, the trie lives only between gradient
+// updates — SampleBatch builds a fresh one per call, which discards every
+// entry at the Adam step on the batch barrier.
+//
+// The trie is shared by all rollout workers of the batch. Lookups take the
+// read lock; inserts take the write lock. Hit/miss totals are accumulated
+// with atomics and drained into the trainer's counters at the barrier.
+type prefixTrie struct {
+	mu     sync.RWMutex
+	root   prefixNode
+	size   int
+	cap    int
+	hidden int
+
+	hits   uint64
+	misses uint64
+}
+
+func newPrefixTrie(capacity, hidden int) *prefixTrie {
+	return &prefixTrie{cap: capacity, hidden: hidden}
+}
+
+// lookup returns parent's child along input token in, or nil.
+func (tr *prefixTrie) lookup(parent *prefixNode, in int) *prefixNode {
+	tr.mu.RLock()
+	c := parent.children[in]
+	tr.mu.RUnlock()
+	return c
+}
+
+// insert records the post-step state of st and the step's action
+// distribution as parent's child along token in. It returns the existing
+// child if another worker got there first, or nil when the trie is full
+// (the episode then continues without trie tracking).
+func (tr *prefixTrie) insert(parent *prefixNode, in int, st *nn.SeqState, probs []float64) *prefixNode {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if c := parent.children[in]; c != nil {
+		return c
+	}
+	if tr.size >= tr.cap {
+		return nil
+	}
+	H := tr.hidden
+	n := &prefixNode{
+		h1:    make([]float64, H),
+		c1:    make([]float64, H),
+		h2:    make([]float64, H),
+		c2:    make([]float64, H),
+		probs: append([]float64(nil), probs...),
+	}
+	st.CopyRecurrentTo(n.h1, n.c1, n.h2, n.c2)
+	if parent.children == nil {
+		parent.children = make(map[int]*prefixNode)
+	}
+	parent.children[in] = n
+	tr.size++
+	return n
+}
+
+// restore loads the node's recurrent-state snapshot into st.
+func (n *prefixNode) restore(st *nn.SeqState) {
+	st.SetRecurrent(n.h1, n.c1, n.h2, n.c2)
+}
+
+// count adds an episode's local hit/miss tallies.
+func (tr *prefixTrie) count(hits, misses uint64) {
+	if hits > 0 {
+		atomic.AddUint64(&tr.hits, hits)
+	}
+	if misses > 0 {
+		atomic.AddUint64(&tr.misses, misses)
+	}
+}

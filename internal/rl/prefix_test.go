@@ -1,0 +1,96 @@
+package rl
+
+import (
+	"testing"
+)
+
+// genSQL renders a generation run as one string per query.
+func genSQL(gen []Generated) []string {
+	out := make([]string, len(gen))
+	for i, g := range gen {
+		out[i] = g.SQL
+	}
+	return out
+}
+
+// TestPrefixCacheTraceEquality asserts the prefix-state cache is purely a
+// throughput optimization: generated queries are byte-identical with the
+// cache enabled or disabled, at every worker count.
+func TestPrefixCacheTraceEquality(t *testing.T) {
+	env := testEnv(t)
+	type run struct {
+		prefix  int // PrefixCacheSize
+		workers int
+	}
+	runs := []run{
+		{prefix: -1, workers: 1}, // reference: cache off, serial
+		{prefix: 0, workers: 1},  // default-sized cache, serial
+		{prefix: 0, workers: 4},  // cache shared across workers
+		{prefix: 8, workers: 4},  // tiny cache that fills mid-batch
+	}
+	var ref []string
+	var refSat []string
+	var refAttempts int
+	for _, r := range runs {
+		cfg := fastConfig()
+		cfg.Seed = 11
+		cfg.Workers = r.workers
+		cfg.PrefixCacheSize = r.prefix
+		tr := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+		tr.Train(2, 16)
+		got := genSQL(tr.Generate(30))
+		sat, attempts := tr.GenerateSatisfied(5, 40)
+		gotSat := genSQL(sat)
+		if ref == nil {
+			ref, refSat, refAttempts = got, gotSat, attempts
+			continue
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("prefix=%d workers=%d: query %d = %q, want %q",
+					r.prefix, r.workers, i, got[i], ref[i])
+			}
+		}
+		if attempts != refAttempts || len(gotSat) != len(refSat) {
+			t.Fatalf("prefix=%d workers=%d: satisfied run (%d in %d attempts) differs from reference (%d in %d)",
+				r.prefix, r.workers, len(gotSat), attempts, len(refSat), refAttempts)
+		}
+		for i := range refSat {
+			if gotSat[i] != refSat[i] {
+				t.Fatalf("prefix=%d workers=%d: satisfied query %d differs", r.prefix, r.workers, i)
+			}
+		}
+	}
+}
+
+// TestPrefixCacheCounters asserts the hit/miss telemetry: inference with
+// the cache enabled registers hits (episodes of a batch share at least the
+// BOS prefix), training registers nothing, and disabling the cache zeroes
+// the counters.
+func TestPrefixCacheCounters(t *testing.T) {
+	env := testEnv(t)
+
+	cfg := fastConfig()
+	cfg.Workers = 1
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+	tr.Train(1, 16) // training must not touch the prefix cache
+	if s := tr.Stats(); s.PrefixHits != 0 || s.PrefixMisses != 0 {
+		t.Fatalf("training moved prefix counters: %+v", s)
+	}
+	tr.Generate(30)
+	s := tr.Stats()
+	if s.PrefixHits == 0 || s.PrefixMisses == 0 {
+		t.Fatalf("generation with cache on: hits=%d misses=%d, want both > 0",
+			s.PrefixHits, s.PrefixMisses)
+	}
+	if s.PrefixHitRate <= 0 || s.PrefixHitRate >= 1 {
+		t.Fatalf("hit rate = %v, want in (0,1)", s.PrefixHitRate)
+	}
+
+	cfg.PrefixCacheSize = -1
+	off := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+	off.Generate(30)
+	if s := off.Stats(); s.PrefixHits != 0 || s.PrefixMisses != 0 {
+		t.Fatalf("disabled cache moved counters: %+v", s)
+	}
+}

@@ -83,6 +83,8 @@ func (r *Reinforce) Train(epochs, episodesPerEpoch int) []EpochStats {
 func (r *Reinforce) update(batch []*Trajectory) {
 	scale := 1.0 / float64(len(batch))
 	vocab := r.Env.Vocab.Size()
+	ws := r.sampler.Workspace()
+	pool := ws.Pool()
 	for _, traj := range batch {
 		T := len(traj.Steps)
 		// Cumulative future rewards R_{t:T}.
@@ -94,12 +96,16 @@ func (r *Reinforce) update(batch []*Trajectory) {
 		}
 		dActor := make([][]float64, T)
 		for i, s := range traj.Steps {
-			d := make([]float64, vocab)
+			d := pool.GetVec(vocab)
 			nn.PolicyGradLogits(s.Probs, s.Valid, s.Action, ret[i]*scale, r.Cfg.EntropyWeight*scale, d)
 			dActor[i] = d
 		}
-		r.actor.Backward(traj.ActorState, dActor)
+		r.actor.BackwardInto(ws, traj.ActorState, dActor)
+		for _, d := range dActor {
+			pool.PutVec(d)
+		}
 	}
+	r.sampler.ReleaseBatch(batch)
 	r.opt.Step(r.actor.Params())
 }
 

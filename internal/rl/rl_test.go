@@ -313,8 +313,9 @@ func probeProbs(t *testing.T, env *Env, tr *Trainer) []float64 {
 	t.Helper()
 	b := env.NewBuilder()
 	valid := b.Valid()
+	ws := nn.NewWorkspace(nil)
 	st := tr.Actor().NewState()
-	logits := tr.Actor().StepMasked(st, tr.Actor().BOS(), valid, false, nil)
+	logits := tr.Actor().StepMaskedInto(ws, st, tr.Actor().BOS(), valid, false, nil)
 	return nn.MaskedSoftmax(logits, valid)
 }
 

@@ -45,22 +45,37 @@ func (t *Trainer) workers() int {
 
 // SampleBatch rolls out n episodes with the given actor and returns their
 // trajectories in episode order. With Cfg.Workers > 1 the episodes run on
-// a pool of goroutines, each owning its own FSM builder and RNG stream;
-// the actor's (and critic's) weights are only read during rollout, so the
-// caller must not apply gradient updates concurrently. Results are
-// independent of the worker count.
+// a pool of goroutines, each owning its own FSM builder, RNG stream and
+// compute workspace; the actor's (and critic's) weights are only read
+// during rollout, so the caller must not apply gradient updates
+// concurrently. Results are independent of the worker count.
+//
+// Inference batches (train and withCritic both false) share a per-batch
+// prefix-state trie: the actor's recurrent state and action distribution
+// are memoized per token prefix and reused across the batch's episodes.
+// The trie dies with the batch, so it can never observe two different
+// weight versions. An episode's RNG draws are identical on the hit and
+// miss paths, which keeps generated queries byte-identical whether the
+// cache is enabled, disabled, or shared among any number of workers.
 func (t *Trainer) SampleBatch(actor *nn.SeqNet, startIn, n int, withCritic, train bool) []*Trajectory {
+	t.compute()
 	start := time.Now()
 	base := t.nextEpisodes(n)
 	out := make([]*Trajectory, n)
+	var trie *prefixTrie
+	if !train && !withCritic && t.Cfg.PrefixCacheSize >= 0 {
+		trie = newPrefixTrie(t.prefixCap(), actor.Hidden)
+	}
 	w := t.workers()
 	if w > n {
 		w = n
 	}
 	if w == 1 {
+		ws := t.getRolloutWS()
 		for i := 0; i < n; i++ {
-			out[i] = t.sampleEpisodeRNG(actor, startIn, withCritic, train, t.episodeRNG(base+uint64(i)))
+			out[i] = t.sampleEpisodeRNG(actor, startIn, withCritic, train, t.episodeRNG(base+uint64(i)), ws, trie)
 		}
+		t.putRolloutWS(ws)
 	} else {
 		var wg sync.WaitGroup
 		next := int64(-1)
@@ -68,26 +83,35 @@ func (t *Trainer) SampleBatch(actor *nn.SeqNet, startIn, n int, withCritic, trai
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				ws := t.getRolloutWS()
+				defer t.putRolloutWS(ws)
 				for {
 					i := int(atomic.AddInt64(&next, 1))
 					if i >= n {
 						return
 					}
-					out[i] = t.sampleEpisodeRNG(actor, startIn, withCritic, train, t.episodeRNG(base+uint64(i)))
+					out[i] = t.sampleEpisodeRNG(actor, startIn, withCritic, train, t.episodeRNG(base+uint64(i)), ws, trie)
 				}
 			}()
 		}
 		wg.Wait()
+	}
+	if trie != nil {
+		atomic.AddUint64(&t.prefixHits, atomic.LoadUint64(&trie.hits))
+		atomic.AddUint64(&t.prefixMisses, atomic.LoadUint64(&trie.misses))
 	}
 	atomic.AddInt64(&t.rolloutNanos, int64(time.Since(start)))
 	return out
 }
 
 // TrainStats aggregates a trainer's lifetime rollout-throughput counters:
-// how many episodes it sampled, how long rollouts took, and how much
-// estimator work the environment's memoizing cache absorbed. The cache
-// counters come from the shared Env, so trainers sharing one environment
-// (e.g. the bench harness) see combined cache traffic.
+// how many episodes it sampled, how long rollouts took, how much estimator
+// work the environment's memoizing cache absorbed, and how many actor
+// steps the inference prefix-state cache skipped. The estimator counters
+// come from the shared Env, so trainers sharing one environment (e.g. the
+// bench harness) see combined cache traffic. Prefix hit/miss totals are
+// timing-dependent across worker counts (workers race to insert shared
+// prefixes); the generated queries are identical regardless.
 type TrainStats struct {
 	Episodes       uint64  // episodes sampled (training + generation)
 	RolloutSeconds float64 // wall-clock spent inside SampleBatch
@@ -96,6 +120,9 @@ type TrainStats struct {
 	CacheHits      uint64
 	CacheMisses    uint64
 	CacheHitRate   float64 // hits / (hits + misses)
+	PrefixHits     uint64  // inference actor steps served from the prefix trie
+	PrefixMisses   uint64  // inference actor steps computed (trie enabled)
+	PrefixHitRate  float64 // hits / (hits + misses)
 }
 
 // Stats snapshots the trainer's throughput counters.
@@ -103,9 +130,14 @@ func (t *Trainer) Stats() TrainStats {
 	s := TrainStats{
 		Episodes:       atomic.LoadUint64(&t.episodes),
 		RolloutSeconds: float64(atomic.LoadInt64(&t.rolloutNanos)) / float64(time.Second),
+		PrefixHits:     atomic.LoadUint64(&t.prefixHits),
+		PrefixMisses:   atomic.LoadUint64(&t.prefixMisses),
 	}
 	if s.RolloutSeconds > 0 {
 		s.EpisodesPerSec = float64(s.Episodes) / s.RolloutSeconds
+	}
+	if total := s.PrefixHits + s.PrefixMisses; total > 0 {
+		s.PrefixHitRate = float64(s.PrefixHits) / float64(total)
 	}
 	cs := t.Env.CacheStats()
 	s.CacheHits, s.CacheMisses = cs.Hits, cs.Misses

@@ -2,6 +2,7 @@ package rl
 
 import (
 	"math/rand"
+	"sync"
 
 	"learnedsqlgen/internal/nn"
 	"learnedsqlgen/internal/sqlast"
@@ -45,6 +46,17 @@ type Config struct {
 	// generated queries and learning traces are byte-identical for every
 	// Workers value — concurrency only changes wall-clock time.
 	Workers int
+	// PrefixCacheSize bounds the actor prefix-state trie used by inference
+	// rollouts (Generate, GenerateSatisfied): the LSTM state and action
+	// distribution for a token prefix is a pure function of (weights,
+	// prefix), so episodes of one batch that share a prefix resume
+	// mid-sequence instead of recomputing it. 0 uses
+	// DefaultPrefixCacheSize; a negative value disables the cache.
+	// Training rollouts never use it (dropout, ε-exploration and the BPTT
+	// tape make cached states unusable), and the trie is rebuilt at every
+	// gradient update, so generated queries are identical with the cache
+	// on or off.
+	PrefixCacheSize int
 }
 
 // RewardMode selects the dense-reward scheme built on the §4.2 Remark
@@ -101,7 +113,10 @@ func FastConfig() Config {
 
 // Step is one (state, action, reward) transition of an episode.
 type Step struct {
-	Valid  []int
+	Valid []int
+	// Probs is the masked action distribution, recorded only for training
+	// episodes (the policy-gradient update reads it); its vector is pooled
+	// and reclaimed by ReleaseBatch. Inference steps leave it nil.
 	Probs  []float64
 	Action int
 	Reward float64
@@ -109,6 +124,9 @@ type Step struct {
 }
 
 // Trajectory is one complete generation episode with its BPTT tapes.
+// Training trajectories hold pooled actor/critic states that the update
+// paths return to the trainer's pool via ReleaseBatch; inference episodes
+// recycle their states eagerly and leave both nil.
 type Trajectory struct {
 	ActorState  *nn.SeqState
 	CriticState *nn.SeqState
@@ -131,12 +149,28 @@ type Trainer struct {
 	criticOpt *nn.Adam
 	rng       *rand.Rand
 
+	// Compute resources, lazily initialized (callers construct bare
+	// Trainers as samplers): one shared CachePool, the main-goroutine
+	// workspace for backward passes, and a freelist of per-worker rollout
+	// workspaces.
+	computeOnce sync.Once
+	pool        *nn.CachePool
+	ws          *nn.Workspace
+	wsMu        sync.Mutex
+	wsFree      []*nn.Workspace
+
+	// Reusable gradient-list headers for update (single-goroutine at the
+	// batch barrier).
+	dActorBuf, dCriticBuf [][]float64
+
 	// episodes counts episodes ever reserved; it both fans out per-episode
 	// RNG streams (see rollout.go) and feeds TrainStats. rolloutNanos
-	// accumulates wall-clock spent inside SampleBatch. Both are accessed
-	// atomically.
+	// accumulates wall-clock spent inside SampleBatch. prefixHits/Misses
+	// count actor prefix-cache traffic. All are accessed atomically.
 	episodes     uint64
 	rolloutNanos int64
+	prefixHits   uint64
+	prefixMisses uint64
 }
 
 // NewTrainer builds fresh actor and critic networks for the environment.
@@ -153,6 +187,53 @@ func NewTrainer(env *Env, constraint Constraint, cfg Config) *Trainer {
 		criticOpt:  nn.NewAdam(cfg.CriticLR),
 		rng:        rng,
 	}
+}
+
+// compute lazily initializes the trainer's pooled compute resources.
+func (t *Trainer) compute() {
+	t.computeOnce.Do(func() {
+		t.pool = nn.NewCachePool()
+		t.ws = nn.NewWorkspace(t.pool)
+	})
+}
+
+// Workspace returns the trainer's main-goroutine workspace. External update
+// paths (REINFORCE, meta pre-training, AC-extend) run their backward passes
+// through it and recycle trajectories with ReleaseBatch. Not safe for use
+// concurrently with SampleBatch.
+func (t *Trainer) Workspace() *nn.Workspace {
+	t.compute()
+	return t.ws
+}
+
+// getRolloutWS pops a per-worker workspace backed by the shared pool.
+func (t *Trainer) getRolloutWS() *nn.Workspace {
+	t.wsMu.Lock()
+	defer t.wsMu.Unlock()
+	if n := len(t.wsFree); n > 0 {
+		ws := t.wsFree[n-1]
+		t.wsFree = t.wsFree[:n-1]
+		return ws
+	}
+	return nn.NewWorkspace(t.pool)
+}
+
+func (t *Trainer) putRolloutWS(ws *nn.Workspace) {
+	t.wsMu.Lock()
+	t.wsFree = append(t.wsFree, ws)
+	t.wsMu.Unlock()
+}
+
+// prefixCap resolves Cfg.PrefixCacheSize: 0 means the default bound,
+// negative disables the trie.
+func (t *Trainer) prefixCap() int {
+	if t.Cfg.PrefixCacheSize < 0 {
+		return 0
+	}
+	if t.Cfg.PrefixCacheSize == 0 {
+		return DefaultPrefixCacheSize
+	}
+	return t.Cfg.PrefixCacheSize
 }
 
 // Actor exposes the policy network (weight transfer, meta-training).
@@ -208,18 +289,67 @@ func (t *Trainer) SampleEpisodeFrom(actor *nn.SeqNet, startIn int, withCritic, t
 // sampleEpisodeRNG is the episode body: it walks the FSM with the actor,
 // drawing all randomness (dropout, ε-exploration, action sampling) from
 // the episode's own rng so concurrent episodes never share random state.
-func (t *Trainer) sampleEpisodeRNG(actor *nn.SeqNet, startIn int, withCritic, train bool, rng *rand.Rand) *Trajectory {
+// All scratch comes from ws; trie, when non-nil, is the batch's shared
+// prefix-state cache (inference only).
+func (t *Trainer) sampleEpisodeRNG(actor *nn.SeqNet, startIn int, withCritic, train bool, rng *rand.Rand, ws *nn.Workspace, trie *prefixTrie) *Trajectory {
 	b := t.Env.NewBuilder()
-	traj := &Trajectory{ActorState: actor.NewState()}
+	pool := ws.Pool()
+	vocab := actor.OutDim
+	traj := &Trajectory{ActorState: pool.GetState(actor.Hidden)}
 	if withCritic {
-		traj.CriticState = t.critic.NewState()
+		traj.CriticState = pool.GetState(t.critic.Hidden)
 	}
+	// Inference steps share one pooled probability buffer; training steps
+	// each own a pooled vector (the update needs every step's distribution).
+	var inferProbs []float64
+	if !train {
+		inferProbs = pool.GetVec(vocab)
+	}
+
+	// Prefix-cache walk state: node is the trie position matching the
+	// inputs consumed so far (nil once the trie is full or disabled);
+	// synced says whether traj.ActorState currently holds node's state —
+	// hits advance the node without touching the LSTM, and the first miss
+	// afterwards restores the snapshot before computing.
+	var node *prefixNode
+	synced := true
+	var hits, misses uint64
+	if trie != nil {
+		node = &trie.root
+	}
+
 	in := startIn
 	potential := 0.0 // Φ of the latest executable prefix (RewardShaped)
 	for !b.Done() {
 		valid := b.Valid()
-		logits := actor.StepMasked(traj.ActorState, in, valid, train, rng)
-		probs := nn.MaskedSoftmax(logits, valid)
+		var probs []float64
+		if node != nil {
+			if child := trie.lookup(node, in); child != nil {
+				probs = child.probs
+				node = child
+				synced = false
+				hits++
+			}
+		}
+		if probs == nil {
+			if !synced {
+				node.restore(traj.ActorState)
+				synced = true
+			}
+			logits := actor.StepMaskedInto(ws, traj.ActorState, in, valid, train, rng)
+			if train {
+				probs = pool.GetVec(vocab)
+			} else {
+				probs = inferProbs
+			}
+			nn.MaskedSoftmaxInto(logits, valid, probs)
+			if trie != nil {
+				misses++
+				if node != nil {
+					node = trie.insert(node, in, traj.ActorState, probs)
+				}
+			}
+		}
 		var action int
 		if train && t.Cfg.Epsilon > 0 && rng.Float64() < t.Cfg.Epsilon {
 			action = valid[rng.Intn(len(valid))]
@@ -229,7 +359,7 @@ func (t *Trainer) sampleEpisodeRNG(actor *nn.SeqNet, startIn int, withCritic, tr
 
 		var v float64
 		if withCritic {
-			v = t.critic.Step(traj.CriticState, in, train, rng)[0]
+			v = t.critic.StepInto(ws, traj.CriticState, in, train, rng)[0]
 		}
 
 		// Apply cannot fail: the action came from Valid().
@@ -261,9 +391,11 @@ func (t *Trainer) sampleEpisodeRNG(actor *nn.SeqNet, startIn int, withCritic, tr
 				r = feedback
 			}
 		}
-		traj.Steps = append(traj.Steps, Step{
-			Valid: valid, Probs: probs, Action: action, Reward: r, Value: v,
-		})
+		step := Step{Valid: valid, Action: action, Reward: r, Value: v}
+		if train {
+			step.Probs = probs
+		}
+		traj.Steps = append(traj.Steps, step)
 		traj.TotalReward += r
 		in = action
 	}
@@ -273,7 +405,42 @@ func (t *Trainer) sampleEpisodeRNG(actor *nn.SeqNet, startIn int, withCritic, tr
 		traj.Measured = m
 		traj.Satisfied = t.Constraint.Satisfied(m)
 	}
+	if trie != nil {
+		trie.count(hits, misses)
+	}
+	if !train {
+		// Inference trajectories carry no tapes: recycle the states (and
+		// the shared probability buffer) right away.
+		pool.PutVec(inferProbs)
+		ws.Recycle(traj.ActorState)
+		traj.ActorState = nil
+		if traj.CriticState != nil {
+			ws.Recycle(traj.CriticState)
+			traj.CriticState = nil
+		}
+	}
 	return traj
+}
+
+// ReleaseBatch returns a batch's pooled resources — actor/critic states
+// with their BPTT tapes and the per-step probability vectors — to the
+// trainer's pool. Every update path calls it after backpropagation; the
+// trajectories' Steps stay readable afterwards except for Probs.
+func (t *Trainer) ReleaseBatch(batch []*Trajectory) {
+	t.compute()
+	for _, traj := range batch {
+		if traj == nil {
+			continue
+		}
+		t.ws.Recycle(traj.ActorState)
+		traj.ActorState = nil
+		t.ws.Recycle(traj.CriticState)
+		traj.CriticState = nil
+		for i := range traj.Steps {
+			t.pool.PutVec(traj.Steps[i].Probs)
+			traj.Steps[i].Probs = nil
+		}
+	}
 }
 
 // EpochStats summarizes one training epoch (the Figure 8(c)/9(c) traces).
@@ -348,35 +515,50 @@ func (t *Trainer) TrainUntil(target float64, patience, maxEpochs, episodesPerEpo
 	return out
 }
 
-// update applies one batched gradient step from the trajectories.
+// update applies one batched gradient step from the trajectories and
+// recycles their pooled resources.
 func (t *Trainer) update(batch []*Trajectory) {
+	t.compute()
 	scale := 1.0 / float64(len(batch))
 	vocab := t.Env.Vocab.Size()
 	for _, traj := range batch {
 		T := len(traj.Steps)
-		dActor := make([][]float64, T)
-		dCritic := make([][]float64, T)
+		for len(t.dActorBuf) < T {
+			t.dActorBuf = append(t.dActorBuf, nil)
+			t.dCriticBuf = append(t.dCriticBuf, nil)
+		}
+		dActor := t.dActorBuf[:T]
+		dCritic := t.dCriticBuf[:T]
 		for i, s := range traj.Steps {
 			vNext := 0.0
 			if i+1 < T {
 				vNext = traj.Steps[i+1].Value
 			}
 			delta := s.Reward + t.Cfg.Gamma*vNext - s.Value
-			d := make([]float64, vocab)
+			d := t.pool.GetVec(vocab)
 			nn.PolicyGradLogits(s.Probs, s.Valid, s.Action, delta*scale, t.Cfg.EntropyWeight*scale, d)
 			dActor[i] = d
-			dCritic[i] = []float64{-2 * delta * scale}
+			dc := t.pool.GetVec(1)
+			dc[0] = -2 * delta * scale
+			dCritic[i] = dc
 		}
-		t.actor.Backward(traj.ActorState, dActor)
-		t.critic.Backward(traj.CriticState, dCritic)
+		t.actor.BackwardInto(t.ws, traj.ActorState, dActor)
+		t.critic.BackwardInto(t.ws, traj.CriticState, dCritic)
+		for i := range dActor {
+			t.pool.PutVec(dActor[i])
+			t.pool.PutVec(dCritic[i])
+			dActor[i], dCritic[i] = nil, nil
+		}
 	}
+	t.ReleaseBatch(batch)
 	t.actorOpt.Step(t.actor.Params())
 	t.criticOpt.Step(t.critic.Params())
 }
 
 // Generate runs inference (Algorithm 2): sample n statements from the
 // trained policy without updating the networks. The episodes roll out
-// concurrently on Cfg.Workers goroutines.
+// concurrently on Cfg.Workers goroutines, sharing a per-batch prefix-state
+// cache (see Config.PrefixCacheSize).
 func (t *Trainer) Generate(n int) []Generated {
 	out := make([]Generated, 0, n)
 	for _, traj := range t.SampleBatch(t.actor, t.actor.BOS(), n, false, false) {

@@ -59,6 +59,12 @@ type Options struct {
 	// that absorbs repeated partial-query estimations across episodes.
 	// 0 selects the default (65536); negative disables memoization.
 	EstimatorCacheSize int
+	// PrefixCacheSize bounds the actor prefix-state cache used during
+	// generation: the policy network's recurrent state for a token prefix
+	// is memoized per batch, so episodes sharing a prefix skip its
+	// recomputation. 0 selects the default (4096 entries); negative
+	// disables it. Generated queries are identical either way.
+	PrefixCacheSize int
 }
 
 // GrammarOptions mirrors the FSM limits a user may adjust.
@@ -101,6 +107,13 @@ func (o *Options) workers() int {
 	return o.Workers
 }
 
+func (o *Options) prefixCacheSize() int {
+	if o == nil {
+		return 0
+	}
+	return o.PrefixCacheSize
+}
+
 func (o *Options) fsmConfig() fsm.Config {
 	cfg := fsm.DefaultConfig()
 	if o == nil || o.Grammar == nil {
@@ -129,11 +142,12 @@ func (o *Options) fsmConfig() fsm.Config {
 
 // DB is an opened database ready for constraint-aware generation.
 type DB struct {
-	name    string
-	seed    int64
-	workers int
-	env     *rl.Env
-	raw     *storage.Database
+	name            string
+	seed            int64
+	workers         int
+	prefixCacheSize int
+	env             *rl.Env
+	raw             *storage.Database
 }
 
 // OpenBenchmark opens one of the paper's three evaluation datasets
@@ -161,11 +175,12 @@ func openStorage(name string, raw *storage.Database, opt *Options) *DB {
 		}
 	}
 	return &DB{
-		name:    name,
-		seed:    opt.seed(),
-		workers: opt.workers(),
-		env:     env,
-		raw:     raw,
+		name:            name,
+		seed:            opt.seed(),
+		workers:         opt.workers(),
+		prefixCacheSize: opt.prefixCacheSize(),
+		env:             env,
+		raw:             raw,
 	}
 }
 
