@@ -1,11 +1,11 @@
 # Developer / CI entry points. `make verify` is the pre-merge gate: it
-# builds, vets, runs the full suite, and re-runs the concurrency-heavy
-# packages under the race detector (the rollout worker pool and the
-# estimator cache live there).
+# builds, vets, lints, enforces the panic allowlist, runs the full suite,
+# and re-runs the concurrency-heavy packages under the race detector (the
+# rollout worker pool and the estimator cache live there).
 
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet staticcheck panic-gate race verify bench
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,30 @@ test:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is optional locally (CI installs it); skip with a note when
+# the binary is absent rather than failing developer machines.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Panic audit: internal packages return typed errors for anything a user
+# can trigger; panic( is reserved for the audited invariant sites listed
+# in panic_allowlist.txt. New panics anywhere else fail the gate.
+panic-gate:
+	@bad=$$(grep -rl 'panic(' internal/ --include='*.go' \
+		| grep -v '_test\.go$$' \
+		| grep -vFx -f panic_allowlist.txt || true); \
+	if [ -n "$$bad" ]; then \
+		echo "panic( found outside panic_allowlist.txt:"; \
+		echo "$$bad"; \
+		echo "Convert user-reachable failures to typed errors, or audit the"; \
+		echo "site, comment the invariant, and add the file to the allowlist."; \
+		exit 1; \
+	fi
+
 # The full suite under -race is slow on small machines; the rl, estimator,
 # meta and bench packages exercise every goroutine this repo spawns. The
 # bench integration tests alone run ~8 min under -race on one core, so
@@ -23,7 +47,7 @@ vet:
 race:
 	$(GO) test -race -timeout 30m ./internal/rl/ ./internal/estimator/ ./internal/meta/ ./internal/bench/ .
 
-verify: build vet test race
+verify: build vet staticcheck panic-gate test race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/nn/ ./internal/rl/ .

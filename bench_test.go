@@ -7,6 +7,7 @@
 package learnedsqlgen_test
 
 import (
+	"context"
 	"testing"
 
 	"learnedsqlgen/internal/bench"
@@ -41,7 +42,10 @@ func BenchmarkFig4Accuracy(b *testing.B) {
 	s := benchSetup(b, "tpch")
 	grid := bench.ConstraintGrid{Points: []float64{100}, Ranges: [][2]float64{{100, 400}}}
 	for i := 0; i < b.N; i++ {
-		rows := bench.RunAccuracy(s, rl.Cardinality, grid, benchBudget())
+		rows, err := bench.RunAccuracy(context.Background(), s, rl.Cardinality, grid, benchBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range rows {
 			for m, acc := range r.Acc {
 				b.ReportMetric(acc, "acc_"+m+"_"+r.Constraint)
@@ -56,7 +60,10 @@ func BenchmarkFig5Accuracy(b *testing.B) {
 	s := benchSetup(b, "tpch")
 	grid := bench.ConstraintGrid{Ranges: [][2]float64{{1000, 4000}}}
 	for i := 0; i < b.N; i++ {
-		rows := bench.RunAccuracy(s, rl.Cost, grid, benchBudget())
+		rows, err := bench.RunAccuracy(context.Background(), s, rl.Cost, grid, benchBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range rows {
 			for m, acc := range r.Acc {
 				b.ReportMetric(acc, "acc_"+m+"_"+r.Constraint)
@@ -71,7 +78,10 @@ func BenchmarkFig6Efficiency(b *testing.B) {
 	s := benchSetup(b, "tpch")
 	grid := bench.ConstraintGrid{Ranges: [][2]float64{{100, 600}}}
 	for i := 0; i < b.N; i++ {
-		rows := bench.RunEfficiency(s, rl.Cardinality, grid, benchBudget())
+		rows, err := bench.RunEfficiency(context.Background(), s, rl.Cardinality, grid, benchBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range rows {
 			for m, sec := range r.Seconds {
 				b.ReportMetric(sec, "sec_"+m)
@@ -86,7 +96,10 @@ func BenchmarkFig7Efficiency(b *testing.B) {
 	s := benchSetup(b, "xuetang")
 	grid := bench.ConstraintGrid{Ranges: [][2]float64{{1000, 2000}}}
 	for i := 0; i < b.N; i++ {
-		rows := bench.RunEfficiency(s, rl.Cost, grid, benchBudget())
+		rows, err := bench.RunEfficiency(context.Background(), s, rl.Cost, grid, benchBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range rows {
 			for m, sec := range r.Seconds {
 				b.ReportMetric(sec, "sec_"+m)
@@ -103,7 +116,10 @@ func BenchmarkFig8RLCompare(b *testing.B) {
 	budget := benchBudget()
 	budget.TrainEpochs = 120 // fixed-epoch comparison, like Fig 8(c)
 	for i := 0; i < b.N; i++ {
-		res := bench.RunRLCompare(s, grid, budget)
+		res, err := bench.RunRLCompare(context.Background(), s, grid, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range res.Rows {
 			b.ReportMetric(r.Acc["LearnedSQLGen"], "acc_AC_"+r.Constraint)
 			b.ReportMetric(r.Acc["REINFORCE"], "acc_RF_"+r.Constraint)
@@ -120,7 +136,10 @@ func BenchmarkFig9MetaCritic(b *testing.B) {
 	budget := benchBudget()
 	budget.TrainEpochs = 90
 	for i := 0; i < b.N; i++ {
-		res := bench.RunMetaCompare(s, domain, newTasks, budget)
+		res, err := bench.RunMetaCompare(context.Background(), s, domain, newTasks, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for m, sec := range res.Times[0].Seconds {
 			b.ReportMetric(sec, "sec_"+m)
 		}
@@ -138,7 +157,10 @@ func BenchmarkFig10Distribution(b *testing.B) {
 	budget := benchBudget()
 	budget.TrainEpochs = 120
 	for i := 0; i < b.N; i++ {
-		dist := bench.RunDistribution(s, c, budget)
+		dist, err := bench.RunDistribution(context.Background(), s, c, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(dist.NestedFraction, "nested_pct")
 		b.ReportMetric(dist.AggregateFraction, "agg_pct")
 		b.ReportMetric(dist.SkeletonEntropy, "skeleton_entropy")
@@ -153,7 +175,10 @@ func BenchmarkFig11Complex(b *testing.B) {
 	budget := benchBudget()
 	budget.TrainEpochs = 100
 	for i := 0; i < b.N; i++ {
-		rows := bench.RunComplex(s, c, []int{10}, budget)
+		rows, err := bench.RunComplex(context.Background(), s, c, []int{10}, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range rows {
 			b.ReportMetric(r.Seconds, "sec_"+r.Kind)
 		}
@@ -167,7 +192,7 @@ func BenchmarkFig12SampleSize(b *testing.B) {
 	budget := benchBudget()
 	budget.TrainEpochs = 150
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.RunSampleSize("tpch", 1.0, 1, []int{10, 100}, c, budget)
+		rows, err := bench.RunSampleSize(context.Background(), "tpch", 1.0, 1, []int{10, 100}, c, budget)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -201,7 +226,10 @@ func BenchmarkRewardAblation(b *testing.B) {
 	budget := benchBudget()
 	budget.TrainEpochs = 150
 	for i := 0; i < b.N; i++ {
-		rows := bench.RunRewardAblation(s, c, budget)
+		rows, err := bench.RunRewardAblation(context.Background(), s, c, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range rows {
 			b.ReportMetric(r.Accuracy, "acc_"+r.Variant)
 		}

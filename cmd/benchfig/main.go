@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"syscall"
 
 	"learnedsqlgen/internal/baselines"
 	"learnedsqlgen/internal/bench"
@@ -73,6 +76,12 @@ func run() int {
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+	// First ^C cancels the run context: the in-flight figure stops at the
+	// next episode boundary and the rows finished so far are still
+	// printed. stop() unregisters the handler, so a second ^C kills the
+	// process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	budget := bench.DefaultBudget()
 	if *quick {
 		budget = bench.QuickBudget()
@@ -88,25 +97,30 @@ func run() int {
 
 	switch *fig {
 	case "4":
-		printAccuracy("Figure 4: accuracy, cardinality constraint",
-			bench.RunAccuracy(setup, rl.Cardinality, bench.CardinalityGrid(), budget))
+		rows, err := bench.RunAccuracy(ctx, setup, rl.Cardinality, bench.CardinalityGrid(), budget)
+		printAccuracy("Figure 4: accuracy, cardinality constraint", rows)
+		warnStopped(err)
 	case "5":
-		printAccuracy("Figure 5: accuracy, cost constraint",
-			bench.RunAccuracy(setup, rl.Cost, bench.CostGrid(), budget))
+		rows, err := bench.RunAccuracy(ctx, setup, rl.Cost, bench.CostGrid(), budget)
+		printAccuracy("Figure 5: accuracy, cost constraint", rows)
+		warnStopped(err)
 	case "6":
-		printTimes("Figure 6: time to N satisfied, cardinality constraint",
-			bench.RunEfficiency(setup, rl.Cardinality, bench.CardinalityGrid(), budget),
+		rows, err := bench.RunEfficiency(ctx, setup, rl.Cardinality, bench.CardinalityGrid(), budget)
+		printTimes("Figure 6: time to N satisfied, cardinality constraint", rows,
 			[]string{bench.MethodSQLSmith, bench.MethodTemplate, bench.MethodLearned})
+		warnStopped(err)
 	case "7":
-		printTimes("Figure 7: time to N satisfied, cost constraint",
-			bench.RunEfficiency(setup, rl.Cost, bench.CostGrid(), budget),
+		rows, err := bench.RunEfficiency(ctx, setup, rl.Cost, bench.CostGrid(), budget)
+		printTimes("Figure 7: time to N satisfied, cost constraint", rows,
 			[]string{bench.MethodSQLSmith, bench.MethodTemplate, bench.MethodLearned})
+		warnStopped(err)
 	case "8":
 		// Fixed-epoch comparison (the paper's Fig 8(c) x-axis is epochs).
 		if budget.TrainEpochs > 150 {
 			budget.TrainEpochs = 150
 		}
-		res := bench.RunRLCompare(setup, bench.CardinalityGrid(), budget)
+		res, err := bench.RunRLCompare(ctx, setup, bench.CardinalityGrid(), budget)
+		warnStopped(err)
 		printAccuracy("Figure 8(a): accuracy, AC vs REINFORCE", res.Rows)
 		printTimes("Figure 8(b): time, AC vs REINFORCE", res.Times,
 			[]string{"LearnedSQLGen", "REINFORCE"})
@@ -126,7 +140,8 @@ func run() int {
 			rl.RangeConstraint(rl.Cardinality, 550, 650),
 			rl.RangeConstraint(rl.Cardinality, 750, 850),
 		}
-		res := bench.RunMetaCompare(setup, domain, newTasks, budget)
+		res, err := bench.RunMetaCompare(ctx, setup, domain, newTasks, budget)
+		warnStopped(err)
 		printAccuracy("Figure 9(a): accuracy on new constraints", res.Rows)
 		printTimes("Figure 9(b): adaptation time", res.Times,
 			[]string{"Scratch", "AC-extend", "MetaCritic"})
@@ -144,7 +159,11 @@ func run() int {
 		// range as the paper's 10⁶ does in its 10²–10⁸ range, and like the
 		// paper's pick it is only reachable through joins.
 		c := rl.PointConstraint(rl.Cost, 100000)
-		dist := bench.RunDistribution(setup, c, budget)
+		dist, err := bench.RunDistribution(ctx, setup, c, budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 		fmt.Printf("Figure 10: distribution of %d generated queries (%s)\n", dist.Total, c)
 		fmt.Println("(a) tables per SELECT:")
 		printIntHist(dist.JoinTables)
@@ -172,7 +191,8 @@ func run() int {
 		if *quick {
 			ms = []int{5, 10, 15}
 		}
-		rows := bench.RunComplex(setup, c, ms, budget)
+		rows, err := bench.RunComplex(ctx, setup, c, ms, budget)
+		warnStopped(err)
 		fmt.Printf("Figure 11: time to generate M complex queries (%s)\n", c)
 		fmt.Println("kind\tM\tseconds\tfound")
 		for _, r := range rows {
@@ -187,11 +207,12 @@ func run() int {
 			ks = []int{5, 25, 100}
 		}
 		c := rl.RangeConstraint(rl.Cardinality, 100, 400)
-		rows, err := bench.RunSampleSize(*dataset, *scale, *seed, ks, c, budget)
-		if err != nil {
+		rows, err := bench.RunSampleSize(ctx, *dataset, *scale, *seed, ks, c, budget)
+		if err != nil && len(rows) == 0 {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
+		warnStopped(err)
 		fmt.Printf("Figure 12: sensitivity to value-sample size k (%s)\n", c)
 		fmt.Println("k\taccuracy\tseconds")
 		for _, r := range rows {
@@ -203,7 +224,8 @@ func run() int {
 		if *quick {
 			budget.TrainEpochs = 30
 		}
-		rows := bench.RunRewardAblation(setup, c, budget)
+		rows, err := bench.RunRewardAblation(ctx, setup, c, budget)
+		warnStopped(err)
 		fmt.Printf("Reward-design ablation (%s, %d epochs)\n", c, budget.TrainEpochs)
 		fmt.Println("variant\taccuracy\ttail-avg-reward\tseconds")
 		for _, r := range rows {
@@ -221,7 +243,8 @@ func run() int {
 			sweep = append(sweep, max)
 		}
 		c := rl.RangeConstraint(rl.Cardinality, 100, 400)
-		rows := bench.RunThroughput(setup, c, budget, sweep)
+		rows, err := bench.RunThroughput(ctx, setup, c, budget, sweep)
+		warnStopped(err)
 		fmt.Printf("Rollout throughput (%s, %d train + %d generate episodes per row, GOMAXPROCS=%d)\n",
 			c, budget.TrainEpochs*budget.EpisodesPerEpoch, budget.NQueries, runtime.GOMAXPROCS(0))
 		fmt.Println("cache\tprefix\tworkers\tep/s\tspeedup\thit-rate\testimator-calls\tprefix-hit-rate")
@@ -244,6 +267,14 @@ func run() int {
 		return 2
 	}
 	return 0
+}
+
+// warnStopped reports an interrupted figure run on stderr; the partial
+// rows gathered before the interrupt are still printed by the caller.
+func warnStopped(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\nbenchfig: interrupted, results are partial: %v\n", err)
+	}
 }
 
 func printAccuracy(title string, rows []bench.AccuracyRow) {

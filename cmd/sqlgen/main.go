@@ -8,13 +8,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"learnedsqlgen"
 )
@@ -42,6 +46,7 @@ func run() int {
 	loadModel := flag.String("load-model", "", "load a trained model instead of training")
 	profile := flag.Bool("profile", false, "print a structural/diversity profile of the output")
 	prefixCache := flag.Int("prefix-cache", 0, "actor prefix-state cache entries (0 = default, negative = off); output is identical either way")
+	trainBudget := flag.Duration("train-budget", 0, "wall-clock training budget (e.g. 90s, 5m); 0 = unlimited. On expiry the partially trained policy is used as-is")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -109,11 +114,25 @@ func run() int {
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+
+	// First ^C cancels ctx: training stops at the next episode boundary
+	// with the weights of the last completed update, the partial stats are
+	// printed and (with -save-model) the checkpoint is written. The
+	// goroutine below unregisters the handler as soon as ctx is done, so a
+	// second ^C terminates the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	db, err := learnedsqlgen.OpenBenchmark(*dataset, *scale, &learnedsqlgen.Options{
 		SampleValues:    *sampleK,
 		Seed:            *seed,
 		Workers:         *workers,
 		PrefixCacheSize: *prefixCache,
+		TrainBudget:     *trainBudget,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -136,10 +155,33 @@ func run() int {
 		if maxEpochs <= 0 {
 			maxEpochs = 800
 		}
-		trace := gen.TrainAdaptive(maxEpochs, 25)
-		last := trace[len(trace)-1]
-		fmt.Fprintf(os.Stderr, "trained %d epochs (final satisfied rate %.0f%%)\n",
-			len(trace), 100*last.SatisfiedRate)
+		trace, trainErr := gen.TrainAdaptiveContext(ctx, maxEpochs, 25)
+		rate := 0.0
+		if len(trace) > 0 {
+			rate = trace[len(trace)-1].SatisfiedRate
+		}
+		switch {
+		case trainErr == nil:
+			fmt.Fprintf(os.Stderr, "trained %d epochs (final satisfied rate %.0f%%)\n",
+				len(trace), 100*rate)
+		case errors.Is(trainErr, learnedsqlgen.ErrBudgetExceeded):
+			// A spent budget is expected; generate with the policy as-is.
+			fmt.Fprintf(os.Stderr, "train budget %s spent after %d epochs (satisfied rate %.0f%%); using policy as-is\n",
+				*trainBudget, len(trace), 100*rate)
+		default:
+			// Interrupted: checkpoint what was learned and stop — ctx is
+			// cancelled, so generation below could not run anyway.
+			fmt.Fprintf(os.Stderr, "training interrupted after %d epochs (satisfied rate %.0f%%): %v\n",
+				len(trace), 100*rate, trainErr)
+			if *saveModel != "" {
+				if err := gen.Save(*saveModel); err != nil {
+					fmt.Fprintln(os.Stderr, "save model:", err)
+					return 1
+				}
+				fmt.Fprintf(os.Stderr, "partial model checkpointed to %s (resume with -load-model)\n", *saveModel)
+			}
+			return 1
+		}
 	}
 	if *saveModel != "" {
 		if err := gen.Save(*saveModel); err != nil {
@@ -149,7 +191,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "saved model to %s\n", *saveModel)
 	}
 
-	queries, attempts := gen.GenerateSatisfied(*n, *maxAttempts)
+	queries, attempts, genErr := gen.GenerateSatisfiedContext(ctx, *n, *maxAttempts)
+	if genErr != nil {
+		fmt.Fprintf(os.Stderr, "generation interrupted: %v\n", genErr)
+	}
 	fmt.Fprintf(os.Stderr, "%d satisfied queries in %d attempts\n", len(queries), attempts)
 	for _, q := range queries {
 		if *showMeasure {

@@ -47,6 +47,25 @@
 // Generator.Stats (and the MetaGenerator/AdaptedGenerator equivalents)
 // reports episodes/sec and both caches' hit/miss counters.
 //
+// # Lifecycle control
+//
+// Every training and generation method has a Context variant that stops
+// at the next episode boundary when the context is done, returning the
+// work completed so far plus the cause. Interrupted training keeps the
+// weights of its last completed batch update, so the generator can be
+// saved, used, or trained further:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+//	defer cancel()
+//	trace, err := gen.TrainContext(ctx, 250, 25) // err wraps the cause if cut short
+//	fmt.Printf("completed %d epochs\n", len(trace))
+//
+// Options.TrainBudget caps total training wall-clock without manual
+// context plumbing (expiry is reported as ErrBudgetExceeded, so
+// errors.Is distinguishes it from a caller cancel), and Options.OnEpoch
+// streams per-epoch stats — returning an error from it aborts training
+// with an *EpochAbortError.
+//
 // See ARCHITECTURE.md for the package map and dataflow, DESIGN.md for
 // design decisions, and EXPERIMENTS.md for the reproduced figures.
 package learnedsqlgen

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,9 +17,18 @@ import (
 )
 
 func main() {
+	// OnEpoch streams pre-training progress: one line per round, and a
+	// non-nil return would abort the run early.
+	rounds := 0
 	db, err := learnedsqlgen.OpenBenchmark("xuetang", 1.0, &learnedsqlgen.Options{
 		SampleValues: 50,
 		Seed:         7,
+		OnEpoch: func(s learnedsqlgen.EpochStats) error {
+			rounds++
+			fmt.Printf("  round %d: avg reward %.3f, satisfied %.0f%%\n",
+				rounds, s.AvgReward, 100*s.SatisfiedRate)
+			return nil
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -32,7 +42,9 @@ func main() {
 	}
 	metaGen := db.NewMetaGenerator(domain)
 	fmt.Println("pre-training the meta-critic over", domain.K, "tasks ...")
-	metaGen.Pretrain(20, 25)
+	if _, err := metaGen.PretrainContext(context.Background(), 20, 25); err != nil {
+		log.Fatal(err)
+	}
 
 	// Adapt per band and emit labelled pairs.
 	bands := [][2]float64{{10, 50}, {150, 250}, {350, 450}, {600, 800}}

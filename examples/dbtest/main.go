@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"learnedsqlgen"
 )
@@ -32,6 +34,12 @@ func main() {
 	var workload []learnedsqlgen.Generated
 	var verifier *learnedsqlgen.DB
 
+	// One deadline covers the whole build: train + collect for all four
+	// families. If it expires, whatever was collected so far is verified
+	// and profiled below instead of hanging the test run.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancel()
+
 	for _, kind := range []string{"select", "insert", "update", "delete"} {
 		db, err := learnedsqlgen.OpenCustom(def, rows, &learnedsqlgen.Options{
 			SampleValues: 40,
@@ -45,12 +53,19 @@ func main() {
 			verifier = db
 		}
 		gen := db.NewGenerator(constraint)
-		gen.TrainAdaptive(80, 25)
+		if _, err := gen.TrainAdaptiveContext(ctx, 80, 25); err != nil {
+			fmt.Printf("%-6s: training stopped early (%v)\n", kind, err)
+			break
+		}
 		// DML grammars still emit SELECTs (the FROM branch stays legal);
 		// filter to the family this generator was trained for.
 		picked := 0
 		for attempts := 0; picked < 15 && attempts < 600; attempts++ {
-			q := gen.Generate(1)[0]
+			batch, err := gen.GenerateContext(ctx, 1)
+			if err != nil {
+				break
+			}
+			q := batch[0]
 			if kindOf(q.SQL) != kind || !q.Satisfied {
 				continue
 			}

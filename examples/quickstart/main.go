@@ -3,8 +3,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"learnedsqlgen"
 )
@@ -24,8 +26,18 @@ func main() {
 	constraint := learnedsqlgen.RangeConstraint(learnedsqlgen.Cardinality, 100, 400)
 	gen := db.NewGenerator(constraint)
 
+	// Train under a deadline: if adaptive training has not converged
+	// within 10 minutes, it stops at the next episode boundary and we
+	// generate with the policy learned so far (the error says why it
+	// stopped; a nil error means it converged or hit maxEpochs first).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
 	fmt.Printf("training for %s ...\n", constraint)
-	trace := gen.TrainAdaptive(300, 25)
+	trace, err := gen.TrainAdaptiveContext(ctx, 300, 25)
+	if err != nil {
+		fmt.Printf("training stopped early: %v\n", err)
+	}
 	fmt.Printf("trained %d epochs; final satisfied rate %.0f%%\n",
 		len(trace), 100*trace[len(trace)-1].SatisfiedRate)
 

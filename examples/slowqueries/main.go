@@ -5,18 +5,25 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sort"
 	"strings"
+	"time"
 
 	"learnedsqlgen"
 )
 
 func main() {
+	// TrainBudget caps every training call on this DB's generators at 15
+	// wall-clock minutes — handy in a diagnosis pipeline where a slow
+	// convergence must not stall the whole run.
 	db, err := learnedsqlgen.OpenBenchmark("job", 1.0, &learnedsqlgen.Options{
 		SampleValues: 50,
 		Seed:         3,
+		TrainBudget:  15 * time.Minute,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -28,7 +35,12 @@ func main() {
 	gen := db.NewGenerator(constraint)
 
 	fmt.Printf("training for %s ...\n", constraint)
-	trace := gen.TrainAdaptive(300, 25)
+	trace, err := gen.TrainAdaptiveContext(context.Background(), 300, 25)
+	if errors.Is(err, learnedsqlgen.ErrBudgetExceeded) {
+		fmt.Println("budget spent; generating with the policy trained so far")
+	} else if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("trained %d epochs; final satisfied rate %.0f%%\n",
 		len(trace), 100*trace[len(trace)-1].SatisfiedRate)
 

@@ -1,6 +1,7 @@
 package learnedsqlgen
 
 import (
+	"context"
 	"fmt"
 
 	"learnedsqlgen/internal/baselines"
@@ -17,6 +18,16 @@ type EpochStats = rl.EpochStats
 // cache's hit/miss counters.
 type TrainStats = rl.TrainStats
 
+// ErrBudgetExceeded is the cause reported when Options.TrainBudget
+// expires mid-training: errors.Is(err, ErrBudgetExceeded) distinguishes a
+// spent budget from a caller cancellation (context.Canceled).
+var ErrBudgetExceeded = rl.ErrBudgetExceeded
+
+// EpochAbortError reports that an Options.OnEpoch callback returned an
+// error and aborted training; Epoch is the number of completed epochs and
+// Unwrap yields the callback's error.
+type EpochAbortError = rl.EpochAbortError
+
 // Generator is a trained (or trainable) constraint-aware SQL generator —
 // the LearnedSQLGen agent of the paper.
 type Generator struct {
@@ -31,6 +42,8 @@ func (db *DB) NewGenerator(c Constraint) *Generator {
 	cfg.Seed = db.seed
 	cfg.Workers = db.workers
 	cfg.PrefixCacheSize = db.prefixCacheSize
+	cfg.TrainBudget = db.trainBudget
+	cfg.OnEpoch = db.onEpoch
 	return &Generator{trainer: rl.NewTrainer(db.env, c, cfg)}
 }
 
@@ -41,6 +54,17 @@ func (g *Generator) Train(epochs, episodesPerEpoch int) []EpochStats {
 	return g.trainer.Train(epochs, episodesPerEpoch)
 }
 
+// TrainContext is Train with lifecycle control: ctx cancellation (or an
+// expired Options.TrainBudget) stops training at the next episode
+// boundary and returns the trace of completed epochs together with an
+// error wrapping the cause. A generator stopped this way holds the
+// weights of its last completed batch update — Save, Generate and further
+// Train calls all remain valid, so interrupted training resumes rather
+// than restarts.
+func (g *Generator) TrainContext(ctx context.Context, epochs, episodesPerEpoch int) ([]EpochStats, error) {
+	return g.trainer.TrainContext(ctx, epochs, episodesPerEpoch)
+}
+
 // TrainAdaptive trains with early stopping: it stops once three quarters
 // of an epoch's episodes satisfy the constraint on two consecutive
 // epochs, or after maxEpochs. Easy constraints converge in seconds; hard
@@ -49,16 +73,35 @@ func (g *Generator) TrainAdaptive(maxEpochs, episodesPerEpoch int) []EpochStats 
 	return g.trainer.TrainUntil(0.75, 2, maxEpochs, episodesPerEpoch)
 }
 
+// TrainAdaptiveContext is TrainAdaptive with the lifecycle semantics of
+// TrainContext.
+func (g *Generator) TrainAdaptiveContext(ctx context.Context, maxEpochs, episodesPerEpoch int) ([]EpochStats, error) {
+	return g.trainer.TrainUntilContext(ctx, 0.75, 2, maxEpochs, episodesPerEpoch)
+}
+
 // Generate samples n statements from the current policy (Algorithm 2);
 // unsatisfied statements are included so callers can compute accuracy.
 func (g *Generator) Generate(n int) []Generated {
 	return g.trainer.Generate(n)
 }
 
+// GenerateContext is Generate with cancellation; on early stop it returns
+// nil and ctx's cause.
+func (g *Generator) GenerateContext(ctx context.Context, n int) ([]Generated, error) {
+	return g.trainer.GenerateContext(ctx, n)
+}
+
 // GenerateSatisfied samples until n satisfied statements are produced or
 // maxAttempts episodes have run.
 func (g *Generator) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
 	return g.trainer.GenerateSatisfied(n, maxAttempts)
+}
+
+// GenerateSatisfiedContext is GenerateSatisfied with cancellation: it
+// returns the satisfied statements found before ctx was done, the
+// attempts consumed, and a non-nil error iff the search was cut short.
+func (g *Generator) GenerateSatisfiedContext(ctx context.Context, n, maxAttempts int) ([]Generated, int, error) {
+	return g.trainer.GenerateSatisfiedContext(ctx, n, maxAttempts)
 }
 
 // MustGenerateSatisfied is GenerateSatisfied but panics if fewer than n
@@ -115,12 +158,23 @@ func (db *DB) NewMetaGenerator(domain MetaDomain) *MetaGenerator {
 	cfg.Seed = db.seed
 	cfg.Workers = db.workers
 	cfg.PrefixCacheSize = db.prefixCacheSize
+	cfg.TrainBudget = db.trainBudget
+	cfg.OnEpoch = db.onEpoch
 	return &MetaGenerator{trainer: meta.NewMetaTrainer(db.env, domain, cfg)}
 }
 
 // Pretrain cycles the domain's tasks for the given rounds.
 func (m *MetaGenerator) Pretrain(rounds, episodesPerTask int) []EpochStats {
 	return m.trainer.Pretrain(rounds, episodesPerTask)
+}
+
+// PretrainContext is Pretrain with the lifecycle semantics of
+// Generator.TrainContext: cancellation or Options.TrainBudget expiry
+// stops between rounds, returning the completed rounds' stats and the
+// cause; the meta-critic and per-task actors keep their last completed
+// updates and adapt or pre-train further from there.
+func (m *MetaGenerator) PretrainContext(ctx context.Context, rounds, episodesPerTask int) ([]EpochStats, error) {
+	return m.trainer.PretrainContext(ctx, rounds, episodesPerTask)
 }
 
 // Stats snapshots the pre-training rollout throughput and cache counters.
@@ -143,12 +197,29 @@ func (a *AdaptedGenerator) Train(epochs, episodesPerEpoch int) []EpochStats {
 	return a.adapted.Train(epochs, episodesPerEpoch)
 }
 
+// TrainContext is Train with the lifecycle semantics of
+// Generator.TrainContext.
+func (a *AdaptedGenerator) TrainContext(ctx context.Context, epochs, episodesPerEpoch int) ([]EpochStats, error) {
+	return a.adapted.TrainContext(ctx, epochs, episodesPerEpoch)
+}
+
 // Generate samples n statements.
 func (a *AdaptedGenerator) Generate(n int) []Generated { return a.adapted.Generate(n) }
+
+// GenerateContext is Generate with cancellation.
+func (a *AdaptedGenerator) GenerateContext(ctx context.Context, n int) ([]Generated, error) {
+	return a.adapted.GenerateContext(ctx, n)
+}
 
 // GenerateSatisfied samples until n satisfied statements or maxAttempts.
 func (a *AdaptedGenerator) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
 	return a.adapted.GenerateSatisfied(n, maxAttempts)
+}
+
+// GenerateSatisfiedContext is GenerateSatisfied with cancellation,
+// mirroring Generator.GenerateSatisfiedContext.
+func (a *AdaptedGenerator) GenerateSatisfiedContext(ctx context.Context, n, maxAttempts int) ([]Generated, int, error) {
+	return a.adapted.GenerateSatisfiedContext(ctx, n, maxAttempts)
 }
 
 // Stats snapshots the adapted generator's rollout throughput and cache

@@ -14,6 +14,7 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 
 	"learnedsqlgen/internal/rl"
@@ -33,17 +34,20 @@ func NewRandom(env *rl.Env, constraint rl.Constraint, seed int64) *Random {
 }
 
 // generateOne runs one uniform walk and measures it.
-func (r *Random) generateOne() rl.Generated {
+func (r *Random) generateOne(ctx context.Context) rl.Generated {
 	b := r.Env.NewBuilder()
 	for !b.Done() {
 		valid := b.Valid()
 		if err := b.Apply(valid[r.rng.Intn(len(valid))]); err != nil {
+			// Invariant, not an input error: the action was drawn from the
+			// FSM's own Valid() mask, so a rejection means the FSM's mask
+			// and transition function disagree — a bug, not a bad query.
 			panic("baselines: FSM rejected an unmasked action: " + err.Error())
 		}
 	}
 	st, _ := b.Statement()
 	g := rl.Generated{Statement: st, SQL: st.SQL()}
-	if m, err := r.Env.Measure(st, r.Constraint.Metric); err == nil {
+	if m, err := r.Env.MeasureContext(ctx, st, r.Constraint.Metric); err == nil {
 		g.Measured = m
 		g.Satisfied = r.Constraint.Satisfied(m)
 	}
@@ -53,24 +57,43 @@ func (r *Random) generateOne() rl.Generated {
 // Generate produces n random statements (satisfied or not); accuracy is
 // the satisfied fraction.
 func (r *Random) Generate(n int) []rl.Generated {
+	out, _ := r.GenerateContext(context.Background(), n)
+	return out
+}
+
+// GenerateContext is Generate with cancellation: a done ctx stops between
+// walks and returns the statements produced so far with ctx's error.
+func (r *Random) GenerateContext(ctx context.Context, n int) ([]rl.Generated, error) {
 	out := make([]rl.Generated, 0, n)
 	for i := 0; i < n; i++ {
-		out = append(out, r.generateOne())
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		out = append(out, r.generateOne(ctx))
 	}
-	return out
+	return out, nil
 }
 
 // GenerateSatisfied keeps sampling until n satisfied statements are found
 // or maxAttempts walks have run.
 func (r *Random) GenerateSatisfied(n, maxAttempts int) ([]rl.Generated, int) {
+	out, attempts, _ := r.GenerateSatisfiedContext(context.Background(), n, maxAttempts)
+	return out, attempts
+}
+
+// GenerateSatisfiedContext is GenerateSatisfied with cancellation.
+func (r *Random) GenerateSatisfiedContext(ctx context.Context, n, maxAttempts int) ([]rl.Generated, int, error) {
 	var out []rl.Generated
 	attempts := 0
 	for attempts < maxAttempts && len(out) < n {
-		g := r.generateOne()
+		if err := ctx.Err(); err != nil {
+			return out, attempts, err
+		}
+		g := r.generateOne(ctx)
 		attempts++
 		if g.Satisfied {
 			out = append(out, g)
 		}
 	}
-	return out, attempts
+	return out, attempts, nil
 }

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -57,6 +58,7 @@ func NewTemplateGen(env *rl.Env, constraint rl.Constraint, numTemplates int, see
 		for !b.Done() {
 			valid := b.Valid()
 			if err := b.Apply(valid[g.rng.Intn(len(valid))]); err != nil {
+				// Invariant: the action came from Valid() (see Random).
 				panic("baselines: FSM rejected an unmasked action: " + err.Error())
 			}
 		}
@@ -119,8 +121,8 @@ func (g *TemplateGen) distance(measured float64) float64 {
 }
 
 // measure estimates the template's current metric value.
-func (g *TemplateGen) measure(tpl *Template) (float64, bool) {
-	m, err := g.Env.Measure(tpl.Stmt, g.Constraint.Metric)
+func (g *TemplateGen) measure(ctx context.Context, tpl *Template) (float64, bool) {
+	m, err := g.Env.MeasureContext(ctx, tpl.Stmt, g.Constraint.Metric)
 	if err != nil {
 		return 0, false
 	}
@@ -131,7 +133,7 @@ func (g *TemplateGen) measure(tpl *Template) (float64, bool) {
 // tries coarse and fine moves on every slot and keeps the best
 // improvement, stopping at a local optimum, a satisfied query, or the
 // step budget.
-func (g *TemplateGen) climb(tpl *Template) (rl.Generated, bool) {
+func (g *TemplateGen) climb(ctx context.Context, tpl *Template) (rl.Generated, bool) {
 	// Random restart (the top-k restart sampling of [38] degenerates to
 	// random restarts at k=1 per attempt).
 	idx := make([]int, len(tpl.Slots))
@@ -139,7 +141,7 @@ func (g *TemplateGen) climb(tpl *Template) (rl.Generated, bool) {
 		idx[i] = g.rng.Intn(len(tpl.Candidates[i]))
 		tpl.Slots[i].Value = tpl.Candidates[i][idx[i]]
 	}
-	m, ok := g.measure(tpl)
+	m, ok := g.measure(ctx, tpl)
 	if !ok {
 		return rl.Generated{}, false
 	}
@@ -147,7 +149,7 @@ func (g *TemplateGen) climb(tpl *Template) (rl.Generated, bool) {
 	bestM := m
 	steps := 1
 
-	for steps < g.MaxClimbSteps && best > 0 {
+	for steps < g.MaxClimbSteps && best > 0 && ctx.Err() == nil {
 		improved := false
 		for i := range tpl.Slots {
 			n := len(tpl.Candidates[i])
@@ -163,7 +165,7 @@ func (g *TemplateGen) climb(tpl *Template) (rl.Generated, bool) {
 				old := idx[i]
 				idx[i] = j
 				tpl.Slots[i].Value = tpl.Candidates[i][j]
-				m, ok := g.measure(tpl)
+				m, ok := g.measure(ctx, tpl)
 				steps++
 				if ok {
 					if d := g.distance(m); d < best {
@@ -200,29 +202,49 @@ func (g *TemplateGen) climb(tpl *Template) (rl.Generated, bool) {
 // round-robin); unsatisfied outcomes are included, as in the paper's
 // accuracy accounting.
 func (g *TemplateGen) Generate(n int) []rl.Generated {
+	out, _ := g.GenerateContext(context.Background(), n)
+	return out
+}
+
+// GenerateContext is Generate with cancellation: a done ctx stops between
+// (and inside) hill-climbing runs and returns what was produced so far
+// with ctx's error.
+func (g *TemplateGen) GenerateContext(ctx context.Context, n int) ([]rl.Generated, error) {
 	out := make([]rl.Generated, 0, n)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		tpl := g.Templates[i%len(g.Templates)]
-		if gen, ok := g.climb(tpl); ok {
+		if gen, ok := g.climb(ctx, tpl); ok {
 			out = append(out, gen)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // GenerateSatisfied runs hill-climbing attempts until n satisfied
 // statements are found or maxAttempts runs finish.
 func (g *TemplateGen) GenerateSatisfied(n, maxAttempts int) ([]rl.Generated, int) {
+	out, attempts, _ := g.GenerateSatisfiedContext(context.Background(), n, maxAttempts)
+	return out, attempts
+}
+
+// GenerateSatisfiedContext is GenerateSatisfied with cancellation.
+func (g *TemplateGen) GenerateSatisfiedContext(ctx context.Context, n, maxAttempts int) ([]rl.Generated, int, error) {
 	var out []rl.Generated
 	attempts := 0
 	for attempts < maxAttempts && len(out) < n {
+		if err := ctx.Err(); err != nil {
+			return out, attempts, err
+		}
 		tpl := g.Templates[attempts%len(g.Templates)]
 		attempts++
-		if gen, ok := g.climb(tpl); ok && gen.Satisfied {
+		if gen, ok := g.climb(ctx, tpl); ok && gen.Satisfied {
 			out = append(out, gen)
 		}
 	}
-	return out, attempts
+	return out, attempts, nil
 }
 
 // newSeededRand centralizes seeding for template generators.

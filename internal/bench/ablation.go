@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"learnedsqlgen/internal/rl"
 )
 
@@ -27,7 +29,7 @@ type AblationRow struct {
 //     prefix, here down-weighted by IntermediateWeight);
 //   - terminal: the sparse ablation the Remark argues against;
 //   - no-entropy: shaped with λ = 0 (diversity bonus off).
-func RunRewardAblation(s *Setup, c rl.Constraint, b Budget) []AblationRow {
+func RunRewardAblation(ctx context.Context, s *Setup, c rl.Constraint, b Budget) ([]AblationRow, error) {
 	variants := []struct {
 		name string
 		mod  func(*rl.Config)
@@ -45,8 +47,11 @@ func RunRewardAblation(s *Setup, c rl.Constraint, b Budget) []AblationRow {
 		var trace []rl.EpochStats
 		elapsed := timeIt(func() {
 			tr = rl.NewTrainer(s.Env, c, cfg)
-			trace = tr.Train(b.TrainEpochs, b.EpisodesPerEpoch)
+			trace, _ = tr.TrainContext(ctx, b.TrainEpochs, b.EpisodesPerEpoch)
 		})
+		if err := ctxErr(ctx); err != nil {
+			return rows, err
+		}
 		tail := 0.0
 		n := len(trace)
 		for i := n - 3; i < n; i++ {
@@ -54,12 +59,16 @@ func RunRewardAblation(s *Setup, c rl.Constraint, b Budget) []AblationRow {
 				tail += trace[i].AvgReward / 3
 			}
 		}
+		gen, err := tr.GenerateContext(ctx, b.NQueries)
+		if err != nil {
+			return rows, ctxErr(ctx)
+		}
 		rows = append(rows, AblationRow{
 			Variant:       v.name,
-			Accuracy:      accuracy(tr.Generate(b.NQueries)),
+			Accuracy:      accuracy(gen),
 			AvgRewardTail: tail,
 			Seconds:       elapsed,
 		})
 	}
-	return rows
+	return rows, nil
 }

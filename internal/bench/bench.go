@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -156,24 +157,46 @@ func GridConstraints(metric rl.Metric, grid ConstraintGrid) []rl.Constraint {
 // early stopping once half of an epoch's episodes satisfy it, with up to
 // two restarts under fresh seeds when a run fails to take off (policy
 // -gradient exploration has high seed variance on narrow point targets;
-// restarts are charged to the reported generation time).
-func (s *Setup) trainLearned(c rl.Constraint, b Budget) *rl.Trainer {
+// restarts are charged to the reported generation time). A done ctx stops
+// mid-run; the best trainer so far (possibly nil) is returned with the
+// cancellation cause.
+func (s *Setup) trainLearned(ctx context.Context, c rl.Constraint, b Budget) (*rl.Trainer, error) {
 	var best *rl.Trainer
 	bestRate := -1.0
 	for attempt := 0; attempt < 3; attempt++ {
 		cfg := s.rlConfig()
 		cfg.Seed = s.Seed + int64(attempt*101)
 		tr := rl.NewTrainer(s.Env, c, cfg)
-		trace := tr.TrainUntil(0.75, 2, b.TrainEpochs, b.EpisodesPerEpoch)
-		rate := trace[len(trace)-1].SatisfiedRate
-		if rate > bestRate {
+		trace, err := tr.TrainUntilContext(ctx, 0.75, 2, b.TrainEpochs, b.EpisodesPerEpoch)
+		rate := -1.0
+		if len(trace) > 0 {
+			rate = trace[len(trace)-1].SatisfiedRate
+		}
+		if rate > bestRate || best == nil {
 			best, bestRate = tr, rate
+		}
+		if err != nil {
+			return best, err
 		}
 		if bestRate >= 0.75 {
 			break
 		}
 	}
-	return best
+	return best, nil
+}
+
+// ctxErr resolves a done context to its most informative error (the
+// cancellation cause when one was installed) and returns nil while ctx is
+// live. Run* functions call it at grid boundaries so a cancelled benchmark
+// returns its completed rows plus the reason it stopped.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+		return err
+	}
+	return nil
 }
 
 // timeIt runs f and returns elapsed seconds.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"learnedsqlgen/internal/meta"
@@ -67,7 +68,10 @@ func TestExtrapolate(t *testing.T) {
 func TestRunAccuracyShape(t *testing.T) {
 	s := quickSetup(t)
 	grid := ConstraintGrid{Points: []float64{50}, Ranges: [][2]float64{{10, 200}}}
-	rows := RunAccuracy(s, rl.Cardinality, grid, tinyBudget())
+	rows, err := RunAccuracy(context.Background(), s, rl.Cardinality, grid, tinyBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -87,7 +91,10 @@ func TestRunAccuracyShape(t *testing.T) {
 func TestRunEfficiencyShape(t *testing.T) {
 	s := quickSetup(t)
 	grid := ConstraintGrid{Ranges: [][2]float64{{1, 500}}}
-	rows := RunEfficiency(s, rl.Cardinality, grid, tinyBudget())
+	rows, err := RunEfficiency(context.Background(), s, rl.Cardinality, grid, tinyBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 1 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -101,7 +108,10 @@ func TestRunEfficiencyShape(t *testing.T) {
 func TestRunRLCompareShape(t *testing.T) {
 	s := quickSetup(t)
 	grid := ConstraintGrid{Ranges: [][2]float64{{1, 500}, {1, 800}}}
-	res := RunRLCompare(s, grid, tinyBudget())
+	res, err := RunRLCompare(context.Background(), s, grid, tinyBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 2 || len(res.Times) != 2 {
 		t.Fatalf("rows/times = %d/%d", len(res.Rows), len(res.Times))
 	}
@@ -122,7 +132,10 @@ func TestRunMetaCompareShape(t *testing.T) {
 	s := quickSetup(t)
 	domain := meta.Domain{Metric: rl.Cardinality, Lo: 0, Hi: 400, K: 2}
 	newTasks := []rl.Constraint{rl.RangeConstraint(rl.Cardinality, 50, 150)}
-	res := RunMetaCompare(s, domain, newTasks, tinyBudget())
+	res, err := RunMetaCompare(context.Background(), s, domain, newTasks, tinyBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 1 || len(res.Times) != 1 {
 		t.Fatal("row shape")
 	}
@@ -141,7 +154,10 @@ func TestRunMetaCompareShape(t *testing.T) {
 
 func TestRunDistributionShape(t *testing.T) {
 	s := quickSetup(t)
-	dist := RunDistribution(s, rl.RangeConstraint(rl.Cost, 1, 1e9), tinyBudget())
+	dist, err := RunDistribution(context.Background(), s, rl.RangeConstraint(rl.Cost, 1, 1e9), tinyBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dist.Total != tinyBudget().NQueries {
 		t.Fatalf("total = %d", dist.Total)
 	}
@@ -168,7 +184,10 @@ func TestRunDistributionShape(t *testing.T) {
 
 func TestRunComplexShape(t *testing.T) {
 	s := quickSetup(t)
-	rows := RunComplex(s, rl.RangeConstraint(rl.Cost, 1, 1e9), []int{2, 4}, tinyBudget())
+	rows, err := RunComplex(context.Background(), s, rl.RangeConstraint(rl.Cost, 1, 1e9), []int{2, 4}, tinyBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 6 { // 3 kinds × 2 targets
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -187,7 +206,7 @@ func TestRunComplexShape(t *testing.T) {
 }
 
 func TestRunSampleSizeShape(t *testing.T) {
-	rows, err := RunSampleSize("tpch", 0.1, 1, []int{3, 10}, rl.RangeConstraint(rl.Cardinality, 1, 500), tinyBudget())
+	rows, err := RunSampleSize(context.Background(), "tpch", 0.1, 1, []int{3, 10}, rl.RangeConstraint(rl.Cardinality, 1, 500), tinyBudget())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,14 +218,17 @@ func TestRunSampleSizeShape(t *testing.T) {
 			t.Errorf("bad row %+v", r)
 		}
 	}
-	if _, err := RunSampleSize("nope", 1, 1, []int{3}, rl.PointConstraint(rl.Cardinality, 5), tinyBudget()); err == nil {
+	if _, err := RunSampleSize(context.Background(), "nope", 1, 1, []int{3}, rl.PointConstraint(rl.Cardinality, 5), tinyBudget()); err == nil {
 		t.Error("unknown dataset must fail")
 	}
 }
 
 func TestRunRewardAblationShape(t *testing.T) {
 	s := quickSetup(t)
-	rows := RunRewardAblation(s, rl.RangeConstraint(rl.Cardinality, 1, 500), tinyBudget())
+	rows, err := RunRewardAblation(context.Background(), s, rl.RangeConstraint(rl.Cardinality, 1, 500), tinyBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
 	}

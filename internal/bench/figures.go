@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"learnedsqlgen/internal/baselines"
 	"learnedsqlgen/internal/fsm"
 	"learnedsqlgen/internal/meta"
@@ -18,24 +20,40 @@ type AccuracyRow struct {
 // RunAccuracy regenerates Figure 4 (metric = Cardinality) or Figure 5
 // (metric = Cost) for one dataset: for every constraint in the grid it
 // generates b.NQueries with each method and reports the satisfied
-// fraction.
-func RunAccuracy(s *Setup, metric rl.Metric, grid ConstraintGrid, b Budget) []AccuracyRow {
+// fraction. A done ctx stops the sweep at the next method boundary and
+// returns the completed rows with the cancellation cause.
+func RunAccuracy(ctx context.Context, s *Setup, metric rl.Metric, grid ConstraintGrid, b Budget) ([]AccuracyRow, error) {
 	var rows []AccuracyRow
 	for _, c := range GridConstraints(metric, grid) {
 		row := AccuracyRow{Constraint: Label(c), Acc: map[string]float64{}}
 
 		rnd := baselines.NewRandom(s.Env, c, s.Seed)
-		row.Acc[MethodSQLSmith] = accuracy(rnd.Generate(b.NQueries))
+		gen, err := rnd.GenerateContext(ctx, b.NQueries)
+		if err != nil {
+			return rows, ctxErr(ctx)
+		}
+		row.Acc[MethodSQLSmith] = accuracy(gen)
 
 		tpl := s.templateBaseline(c, b)
-		row.Acc[MethodTemplate] = accuracy(tpl.Generate(b.NQueries))
+		gen, err = tpl.GenerateContext(ctx, b.NQueries)
+		if err != nil {
+			return rows, ctxErr(ctx)
+		}
+		row.Acc[MethodTemplate] = accuracy(gen)
 
-		tr := s.trainLearned(c, b)
-		row.Acc[MethodLearned] = accuracy(tr.Generate(b.NQueries))
+		tr, err := s.trainLearned(ctx, c, b)
+		if err != nil {
+			return rows, ctxErr(ctx)
+		}
+		gen, err = tr.GenerateContext(ctx, b.NQueries)
+		if err != nil {
+			return rows, ctxErr(ctx)
+		}
+		row.Acc[MethodLearned] = accuracy(gen)
 
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // randomBaseline builds the SQLSmith-style baseline for a constraint.
@@ -65,8 +83,9 @@ type TimeRow struct {
 // RunEfficiency regenerates Figure 6 (Cardinality) or Figure 7 (Cost):
 // wall-clock time to produce b.NSatisfied satisfied queries, including
 // LearnedSQLGen's training phase (the paper's generation-time metric).
-// Capped baseline runs are extrapolated linearly.
-func RunEfficiency(s *Setup, metric rl.Metric, grid ConstraintGrid, b Budget) []TimeRow {
+// Capped baseline runs are extrapolated linearly. A done ctx stops the
+// sweep and returns the completed rows with the cancellation cause.
+func RunEfficiency(ctx context.Context, s *Setup, metric rl.Metric, grid ConstraintGrid, b Budget) ([]TimeRow, error) {
 	var rows []TimeRow
 	for _, c := range GridConstraints(metric, grid) {
 		row := TimeRow{Constraint: Label(c),
@@ -75,28 +94,40 @@ func RunEfficiency(s *Setup, metric rl.Metric, grid ConstraintGrid, b Budget) []
 		var found []rl.Generated
 		elapsed := timeIt(func() {
 			rnd := baselines.NewRandom(s.Env, c, s.Seed)
-			found, _ = rnd.GenerateSatisfied(b.NSatisfied, b.MaxAttempts)
+			found, _, _ = rnd.GenerateSatisfiedContext(ctx, b.NSatisfied, b.MaxAttempts)
 		})
 		row.Seconds[MethodSQLSmith] = extrapolate(elapsed, len(found), b.NSatisfied)
 		row.Found[MethodSQLSmith] = len(found)
+		if err := ctxErr(ctx); err != nil {
+			return rows, err
+		}
 
 		elapsed = timeIt(func() {
 			tpl := s.templateBaseline(c, b)
-			found, _ = tpl.GenerateSatisfied(b.NSatisfied, b.MaxAttempts/4)
+			found, _, _ = tpl.GenerateSatisfiedContext(ctx, b.NSatisfied, b.MaxAttempts/4)
 		})
 		row.Seconds[MethodTemplate] = extrapolate(elapsed, len(found), b.NSatisfied)
 		row.Found[MethodTemplate] = len(found)
+		if err := ctxErr(ctx); err != nil {
+			return rows, err
+		}
 
 		elapsed = timeIt(func() {
-			tr := s.trainLearned(c, b)
-			found, _ = tr.GenerateSatisfied(b.NSatisfied, b.MaxAttempts)
+			if tr, err := s.trainLearned(ctx, c, b); err == nil {
+				found, _, _ = tr.GenerateSatisfiedContext(ctx, b.NSatisfied, b.MaxAttempts)
+			} else {
+				found = nil
+			}
 		})
 		row.Seconds[MethodLearned] = extrapolate(elapsed, len(found), b.NSatisfied)
 		row.Found[MethodLearned] = len(found)
+		if err := ctxErr(ctx); err != nil {
+			return rows, err
+		}
 
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // RLCompareResult holds Figure 8: accuracy and time per range constraint
@@ -116,7 +147,7 @@ type RLCompareResult struct {
 // under that scheme — with this reproduction's default potential-shaped
 // rewards, returns are already low-variance and REINFORCE largely catches
 // up (noted in EXPERIMENTS.md).
-func RunRLCompare(s *Setup, grid ConstraintGrid, b Budget) RLCompareResult {
+func RunRLCompare(ctx context.Context, s *Setup, grid ConstraintGrid, b Budget) (RLCompareResult, error) {
 	res := RLCompareResult{}
 	cfg := s.rlConfig()
 	cfg.Mode = rl.RewardDense
@@ -130,21 +161,40 @@ func RunRLCompare(s *Setup, grid ConstraintGrid, b Budget) RLCompareResult {
 		var found []rl.Generated
 		elapsed := timeIt(func() {
 			ac := rl.NewTrainer(s.Env, c, cfg)
-			ac.Train(b.TrainEpochs, b.EpisodesPerEpoch)
-			arow.Acc["LearnedSQLGen"] = accuracy(ac.Generate(b.NQueries))
-			found, _ = ac.GenerateSatisfied(b.NSatisfied, b.MaxAttempts)
+			if _, err := ac.TrainContext(ctx, b.TrainEpochs, b.EpisodesPerEpoch); err != nil {
+				return
+			}
+			gen, err := ac.GenerateContext(ctx, b.NQueries)
+			if err != nil {
+				return
+			}
+			arow.Acc["LearnedSQLGen"] = accuracy(gen)
+			found, _, _ = ac.GenerateSatisfiedContext(ctx, b.NSatisfied, b.MaxAttempts)
 		})
 		trow.Seconds["LearnedSQLGen"] = extrapolate(elapsed, len(found), b.NSatisfied)
 		trow.Found["LearnedSQLGen"] = len(found)
+		if err := ctxErr(ctx); err != nil {
+			return res, err
+		}
 
+		found = nil
 		elapsed = timeIt(func() {
 			rf := rl.NewReinforce(s.Env, c, cfg)
-			rf.Train(b.TrainEpochs, b.EpisodesPerEpoch)
-			arow.Acc["REINFORCE"] = accuracy(rf.Generate(b.NQueries))
-			found, _ = rf.GenerateSatisfied(b.NSatisfied, b.MaxAttempts)
+			if _, err := rf.TrainContext(ctx, b.TrainEpochs, b.EpisodesPerEpoch); err != nil {
+				return
+			}
+			gen, err := rf.GenerateContext(ctx, b.NQueries)
+			if err != nil {
+				return
+			}
+			arow.Acc["REINFORCE"] = accuracy(gen)
+			found, _, _ = rf.GenerateSatisfiedContext(ctx, b.NSatisfied, b.MaxAttempts)
 		})
 		trow.Seconds["REINFORCE"] = extrapolate(elapsed, len(found), b.NSatisfied)
 		trow.Found["REINFORCE"] = len(found)
+		if err := ctxErr(ctx); err != nil {
+			return res, err
+		}
 
 		res.Rows = append(res.Rows, arow)
 		res.Times = append(res.Times, trow)
@@ -155,10 +205,15 @@ func RunRLCompare(s *Setup, grid ConstraintGrid, b Budget) RLCompareResult {
 	traceRange := grid.Ranges[1]
 	c := rl.RangeConstraint(rl.Cardinality, traceRange[0], traceRange[1])
 	ac := rl.NewTrainer(s.Env, c, cfg)
-	res.TraceAC = ac.Train(b.TrainEpochs, b.EpisodesPerEpoch)
+	var err error
+	if res.TraceAC, err = ac.TrainContext(ctx, b.TrainEpochs, b.EpisodesPerEpoch); err != nil {
+		return res, ctxErr(ctx)
+	}
 	rf := rl.NewReinforce(s.Env, c, cfg)
-	res.TraceREINFORCE = rf.Train(b.TrainEpochs, b.EpisodesPerEpoch)
-	return res
+	if res.TraceREINFORCE, err = rf.TrainContext(ctx, b.TrainEpochs, b.EpisodesPerEpoch); err != nil {
+		return res, ctxErr(ctx)
+	}
+	return res, nil
 }
 
 // MetaResult holds Figure 9: per-new-constraint accuracy and adaptation
@@ -175,14 +230,18 @@ type MetaResult struct {
 // tasks, then adapt to unseen sub-ranges. Reported time covers adaptation
 // training plus generation (pre-training is the shared, amortized cost the
 // paper also excludes from the per-task comparison).
-func RunMetaCompare(s *Setup, domain meta.Domain, newTasks []rl.Constraint, b Budget) MetaResult {
+func RunMetaCompare(ctx context.Context, s *Setup, domain meta.Domain, newTasks []rl.Constraint, b Budget) (MetaResult, error) {
 	res := MetaResult{}
 	cfg := s.rlConfig()
 
 	mt := meta.NewMetaTrainer(s.Env, domain, cfg)
-	mt.Pretrain(b.TrainEpochs/3, b.EpisodesPerEpoch)
+	if _, err := mt.PretrainContext(ctx, b.TrainEpochs/3, b.EpisodesPerEpoch); err != nil {
+		return res, ctxErr(ctx)
+	}
 	acx := meta.NewACExtend(s.Env, domain, cfg)
-	acx.Pretrain(b.TrainEpochs/3, b.EpisodesPerEpoch)
+	if _, err := acx.PretrainContext(ctx, b.TrainEpochs/3, b.EpisodesPerEpoch); err != nil {
+		return res, ctxErr(ctx)
+	}
 
 	// Adaptation epochs: the meta strategies get a reduced budget — the
 	// point of §6 is that they need fewer new-task episodes.
@@ -196,29 +255,58 @@ func RunMetaCompare(s *Setup, domain meta.Domain, newTasks []rl.Constraint, b Bu
 		var found []rl.Generated
 		elapsed := timeIt(func() {
 			sc := rl.NewTrainer(s.Env, c, cfg)
-			sc.Train(b.TrainEpochs, b.EpisodesPerEpoch)
-			arow.Acc["Scratch"] = accuracy(sc.Generate(b.NQueries))
-			found, _ = sc.GenerateSatisfied(b.NSatisfied, b.MaxAttempts)
+			if _, err := sc.TrainContext(ctx, b.TrainEpochs, b.EpisodesPerEpoch); err != nil {
+				return
+			}
+			gen, err := sc.GenerateContext(ctx, b.NQueries)
+			if err != nil {
+				return
+			}
+			arow.Acc["Scratch"] = accuracy(gen)
+			found, _, _ = sc.GenerateSatisfiedContext(ctx, b.NSatisfied, b.MaxAttempts)
 		})
 		trow.Seconds["Scratch"] = extrapolate(elapsed, len(found), b.NSatisfied)
 		trow.Found["Scratch"] = len(found)
+		if err := ctxErr(ctx); err != nil {
+			return res, err
+		}
 
+		found = nil
 		elapsed = timeIt(func() {
-			acx.AdaptEpoch(c, adaptEpochs*b.EpisodesPerEpoch)
-			arow.Acc["AC-extend"] = accuracy(acx.Generate(c, b.NQueries))
-			found, _ = acx.GenerateSatisfied(c, b.NSatisfied, b.MaxAttempts)
+			if _, err := acx.AdaptEpochContext(ctx, c, adaptEpochs*b.EpisodesPerEpoch); err != nil {
+				return
+			}
+			gen, err := acx.GenerateContext(ctx, c, b.NQueries)
+			if err != nil {
+				return
+			}
+			arow.Acc["AC-extend"] = accuracy(gen)
+			found, _, _ = acx.GenerateSatisfiedContext(ctx, c, b.NSatisfied, b.MaxAttempts)
 		})
 		trow.Seconds["AC-extend"] = extrapolate(elapsed, len(found), b.NSatisfied)
 		trow.Found["AC-extend"] = len(found)
+		if err := ctxErr(ctx); err != nil {
+			return res, err
+		}
 
+		found = nil
 		elapsed = timeIt(func() {
 			ad := mt.Adapt(c)
-			ad.Train(adaptEpochs, b.EpisodesPerEpoch)
-			arow.Acc["MetaCritic"] = accuracy(ad.Generate(b.NQueries))
-			found, _ = ad.GenerateSatisfied(b.NSatisfied, b.MaxAttempts)
+			if _, err := ad.TrainContext(ctx, adaptEpochs, b.EpisodesPerEpoch); err != nil {
+				return
+			}
+			gen, err := ad.GenerateContext(ctx, b.NQueries)
+			if err != nil {
+				return
+			}
+			arow.Acc["MetaCritic"] = accuracy(gen)
+			found, _, _ = ad.GenerateSatisfiedContext(ctx, b.NSatisfied, b.MaxAttempts)
 		})
 		trow.Seconds["MetaCritic"] = extrapolate(elapsed, len(found), b.NSatisfied)
 		trow.Found["MetaCritic"] = len(found)
+		if err := ctxErr(ctx); err != nil {
+			return res, err
+		}
 
 		res.Rows = append(res.Rows, arow)
 		res.Times = append(res.Times, trow)
@@ -227,13 +315,22 @@ func RunMetaCompare(s *Setup, domain meta.Domain, newTasks []rl.Constraint, b Bu
 	// Adaptation traces (Fig 9c) on the first new task.
 	c := newTasks[0]
 	sc := rl.NewTrainer(s.Env, c, cfg)
-	res.TraceScratch = sc.Train(b.TrainEpochs, b.EpisodesPerEpoch)
+	var err error
+	if res.TraceScratch, err = sc.TrainContext(ctx, b.TrainEpochs, b.EpisodesPerEpoch); err != nil {
+		return res, ctxErr(ctx)
+	}
 	for i := 0; i < b.TrainEpochs; i++ {
-		res.TraceACExtend = append(res.TraceACExtend, acx.AdaptEpoch(c, b.EpisodesPerEpoch))
+		st, err := acx.AdaptEpochContext(ctx, c, b.EpisodesPerEpoch)
+		if err != nil {
+			return res, ctxErr(ctx)
+		}
+		res.TraceACExtend = append(res.TraceACExtend, st)
 	}
 	ad := mt.Adapt(c)
-	res.TraceMeta = ad.Train(b.TrainEpochs, b.EpisodesPerEpoch)
-	return res
+	if res.TraceMeta, err = ad.TrainContext(ctx, b.TrainEpochs, b.EpisodesPerEpoch); err != nil {
+		return res, ctxErr(ctx)
+	}
+	return res, nil
 }
 
 // Distribution is the Figure 10 profile (see workload.Profile).
@@ -241,7 +338,8 @@ type Distribution = workload.Profile
 
 // RunDistribution regenerates Figure 10: train under one constraint with
 // the full grammar (nested + DML) enabled and profile b.NQueries outputs.
-func RunDistribution(s *Setup, c rl.Constraint, b Budget) *Distribution {
+// A done ctx aborts with a nil profile and the cancellation cause.
+func RunDistribution(ctx context.Context, s *Setup, c rl.Constraint, b Budget) (*Distribution, error) {
 	// Subfigures (a)–(d),(f) profile SELECT structure (joins, nesting,
 	// aggregation, predicates, lengths) over the SELECT grammar. At micro
 	// scale a single DML-enabled policy collapses onto DELETE statements
@@ -251,8 +349,14 @@ func RunDistribution(s *Setup, c rl.Constraint, b Budget) *Distribution {
 	cfg := s.rlConfig()
 	cfg.EntropyWeight = 0.01 // the paper's λ: diversity matters here
 	tr := rl.NewTrainer(s.Env, c, cfg)
-	tr.TrainUntil(0.5, 2, b.TrainEpochs, b.EpisodesPerEpoch)
-	profile := workload.Analyze(tr.Generate(b.NQueries))
+	if _, err := tr.TrainUntilContext(ctx, 0.5, 2, b.TrainEpochs, b.EpisodesPerEpoch); err != nil {
+		return nil, ctxErr(ctx)
+	}
+	gen, err := tr.GenerateContext(ctx, b.NQueries)
+	if err != nil {
+		return nil, ctxErr(ctx)
+	}
+	profile := workload.Analyze(gen)
 
 	// Statement-type mix from per-family DML generators (small budget).
 	perFamily := b.NQueries / 8
@@ -268,11 +372,16 @@ func RunDistribution(s *Setup, c rl.Constraint, b Budget) *Distribution {
 		fam.mod(&fcfg)
 		env := rl.NewEnv(s.Env.DB, s.Env.Vocab, fcfg)
 		ftr := rl.NewTrainer(env, c, cfg)
-		ftr.TrainUntil(0.5, 2, b.TrainEpochs/4, b.EpisodesPerEpoch)
-		sat, _ := ftr.GenerateSatisfied(perFamily, b.MaxAttempts/4)
+		if _, err := ftr.TrainUntilContext(ctx, 0.5, 2, b.TrainEpochs/4, b.EpisodesPerEpoch); err != nil {
+			return profile, ctxErr(ctx)
+		}
+		sat, _, err := ftr.GenerateSatisfiedContext(ctx, perFamily, b.MaxAttempts/4)
+		if err != nil {
+			return profile, ctxErr(ctx)
+		}
 		profile.ByType[fam.kind] += len(sat)
 	}
-	return profile
+	return profile, nil
 }
 
 // ComplexRow is one point of Figure 11: seconds to generate m satisfied
@@ -286,8 +395,9 @@ type ComplexRow struct {
 
 // RunComplex regenerates Figure 11: for each complex statement kind and
 // each target count m, the time to produce m satisfied queries of that
-// kind under the cost constraint.
-func RunComplex(s *Setup, c rl.Constraint, ms []int, b Budget) []ComplexRow {
+// kind under the cost constraint. A done ctx stops the sweep and returns
+// the completed rows with the cancellation cause.
+func RunComplex(ctx context.Context, s *Setup, c rl.Constraint, ms []int, b Budget) ([]ComplexRow, error) {
 	kinds := []struct {
 		name   string
 		cfg    func(fsm.Config) fsm.Config
@@ -315,16 +425,22 @@ func RunComplex(s *Setup, c rl.Constraint, ms []int, b Budget) []ComplexRow {
 		var tr *rl.Trainer
 		trainTime := timeIt(func() {
 			tr = rl.NewTrainer(env, c, cfg)
-			tr.TrainUntil(0.5, 2, b.TrainEpochs, b.EpisodesPerEpoch)
+			_, _ = tr.TrainUntilContext(ctx, 0.5, 2, b.TrainEpochs, b.EpisodesPerEpoch)
 		})
+		if err := ctxErr(ctx); err != nil {
+			return rows, err
+		}
 		for _, m := range ms {
 			found := 0
 			elapsed := timeIt(func() {
 				attempts := 0
 				for attempts < b.MaxAttempts && found < m {
-					gen := tr.Generate(1)[0]
+					gen, err := tr.GenerateContext(ctx, 1)
+					if err != nil {
+						return
+					}
 					attempts++
-					if gen.Satisfied && k.filter(gen.Statement) {
+					if gen[0].Satisfied && k.filter(gen[0].Statement) {
 						found++
 					}
 				}
@@ -334,9 +450,12 @@ func RunComplex(s *Setup, c rl.Constraint, ms []int, b Budget) []ComplexRow {
 				Kind: k.name, M: m,
 				Seconds: extrapolate(total, found, m), Found: found,
 			})
+			if err := ctxErr(ctx); err != nil {
+				return rows, err
+			}
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // SampleSizeRow is one point of Figure 12.
@@ -348,19 +467,30 @@ type SampleSizeRow struct {
 
 // RunSampleSize regenerates Figure 12: sweep the per-column value-sample
 // size k (the paper's sample ratio η), measuring accuracy and total
-// generation time (training + inference).
-func RunSampleSize(dataset string, scale float64, seed int64, ks []int, c rl.Constraint, b Budget) ([]SampleSizeRow, error) {
+// generation time (training + inference). A done ctx stops the sweep and
+// returns the completed rows with the cancellation cause.
+func RunSampleSize(ctx context.Context, dataset string, scale float64, seed int64, ks []int, c rl.Constraint, b Budget) ([]SampleSizeRow, error) {
 	var rows []SampleSizeRow
 	for _, k := range ks {
 		s, err := NewSetup(dataset, scale, k, seed)
 		if err != nil {
-			return nil, err
+			return rows, err
 		}
 		var acc float64
 		elapsed := timeIt(func() {
-			tr := s.trainLearned(c, b)
-			acc = accuracy(tr.Generate(b.NQueries))
+			tr, err := s.trainLearned(ctx, c, b)
+			if err != nil {
+				return
+			}
+			gen, err := tr.GenerateContext(ctx, b.NQueries)
+			if err != nil {
+				return
+			}
+			acc = accuracy(gen)
 		})
+		if err := ctxErr(ctx); err != nil {
+			return rows, err
+		}
 		rows = append(rows, SampleSizeRow{SampleK: k, Accuracy: acc, Seconds: elapsed})
 	}
 	return rows, nil

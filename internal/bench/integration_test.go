@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -123,7 +124,10 @@ func TestTrainedPolicyBeatsRandomAcrossDatasets(t *testing.T) {
 				NQueries: 100, NSatisfied: 5, MaxAttempts: 300,
 				TrainEpochs: 120, EpisodesPerEpoch: 25, Templates: 6,
 			}
-			tr := s.trainLearned(c, budget)
+			tr, err := s.trainLearned(context.Background(), c, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
 			learned := accuracy(tr.Generate(budget.NQueries))
 			random := accuracy(s.randomBaseline(c).Generate(budget.NQueries))
 			if learned <= random {

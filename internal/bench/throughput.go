@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"learnedsqlgen/internal/rl"
 )
 
@@ -9,11 +11,11 @@ import (
 // budget, then generate NQueries statements, and report the sustained
 // episode rate plus how much work the two caches absorbed.
 type ThroughputRow struct {
-	Workers       int
-	CacheEnabled  bool // estimator memoization
-	PrefixEnabled bool // actor prefix-state cache (inference rollouts)
-	Episodes      uint64
-	Seconds       float64
+	Workers        int
+	CacheEnabled   bool // estimator memoization
+	PrefixEnabled  bool // actor prefix-state cache (inference rollouts)
+	Episodes       uint64
+	Seconds        float64
 	EpisodesPerSec float64
 	// Speedup is EpisodesPerSec relative to the first workersList entry
 	// with the same cache settings (pass workers ascending, starting at 1,
@@ -33,7 +35,7 @@ type ThroughputRow struct {
 // the episode index, every row performs identical episode work and emits
 // identical queries — the rows differ only in wall-clock and cache
 // traffic.
-func RunThroughput(s *Setup, c rl.Constraint, b Budget, workersList []int) []ThroughputRow {
+func RunThroughput(ctx context.Context, s *Setup, c rl.Constraint, b Budget, workersList []int) ([]ThroughputRow, error) {
 	var out []ThroughputRow
 	for _, cache := range []bool{false, true} {
 		for _, prefix := range []bool{false, true} {
@@ -51,8 +53,12 @@ func RunThroughput(s *Setup, c rl.Constraint, b Budget, workersList []int) []Thr
 					cfg.PrefixCacheSize = -1
 				}
 				tr := rl.NewTrainer(env, c, cfg)
-				tr.Train(b.TrainEpochs, b.EpisodesPerEpoch)
-				tr.Generate(b.NQueries)
+				if _, err := tr.TrainContext(ctx, b.TrainEpochs, b.EpisodesPerEpoch); err != nil {
+					return out, ctxErr(ctx)
+				}
+				if _, err := tr.GenerateContext(ctx, b.NQueries); err != nil {
+					return out, ctxErr(ctx)
+				}
 				st := tr.Stats()
 				row := ThroughputRow{
 					Workers:        w,
@@ -75,5 +81,5 @@ func RunThroughput(s *Setup, c rl.Constraint, b Budget, workersList []int) []Thr
 			}
 		}
 	}
-	return out
+	return out, nil
 }

@@ -124,6 +124,8 @@ func mustAppend(db *storage.Database, table string, rows ...storage.Row) {
 func mustBuild(b *schema.Builder) *schema.Schema {
 	s, err := b.Build()
 	if err != nil {
+		// The three benchmark schemas are compiled in; a build error is a
+		// bug in their declarations, never a user input — panic.
 		panic("datagen: schema: " + err.Error())
 	}
 	return s

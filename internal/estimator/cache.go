@@ -2,6 +2,7 @@ package estimator
 
 import (
 	"container/list"
+	"context"
 	"sync"
 
 	"learnedsqlgen/internal/sqlast"
@@ -78,33 +79,7 @@ func (c *Cached) Inner() *Estimator { return c.inner }
 // Estimate returns the memoized estimate for st, running the underlying
 // estimator on a miss.
 func (c *Cached) Estimate(st sqlast.Statement) (Estimate, error) {
-	key := st.SQL()
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		c.hits++
-		e := el.Value.(*cacheEntry)
-		c.mu.Unlock()
-		return e.est, e.err
-	}
-	c.misses++
-	c.mu.Unlock()
-
-	est, err := c.inner.Estimate(st)
-
-	c.mu.Lock()
-	if _, ok := c.entries[key]; !ok {
-		el := c.order.PushFront(&cacheEntry{key: key, est: est, err: err})
-		c.entries[key] = el
-		if c.order.Len() > c.capacity {
-			oldest := c.order.Back()
-			c.order.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
-			c.evictions++
-		}
-	}
-	c.mu.Unlock()
-	return est, err
+	return c.EstimateContext(context.Background(), st)
 }
 
 // Stats snapshots the counters.

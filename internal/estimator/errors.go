@@ -1,0 +1,78 @@
+package estimator
+
+import (
+	"context"
+	"errors"
+
+	"learnedsqlgen/internal/sqlast"
+)
+
+// Sentinel errors classifying why an estimate was refused. Every error
+// returned by Estimate wraps exactly one of them, so callers can branch
+// with errors.Is instead of string matching. During RL training these are
+// not failures: an unestimable prefix is the environment's normal negative
+// feedback, and the memoizing cache stores them like any other result.
+var (
+	// ErrUnestimable marks statements the estimator cannot price:
+	// structurally incomplete queries (no tables, dangling joins) and
+	// statement or predicate forms outside the supported grammar.
+	ErrUnestimable = errors.New("estimator: statement not estimable")
+	// ErrUnknownObject marks references to tables or columns absent from
+	// the schema or statistics — the statement is well-formed but names
+	// objects the estimator has never seen.
+	ErrUnknownObject = errors.New("estimator: unknown object")
+)
+
+// EstimateContext is Estimate with cancellation: a done ctx short-circuits
+// before any statistics work and returns its error unwrapped (callers
+// distinguish cancellation from estimation refusals with errors.Is against
+// context.Canceled / context.DeadlineExceeded). Estimation itself is pure
+// in-memory arithmetic, so one entry check bounds the latency added after
+// cancel to a single statement's estimate.
+func (e *Estimator) EstimateContext(ctx context.Context, st sqlast.Statement) (Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
+	return e.Estimate(st)
+}
+
+// EstimateContext is Cached.Estimate with cancellation. Hits are served
+// regardless of ctx (the lookup is a mutex-guarded map read). On a miss a
+// done ctx returns its error without running the estimator — and, unlike
+// estimation refusals, a cancellation error is never inserted into the
+// cache: it describes this call, not the statement, and caching it would
+// poison every future lookup of the key.
+func (c *Cached) EstimateContext(ctx context.Context, st sqlast.Statement) (Estimate, error) {
+	key := st.SQL()
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		return e.est, e.err
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
+	// The inner call deliberately takes no ctx: after the check above the
+	// result (estimate or refusal) is ctx-independent and safe to cache.
+	est, err := c.inner.Estimate(st)
+
+	c.mu.Lock()
+	if _, ok := c.entries[key]; !ok {
+		el := c.order.PushFront(&cacheEntry{key: key, est: est, err: err})
+		c.entries[key] = el
+		if c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	return est, err
+}

@@ -76,17 +76,17 @@ func (e *Estimator) Estimate(st sqlast.Statement) (Estimate, error) {
 	case *sqlast.Delete:
 		return e.estimateUpdateDelete(t.Table, t.Where, 0)
 	default:
-		return Estimate{}, fmt.Errorf("estimator: unsupported statement %T", st)
+		return Estimate{}, fmt.Errorf("%w: unsupported statement %T", ErrUnestimable, st)
 	}
 }
 
 // EstimateSelect estimates a SELECT query.
 func (e *Estimator) EstimateSelect(q *sqlast.Select) (Estimate, error) {
 	if len(q.Tables) == 0 || len(q.Items) == 0 {
-		return Estimate{}, fmt.Errorf("estimator: incomplete SELECT")
+		return Estimate{}, fmt.Errorf("%w: incomplete SELECT", ErrUnestimable)
 	}
 	if len(q.Joins) != len(q.Tables)-1 {
-		return Estimate{}, fmt.Errorf("estimator: malformed join list")
+		return Estimate{}, fmt.Errorf("%w: malformed join list", ErrUnestimable)
 	}
 
 	var cost float64
@@ -94,7 +94,7 @@ func (e *Estimator) EstimateSelect(q *sqlast.Select) (Estimate, error) {
 	// Join cardinality: |T0| then NDV containment per join edge.
 	t0 := e.Stats.Table(q.Tables[0])
 	if t0 == nil {
-		return Estimate{}, fmt.Errorf("estimator: unknown table %q", q.Tables[0])
+		return Estimate{}, fmt.Errorf("%w: table %q", ErrUnknownObject, q.Tables[0])
 	}
 	card := float64(t0.RowCount)
 	cost += float64(t0.RowCount) * e.Cost.CPUTuple
@@ -102,7 +102,7 @@ func (e *Estimator) EstimateSelect(q *sqlast.Select) (Estimate, error) {
 	for i := 1; i < len(q.Tables); i++ {
 		ti := e.Stats.Table(q.Tables[i])
 		if ti == nil {
-			return Estimate{}, fmt.Errorf("estimator: unknown table %q", q.Tables[i])
+			return Estimate{}, fmt.Errorf("%w: table %q", ErrUnknownObject, q.Tables[i])
 		}
 		j := q.Joins[i-1]
 		lNDV, err := e.columnNDV(j.Left)
@@ -179,15 +179,15 @@ func (e *Estimator) EstimateSelect(q *sqlast.Select) (Estimate, error) {
 func (e *Estimator) columnStats(q schema.QualifiedColumn) (*stats.ColumnStats, error) {
 	t := e.Schema.TableByName(q.Table)
 	if t == nil {
-		return nil, fmt.Errorf("estimator: unknown table %q", q.Table)
+		return nil, fmt.Errorf("%w: table %q", ErrUnknownObject, q.Table)
 	}
 	ci := t.ColumnIndex(q.Column)
 	if ci < 0 {
-		return nil, fmt.Errorf("estimator: unknown column %s", q)
+		return nil, fmt.Errorf("%w: column %s", ErrUnknownObject, q)
 	}
 	cs := e.Stats.Column(q.Table, ci)
 	if cs == nil {
-		return nil, fmt.Errorf("estimator: no statistics for %s", q)
+		return nil, fmt.Errorf("%w: no statistics for %s", ErrUnknownObject, q)
 	}
 	return cs, nil
 }
@@ -320,7 +320,7 @@ func (e *Estimator) predicateSelectivity(p sqlast.Predicate) (sel, cost float64,
 		return 1 - s, c, nil
 
 	default:
-		return 0, 0, fmt.Errorf("estimator: unsupported predicate %T", p)
+		return 0, 0, fmt.Errorf("%w: unsupported predicate %T", ErrUnestimable, p)
 	}
 }
 
@@ -400,7 +400,7 @@ func (e *Estimator) havingSelectivity(h *sqlast.Having) (sel, cost float64, err 
 
 func (e *Estimator) estimateInsert(st *sqlast.Insert) (Estimate, error) {
 	if e.Stats.Table(st.Table) == nil {
-		return Estimate{}, fmt.Errorf("estimator: unknown table %q", st.Table)
+		return Estimate{}, fmt.Errorf("%w: table %q", ErrUnknownObject, st.Table)
 	}
 	if st.Sub != nil {
 		sub, err := e.EstimateSelect(st.Sub)
@@ -415,7 +415,7 @@ func (e *Estimator) estimateInsert(st *sqlast.Insert) (Estimate, error) {
 func (e *Estimator) estimateUpdateDelete(table string, where sqlast.Predicate, nSets int) (Estimate, error) {
 	ts := e.Stats.Table(table)
 	if ts == nil {
-		return Estimate{}, fmt.Errorf("estimator: unknown table %q", table)
+		return Estimate{}, fmt.Errorf("%w: table %q", ErrUnknownObject, table)
 	}
 	rows := float64(ts.RowCount)
 	cost := rows * e.Cost.CPUTuple

@@ -62,21 +62,21 @@ func (e *Estimator) Explain(st sqlast.Statement) (*PlanNode, error) {
 		}
 		return &PlanNode{Op: op, Detail: detail, Rows: est.Card, Cost: est.Cost}, nil
 	default:
-		return nil, fmt.Errorf("estimator: unsupported statement %T", st)
+		return nil, fmt.Errorf("%w: unsupported statement %T", ErrUnestimable, st)
 	}
 }
 
 func (e *Estimator) explainSelect(q *sqlast.Select) (*PlanNode, error) {
 	if len(q.Tables) == 0 || len(q.Items) == 0 {
-		return nil, fmt.Errorf("estimator: incomplete SELECT")
+		return nil, fmt.Errorf("%w: incomplete SELECT", ErrUnestimable)
 	}
 	if len(q.Joins) != len(q.Tables)-1 {
-		return nil, fmt.Errorf("estimator: malformed join list")
+		return nil, fmt.Errorf("%w: malformed join list", ErrUnestimable)
 	}
 
 	t0 := e.Stats.Table(q.Tables[0])
 	if t0 == nil {
-		return nil, fmt.Errorf("estimator: unknown table %q", q.Tables[0])
+		return nil, fmt.Errorf("%w: table %q", ErrUnknownObject, q.Tables[0])
 	}
 	card := float64(t0.RowCount)
 	cost := card * e.Cost.CPUTuple
@@ -85,7 +85,7 @@ func (e *Estimator) explainSelect(q *sqlast.Select) (*PlanNode, error) {
 	for i := 1; i < len(q.Tables); i++ {
 		ti := e.Stats.Table(q.Tables[i])
 		if ti == nil {
-			return nil, fmt.Errorf("estimator: unknown table %q", q.Tables[i])
+			return nil, fmt.Errorf("%w: table %q", ErrUnknownObject, q.Tables[i])
 		}
 		j := q.Joins[i-1]
 		lNDV, err := e.columnNDV(j.Left)

@@ -14,7 +14,7 @@ import (
 func (e *Executor) Insert(st *sqlast.Insert) (*Result, error) {
 	tab := e.db.Table(st.Table)
 	if tab == nil {
-		return nil, fmt.Errorf("executor: unknown table %q", st.Table)
+		return nil, fmt.Errorf("%w: table %q", ErrUnknownObject, st.Table)
 	}
 	res := &Result{}
 	width := len(tab.Meta.Columns)
@@ -27,8 +27,8 @@ func (e *Executor) Insert(st *sqlast.Insert) (*Result, error) {
 		res.Work += r.Work
 		for _, row := range r.Rows {
 			if len(row) != width {
-				return nil, fmt.Errorf("executor: INSERT SELECT arity %d != %d columns of %s",
-					len(row), width, st.Table)
+				return nil, fmt.Errorf("%w: INSERT SELECT arity %d != %d columns of %s",
+					ErrUnsupported, len(row), width, st.Table)
 			}
 			cp := make(storage.Row, len(row))
 			copy(cp, row)
@@ -42,8 +42,8 @@ func (e *Executor) Insert(st *sqlast.Insert) (*Result, error) {
 	}
 
 	if len(st.Values) != width {
-		return nil, fmt.Errorf("executor: INSERT arity %d != %d columns of %s",
-			len(st.Values), width, st.Table)
+		return nil, fmt.Errorf("%w: INSERT arity %d != %d columns of %s",
+			ErrUnsupported, len(st.Values), width, st.Table)
 	}
 	row := make(storage.Row, width)
 	copy(row, st.Values)
@@ -59,7 +59,7 @@ func (e *Executor) Insert(st *sqlast.Insert) (*Result, error) {
 func (e *Executor) Update(st *sqlast.Update) (*Result, error) {
 	tab := e.db.Table(st.Table)
 	if tab == nil {
-		return nil, fmt.Errorf("executor: unknown table %q", st.Table)
+		return nil, fmt.Errorf("%w: table %q", ErrUnknownObject, st.Table)
 	}
 	res := &Result{}
 	sc, err := e.buildScope([]string{st.Table})
@@ -77,7 +77,7 @@ func (e *Executor) Update(st *sqlast.Update) (*Result, error) {
 	for i, s := range st.Sets {
 		ci := tab.Meta.ColumnIndex(s.Col)
 		if ci < 0 {
-			return nil, fmt.Errorf("executor: unknown column %s.%s", st.Table, s.Col)
+			return nil, fmt.Errorf("%w: column %s.%s", ErrUnknownObject, st.Table, s.Col)
 		}
 		sets[i].idx = ci
 		sets[i].val = s.Value
@@ -116,7 +116,7 @@ func (e *Executor) Update(st *sqlast.Update) (*Result, error) {
 func (e *Executor) Delete(st *sqlast.Delete) (*Result, error) {
 	tab := e.db.Table(st.Table)
 	if tab == nil {
-		return nil, fmt.Errorf("executor: unknown table %q", st.Table)
+		return nil, fmt.Errorf("%w: table %q", ErrUnknownObject, st.Table)
 	}
 	res := &Result{}
 	sc, err := e.buildScope([]string{st.Table})

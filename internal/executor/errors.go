@@ -1,0 +1,48 @@
+package executor
+
+import (
+	"context"
+	"errors"
+
+	"learnedsqlgen/internal/sqlast"
+)
+
+// Sentinel errors classifying execution refusals. Every statement-shape
+// error returned by Execute wraps one of them for errors.Is dispatch;
+// cancellation surfaces as the context's own error (context.Canceled /
+// context.DeadlineExceeded), never wrapped in these.
+var (
+	// ErrUnsupported marks statements the executor cannot run: kinds or
+	// plan shapes outside the supported grammar, and structurally
+	// malformed queries (dangling joins, arity mismatches, ORDER BY or
+	// GROUP BY violations).
+	ErrUnsupported = errors.New("executor: unsupported statement")
+	// ErrUnknownObject marks references to tables or columns that do not
+	// exist in the executor's database.
+	ErrUnknownObject = errors.New("executor: unknown object")
+)
+
+// ExecuteContext is Execute with cancellation: the executor re-checks ctx
+// at every pipeline stage boundary (per join edge, before filtering,
+// before projection), so a cancelled true-execution reward call abandons a
+// large join mid-plan instead of running it to completion. Executors are
+// built per call (executor.New(db.Clone())), so carrying the ctx on the
+// receiver is safe.
+func (e *Executor) ExecuteContext(ctx context.Context, st sqlast.Statement) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	prev := e.ctx
+	e.ctx = ctx
+	defer func() { e.ctx = prev }()
+	return e.Execute(st)
+}
+
+// checkCtx reports the pending cancellation, if any. Executors built
+// without ExecuteContext carry no ctx and never cancel.
+func (e *Executor) checkCtx() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}

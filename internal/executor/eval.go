@@ -226,6 +226,6 @@ func (e *Executor) evalPred(p sqlast.Predicate, sc *scope, row []sqltypes.Value,
 		return !v, nil
 
 	default:
-		return false, fmt.Errorf("executor: unsupported predicate %T", p)
+		return false, fmt.Errorf("%w: predicate %T", ErrUnsupported, p)
 	}
 }

@@ -11,6 +11,7 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,6 +38,9 @@ type Result struct {
 // Executor runs statements against one database.
 type Executor struct {
 	db *storage.Database
+	// ctx is the cancellation context of the current ExecuteContext call;
+	// nil when the ctx-less API is used.
+	ctx context.Context
 }
 
 // New returns an executor over db.
@@ -54,7 +58,7 @@ func (e *Executor) Execute(st sqlast.Statement) (*Result, error) {
 	case *sqlast.Delete:
 		return e.Delete(t)
 	default:
-		return nil, fmt.Errorf("executor: unsupported statement %T", st)
+		return nil, fmt.Errorf("%w: statement %T", ErrUnsupported, st)
 	}
 }
 
@@ -71,10 +75,10 @@ func (e *Executor) buildScope(tables []string) (*scope, error) {
 	for _, name := range tables {
 		t := e.db.Table(name)
 		if t == nil {
-			return nil, fmt.Errorf("executor: unknown table %q", name)
+			return nil, fmt.Errorf("%w: table %q", ErrUnknownObject, name)
 		}
 		if _, dup := sc.offsets[name]; dup {
-			return nil, fmt.Errorf("executor: table %q appears twice in FROM", name)
+			return nil, fmt.Errorf("%w: table %q appears twice in FROM", ErrUnsupported, name)
 		}
 		sc.offsets[name] = sc.width
 		sc.tables = append(sc.tables, t)
@@ -87,13 +91,13 @@ func (e *Executor) buildScope(tables []string) (*scope, error) {
 func (sc *scope) slot(q sqlQC) (int, error) {
 	base, ok := sc.offsets[q.Table]
 	if !ok {
-		return 0, fmt.Errorf("executor: column %s references table outside FROM scope", q)
+		return 0, fmt.Errorf("%w: column %s references table outside FROM scope", ErrUnknownObject, q)
 	}
 	for _, t := range sc.tables {
 		if t.Meta.Name == q.Table {
 			ci := t.Meta.ColumnIndex(q.Column)
 			if ci < 0 {
-				return 0, fmt.Errorf("executor: unknown column %s", q)
+				return 0, fmt.Errorf("%w: column %s", ErrUnknownObject, q)
 			}
 			return base + ci, nil
 		}
@@ -104,14 +108,14 @@ func (sc *scope) slot(q sqlQC) (int, error) {
 // Select executes a SELECT query.
 func (e *Executor) Select(q *sqlast.Select) (*Result, error) {
 	if len(q.Tables) == 0 {
-		return nil, fmt.Errorf("executor: SELECT with empty FROM")
+		return nil, fmt.Errorf("%w: SELECT with empty FROM", ErrUnsupported)
 	}
 	if len(q.Items) == 0 {
-		return nil, fmt.Errorf("executor: SELECT with no projection")
+		return nil, fmt.Errorf("%w: SELECT with no projection", ErrUnsupported)
 	}
 	if len(q.Joins) != len(q.Tables)-1 {
-		return nil, fmt.Errorf("executor: %d tables need %d join conditions, got %d",
-			len(q.Tables), len(q.Tables)-1, len(q.Joins))
+		return nil, fmt.Errorf("%w: %d tables need %d join conditions, got %d",
+			ErrUnsupported, len(q.Tables), len(q.Tables)-1, len(q.Joins))
 	}
 	sc, err := e.buildScope(q.Tables)
 	if err != nil {
@@ -130,6 +134,9 @@ func (e *Executor) Select(q *sqlast.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := e.checkCtx(); err != nil {
+		return nil, err
+	}
 
 	// WHERE.
 	if q.Where != nil {
@@ -144,6 +151,10 @@ func (e *Executor) Select(q *sqlast.Select) (*Result, error) {
 			}
 		}
 		rows = filtered
+	}
+
+	if err := e.checkCtx(); err != nil {
+		return nil, err
 	}
 
 	// Aggregation / projection.
@@ -167,7 +178,7 @@ func (e *Executor) Select(q *sqlast.Select) (*Result, error) {
 				}
 			}
 			if idx < 0 {
-				return nil, fmt.Errorf("executor: ORDER BY column %s not in projection", c)
+				return nil, fmt.Errorf("%w: ORDER BY column %s not in projection", ErrUnsupported, c)
 			}
 			slots[i] = idx
 		}
@@ -201,6 +212,9 @@ func (e *Executor) joinPipeline(q *sqlast.Select, sc *scope, res *Result) ([]sto
 	res.Work += float64(anchor.NumRows())
 
 	for i := 1; i < len(sc.tables); i++ {
+		if err := e.checkCtx(); err != nil {
+			return nil, err
+		}
 		right := sc.tables[i]
 		jc := q.Joins[i-1]
 		leftSlot, err := sc.slot(sqlQC(jc.Left))
@@ -208,12 +222,12 @@ func (e *Executor) joinPipeline(q *sqlast.Select, sc *scope, res *Result) ([]sto
 			return nil, err
 		}
 		if jc.Right.Table != right.Meta.Name {
-			return nil, fmt.Errorf("executor: join condition %v does not bind table %s",
-				jc, right.Meta.Name)
+			return nil, fmt.Errorf("%w: join condition %v does not bind table %s",
+				ErrUnsupported, jc, right.Meta.Name)
 		}
 		rci := right.Meta.ColumnIndex(jc.Right.Column)
 		if rci < 0 {
-			return nil, fmt.Errorf("executor: unknown join column %s", jc.Right)
+			return nil, fmt.Errorf("%w: join column %s", ErrUnknownObject, jc.Right)
 		}
 		// Build hash table on the right side.
 		ht := make(map[uint64][]storage.Row, right.NumRows())
@@ -285,7 +299,7 @@ func (e *Executor) project(q *sqlast.Select, sc *scope, rows []storage.Row, subs
 	}
 	for _, it := range q.Items {
 		if it.Agg == sqlast.AggNone && !gset[sqlQC(it.Col)] {
-			return nil, nil, fmt.Errorf("executor: non-aggregated column %s not in GROUP BY", it.Col)
+			return nil, nil, fmt.Errorf("%w: non-aggregated column %s not in GROUP BY", ErrUnsupported, it.Col)
 		}
 	}
 

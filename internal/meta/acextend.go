@@ -1,6 +1,7 @@
 package meta
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -57,17 +58,23 @@ func (x *ACExtend) taskRow(c rl.Constraint) int {
 
 // trainConstraint runs episodes under one constraint, updating the shared
 // networks. Batches roll out concurrently (every episode of a batch
-// shares the constraint's task-row start token).
-func (x *ACExtend) trainConstraint(c rl.Constraint, episodes int) rl.EpochStats {
+// shares the constraint's task-row start token). A done ctx stops at the
+// next batch boundary without applying a partial update.
+func (x *ACExtend) trainConstraint(ctx context.Context, c rl.Constraint, episodes int) (rl.EpochStats, error) {
 	x.sampler.SetConstraint(c)
 	start := x.taskRow(c)
 	stats := rl.EpochStats{}
+	var trainErr error
 	for done := 0; done < episodes; {
 		n := x.Cfg.BatchSize
 		if rest := episodes - done; n > rest {
 			n = rest
 		}
-		batch := x.sampler.SampleBatch(x.actor, start, n, false, true)
+		batch, err := x.sampler.SampleBatchContext(ctx, x.actor, start, n, false, true)
+		if err != nil {
+			trainErr = err
+			break
+		}
 		starts := make([]int, n)
 		for i, traj := range batch {
 			starts[i] = start
@@ -84,7 +91,7 @@ func (x *ACExtend) trainConstraint(c rl.Constraint, episodes int) rl.EpochStats 
 		stats.AvgReward /= float64(stats.Episodes)
 		stats.SatisfiedRate /= float64(stats.Episodes)
 	}
-	return stats
+	return stats, trainErr
 }
 
 // update applies one batched actor–critic step; the critic re-processes
@@ -133,11 +140,24 @@ func (x *ACExtend) update(batch []*rl.Trajectory, starts []int) {
 
 // Pretrain cycles the K tasks for rounds, like MetaTrainer.Pretrain.
 func (x *ACExtend) Pretrain(rounds, episodesPerTask int) []rl.EpochStats {
+	out, _ := x.PretrainContext(context.Background(), rounds, episodesPerTask)
+	return out
+}
+
+// PretrainContext is Pretrain under ctx, rl.Config.TrainBudget, and
+// rl.Config.OnEpoch (per completed round), mirroring
+// MetaTrainer.PretrainContext.
+func (x *ACExtend) PretrainContext(ctx context.Context, rounds, episodesPerTask int) ([]rl.EpochStats, error) {
+	tctx, cancel := trainCtx(ctx, x.Cfg)
+	defer cancel()
 	var out []rl.EpochStats
 	for r := 0; r < rounds; r++ {
 		agg := rl.EpochStats{}
 		for _, c := range x.Tasks {
-			s := x.trainConstraint(c, episodesPerTask)
+			s, err := x.trainConstraint(tctx, c, episodesPerTask)
+			if err != nil {
+				return out, stopErr(len(out), tctx)
+			}
 			agg.Episodes += s.Episodes
 			agg.AvgReward += s.AvgReward
 			agg.SatisfiedRate += s.SatisfiedRate
@@ -145,38 +165,67 @@ func (x *ACExtend) Pretrain(rounds, episodesPerTask int) []rl.EpochStats {
 		agg.AvgReward /= float64(len(x.Tasks))
 		agg.SatisfiedRate /= float64(len(x.Tasks))
 		out = append(out, agg)
+		if err := onEpoch(x.Cfg, len(out), agg); err != nil {
+			return out, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // AdaptEpoch continues training the shared networks on a new constraint
 // and returns the epoch stats.
 func (x *ACExtend) AdaptEpoch(c rl.Constraint, episodes int) rl.EpochStats {
-	return x.trainConstraint(c, episodes)
+	s, _ := x.AdaptEpochContext(context.Background(), c, episodes)
+	return s
+}
+
+// AdaptEpochContext is AdaptEpoch with cancellation.
+func (x *ACExtend) AdaptEpochContext(ctx context.Context, c rl.Constraint, episodes int) (rl.EpochStats, error) {
+	return x.trainConstraint(ctx, c, episodes)
 }
 
 // Generate samples n statements for constraint c.
 func (x *ACExtend) Generate(c rl.Constraint, n int) []rl.Generated {
+	out, _ := x.GenerateContext(context.Background(), c, n)
+	return out
+}
+
+// GenerateContext is Generate with cancellation.
+func (x *ACExtend) GenerateContext(ctx context.Context, c rl.Constraint, n int) ([]rl.Generated, error) {
 	x.sampler.SetConstraint(c)
 	start := x.taskRow(c)
+	batch, err := x.sampler.SampleBatchContext(ctx, x.actor, start, n, false, false)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]rl.Generated, 0, n)
-	for _, traj := range x.sampler.SampleBatch(x.actor, start, n, false, false) {
+	for _, traj := range batch {
 		out = append(out, rl.Generated{
 			Statement: traj.Final, SQL: traj.Final.SQL(),
 			Measured: traj.Measured, Satisfied: traj.Satisfied,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // GenerateSatisfied samples until n satisfied statements or maxAttempts.
 func (x *ACExtend) GenerateSatisfied(c rl.Constraint, n, maxAttempts int) ([]rl.Generated, int) {
+	out, attempts, _ := x.GenerateSatisfiedContext(context.Background(), c, n, maxAttempts)
+	return out, attempts
+}
+
+// GenerateSatisfiedContext is GenerateSatisfied with cancellation.
+func (x *ACExtend) GenerateSatisfiedContext(ctx context.Context, c rl.Constraint, n, maxAttempts int) ([]rl.Generated, int, error) {
 	x.sampler.SetConstraint(c)
 	start := x.taskRow(c)
 	var out []rl.Generated
 	attempts := 0
 	for attempts < maxAttempts && len(out) < n {
-		traj := x.sampler.SampleEpisodeFrom(x.actor, start, false, false)
+		batch, err := x.sampler.SampleBatchContext(ctx, x.actor, start, 1, false, false)
+		if err != nil {
+			return out, attempts, err
+		}
+		traj := batch[0]
 		attempts++
 		if traj.Satisfied {
 			out = append(out, rl.Generated{
@@ -185,5 +234,5 @@ func (x *ACExtend) GenerateSatisfied(c rl.Constraint, n, maxAttempts int) ([]rl.
 			})
 		}
 	}
-	return out, attempts
+	return out, attempts, nil
 }

@@ -1,0 +1,40 @@
+package meta
+
+import (
+	"context"
+	"fmt"
+
+	"learnedsqlgen/internal/rl"
+)
+
+// trainCtx derives the pre-training/adaptation context from
+// rl.Config.TrainBudget, mirroring the rl package: budget expiry cancels
+// with cause rl.ErrBudgetExceeded so callers can errors.Is against it.
+func trainCtx(ctx context.Context, cfg rl.Config) (context.Context, context.CancelFunc) {
+	if cfg.TrainBudget <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeoutCause(ctx, cfg.TrainBudget, rl.ErrBudgetExceeded)
+}
+
+// stopErr wraps the cause a training loop stopped with the number of
+// completed epochs (rounds for pre-training).
+func stopErr(epochs int, ctx context.Context) error {
+	cause := context.Cause(ctx)
+	if cause == nil {
+		cause = ctx.Err()
+	}
+	return fmt.Errorf("meta: training stopped after %d epochs: %w", epochs, cause)
+}
+
+// onEpoch invokes the rl.Config.OnEpoch progress callback with the same
+// abort semantics as the rl train drivers.
+func onEpoch(cfg rl.Config, epochs int, s rl.EpochStats) error {
+	if cfg.OnEpoch == nil {
+		return nil
+	}
+	if err := cfg.OnEpoch(s); err != nil {
+		return &rl.EpochAbortError{Epoch: epochs, Err: err}
+	}
+	return nil
+}

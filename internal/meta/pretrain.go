@@ -1,6 +1,7 @@
 package meta
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -130,16 +131,22 @@ func (m *MetaTrainer) trainBatch(actor *nn.SeqNet, opt *nn.Adam, batch []*rl.Tra
 // trainActor runs episodes for one (actor, constraint) pair, returning the
 // epoch stats. Batches roll out concurrently on Cfg.Workers goroutines
 // via the shared sampler; the meta-critic and actor update at the batch
-// barrier.
-func (m *MetaTrainer) trainActor(actor *nn.SeqNet, opt *nn.Adam, c rl.Constraint, episodes int) rl.EpochStats {
+// barrier. A done ctx stops at the next batch boundary without applying a
+// partial update; the error is non-nil iff the run was cut short.
+func (m *MetaTrainer) trainActor(ctx context.Context, actor *nn.SeqNet, opt *nn.Adam, c rl.Constraint, episodes int) (rl.EpochStats, error) {
 	m.sampler.SetConstraint(c)
 	stats := rl.EpochStats{}
+	var trainErr error
 	for done := 0; done < episodes; {
 		n := m.Cfg.BatchSize
 		if rest := episodes - done; n > rest {
 			n = rest
 		}
-		batch := m.sampler.SampleBatch(actor, actor.BOS(), n, false, true)
+		batch, err := m.sampler.SampleBatchContext(ctx, actor, actor.BOS(), n, false, true)
+		if err != nil {
+			trainErr = err
+			break
+		}
 		for _, traj := range batch {
 			stats.Episodes++
 			stats.AvgReward += traj.TotalReward
@@ -154,18 +161,34 @@ func (m *MetaTrainer) trainActor(actor *nn.SeqNet, opt *nn.Adam, c rl.Constraint
 		stats.AvgReward /= float64(stats.Episodes)
 		stats.SatisfiedRate /= float64(stats.Episodes)
 	}
-	return stats
+	return stats, trainErr
 }
 
 // Pretrain cycles the K tasks for the given number of rounds (each task
 // runs episodesPerTask episodes per round) and returns per-round stats
 // averaged over tasks.
 func (m *MetaTrainer) Pretrain(rounds, episodesPerTask int) []rl.EpochStats {
+	out, _ := m.PretrainContext(context.Background(), rounds, episodesPerTask)
+	return out
+}
+
+// PretrainContext is Pretrain under ctx, rl.Config.TrainBudget, and
+// rl.Config.OnEpoch (invoked once per completed round with the
+// task-averaged stats). The returned trace holds every completed round;
+// an interrupted round's partial stats are discarded. Weights reflect
+// whole-batch updates only, so a cancelled pre-train remains usable for
+// Adapt.
+func (m *MetaTrainer) PretrainContext(ctx context.Context, rounds, episodesPerTask int) ([]rl.EpochStats, error) {
+	tctx, cancel := trainCtx(ctx, m.Cfg)
+	defer cancel()
 	var out []rl.EpochStats
 	for r := 0; r < rounds; r++ {
 		agg := rl.EpochStats{}
 		for i, c := range m.Tasks {
-			s := m.trainActor(m.actors[i], m.actorOpts[i], c, episodesPerTask)
+			s, err := m.trainActor(tctx, m.actors[i], m.actorOpts[i], c, episodesPerTask)
+			if err != nil {
+				return out, stopErr(len(out), tctx)
+			}
 			agg.Episodes += s.Episodes
 			agg.AvgReward += s.AvgReward
 			agg.SatisfiedRate += s.SatisfiedRate
@@ -173,8 +196,11 @@ func (m *MetaTrainer) Pretrain(rounds, episodesPerTask int) []rl.EpochStats {
 		agg.AvgReward /= float64(len(m.Tasks))
 		agg.SatisfiedRate /= float64(len(m.Tasks))
 		out = append(out, agg)
+		if err := onEpoch(m.Cfg, len(out), agg); err != nil {
+			return out, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // Adapted is a new-constraint trainer backed by the pre-trained
@@ -212,13 +238,25 @@ func (m *MetaTrainer) Adapt(c rl.Constraint) *Adapted {
 
 // TrainEpoch trains the adapted actor with meta-critic guidance.
 func (a *Adapted) TrainEpoch(episodes int) rl.EpochStats {
+	s, _ := a.TrainEpochContext(context.Background(), episodes)
+	return s
+}
+
+// TrainEpochContext is TrainEpoch with cancellation; partial batches never
+// update the actor or the meta-critic.
+func (a *Adapted) TrainEpochContext(ctx context.Context, episodes int) (rl.EpochStats, error) {
 	stats := rl.EpochStats{}
+	var trainErr error
 	for done := 0; done < episodes; {
 		n := a.meta.Cfg.BatchSize
 		if rest := episodes - done; n > rest {
 			n = rest
 		}
-		batch := a.sampler.SampleBatch(a.actor, a.actor.BOS(), n, false, true)
+		batch, err := a.sampler.SampleBatchContext(ctx, a.actor, a.actor.BOS(), n, false, true)
+		if err != nil {
+			trainErr = err
+			break
+		}
 		for _, traj := range batch {
 			stats.Episodes++
 			stats.AvgReward += traj.TotalReward
@@ -233,7 +271,7 @@ func (a *Adapted) TrainEpoch(episodes int) rl.EpochStats {
 		stats.AvgReward /= float64(stats.Episodes)
 		stats.SatisfiedRate /= float64(stats.Episodes)
 	}
-	return stats
+	return stats, trainErr
 }
 
 // Stats snapshots the adapted trainer's rollout-throughput counters.
@@ -241,31 +279,68 @@ func (a *Adapted) Stats() rl.TrainStats { return a.sampler.Stats() }
 
 // Train runs epochs and returns stats traces (the Figure 9(c) curves).
 func (a *Adapted) Train(epochs, episodesPerEpoch int) []rl.EpochStats {
+	out, _ := a.TrainContext(context.Background(), epochs, episodesPerEpoch)
+	return out
+}
+
+// TrainContext runs epochs under ctx, rl.Config.TrainBudget, and
+// rl.Config.OnEpoch, with the same trace and error semantics as
+// rl.Trainer.TrainContext.
+func (a *Adapted) TrainContext(ctx context.Context, epochs, episodesPerEpoch int) ([]rl.EpochStats, error) {
+	tctx, cancel := trainCtx(ctx, a.meta.Cfg)
+	defer cancel()
 	out := make([]rl.EpochStats, 0, epochs)
 	for i := 0; i < epochs; i++ {
-		out = append(out, a.TrainEpoch(episodesPerEpoch))
+		s, err := a.TrainEpochContext(tctx, episodesPerEpoch)
+		if err != nil {
+			return out, stopErr(len(out), tctx)
+		}
+		out = append(out, s)
+		if err := onEpoch(a.meta.Cfg, len(out), s); err != nil {
+			return out, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // Generate samples n statements from the adapted policy.
 func (a *Adapted) Generate(n int) []rl.Generated {
+	out, _ := a.GenerateContext(context.Background(), n)
+	return out
+}
+
+// GenerateContext is Generate with cancellation.
+func (a *Adapted) GenerateContext(ctx context.Context, n int) ([]rl.Generated, error) {
+	batch, err := a.sampler.SampleBatchContext(ctx, a.actor, a.actor.BOS(), n, false, false)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]rl.Generated, 0, n)
-	for _, traj := range a.sampler.SampleBatch(a.actor, a.actor.BOS(), n, false, false) {
+	for _, traj := range batch {
 		out = append(out, rl.Generated{
 			Statement: traj.Final, SQL: traj.Final.SQL(),
 			Measured: traj.Measured, Satisfied: traj.Satisfied,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // GenerateSatisfied mirrors rl.Trainer.GenerateSatisfied.
 func (a *Adapted) GenerateSatisfied(n, maxAttempts int) ([]rl.Generated, int) {
+	out, attempts, _ := a.GenerateSatisfiedContext(context.Background(), n, maxAttempts)
+	return out, attempts
+}
+
+// GenerateSatisfiedContext is GenerateSatisfied with cancellation.
+func (a *Adapted) GenerateSatisfiedContext(ctx context.Context, n, maxAttempts int) ([]rl.Generated, int, error) {
 	var out []rl.Generated
 	attempts := 0
 	for attempts < maxAttempts && len(out) < n {
-		traj := a.sampler.SampleEpisode(a.actor, false, false)
+		batch, err := a.sampler.SampleBatchContext(ctx, a.actor, a.actor.BOS(), 1, false, false)
+		if err != nil {
+			return out, attempts, err
+		}
+		traj := batch[0]
 		attempts++
 		if traj.Satisfied {
 			out = append(out, rl.Generated{
@@ -274,5 +349,5 @@ func (a *Adapted) GenerateSatisfied(n, maxAttempts int) ([]rl.Generated, int) {
 			})
 		}
 	}
-	return out, attempts
+	return out, attempts, nil
 }

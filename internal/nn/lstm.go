@@ -51,6 +51,9 @@ func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 // passes nil and skips all BPTT bookkeeping.
 func (l *LSTM) StepInto(ws *Workspace, x, h, c []float64, cache *LSTMCache) {
 	H := l.Hidden
+	// Invariant, not an input error: SeqNet allocates every state vector
+	// from this layer's own In/Hidden, so a mismatch is a wiring bug in
+	// the network code — panic, don't return (see Mat.MulVec).
 	if len(x) != l.In || len(h) != H || len(c) != H {
 		panic(fmt.Sprintf("nn: LSTM.StepInto shapes x=%d h=%d c=%d, want in=%d hidden=%d",
 			len(x), len(h), len(c), l.In, H))
@@ -106,6 +109,7 @@ func (l *LSTM) StepInto(ws *Workspace, x, h, c []float64, cache *LSTMCache) {
 // dC is allowed — the running-gradient buffers of BPTT update in place.
 func (l *LSTM) BackwardInto(ws *Workspace, cache *LSTMCache, dH, dC, dx, dhPrev, dcPrev []float64) {
 	H := l.Hidden
+	// Invariant: see StepInto.
 	if len(dH) != H || len(dC) != H || len(dx) != l.In || len(dhPrev) != H || len(dcPrev) != H {
 		panic(fmt.Sprintf("nn: LSTM.BackwardInto shapes dH=%d dC=%d dx=%d dhPrev=%d dcPrev=%d, want in=%d hidden=%d",
 			len(dH), len(dC), len(dx), len(dhPrev), len(dcPrev), l.In, H))

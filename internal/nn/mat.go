@@ -57,6 +57,9 @@ func (m *Mat) XavierInit(rng *rand.Rand) {
 
 // MulVec computes y = M·x (x length Cols, y length Rows).
 func (m *Mat) MulVec(x, y []float64) {
+	// Invariant, not an input error: every caller sizes its vectors from
+	// the same network dimensions this matrix was built with, so a
+	// mismatch is a wiring bug in the layer code — panic, don't return.
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(fmt.Sprintf("nn: MulVec shape mismatch: %dx%d · %d -> %d",
 			m.Rows, m.Cols, len(x), len(y)))
@@ -74,6 +77,7 @@ func (m *Mat) MulVec(x, y []float64) {
 // MulVecT computes y = Mᵀ·x (x length Rows, y length Cols), accumulating
 // into y.
 func (m *Mat) MulVecT(x, y []float64) {
+	// Invariant: see MulVec.
 	if len(x) != m.Rows || len(y) != m.Cols {
 		panic(fmt.Sprintf("nn: MulVecT shape mismatch: %dx%dᵀ · %d -> %d",
 			m.Rows, m.Cols, len(x), len(y)))
@@ -92,6 +96,7 @@ func (m *Mat) MulVecT(x, y []float64) {
 
 // AddOuter accumulates M += a·bᵀ (a length Rows, b length Cols).
 func (m *Mat) AddOuter(a, b []float64) {
+	// Invariant: see MulVec.
 	if len(a) != m.Rows || len(b) != m.Cols {
 		panic("nn: AddOuter shape mismatch")
 	}

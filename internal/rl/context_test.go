@@ -1,0 +1,206 @@
+package rl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCancelMidEpoch cancels training mid-epoch with a full worker pool and
+// asserts the lifecycle contract: prompt return (within one episode of the
+// cancel), no leaked rollout goroutines, and a checkpoint that loads and
+// resumes training as if nothing happened.
+func TestCancelMidEpoch(t *testing.T) {
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.Seed = 3
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		trace []EpochStats
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		trace, err := tr.TrainContext(ctx, 10000, 50)
+		done <- result{trace, err}
+	}()
+
+	// Wait until rollouts are demonstrably in flight, then cancel
+	// mid-epoch (an epoch is 50 episodes; we cancel after a handful).
+	for atomic.LoadUint64(&tr.episodes) < 5 {
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	cancel()
+
+	var res result
+	select {
+	case res = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("TrainContext did not return after cancel")
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("TrainContext returned %v after cancel, want < 100ms", elapsed)
+	}
+	if res.err == nil {
+		t.Fatal("cancelled training must report an error")
+	}
+	if !errors.Is(res.err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", res.err)
+	}
+
+	// The worker pool must drain: allow the runtime a moment to retire the
+	// rollout goroutines, then compare against the pre-training count.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines after cancel = %d, want <= %d (worker leak)", got, before)
+	}
+
+	// A checkpoint written after the cancel must round-trip and resume.
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatalf("Save after cancel: %v", err)
+	}
+	resumed := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+	if err := resumed.Load(&buf); err != nil {
+		t.Fatalf("Load after cancel: %v", err)
+	}
+	trace, err := resumed.TrainContext(context.Background(), 2, 16)
+	if err != nil || len(trace) != 2 {
+		t.Fatalf("resumed training: trace=%d err=%v", len(trace), err)
+	}
+	if gen, err := resumed.GenerateContext(context.Background(), 5); err != nil || len(gen) != 5 {
+		t.Fatalf("resumed generation: n=%d err=%v", len(gen), err)
+	}
+}
+
+// TestContextTraceEquality asserts the ctx plumbing is inert when unused: a
+// TrainContext/GenerateContext run with a background context produces
+// byte-identical queries and identical EpochStats to the ctx-less API, at
+// every worker count.
+func TestContextTraceEquality(t *testing.T) {
+	env := testEnv(t)
+	var refTrace []EpochStats
+	var refGen []string
+	for _, workers := range []int{1, 4} {
+		cfg := fastConfig()
+		cfg.Seed = 11
+		cfg.Workers = workers
+
+		plain := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+		plainTrace := plain.Train(3, 16)
+		plainGen := genSQL(plain.Generate(20))
+
+		withCtx := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+		ctxTrace, err := withCtx.TrainContext(context.Background(), 3, 16)
+		if err != nil {
+			t.Fatalf("workers=%d: TrainContext: %v", workers, err)
+		}
+		gen, err := withCtx.GenerateContext(context.Background(), 20)
+		if err != nil {
+			t.Fatalf("workers=%d: GenerateContext: %v", workers, err)
+		}
+		ctxGen := genSQL(gen)
+
+		if !reflect.DeepEqual(plainTrace, ctxTrace) {
+			t.Errorf("workers=%d: ctx trace differs from ctx-less trace", workers)
+		}
+		if !reflect.DeepEqual(plainGen, ctxGen) {
+			t.Errorf("workers=%d: ctx queries differ from ctx-less queries", workers)
+		}
+		// Worker counts must also agree with each other (the ctx checks
+		// must not perturb the deterministic episode fan-out).
+		if refTrace == nil {
+			refTrace, refGen = ctxTrace, ctxGen
+			continue
+		}
+		if !reflect.DeepEqual(refTrace, ctxTrace) || !reflect.DeepEqual(refGen, ctxGen) {
+			t.Errorf("workers=%d: output differs from workers=1 reference", workers)
+		}
+	}
+}
+
+// TestTrainBudget asserts Config.TrainBudget stops training with cause
+// ErrBudgetExceeded and a usable partial trace.
+func TestTrainBudget(t *testing.T) {
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.Seed = 5
+	cfg.TrainBudget = time.Millisecond
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+	trace, err := tr.TrainContext(context.Background(), 1000, 25)
+	if err == nil {
+		t.Fatal("a 1ms budget must interrupt a 1000-epoch run")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("error %v does not wrap ErrBudgetExceeded", err)
+	}
+	if len(trace) >= 1000 {
+		t.Errorf("trace has %d epochs despite the budget", len(trace))
+	}
+	// The interrupted trainer still generates with whatever it learned.
+	if gen, genErr := tr.GenerateContext(context.Background(), 3); genErr != nil || len(gen) != 3 {
+		t.Fatalf("generation after budget expiry: n=%d err=%v", len(gen), genErr)
+	}
+}
+
+// TestOnEpochCallback asserts Config.OnEpoch fires once per completed epoch
+// and that a callback error aborts training wrapped in *EpochAbortError.
+func TestOnEpochCallback(t *testing.T) {
+	env := testEnv(t)
+	boom := errors.New("enough")
+
+	cfg := fastConfig()
+	cfg.Seed = 7
+	calls := 0
+	cfg.OnEpoch = func(s EpochStats) error {
+		calls++
+		if s.Episodes != 8 {
+			t.Errorf("callback %d: stats cover %d episodes, want 8", calls, s.Episodes)
+		}
+		return nil
+	}
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+	if _, err := tr.TrainContext(context.Background(), 3, 8); err != nil {
+		t.Fatalf("TrainContext: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("OnEpoch fired %d times, want 3", calls)
+	}
+
+	cfg.OnEpoch = func(EpochStats) error {
+		calls++
+		if calls >= 2 {
+			return boom
+		}
+		return nil
+	}
+	calls = 0
+	tr = NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+	trace, err := tr.TrainContext(context.Background(), 5, 8)
+	if len(trace) != 2 {
+		t.Errorf("aborted trace has %d epochs, want 2", len(trace))
+	}
+	var abort *EpochAbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("error %v is not an *EpochAbortError", err)
+	}
+	if abort.Epoch != 2 {
+		t.Errorf("abort.Epoch = %d, want 2", abort.Epoch)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("error %v does not unwrap to the callback's error", err)
+	}
+}

@@ -1,6 +1,8 @@
 package rl
 
 import (
+	"context"
+	"fmt"
 	"sync/atomic"
 
 	"learnedsqlgen/internal/estimator"
@@ -84,9 +86,23 @@ func (e *Env) NewBuilder() *fsm.Builder {
 // or measured by real execution when TrueExecution is set (cardinality =
 // result rows, cost = the executor's operator-work counter).
 func (e *Env) Measure(st sqlast.Statement, m Metric) (float64, error) {
+	return e.MeasureContext(context.Background(), st, m)
+}
+
+// MeasureContext is Measure with cancellation: a done ctx short-circuits
+// before any estimator or executor work and its cause propagates through
+// the true-execution path, so a cancelled training run never waits on a
+// slow in-flight execution. Estimation errors ("this prefix is not
+// executable") are returned unwrapped — they are the environment's normal
+// negative feedback, shared and memoized by the estimator cache, not
+// failures of this call.
+func (e *Env) MeasureContext(ctx context.Context, st sqlast.Statement, m Metric) (float64, error) {
 	atomic.AddUint64(&e.measures, 1)
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("rl: measure: %w", cancelCause(ctx))
+	}
 	if e.TrueExecution {
-		res, err := executor.New(e.DB.Clone()).Execute(st)
+		res, err := executor.New(e.DB.Clone()).ExecuteContext(ctx, st)
 		if err != nil {
 			return 0, err
 		}
@@ -98,9 +114,9 @@ func (e *Env) Measure(st sqlast.Statement, m Metric) (float64, error) {
 	var est estimator.Estimate
 	var err error
 	if e.Cache != nil {
-		est, err = e.Cache.Estimate(st)
+		est, err = e.Cache.EstimateContext(ctx, st)
 	} else {
-		est, err = e.Est.Estimate(st)
+		est, err = e.Est.EstimateContext(ctx, st)
 	}
 	if err != nil {
 		return 0, err

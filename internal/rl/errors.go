@@ -1,0 +1,71 @@
+package rl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrBudgetExceeded reports that a run stopped because its wall-clock
+// training budget (Config.TrainBudget) was exhausted. It is installed as
+// the cancellation cause of the internal deadline context, so errors
+// returned by TrainContext/TrainUntilContext satisfy
+// errors.Is(err, ErrBudgetExceeded) when the budget — rather than the
+// caller's context — ended the run.
+var ErrBudgetExceeded = errors.New("rl: train budget exceeded")
+
+// EpochAbortError reports that training stopped because the Config.OnEpoch
+// callback returned an error. Epoch is the number of completed epochs
+// (the callback that aborted ran after epoch Epoch); Unwrap exposes the
+// callback's error for errors.Is/As.
+type EpochAbortError struct {
+	Epoch int
+	Err   error
+}
+
+func (e *EpochAbortError) Error() string {
+	return fmt.Sprintf("rl: epoch callback aborted training after %d epochs: %v", e.Epoch, e.Err)
+}
+
+func (e *EpochAbortError) Unwrap() error { return e.Err }
+
+// trainCtx derives the training context: with a positive TrainBudget the
+// caller's context gains a deadline whose cancellation cause is
+// ErrBudgetExceeded, so budget expiry is distinguishable from a caller
+// cancel. The returned CancelFunc must always be called.
+func (t *Trainer) trainCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if t.Cfg.TrainBudget <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeoutCause(ctx, t.Cfg.TrainBudget, ErrBudgetExceeded)
+}
+
+// cancelCause resolves a done context to its most informative error:
+// context.Cause surfaces ErrBudgetExceeded for budget deadlines and falls
+// back to ctx.Err() for plain cancels and deadlines.
+func cancelCause(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause
+	}
+	return ctx.Err()
+}
+
+// trainStopErr wraps the reason a training loop stopped early with the
+// number of epochs that completed. The weights reflect every batch update
+// applied before the stop, so the trainer remains checkpointable and
+// resumable.
+func trainStopErr(epochs int, cause error) error {
+	return fmt.Errorf("rl: training stopped after %d epochs: %w", epochs, cause)
+}
+
+// onEpoch invokes the per-epoch progress callback, translating a non-nil
+// return into an EpochAbortError. epochs counts completed epochs.
+func (t *Trainer) onEpoch(epochs int, s EpochStats) error {
+	if t.Cfg.OnEpoch == nil {
+		return nil
+	}
+	if err := t.Cfg.OnEpoch(s); err != nil {
+		return &EpochAbortError{Epoch: epochs, Err: err}
+	}
+	return nil
+}

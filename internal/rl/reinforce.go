@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"context"
 	"math/rand"
 
 	"learnedsqlgen/internal/nn"
@@ -46,13 +47,26 @@ func (r *Reinforce) Actor() *nn.SeqNet { return r.actor }
 // Trainer.TrainEpoch, each batch rolls out concurrently on Cfg.Workers
 // goroutines with updates at the batch barrier.
 func (r *Reinforce) TrainEpoch(episodes int) EpochStats {
+	s, _ := r.TrainEpochContext(context.Background(), episodes)
+	return s
+}
+
+// TrainEpochContext is TrainEpoch with cancellation, sharing
+// Trainer.TrainEpochContext's semantics: partial batches never update the
+// weights, and the error is non-nil iff the epoch was cut short.
+func (r *Reinforce) TrainEpochContext(ctx context.Context, episodes int) (EpochStats, error) {
 	stats := EpochStats{}
+	var stopErr error
 	for done := 0; done < episodes; {
 		n := r.Cfg.BatchSize
 		if rest := episodes - done; n > rest {
 			n = rest
 		}
-		batch := r.sampler.SampleBatch(r.actor, r.actor.BOS(), n, false, true)
+		batch, err := r.sampler.SampleBatchContext(ctx, r.actor, r.actor.BOS(), n, false, true)
+		if err != nil {
+			stopErr = err
+			break
+		}
 		for _, traj := range batch {
 			stats.Episodes++
 			stats.AvgReward += traj.TotalReward
@@ -67,16 +81,33 @@ func (r *Reinforce) TrainEpoch(episodes int) EpochStats {
 		stats.AvgReward /= float64(stats.Episodes)
 		stats.SatisfiedRate /= float64(stats.Episodes)
 	}
-	return stats
+	return stats, stopErr
 }
 
 // Train runs epochs and returns their stats traces.
 func (r *Reinforce) Train(epochs, episodesPerEpoch int) []EpochStats {
+	out, _ := r.TrainContext(context.Background(), epochs, episodesPerEpoch)
+	return out
+}
+
+// TrainContext runs epochs under ctx, Config.TrainBudget and
+// Config.OnEpoch, with the same trace and error semantics as
+// Trainer.TrainContext.
+func (r *Reinforce) TrainContext(ctx context.Context, epochs, episodesPerEpoch int) ([]EpochStats, error) {
+	tctx, cancel := r.sampler.trainCtx(ctx)
+	defer cancel()
 	out := make([]EpochStats, 0, epochs)
 	for i := 0; i < epochs; i++ {
-		out = append(out, r.TrainEpoch(episodesPerEpoch))
+		s, err := r.TrainEpochContext(tctx, episodesPerEpoch)
+		if err != nil {
+			return out, trainStopErr(len(out), cancelCause(tctx))
+		}
+		out = append(out, s)
+		if err := r.sampler.onEpoch(len(out), s); err != nil {
+			return out, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // update applies the Eq. 2 gradient: ∇θ log π(a_t|s_t) · R(τ_{t:T}).
@@ -111,8 +142,18 @@ func (r *Reinforce) update(batch []*Trajectory) {
 
 // Generate samples n statements from the trained policy.
 func (r *Reinforce) Generate(n int) []Generated {
+	out, _ := r.GenerateContext(context.Background(), n)
+	return out
+}
+
+// GenerateContext is Generate with cancellation.
+func (r *Reinforce) GenerateContext(ctx context.Context, n int) ([]Generated, error) {
+	batch, err := r.sampler.SampleBatchContext(ctx, r.actor, r.actor.BOS(), n, false, false)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Generated, 0, n)
-	for _, traj := range r.sampler.SampleBatch(r.actor, r.actor.BOS(), n, false, false) {
+	for _, traj := range batch {
 		out = append(out, Generated{
 			Statement: traj.Final,
 			SQL:       traj.Final.SQL(),
@@ -120,15 +161,27 @@ func (r *Reinforce) Generate(n int) []Generated {
 			Satisfied: traj.Satisfied,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // GenerateSatisfied mirrors Trainer.GenerateSatisfied.
 func (r *Reinforce) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
+	out, attempts, _ := r.GenerateSatisfiedContext(context.Background(), n, maxAttempts)
+	return out, attempts
+}
+
+// GenerateSatisfiedContext is GenerateSatisfied with cancellation: it
+// returns what was found before ctx was done, the attempts consumed, and
+// ctx's cause wrapped.
+func (r *Reinforce) GenerateSatisfiedContext(ctx context.Context, n, maxAttempts int) ([]Generated, int, error) {
 	var out []Generated
 	attempts := 0
 	for attempts < maxAttempts && len(out) < n {
-		traj := r.sampler.SampleEpisode(r.actor, false, false)
+		batch, err := r.sampler.SampleBatchContext(ctx, r.actor, r.actor.BOS(), 1, false, false)
+		if err != nil {
+			return out, attempts, err
+		}
+		traj := batch[0]
 		attempts++
 		if traj.Satisfied {
 			out = append(out, Generated{
@@ -139,5 +192,5 @@ func (r *Reinforce) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
 			})
 		}
 	}
-	return out, attempts
+	return out, attempts, nil
 }

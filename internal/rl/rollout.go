@@ -1,6 +1,8 @@
 package rl
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -58,7 +60,22 @@ func (t *Trainer) workers() int {
 // miss paths, which keeps generated queries byte-identical whether the
 // cache is enabled, disabled, or shared among any number of workers.
 func (t *Trainer) SampleBatch(actor *nn.SeqNet, startIn, n int, withCritic, train bool) []*Trajectory {
+	// context.Background() can never cancel, so the error is structurally nil.
+	out, _ := t.SampleBatchContext(context.Background(), actor, startIn, n, withCritic, train)
+	return out
+}
+
+// SampleBatchContext is SampleBatch with cancellation. Workers observe ctx
+// at every episode boundary: once ctx is done no new episode starts, the
+// pool drains within one in-flight episode per worker, the partial batch's
+// pooled resources are recycled, and the call returns nil with ctx's cause
+// wrapped. An uncancelled ctx leaves behaviour — including the episode
+// counter and every RNG stream — byte-identical to SampleBatch.
+func (t *Trainer) SampleBatchContext(ctx context.Context, actor *nn.SeqNet, startIn, n int, withCritic, train bool) ([]*Trajectory, error) {
 	t.compute()
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("rl: rollout interrupted: %w", cancelCause(ctx))
+	}
 	start := time.Now()
 	base := t.nextEpisodes(n)
 	out := make([]*Trajectory, n)
@@ -72,8 +89,8 @@ func (t *Trainer) SampleBatch(actor *nn.SeqNet, startIn, n int, withCritic, trai
 	}
 	if w == 1 {
 		ws := t.getRolloutWS()
-		for i := 0; i < n; i++ {
-			out[i] = t.sampleEpisodeRNG(actor, startIn, withCritic, train, t.episodeRNG(base+uint64(i)), ws, trie)
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			out[i] = t.sampleEpisodeRNG(ctx, actor, startIn, withCritic, train, t.episodeRNG(base+uint64(i)), ws, trie)
 		}
 		t.putRolloutWS(ws)
 	} else {
@@ -85,12 +102,12 @@ func (t *Trainer) SampleBatch(actor *nn.SeqNet, startIn, n int, withCritic, trai
 				defer wg.Done()
 				ws := t.getRolloutWS()
 				defer t.putRolloutWS(ws)
-				for {
+				for ctx.Err() == nil {
 					i := int(atomic.AddInt64(&next, 1))
 					if i >= n {
 						return
 					}
-					out[i] = t.sampleEpisodeRNG(actor, startIn, withCritic, train, t.episodeRNG(base+uint64(i)), ws, trie)
+					out[i] = t.sampleEpisodeRNG(ctx, actor, startIn, withCritic, train, t.episodeRNG(base+uint64(i)), ws, trie)
 				}
 			}()
 		}
@@ -101,7 +118,13 @@ func (t *Trainer) SampleBatch(actor *nn.SeqNet, startIn, n int, withCritic, trai
 		atomic.AddUint64(&t.prefixMisses, atomic.LoadUint64(&trie.misses))
 	}
 	atomic.AddInt64(&t.rolloutNanos, int64(time.Since(start)))
-	return out
+	if ctx.Err() != nil {
+		// The partial batch is never returned: recycle whatever episodes
+		// completed so the pool stays balanced, and surface why we stopped.
+		t.ReleaseBatch(out)
+		return nil, fmt.Errorf("rl: rollout interrupted: %w", cancelCause(ctx))
+	}
+	return out, nil
 }
 
 // TrainStats aggregates a trainer's lifetime rollout-throughput counters:

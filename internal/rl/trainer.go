@@ -1,8 +1,10 @@
 package rl
 
 import (
+	"context"
 	"math/rand"
 	"sync"
+	"time"
 
 	"learnedsqlgen/internal/nn"
 	"learnedsqlgen/internal/sqlast"
@@ -57,6 +59,20 @@ type Config struct {
 	// gradient update, so generated queries are identical with the cache
 	// on or off.
 	PrefixCacheSize int
+	// TrainBudget bounds the wall-clock time of TrainContext and
+	// TrainUntilContext (and their ctx-less wrappers): a positive value
+	// installs a deadline whose cancellation cause is ErrBudgetExceeded.
+	// Training stops at the next episode boundary after the deadline; the
+	// returned trace holds the completed epochs and the weights reflect
+	// every completed batch update, so the trainer stays checkpointable.
+	// 0 disables the budget.
+	TrainBudget time.Duration
+	// OnEpoch, when non-nil, is invoked after every completed training
+	// epoch with that epoch's stats. Returning an error aborts training;
+	// the error surfaces as an EpochAbortError from the Context train
+	// drivers. The callback runs on the training goroutine, so it must not
+	// call back into the trainer.
+	OnEpoch func(EpochStats) error `json:"-"`
 }
 
 // RewardMode selects the dense-reward scheme built on the §4.2 Remark
@@ -291,7 +307,7 @@ func (t *Trainer) SampleEpisodeFrom(actor *nn.SeqNet, startIn int, withCritic, t
 // the episode's own rng so concurrent episodes never share random state.
 // All scratch comes from ws; trie, when non-nil, is the batch's shared
 // prefix-state cache (inference only).
-func (t *Trainer) sampleEpisodeRNG(actor *nn.SeqNet, startIn int, withCritic, train bool, rng *rand.Rand, ws *nn.Workspace, trie *prefixTrie) *Trajectory {
+func (t *Trainer) sampleEpisodeRNG(ctx context.Context, actor *nn.SeqNet, startIn int, withCritic, train bool, rng *rand.Rand, ws *nn.Workspace, trie *prefixTrie) *Trajectory {
 	b := t.Env.NewBuilder()
 	pool := ws.Pool()
 	vocab := actor.OutDim
@@ -371,7 +387,7 @@ func (t *Trainer) sampleEpisodeRNG(actor *nn.SeqNet, startIn int, withCritic, tr
 		feedback, haveFeedback := 0.0, false
 		if t.Cfg.Mode != RewardTerminal || b.Done() {
 			if st, ok := b.Snapshot(); ok {
-				if m, err := t.Env.Measure(st, t.Constraint.Metric); err == nil {
+				if m, err := t.Env.MeasureContext(ctx, st, t.Constraint.Metric); err == nil {
 					feedback = t.Constraint.Reward(true, m)
 					haveFeedback = true
 				}
@@ -401,7 +417,7 @@ func (t *Trainer) sampleEpisodeRNG(actor *nn.SeqNet, startIn int, withCritic, tr
 	}
 	st, _ := b.Statement()
 	traj.Final = st
-	if m, err := t.Env.Measure(st, t.Constraint.Metric); err == nil {
+	if m, err := t.Env.MeasureContext(ctx, st, t.Constraint.Metric); err == nil {
 		traj.Measured = m
 		traj.Satisfied = t.Constraint.Satisfied(m)
 	}
@@ -457,13 +473,30 @@ type EpochStats struct {
 // parallel unit); the gradient step runs at the batch barrier, when no
 // rollout is reading the weights.
 func (t *Trainer) TrainEpoch(episodes int) EpochStats {
+	s, _ := t.TrainEpochContext(context.Background(), episodes)
+	return s
+}
+
+// TrainEpochContext is TrainEpoch with cancellation: a done ctx stops the
+// epoch at the next batch boundary. A partial batch never reaches the
+// gradient step — the weights always reflect whole-batch updates only, so
+// a checkpoint written after cancellation loads and resumes cleanly. The
+// returned stats cover the episodes whose batches completed before the
+// stop; the error (wrapping ctx's cause) is non-nil iff the epoch was cut
+// short.
+func (t *Trainer) TrainEpochContext(ctx context.Context, episodes int) (EpochStats, error) {
 	stats := EpochStats{}
+	var stopErr error
 	for done := 0; done < episodes; {
 		n := t.Cfg.BatchSize
 		if rest := episodes - done; n > rest {
 			n = rest
 		}
-		batch := t.SampleBatch(t.actor, t.actor.BOS(), n, true, true)
+		batch, err := t.SampleBatchContext(ctx, t.actor, t.actor.BOS(), n, true, true)
+		if err != nil {
+			stopErr = err
+			break
+		}
 		for _, traj := range batch {
 			stats.Episodes++
 			stats.AvgReward += traj.TotalReward
@@ -478,16 +511,38 @@ func (t *Trainer) TrainEpoch(episodes int) EpochStats {
 		stats.AvgReward /= float64(stats.Episodes)
 		stats.SatisfiedRate /= float64(stats.Episodes)
 	}
-	return stats
+	return stats, stopErr
 }
 
 // Train runs epochs and returns their stats traces.
 func (t *Trainer) Train(epochs, episodesPerEpoch int) []EpochStats {
+	out, _ := t.TrainContext(context.Background(), epochs, episodesPerEpoch)
+	return out
+}
+
+// TrainContext runs epochs under ctx and Config.TrainBudget, invoking
+// Config.OnEpoch after each completed epoch. The returned trace holds
+// every completed epoch; an interrupted epoch's partial stats are
+// discarded (its completed batches did update the weights, which is safe —
+// resuming simply re-trains the remainder). The error is nil when all
+// epochs ran, ErrBudgetExceeded-wrapping when the budget expired, a
+// ctx-cause wrap when the caller cancelled, or an EpochAbortError when the
+// callback stopped the run.
+func (t *Trainer) TrainContext(ctx context.Context, epochs, episodesPerEpoch int) ([]EpochStats, error) {
+	tctx, cancel := t.trainCtx(ctx)
+	defer cancel()
 	out := make([]EpochStats, 0, epochs)
 	for i := 0; i < epochs; i++ {
-		out = append(out, t.TrainEpoch(episodesPerEpoch))
+		s, err := t.TrainEpochContext(tctx, episodesPerEpoch)
+		if err != nil {
+			return out, trainStopErr(len(out), cancelCause(tctx))
+		}
+		out = append(out, s)
+		if err := t.onEpoch(len(out), s); err != nil {
+			return out, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // TrainUntil trains until the per-epoch satisfied rate reaches target on
@@ -495,14 +550,30 @@ func (t *Trainer) Train(epochs, episodesPerEpoch int) []EpochStats {
 // stats trace. Early stopping keeps easy constraints cheap while giving
 // hard point constraints the long exploration they need.
 func (t *Trainer) TrainUntil(target float64, patience, maxEpochs, episodesPerEpoch int) []EpochStats {
+	out, _ := t.TrainUntilContext(context.Background(), target, patience, maxEpochs, episodesPerEpoch)
+	return out
+}
+
+// TrainUntilContext is TrainUntil under ctx, Config.TrainBudget, and
+// Config.OnEpoch, with the same early-stop and error semantics as
+// TrainContext.
+func (t *Trainer) TrainUntilContext(ctx context.Context, target float64, patience, maxEpochs, episodesPerEpoch int) ([]EpochStats, error) {
 	if patience < 1 {
 		patience = 1
 	}
+	tctx, cancel := t.trainCtx(ctx)
+	defer cancel()
 	var out []EpochStats
 	streak := 0
 	for i := 0; i < maxEpochs; i++ {
-		s := t.TrainEpoch(episodesPerEpoch)
+		s, err := t.TrainEpochContext(tctx, episodesPerEpoch)
+		if err != nil {
+			return out, trainStopErr(len(out), cancelCause(tctx))
+		}
 		out = append(out, s)
+		if err := t.onEpoch(len(out), s); err != nil {
+			return out, err
+		}
 		if s.SatisfiedRate >= target {
 			streak++
 			if streak >= patience {
@@ -512,7 +583,7 @@ func (t *Trainer) TrainUntil(target float64, patience, maxEpochs, episodesPerEpo
 			streak = 0
 		}
 	}
-	return out
+	return out, nil
 }
 
 // update applies one batched gradient step from the trajectories and
@@ -560,8 +631,20 @@ func (t *Trainer) update(batch []*Trajectory) {
 // concurrently on Cfg.Workers goroutines, sharing a per-batch prefix-state
 // cache (see Config.PrefixCacheSize).
 func (t *Trainer) Generate(n int) []Generated {
+	out, _ := t.GenerateContext(context.Background(), n)
+	return out
+}
+
+// GenerateContext is Generate with cancellation: a done ctx abandons the
+// batch at the next episode boundary and returns nil with ctx's cause
+// wrapped.
+func (t *Trainer) GenerateContext(ctx context.Context, n int) ([]Generated, error) {
+	batch, err := t.SampleBatchContext(ctx, t.actor, t.actor.BOS(), n, false, false)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Generated, 0, n)
-	for _, traj := range t.SampleBatch(t.actor, t.actor.BOS(), n, false, false) {
+	for _, traj := range batch {
 		out = append(out, Generated{
 			Statement: traj.Final,
 			SQL:       traj.Final.SQL(),
@@ -569,7 +652,7 @@ func (t *Trainer) Generate(n int) []Generated {
 			Satisfied: traj.Satisfied,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // GenerateSatisfied keeps sampling until n satisfied statements are found
@@ -578,6 +661,14 @@ func (t *Trainer) Generate(n int) []Generated {
 // Episodes are sampled in batches of BatchSize and scanned in order, so
 // the attempt count is identical for every Workers value.
 func (t *Trainer) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
+	out, attempts, _ := t.GenerateSatisfiedContext(context.Background(), n, maxAttempts)
+	return out, attempts
+}
+
+// GenerateSatisfiedContext is GenerateSatisfied with cancellation: a done
+// ctx stops sampling at the next batch boundary and returns the satisfied
+// statements found so far, the attempts consumed, and ctx's cause wrapped.
+func (t *Trainer) GenerateSatisfiedContext(ctx context.Context, n, maxAttempts int) ([]Generated, int, error) {
 	var out []Generated
 	attempts := 0
 	for attempts < maxAttempts && len(out) < n {
@@ -585,7 +676,11 @@ func (t *Trainer) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
 		if rest := maxAttempts - attempts; chunk > rest {
 			chunk = rest
 		}
-		for _, traj := range t.SampleBatch(t.actor, t.actor.BOS(), chunk, false, false) {
+		batch, err := t.SampleBatchContext(ctx, t.actor, t.actor.BOS(), chunk, false, false)
+		if err != nil {
+			return out, attempts, err
+		}
+		for _, traj := range batch {
 			if attempts++; traj.Satisfied {
 				out = append(out, Generated{
 					Statement: traj.Final,
@@ -599,5 +694,5 @@ func (t *Trainer) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
 			}
 		}
 	}
-	return out, attempts
+	return out, attempts, nil
 }

@@ -1,6 +1,9 @@
 package learnedsqlgen
 
 import (
+	"context"
+	"time"
+
 	"learnedsqlgen/internal/datagen"
 	"learnedsqlgen/internal/executor"
 	"learnedsqlgen/internal/fsm"
@@ -65,6 +68,17 @@ type Options struct {
 	// recomputation. 0 selects the default (4096 entries); negative
 	// disables it. Generated queries are identical either way.
 	PrefixCacheSize int
+	// TrainBudget bounds the wall-clock time of any training call on
+	// generators opened from this DB. When the budget expires, training
+	// stops at the next episode boundary and returns the trace so far
+	// with an error wrapping ErrBudgetExceeded. 0 means no budget.
+	TrainBudget time.Duration
+	// OnEpoch, when non-nil, is invoked after every completed training
+	// epoch (pre-training round for MetaGenerator) with its stats —
+	// progress bars, early logging, adaptive stopping. Returning a
+	// non-nil error aborts training; the error is reported wrapped in
+	// *EpochAbortError.
+	OnEpoch func(EpochStats) error
 }
 
 // GrammarOptions mirrors the FSM limits a user may adjust.
@@ -114,6 +128,20 @@ func (o *Options) prefixCacheSize() int {
 	return o.PrefixCacheSize
 }
 
+func (o *Options) trainBudget() time.Duration {
+	if o == nil {
+		return 0
+	}
+	return o.TrainBudget
+}
+
+func (o *Options) onEpoch() func(EpochStats) error {
+	if o == nil {
+		return nil
+	}
+	return o.OnEpoch
+}
+
 func (o *Options) fsmConfig() fsm.Config {
 	cfg := fsm.DefaultConfig()
 	if o == nil || o.Grammar == nil {
@@ -146,6 +174,8 @@ type DB struct {
 	seed            int64
 	workers         int
 	prefixCacheSize int
+	trainBudget     time.Duration
+	onEpoch         func(EpochStats) error
 	env             *rl.Env
 	raw             *storage.Database
 }
@@ -179,6 +209,8 @@ func openStorage(name string, raw *storage.Database, opt *Options) *DB {
 		seed:            opt.seed(),
 		workers:         opt.workers(),
 		prefixCacheSize: opt.prefixCacheSize(),
+		trainBudget:     opt.trainBudget(),
+		onEpoch:         opt.onEpoch(),
 		env:             env,
 		raw:             raw,
 	}
@@ -206,11 +238,18 @@ type Result struct {
 // Execute parses and runs a SQL statement against a snapshot of the
 // database (INSERT/UPDATE/DELETE never mutate the opened data).
 func (db *DB) Execute(sql string) (*Result, error) {
+	return db.ExecuteContext(context.Background(), sql)
+}
+
+// ExecuteContext is Execute with cancellation: the executor re-checks ctx
+// at every pipeline stage boundary, so a runaway join can be abandoned
+// mid-plan.
+func (db *DB) ExecuteContext(ctx context.Context, sql string) (*Result, error) {
 	st, err := parser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	res, err := executor.New(db.raw.Clone()).Execute(st)
+	res, err := executor.New(db.raw.Clone()).ExecuteContext(ctx, st)
 	if err != nil {
 		return nil, err
 	}

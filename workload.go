@@ -1,6 +1,7 @@
 package learnedsqlgen
 
 import (
+	"context"
 	"os"
 
 	"learnedsqlgen/internal/workload"
@@ -35,6 +36,15 @@ func WriteWorkloadFile(path string, queries []Generated, m Metric) error {
 // WriteWorkloadFile, or any one-statement-per-line SQL file) and
 // re-measures each statement against this database with the given metric.
 func (db *DB) ReadWorkloadFile(path string, m Metric) ([]Generated, error) {
+	return db.ReadWorkloadFileContext(context.Background(), path, m)
+}
+
+// ReadWorkloadFileContext is ReadWorkloadFile with cancellation: a done
+// ctx stops between statements and returns the statements measured so
+// far together with ctx's error. Statements the environment refuses to
+// measure (unsupported shapes, unknown objects) keep Measured == 0, as in
+// ReadWorkloadFile; only cancellation aborts the loop.
+func (db *DB) ReadWorkloadFileContext(ctx context.Context, path string, m Metric) ([]Generated, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -46,8 +56,11 @@ func (db *DB) ReadWorkloadFile(path string, m Metric) ([]Generated, error) {
 	}
 	out := make([]Generated, 0, len(stmts))
 	for _, st := range stmts {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		g := Generated{Statement: st, SQL: st.SQL()}
-		if v, err := db.env.Measure(st, m); err == nil {
+		if v, err := db.env.MeasureContext(ctx, st, m); err == nil {
 			g.Measured = v
 		}
 		out = append(out, g)
