@@ -4,8 +4,9 @@
 # rollout worker pool and the estimator cache live there).
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test vet staticcheck panic-gate race verify bench
+.PHONY: build test vet staticcheck panic-gate race verify bench fuzz
 
 build:
 	$(GO) build ./...
@@ -51,3 +52,12 @@ verify: build vet staticcheck panic-gate test race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/nn/ ./internal/rl/ .
+
+# Short-budget fuzzing of the conformance surfaces (parser round-trip, FSM
+# walk validity, oracle sweeps), continuing from the checked-in corpora
+# under testdata/fuzz/. Go allows one -fuzz target per invocation, so the
+# targets run sequentially; FUZZTIME=2m make fuzz digs deeper locally.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/parser/
+	$(GO) test -run=^$$ -fuzz=FuzzFSMWalk -fuzztime=$(FUZZTIME) ./internal/fsm/
+	$(GO) test -run=^$$ -fuzz=FuzzOracle -fuzztime=$(FUZZTIME) ./internal/oracle/

@@ -5,6 +5,7 @@
 //
 //	sqlgen -dataset tpch -metric cardinality -range 100:400 -n 10
 //	sqlgen -dataset xuetang -metric cost -point 10000 -n 5 -show-measure
+//	sqlgen -dataset xuetang -scale 0.1 -selftest
 package main
 
 import (
@@ -47,6 +48,8 @@ func run() int {
 	profile := flag.Bool("profile", false, "print a structural/diversity profile of the output")
 	prefixCache := flag.Int("prefix-cache", 0, "actor prefix-state cache entries (0 = default, negative = off); output is identical either way")
 	trainBudget := flag.Duration("train-budget", 0, "wall-clock training budget (e.g. 90s, 5m); 0 = unlimited. On expiry the partially trained policy is used as-is")
+	selftest := flag.Bool("selftest", false, "run a bounded conformance sweep (parse/FSM/differential/metamorphic oracles over four producers) instead of training; -point/-range optional")
+	selftestN := flag.Int("selftest-n", 250, "queries per producer for -selftest")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -106,6 +109,10 @@ func run() int {
 		constraint = learnedsqlgen.RangeConstraint(metric, lo, hi)
 	case *point > 0:
 		constraint = learnedsqlgen.PointConstraint(metric, *point)
+	case *selftest:
+		// The sweep only needs some constraint to check measurement sanity
+		// against; a broad cardinality range covers every producer.
+		constraint = learnedsqlgen.RangeConstraint(metric, 1, 1000)
 	default:
 		fmt.Fprintln(os.Stderr, "one of -point or -range is required")
 		return 2
@@ -137,6 +144,21 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+
+	if *selftest {
+		fmt.Fprintf(os.Stderr, "conformance sweep on %s: %d queries per producer, constraint %s\n",
+			*dataset, *selftestN, constraint)
+		rep, err := db.SelfTest(ctx, constraint, *selftestN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selftest:", err)
+			return 1
+		}
+		fmt.Print(rep.String())
+		if !rep.Ok() {
+			return 1
+		}
+		return 0
 	}
 
 	var gen *learnedsqlgen.Generator

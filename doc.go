@@ -66,6 +66,22 @@
 // streams per-epoch stats — returning an error from it aborts training
 // with an *EpochAbortError.
 //
+// # Conformance self-test
+//
+// DB.SelfTest sweeps four query producers (raw FSM walk, the random and
+// template baselines, an RL policy sampler) through the conformance
+// oracle: every emitted statement must parse and round-trip, replay
+// through the FSM without hitting a masked transition, execute and
+// estimate without impossible results, and satisfy metamorphic
+// properties (adding an AND conjunct never raises true cardinality;
+// reported measurements match fresh ones; reruns are byte-identical,
+// including with the prefix cache disabled). The same sweep is exposed
+// as `sqlgen -selftest`, and `make fuzz` drives the underlying fuzz
+// targets (FuzzParse, FuzzFSMWalk, FuzzOracle) from checked-in corpora:
+//
+//	rep, err := db.SelfTest(ctx, learnedsqlgen.RangeConstraint(learnedsqlgen.Cardinality, 1, 1000), 250)
+//	if err == nil && !rep.Ok() { fmt.Print(rep) } // violations, if any
+//
 // See ARCHITECTURE.md for the package map and dataflow, DESIGN.md for
 // design decisions, and EXPERIMENTS.md for the reproduced figures.
 package learnedsqlgen

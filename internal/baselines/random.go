@@ -33,8 +33,9 @@ func NewRandom(env *rl.Env, constraint rl.Constraint, seed int64) *Random {
 	return &Random{Env: env, Constraint: constraint, rng: rand.New(rand.NewSource(seed))}
 }
 
-// generateOne runs one uniform walk and measures it.
-func (r *Random) generateOne(ctx context.Context) rl.Generated {
+// generateOne runs one uniform walk and measures it, returning the
+// statement with the FSM action trace that built it.
+func (r *Random) generateOne(ctx context.Context) (rl.Generated, []int) {
 	b := r.Env.NewBuilder()
 	for !b.Done() {
 		valid := b.Valid()
@@ -51,7 +52,18 @@ func (r *Random) generateOne(ctx context.Context) rl.Generated {
 		g.Measured = m
 		g.Satisfied = r.Constraint.Satisfied(m)
 	}
-	return g
+	return g, append([]int(nil), b.Tokens()...)
+}
+
+// Next produces one statement together with its FSM token trace — the
+// conformance oracle replays the trace to certify the walk never left the
+// masked action set. A done ctx returns before walking.
+func (r *Random) Next(ctx context.Context) (rl.Generated, []int, error) {
+	if err := ctx.Err(); err != nil {
+		return rl.Generated{}, nil, err
+	}
+	g, toks := r.generateOne(ctx)
+	return g, toks, nil
 }
 
 // Generate produces n random statements (satisfied or not); accuracy is
@@ -69,7 +81,8 @@ func (r *Random) GenerateContext(ctx context.Context, n int) ([]rl.Generated, er
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
-		out = append(out, r.generateOne(ctx))
+		g, _ := r.generateOne(ctx)
+		out = append(out, g)
 	}
 	return out, nil
 }
@@ -89,7 +102,7 @@ func (r *Random) GenerateSatisfiedContext(ctx context.Context, n, maxAttempts in
 		if err := ctx.Err(); err != nil {
 			return out, attempts, err
 		}
-		g := r.generateOne(ctx)
+		g, _ := r.generateOne(ctx)
 		attempts++
 		if g.Satisfied {
 			out = append(out, g)

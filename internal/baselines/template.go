@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 
@@ -34,6 +35,7 @@ type TemplateGen struct {
 	// MaxClimbSteps bounds estimator calls per hill-climbing run.
 	MaxClimbSteps int
 	rng           *rand.Rand
+	next          int // round-robin cursor for Next
 }
 
 // NewTemplateGen synthesizes numTemplates SPJ skeletons via seeded random
@@ -196,6 +198,23 @@ func (g *TemplateGen) climb(ctx context.Context, tpl *Template) (rl.Generated, b
 	}
 	gen.SQL = gen.Statement.SQL()
 	return gen, true
+}
+
+// Next runs one hill-climbing attempt on the next template in round-robin
+// order. ok is false when the attempt could not measure its restart (no
+// statement produced); err is non-nil only for a done ctx or a generator
+// with no templates.
+func (g *TemplateGen) Next(ctx context.Context) (rl.Generated, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return rl.Generated{}, false, err
+	}
+	if len(g.Templates) == 0 {
+		return rl.Generated{}, false, errors.New("baselines: template generator has no templates")
+	}
+	tpl := g.Templates[g.next%len(g.Templates)]
+	g.next++
+	gen, ok := g.climb(ctx, tpl)
+	return gen, ok, nil
 }
 
 // Generate produces n statements, one hill-climbing run each (templates

@@ -1,0 +1,123 @@
+package estimator
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/fsm"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/stats"
+	"learnedsqlgen/internal/token"
+)
+
+// walkStatements generates n distinct statements via uniform FSM walks —
+// the same query population the training loop sends through the cache.
+func walkStatements(t *testing.T, n int) ([]sqlast.Statement, *Estimator) {
+	t.Helper()
+	db, err := datagen.Generate(datagen.NameXueTang, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab := token.Build(db, 20, 7)
+	est := New(db.Schema, stats.Collect(db))
+	cfg := fsm.DefaultConfig()
+	cfg.AllowInsert, cfg.AllowUpdate, cfg.AllowDelete = true, true, true
+	rng := rand.New(rand.NewSource(17))
+	seen := map[string]bool{}
+	var out []sqlast.Statement
+	for len(out) < n {
+		b := fsm.NewBuilder(db.Schema, vocab, cfg)
+		for !b.Done() {
+			valid := b.Valid()
+			if err := b.Apply(valid[rng.Intn(len(valid))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := b.Statement()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sql := st.SQL(); !seen[sql] {
+			seen[sql] = true
+			out = append(out, st)
+		}
+	}
+	return out, est
+}
+
+// errText normalizes an error for equality comparison.
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// TestCachedAgreesWithUncachedOverGeneratedQueries is the stale-key
+// conformance check: over a realistic generated workload, and with a
+// capacity small enough to force constant eviction and recomputation, the
+// cached estimator must be observationally identical to the bare one —
+// same estimates, same errors, query by query.
+func TestCachedAgreesWithUncachedOverGeneratedQueries(t *testing.T) {
+	stmts, est := walkStatements(t, 300)
+	c := NewCached(est, 32) // ~10× smaller than the workload: evictions guaranteed
+	for round := 0; round < 3; round++ {
+		for i, st := range stmts {
+			got, gotErr := c.Estimate(st)
+			want, wantErr := est.Estimate(st)
+			if got != want || errText(gotErr) != errText(wantErr) {
+				t.Fatalf("round %d, query %d (%s):\ncached:   %+v, %v\nuncached: %+v, %v",
+					round, i, st.SQL(), got, gotErr, want, wantErr)
+			}
+		}
+	}
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Fatalf("capacity 32 over %d queries evicted nothing: %+v", len(stmts), s)
+	}
+}
+
+// TestCachedAgreesWithUncachedConcurrently hammers one shared cache from
+// every core, each goroutine walking its own permutation of the workload
+// and comparing against the bare estimator on every call. Run under
+// -race (the Makefile race target covers this package) it doubles as the
+// cache's data-race check against the oracle-style access pattern.
+func TestCachedAgreesWithUncachedConcurrently(t *testing.T) {
+	stmts, est := walkStatements(t, 120)
+	c := NewCached(est, 48)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for round := 0; round < 4; round++ {
+				for _, i := range rng.Perm(len(stmts)) {
+					st := stmts[i]
+					got, gotErr := c.Estimate(st)
+					want, wantErr := est.Estimate(st)
+					if got != want || errText(gotErr) != errText(wantErr) {
+						select {
+						case errs <- st.SQL():
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	select {
+	case sql := <-errs:
+		t.Fatalf("cached and uncached estimates diverged under concurrency for %q", sql)
+	default:
+	}
+}

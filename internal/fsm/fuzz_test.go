@@ -1,0 +1,103 @@
+package fsm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/estimator"
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/parser"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/stats"
+	"learnedsqlgen/internal/storage"
+	"learnedsqlgen/internal/token"
+)
+
+// fuzzWorld is the shared walk environment: built once, read-only across
+// fuzz iterations (the executor clones before DML).
+var fuzzWorld struct {
+	once  sync.Once
+	db    *storage.Database
+	vocab *token.Vocab
+	est   *estimator.Estimator
+	err   error
+}
+
+func fuzzEnv(t *testing.T) (*storage.Database, *token.Vocab, *estimator.Estimator) {
+	fuzzWorld.once.Do(func() {
+		db, err := datagen.Generate(datagen.NameXueTang, 0.05, 1)
+		if err != nil {
+			fuzzWorld.err = err
+			return
+		}
+		fuzzWorld.db = db
+		fuzzWorld.vocab = token.Build(db, 20, 7)
+		fuzzWorld.est = estimator.New(db.Schema, stats.Collect(db))
+	})
+	if fuzzWorld.err != nil {
+		t.Fatal(fuzzWorld.err)
+	}
+	return fuzzWorld.db, fuzzWorld.vocab, fuzzWorld.est
+}
+
+// FuzzFSMWalk drives a masked walk with fuzzer-chosen branch indices
+// (falling back to a seeded rng once the choices run out) and asserts the
+// §5 guarantee end to end: the walk completes, the statement parses and
+// round-trips, the estimator prices it, and the executor runs it.
+func FuzzFSMWalk(f *testing.F) {
+	f.Add(int64(1), []byte{})
+	f.Add(int64(2), []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(int64(3), []byte{255, 254, 253, 252, 251, 250})
+	f.Add(int64(4), []byte{7, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3})
+	f.Add(int64(-9000), []byte{1, 128, 3, 64, 5, 32, 7, 16})
+	f.Fuzz(func(t *testing.T, seed int64, choices []byte) {
+		db, vocab, est := fuzzEnv(t)
+		cfg := DefaultConfig()
+		cfg.AllowInsert, cfg.AllowUpdate, cfg.AllowDelete = true, true, true
+		b := NewBuilder(db.Schema, vocab, cfg)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; !b.Done(); i++ {
+			valid := b.Valid()
+			if len(valid) == 0 {
+				t.Fatalf("dead end after %d steps: %s", b.Steps(), b.Describe())
+			}
+			var pick int
+			if i < len(choices) {
+				pick = int(choices[i]) % len(valid)
+			} else {
+				pick = rng.Intn(len(valid))
+			}
+			if err := b.Apply(valid[pick]); err != nil {
+				t.Fatalf("FSM rejected its own unmasked action %s at step %d: %v",
+					vocab.Token(valid[pick]), i, err)
+			}
+			if b.Steps() > 400 {
+				t.Fatalf("runaway episode: %s", b.Describe())
+			}
+		}
+		st, err := b.Statement()
+		if err != nil {
+			t.Fatalf("completed walk has no statement: %v", err)
+		}
+		sql := st.SQL()
+		parsed, err := parser.Parse(sql)
+		if err != nil {
+			t.Fatalf("generated SQL does not parse: %q: %v", sql, err)
+		}
+		if got := parsed.SQL(); got != sql {
+			t.Fatalf("parse/render round trip drifted: %q -> %q", sql, got)
+		}
+		if _, err := est.Estimate(st); err != nil {
+			t.Fatalf("estimator refused a generated statement: %q: %v", sql, err)
+		}
+		target := db
+		if _, ok := st.(*sqlast.Select); !ok {
+			target = db.Clone()
+		}
+		if _, err := executor.New(target).Execute(st); err != nil {
+			t.Fatalf("executor rejected a generated statement: %q: %v", sql, err)
+		}
+	})
+}

@@ -1,0 +1,318 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/parser"
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/token"
+)
+
+// checker holds the per-producer check state: a shared read-only executor
+// for SELECTs (DML runs against throwaway clones), and the RNG driving
+// metamorphic conjunct sampling.
+type checker struct {
+	cfg  *Config
+	name string
+	exec *executor.Executor
+	rng  *rand.Rand
+}
+
+func newChecker(cfg *Config, name string) *checker {
+	seed := cfg.Seed
+	for _, b := range []byte(name) {
+		seed = seed*131 + int64(b)
+	}
+	return &checker{
+		cfg:  cfg,
+		name: name,
+		exec: executor.New(cfg.Env.DB),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (c *checker) violation(k Kind, sql, format string, args ...any) Violation {
+	return Violation{Kind: k, Producer: c.name, SQL: sql, Detail: fmt.Sprintf(format, args...)}
+}
+
+// check pushes one item through every applicable oracle.
+func (c *checker) check(ctx context.Context, item Item, pr *ProducerReport) []Violation {
+	var out []Violation
+	if v := c.checkParse(item); v != nil {
+		out = append(out, *v)
+	} else {
+		pr.Parsed++
+	}
+	if item.Tokens != nil {
+		if v := c.checkFSMReplay(item); v != nil {
+			out = append(out, *v)
+		} else {
+			pr.Replayed++
+		}
+	}
+	res, vs := c.checkDifferential(ctx, item, pr)
+	out = append(out, vs...)
+	if res != nil {
+		if v := c.checkMonotonic(ctx, item, res, pr); v != nil {
+			out = append(out, *v)
+		}
+	}
+	out = append(out, c.checkConstraint(ctx, item)...)
+	return out
+}
+
+// checkParse is the parse oracle: the emitted SQL must parse, and
+// re-rendering the parsed AST must reproduce the exact text — the
+// renderer and the lexer/parser agree on one canonical token stream.
+func (c *checker) checkParse(item Item) *Violation {
+	st, err := parser.Parse(item.SQL)
+	if err != nil {
+		v := c.violation(KindParse, item.SQL, "emitted SQL does not parse: %v", err)
+		return &v
+	}
+	if got := st.SQL(); got != item.SQL {
+		v := c.violation(KindParse, item.SQL, "parse/render round-trip drifted: re-rendered as %q", got)
+		return &v
+	}
+	return nil
+}
+
+// checkFSMReplay is the FSM oracle: replaying the emitted token trace
+// through a fresh builder must never hit a masked transition, must end
+// exactly at completion, and must rebuild the same statement.
+func (c *checker) checkFSMReplay(item Item) *Violation {
+	b := c.cfg.Env.NewBuilder()
+	for i, id := range item.Tokens {
+		if b.Done() {
+			v := c.violation(KindFSM, item.SQL, "token trace continues %d token(s) past completion", len(item.Tokens)-i)
+			return &v
+		}
+		if err := b.Apply(id); err != nil {
+			v := c.violation(KindFSM, item.SQL, "replay hit a masked transition at step %d (%s): %v",
+				i, c.cfg.Env.Vocab.Token(id), err)
+			return &v
+		}
+	}
+	if !b.Done() {
+		v := c.violation(KindFSM, item.SQL, "token trace ended before completion (after %d tokens)", len(item.Tokens))
+		return &v
+	}
+	st, err := b.Statement()
+	if err != nil {
+		v := c.violation(KindFSM, item.SQL, "replayed builder has no statement: %v", err)
+		return &v
+	}
+	if got := st.SQL(); got != item.SQL {
+		v := c.violation(KindFSM, item.SQL, "replayed statement differs: %q", got)
+		return &v
+	}
+	return nil
+}
+
+// execute runs a statement: SELECTs share the pristine database (they
+// never mutate), DML runs against a throwaway clone.
+func (c *checker) execute(ctx context.Context, st sqlast.Statement) (*executor.Result, error) {
+	if _, ok := st.(*sqlast.Select); ok {
+		return c.exec.ExecuteContext(ctx, st)
+	}
+	return executor.New(c.cfg.Env.DB.Clone()).ExecuteContext(ctx, st)
+}
+
+// checkDifferential is the differential cardinality oracle: the executor
+// supplies ground truth, the (uncached) estimator prices the same
+// statement, and the q-error is recorded. Estimator inaccuracy is
+// expected; hard failures are only the impossible outcomes — estimator
+// refusal of an executable statement, non-finite or negative estimates,
+// or the executor rejecting an FSM-produced statement. The executor
+// result is returned for the metamorphic stage (nil when unavailable).
+func (c *checker) checkDifferential(ctx context.Context, item Item, pr *ProducerReport) (*executor.Result, []Violation) {
+	var out []Violation
+	res, execErr := c.execute(ctx, item.Statement)
+	if execErr != nil {
+		if ctx.Err() != nil {
+			return nil, nil
+		}
+		if item.Tokens != nil {
+			// §5: every completed FSM walk must execute.
+			out = append(out, c.violation(KindDifferential, item.SQL,
+				"executor rejected an FSM-generated statement: %v", execErr))
+		}
+		res = nil
+	} else {
+		pr.Executed++
+	}
+
+	est, estErr := c.cfg.Env.Est.EstimateContext(ctx, item.Statement)
+	switch {
+	case estErr != nil && ctx.Err() != nil:
+		return res, out
+	case estErr != nil && execErr == nil:
+		out = append(out, c.violation(KindDifferential, item.SQL,
+			"estimator refused an executable statement: %v", estErr))
+	case estErr == nil:
+		pr.Estimated++
+		if !finiteNonNegative(est.Card) {
+			out = append(out, c.violation(KindDifferential, item.SQL,
+				"impossible estimated cardinality %v", est.Card))
+		}
+		if !finiteNonNegative(est.Cost) {
+			out = append(out, c.violation(KindDifferential, item.SQL,
+				"impossible estimated cost %v", est.Cost))
+		}
+		if execErr == nil {
+			truth := float64(res.Cardinality)
+			q := (truth + 1) / (est.Card + 1)
+			if q < 1 {
+				q = 1 / q
+			}
+			pr.QError.add(q)
+		}
+	}
+	return res, out
+}
+
+// checkMonotonic is the predicate-tightening metamorphic check: appending
+// an AND conjunct to the WHERE clause can only shrink the true result.
+// HAVING breaks the property (filtering rows changes group aggregates, so
+// groups can start passing), so aggregate-filtered queries are skipped.
+func (c *checker) checkMonotonic(ctx context.Context, item Item, base *executor.Result, pr *ProducerReport) *Violation {
+	tight, ok := c.tighten(item.Statement)
+	if !ok {
+		return nil
+	}
+	res, err := c.execute(ctx, tight)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		v := c.violation(KindMetamorphic, item.SQL,
+			"tightened statement %q failed to execute: %v", tight.SQL(), err)
+		return &v
+	}
+	pr.Metamorphic++
+	if res.Cardinality > base.Cardinality {
+		v := c.violation(KindMetamorphic, item.SQL,
+			"adding AND conjunct raised cardinality %d → %d (tightened: %s)",
+			base.Cardinality, res.Cardinality, tight.SQL())
+		return &v
+	}
+	return nil
+}
+
+// tighten clones the statement with one extra AND conjunct sampled from
+// the vocabulary's cell values over the statement's table scope. ok is
+// false when the statement kind is out of scope for the check or no
+// sampled value exists for any in-scope column.
+func (c *checker) tighten(st sqlast.Statement) (sqlast.Statement, bool) {
+	var tables []string
+	switch t := st.(type) {
+	case *sqlast.Select:
+		if t.Having != nil {
+			return nil, false
+		}
+		tables = t.Tables
+	case *sqlast.Update:
+		tables = []string{t.Table}
+	case *sqlast.Delete:
+		tables = []string{t.Table}
+	default:
+		return nil, false // INSERT has no WHERE to tighten
+	}
+	conj, ok := c.sampleConjunct(tables)
+	if !ok {
+		return nil, false
+	}
+	and := func(w sqlast.Predicate) sqlast.Predicate {
+		if w == nil {
+			return conj
+		}
+		return &sqlast.And{Left: w, Right: conj}
+	}
+	cp := sqlast.CloneStatement(st)
+	switch t := cp.(type) {
+	case *sqlast.Select:
+		t.Where = and(t.Where)
+	case *sqlast.Update:
+		t.Where = and(t.Where)
+	case *sqlast.Delete:
+		t.Where = and(t.Where)
+	}
+	return cp, true
+}
+
+// sampleConjunct draws `col op value` over the given tables from the
+// vocabulary's sampled cell values, respecting the FSM's operator typing
+// (strings compare only with =, <, >).
+func (c *checker) sampleConjunct(tables []string) (sqlast.Predicate, bool) {
+	sch := c.cfg.Env.DB.Schema
+	vocab := c.cfg.Env.Vocab
+	type cand struct {
+		qc  schema.QualifiedColumn
+		ids []int
+	}
+	var cands []cand
+	for _, tn := range tables {
+		t := sch.TableByName(tn)
+		if t == nil {
+			continue
+		}
+		for i := range t.Columns {
+			qc := schema.QualifiedColumn{Table: tn, Column: t.Columns[i].Name}
+			if ids := vocab.ValueTokens(qc); len(ids) > 0 {
+				cands = append(cands, cand{qc: qc, ids: ids})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, false
+	}
+	pick := cands[c.rng.Intn(len(cands))]
+	val := vocab.Token(pick.ids[c.rng.Intn(len(pick.ids))]).Value
+	var ops []sqlast.CmpOp
+	if val.Kind() == sqltypes.KindString {
+		ops = []sqlast.CmpOp{sqlast.OpEq, sqlast.OpGt, sqlast.OpLt}
+	} else {
+		ops = token.Operators()
+	}
+	return &sqlast.Compare{
+		Col:   pick.qc,
+		Op:    ops[c.rng.Intn(len(ops))],
+		Value: val,
+	}, true
+}
+
+// checkConstraint is the constraint-sanity metamorphic check: a
+// producer-reported measurement must equal a fresh environment
+// measurement (catching stale estimator-cache entries), and the Satisfied
+// flag must agree with Constraint.Satisfied.
+func (c *checker) checkConstraint(ctx context.Context, item Item) []Violation {
+	cons := c.cfg.Constraint
+	if cons == nil || !item.HasMeasure {
+		return nil
+	}
+	var out []Violation
+	m, err := c.cfg.Env.MeasureContext(ctx, item.Statement, cons.Metric)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		out = append(out, c.violation(KindMetamorphic, item.SQL,
+			"environment refused to re-measure a measured statement: %v", err))
+		return out
+	}
+	if m != item.Measured {
+		out = append(out, c.violation(KindMetamorphic, item.SQL,
+			"reported measurement %v != fresh measurement %v (stale cache?)", item.Measured, m))
+	}
+	if want := cons.Satisfied(item.Measured); want != item.Satisfied {
+		out = append(out, c.violation(KindMetamorphic, item.SQL,
+			"satisfied flag %v contradicts constraint %s over measured %v",
+			item.Satisfied, cons, item.Measured))
+	}
+	return out
+}

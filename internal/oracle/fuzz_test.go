@@ -1,0 +1,70 @@
+package oracle
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/fsm"
+	"learnedsqlgen/internal/rl"
+	"learnedsqlgen/internal/token"
+)
+
+// fuzzWorld shares one environment across fuzz iterations; the harness
+// only reads it (DML sweeps clone inside the checker).
+var fuzzWorld struct {
+	once sync.Once
+	env  *rl.Env
+	err  error
+}
+
+func fuzzEnv(t *testing.T) *rl.Env {
+	fuzzWorld.once.Do(func() {
+		db, err := datagen.Generate(datagen.NameXueTang, 0.05, 1)
+		if err != nil {
+			fuzzWorld.err = err
+			return
+		}
+		cfg := fsm.DefaultConfig()
+		cfg.AllowInsert, cfg.AllowUpdate, cfg.AllowDelete = true, true, true
+		fuzzWorld.env = rl.NewEnv(db, token.Build(db, 20, 7), cfg)
+	})
+	if fuzzWorld.err != nil {
+		t.Fatal(fuzzWorld.err)
+	}
+	return fuzzWorld.env
+}
+
+// FuzzOracle runs a miniature conformance sweep per input: fuzzer-chosen
+// walk and check seeds, constraint bounds, and batch size. Whatever the
+// fuzzer picks, a sweep over real producers must come back clean — any
+// violation is a cross-layer disagreement, not a property of the seeds.
+func FuzzOracle(f *testing.F) {
+	f.Add(int64(1), int64(2), uint16(1), uint16(1000), uint8(4))
+	f.Add(int64(-5), int64(77), uint16(0), uint16(0), uint8(1))
+	f.Add(int64(1<<40), int64(-1), uint16(500), uint16(200), uint8(9))
+	f.Fuzz(func(t *testing.T, walkSeed, checkSeed int64, lo, hi uint16, per uint8) {
+		env := fuzzEnv(t)
+		if hi < lo {
+			lo, hi = hi, lo // a reversed range is a (tested) violation, not a fuzz finding
+		}
+		c := rl.RangeConstraint(rl.Cardinality, float64(lo), float64(hi))
+		rep, err := Run(context.Background(), Config{
+			Env: env,
+			Producers: []Producer{
+				FSMWalk(env, walkSeed),
+				RandomProducer(env, c, walkSeed+1),
+			},
+			PerProducer: 1 + int(per)%8,
+			Constraint:  &c,
+			Seed:        checkSeed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("conformance violations:\n%s", rep)
+		}
+	})
+}

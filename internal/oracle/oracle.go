@@ -1,0 +1,346 @@
+// Package oracle is the conformance harness that cross-checks the four
+// pillars of the generation stack against each other: the FSM's §5
+// guarantee (masked generation emits only valid SQL), the parser/renderer
+// round-trip, the estimator-vs-executor cardinality agreement the §4.2
+// reward loop relies on, and metamorphic properties of the executor
+// itself (predicate-tightening monotonicity, constraint sanity,
+// determinism under a fixed seed).
+//
+// Any query producer — the RL generator, the SQLSmith-style Random
+// baseline, the Template baseline, or a raw uniform FSM walk — plugs in
+// through the Producer/Source interfaces; Run pushes every emitted query
+// through every applicable check and returns a typed violation report.
+// The harness is the regression net behind `sqlgen -selftest`, the
+// FuzzOracle fuzz target, and the conformance tests: after any
+// optimization of the rollout, cache, or workspace layers, a clean sweep
+// certifies the observable behaviour did not drift.
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"learnedsqlgen/internal/rl"
+)
+
+// Kind classifies a conformance violation by the oracle that caught it.
+type Kind uint8
+
+// The oracles.
+const (
+	// KindParse: the emitted SQL failed to parse, or re-rendering the
+	// parsed AST did not reproduce the same text (token stream).
+	KindParse Kind = iota
+	// KindFSM: replaying the query's token trace through a fresh FSM hit
+	// a masked transition, ended early/late, or rebuilt a different
+	// statement.
+	KindFSM
+	// KindDifferential: executor ground truth and estimator disagree in
+	// an impossible way — the estimator refused an executable statement,
+	// returned a negative/NaN/Inf cardinality or cost, or the executor
+	// rejected an FSM-produced statement.
+	KindDifferential
+	// KindMetamorphic: a metamorphic property failed — tightening a WHERE
+	// clause with an extra AND conjunct raised the true cardinality, a
+	// range constraint had l > r, or a producer's reported measurement or
+	// satisfied flag contradicts a fresh measurement.
+	KindMetamorphic
+	// KindDeterminism: re-running a producer from a fresh equally-seeded
+	// source did not reproduce a byte-identical query trace.
+	KindDeterminism
+	// KindProducer: the producer itself failed (an FSM dead end inside a
+	// walk, an episode error) — not a query-level check, but still a
+	// conformance failure of the stack under test.
+	KindProducer
+)
+
+// String names the oracle.
+func (k Kind) String() string {
+	switch k {
+	case KindParse:
+		return "parse"
+	case KindFSM:
+		return "fsm"
+	case KindDifferential:
+		return "differential"
+	case KindMetamorphic:
+		return "metamorphic"
+	case KindDeterminism:
+		return "determinism"
+	case KindProducer:
+		return "producer"
+	default:
+		return fmt.Sprintf("Kind(%d)", k)
+	}
+}
+
+// Violation is one typed conformance failure.
+type Violation struct {
+	Kind     Kind
+	Producer string
+	SQL      string // the offending query, when one exists
+	Detail   string
+}
+
+// String renders the violation for reports and test failures.
+func (v Violation) String() string {
+	if v.SQL == "" {
+		return fmt.Sprintf("[%s] %s: %s", v.Kind, v.Producer, v.Detail)
+	}
+	return fmt.Sprintf("[%s] %s: %s\n  query: %s", v.Kind, v.Producer, v.Detail, v.SQL)
+}
+
+// Config parameterizes one conformance sweep.
+type Config struct {
+	// Env supplies the FSM grammar, vocabulary, estimator, and the
+	// database executed against. Required.
+	Env *rl.Env
+	// Producers are the query sources under test. Required, non-empty.
+	Producers []Producer
+	// PerProducer is the number of queries pulled from each producer;
+	// 0 selects 100.
+	PerProducer int
+	// Constraint, when non-nil, enables the constraint-sanity metamorphic
+	// check: producer-reported measurements must match a fresh environment
+	// measurement, Satisfied flags must agree with Constraint.Satisfied,
+	// and a range constraint must have Lo ≤ Hi.
+	Constraint *rl.Constraint
+	// DeterminismPrefix is the number of leading queries replayed from a
+	// freshly opened source to certify byte-identical traces; 0 selects
+	// min(32, PerProducer), negative disables the check.
+	DeterminismPrefix int
+	// MaxViolations stops the sweep early once this many violations have
+	// accumulated (0 selects 100) — a broken invariant repeats on nearly
+	// every query, and thousands of copies of one report help nobody.
+	MaxViolations int
+	// Seed drives the metamorphic conjunct sampling. The default 0 is a
+	// valid seed.
+	Seed int64
+}
+
+func (c *Config) perProducer() int {
+	if c.PerProducer <= 0 {
+		return 100
+	}
+	return c.PerProducer
+}
+
+func (c *Config) determinismPrefix() int {
+	if c.DeterminismPrefix < 0 {
+		return 0
+	}
+	if c.DeterminismPrefix == 0 {
+		n := 32
+		if pp := c.perProducer(); pp < n {
+			n = pp
+		}
+		return n
+	}
+	return c.DeterminismPrefix
+}
+
+func (c *Config) maxViolations() int {
+	if c.MaxViolations <= 0 {
+		return 100
+	}
+	return c.MaxViolations
+}
+
+// QErrorStats accumulates the q-error distribution of the differential
+// cardinality oracle: q = max((t+1)/(e+1), (e+1)/(t+1)) over true
+// cardinality t and estimate e. Estimator inaccuracy is expected — only
+// impossible results are violations — but the distribution is reported so
+// estimator regressions show up as drift.
+type QErrorStats struct {
+	Count int
+	Sum   float64
+	Max   float64
+}
+
+func (q *QErrorStats) add(v float64) {
+	q.Count++
+	q.Sum += v
+	if v > q.Max {
+		q.Max = v
+	}
+}
+
+// Mean returns the average q-error (0 before any sample).
+func (q QErrorStats) Mean() float64 {
+	if q.Count == 0 {
+		return 0
+	}
+	return q.Sum / float64(q.Count)
+}
+
+// ProducerReport summarizes one producer's sweep.
+type ProducerReport struct {
+	Name        string
+	Queries     int // queries pulled
+	Parsed      int // queries through the parse oracle
+	Replayed    int // queries with a token trace replayed through the FSM
+	Executed    int // queries the executor ran
+	Estimated   int // queries the estimator priced
+	Metamorphic int // predicate-tightening pairs executed
+	Violations  int
+	QError      QErrorStats
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	Producers  []ProducerReport
+	Violations []Violation
+	// Truncated reports that MaxViolations stopped the sweep early.
+	Truncated bool
+}
+
+// Ok reports a clean sweep.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// String renders a human-readable summary (the `sqlgen -selftest` output).
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, p := range r.Producers {
+		fmt.Fprintf(&b, "%-16s %5d queries: parse %d, fsm-replay %d, exec %d, est %d, metamorphic %d",
+			p.Name, p.Queries, p.Parsed, p.Replayed, p.Executed, p.Estimated, p.Metamorphic)
+		if p.QError.Count > 0 {
+			fmt.Fprintf(&b, ", q-error mean %.2f max %.2f", p.QError.Mean(), p.QError.Max)
+		}
+		fmt.Fprintf(&b, ", violations %d\n", p.Violations)
+	}
+	if len(r.Violations) == 0 {
+		b.WriteString("conformance: OK\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "conformance: %d violation(s)", len(r.Violations))
+	if r.Truncated {
+		b.WriteString(" (truncated)")
+	}
+	b.WriteString("\n")
+	for _, v := range r.Violations {
+		b.WriteString("  " + v.String() + "\n")
+	}
+	return b.String()
+}
+
+// Run sweeps every producer through the four oracles and returns the
+// report. The error is non-nil only for harness-level failures (a nil
+// Env, a cancelled ctx); check failures are reported as Violations, never
+// as errors, so callers can always inspect the partial report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("oracle: Config.Env is required")
+	}
+	if len(cfg.Producers) == 0 {
+		return nil, fmt.Errorf("oracle: Config.Producers is empty")
+	}
+	report := &Report{}
+	if c := cfg.Constraint; c != nil && c.IsRange && c.Lo > c.Hi {
+		report.Violations = append(report.Violations, Violation{
+			Kind:   KindMetamorphic,
+			Detail: fmt.Sprintf("range constraint has l > r: [%g, %g]", c.Lo, c.Hi),
+		})
+	}
+	for _, p := range cfg.Producers {
+		pr, err := runProducer(ctx, &cfg, p, report)
+		report.Producers = append(report.Producers, pr)
+		if err != nil {
+			return report, err
+		}
+		if len(report.Violations) >= cfg.maxViolations() {
+			report.Truncated = true
+			break
+		}
+	}
+	return report, nil
+}
+
+// runProducer sweeps one producer; violations append to report and count
+// into the returned ProducerReport.
+func runProducer(ctx context.Context, cfg *Config, p Producer, report *Report) (pr ProducerReport, err error) {
+	pr.Name = p.Name
+	before := len(report.Violations)
+	defer func() { pr.Violations = len(report.Violations) - before }()
+
+	src, err := p.Open()
+	if err != nil {
+		report.Violations = append(report.Violations, Violation{
+			Kind: KindProducer, Producer: p.Name,
+			Detail: fmt.Sprintf("open: %v", err),
+		})
+		return pr, nil
+	}
+	ck := newChecker(cfg, p.Name)
+	var trace []string
+	detPrefix := cfg.determinismPrefix()
+	for i := 0; i < cfg.perProducer(); i++ {
+		if err := ctx.Err(); err != nil {
+			return pr, err
+		}
+		item, err := src.Next(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return pr, ctx.Err()
+			}
+			report.Violations = append(report.Violations, Violation{
+				Kind: KindProducer, Producer: p.Name,
+				Detail: fmt.Sprintf("query %d: %v", i, err),
+			})
+			return pr, nil
+		}
+		pr.Queries++
+		if i < detPrefix {
+			trace = append(trace, item.SQL)
+		}
+		report.Violations = append(report.Violations, ck.check(ctx, item, &pr)...)
+		if len(report.Violations) >= cfg.maxViolations() {
+			return pr, nil
+		}
+	}
+
+	// Determinism oracle: a fresh source from the same Open (or the
+	// producer's alternate configuration) must reproduce the leading
+	// queries byte for byte.
+	if detPrefix > 0 && len(trace) > 0 {
+		reopen := p.Open
+		if p.Alt != nil {
+			reopen = p.Alt
+		}
+		if v := checkDeterminism(ctx, p.Name, reopen, trace); v != nil {
+			report.Violations = append(report.Violations, *v)
+		}
+	}
+	return pr, nil
+}
+
+// checkDeterminism replays len(trace) queries from a fresh source and
+// compares the SQL sequence.
+func checkDeterminism(ctx context.Context, name string, open func() (Source, error), trace []string) *Violation {
+	src, err := open()
+	if err != nil {
+		return &Violation{Kind: KindDeterminism, Producer: name,
+			Detail: fmt.Sprintf("reopen: %v", err)}
+	}
+	for i, want := range trace {
+		item, err := src.Next(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // cancelled, not a verdict
+			}
+			return &Violation{Kind: KindDeterminism, Producer: name,
+				Detail: fmt.Sprintf("replay query %d: %v", i, err)}
+		}
+		if item.SQL != want {
+			return &Violation{Kind: KindDeterminism, Producer: name, SQL: item.SQL,
+				Detail: fmt.Sprintf("replay diverged at query %d: first run produced %q", i, want)}
+		}
+	}
+	return nil
+}
+
+// finiteNonNegative reports whether a cardinality/cost output is possible.
+func finiteNonNegative(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}

@@ -1,0 +1,336 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/fsm"
+	"learnedsqlgen/internal/rl"
+	"learnedsqlgen/internal/token"
+)
+
+// testEnv builds the seeded demo environment the conformance sweeps run
+// against.
+func testEnv(t testing.TB, cfg fsm.Config) *rl.Env {
+	t.Helper()
+	db, err := datagen.Generate(datagen.NameXueTang, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rl.NewEnv(db, token.Build(db, 20, 7), cfg)
+}
+
+func testConstraint() rl.Constraint {
+	return rl.RangeConstraint(rl.Cardinality, 1, 1000)
+}
+
+// trainerOpeners returns matched open/alt constructors: identical seeds
+// and weights, alt with the actor prefix cache disabled — so the
+// determinism oracle certifies the cache never changes output.
+func trainerOpeners(env *rl.Env, c rl.Constraint) (open, alt func() (*rl.Trainer, error)) {
+	mk := func(prefixCache int) func() (*rl.Trainer, error) {
+		return func() (*rl.Trainer, error) {
+			cfg := rl.FastConfig()
+			cfg.Seed = 5
+			cfg.Workers = 2
+			cfg.PrefixCacheSize = prefixCache
+			return rl.NewTrainer(env, c, cfg), nil
+		}
+	}
+	return mk(0), mk(-1)
+}
+
+func allProducers(env *rl.Env, c rl.Constraint) []Producer {
+	open, alt := trainerOpeners(env, c)
+	return []Producer{
+		FSMWalk(env, 3),
+		RandomProducer(env, c, 4),
+		TemplateProducer(env, c, 4, 5),
+		TrainerProducer("rl", open, alt),
+	}
+}
+
+// TestConformanceSweep is the acceptance sweep: ≥1000 queries per
+// producer (RL, SQLSmith-style random, template, raw FSM walk) through
+// all four oracles on the seeded demo schema, zero violations.
+func TestConformanceSweep(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 50
+	}
+	env := testEnv(t, fsm.DefaultConfig())
+	c := testConstraint()
+	rep, err := Run(context.Background(), Config{
+		Env:         env,
+		Producers:   allProducers(env, c),
+		PerProducer: n,
+		Constraint:  &c,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("conformance violations:\n%s", rep)
+	}
+	if len(rep.Producers) != 4 {
+		t.Fatalf("expected 4 producer reports, got %d", len(rep.Producers))
+	}
+	for _, pr := range rep.Producers {
+		if pr.Queries != n {
+			t.Errorf("%s: pulled %d queries, want %d", pr.Name, pr.Queries, n)
+		}
+		if pr.Parsed != pr.Queries {
+			t.Errorf("%s: parse oracle covered %d/%d", pr.Name, pr.Parsed, pr.Queries)
+		}
+		if pr.Name != "template" && pr.Replayed != pr.Queries {
+			t.Errorf("%s: FSM replay covered %d/%d", pr.Name, pr.Replayed, pr.Queries)
+		}
+		if pr.Executed == 0 || pr.Estimated == 0 || pr.Metamorphic == 0 {
+			t.Errorf("%s: oracle coverage hole: %+v", pr.Name, pr)
+		}
+		if pr.QError.Count == 0 || pr.QError.Max < 1 {
+			t.Errorf("%s: no q-error distribution recorded: %+v", pr.Name, pr.QError)
+		}
+	}
+	if !strings.Contains(rep.String(), "conformance: OK") {
+		t.Errorf("report rendering: %q", rep.String())
+	}
+}
+
+// TestConformanceSweepDML covers the write statements: with
+// INSERT/UPDATE/DELETE enabled every FSM walk must still clear all four
+// oracles (executor clones, Update/Delete monotonicity).
+func TestConformanceSweepDML(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 40
+	}
+	cfg := fsm.DefaultConfig()
+	cfg.AllowInsert, cfg.AllowUpdate, cfg.AllowDelete = true, true, true
+	env := testEnv(t, cfg)
+	rep, err := Run(context.Background(), Config{
+		Env:         env,
+		Producers:   []Producer{FSMWalk(env, 9)},
+		PerProducer: n,
+		Seed:        13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("conformance violations:\n%s", rep)
+	}
+}
+
+// fixedSource replays a fixed item list.
+type fixedSource struct {
+	items []Item
+	i     int
+}
+
+func (s *fixedSource) Next(ctx context.Context) (Item, error) {
+	if s.i >= len(s.items) {
+		return Item{}, fmt.Errorf("source exhausted after %d items", s.i)
+	}
+	it := s.items[s.i]
+	s.i++
+	return it, nil
+}
+
+func fixedProducer(name string, items []Item) Producer {
+	return Producer{Name: name, Open: func() (Source, error) {
+		return &fixedSource{items: items}, nil
+	}}
+}
+
+// sampleItems pulls n genuine items off an FSM walk for mutation.
+func sampleItems(t *testing.T, env *rl.Env, n int) []Item {
+	t.Helper()
+	src, err := FSMWalk(env, 21).Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Item, n)
+	for i := range out {
+		it, err := src.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = it
+	}
+	return out
+}
+
+func kinds(vs []Violation) map[Kind]int {
+	m := map[Kind]int{}
+	for _, v := range vs {
+		m[v.Kind]++
+	}
+	return m
+}
+
+// TestOracleCatchesCorruption plants one corruption per oracle and
+// demands the matching violation kind — the net actually catches fish.
+func TestOracleCatchesCorruption(t *testing.T) {
+	env := testEnv(t, fsm.DefaultConfig())
+	items := sampleItems(t, env, 6)
+
+	unparseable := items[0]
+	unparseable.SQL = "SELEC oops FROM nowhere"
+	unparseable.Tokens = nil
+
+	drifted := items[1]
+	drifted.SQL = strings.Replace(drifted.SQL, "SELECT ", "SELECT  ", 1) // parses, renders differently
+	drifted.Tokens = nil
+
+	truncated := items[2]
+	truncated.Tokens = truncated.Tokens[:len(truncated.Tokens)-1]
+
+	badMeasure := items[3]
+	badMeasure.HasMeasure = true
+	badMeasure.Measured = -12345 // fresh measurement cannot agree
+
+	c := testConstraint()
+	rep, err := Run(context.Background(), Config{
+		Env:               env,
+		Producers:         []Producer{fixedProducer("corrupt", []Item{unparseable, drifted, truncated, badMeasure})},
+		PerProducer:       4,
+		Constraint:        &c,
+		DeterminismPrefix: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kinds(rep.Violations)
+	if got[KindParse] != 2 {
+		t.Errorf("parse oracle caught %d, want 2 (unparseable + round-trip drift)\n%s", got[KindParse], rep)
+	}
+	if got[KindFSM] != 1 {
+		t.Errorf("fsm oracle caught %d, want 1 (truncated trace)\n%s", got[KindFSM], rep)
+	}
+	if got[KindMetamorphic] == 0 {
+		t.Errorf("metamorphic oracle missed the corrupted measurement\n%s", rep)
+	}
+	if rep.Producers[0].Violations != len(rep.Violations) {
+		t.Errorf("producer violation count %d != total %d", rep.Producers[0].Violations, len(rep.Violations))
+	}
+}
+
+// TestDeterminismOracle verifies the replay check: a producer whose
+// reopened source continues a shared stream (instead of restarting it)
+// diverges and must be convicted.
+func TestDeterminismOracle(t *testing.T) {
+	env := testEnv(t, fsm.DefaultConfig())
+	items := sampleItems(t, env, 8)
+	shared := &fixedSource{items: items}
+	leaky := Producer{Name: "leaky", Open: func() (Source, error) { return shared, nil }}
+
+	rep, err := Run(context.Background(), Config{
+		Env:         env,
+		Producers:   []Producer{leaky},
+		PerProducer: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kinds(rep.Violations); got[KindDeterminism] == 0 {
+		t.Fatalf("determinism oracle missed the diverging replay\n%s", rep)
+	}
+}
+
+// TestProducerFaults: Open and Next failures surface as KindProducer
+// violations, not harness errors.
+func TestProducerFaults(t *testing.T) {
+	env := testEnv(t, fsm.DefaultConfig())
+	broken := Producer{Name: "broken", Open: func() (Source, error) {
+		return nil, fmt.Errorf("no source today")
+	}}
+	empty := fixedProducer("empty", nil) // Next errors immediately
+	rep, err := Run(context.Background(), Config{
+		Env:       env,
+		Producers: []Producer{broken, empty},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kinds(rep.Violations); got[KindProducer] != 2 {
+		t.Fatalf("want 2 producer violations, got %v\n%s", got, rep)
+	}
+}
+
+// TestRunValidation: harness-level misconfiguration is an error, and a
+// reversed range constraint is a metamorphic violation.
+func TestRunValidation(t *testing.T) {
+	env := testEnv(t, fsm.DefaultConfig())
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("nil Env accepted")
+	}
+	if _, err := Run(context.Background(), Config{Env: env}); err == nil {
+		t.Error("empty producer list accepted")
+	}
+	bad := rl.RangeConstraint(rl.Cardinality, 1000, 1)
+	rep, err := Run(context.Background(), Config{
+		Env:         env,
+		Producers:   []Producer{FSMWalk(env, 2)},
+		PerProducer: 1,
+		Constraint:  &bad,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kinds(rep.Violations); got[KindMetamorphic] == 0 {
+		t.Fatalf("l > r range constraint not flagged\n%s", rep)
+	}
+}
+
+// TestMaxViolationsTruncates: a producer that violates on every query
+// stops the sweep at the cap instead of drowning the report.
+func TestMaxViolationsTruncates(t *testing.T) {
+	env := testEnv(t, fsm.DefaultConfig())
+	items := sampleItems(t, env, 8)
+	for i := range items {
+		items[i].SQL = "NOT SQL AT ALL"
+		items[i].Tokens = nil
+	}
+	rep, err := Run(context.Background(), Config{
+		Env:           env,
+		Producers:     []Producer{fixedProducer("bad", items)},
+		PerProducer:   8,
+		MaxViolations: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Error("report not marked truncated")
+	}
+	if len(rep.Violations) != 3 {
+		t.Errorf("got %d violations, want cap 3", len(rep.Violations))
+	}
+}
+
+// TestRunCancellation: a cancelled ctx is a harness error with a partial
+// report, never a violation verdict.
+func TestRunCancellation(t *testing.T) {
+	env := testEnv(t, fsm.DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, Config{
+		Env:         env,
+		Producers:   []Producer{FSMWalk(env, 2)},
+		PerProducer: 10,
+	})
+	if err == nil {
+		t.Fatal("cancelled Run returned nil error")
+	}
+	if rep == nil {
+		t.Fatal("cancelled Run returned nil report")
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("cancellation produced violations: %v", rep.Violations)
+	}
+}

@@ -1,0 +1,211 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"learnedsqlgen/internal/baselines"
+	"learnedsqlgen/internal/rl"
+	"learnedsqlgen/internal/sqlast"
+)
+
+// Item is one query emitted by a producer, carrying whatever evidence the
+// producer has about it so the oracles can cross-check every claim.
+type Item struct {
+	Statement sqlast.Statement
+	// SQL is the producer's rendering of Statement — the text under test
+	// for the parse round-trip.
+	SQL string
+	// Tokens is the FSM action trace that built the statement, when the
+	// producer walked the FSM (nil for template instantiation). A non-nil
+	// trace enables the FSM replay oracle and promotes executor failure to
+	// a violation (§5: every completed walk is executable).
+	Tokens []int
+	// Measured/Satisfied mirror rl.Generated; HasMeasure reports whether
+	// the environment actually produced the measurement (enabling the
+	// constraint-sanity check against a fresh measurement).
+	Measured   float64
+	HasMeasure bool
+	Satisfied  bool
+}
+
+// Source yields one Item per Next call. Sources are single-goroutine.
+type Source interface {
+	Next(ctx context.Context) (Item, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(ctx context.Context) (Item, error)
+
+// Next implements Source.
+func (f SourceFunc) Next(ctx context.Context) (Item, error) { return f(ctx) }
+
+// Producer names a query source and knows how to open it from scratch.
+type Producer struct {
+	Name string
+	// Open starts a fresh, deterministically seeded source. The
+	// determinism oracle calls it a second time and requires the replay to
+	// reproduce the first run's SQL byte for byte.
+	Open func() (Source, error)
+	// Alt, when non-nil, replaces Open for the determinism replay: a
+	// differently-configured but behaviourally identical source (e.g. the
+	// RL sampler with its prefix cache disabled, or the environment's
+	// estimator cache off). Any divergence convicts the configuration
+	// difference of changing observable behaviour.
+	Alt func() (Source, error)
+}
+
+// measuredItem assembles an Item from a generated statement, re-measuring
+// through the environment to learn whether the metric is obtainable at
+// all (rl.Generated cannot distinguish "measured 0" from "unmeasurable").
+// The re-measurement is a cache hit whenever the producer measured.
+func measuredItem(ctx context.Context, env *rl.Env, metric rl.Metric, g rl.Generated, toks []int) (Item, error) {
+	it := Item{
+		Statement: g.Statement,
+		SQL:       g.SQL,
+		Tokens:    toks,
+		Measured:  g.Measured,
+		Satisfied: g.Satisfied,
+	}
+	if _, err := env.MeasureContext(ctx, g.Statement, metric); err == nil {
+		it.HasMeasure = true
+	} else if ctx.Err() != nil {
+		return Item{}, err
+	}
+	return it, nil
+}
+
+// FSMWalk is the raw-grammar producer: uniform random walks over the
+// FSM's unmasked action set, no policy, no measurement. It tests the §5
+// guarantee in its purest form — every completed walk must parse,
+// replay, and execute.
+func FSMWalk(env *rl.Env, seed int64) Producer {
+	open := func() (Source, error) {
+		rng := rand.New(rand.NewSource(seed))
+		return SourceFunc(func(ctx context.Context) (Item, error) {
+			if err := ctx.Err(); err != nil {
+				return Item{}, err
+			}
+			b := env.NewBuilder()
+			for !b.Done() {
+				valid := b.Valid()
+				id := valid[rng.Intn(len(valid))]
+				if err := b.Apply(id); err != nil {
+					return Item{}, fmt.Errorf("fsm rejected its own unmasked action %d at step %d: %w",
+						id, b.Steps(), err)
+				}
+			}
+			st, err := b.Statement()
+			if err != nil {
+				return Item{}, fmt.Errorf("completed walk has no statement: %w", err)
+			}
+			toks := append([]int(nil), b.Tokens()...)
+			return Item{Statement: st, SQL: st.SQL(), Tokens: toks}, nil
+		}), nil
+	}
+	return Producer{Name: "fsm-walk", Open: open}
+}
+
+// RandomProducer adapts the SQLSmith-style baseline (uniform walks with
+// constraint measurement).
+func RandomProducer(env *rl.Env, c rl.Constraint, seed int64) Producer {
+	open := func() (Source, error) {
+		r := baselines.NewRandom(env, c, seed)
+		return SourceFunc(func(ctx context.Context) (Item, error) {
+			g, toks, err := r.Next(ctx)
+			if err != nil {
+				return Item{}, err
+			}
+			return measuredItem(ctx, env, c.Metric, g, toks)
+		}), nil
+	}
+	return Producer{Name: "random", Open: open}
+}
+
+// TemplateProducer adapts the template baseline: skeletons are
+// re-synthesized from the seed on every Open (determinism replays rebuild
+// them identically), and each Next is one hill-climbing run. Template
+// statements carry no FSM trace — the climb mutates predicate constants
+// outside the FSM — so the replay oracle is skipped for them.
+func TemplateProducer(env *rl.Env, c rl.Constraint, numTemplates int, seed int64) Producer {
+	open := func() (Source, error) {
+		g := baselines.NewTemplateGen(env, c, numTemplates, seed)
+		if len(g.Templates) == 0 {
+			return nil, fmt.Errorf("template synthesis produced no usable skeletons")
+		}
+		return SourceFunc(func(ctx context.Context) (Item, error) {
+			// A climb can fail to measure its random restart; retry across
+			// the round-robin rather than reporting a producer fault.
+			for attempt := 0; attempt < 2*len(g.Templates)+1; attempt++ {
+				gen, ok, err := g.Next(ctx)
+				if err != nil {
+					return Item{}, err
+				}
+				if ok {
+					return measuredItem(ctx, env, c.Metric, gen, nil)
+				}
+			}
+			return Item{}, fmt.Errorf("no template produced a measurable statement")
+		}), nil
+	}
+	return Producer{Name: "template", Open: open}
+}
+
+// TrainerProducer adapts an RL policy sampler. open must build a freshly
+// seeded trainer — identical weights on every call, since the determinism
+// oracle reopens it and demands a byte-identical query trace. alt, when
+// non-nil, builds a differently-configured but behaviourally identical
+// trainer (canonically: prefix cache disabled) for the replay, turning
+// the rollout engine's byte-identity guarantee into a checked invariant.
+// Queries are drawn as inference batches of Cfg.BatchSize.
+func TrainerProducer(name string, open func() (*rl.Trainer, error), alt func() (*rl.Trainer, error)) Producer {
+	wrap := func(mk func() (*rl.Trainer, error)) func() (Source, error) {
+		return func() (Source, error) {
+			t, err := mk()
+			if err != nil {
+				return nil, err
+			}
+			return &trainerSource{t: t}, nil
+		}
+	}
+	p := Producer{Name: name, Open: wrap(open)}
+	if alt != nil {
+		p.Alt = wrap(alt)
+	}
+	return p
+}
+
+// trainerSource pulls inference trajectories batch by batch.
+type trainerSource struct {
+	t   *rl.Trainer
+	buf []*rl.Trajectory
+}
+
+// Next implements Source.
+func (s *trainerSource) Next(ctx context.Context) (Item, error) {
+	if len(s.buf) == 0 {
+		n := s.t.Cfg.BatchSize
+		if n <= 0 {
+			n = 1
+		}
+		batch, err := s.t.SampleBatchContext(ctx, s.t.Actor(), s.t.Actor().BOS(), n, false, false)
+		if err != nil {
+			return Item{}, err
+		}
+		s.buf = batch
+	}
+	traj := s.buf[0]
+	s.buf = s.buf[1:]
+	toks := make([]int, len(traj.Steps))
+	for i := range traj.Steps {
+		toks[i] = traj.Steps[i].Action
+	}
+	g := rl.Generated{
+		Statement: traj.Final,
+		SQL:       traj.Final.SQL(),
+		Measured:  traj.Measured,
+		Satisfied: traj.Satisfied,
+	}
+	return measuredItem(ctx, s.t.Env, s.t.Constraint.Metric, g, toks)
+}

@@ -1,0 +1,41 @@
+package parser
+
+import (
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the parser. Rejections are fine — the
+// conformance property is on acceptance: whatever parses must re-render to
+// text that parses again, and that rendering must be a fixed point (the
+// canonical token stream the FSM, parser, and renderer all agree on).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT Score.ID FROM Score WHERE Score.Grade < 95",
+		"SELECT COUNT(*) FROM Score, Student WHERE Score.ID = Student.ID AND Score.Grade >= 60 GROUP BY Score.CourseID HAVING COUNT(*) > 2 ORDER BY Score.CourseID DESC",
+		"SELECT Student.Name FROM Student WHERE Student.Name LIKE 'A%' OR NOT (Student.Age <> 21)",
+		"SELECT Student.ID FROM Student WHERE Student.ID IN (SELECT Score.ID FROM Score WHERE Score.Grade > 90)",
+		"SELECT Student.ID FROM Student WHERE EXISTS (SELECT Score.ID FROM Score)",
+		"INSERT INTO Student VALUES (1, 'Bob', 20)",
+		"UPDATE Score SET Score.Grade = 100 WHERE Score.ID = 7",
+		"DELETE FROM Score WHERE Score.Grade < 0",
+		"SELECT t.x FROM t WHERE t.x = -1.5e-7",
+		"SELECT t.x FROM t WHERE t.s = 'it''s'",
+		"SELECT t.x FROM t WHERE t.x >= 9223372036854775807",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err != nil {
+			return // rejection is not a conformance question
+		}
+		out := st.SQL()
+		again, err := Parse(out)
+		if err != nil {
+			t.Fatalf("rendering of accepted input does not re-parse:\n input: %q\nrender: %q\n   err: %v", input, out, err)
+		}
+		if got := again.SQL(); got != out {
+			t.Fatalf("rendering is not a fixed point:\n input: %q\n first: %q\nsecond: %q", input, out, got)
+		}
+	})
+}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"learnedsqlgen/internal/sqltypes"
 )
 
 type tokenKind uint8
@@ -169,3 +171,25 @@ func startsValue(toks []token) bool {
 
 func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
 func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+// LexValue lexes input as exactly one literal token (number or quoted
+// string) followed by end of input, and converts it the way the parser
+// converts predicate constants. It is the conformance contract for value
+// rendering: any sqltypes.Value the vocabulary samples must satisfy
+// LexValue(v.SQL()) — a single literal of the matching kind — or the FSM
+// would emit queries whose constants the parser reads back differently.
+func LexValue(input string) (sqltypes.Value, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if len(toks) != 2 || toks[1].kind != tokEOF {
+		return sqltypes.Null, fmt.Errorf("parser: %q is not a single literal token (%d tokens)", input, len(toks)-1)
+	}
+	p := &parser{toks: toks}
+	v, err := p.value()
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	return v, nil
+}

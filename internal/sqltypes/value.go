@@ -58,8 +58,16 @@ var Null = Value{}
 // NewInt returns an INT value.
 func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
 
-// NewFloat returns a FLOAT value.
-func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+// NewFloat returns a FLOAT value. Negative zero is normalized to zero:
+// SQL has no -0, and the IEEE sign bit would otherwise leak into SQL()
+// as "-0", which the lexer reads back as the integer 0 — breaking the
+// render/parse fixed point the conformance oracle checks.
+func NewFloat(v float64) Value {
+	if v == 0 {
+		v = 0
+	}
+	return Value{kind: KindFloat, f: v}
+}
 
 // NewString returns a STRING value.
 func NewString(v string) Value { return Value{kind: KindString, s: v} }

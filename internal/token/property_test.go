@@ -1,0 +1,64 @@
+package token
+
+import (
+	"testing"
+
+	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/parser"
+	"learnedsqlgen/internal/sqltypes"
+)
+
+// TestVocabValueTokensLexAsLiterals is the vocabulary/lexer conformance
+// property: every sampled cell value in every dataset's vocabulary must
+// render to SQL that lexes back as a single literal token of the same
+// type class and the same value — otherwise the FSM could emit queries
+// whose constants the parser reads back differently than the executor
+// stored them.
+func TestVocabValueTokensLexAsLiterals(t *testing.T) {
+	for _, dataset := range []string{datagen.NameTPCH, datagen.NameJOB, datagen.NameXueTang} {
+		t.Run(dataset, func(t *testing.T) {
+			db, err := datagen.Generate(dataset, 0.05, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vocab := Build(db, 20, 7)
+			values, patterns := 0, 0
+			for id := 0; id < vocab.Size(); id++ {
+				tok := vocab.Token(id)
+				switch tok.Type {
+				case TypeValue:
+					values++
+					got, err := parser.LexValue(tok.Value.SQL())
+					if err != nil {
+						t.Errorf("value token %d (%s) does not lex as a literal: %v", id, tok, err)
+						continue
+					}
+					wantString := tok.Value.Kind() == sqltypes.KindString
+					if gotString := got.Kind() == sqltypes.KindString; gotString != wantString {
+						t.Errorf("value token %d: type class flipped: %v -> %v", id, tok.Value, got)
+						continue
+					}
+					if sqltypes.Compare(got, tok.Value) != 0 {
+						t.Errorf("value token %d: lexed back unequal: %v -> %v", id, tok.Value, got)
+					}
+				case TypePattern:
+					patterns++
+					got, err := parser.LexValue(tok.String())
+					if err != nil {
+						t.Errorf("pattern token %d (%s) does not lex as a literal: %v", id, tok, err)
+						continue
+					}
+					if got.Kind() != sqltypes.KindString {
+						t.Errorf("pattern token %d lexed as %v, want a string", id, got)
+					}
+				}
+			}
+			if values == 0 {
+				t.Fatal("vocabulary has no value tokens — property vacuous")
+			}
+			if patterns == 0 {
+				t.Fatal("vocabulary has no pattern tokens — property vacuous")
+			}
+		})
+	}
+}

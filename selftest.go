@@ -1,0 +1,54 @@
+package learnedsqlgen
+
+import (
+	"context"
+
+	"learnedsqlgen/internal/oracle"
+	"learnedsqlgen/internal/rl"
+)
+
+// ConformanceReport is the outcome of a SelfTest sweep: per-producer
+// coverage counters plus the list of violations (empty on a healthy
+// stack). See internal/oracle for the four checks behind it.
+type ConformanceReport = oracle.Report
+
+// ConformanceViolation is one typed conformance failure inside a
+// ConformanceReport.
+type ConformanceViolation = oracle.Violation
+
+// SelfTest runs the conformance oracle over this database: four query
+// producers (a raw FSM random walk, the SQLSmith-style random baseline,
+// the template baseline, and an RL policy sampler) each emit
+// queriesPerProducer statements, and every statement is pushed through
+// the parse round-trip, FSM replay, differential cardinality
+// (executor vs estimator), and metamorphic checks. The RL producer's
+// determinism is re-verified with the actor prefix cache disabled, so the
+// optimization layers are certified byte-identical on every sweep.
+//
+// The error reports harness-level failures only (a cancelled ctx);
+// conformance failures land in the report, and report.Ok() is the
+// verdict. SelfTest is read-only — DML statements under test run against
+// throwaway clones.
+func (db *DB) SelfTest(ctx context.Context, c Constraint, queriesPerProducer int) (*ConformanceReport, error) {
+	mkTrainer := func(prefixCache int) func() (*rl.Trainer, error) {
+		return func() (*rl.Trainer, error) {
+			cfg := rl.FastConfig()
+			cfg.Seed = db.seed
+			cfg.Workers = db.workers
+			cfg.PrefixCacheSize = prefixCache
+			return rl.NewTrainer(db.env, c, cfg), nil
+		}
+	}
+	return oracle.Run(ctx, oracle.Config{
+		Env: db.env,
+		Producers: []oracle.Producer{
+			oracle.FSMWalk(db.env, db.seed),
+			oracle.RandomProducer(db.env, c, db.seed+1),
+			oracle.TemplateProducer(db.env, c, 8, db.seed+2),
+			oracle.TrainerProducer("rl", mkTrainer(db.prefixCacheSize), mkTrainer(-1)),
+		},
+		PerProducer: queriesPerProducer,
+		Constraint:  &c,
+		Seed:        db.seed,
+	})
+}

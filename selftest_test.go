@@ -1,0 +1,41 @@
+package learnedsqlgen
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSelfTestCleanSweep(t *testing.T) {
+	db, err := OpenBenchmark("xuetang", 0.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := RangeConstraint(Cardinality, 1, 1000)
+	rep, err := db.SelfTest(context.Background(), c, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("conformance violations:\n%s", rep)
+	}
+	if len(rep.Producers) != 4 {
+		t.Fatalf("want 4 producers, got %d", len(rep.Producers))
+	}
+	for _, pr := range rep.Producers {
+		if pr.Queries != 40 {
+			t.Errorf("%s: %d queries, want 40", pr.Name, pr.Queries)
+		}
+	}
+}
+
+func TestSelfTestCancelled(t *testing.T) {
+	db, err := OpenBenchmark("xuetang", 0.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.SelfTest(ctx, RangeConstraint(Cardinality, 1, 1000), 10); err == nil {
+		t.Fatal("cancelled SelfTest returned nil error")
+	}
+}
