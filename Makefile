@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet staticcheck panic-gate race verify bench fuzz
+.PHONY: build test vet staticcheck panic-gate race verify bench fuzz chaos
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,15 @@ verify: build vet staticcheck panic-gate test race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/nn/ ./internal/rl/ .
+
+# Chaos gate: the fault-tolerance suites under the race detector — the
+# fault injector and retry/breaker units, durable-write crash safety,
+# checkpoint corruption matrices, the rollout quarantine and divergence
+# watchdog, and a full conformance sweep with 5% injected backend faults.
+chaos:
+	$(GO) test -race -timeout 20m ./internal/faultinject/ ./internal/resilience/ ./internal/durable/
+	$(GO) test -race -timeout 20m -run 'Chaos|Store|Quarantine|Corruption|Legacy|V2|Health' ./internal/rl/ ./internal/nn/
+	$(GO) test -race -timeout 20m -run 'FaultInjection' ./internal/oracle/
 
 # Short-budget fuzzing of the conformance surfaces (parser round-trip, FSM
 # walk validity, oracle sweeps), continuing from the checked-in corpora

@@ -1,0 +1,46 @@
+package learnedsqlgen
+
+import (
+	"learnedsqlgen/internal/rl"
+)
+
+// CheckpointStore manages a directory of rotated, crash-safe model
+// checkpoints. Every Save writes a new sequence-numbered checkpoint
+// atomically (staged, fsynced, renamed) and then updates a last-good
+// manifest, so a crash — kill -9 included — at any instant leaves the
+// store loadable. Load restores the newest checkpoint that passes the
+// format's CRC validation, silently falling back to an older one when
+// the newest is truncated or bit-flipped.
+type CheckpointStore struct {
+	store *rl.Store
+}
+
+// ErrNoCheckpoint is returned by CheckpointStore.Load when the store
+// holds no loadable checkpoint (empty, or everything corrupt).
+var ErrNoCheckpoint = rl.ErrNoCheckpoint
+
+// OpenCheckpointStore opens (creating if needed) a checkpoint directory
+// retaining the last keep checkpoints; keep <= 0 selects the default (3).
+func OpenCheckpointStore(dir string, keep int) (*CheckpointStore, error) {
+	s, err := rl.NewStore(dir, keep)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointStore{store: s}, nil
+}
+
+// Dir returns the store's directory.
+func (s *CheckpointStore) Dir() string { return s.store.Dir() }
+
+// Save checkpoints the generator's current weights and returns the path
+// written.
+func (s *CheckpointStore) Save(g *Generator) (string, error) {
+	return s.store.Save(g.trainer)
+}
+
+// Load restores the newest loadable checkpoint into the generator and
+// returns the path it came from. Corrupt entries are skipped in favor of
+// older good ones; ErrNoCheckpoint means nothing was loadable.
+func (s *CheckpointStore) Load(g *Generator) (string, error) {
+	return s.store.Load(g.trainer)
+}

@@ -48,6 +48,9 @@ func run() int {
 	profile := flag.Bool("profile", false, "print a structural/diversity profile of the output")
 	prefixCache := flag.Int("prefix-cache", 0, "actor prefix-state cache entries (0 = default, negative = off); output is identical either way")
 	trainBudget := flag.Duration("train-budget", 0, "wall-clock training budget (e.g. 90s, 5m); 0 = unlimited. On expiry the partially trained policy is used as-is")
+	ckptEvery := flag.Int("checkpoint-every", 0, "write a rotated, crash-safe checkpoint every N training epochs (0 = off)")
+	ckptDir := flag.String("checkpoint-dir", "sqlgen-checkpoints", "directory for -checkpoint-every checkpoints (rotated, with a last-good manifest)")
+	faultRate := flag.Float64("fault-rate", 0, "inject transient estimator/executor faults at this rate (chaos demo; enables the retry/breaker resilience layer)")
 	selftest := flag.Bool("selftest", false, "run a bounded conformance sweep (parse/FSM/differential/metamorphic oracles over four producers) instead of training; -point/-range optional")
 	selftestN := flag.Int("selftest-n", 250, "queries per producer for -selftest")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -134,13 +137,53 @@ func run() int {
 		stop()
 	}()
 
-	db, err := learnedsqlgen.OpenBenchmark(*dataset, *scale, &learnedsqlgen.Options{
+	opts := &learnedsqlgen.Options{
 		SampleValues:    *sampleK,
 		Seed:            *seed,
 		Workers:         *workers,
 		PrefixCacheSize: *prefixCache,
 		TrainBudget:     *trainBudget,
-	})
+	}
+	if *faultRate > 0 {
+		// Chaos demo: inject transient faults beneath a retry/breaker layer
+		// and let the training loop ride them out.
+		opts.FaultInjection = &learnedsqlgen.FaultInjectionOptions{
+			Seed:        *seed,
+			ErrorRate:   *faultRate,
+			LatencyRate: *faultRate,
+		}
+		opts.Resilience = &learnedsqlgen.ResilienceOptions{}
+	}
+
+	// Periodic crash-safe checkpointing: every N completed epochs the
+	// current weights go into a rotated store with a last-good manifest, so
+	// a killed run (kill -9 included) resumes from the newest loadable
+	// checkpoint instead of epoch zero.
+	var gen *learnedsqlgen.Generator
+	var ckptStore *learnedsqlgen.CheckpointStore
+	if *ckptEvery > 0 {
+		var err error
+		ckptStore, err = learnedsqlgen.OpenCheckpointStore(*ckptDir, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checkpoint store:", err)
+			return 1
+		}
+		epochN := 0
+		opts.OnEpoch = func(learnedsqlgen.EpochStats) error {
+			epochN++
+			if gen == nil || epochN%*ckptEvery != 0 {
+				return nil
+			}
+			if path, err := ckptStore.Save(gen); err != nil {
+				fmt.Fprintln(os.Stderr, "checkpoint:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "checkpoint written: %s\n", path)
+			}
+			return nil
+		}
+	}
+
+	db, err := learnedsqlgen.OpenBenchmark(*dataset, *scale, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -161,7 +204,6 @@ func run() int {
 		return 0
 	}
 
-	var gen *learnedsqlgen.Generator
 	if *loadModel != "" {
 		var err error
 		gen, err = db.LoadGenerator(constraint, *loadModel)
@@ -173,6 +215,17 @@ func run() int {
 	} else {
 		fmt.Fprintf(os.Stderr, "training generator for %s on %s...\n", constraint, *dataset)
 		gen = db.NewGenerator(constraint)
+		if ckptStore != nil {
+			// Resume from the newest loadable checkpoint of a previous
+			// (possibly killed) run; a corrupt newest entry falls back to an
+			// older good one.
+			if path, err := ckptStore.Load(gen); err == nil {
+				fmt.Fprintf(os.Stderr, "resumed from checkpoint %s\n", path)
+			} else if !errors.Is(err, learnedsqlgen.ErrNoCheckpoint) {
+				fmt.Fprintln(os.Stderr, "checkpoint load:", err)
+				return 1
+			}
+		}
 		maxEpochs := *epochs
 		if maxEpochs <= 0 {
 			maxEpochs = 800
@@ -218,6 +271,12 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "generation interrupted: %v\n", genErr)
 	}
 	fmt.Fprintf(os.Stderr, "%d satisfied queries in %d attempts\n", len(queries), attempts)
+	if *faultRate > 0 {
+		st := gen.Stats()
+		fmt.Fprintf(os.Stderr,
+			"resilience: %d retries, %d exhausted, %d breaker opens, %d episodes quarantined, %d watchdog trips\n",
+			st.Retries, st.Exhausted, st.BreakerOpens, st.Quarantined, st.WatchdogTrips)
+	}
 	for _, q := range queries {
 		if *showMeasure {
 			fmt.Printf("-- %s = %.1f\n", metric, q.Measured)

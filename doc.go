@@ -66,6 +66,33 @@
 // streams per-epoch stats — returning an error from it aborts training
 // with an *EpochAbortError.
 //
+// # Fault tolerance
+//
+// Long training runs survive infrastructure faults instead of crashing:
+//
+//   - Options.Resilience wraps the estimator/executor backends with
+//     retries (exponential backoff + jitter) and a circuit breaker;
+//     transient faults are healed invisibly and counted in
+//     Generator.Stats (Retries, Exhausted, BreakerOpens).
+//   - A panic inside one rollout episode is quarantined — counted,
+//     logged with its token trace, the batch refilled — rather than
+//     crashing training (Stats.Quarantined).
+//   - Options.MaxGradNorm arms the divergence watchdog: a batch with
+//     non-finite or exploding gradients is discarded, and a non-finite
+//     weight after a step rolls back to the last healthy update
+//     (Stats.WatchdogTrips). Zero selects the default ceiling; negative
+//     disables.
+//   - Generator.Save and WriteWorkloadFile write atomically (temp file,
+//     fsync, rename) in a CRC-framed format, so a crash never leaves a
+//     torn file and corruption is detected at load. OpenCheckpointStore
+//     adds rotated, sequence-numbered checkpoints with a last-good
+//     manifest: CheckpointStore.Load falls back past corrupt or missing
+//     entries to the newest loadable one (ErrNoCheckpoint when none is).
+//   - Options.FaultInjection injects deterministic, seedable faults
+//     (transient errors, latency spikes, panics, NaN results) into the
+//     backends for chaos testing; `make chaos` runs the full suite under
+//     the race detector.
+//
 // # Conformance self-test
 //
 // DB.SelfTest sweeps four query producers (raw FSM walk, the random and

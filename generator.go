@@ -44,6 +44,7 @@ func (db *DB) NewGenerator(c Constraint) *Generator {
 	cfg.PrefixCacheSize = db.prefixCacheSize
 	cfg.TrainBudget = db.trainBudget
 	cfg.OnEpoch = db.onEpoch
+	cfg.MaxGradNorm = db.maxGradNorm
 	return &Generator{trainer: rl.NewTrainer(db.env, c, cfg)}
 }
 
@@ -160,6 +161,7 @@ func (db *DB) NewMetaGenerator(domain MetaDomain) *MetaGenerator {
 	cfg.PrefixCacheSize = db.prefixCacheSize
 	cfg.TrainBudget = db.trainBudget
 	cfg.OnEpoch = db.onEpoch
+	cfg.MaxGradNorm = db.maxGradNorm
 	return &MetaGenerator{trainer: meta.NewMetaTrainer(db.env, domain, cfg)}
 }
 

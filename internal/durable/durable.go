@@ -1,0 +1,64 @@
+// Package durable implements crash-safe file replacement. Checkpoints,
+// manifests and workload files all go through WriteFile, which guarantees
+// that a reader never observes a partially written target: the new content
+// is staged in a temporary file in the same directory, fsynced, and then
+// atomically renamed over the destination. A crash (including kill -9) at
+// any point leaves either the old complete file or the new complete file —
+// never a truncated hybrid.
+package durable
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The sequence is: create `<path>.tmp-*` in the target directory, stream
+// the content, fsync the file, close, rename over path, fsync the
+// directory so the rename itself is durable. On any error the temporary
+// file is removed and the previous content of path is untouched.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("durable: stage %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("durable: write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("durable: fsync %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("durable: close %s: %w", path, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: rename %s: %w", path, err)
+	}
+	// The rename reached the directory; fsync the directory entry so the
+	// swap survives power loss. Some platforms refuse to fsync directories
+	// — the rename is still atomic there, so a failure is not fatal.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WriteFileBytes is WriteFile for in-memory content.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

@@ -1,0 +1,72 @@
+package durable
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+
+	if err := WriteFileBytes(path, []byte("v1")); err != nil {
+		t.Fatalf("WriteFileBytes: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("content = %q, want v1", got)
+	}
+	if err := WriteFileBytes(path, []byte("v2-longer-content")); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2-longer-content" {
+		t.Fatalf("content after replace = %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteFileFailedWriteLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	if err := WriteFileBytes(path, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk on fire")
+	err := WriteFile(path, func(w io.Writer) error {
+		w.Write([]byte("partial garbage"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want wrap of %v", err, boom)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "good" {
+		t.Fatalf("target corrupted by failed write: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteFileMissingDirectory(t *testing.T) {
+	err := WriteFileBytes(filepath.Join(t.TempDir(), "no-such-dir", "f"), []byte("x"))
+	if err == nil {
+		t.Fatal("expected an error for a missing directory")
+	}
+}
+
+// assertNoTempFiles verifies no staging file survived, failed writes
+// included — the temp-file cleanup contract.
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("staging file left behind: %s", e.Name())
+		}
+	}
+}

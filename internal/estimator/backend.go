@@ -1,0 +1,30 @@
+package estimator
+
+import (
+	"context"
+	"errors"
+
+	"learnedsqlgen/internal/sqlast"
+)
+
+// Backend is the seam the RL environment estimates through. *Estimator is
+// the raw implementation; decorators compose around it — resilience
+// (retry + circuit breaker), fault injection in chaos tests, and the
+// memoizing Cached wrapper, which is always outermost so that retries
+// happen only on real misses.
+type Backend interface {
+	EstimateContext(ctx context.Context, st sqlast.Statement) (Estimate, error)
+}
+
+// uncacheable reports whether err describes this particular call rather
+// than the statement: cancellations and transient infrastructure faults
+// (anything carrying Transient() == true, e.g. injected or retried-out
+// backend errors). Caching one would poison every future lookup of the
+// key with a failure the next call might not see.
+func uncacheable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}

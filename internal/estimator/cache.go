@@ -32,17 +32,18 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Cached memoizes an Estimator behind a bounded, concurrency-safe LRU
-// keyed on the canonical SQL text of the statement. Estimation is a pure
+// Cached memoizes a Backend behind a bounded, concurrency-safe LRU keyed
+// on the canonical SQL text of the statement. Estimation is a pure
 // function of the statement (statistics are immutable once collected), so
-// both successful estimates and estimation errors are cached.
+// both successful estimates and estimation refusals are cached; transient
+// infrastructure errors and cancellations are not (see uncacheable).
 //
 // Concurrent lookups of a missing key may each run the underlying
 // estimator; the first result wins the cache slot and the duplicates are
 // discarded. That wasted work is bounded by the worker count and avoids
 // holding the lock across estimation.
 type Cached struct {
-	inner *Estimator
+	inner Backend
 
 	mu        sync.Mutex
 	capacity  int
@@ -61,7 +62,7 @@ type cacheEntry struct {
 
 // NewCached wraps inner with an LRU of the given capacity (entries);
 // capacity <= 0 selects DefaultCacheSize.
-func NewCached(inner *Estimator, capacity int) *Cached {
+func NewCached(inner Backend, capacity int) *Cached {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
 	}
@@ -73,8 +74,8 @@ func NewCached(inner *Estimator, capacity int) *Cached {
 	}
 }
 
-// Inner returns the wrapped estimator.
-func (c *Cached) Inner() *Estimator { return c.inner }
+// Inner returns the wrapped backend.
+func (c *Cached) Inner() Backend { return c.inner }
 
 // Estimate returns the memoized estimate for st, running the underlying
 // estimator on a miss.

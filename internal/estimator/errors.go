@@ -3,6 +3,7 @@ package estimator
 import (
 	"context"
 	"errors"
+	"math"
 
 	"learnedsqlgen/internal/sqlast"
 )
@@ -39,9 +40,9 @@ func (e *Estimator) EstimateContext(ctx context.Context, st sqlast.Statement) (E
 // EstimateContext is Cached.Estimate with cancellation. Hits are served
 // regardless of ctx (the lookup is a mutex-guarded map read). On a miss a
 // done ctx returns its error without running the estimator — and, unlike
-// estimation refusals, a cancellation error is never inserted into the
-// cache: it describes this call, not the statement, and caching it would
-// poison every future lookup of the key.
+// estimation refusals, cancellations and transient backend faults are
+// never inserted into the cache: they describe this call, not the
+// statement, and caching one would poison every future lookup of the key.
 func (c *Cached) EstimateContext(ctx context.Context, st sqlast.Statement) (Estimate, error) {
 	key := st.SQL()
 	c.mu.Lock()
@@ -58,9 +59,16 @@ func (c *Cached) EstimateContext(ctx context.Context, st sqlast.Statement) (Esti
 	if err := ctx.Err(); err != nil {
 		return Estimate{}, err
 	}
-	// The inner call deliberately takes no ctx: after the check above the
-	// result (estimate or refusal) is ctx-independent and safe to cache.
-	est, err := c.inner.Estimate(st)
+	est, err := c.inner.EstimateContext(ctx, st)
+	if err != nil && uncacheable(err) {
+		return est, err
+	}
+	if err == nil && (math.IsNaN(est.Card) || math.IsNaN(est.Cost)) {
+		// A NaN output describes a corrupted backend call, not the
+		// statement — estimation arithmetic never produces NaN from the
+		// immutable statistics. Memoizing it would poison the key forever.
+		return est, err
+	}
 
 	c.mu.Lock()
 	if _, ok := c.entries[key]; !ok {

@@ -1,0 +1,16 @@
+package executor
+
+import (
+	"context"
+
+	"learnedsqlgen/internal/sqlast"
+)
+
+// Backend is the seam true-execution rewards run through. The RL
+// environment's default implementation builds a fresh Executor over a
+// database snapshot per call; decorators compose around it the same way
+// they do around estimator.Backend — resilience (retry + circuit breaker)
+// and fault injection in chaos tests.
+type Backend interface {
+	ExecuteContext(ctx context.Context, st sqlast.Statement) (*Result, error)
+}

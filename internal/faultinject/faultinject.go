@@ -1,0 +1,158 @@
+// Package faultinject produces deterministic, seedable fault-injecting
+// decorators for the training backends. A shared Injector rolls dice per
+// call — transient errors, latency spikes, panics, NaN poisoning — from a
+// splitmix64 stream keyed on (seed, call number), so a given seed at a
+// given call sequence always injects the same faults. Chaos tests wrap
+// the estimator and executor with these decorators and assert that the
+// resilience layer, the rollout quarantine, and the divergence watchdog
+// absorb everything the injector throws.
+//
+// Injected errors carry Transient() == true, which is the sole contract
+// coupling this package to the resilience layer (structural, not an
+// import): resilience retries them, and the estimator cache refuses to
+// memoize them.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is wrapped by every injected transient error; test
+// assertions use errors.Is against it to separate injected faults from
+// real ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Error is an injected transient backend error.
+type Error struct {
+	Call uint64 // 1-based injector call number that produced it
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: injected fault (call %d)", e.Call)
+}
+func (e *Error) Transient() bool { return true }
+func (e *Error) Unwrap() error   { return ErrInjected }
+
+// Config sets the fault mix. All rates are probabilities in [0, 1],
+// drawn independently per call; zero disables that fault class.
+type Config struct {
+	// Seed keys the deterministic fault stream.
+	Seed int64
+	// ErrorRate is the probability a call returns an injected transient
+	// error instead of reaching the backend.
+	ErrorRate float64
+	// LatencyRate is the probability a call is delayed by Latency before
+	// reaching the backend.
+	LatencyRate float64
+	// Latency is the injected spike duration (default 200µs when a
+	// LatencyRate is set).
+	Latency time.Duration
+	// PanicRate is the probability a call panics — exercising worker
+	// panic recovery, not the retry path.
+	PanicRate float64
+	// NaNRate is the probability an estimator result is poisoned with
+	// NaN cardinality and cost — exercising the divergence watchdog.
+	NaNRate float64
+	// PanicOnCall, when nonzero, panics on exactly that call number
+	// (1-based) regardless of PanicRate — a deterministic one-shot for
+	// acceptance tests.
+	PanicOnCall uint64
+	// NaNOnCall, when nonzero, NaN-poisons exactly that call number.
+	NaNOnCall uint64
+}
+
+// Injector rolls the dice. Safe for concurrent use; the call counter is
+// atomic, so under parallel rollouts the *assignment* of call numbers to
+// statements is scheduling-dependent while the fault decision for each
+// call number stays deterministic.
+type Injector struct {
+	cfg   Config
+	calls atomic.Uint64
+}
+
+// New builds an Injector over cfg, normalizing defaults.
+func New(cfg Config) *Injector {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 200 * time.Microsecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Calls returns how many calls the injector has refereed.
+func (in *Injector) Calls() uint64 { return in.calls.Load() }
+
+// decision is the outcome of one roll.
+type decision struct {
+	call    uint64
+	err     bool
+	panics  bool
+	nan     bool
+	latency time.Duration
+}
+
+// roll advances the call counter and decides this call's faults.
+func (in *Injector) roll() decision {
+	call := in.calls.Add(1)
+	d := decision{call: call}
+	if in.cfg.PanicOnCall != 0 && call == in.cfg.PanicOnCall {
+		d.panics = true
+		return d
+	}
+	if in.cfg.NaNOnCall != 0 && call == in.cfg.NaNOnCall {
+		d.nan = true
+		return d
+	}
+	if in.cfg.PanicRate > 0 && in.unit(call, 1) < in.cfg.PanicRate {
+		d.panics = true
+		return d
+	}
+	if in.cfg.ErrorRate > 0 && in.unit(call, 2) < in.cfg.ErrorRate {
+		d.err = true
+	}
+	if in.cfg.LatencyRate > 0 && in.unit(call, 3) < in.cfg.LatencyRate {
+		d.latency = in.cfg.Latency
+	}
+	if in.cfg.NaNRate > 0 && in.unit(call, 4) < in.cfg.NaNRate {
+		d.nan = true
+	}
+	return d
+}
+
+// unit returns a uniform draw in [0, 1) determined by (seed, call,
+// stream) — one independent stream per fault class.
+func (in *Injector) unit(call, stream uint64) float64 {
+	x := splitmix64(uint64(in.cfg.Seed) ^ splitmix64(call))
+	x = splitmix64(x ^ splitmix64(stream))
+	return float64(x>>11) / (1 << 53)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-mixed hash used here to fan a seed out into per-call draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// delay sleeps an injected latency spike, cutting it short if ctx ends.
+func delay(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// panicNow fires an injected panic.
+func panicNow(call uint64) {
+	panic(fmt.Sprintf("faultinject: injected panic (call %d)", call))
+}

@@ -1,0 +1,152 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"learnedsqlgen/internal/estimator"
+	"learnedsqlgen/internal/sqlast"
+)
+
+// okBackend always succeeds with a fixed estimate.
+type okBackend struct{ calls int }
+
+func (b *okBackend) EstimateContext(ctx context.Context, st sqlast.Statement) (estimator.Estimate, error) {
+	b.calls++
+	return estimator.Estimate{Card: 10, Cost: 5}, nil
+}
+
+func TestDeterministicFaultStream(t *testing.T) {
+	const n = 2000
+	sample := func() []bool {
+		inj := New(Config{Seed: 7, ErrorRate: 0.05})
+		est := NewEstimator(&okBackend{}, inj)
+		out := make([]bool, n)
+		for i := range out {
+			_, err := est.EstimateContext(context.Background(), nil)
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d differs across identically seeded runs", i+1)
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	// 5% of 2000 = 100 expected; allow a generous band.
+	if faults < 50 || faults > 170 {
+		t.Fatalf("fault count %d far from the 5%% rate over %d calls", faults, n)
+	}
+
+	other := New(Config{Seed: 8, ErrorRate: 0.05})
+	est := NewEstimator(&okBackend{}, other)
+	same := 0
+	for i := 0; i < n; i++ {
+		_, err := est.EstimateContext(context.Background(), nil)
+		if (err != nil) == a[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced an identical fault stream")
+	}
+}
+
+func TestZeroRatesInjectNothing(t *testing.T) {
+	inj := New(Config{Seed: 1})
+	bk := &okBackend{}
+	est := NewEstimator(bk, inj)
+	for i := 0; i < 500; i++ {
+		got, err := est.EstimateContext(context.Background(), nil)
+		if err != nil {
+			t.Fatalf("fault injected at zero rates: %v", err)
+		}
+		if got.Card != 10 || got.Cost != 5 {
+			t.Fatalf("result altered at zero rates: %+v", got)
+		}
+	}
+	if bk.calls != 500 {
+		t.Fatalf("backend saw %d calls, want 500", bk.calls)
+	}
+}
+
+func TestInjectedErrorIsTransient(t *testing.T) {
+	inj := New(Config{Seed: 1, ErrorRate: 1})
+	est := NewEstimator(&okBackend{}, inj)
+	_, err := est.EstimateContext(context.Background(), nil)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want wrap of ErrInjected", err)
+	}
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatalf("injected error %v is not Transient-marked", err)
+	}
+}
+
+func TestOneShotPanicAndNaN(t *testing.T) {
+	inj := New(Config{Seed: 3, PanicOnCall: 2, NaNOnCall: 3})
+	est := NewEstimator(&okBackend{}, inj)
+
+	if _, err := est.EstimateContext(context.Background(), nil); err != nil {
+		t.Fatalf("call 1 should pass: %v", err)
+	}
+
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("call 2 did not panic")
+			}
+			if !strings.Contains(r.(string), "injected panic") {
+				t.Fatalf("unexpected panic payload: %v", r)
+			}
+		}()
+		est.EstimateContext(context.Background(), nil)
+	}()
+
+	got, err := est.EstimateContext(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("call 3: %v", err)
+	}
+	if !math.IsNaN(got.Card) || !math.IsNaN(got.Cost) {
+		t.Fatalf("call 3 not NaN-poisoned: %+v", got)
+	}
+
+	if got, err := est.EstimateContext(context.Background(), nil); err != nil || math.IsNaN(got.Card) {
+		t.Fatalf("call 4 should be clean: %+v, %v", got, err)
+	}
+	if inj.Calls() != 4 {
+		t.Fatalf("Calls() = %d, want 4", inj.Calls())
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	inj := New(Config{Seed: 5, LatencyRate: 1, Latency: 1})
+	est := NewEstimator(&okBackend{}, inj)
+	// Just exercise the sleep path (1ns spike) and a ctx-cut short sleep.
+	if _, err := est.EstimateContext(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inj2 := New(Config{Seed: 5, LatencyRate: 1, Latency: 10_000_000_000})
+	est2 := NewEstimator(&okBackend{}, inj2)
+	done := make(chan struct{})
+	go func() {
+		est2.EstimateContext(ctx, nil)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-t.Context().Done():
+		t.Fatal("cancelled latency spike did not return")
+	}
+}

@@ -1,0 +1,69 @@
+package faultinject
+
+import (
+	"context"
+	"math"
+
+	"learnedsqlgen/internal/estimator"
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/sqlast"
+)
+
+// Estimator decorates an estimator.Backend with injected faults. Layer it
+// *inside* the resilience wrapper (resilience → faultinject → raw) so
+// injected transient errors exercise the retry path.
+type Estimator struct {
+	inner estimator.Backend
+	inj   *Injector
+}
+
+// NewEstimator wraps inner with faults from inj. The injector may be
+// shared with an Executor wrapper; call numbers then interleave.
+func NewEstimator(inner estimator.Backend, inj *Injector) *Estimator {
+	return &Estimator{inner: inner, inj: inj}
+}
+
+// EstimateContext implements estimator.Backend, injecting the rolled
+// faults before (error, panic, latency) or after (NaN poisoning) the
+// real call.
+func (f *Estimator) EstimateContext(ctx context.Context, st sqlast.Statement) (estimator.Estimate, error) {
+	d := f.inj.roll()
+	if d.panics {
+		panicNow(d.call)
+	}
+	delay(ctx, d.latency)
+	if d.err {
+		return estimator.Estimate{}, &Error{Call: d.call}
+	}
+	est, err := f.inner.EstimateContext(ctx, st)
+	if d.nan && err == nil {
+		est.Card = math.NaN()
+		est.Cost = math.NaN()
+	}
+	return est, err
+}
+
+// Executor decorates an executor.Backend with injected faults (errors,
+// panics, latency; NaN does not apply to integer results).
+type Executor struct {
+	inner executor.Backend
+	inj   *Injector
+}
+
+// NewExecutor wraps inner with faults from inj.
+func NewExecutor(inner executor.Backend, inj *Injector) *Executor {
+	return &Executor{inner: inner, inj: inj}
+}
+
+// ExecuteContext implements executor.Backend.
+func (f *Executor) ExecuteContext(ctx context.Context, st sqlast.Statement) (*executor.Result, error) {
+	d := f.inj.roll()
+	if d.panics {
+		panicNow(d.call)
+	}
+	delay(ctx, d.latency)
+	if d.err {
+		return nil, &Error{Call: d.call}
+	}
+	return f.inner.ExecuteContext(ctx, st)
+}

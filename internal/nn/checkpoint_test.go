@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testNet(t *testing.T, seed int64) *SeqNet {
+	t.Helper()
+	return NewSeqNet("m", 7, 5, 4, 7, 0, rand.New(rand.NewSource(seed)))
+}
+
+func saveBytes(t *testing.T, params []*Param) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCorruptionMatrix is the checkpoint corruption matrix at the format
+// level: truncation at every byte boundary, a bit flip at every byte, and
+// a stale version header must each be detected as ErrCorrupt — never
+// loaded silently, never a panic.
+func TestCorruptionMatrix(t *testing.T) {
+	src := testNet(t, 1)
+	data := saveBytes(t, src.Params())
+
+	t.Run("truncated", func(t *testing.T) {
+		// Every prefix shorter than the full file must fail: a kill -9
+		// mid-write can stop anywhere.
+		for n := 0; n < len(data); n += 7 {
+			dst := testNet(t, 2)
+			err := LoadParams(bytes.NewReader(data[:n]), dst.Params())
+			if err == nil {
+				t.Fatalf("truncation at %d/%d bytes loaded successfully", n, len(data))
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("truncation at %d: error %v does not wrap ErrCorrupt", n, err)
+			}
+		}
+	})
+
+	t.Run("bit-flip", func(t *testing.T) {
+		// Flip one bit in every byte past the magic. Header corruption, CRC
+		// field corruption and payload corruption must all be caught.
+		for i := len(magicV2); i < len(data); i += 11 {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 0x10
+			dst := testNet(t, 3)
+			err := LoadParams(bytes.NewReader(mut), dst.Params())
+			if err == nil {
+				t.Fatalf("bit flip at byte %d loaded successfully", i)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("bit flip at byte %d: error %v does not wrap ErrCorrupt", i, err)
+			}
+		}
+	})
+
+	t.Run("stale-version", func(t *testing.T) {
+		mut := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(mut[8:12], 99)
+		dst := testNet(t, 4)
+		err := LoadParams(bytes.NewReader(mut), dst.Params())
+		if err == nil || !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("version 99 header: err=%v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("bad-magic", func(t *testing.T) {
+		mut := append([]byte(nil), data...)
+		mut[1] = 'X'
+		dst := testNet(t, 5)
+		if err := LoadParams(bytes.NewReader(mut), dst.Params()); err == nil {
+			t.Fatal("corrupted magic loaded successfully")
+		}
+	})
+}
+
+// TestLegacyV1Loads certifies backward compatibility: a checkpoint in the
+// pre-CRC gob format (written by older builds) still loads.
+func TestLegacyV1Loads(t *testing.T) {
+	src := testNet(t, 6)
+	cp := checkpointV1{Magic: checkpointMagicV1, Version: checkpointVersionV1}
+	for _, p := range src.Params() {
+		cp.Params = append(cp.Params, paramBlob{
+			Name: p.Name, Rows: p.Val.Rows, Cols: p.Val.Cols, Data: p.Val.Data,
+		})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		t.Fatal(err)
+	}
+	dst := testNet(t, 7)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), dst.Params()); err != nil {
+		t.Fatalf("legacy v1 checkpoint failed to load: %v", err)
+	}
+	if ChecksumParams(dst.Params()) != ChecksumParams(src.Params()) {
+		t.Fatal("legacy load did not reproduce the weights")
+	}
+}
+
+func TestV2RoundTripChecksum(t *testing.T) {
+	src := testNet(t, 8)
+	data := saveBytes(t, src.Params())
+	dst := testNet(t, 9)
+	if ChecksumParams(dst.Params()) == ChecksumParams(src.Params()) {
+		t.Fatal("distinct seeds produced identical weights (checksum too weak?)")
+	}
+	if err := LoadParams(bytes.NewReader(data), dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if ChecksumParams(dst.Params()) != ChecksumParams(src.Params()) {
+		t.Fatal("round trip did not reproduce the weights byte-exactly")
+	}
+}
+
+func TestHealthHelpers(t *testing.T) {
+	net := testNet(t, 10)
+	params := net.Params()
+	if !ParamsFinite(params) {
+		t.Fatal("fresh network reported non-finite")
+	}
+	if got := GradNorm(params); got != 0 {
+		t.Fatalf("zero gradients have norm %v", got)
+	}
+	params[0].Grad.Data[3] = 4
+	params[1].Grad.Data[0] = 3
+	if got := GradNorm(params); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("GradNorm = %v, want 5", got)
+	}
+	params[0].Grad.Data[1] = math.NaN()
+	if got := GradNorm(params); !math.IsNaN(got) {
+		t.Fatalf("NaN gradient produced finite norm %v", got)
+	}
+	ZeroGrads(params)
+	if got := GradNorm(params); got != 0 {
+		t.Fatalf("ZeroGrads left norm %v", got)
+	}
+
+	// Snapshot → poison → restore must be byte-exact.
+	want := ChecksumParams(params)
+	snap := SnapshotParams(nil, params)
+	params[0].Val.Data[0] = math.Inf(1)
+	if ParamsFinite(params) {
+		t.Fatal("Inf weight reported finite")
+	}
+	if !RestoreParams(params, snap) {
+		t.Fatal("RestoreParams rejected its own snapshot")
+	}
+	if got := ChecksumParams(params); got != want {
+		t.Fatal("restore did not reproduce the snapshot")
+	}
+	if RestoreParams(params, snap[:1]) {
+		t.Fatal("RestoreParams accepted a mismatched snapshot")
+	}
+}

@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+)
+
+// This file holds the numeric-health primitives behind the rl divergence
+// watchdog: gradient-norm measurement, NaN/Inf detection over a parameter
+// set, weight snapshot/restore for rollback, and a content checksum used
+// by checkpoint and rollback tests to assert byte-exact weight identity.
+
+// GradNorm returns the global L2 norm of the accumulated gradients across
+// params — the pre-clip quantity the divergence watchdog compares against
+// Config.MaxGradNorm. A NaN or ±Inf gradient anywhere makes the result
+// non-finite, so one call both measures explosion and detects poison.
+func GradNorm(params []*Param) float64 {
+	var sum float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sum += g * g
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// ParamsFinite reports whether every weight in params is finite (no NaN,
+// no ±Inf) — the post-update health check.
+func ParamsFinite(params []*Param) bool {
+	for _, p := range params {
+		for _, v := range p.Val.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ZeroGrads clears the accumulated gradients of every parameter —
+// discarding a poisoned batch's backward pass without stepping.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// SnapshotParams deep-copies the weights of params into snap, reusing its
+// buffers when shapes allow (the watchdog refreshes one snapshot after
+// every healthy update, so steady state is copy-only). The returned slice
+// is the refreshed snapshot; pass nil the first time.
+func SnapshotParams(snap [][]float64, params []*Param) [][]float64 {
+	if len(snap) != len(params) {
+		snap = make([][]float64, len(params))
+	}
+	for i, p := range params {
+		if len(snap[i]) != len(p.Val.Data) {
+			snap[i] = make([]float64, len(p.Val.Data))
+		}
+		copy(snap[i], p.Val.Data)
+	}
+	return snap
+}
+
+// RestoreParams copies a snapshot taken by SnapshotParams back into the
+// weights. It reports false (restoring nothing) when the snapshot does not
+// match the parameter set — no snapshot was taken yet, or the caller mixed
+// models.
+func RestoreParams(params []*Param, snap [][]float64) bool {
+	if len(snap) != len(params) {
+		return false
+	}
+	for i, p := range params {
+		if len(snap[i]) != len(p.Val.Data) {
+			return false
+		}
+	}
+	for i, p := range params {
+		copy(p.Val.Data, snap[i])
+	}
+	return true
+}
+
+// ResetMoments drops the Adam moment estimates of every parameter; the
+// next optimizer step re-allocates them from zero. Paired with Adam.Reset
+// after a watchdog rollback so stale momentum cannot re-apply a poisoned
+// direction to the restored weights.
+func ResetMoments(params []*Param) {
+	for _, p := range params {
+		p.m = nil
+		p.v = nil
+	}
+}
+
+// Reset rewinds the optimizer's step counter (bias correction restarts);
+// pair with ResetMoments when rolling weights back to a snapshot.
+func (a *Adam) Reset() { a.t = 0 }
+
+// ChecksumParams returns a CRC-32C over the weight bytes of params in
+// order — a cheap content fingerprint for "these weights are byte-exactly
+// those weights" assertions in checkpoint and rollback tests.
+func ChecksumParams(params []*Param) uint32 {
+	crc := crc32.New(crcTable)
+	var b [8]byte
+	for _, p := range params {
+		for _, v := range p.Val.Data {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			crc.Write(b[:])
+		}
+	}
+	return crc.Sum32()
+}

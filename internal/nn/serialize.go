@@ -1,8 +1,13 @@
 package nn
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -13,62 +18,182 @@ type paramBlob struct {
 	Data       []float64
 }
 
-// checkpoint is the wire form of a parameter set.
-type checkpoint struct {
+// checkpointV1 is the legacy (version 1) wire form: one gob stream holding
+// every parameter, no integrity protection. Still readable; no longer
+// written.
+type checkpointV1 struct {
 	Magic   string
 	Version int
 	Params  []paramBlob
 }
 
 const (
-	checkpointMagic   = "learnedsqlgen-nn"
-	checkpointVersion = 1
+	checkpointMagicV1   = "learnedsqlgen-nn"
+	checkpointVersionV1 = 1
+	// checkpointVersionV2 is the current CRC-framed format (see the format
+	// comment on SaveParams).
+	checkpointVersionV2 = 2
+	// maxFrameLen bounds a single frame so a corrupted length field cannot
+	// drive a multi-gigabyte allocation before the CRC check runs.
+	maxFrameLen = 1 << 28
 )
 
-// SaveParams writes the weights of params to w (gob-encoded). Gradients
-// and optimizer state are not persisted: a loaded model is ready for
-// inference and can resume training with fresh optimizer moments.
+// magicV2 leads every version-2 checkpoint. The leading zero byte makes
+// the format unambiguously distinguishable from a legacy gob stream (a gob
+// message never starts with a zero-length prefix), so LoadParams can sniff
+// the version from the first bytes.
+var magicV2 = [8]byte{0x00, 'L', 'S', 'G', 'C', 'K', 'P', '2'}
+
+// ErrCorrupt marks a checkpoint whose bytes cannot be trusted: truncated
+// files, CRC mismatches, impossible frame lengths, bad magic, or an
+// unsupported version header. Loaders fall back to an older checkpoint
+// when errors.Is(err, ErrCorrupt).
+var ErrCorrupt = errors.New("nn: corrupt checkpoint")
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64
+// and arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// SaveParams writes params to w in the version-2 durable checkpoint
+// format:
+//
+//	magic[8] | version uint32 | nframes uint32
+//	per frame: length uint32 | crc32c(payload) uint32 | payload
+//
+// (integers little-endian). Each frame's payload is the gob encoding of
+// one parameter, so truncation and bit corruption are both detected at
+// load time frame by frame. Gradients and optimizer state are not
+// persisted: a loaded model is ready for inference and can resume
+// training with fresh optimizer moments.
 func SaveParams(w io.Writer, params []*Param) error {
-	cp := checkpoint{Magic: checkpointMagic, Version: checkpointVersion}
-	for _, p := range params {
-		cp.Params = append(cp.Params, paramBlob{
-			Name: p.Name,
-			Rows: p.Val.Rows,
-			Cols: p.Val.Cols,
-			Data: p.Val.Data,
-		})
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magicV2[:]); err != nil {
+		return err
 	}
-	return gob.NewEncoder(w).Encode(cp)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], checkpointVersionV2)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(params)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	for _, p := range params {
+		payload.Reset()
+		blob := paramBlob{Name: p.Name, Rows: p.Val.Rows, Cols: p.Val.Cols, Data: p.Val.Data}
+		if err := gob.NewEncoder(&payload).Encode(blob); err != nil {
+			return fmt.Errorf("nn: encode %q: %w", p.Name, err)
+		}
+		var fh [8]byte
+		binary.LittleEndian.PutUint32(fh[0:4], uint32(payload.Len()))
+		binary.LittleEndian.PutUint32(fh[4:8], crc32.Checksum(payload.Bytes(), crcTable))
+		if _, err := bw.Write(fh[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(payload.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
-// LoadParams reads weights from r into params. Every stored parameter must
-// match a target by name and shape, and vice versa — a mismatch means the
+// LoadParams reads a checkpoint from r into params, accepting both the
+// current CRC-framed version-2 format and the legacy gob-only version-1
+// format (sniffed from the leading bytes). Corruption — truncation, a
+// flipped bit, an impossible length, an unrecognized version — surfaces
+// as an error wrapping ErrCorrupt. Every stored parameter must match a
+// target by name and shape, and vice versa — a mismatch means the
 // checkpoint was produced by a different architecture or vocabulary.
 func LoadParams(r io.Reader, params []*Param) error {
-	var cp checkpoint
-	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
-		return fmt.Errorf("nn: decode checkpoint: %w", err)
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(magicV2))
+	if err != nil {
+		return fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
 	}
-	if cp.Magic != checkpointMagic {
-		return fmt.Errorf("nn: not a model checkpoint")
+	if bytes.Equal(head, magicV2[:]) {
+		return loadParamsV2(br, params)
 	}
-	if cp.Version != checkpointVersion {
-		return fmt.Errorf("nn: unsupported checkpoint version %d", cp.Version)
+	return loadParamsV1(br, params)
+}
+
+// loadParamsV2 decodes the CRC-framed format after the magic has been
+// sniffed.
+func loadParamsV2(br *bufio.Reader, params []*Param) error {
+	if _, err := br.Discard(len(magicV2)); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	if len(cp.Params) != len(params) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	version := binary.LittleEndian.Uint32(hdr[0:4])
+	nframes := binary.LittleEndian.Uint32(hdr[4:8])
+	if version != checkpointVersionV2 {
+		return fmt.Errorf("%w: unsupported checkpoint version %d", ErrCorrupt, version)
+	}
+	blobs := make([]paramBlob, 0, nframes)
+	var buf []byte
+	for i := uint32(0); i < nframes; i++ {
+		var fh [8]byte
+		if _, err := io.ReadFull(br, fh[:]); err != nil {
+			return fmt.Errorf("%w: truncated at frame %d header", ErrCorrupt, i)
+		}
+		length := binary.LittleEndian.Uint32(fh[0:4])
+		wantCRC := binary.LittleEndian.Uint32(fh[4:8])
+		if length > maxFrameLen {
+			return fmt.Errorf("%w: frame %d claims %d bytes", ErrCorrupt, i, length)
+		}
+		if uint32(cap(buf)) < length {
+			buf = make([]byte, length)
+		}
+		buf = buf[:length]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("%w: truncated inside frame %d", ErrCorrupt, i)
+		}
+		if got := crc32.Checksum(buf, crcTable); got != wantCRC {
+			return fmt.Errorf("%w: frame %d CRC mismatch (stored %08x, computed %08x)",
+				ErrCorrupt, i, wantCRC, got)
+		}
+		var blob paramBlob
+		if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&blob); err != nil {
+			return fmt.Errorf("%w: frame %d payload: %v", ErrCorrupt, i, err)
+		}
+		blobs = append(blobs, blob)
+	}
+	return applyBlobs(blobs, params)
+}
+
+// loadParamsV1 decodes the legacy single-gob format.
+func loadParamsV1(br *bufio.Reader, params []*Param) error {
+	var cp checkpointV1
+	if err := gob.NewDecoder(br).Decode(&cp); err != nil {
+		return fmt.Errorf("%w: decode legacy checkpoint: %v", ErrCorrupt, err)
+	}
+	if cp.Magic != checkpointMagicV1 {
+		return fmt.Errorf("%w: not a model checkpoint", ErrCorrupt)
+	}
+	if cp.Version != checkpointVersionV1 {
+		return fmt.Errorf("%w: unsupported checkpoint version %d", ErrCorrupt, cp.Version)
+	}
+	return applyBlobs(cp.Params, params)
+}
+
+// applyBlobs copies decoded parameter payloads into the model, enforcing
+// the exact name/shape bijection shared by both format versions.
+func applyBlobs(blobs []paramBlob, params []*Param) error {
+	if len(blobs) != len(params) {
 		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d",
-			len(cp.Params), len(params))
+			len(blobs), len(params))
 	}
 	byName := map[string]*Param{}
 	for _, p := range params {
 		byName[p.Name] = p
 	}
-	for _, blob := range cp.Params {
+	for _, blob := range blobs {
 		p, ok := byName[blob.Name]
 		if !ok {
 			return fmt.Errorf("nn: checkpoint parameter %q not in model", blob.Name)
 		}
-		if p.Val.Rows != blob.Rows || p.Val.Cols != blob.Cols {
+		if p.Val.Rows != blob.Rows || p.Val.Cols != blob.Cols || len(blob.Data) != len(p.Val.Data) {
 			return fmt.Errorf("nn: %q shape %dx%d does not match model %dx%d "+
 				"(different vocabulary or architecture?)",
 				blob.Name, blob.Rows, blob.Cols, p.Val.Rows, p.Val.Cols)

@@ -1,0 +1,71 @@
+package oracle
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"learnedsqlgen/internal/faultinject"
+	"learnedsqlgen/internal/fsm"
+	"learnedsqlgen/internal/resilience"
+)
+
+// TestConformanceUnderFaultInjection runs the full conformance sweep with
+// ~5% injected transient errors and latency spikes on the estimation
+// backend, healed by the resilience layer. The oracles must stay clean:
+// retried faults may never change a measurement, leak into the cache, or
+// break producer determinism. Only error and latency faults are injected
+// here — NaN poisoning would legitimately fail the measurement-equality
+// metamorphic check (that path is covered by the rl chaos suite's
+// watchdog tests), and panics would shift episode indices and trip the
+// determinism oracle by design.
+func TestConformanceUnderFaultInjection(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 40
+	}
+	env := testEnv(t, fsm.DefaultConfig())
+	inj := faultinject.New(faultinject.Config{
+		Seed:        17,
+		ErrorRate:   0.05,
+		LatencyRate: 0.05,
+		Latency:     50 * time.Microsecond,
+	})
+	met := &resilience.Metrics{}
+	env.Res = met
+	// Production layering: cache → resilience → faultinject → raw. A high
+	// attempt budget makes post-retry failure astronomically unlikely, so
+	// the sweep sees only healed calls.
+	env.SetBackend(resilience.NewEstimator(
+		faultinject.NewEstimator(env.Est, inj),
+		resilience.Policy{
+			MaxAttempts: 8,
+			BaseDelay:   10 * time.Microsecond,
+			MaxDelay:    200 * time.Microsecond,
+		}, met))
+
+	c := testConstraint()
+	rep, err := Run(context.Background(), Config{
+		Env:         env,
+		Producers:   allProducers(env, c),
+		PerProducer: n,
+		Constraint:  &c,
+		Seed:        19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("fault injection leaked into oracle results:\n%s", rep)
+	}
+	if inj.Calls() == 0 {
+		t.Fatal("injector saw no backend calls — faults were not wired in")
+	}
+	if met.Retries.Load() == 0 {
+		t.Error("no retries recorded despite a 5% transient error rate")
+	}
+	if met.Exhausted.Load() != 0 {
+		t.Errorf("%d operations exhausted retries; the sweep should see only healed calls",
+			met.Exhausted.Load())
+	}
+}

@@ -1,0 +1,297 @@
+// Package resilience hardens the training loop's backend calls against
+// transient infrastructure faults. It wraps estimator.Backend and
+// executor.Backend with retry-with-exponential-backoff (plus jitter) and
+// a consecutive-failure circuit breaker, and classifies errors so that
+// only genuinely transient faults are retried:
+//
+//   - context cancellation aborts immediately — the caller is shutting
+//     down, not the backend failing;
+//   - errors carrying Transient() == true (injected faults, overloaded
+//     backends) are retried and, when retries exhaust, count against the
+//     circuit breaker;
+//   - everything else — including the estimator's ErrUnestimable and the
+//     executor's ErrUnsupported refusals — is a definitive answer about
+//     the statement: returned at once and counted as backend health, not
+//     failure.
+//
+// The classification is structural (an interface probe), so this package
+// needs no knowledge of who produces transient errors; any decorator or
+// backend can opt in by implementing Transient() bool.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOpen is returned without touching the backend while the circuit
+// breaker is open. It is itself transient: callers that memoize results
+// (the estimator cache) must not record it, and a later call may succeed.
+var ErrOpen = transientSentinel("resilience: circuit breaker open")
+
+// transientSentinel is a comparable error value carrying the Transient
+// marker.
+type transientSentinel string
+
+func (e transientSentinel) Error() string   { return string(e) }
+func (e transientSentinel) Transient() bool { return true }
+
+// Class is the retry-relevance of an error.
+type Class int
+
+const (
+	// ClassAbort: the caller's context ended — stop immediately, count
+	// nothing against the backend.
+	ClassAbort Class = iota
+	// ClassPermanent: a definitive answer (estimation/execution refusals,
+	// logic errors) — never retried, counts as backend health.
+	ClassPermanent
+	// ClassTransient: infrastructure hiccup — retry with backoff.
+	ClassTransient
+)
+
+// Classify maps an error to its Class. nil is not a valid input.
+func Classify(err error) Class {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ClassAbort
+	}
+	var t interface{ Transient() bool }
+	if errors.As(err, &t) && t.Transient() {
+		return ClassTransient
+	}
+	return ClassPermanent
+}
+
+// Policy configures retry, backoff and the circuit breaker. The zero
+// value is normalized to the defaults by withDefaults.
+type Policy struct {
+	// MaxAttempts is the total number of tries per operation, the first
+	// included. Default 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry. Default 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth. Default 100ms.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between consecutive retries. Default 2.
+	Multiplier float64
+	// Jitter spreads each delay uniformly over [1-Jitter, 1+Jitter] times
+	// its nominal value, de-synchronizing concurrent workers. Default 0.5;
+	// negative disables jitter.
+	Jitter float64
+	// BreakerThreshold opens the circuit after this many consecutive
+	// operations whose retries all exhausted. Default 16; negative
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects calls before
+	// probing the backend again. Default 250ms.
+	BreakerCooldown time.Duration
+	// Seed seeds the jitter RNG. The jitter stream is drawn only when a
+	// retry actually sleeps, so fault-free runs consume nothing from it.
+	Seed int64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	} else if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	if p.BreakerThreshold == 0 {
+		p.BreakerThreshold = 16
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 250 * time.Millisecond
+	}
+	return p
+}
+
+// Metrics aggregates resilience counters across every wrapper sharing it.
+// All fields are safe for concurrent use; the trainer surfaces them in
+// TrainStats.
+type Metrics struct {
+	// Retries counts re-attempts after a transient failure.
+	Retries atomic.Uint64
+	// Exhausted counts operations that still failed after the last
+	// attempt.
+	Exhausted atomic.Uint64
+	// BreakerOpens counts closed→open transitions of the circuit breaker.
+	BreakerOpens atomic.Uint64
+	// Rejected counts calls refused with ErrOpen while the breaker was
+	// open.
+	Rejected atomic.Uint64
+}
+
+// Breaker is a consecutive-failure circuit breaker. A "failure" is an
+// operation whose retries all exhausted — single transient blips that a
+// retry absorbed never count, and neither do permanent refusals (those
+// prove the backend is answering).
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	met       *Metrics
+
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+}
+
+// NewBreaker builds a breaker; threshold < 0 disables it (Allow always
+// true).
+func NewBreaker(threshold int, cooldown time.Duration, met *Metrics) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown, met: met}
+}
+
+// Allow reports whether a call may proceed. While open, it returns false
+// until the cooldown elapses; the first call after that is the probe that
+// either closes the circuit (on success) or re-opens it.
+func (b *Breaker) Allow() bool {
+	if b == nil || b.threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return true
+	}
+	if time.Now().Before(b.openUntil) {
+		if b.met != nil {
+			b.met.Rejected.Add(1)
+		}
+		return false
+	}
+	// Cooldown over: let one probe through half-open. Further failures
+	// re-open via Record.
+	b.openUntil = time.Time{}
+	b.consecutive = b.threshold - 1
+	return true
+}
+
+// Record feeds an operation outcome (post-retry) into the breaker.
+func (b *Breaker) Record(success bool) {
+	if b == nil || b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if b.consecutive >= b.threshold && b.openUntil.IsZero() {
+		b.openUntil = time.Now().Add(b.cooldown)
+		if b.met != nil {
+			b.met.BreakerOpens.Add(1)
+		}
+	}
+}
+
+// lockedRand is a mutex-guarded rand.Rand — jitter draws can come from
+// many rollout workers at once.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (l *lockedRand) float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}
+
+// retrier is the shared retry engine behind the typed wrappers.
+type retrier struct {
+	pol Policy
+	br  *Breaker
+	met *Metrics
+	rng *lockedRand
+}
+
+func newRetrier(pol Policy, met *Metrics) *retrier {
+	pol = pol.withDefaults()
+	if met == nil {
+		met = &Metrics{}
+	}
+	return &retrier{
+		pol: pol,
+		br:  NewBreaker(pol.BreakerThreshold, pol.BreakerCooldown, met),
+		met: met,
+		rng: &lockedRand{rng: rand.New(rand.NewSource(pol.Seed))},
+	}
+}
+
+// do runs op under the policy: retry transient failures with jittered
+// exponential backoff, fail fast on permanent errors and cancellation,
+// and gate everything behind the circuit breaker.
+func do[T any](r *retrier, ctx context.Context, op func(context.Context) (T, error)) (T, error) {
+	var zero T
+	if !r.br.Allow() {
+		return zero, ErrOpen
+	}
+	delay := r.pol.BaseDelay
+	for attempt := 1; ; attempt++ {
+		v, err := op(ctx)
+		if err == nil {
+			r.br.Record(true)
+			return v, nil
+		}
+		switch Classify(err) {
+		case ClassAbort:
+			// The caller cancelled; says nothing about backend health.
+			return zero, err
+		case ClassPermanent:
+			// A definitive answer — the backend is alive and responding.
+			r.br.Record(true)
+			return zero, err
+		}
+		if attempt >= r.pol.MaxAttempts {
+			r.met.Exhausted.Add(1)
+			r.br.Record(false)
+			return zero, err
+		}
+		r.met.Retries.Add(1)
+		if err := r.sleep(ctx, delay); err != nil {
+			return zero, err
+		}
+		delay = time.Duration(float64(delay) * r.pol.Multiplier)
+		if delay > r.pol.MaxDelay {
+			delay = r.pol.MaxDelay
+		}
+	}
+}
+
+// sleep waits the jittered delay or until ctx is done, whichever first.
+func (r *retrier) sleep(ctx context.Context, d time.Duration) error {
+	if j := r.pol.Jitter; j > 0 {
+		d = time.Duration(float64(d) * (1 - j + 2*j*r.rng.float64()))
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

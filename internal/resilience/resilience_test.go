@@ -1,0 +1,243 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"learnedsqlgen/internal/estimator"
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/sqlast"
+)
+
+// flaky is a transient-marked test error.
+type flaky struct{}
+
+func (flaky) Error() string   { return "flaky backend" }
+func (flaky) Transient() bool { return true }
+
+// fakeBackend scripts estimator responses by call number (1-based).
+type fakeBackend struct {
+	calls int
+	fn    func(call int) (estimator.Estimate, error)
+}
+
+func (f *fakeBackend) EstimateContext(ctx context.Context, st sqlast.Statement) (estimator.Estimate, error) {
+	f.calls++
+	return f.fn(f.calls)
+}
+
+// fastPolicy keeps test wall-clock negligible.
+func fastPolicy() Policy {
+	return Policy{
+		MaxAttempts:     4,
+		BaseDelay:       time.Microsecond,
+		MaxDelay:        10 * time.Microsecond,
+		BreakerCooldown: 20 * time.Millisecond,
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{context.Canceled, ClassAbort},
+		{context.DeadlineExceeded, ClassAbort},
+		{fmt.Errorf("measure: %w", context.Canceled), ClassAbort},
+		{flaky{}, ClassTransient},
+		{fmt.Errorf("wrapped: %w", flaky{}), ClassTransient},
+		{ErrOpen, ClassTransient},
+		{estimator.ErrUnestimable, ClassPermanent},
+		{estimator.ErrUnknownObject, ClassPermanent},
+		{executor.ErrUnsupported, ClassPermanent},
+		{errors.New("some logic error"), ClassPermanent},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryHealsTransientFaults(t *testing.T) {
+	want := estimator.Estimate{Card: 42}
+	fb := &fakeBackend{fn: func(call int) (estimator.Estimate, error) {
+		if call <= 2 {
+			return estimator.Estimate{}, flaky{}
+		}
+		return want, nil
+	}}
+	met := &Metrics{}
+	est := NewEstimator(fb, fastPolicy(), met)
+	got, err := est.EstimateContext(context.Background(), nil)
+	if err != nil || got != want {
+		t.Fatalf("EstimateContext = %+v, %v; want %+v, nil", got, err, want)
+	}
+	if fb.calls != 3 {
+		t.Fatalf("backend called %d times, want 3", fb.calls)
+	}
+	if r := met.Retries.Load(); r != 2 {
+		t.Fatalf("Retries = %d, want 2", r)
+	}
+	if x := met.Exhausted.Load(); x != 0 {
+		t.Fatalf("Exhausted = %d, want 0", x)
+	}
+}
+
+func TestPermanentRefusalFailsFast(t *testing.T) {
+	fb := &fakeBackend{fn: func(int) (estimator.Estimate, error) {
+		return estimator.Estimate{}, fmt.Errorf("prefix: %w", estimator.ErrUnestimable)
+	}}
+	met := &Metrics{}
+	est := NewEstimator(fb, fastPolicy(), met)
+	_, err := est.EstimateContext(context.Background(), nil)
+	if !errors.Is(err, estimator.ErrUnestimable) {
+		t.Fatalf("err = %v, want ErrUnestimable", err)
+	}
+	if fb.calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", fb.calls)
+	}
+	if r := met.Retries.Load(); r != 0 {
+		t.Fatalf("Retries = %d, want 0", r)
+	}
+}
+
+func TestExhaustionReturnsLastError(t *testing.T) {
+	fb := &fakeBackend{fn: func(int) (estimator.Estimate, error) {
+		return estimator.Estimate{}, flaky{}
+	}}
+	met := &Metrics{}
+	pol := fastPolicy()
+	est := NewEstimator(fb, pol, met)
+	_, err := est.EstimateContext(context.Background(), nil)
+	if !errors.As(err, &flaky{}) {
+		t.Fatalf("err = %v, want flaky", err)
+	}
+	if fb.calls != pol.MaxAttempts {
+		t.Fatalf("backend called %d times, want %d", fb.calls, pol.MaxAttempts)
+	}
+	if x := met.Exhausted.Load(); x != 1 {
+		t.Fatalf("Exhausted = %d, want 1", x)
+	}
+	if r := met.Retries.Load(); r != uint64(pol.MaxAttempts-1) {
+		t.Fatalf("Retries = %d, want %d", r, pol.MaxAttempts-1)
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	healed := false
+	fb := &fakeBackend{fn: func(int) (estimator.Estimate, error) {
+		if healed {
+			return estimator.Estimate{Card: 1}, nil
+		}
+		return estimator.Estimate{}, flaky{}
+	}}
+	met := &Metrics{}
+	pol := fastPolicy()
+	pol.BreakerThreshold = 2
+	est := NewEstimator(fb, pol, met)
+
+	for i := 0; i < pol.BreakerThreshold; i++ {
+		if _, err := est.EstimateContext(context.Background(), nil); err == nil {
+			t.Fatal("expected failure while backend is down")
+		}
+	}
+	if o := met.BreakerOpens.Load(); o != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1", o)
+	}
+
+	callsBefore := fb.calls
+	if _, err := est.EstimateContext(context.Background(), nil); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker returned %v, want ErrOpen", err)
+	}
+	if fb.calls != callsBefore {
+		t.Fatal("open breaker still reached the backend")
+	}
+	if rj := met.Rejected.Load(); rj != 1 {
+		t.Fatalf("Rejected = %d, want 1", rj)
+	}
+
+	healed = true
+	time.Sleep(pol.BreakerCooldown + 5*time.Millisecond)
+	if _, err := est.EstimateContext(context.Background(), nil); err != nil {
+		t.Fatalf("probe after cooldown failed: %v", err)
+	}
+	if _, err := est.EstimateContext(context.Background(), nil); err != nil {
+		t.Fatalf("call after successful probe failed: %v", err)
+	}
+}
+
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	fb := &fakeBackend{fn: func(int) (estimator.Estimate, error) {
+		return estimator.Estimate{}, flaky{}
+	}}
+	met := &Metrics{}
+	pol := fastPolicy()
+	pol.BreakerThreshold = 1
+	pol.MaxAttempts = 1
+	est := NewEstimator(fb, pol, met)
+
+	if _, err := est.EstimateContext(context.Background(), nil); err == nil {
+		t.Fatal("expected failure")
+	}
+	time.Sleep(pol.BreakerCooldown + 5*time.Millisecond)
+	// Probe fails → breaker must re-open immediately.
+	if _, err := est.EstimateContext(context.Background(), nil); err == nil {
+		t.Fatal("expected probe failure")
+	}
+	if _, err := est.EstimateContext(context.Background(), nil); !errors.Is(err, ErrOpen) {
+		t.Fatalf("after failed probe got %v, want ErrOpen", err)
+	}
+	if o := met.BreakerOpens.Load(); o != 2 {
+		t.Fatalf("BreakerOpens = %d, want 2", o)
+	}
+}
+
+func TestCancelAbortsRetryLoop(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	fb := &fakeBackend{fn: func(int) (estimator.Estimate, error) {
+		cancel() // backend "hangs"; caller gives up
+		return estimator.Estimate{}, flaky{}
+	}}
+	est := NewEstimator(fb, fastPolicy(), &Metrics{})
+	_, err := est.EstimateContext(ctx, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if fb.calls != 1 {
+		t.Fatalf("backend called %d times after cancel, want 1", fb.calls)
+	}
+}
+
+// fakeExec scripts executor responses.
+type fakeExec struct {
+	calls int
+	fn    func(call int) (*executor.Result, error)
+}
+
+func (f *fakeExec) ExecuteContext(ctx context.Context, st sqlast.Statement) (*executor.Result, error) {
+	f.calls++
+	return f.fn(f.calls)
+}
+
+func TestExecutorWrapperRetries(t *testing.T) {
+	want := &executor.Result{Cardinality: 7}
+	fe := &fakeExec{fn: func(call int) (*executor.Result, error) {
+		if call == 1 {
+			return nil, flaky{}
+		}
+		return want, nil
+	}}
+	met := &Metrics{}
+	ex := NewExecutor(fe, fastPolicy(), met)
+	got, err := ex.ExecuteContext(context.Background(), nil)
+	if err != nil || got != want {
+		t.Fatalf("ExecuteContext = %v, %v; want %v, nil", got, err, want)
+	}
+	if r := met.Retries.Load(); r != 1 {
+		t.Fatalf("Retries = %d, want 1", r)
+	}
+}

@@ -1,0 +1,49 @@
+package resilience
+
+import (
+	"context"
+
+	"learnedsqlgen/internal/estimator"
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/sqlast"
+)
+
+// Estimator wraps an estimator.Backend with the retry/breaker policy.
+// Layering order in the environment is cache → Estimator → (fault
+// injection) → raw estimator, so retries fire only on genuine cache
+// misses and a healed call is memoized like any other.
+type Estimator struct {
+	inner estimator.Backend
+	r     *retrier
+}
+
+// NewEstimator wraps inner. met may be shared across wrappers (and with
+// an Executor) to aggregate counters; nil allocates a private one.
+func NewEstimator(inner estimator.Backend, pol Policy, met *Metrics) *Estimator {
+	return &Estimator{inner: inner, r: newRetrier(pol, met)}
+}
+
+// EstimateContext implements estimator.Backend.
+func (e *Estimator) EstimateContext(ctx context.Context, st sqlast.Statement) (estimator.Estimate, error) {
+	return do(e.r, ctx, func(ctx context.Context) (estimator.Estimate, error) {
+		return e.inner.EstimateContext(ctx, st)
+	})
+}
+
+// Executor wraps an executor.Backend with the retry/breaker policy.
+type Executor struct {
+	inner executor.Backend
+	r     *retrier
+}
+
+// NewExecutor wraps inner; met as in NewEstimator.
+func NewExecutor(inner executor.Backend, pol Policy, met *Metrics) *Executor {
+	return &Executor{inner: inner, r: newRetrier(pol, met)}
+}
+
+// ExecuteContext implements executor.Backend.
+func (e *Executor) ExecuteContext(ctx context.Context, st sqlast.Statement) (*executor.Result, error) {
+	return do(e.r, ctx, func(ctx context.Context) (*executor.Result, error) {
+		return e.inner.ExecuteContext(ctx, st)
+	})
+}

@@ -1,0 +1,288 @@
+package rl
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"learnedsqlgen/internal/faultinject"
+	"learnedsqlgen/internal/nn"
+	"learnedsqlgen/internal/resilience"
+)
+
+// fastResiliencePolicy keeps retry backoff in the microsecond range so
+// chaos tests stay fast while still exercising the full retry machinery.
+func fastResiliencePolicy() resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts: 8,
+		BaseDelay:   10 * time.Microsecond,
+		MaxDelay:    200 * time.Microsecond,
+	}
+}
+
+// injectFaults installs a fault-injecting estimator stack on env in the
+// production layering (cache → resilience → faultinject → raw) and
+// returns the injector and the shared metrics sink.
+func injectFaults(env *Env, cfg faultinject.Config) (*faultinject.Injector, *resilience.Metrics) {
+	inj := faultinject.New(cfg)
+	met := &resilience.Metrics{}
+	env.Res = met
+	env.SetBackend(resilience.NewEstimator(
+		faultinject.NewEstimator(env.Est, inj), fastResiliencePolicy(), met))
+	return inj, met
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base (plus scheduler slack) or the deadline passes.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines did not drain: %d now, %d before", runtime.NumGoroutine(), base)
+}
+
+// TestChaosTrainingSurvivesFaults is the acceptance run of the
+// fault-tolerance layer: a full TrainUntilContext with ~5% injected
+// transient estimator faults, a guaranteed worker panic, and NaN-poisoned
+// estimates must complete with healthy weights — retries heal the
+// transient errors, the quarantine absorbs the panic and refills the
+// batch, and the divergence watchdog discards the NaN-poisoned updates.
+func TestChaosTrainingSurvivesFaults(t *testing.T) {
+	before := runtime.NumGoroutine()
+	env := testEnv(t)
+	inj, _ := injectFaults(env, faultinject.Config{
+		Seed:        7,
+		ErrorRate:   0.05,
+		LatencyRate: 0.02,
+		Latency:     50 * time.Microsecond,
+		NaNRate:     0.01,
+		PanicOnCall: 50, // one guaranteed mid-episode panic
+		NaNOnCall:   90, // one guaranteed poisoned batch
+	})
+
+	constraint := RangeConstraint(Cardinality, 1, 1000)
+	cfg := fastConfig()
+	cfg.Seed = 11
+	cfg.Workers = 4
+	tr := NewTrainer(env, constraint, cfg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	// target > 1 is unreachable, so all epochs run unless something breaks.
+	trace, err := tr.TrainUntilContext(ctx, 1.1, 2, 3, 24)
+	if err != nil {
+		t.Fatalf("training under fault injection failed: %v", err)
+	}
+	if len(trace) != 3 {
+		t.Fatalf("completed %d epochs, want 3", len(trace))
+	}
+	if inj.Calls() < 90 {
+		t.Fatalf("injector refereed only %d calls; one-shot faults never fired", inj.Calls())
+	}
+
+	s := tr.Stats()
+	if s.Retries == 0 {
+		t.Error("no retries recorded despite a 5% transient error rate")
+	}
+	if s.Quarantined == 0 {
+		t.Error("injected panic was not quarantined")
+	}
+	if s.WatchdogTrips == 0 {
+		t.Error("NaN-poisoned batches never tripped the divergence watchdog")
+	}
+	if !nn.ParamsFinite(tr.Actor().Params()) || !nn.ParamsFinite(tr.Critic().Params()) {
+		t.Error("weights are non-finite after chaos training")
+	}
+
+	// The quarantine log identifies the injected panic with its trace.
+	var sawPanic bool
+	for _, qe := range tr.QuarantineLog() {
+		var pe *EpisodePanicError
+		if errors.As(qe, &pe) && strings.Contains(pe.Error(), "injected panic") {
+			sawPanic = true
+		}
+	}
+	if !sawPanic {
+		t.Errorf("quarantine log does not record the injected panic: %v", tr.QuarantineLog())
+	}
+
+	// The trained policy still generates; faults keep being healed.
+	for _, g := range tr.Generate(10) {
+		if g.SQL == "" {
+			t.Fatal("post-chaos generation produced an empty statement")
+		}
+	}
+	waitGoroutines(t, before)
+}
+
+// TestChaosZeroFaultByteIdentity: installing the full resilience stack
+// with every fault rate at zero must not change a single byte of training
+// — same weights, same generated queries as the bare environment. The
+// fault-tolerance layer is free when nothing fails.
+func TestChaosZeroFaultByteIdentity(t *testing.T) {
+	constraint := RangeConstraint(Cardinality, 1, 500)
+	run := func(wrap bool) (uint32, []string) {
+		env := testEnv(t)
+		var met *resilience.Metrics
+		if wrap {
+			_, met = injectFaults(env, faultinject.Config{Seed: 5})
+		}
+		cfg := fastConfig()
+		cfg.Seed = 9
+		cfg.Workers = 2
+		tr := NewTrainer(env, constraint, cfg)
+		tr.Train(2, 16)
+		if wrap && met.Retries.Load() != 0 {
+			t.Fatalf("zero-rate injector caused %d retries", met.Retries.Load())
+		}
+		var sqls []string
+		for _, g := range tr.Generate(20) {
+			sqls = append(sqls, g.SQL)
+		}
+		sum := nn.ChecksumParams(append(tr.Actor().Params(), tr.Critic().Params()...))
+		return sum, sqls
+	}
+
+	rawSum, rawSQL := run(false)
+	wrapSum, wrapSQL := run(true)
+	if rawSum != wrapSum {
+		t.Errorf("weights diverged under a zero-fault resilience stack: %08x vs %08x", rawSum, wrapSum)
+	}
+	for i := range rawSQL {
+		if rawSQL[i] != wrapSQL[i] {
+			t.Fatalf("generated query %d diverged:\n raw:  %s\n wrap: %s", i, rawSQL[i], wrapSQL[i])
+		}
+	}
+}
+
+// TestChaosSystematicFailureSurfaces: when every episode dies (panic rate
+// 1), the refill budget must run out and surface a *QuarantineError
+// instead of looping forever or returning a short batch.
+func TestChaosSystematicFailureSurfaces(t *testing.T) {
+	env := testEnv(t)
+	inj := faultinject.New(faultinject.Config{Seed: 3, PanicRate: 1})
+	env.SetBackend(faultinject.NewEstimator(env.Est, inj))
+
+	cfg := fastConfig()
+	cfg.Workers = 2
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 1, 1000), cfg)
+
+	batch, err := tr.SampleBatchContext(context.Background(), tr.Actor(), tr.Actor().BOS(), 8, true, true)
+	if batch != nil {
+		t.Fatal("systematic failure returned a batch")
+	}
+	var qe *QuarantineError
+	if !errors.As(err, &qe) {
+		t.Fatalf("want *QuarantineError, got %v", err)
+	}
+	if qe.Want != 8 || qe.Quarantined <= 8 {
+		t.Errorf("quarantine error under-reports: %+v", qe)
+	}
+	if tr.Quarantined() == 0 {
+		t.Error("quarantine counter not advanced")
+	}
+}
+
+// TestChaosWatchdogRecoversFromNaNFlood: with every estimate NaN-poisoned
+// the watchdog must discard every update without corrupting the weights,
+// and training must resume normally once the backend heals.
+func TestChaosWatchdogRecoversFromNaNFlood(t *testing.T) {
+	env := testEnv(t)
+	inj := faultinject.New(faultinject.Config{Seed: 13, NaNRate: 1})
+	env.SetBackend(faultinject.NewEstimator(env.Est, inj))
+
+	cfg := fastConfig()
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 1, 1000), cfg)
+	tr.TrainEpoch(16)
+	if tr.WatchdogTrips() == 0 {
+		t.Fatal("all-NaN feedback never tripped the watchdog")
+	}
+	if !nn.ParamsFinite(tr.Actor().Params()) || !nn.ParamsFinite(tr.Critic().Params()) {
+		t.Fatal("weights went non-finite despite the watchdog")
+	}
+
+	// Heal the backend: training proceeds from intact weights. The cache
+	// holds no poison — NaN estimates are never memoized.
+	env.SetBackend(env.Est)
+	trips := tr.WatchdogTrips()
+	tr.TrainEpoch(16)
+	if got := tr.WatchdogTrips(); got != trips {
+		t.Errorf("watchdog tripped %d more times on a healthy backend", got-trips)
+	}
+	if !nn.ParamsFinite(tr.Actor().Params()) || !nn.ParamsFinite(tr.Critic().Params()) {
+		t.Fatal("weights non-finite after recovery")
+	}
+}
+
+// TestChaosWatchdogDisabled: MaxGradNorm < 0 switches the watchdog off;
+// the plain optimizer path must still train.
+func TestChaosWatchdogDisabled(t *testing.T) {
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.MaxGradNorm = -1
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 1, 1000), cfg)
+	tr.TrainEpoch(8)
+	if tr.WatchdogTrips() != 0 {
+		t.Errorf("disabled watchdog recorded %d trips", tr.WatchdogTrips())
+	}
+}
+
+// TestChaosCancellationUnderFaults: cancelling mid-epoch while faults fly
+// must still drain the worker pool and return the interruption, not a
+// fault error.
+func TestChaosCancellationUnderFaults(t *testing.T) {
+	before := runtime.NumGoroutine()
+	env := testEnv(t)
+	injectFaults(env, faultinject.Config{Seed: 21, ErrorRate: 0.1})
+
+	cfg := fastConfig()
+	cfg.Workers = 4
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 1, 1000), cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.TrainContext(ctx, 2, 16); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestInvariantErrorQuarantine exercises the InvariantError path directly
+// through sampleEpisodeSafe's contract: an injected panic mid-rollout is
+// converted to a typed, trace-carrying quarantine error, and the rollout
+// workspace is replaced rather than reused.
+func TestInvariantErrorQuarantine(t *testing.T) {
+	env := testEnv(t)
+	inj := faultinject.New(faultinject.Config{Seed: 2, PanicOnCall: 1})
+	env.SetBackend(faultinject.NewEstimator(env.Est, inj))
+
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 1, 1000), fastConfig())
+	tr.compute()
+	run := &episodeRun{ws: tr.getRolloutWS()}
+	wsBefore := run.ws
+	p := episodeParams{ctx: context.Background(), actor: tr.Actor(),
+		startIn: tr.Actor().BOS(), withCritic: true, train: true}
+	traj, err := tr.sampleEpisodeSafe(p, rand.New(rand.NewSource(1)), run)
+	if traj != nil {
+		t.Fatal("panicked episode returned a trajectory")
+	}
+	var pe *EpisodePanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *EpisodePanicError, got %v", err)
+	}
+	if len(pe.Trace) == 0 {
+		t.Error("panic error carries no token trace")
+	}
+	if run.ws == wsBefore {
+		t.Error("poisoned workspace was not replaced after the panic")
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !rldebug
+
+package rl
+
+// debugInvariants selects the failure mode of internal invariant
+// violations during episode rollout. In the default build they become
+// typed errors routed through the batch quarantine, so one poisoned
+// episode cannot take down a long training run. Build with -tags rldebug
+// to make them panic instead (and to disable the rollout panic recovery
+// entirely), which is what you want when debugging the FSM or the
+// sampler itself.
+const debugInvariants = false

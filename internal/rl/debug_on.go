@@ -1,0 +1,9 @@
+//go:build rldebug
+
+package rl
+
+// debugInvariants is true under -tags rldebug: invariant violations panic
+// at the point of failure and rollout panic recovery is disabled, so a
+// debugger or stack trace lands on the real fault instead of the
+// quarantine path.
+const debugInvariants = true

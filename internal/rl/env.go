@@ -8,6 +8,7 @@ import (
 	"learnedsqlgen/internal/estimator"
 	"learnedsqlgen/internal/executor"
 	"learnedsqlgen/internal/fsm"
+	"learnedsqlgen/internal/resilience"
 	"learnedsqlgen/internal/sqlast"
 	"learnedsqlgen/internal/stats"
 	"learnedsqlgen/internal/storage"
@@ -37,6 +38,19 @@ type Env struct {
 	// Execution results are never cached.
 	TrueExecution bool
 
+	// Res, when non-nil, is the resilience metrics sink shared by the
+	// retry/breaker wrappers installed via SetBackend/SetExecBackend; the
+	// trainer surfaces its counters in TrainStats.
+	Res *resilience.Metrics
+
+	// backend is the estimation path Measure uses on cache misses (and
+	// directly when the cache is disabled). nil means the raw Est —
+	// SetBackend installs decorated stacks (resilience, fault injection).
+	backend estimator.Backend
+	// execBackend is the true-execution path; nil builds a fresh executor
+	// over a database snapshot per call.
+	execBackend executor.Backend
+
 	measures uint64 // total Measure calls, accessed atomically
 }
 
@@ -53,10 +67,35 @@ func NewEnv(db *storage.Database, vocab *token.Vocab, cfg fsm.Config) *Env {
 	}
 }
 
+// estBackend resolves the effective estimation backend (raw estimator
+// unless SetBackend installed a decorated stack).
+func (e *Env) estBackend() estimator.Backend {
+	if e.backend != nil {
+		return e.backend
+	}
+	return e.Est
+}
+
+// SetBackend routes estimation through b — typically a resilience wrapper
+// (and, in chaos tests, a fault injector) around the raw estimator. The
+// memoizing cache, when enabled, is rebuilt over b so it stays outermost:
+// hits never touch b, and misses that b heals via retries are memoized
+// like any other result.
+func (e *Env) SetBackend(b estimator.Backend) {
+	e.backend = b
+	if e.Cache != nil {
+		e.Cache = estimator.NewCached(b, e.Cache.Stats().Capacity)
+	}
+}
+
+// SetExecBackend routes true-execution measurement through b instead of a
+// per-call executor over a snapshot.
+func (e *Env) SetExecBackend(b executor.Backend) { e.execBackend = b }
+
 // SetCacheSize replaces the estimator cache with a fresh one of the given
 // capacity (entries); capacity <= 0 selects the default size.
 func (e *Env) SetCacheSize(capacity int) {
-	e.Cache = estimator.NewCached(e.Est, capacity)
+	e.Cache = estimator.NewCached(e.estBackend(), capacity)
 }
 
 // DisableCache turns estimator memoization off (the cache-ablation arm of
@@ -102,7 +141,11 @@ func (e *Env) MeasureContext(ctx context.Context, st sqlast.Statement, m Metric)
 		return 0, fmt.Errorf("rl: measure: %w", cancelCause(ctx))
 	}
 	if e.TrueExecution {
-		res, err := executor.New(e.DB.Clone()).ExecuteContext(ctx, st)
+		exec := e.execBackend
+		if exec == nil {
+			exec = CloneExec{DB: e.DB}
+		}
+		res, err := exec.ExecuteContext(ctx, st)
 		if err != nil {
 			return 0, err
 		}
@@ -116,7 +159,7 @@ func (e *Env) MeasureContext(ctx context.Context, st sqlast.Statement, m Metric)
 	if e.Cache != nil {
 		est, err = e.Cache.EstimateContext(ctx, st)
 	} else {
-		est, err = e.Est.EstimateContext(ctx, st)
+		est, err = e.estBackend().EstimateContext(ctx, st)
 	}
 	if err != nil {
 		return 0, err
@@ -125,6 +168,17 @@ func (e *Env) MeasureContext(ctx context.Context, st sqlast.Statement, m Metric)
 		return est.Cost, nil
 	}
 	return est.Card, nil
+}
+
+// CloneExec is the default true-execution backend: each call builds a
+// fresh Executor over a snapshot of the database, which is what makes
+// concurrent Measure calls safe. Decorators (resilience, fault injection)
+// wrap it via SetExecBackend.
+type CloneExec struct{ DB *storage.Database }
+
+// ExecuteContext implements executor.Backend.
+func (c CloneExec) ExecuteContext(ctx context.Context, st sqlast.Statement) (*executor.Result, error) {
+	return executor.New(c.DB.Clone()).ExecuteContext(ctx, st)
 }
 
 // Generated is one produced statement with its measured metric value.

@@ -1,0 +1,123 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"learnedsqlgen/internal/nn"
+)
+
+// This file is the rollout quarantine: the machinery that turns a
+// poisoned episode — a worker panic (e.g. an injected backend fault) or
+// an internal invariant violation — into a counted, logged, recoverable
+// event instead of a crashed training run. The batch contract is
+// preserved: SampleBatchContext still returns exactly n trajectories,
+// refilling quarantined slots with fresh episodes, so callers that index
+// batch[i] (the meta pre-trainer, the conformance oracle's producers)
+// never observe a hole.
+
+// InvariantError reports an internal contradiction detected during an
+// episode: the FSM rejected an action that its own Valid() mask offered.
+// Under the default build it is quarantined; under -tags rldebug it
+// panics at the point of failure instead.
+type InvariantError struct {
+	Cause error // the FSM's rejection
+	Trace []int // token ids applied before the violation
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("rl: FSM rejected an unmasked action after trace %v: %v", e.Trace, e.Cause)
+}
+
+func (e *InvariantError) Unwrap() error { return e.Cause }
+
+// EpisodePanicError wraps a panic recovered during one episode rollout.
+// The token trace identifies how far the episode got before dying.
+type EpisodePanicError struct {
+	Value any   // the recovered panic value
+	Trace []int // token ids applied before the panic
+}
+
+func (e *EpisodePanicError) Error() string {
+	return fmt.Sprintf("rl: episode panicked after trace %v: %v", e.Trace, e.Value)
+}
+
+// QuarantineError aborts a batch whose refill budget ran out: more than n
+// extra episodes were quarantined while filling an n-episode batch, which
+// means the failure is systematic, not sporadic.
+type QuarantineError struct {
+	Want        int   // requested batch size
+	Quarantined int   // episodes quarantined while trying to fill it
+	Last        error // the most recent quarantined episode's error
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("rl: quarantined %d episodes while filling a batch of %d (refill budget exhausted): %v",
+		e.Quarantined, e.Want, e.Last)
+}
+
+func (e *QuarantineError) Unwrap() error { return e.Last }
+
+// quarantineLogCap bounds the in-memory record of recent quarantines.
+const quarantineLogCap = 16
+
+// noteQuarantine counts a quarantined episode and records its error in
+// the bounded log.
+func (t *Trainer) noteQuarantine(err error) {
+	t.qMu.Lock()
+	t.quarantined++
+	if len(t.qLog) == quarantineLogCap {
+		copy(t.qLog, t.qLog[1:])
+		t.qLog = t.qLog[:quarantineLogCap-1]
+	}
+	t.qLog = append(t.qLog, err)
+	t.qMu.Unlock()
+}
+
+// QuarantineLog returns the most recent quarantined-episode errors
+// (oldest first, bounded), each an *EpisodePanicError or *InvariantError
+// carrying the token trace of the dead episode.
+func (t *Trainer) QuarantineLog() []error {
+	t.qMu.Lock()
+	defer t.qMu.Unlock()
+	out := make([]error, len(t.qLog))
+	copy(out, t.qLog)
+	return out
+}
+
+// Quarantined returns how many episodes have been quarantined over the
+// trainer's lifetime.
+func (t *Trainer) Quarantined() uint64 {
+	t.qMu.Lock()
+	defer t.qMu.Unlock()
+	return t.quarantined
+}
+
+// episodeRun carries one guarded rollout attempt's mutable state: the
+// worker's workspace (replaced if a panic poisons it) and the token trace
+// for quarantine reports.
+type episodeRun struct {
+	ws    *nn.Workspace
+	trace []int
+}
+
+// sampleEpisodeSafe runs one episode body behind panic recovery. On
+// success err is nil. A panic anywhere in the episode — the compute path,
+// the FSM walk, or a fault-injected backend — is recovered into an
+// *EpisodePanicError; pooled buffers held by the partial trajectory are
+// abandoned to the garbage collector and run.ws is replaced, because a
+// workspace interrupted mid-episode may hold inconsistent scratch state.
+// Under -tags rldebug recovery is disabled and panics propagate.
+func (t *Trainer) sampleEpisodeSafe(p episodeParams, rng *rand.Rand, run *episodeRun) (traj *Trajectory, err error) {
+	run.trace = run.trace[:0]
+	if !debugInvariants {
+		defer func() {
+			if r := recover(); r != nil {
+				traj = nil
+				err = &EpisodePanicError{Value: r, Trace: append([]int(nil), run.trace...)}
+				run.ws = nn.NewWorkspace(t.pool)
+			}
+		}()
+	}
+	return t.sampleEpisodeRNG(p, rng, run)
+}

@@ -60,7 +60,10 @@ func (t *Trainer) workers() int {
 // miss paths, which keeps generated queries byte-identical whether the
 // cache is enabled, disabled, or shared among any number of workers.
 func (t *Trainer) SampleBatch(actor *nn.SeqNet, startIn, n int, withCritic, train bool) []*Trajectory {
-	// context.Background() can never cancel, so the error is structurally nil.
+	// context.Background() can never cancel; the only possible error is a
+	// *QuarantineError, which requires > n quarantined episodes in one
+	// batch — systematic failure, surfaced to ctx-less callers as a nil
+	// batch.
 	out, _ := t.SampleBatchContext(context.Background(), actor, startIn, n, withCritic, train)
 	return out
 }
@@ -83,16 +86,25 @@ func (t *Trainer) SampleBatchContext(ctx context.Context, actor *nn.SeqNet, star
 	if !train && !withCritic && t.Cfg.PrefixCacheSize >= 0 {
 		trie = newPrefixTrie(t.prefixCap(), actor.Hidden)
 	}
+	p := episodeParams{ctx: ctx, actor: actor, startIn: startIn,
+		withCritic: withCritic, train: train, trie: trie}
+	var holes uint64 // episodes quarantined this batch, accessed atomically
 	w := t.workers()
 	if w > n {
 		w = n
 	}
 	if w == 1 {
-		ws := t.getRolloutWS()
+		run := &episodeRun{ws: t.getRolloutWS()}
 		for i := 0; i < n && ctx.Err() == nil; i++ {
-			out[i] = t.sampleEpisodeRNG(ctx, actor, startIn, withCritic, train, t.episodeRNG(base+uint64(i)), ws, trie)
+			traj, err := t.sampleEpisodeSafe(p, t.episodeRNG(base+uint64(i)), run)
+			if err != nil {
+				t.noteQuarantine(err)
+				holes++
+				continue
+			}
+			out[i] = traj
 		}
-		t.putRolloutWS(ws)
+		t.putRolloutWS(run.ws)
 	} else {
 		var wg sync.WaitGroup
 		next := int64(-1)
@@ -100,14 +112,20 @@ func (t *Trainer) SampleBatchContext(ctx context.Context, actor *nn.SeqNet, star
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				ws := t.getRolloutWS()
-				defer t.putRolloutWS(ws)
+				run := &episodeRun{ws: t.getRolloutWS()}
+				defer func() { t.putRolloutWS(run.ws) }()
 				for ctx.Err() == nil {
 					i := int(atomic.AddInt64(&next, 1))
 					if i >= n {
 						return
 					}
-					out[i] = t.sampleEpisodeRNG(ctx, actor, startIn, withCritic, train, t.episodeRNG(base+uint64(i)), ws, trie)
+					traj, err := t.sampleEpisodeSafe(p, t.episodeRNG(base+uint64(i)), run)
+					if err != nil {
+						t.noteQuarantine(err)
+						atomic.AddUint64(&holes, 1)
+						continue
+					}
+					out[i] = traj
 				}
 			}()
 		}
@@ -117,6 +135,12 @@ func (t *Trainer) SampleBatchContext(ctx context.Context, actor *nn.SeqNet, star
 		atomic.AddUint64(&t.prefixHits, atomic.LoadUint64(&trie.hits))
 		atomic.AddUint64(&t.prefixMisses, atomic.LoadUint64(&trie.misses))
 	}
+	if ctx.Err() == nil && holes > 0 {
+		if err := t.refill(p, out, int(holes)); err != nil {
+			atomic.AddInt64(&t.rolloutNanos, int64(time.Since(start)))
+			return nil, err
+		}
+	}
 	atomic.AddInt64(&t.rolloutNanos, int64(time.Since(start)))
 	if ctx.Err() != nil {
 		// The partial batch is never returned: recycle whatever episodes
@@ -125,6 +149,48 @@ func (t *Trainer) SampleBatchContext(ctx context.Context, actor *nn.SeqNet, star
 		return nil, fmt.Errorf("rl: rollout interrupted: %w", cancelCause(ctx))
 	}
 	return out, nil
+}
+
+// refill replaces quarantined batch slots with fresh episodes so the
+// batch contract (exactly n trajectories, in slot order) holds for
+// callers that index into it. Replacement episodes draw new episode
+// indices — their RNG streams are fresh, never a replay of the dead
+// episode's — and run serially: quarantine is the rare path, and a
+// deterministic refill order keeps the episode counter's advance
+// reproducible for a given fault pattern. The budget caps total extra
+// episodes at len(out); systematic failure surfaces as a
+// *QuarantineError instead of an unbounded loop.
+func (t *Trainer) refill(p episodeParams, out []*Trajectory, quarantined int) error {
+	budget := len(out)
+	run := &episodeRun{ws: t.getRolloutWS()}
+	defer func() { t.putRolloutWS(run.ws) }()
+	var lastErr error
+	for i := range out {
+		for out[i] == nil {
+			if p.ctx.Err() != nil {
+				return nil // the caller's ctx check reports the interruption
+			}
+			if budget == 0 {
+				t.ReleaseBatch(out)
+				if lastErr == nil {
+					if log := t.QuarantineLog(); len(log) > 0 {
+						lastErr = log[len(log)-1]
+					}
+				}
+				return &QuarantineError{Want: len(out), Quarantined: quarantined, Last: lastErr}
+			}
+			budget--
+			traj, err := t.sampleEpisodeSafe(p, t.episodeRNG(t.nextEpisodes(1)), run)
+			if err != nil {
+				t.noteQuarantine(err)
+				quarantined++
+				lastErr = err
+				continue
+			}
+			out[i] = traj
+		}
+	}
+	return nil
 }
 
 // TrainStats aggregates a trainer's lifetime rollout-throughput counters:
@@ -146,6 +212,18 @@ type TrainStats struct {
 	PrefixHits     uint64  // inference actor steps served from the prefix trie
 	PrefixMisses   uint64  // inference actor steps computed (trie enabled)
 	PrefixHitRate  float64 // hits / (hits + misses)
+
+	// Resilience counters (zero when no resilience wrapper is installed —
+	// see Env.Res): backend retries after transient faults, operations
+	// that failed every retry, and circuit-breaker open transitions.
+	Retries      uint64
+	Exhausted    uint64
+	BreakerOpens uint64
+	// Quarantined counts episodes discarded after a panic or invariant
+	// violation; WatchdogTrips counts batches the divergence watchdog
+	// discarded or rolled back.
+	Quarantined   uint64
+	WatchdogTrips uint64
 }
 
 // Stats snapshots the trainer's throughput counters.
@@ -169,6 +247,13 @@ func (t *Trainer) Stats() TrainStats {
 		s.EstimatorCalls = cs.Misses
 	} else {
 		s.EstimatorCalls = t.Env.Measures()
+	}
+	s.Quarantined = t.Quarantined()
+	s.WatchdogTrips = t.WatchdogTrips()
+	if m := t.Env.Res; m != nil {
+		s.Retries = m.Retries.Load()
+		s.Exhausted = m.Exhausted.Load()
+		s.BreakerOpens = m.BreakerOpens.Load()
 	}
 	return s
 }

@@ -4,6 +4,7 @@ import (
 	"io"
 	"os"
 
+	"learnedsqlgen/internal/durable"
 	"learnedsqlgen/internal/nn"
 )
 
@@ -22,17 +23,12 @@ func (t *Trainer) Load(r io.Reader) error {
 	return nn.LoadParams(r, params)
 }
 
-// SaveFile and LoadFile are path convenience wrappers.
+// SaveFile writes the checkpoint durably: the bytes are staged in a
+// temporary file and atomically renamed over path, so a crash at any
+// point (kill -9 included) leaves either the previous checkpoint or the
+// new one — never a truncated hybrid.
 func (t *Trainer) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := t.Save(f); err != nil {
-		return err
-	}
-	return f.Sync()
+	return durable.WriteFile(path, t.Save)
 }
 
 // LoadFile restores a checkpoint from path.

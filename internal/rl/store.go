@@ -1,0 +1,156 @@
+package rl
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"learnedsqlgen/internal/durable"
+	"learnedsqlgen/internal/nn"
+)
+
+// Store manages a directory of rotated, durable checkpoints with a
+// last-good manifest. Save writes a new sequence-numbered checkpoint file
+// (atomically, fsynced), then rewrites the manifest to list it first, and
+// only then prunes files that rotated out — so at every instant the
+// manifest names only complete, on-disk checkpoints, and a crash between
+// any two steps leaves the previous state loadable. Load walks the
+// manifest newest to oldest, skipping entries that are missing or fail
+// the checkpoint format's CRC validation, and reports which file it
+// restored — corruption of the newest checkpoint (torn disk, bit rot)
+// degrades to the previous one instead of failing the run.
+type Store struct {
+	dir  string
+	keep int
+}
+
+// DefaultStoreKeep is how many rotated checkpoints a Store retains when
+// the caller passes keep <= 0.
+const DefaultStoreKeep = 3
+
+// manifestName is the last-good list, newest first, one filename per
+// line.
+const manifestName = "MANIFEST"
+
+// ErrNoCheckpoint is returned by Load when the store holds no loadable
+// checkpoint at all (empty directory, or every entry corrupt).
+var ErrNoCheckpoint = errors.New("rl: no loadable checkpoint in store")
+
+// NewStore opens (creating if needed) a checkpoint directory.
+func NewStore(dir string, keep int) (*Store, error) {
+	if keep <= 0 {
+		keep = DefaultStoreKeep
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("rl: checkpoint dir: %w", err)
+	}
+	return &Store{dir: dir, keep: keep}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// manifest reads the last-good list, newest first. A missing manifest
+// (first run, or pre-Store checkpoints) falls back to a directory scan in
+// descending sequence order.
+func (s *Store) manifest() []string {
+	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	if err == nil {
+		var names []string
+		for _, line := range strings.Split(string(data), "\n") {
+			if line = strings.TrimSpace(line); line != "" {
+				names = append(names, line)
+			}
+		}
+		if len(names) > 0 {
+			return names
+		}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if name := e.Name(); strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".lsgc") {
+			names = append(names, name)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names))) // zero-padded: lexicographic = numeric
+	return names
+}
+
+// seq extracts a checkpoint filename's sequence number; -1 if malformed.
+func seq(name string) int {
+	var n int
+	if _, err := fmt.Sscanf(name, "ckpt-%06d.lsgc", &n); err != nil {
+		return -1
+	}
+	return n
+}
+
+// Save writes t's weights as the next checkpoint in the rotation and
+// returns the path written.
+func (s *Store) Save(t *Trainer) (string, error) {
+	names := s.manifest()
+	next := 0
+	for _, name := range names {
+		if n := seq(name); n >= next {
+			next = n + 1
+		}
+	}
+	name := fmt.Sprintf("ckpt-%06d.lsgc", next)
+	path := filepath.Join(s.dir, name)
+	if err := t.SaveFile(path); err != nil {
+		return "", err
+	}
+
+	kept := append([]string{name}, names...)
+	if len(kept) > s.keep {
+		kept = kept[:s.keep]
+	}
+	if err := durable.WriteFileBytes(filepath.Join(s.dir, manifestName),
+		[]byte(strings.Join(kept, "\n")+"\n")); err != nil {
+		return "", err
+	}
+	// Prune only after the manifest no longer references the victims; a
+	// crash before this point just leaves extra files on disk.
+	keptSet := map[string]bool{}
+	for _, k := range kept {
+		keptSet[k] = true
+	}
+	for _, old := range names {
+		if !keptSet[old] {
+			os.Remove(filepath.Join(s.dir, old))
+		}
+	}
+	return path, nil
+}
+
+// Load restores the newest loadable checkpoint into t, falling back past
+// corrupt or missing entries, and returns the path it loaded. The error
+// is ErrNoCheckpoint when nothing was loadable; the last corruption error
+// is attached for diagnosis.
+func (s *Store) Load(t *Trainer) (string, error) {
+	var lastErr error
+	for _, name := range s.manifest() {
+		path := filepath.Join(s.dir, name)
+		err := t.LoadFile(path)
+		if err == nil {
+			return path, nil
+		}
+		lastErr = err
+		if !errors.Is(err, nn.ErrCorrupt) && !os.IsNotExist(err) {
+			// Shape/vocabulary mismatch etc.: an older checkpoint would
+			// mismatch identically, so fail now with the real error.
+			return "", err
+		}
+	}
+	if lastErr != nil {
+		return "", fmt.Errorf("%w (last error: %v)", ErrNoCheckpoint, lastErr)
+	}
+	return "", ErrNoCheckpoint
+}

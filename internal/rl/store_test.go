@@ -1,0 +1,266 @@
+package rl
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"learnedsqlgen/internal/nn"
+)
+
+// storeTrainer builds a small trainer with distinct weights per seed.
+func storeTrainer(env *Env, seed int64) *Trainer {
+	cfg := fastConfig()
+	cfg.Seed = seed
+	return NewTrainer(env, RangeConstraint(Cardinality, 1, 1000), cfg)
+}
+
+func trainerChecksum(t *Trainer) uint32 {
+	return nn.ChecksumParams(append(t.actor.Params(), t.critic.Params()...))
+}
+
+// corruptions for the fallback matrix: each returns the damaged bytes.
+func truncateBytes(b []byte) []byte { return b[:len(b)/2] }
+func bitflipBytes(b []byte) []byte {
+	out := append([]byte(nil), b...)
+	out[len(out)/2] ^= 0x10
+	return out
+}
+func staleVersionBytes(b []byte) []byte {
+	// The version field sits right after the 8-byte magic, little-endian.
+	out := append([]byte(nil), b...)
+	binary.LittleEndian.PutUint32(out[8:12], 99)
+	return out
+}
+
+func corruptFile(t *testing.T, path string, f func([]byte) []byte) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, f(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreRotationAndPrune: Save rotates sequence-numbered checkpoints,
+// the manifest lists newest first, and files past the keep bound are
+// pruned from disk.
+func TestStoreRotationAndPrune(t *testing.T) {
+	env := testEnv(t)
+	tr := storeTrainer(env, 1)
+	st, err := NewStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for i := 0; i < 3; i++ {
+		p, err := st.Save(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	if _, err := os.Stat(paths[0]); !os.IsNotExist(err) {
+		t.Errorf("rotated-out checkpoint %s still on disk (err=%v)", paths[0], err)
+	}
+	for _, p := range paths[1:] {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("kept checkpoint %s missing: %v", p, err)
+		}
+	}
+	manifest, err := os.ReadFile(filepath.Join(st.Dir(), "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(string(manifest))
+	if len(lines) != 2 || lines[0] != filepath.Base(paths[2]) {
+		t.Errorf("manifest wrong: %q", lines)
+	}
+	// Load restores the newest.
+	fresh := storeTrainer(env, 2)
+	p, err := st.Load(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != paths[2] {
+		t.Errorf("loaded %s, want newest %s", p, paths[2])
+	}
+	if trainerChecksum(fresh) != trainerChecksum(tr) {
+		t.Error("restored weights differ from saved weights")
+	}
+}
+
+// TestStoreCorruptionFallbackMatrix damages the newer checkpoints in
+// three distinct ways — truncation, a flipped bit, a stale format
+// version — and demands Load degrade to the next older good entry each
+// time, then report ErrNoCheckpoint once everything is damaged.
+func TestStoreCorruptionFallbackMatrix(t *testing.T) {
+	env := testEnv(t)
+	st, err := NewStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three checkpoints with three distinct weight sets, oldest to newest.
+	trainers := []*Trainer{storeTrainer(env, 10), storeTrainer(env, 11), storeTrainer(env, 12)}
+	var paths []string
+	for _, tr := range trainers {
+		p, err := st.Save(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+
+	loadInto := func() (*Trainer, string, error) {
+		fresh := storeTrainer(env, 99)
+		p, err := st.Load(fresh)
+		return fresh, p, err
+	}
+
+	// Newest truncated → falls back to the middle one.
+	corruptFile(t, paths[2], truncateBytes)
+	got, p, err := loadInto()
+	if err != nil || p != paths[1] {
+		t.Fatalf("after truncation: loaded %q err %v, want %q", p, err, paths[1])
+	}
+	if trainerChecksum(got) != trainerChecksum(trainers[1]) {
+		t.Error("fallback restored the wrong weights")
+	}
+
+	// Middle bit-flipped too → falls back to the oldest.
+	corruptFile(t, paths[1], bitflipBytes)
+	got, p, err = loadInto()
+	if err != nil || p != paths[0] {
+		t.Fatalf("after bit flip: loaded %q err %v, want %q", p, err, paths[0])
+	}
+	if trainerChecksum(got) != trainerChecksum(trainers[0]) {
+		t.Error("second fallback restored the wrong weights")
+	}
+
+	// Oldest stamped with an unsupported version → nothing loadable.
+	corruptFile(t, paths[0], staleVersionBytes)
+	if _, _, err = loadInto(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("all-corrupt store: want ErrNoCheckpoint, got %v", err)
+	}
+}
+
+// TestStoreMissingEntryFallback: a manifest entry whose file vanished is
+// skipped like a corrupt one.
+func TestStoreMissingEntryFallback(t *testing.T) {
+	env := testEnv(t)
+	st, err := NewStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := storeTrainer(env, 20)
+	if _, err := st.Save(old); err != nil {
+		t.Fatal(err)
+	}
+	newest := storeTrainer(env, 21)
+	p2, err := st.Save(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(p2); err != nil {
+		t.Fatal(err)
+	}
+	fresh := storeTrainer(env, 99)
+	if _, err := st.Load(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if trainerChecksum(fresh) != trainerChecksum(old) {
+		t.Error("missing-entry fallback restored the wrong weights")
+	}
+}
+
+// TestStoreManifestlessScan: a directory of checkpoints without a
+// MANIFEST (pre-Store files, or a lost manifest) is still loadable via
+// the sequence-ordered directory scan.
+func TestStoreManifestlessScan(t *testing.T) {
+	env := testEnv(t)
+	st, err := NewStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := storeTrainer(env, 30), storeTrainer(env, 31)
+	if _, err := st.Save(a); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := st.Save(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(st.Dir(), "MANIFEST")); err != nil {
+		t.Fatal(err)
+	}
+	fresh := storeTrainer(env, 99)
+	p, err := st.Load(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != p2 {
+		t.Errorf("scan fallback loaded %q, want newest %q", p, p2)
+	}
+	if trainerChecksum(fresh) != trainerChecksum(b) {
+		t.Error("scan fallback restored the wrong weights")
+	}
+}
+
+// TestStoreEmpty: loading from an empty store is ErrNoCheckpoint, and a
+// reopened store keeps counting sequence numbers upward.
+func TestStoreEmpty(t *testing.T) {
+	env := testEnv(t)
+	dir := t.TempDir()
+	st, err := NewStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(storeTrainer(env, 1)); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty store: want ErrNoCheckpoint, got %v", err)
+	}
+	p1, err := st.Save(storeTrainer(env, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the next sequence number continues past the existing file.
+	st2, err := NewStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := st2.Save(storeTrainer(env, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Errorf("reopened store reused sequence number: %q", p2)
+	}
+}
+
+// TestStoreShapeMismatchFailsFast: a checkpoint from a differently shaped
+// network is a real error, not a silent fallback — every older
+// checkpoint would mismatch identically.
+func TestStoreShapeMismatchFailsFast(t *testing.T) {
+	env := testEnv(t)
+	st, err := NewStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(storeTrainer(env, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.Hidden = 16 // different architecture
+	other := NewTrainer(env, RangeConstraint(Cardinality, 1, 1000), cfg)
+	_, err = st.Load(other)
+	if err == nil {
+		t.Fatal("shape mismatch loaded successfully")
+	}
+	if errors.Is(err, ErrNoCheckpoint) || errors.Is(err, nn.ErrCorrupt) {
+		t.Fatalf("shape mismatch misclassified as corruption/fallback: %v", err)
+	}
+}

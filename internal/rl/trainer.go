@@ -2,8 +2,10 @@ package rl
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"learnedsqlgen/internal/nn"
@@ -73,7 +75,21 @@ type Config struct {
 	// drivers. The callback runs on the training goroutine, so it must not
 	// call back into the trainer.
 	OnEpoch func(EpochStats) error `json:"-"`
+	// MaxGradNorm is the divergence watchdog's gradient-norm ceiling: a
+	// batch whose global gradient L2 norm is non-finite or exceeds it is
+	// discarded before the optimizer step (the gradients are zeroed, the
+	// weights untouched), and a non-finite weight appearing after a step
+	// rolls the networks back to the last healthy update and resets the
+	// optimizer moments. 0 selects DefaultMaxGradNorm; negative disables
+	// the watchdog entirely.
+	MaxGradNorm float64
 }
+
+// DefaultMaxGradNorm is the watchdog ceiling used when Config.MaxGradNorm
+// is zero. It is ~3 orders of magnitude above gradient norms observed in
+// healthy training, so it only fires on genuine divergence (NaN/Inf loss,
+// exploding updates), never on ordinary noisy batches.
+const DefaultMaxGradNorm = 1e4
 
 // RewardMode selects the dense-reward scheme built on the §4.2 Remark
 // ("we also give the computed reward if partial queries can be executed").
@@ -187,6 +203,19 @@ type Trainer struct {
 	rolloutNanos int64
 	prefixHits   uint64
 	prefixMisses uint64
+
+	// Quarantine state (see quarantine.go): count and bounded error log of
+	// episodes that panicked or violated an invariant, guarded by qMu.
+	qMu         sync.Mutex
+	qLog        []error
+	quarantined uint64
+
+	// Divergence watchdog state (single-goroutine at the batch barrier):
+	// snapshots of the last healthy post-update weights, and the atomic
+	// trip counter.
+	wdSnapActor   [][]float64
+	wdSnapCritic  [][]float64
+	watchdogTrips uint64
 }
 
 // NewTrainer builds fresh actor and critic networks for the environment.
@@ -302,12 +331,30 @@ func (t *Trainer) SampleEpisodeFrom(actor *nn.SeqNet, startIn int, withCritic, t
 	return t.SampleBatch(actor, startIn, 1, withCritic, train)[0]
 }
 
+// episodeParams bundles the per-batch constants of an episode rollout;
+// the per-episode variables (RNG stream, workspace, token trace) travel
+// separately so the quarantine wrapper can manage them.
+type episodeParams struct {
+	ctx        context.Context
+	actor      *nn.SeqNet
+	startIn    int
+	withCritic bool
+	train      bool
+	trie       *prefixTrie
+}
+
 // sampleEpisodeRNG is the episode body: it walks the FSM with the actor,
 // drawing all randomness (dropout, ε-exploration, action sampling) from
 // the episode's own rng so concurrent episodes never share random state.
-// All scratch comes from ws; trie, when non-nil, is the batch's shared
-// prefix-state cache (inference only).
-func (t *Trainer) sampleEpisodeRNG(ctx context.Context, actor *nn.SeqNet, startIn int, withCritic, train bool, rng *rand.Rand, ws *nn.Workspace, trie *prefixTrie) *Trajectory {
+// All scratch comes from run.ws; p.trie, when non-nil, is the batch's
+// shared prefix-state cache (inference only). Callers go through
+// sampleEpisodeSafe, which adds panic recovery; the only error returned
+// here is an *InvariantError (quarantined, not fatal — except under
+// -tags rldebug, where it panics instead).
+func (t *Trainer) sampleEpisodeRNG(p episodeParams, rng *rand.Rand, run *episodeRun) (*Trajectory, error) {
+	ctx, actor, startIn := p.ctx, p.actor, p.startIn
+	withCritic, train, trie := p.withCritic, p.train, p.trie
+	ws := run.ws
 	b := t.Env.NewBuilder()
 	pool := ws.Pool()
 	vocab := actor.OutDim
@@ -378,10 +425,19 @@ func (t *Trainer) sampleEpisodeRNG(ctx context.Context, actor *nn.SeqNet, startI
 			v = t.critic.StepInto(ws, traj.CriticState, in, train, rng)[0]
 		}
 
-		// Apply cannot fail: the action came from Valid().
+		// Apply cannot fail: the action came from Valid(). If it does
+		// anyway, the FSM and the sampler disagree about the mask — an
+		// internal bug, reported as a typed invariant violation and
+		// quarantined with the batch machinery (the partial trajectory's
+		// pooled buffers are abandoned to the GC, like on a panic). Under
+		// -tags rldebug it panics here so the stack points at the fault.
 		if err := b.Apply(action); err != nil {
-			panic("rl: FSM rejected an unmasked action: " + err.Error())
+			if debugInvariants {
+				panic("rl: FSM rejected an unmasked action: " + err.Error())
+			}
+			return nil, &InvariantError{Cause: err, Trace: append([]int(nil), run.trace...)}
 		}
+		run.trace = append(run.trace, action)
 
 		r := 0.0
 		feedback, haveFeedback := 0.0, false
@@ -435,7 +491,7 @@ func (t *Trainer) sampleEpisodeRNG(ctx context.Context, actor *nn.SeqNet, startI
 			traj.CriticState = nil
 		}
 	}
-	return traj
+	return traj, nil
 }
 
 // ReleaseBatch returns a batch's pooled resources — actor/critic states
@@ -622,8 +678,64 @@ func (t *Trainer) update(batch []*Trajectory) {
 		}
 	}
 	t.ReleaseBatch(batch)
-	t.actorOpt.Step(t.actor.Params())
-	t.criticOpt.Step(t.critic.Params())
+	t.guardedStep()
+}
+
+// guardedStep applies the optimizer step behind the divergence watchdog:
+// a poisoned batch (non-finite or exploding gradients — e.g. a NaN reward
+// leaking out of a faulty backend) is discarded without touching the
+// weights, and a non-finite weight after a step rolls both networks back
+// to the last healthy update with fresh optimizer moments. Training
+// continues either way; trips are counted in TrainStats.WatchdogTrips.
+func (t *Trainer) guardedStep() {
+	if t.Cfg.MaxGradNorm < 0 {
+		t.actorOpt.Step(t.actor.Params())
+		t.criticOpt.Step(t.critic.Params())
+		return
+	}
+	maxNorm := t.Cfg.MaxGradNorm
+	if maxNorm == 0 {
+		maxNorm = DefaultMaxGradNorm
+	}
+	actorP, criticP := t.actor.Params(), t.critic.Params()
+
+	norm := nn.GradNorm(actorP) + nn.GradNorm(criticP)
+	if math.IsNaN(norm) || math.IsInf(norm, 0) || norm > maxNorm {
+		nn.ZeroGrads(actorP)
+		nn.ZeroGrads(criticP)
+		atomic.AddUint64(&t.watchdogTrips, 1)
+		return
+	}
+
+	// First healthy batch: seed the rollback snapshots before stepping so
+	// a rollback target always exists.
+	if t.wdSnapActor == nil {
+		t.wdSnapActor = nn.SnapshotParams(t.wdSnapActor, actorP)
+		t.wdSnapCritic = nn.SnapshotParams(t.wdSnapCritic, criticP)
+	}
+	t.actorOpt.Step(actorP)
+	t.criticOpt.Step(criticP)
+	if nn.ParamsFinite(actorP) && nn.ParamsFinite(criticP) {
+		t.wdSnapActor = nn.SnapshotParams(t.wdSnapActor, actorP)
+		t.wdSnapCritic = nn.SnapshotParams(t.wdSnapCritic, criticP)
+		return
+	}
+	// The step itself diverged: restore the last healthy weights and drop
+	// the optimizer moments, which were computed against the poisoned
+	// gradients.
+	nn.RestoreParams(actorP, t.wdSnapActor)
+	nn.RestoreParams(criticP, t.wdSnapCritic)
+	nn.ResetMoments(actorP)
+	nn.ResetMoments(criticP)
+	t.actorOpt.Reset()
+	t.criticOpt.Reset()
+	atomic.AddUint64(&t.watchdogTrips, 1)
+}
+
+// WatchdogTrips returns how many poisoned batches the divergence watchdog
+// has discarded or rolled back over the trainer's lifetime.
+func (t *Trainer) WatchdogTrips() uint64 {
+	return atomic.LoadUint64(&t.watchdogTrips)
 }
 
 // Generate runs inference (Algorithm 2): sample n statements from the

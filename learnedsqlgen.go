@@ -5,9 +5,12 @@ import (
 	"time"
 
 	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/estimator"
 	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/faultinject"
 	"learnedsqlgen/internal/fsm"
 	"learnedsqlgen/internal/parser"
+	"learnedsqlgen/internal/resilience"
 	"learnedsqlgen/internal/rl"
 	"learnedsqlgen/internal/storage"
 	"learnedsqlgen/internal/token"
@@ -79,6 +82,59 @@ type Options struct {
 	// non-nil error aborts training; the error is reported wrapped in
 	// *EpochAbortError.
 	OnEpoch func(EpochStats) error
+	// Resilience, when non-nil, wraps the estimator (and, under
+	// TrueExecutionRewards, the executor) with retry-with-backoff and a
+	// circuit breaker: transient backend faults are retried with jittered
+	// exponential backoff, repeated failures trip the breaker, and the
+	// counters surface in TrainStats. Estimation refusals ("this prefix is
+	// not executable") are definitive answers, never retried. The zero
+	// value selects sensible defaults; nil disables the layer entirely —
+	// and a fault-free run behaves byte-identically with it on or off.
+	Resilience *ResilienceOptions
+	// FaultInjection, when non-nil, injects deterministic, seedable faults
+	// (transient errors, latency spikes, panics, NaN feedback) into the
+	// backend stack beneath the resilience layer. It exists for chaos
+	// testing the training runtime; production runs leave it nil.
+	FaultInjection *FaultInjectionOptions
+	// MaxGradNorm tunes the divergence watchdog guarding every gradient
+	// update: batches with non-finite or exploding gradients are discarded
+	// and a diverged step is rolled back to the last healthy weights, so
+	// training survives poisoned feedback. 0 selects the default ceiling;
+	// negative disables the watchdog.
+	MaxGradNorm float64
+}
+
+// ResilienceOptions tunes the retry/breaker layer (Options.Resilience).
+// Zero fields select the defaults documented on each.
+type ResilienceOptions struct {
+	// MaxAttempts is the total tries per backend call (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 1ms);
+	// MaxDelay caps its exponential growth (default 100ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// BreakerThreshold opens the circuit after this many consecutive
+	// retry-exhausted calls (default 16; negative disables the breaker);
+	// BreakerCooldown is how long it stays open (default 250ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+// FaultInjectionOptions configures deterministic backend fault injection
+// (Options.FaultInjection). Rates are probabilities in [0, 1].
+type FaultInjectionOptions struct {
+	// Seed keys the fault stream; the same seed injects the same faults
+	// at the same backend call numbers.
+	Seed int64
+	// ErrorRate injects transient errors; LatencyRate injects Latency
+	// delays (default 200µs); PanicRate injects panics (recovered and
+	// quarantined by the rollout engine); NaNRate poisons estimator
+	// feedback with NaN (absorbed by the divergence watchdog).
+	ErrorRate   float64
+	LatencyRate float64
+	Latency     time.Duration
+	PanicRate   float64
+	NaNRate     float64
 }
 
 // GrammarOptions mirrors the FSM limits a user may adjust.
@@ -142,6 +198,13 @@ func (o *Options) onEpoch() func(EpochStats) error {
 	return o.OnEpoch
 }
 
+func (o *Options) maxGradNorm() float64 {
+	if o == nil {
+		return 0
+	}
+	return o.MaxGradNorm
+}
+
 func (o *Options) fsmConfig() fsm.Config {
 	cfg := fsm.DefaultConfig()
 	if o == nil || o.Grammar == nil {
@@ -176,6 +239,7 @@ type DB struct {
 	prefixCacheSize int
 	trainBudget     time.Duration
 	onEpoch         func(EpochStats) error
+	maxGradNorm     float64
 	env             *rl.Env
 	raw             *storage.Database
 }
@@ -197,6 +261,7 @@ func openStorage(name string, raw *storage.Database, opt *Options) *DB {
 	if opt != nil && opt.TrueExecutionRewards {
 		env.TrueExecution = true
 	}
+	wireBackends(env, raw, opt)
 	if opt != nil {
 		if opt.EstimatorCacheSize < 0 {
 			env.DisableCache()
@@ -211,9 +276,51 @@ func openStorage(name string, raw *storage.Database, opt *Options) *DB {
 		prefixCacheSize: opt.prefixCacheSize(),
 		trainBudget:     opt.trainBudget(),
 		onEpoch:         opt.onEpoch(),
+		maxGradNorm:     opt.maxGradNorm(),
 		env:             env,
 		raw:             raw,
 	}
+}
+
+// wireBackends layers the environment's backend stacks according to opt:
+// cache (kept outermost by Env.SetBackend) → resilience → fault
+// injection → raw estimator, and resilience → fault injection → fresh
+// executor-per-snapshot for true execution. With both options nil the
+// environment keeps its raw backends and behaves exactly as before.
+func wireBackends(env *rl.Env, raw *storage.Database, opt *Options) {
+	if opt == nil || (opt.Resilience == nil && opt.FaultInjection == nil) {
+		return
+	}
+	var estB estimator.Backend = env.Est
+	var execB executor.Backend = rl.CloneExec{DB: raw}
+	if fi := opt.FaultInjection; fi != nil {
+		inj := faultinject.New(faultinject.Config{
+			Seed:        fi.Seed,
+			ErrorRate:   fi.ErrorRate,
+			LatencyRate: fi.LatencyRate,
+			Latency:     fi.Latency,
+			PanicRate:   fi.PanicRate,
+			NaNRate:     fi.NaNRate,
+		})
+		estB = faultinject.NewEstimator(estB, inj)
+		execB = faultinject.NewExecutor(execB, inj)
+	}
+	if r := opt.Resilience; r != nil {
+		pol := resilience.Policy{
+			MaxAttempts:      r.MaxAttempts,
+			BaseDelay:        r.BaseDelay,
+			MaxDelay:         r.MaxDelay,
+			BreakerThreshold: r.BreakerThreshold,
+			BreakerCooldown:  r.BreakerCooldown,
+			Seed:             opt.seed(),
+		}
+		met := &resilience.Metrics{}
+		env.Res = met
+		estB = resilience.NewEstimator(estB, pol, met)
+		execB = resilience.NewExecutor(execB, pol, met)
+	}
+	env.SetBackend(estB)
+	env.SetExecBackend(execB)
 }
 
 // Name returns the dataset name this DB was opened as.

@@ -2,8 +2,10 @@ package learnedsqlgen
 
 import (
 	"context"
+	"io"
 	"os"
 
+	"learnedsqlgen/internal/durable"
 	"learnedsqlgen/internal/workload"
 )
 
@@ -19,17 +21,13 @@ func AnalyzeWorkload(queries []Generated) *WorkloadProfile {
 
 // WriteWorkloadFile saves generated queries as executable SQL, one
 // statement per line, each preceded by a comment recording the measured
-// metric value.
+// metric value. The write is durable and atomic: the content is staged
+// in a temporary file and renamed over path, so an interrupted run never
+// leaves a truncated workload behind.
 func WriteWorkloadFile(path string, queries []Generated, m Metric) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := workload.WriteSQL(f, queries, m); err != nil {
-		return err
-	}
-	return f.Sync()
+	return durable.WriteFile(path, func(w io.Writer) error {
+		return workload.WriteSQL(w, queries, m)
+	})
 }
 
 // ReadWorkloadFile loads a SQL workload file (as written by
