@@ -5,8 +5,13 @@
 
 GO ?= go
 FUZZTIME ?= 10s
+BENCHTIME ?= 1s
+# Benchmark packages: agent step kernels, rollout engine, estimator
+# feedback path, and the full-figure slices in the root package. CI's
+# bench-smoke job narrows this to the fast packages.
+BENCHPKGS ?= ./internal/nn/ ./internal/rl/ ./internal/estimator/ .
 
-.PHONY: build test vet staticcheck panic-gate race verify bench fuzz chaos
+.PHONY: build test vet staticcheck panic-gate race verify bench experiments fuzz chaos
 
 build:
 	$(GO) build ./...
@@ -50,8 +55,19 @@ race:
 
 verify: build vet staticcheck panic-gate test race
 
+# bench prints the go-test benchmark slices, then appends stamped
+# snapshots to the committed perf trajectory (BENCH_nn.json /
+# BENCH_rl.json) via the internal/bench perf suites. All runs share one
+# -benchtime so the numbers are comparable:
+#   make bench BENCHTIME=100ms BENCHPKGS="./internal/nn/ ./internal/rl/ ./internal/estimator/"
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./internal/nn/ ./internal/rl/ .
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ $(BENCHPKGS)
+	$(GO) run ./cmd/benchfig -bench all -benchtime $(BENCHTIME)
+
+# experiments regenerates the measured perf tables of EXPERIMENTS.md from
+# the committed BENCH_*.json snapshots (see the BENCH markers there).
+experiments:
+	$(GO) run ./cmd/benchfig -md -write EXPERIMENTS.md BENCH_nn.json BENCH_rl.json
 
 # Chaos gate: the fault-tolerance suites under the race detector — the
 # fault injector and retry/breaker units, durable-write crash safety,

@@ -1,12 +1,22 @@
 // Command benchfig regenerates the paper's evaluation figures (§7) on the
 // micro-scale reproduction datasets and prints the rows/series each figure
-// plots.
+// plots. It is also the perf-trajectory tool behind `make bench` and
+// `make experiments`: it runs the internal/bench perf suites, appends
+// stamped snapshots to the committed BENCH_<area>.json histories, diffs
+// snapshots for regressions, and regenerates the EXPERIMENTS.md tables.
 //
 // Usage:
 //
 //	benchfig -fig 4 -dataset tpch            # accuracy, cardinality
 //	benchfig -fig 9 -dataset xuetang -quick  # meta-critic comparison
 //	benchfig -fig calibrate -dataset tpch    # metric distribution helper
+//
+//	benchfig -bench all -benchtime 1s        # append BENCH_nn/rl.json runs
+//	benchfig -compare BENCH_nn.json          # last two runs; exit 1 on regression
+//	benchfig -compare old.json new.json -threshold 0.2
+//	benchfig -md BENCH_nn.json BENCH_rl.json # print generated tables
+//	benchfig -md -write EXPERIMENTS.md BENCH_nn.json BENCH_rl.json
+//	benchfig -validate BENCH_nn.json         # schema check (CI bench-smoke)
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"runtime/pprof"
 	"sort"
 	"syscall"
+	"time"
 
 	"learnedsqlgen/internal/baselines"
 	"learnedsqlgen/internal/bench"
@@ -41,7 +52,27 @@ func run() int {
 	quick := flag.Bool("quick", false, "use the reduced smoke-test budget")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	benchArea := flag.String("bench", "", "run a perf suite ('nn', 'rl' or 'all') and append a snapshot to BENCH_<area>.json")
+	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark time budget for -bench")
+	benchOut := flag.String("out", "", "with -bench: snapshot file path (single area only; default BENCH_<area>.json)")
+	compare := flag.Bool("compare", false, "diff BENCH snapshots (one file: last two runs; two files: latest of each); exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.20, "relative regression threshold for -compare (0.20 = 20%)")
+	md := flag.Bool("md", false, "render BENCH_*.json files (trailing args) as markdown tables")
+	writeDoc := flag.String("write", "", "with -md: rewrite the generated perf section of this document in place")
+	validate := flag.Bool("validate", false, "schema-check BENCH_*.json files (trailing args)")
 	flag.Parse()
+
+	// Perf-trajectory modes run without an experiment setup.
+	switch {
+	case *benchArea != "":
+		return runPerfBench(*benchArea, *benchOut, *benchtime)
+	case *compare:
+		return runPerfCompare(flag.Args(), *threshold)
+	case *md:
+		return runPerfMD(flag.Args(), *writeDoc)
+	case *validate:
+		return runPerfValidate(flag.Args())
+	}
 
 	if *fig == "" {
 		flag.Usage()

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"learnedsqlgen/internal/bench"
+)
+
+// runPerfBench measures one perf suite (or all of them) and appends the
+// stamped snapshot to its BENCH_<area>.json history — the `make bench`
+// emission step.
+func runPerfBench(area, out string, benchtime time.Duration) int {
+	areas := []string{area}
+	if area == "all" {
+		if out != "" {
+			fmt.Fprintln(os.Stderr, "-out needs a single -bench area")
+			return 2
+		}
+		areas = bench.PerfAreas()
+	}
+	for _, a := range areas {
+		path := out
+		if path == "" {
+			path = "BENCH_" + a + ".json"
+		}
+		fmt.Printf("# perf suite %s (benchtime %s) -> %s\n", a, benchtime, path)
+		snap, err := bench.RunPerfSuite(a, benchtime)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		for _, r := range snap.Results {
+			fmt.Printf("%-32s %12.0f ns/op %10.0f B/op %8.0f allocs/op", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+			for k, v := range r.Extra {
+				fmt.Printf("  %s=%.4g", k, v)
+			}
+			fmt.Println()
+		}
+		h, err := bench.LoadOrCreatePerfHistory(path, a)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		h.Append(snap)
+		if err := h.Save(path); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		fmt.Printf("# appended run %d to %s\n", len(h.Runs), path)
+	}
+	return 0
+}
+
+// runPerfCompare diffs two snapshot files (latest run of each), or the
+// last two runs of a single file, and exits 1 when any metric regressed
+// beyond the threshold — the CI regression gate.
+func runPerfCompare(args []string, threshold float64) int {
+	var old, new *bench.PerfSnapshot
+	var label string
+	switch len(args) {
+	case 1:
+		h, err := bench.LoadPerfHistory(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			return 1
+		}
+		if len(h.Runs) < 2 {
+			fmt.Fprintf(os.Stderr, "compare: %s has %d run(s), need 2\n", args[0], len(h.Runs))
+			return 1
+		}
+		old, new = &h.Runs[len(h.Runs)-2], &h.Runs[len(h.Runs)-1]
+		label = fmt.Sprintf("%s: run %d vs run %d", args[0], len(h.Runs)-1, len(h.Runs))
+	case 2:
+		ho, err := bench.LoadPerfHistory(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			return 1
+		}
+		hn, err := bench.LoadPerfHistory(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			return 1
+		}
+		// Cross-area files share no benchmark names, so a diff would pass
+		// vacuously; reject the mix-up instead.
+		if ho.Area != hn.Area {
+			fmt.Fprintf(os.Stderr, "compare: area mismatch: %s is %q, %s is %q\n",
+				args[0], ho.Area, args[1], hn.Area)
+			return 2
+		}
+		old, new = ho.Latest(), hn.Latest()
+		label = fmt.Sprintf("%s (latest) vs %s (latest)", args[0], args[1])
+	default:
+		fmt.Fprintln(os.Stderr, "compare: pass one BENCH file (last two runs) or two (latest of each)")
+		return 2
+	}
+	fmt.Printf("# compare %s, threshold %.0f%%\n", label, 100*threshold)
+	regs := bench.ComparePerf(old, new, threshold)
+	if len(regs) == 0 {
+		fmt.Println("no regressions")
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Println("REGRESSION:", r)
+	}
+	return 1
+}
+
+// runPerfMD renders BENCH files as markdown; with -write it replaces the
+// generated section of the named document in place (`make experiments`).
+func runPerfMD(args []string, writeDoc string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "md: pass BENCH_*.json files")
+		return 2
+	}
+	var hs []*bench.PerfHistory
+	for _, path := range args {
+		h, err := bench.LoadPerfHistory(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "md:", err)
+			return 1
+		}
+		hs = append(hs, h)
+	}
+	rendered := bench.RenderPerfMarkdown(hs)
+	if writeDoc == "" {
+		fmt.Print(rendered)
+		return 0
+	}
+	doc, err := os.ReadFile(writeDoc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "md:", err)
+		return 1
+	}
+	updated, err := bench.UpdatePerfSection(doc, rendered)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "md: %s: %v\n", writeDoc, err)
+		return 1
+	}
+	if err := os.WriteFile(writeDoc, updated, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "md:", err)
+		return 1
+	}
+	fmt.Printf("# rewrote perf section of %s from %d snapshot file(s)\n", writeDoc, len(hs))
+	return 0
+}
+
+// runPerfValidate schema-checks BENCH files — the CI bench-smoke gate.
+func runPerfValidate(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "validate: pass BENCH_*.json files")
+		return 2
+	}
+	for _, path := range args {
+		h, err := bench.LoadPerfHistory(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "validate:", err)
+			return 1
+		}
+		fmt.Printf("%s: ok (area %s, %d runs, %d benchmarks in latest)\n",
+			path, h.Area, len(h.Runs), len(h.Latest().Results))
+	}
+	return 0
+}

@@ -47,6 +47,7 @@ func run() int {
 	loadModel := flag.String("load-model", "", "load a trained model instead of training")
 	profile := flag.Bool("profile", false, "print a structural/diversity profile of the output")
 	prefixCache := flag.Int("prefix-cache", 0, "actor prefix-state cache entries (0 = default, negative = off); output is identical either way")
+	quantize := flag.Bool("quantize", false, "generate with int8 fused inference kernels (training stays float64); faster, with logits tolerance-bounded against the float64 path")
 	trainBudget := flag.Duration("train-budget", 0, "wall-clock training budget (e.g. 90s, 5m); 0 = unlimited. On expiry the partially trained policy is used as-is")
 	ckptEvery := flag.Int("checkpoint-every", 0, "write a rotated, crash-safe checkpoint every N training epochs (0 = off)")
 	ckptDir := flag.String("checkpoint-dir", "sqlgen-checkpoints", "directory for -checkpoint-every checkpoints (rotated, with a last-good manifest)")
@@ -138,11 +139,12 @@ func run() int {
 	}()
 
 	opts := &learnedsqlgen.Options{
-		SampleValues:    *sampleK,
-		Seed:            *seed,
-		Workers:         *workers,
-		PrefixCacheSize: *prefixCache,
-		TrainBudget:     *trainBudget,
+		SampleValues:       *sampleK,
+		Seed:               *seed,
+		Workers:            *workers,
+		PrefixCacheSize:    *prefixCache,
+		QuantizedInference: *quantize,
+		TrainBudget:        *trainBudget,
 	}
 	if *faultRate > 0 {
 		// Chaos demo: inject transient faults beneath a retry/breaker layer

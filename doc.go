@@ -27,7 +27,7 @@
 //
 // Episode rollouts are embarrassingly parallel between gradient updates,
 // and repeated partial queries dominate estimator cost, so Options
-// exposes three throughput knobs:
+// exposes four throughput knobs:
 //
 //   - Options.Workers sets the number of concurrent rollout goroutines
 //     per training batch (default 1, i.e. serial). Each episode owns its
@@ -43,6 +43,14 @@
 //     4096 entries; negative disables it). Between gradient updates the
 //     policy is frozen, so episodes sharing a prefix skip recomputing its
 //     LSTM steps; generated queries are identical either way.
+//   - Options.QuantizedInference rolls generation batches through int8
+//     fused inference kernels while training stays float64. Each batch
+//     re-snapshots the live weights, so the quantized view can never go
+//     stale; logits track the float64 path within a documented tolerance
+//     (nn.QuantMaxLogitError / nn.QuantMinTopKAgreement), so individual
+//     sampled queries can differ where the policy was near-indifferent.
+//     Measured speedups are committed in BENCH_nn.json / BENCH_rl.json
+//     (regenerate with `make bench`; see EXPERIMENTS.md).
 //
 // Generator.Stats (and the MetaGenerator/AdaptedGenerator equivalents)
 // reports episodes/sec and both caches' hit/miss counters.

@@ -1,0 +1,38 @@
+package learnedsqlgen_test
+
+import (
+	"fmt"
+	"log"
+
+	"learnedsqlgen"
+)
+
+// Example_quantizedInference trains a small policy and generates on the
+// int8 quantized inference path. Training always runs in float64;
+// Options.QuantizedInference only switches the generation-time sampling
+// kernels, so the printed count — not the sampled SQL text, which is
+// tolerance-equivalent rather than byte-identical to the float64 path —
+// is the stable observable across architectures.
+func Example_quantizedInference() {
+	db, err := learnedsqlgen.OpenBenchmark("tpch", 0.05, &learnedsqlgen.Options{
+		SampleValues:       10,
+		Seed:               1,
+		QuantizedInference: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := db.NewGenerator(learnedsqlgen.RangeConstraint(learnedsqlgen.Cardinality, 10, 500))
+	gen.Train(2, 16)
+
+	queries := gen.Generate(5)
+	complete := 0
+	for _, q := range queries {
+		if q.SQL != "" {
+			complete++
+		}
+	}
+	fmt.Printf("generated %d/%d complete queries on the quantized path\n", complete, len(queries))
+	// Output:
+	// generated 5/5 complete queries on the quantized path
+}

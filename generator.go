@@ -42,6 +42,7 @@ func (db *DB) NewGenerator(c Constraint) *Generator {
 	cfg.Seed = db.seed
 	cfg.Workers = db.workers
 	cfg.PrefixCacheSize = db.prefixCacheSize
+	cfg.QuantizedInference = db.quantized
 	cfg.TrainBudget = db.trainBudget
 	cfg.OnEpoch = db.onEpoch
 	cfg.MaxGradNorm = db.maxGradNorm
@@ -159,6 +160,7 @@ func (db *DB) NewMetaGenerator(domain MetaDomain) *MetaGenerator {
 	cfg.Seed = db.seed
 	cfg.Workers = db.workers
 	cfg.PrefixCacheSize = db.prefixCacheSize
+	cfg.QuantizedInference = db.quantized
 	cfg.TrainBudget = db.trainBudget
 	cfg.OnEpoch = db.onEpoch
 	cfg.MaxGradNorm = db.maxGradNorm

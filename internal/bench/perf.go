@@ -1,0 +1,389 @@
+// Perf snapshots: the committed BENCH_<area>.json files that record the
+// repo's performance trajectory. Each file holds one PerfHistory — an
+// append-only sequence of PerfSnapshot runs, each stamped with the commit,
+// machine and benchtime it was measured under — so EXPERIMENTS.md tables
+// regenerate from measured numbers instead of hand-typed ones, and
+// `benchfig -compare` can flag regressions between any two runs.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"learnedsqlgen/internal/durable"
+)
+
+// PerfSchema is the BENCH_*.json schema version. Bump it when a field
+// changes meaning; Validate rejects files written by a different version.
+const PerfSchema = 1
+
+// PerfResult is one benchmark's measurement inside a snapshot. The three
+// core metrics are lower-is-better; every Extra metric (throughputs, hit
+// rates, speedups) is higher-is-better by convention — ComparePerf relies
+// on that orientation.
+type PerfResult struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// PerfSnapshot is one `make bench` run: the environment it measured under
+// plus one PerfResult per benchmark in the area's suite.
+type PerfSnapshot struct {
+	GitSHA    string       `json:"git_sha"`
+	Time      string       `json:"time"` // RFC 3339, UTC
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Benchtime string       `json:"benchtime"` // time.Duration string
+	Results   []PerfResult `json:"results"`
+}
+
+// Result returns the named benchmark's measurement, or nil.
+func (s *PerfSnapshot) Result(name string) *PerfResult {
+	for i := range s.Results {
+		if s.Results[i].Name == name {
+			return &s.Results[i]
+		}
+	}
+	return nil
+}
+
+// PerfHistory is the content of one BENCH_<area>.json file.
+type PerfHistory struct {
+	Schema int            `json:"schema"`
+	Area   string         `json:"area"`
+	Runs   []PerfSnapshot `json:"runs"`
+}
+
+// NewPerfHistory returns an empty history for an area ("nn", "rl", …).
+func NewPerfHistory(area string) *PerfHistory {
+	return &PerfHistory{Schema: PerfSchema, Area: area}
+}
+
+// Append adds a run to the history.
+func (h *PerfHistory) Append(s PerfSnapshot) { h.Runs = append(h.Runs, s) }
+
+// Latest returns the most recent run, or nil for an empty history.
+func (h *PerfHistory) Latest() *PerfSnapshot {
+	if len(h.Runs) == 0 {
+		return nil
+	}
+	return &h.Runs[len(h.Runs)-1]
+}
+
+// LoadPerfHistory reads and validates a BENCH_*.json file.
+func LoadPerfHistory(path string) (*PerfHistory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var h PerfHistory
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &h, nil
+}
+
+// LoadOrCreatePerfHistory loads path, or returns a fresh empty history
+// for the area when the file does not exist yet.
+func LoadOrCreatePerfHistory(path, area string) (*PerfHistory, error) {
+	h, err := LoadPerfHistory(path)
+	if os.IsNotExist(err) {
+		return NewPerfHistory(area), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if h.Area != area {
+		return nil, fmt.Errorf("%s: holds area %q, want %q", path, h.Area, area)
+	}
+	return h, nil
+}
+
+// Save validates the history and writes it atomically (durable.WriteFile,
+// so a crash mid-save never truncates the committed trajectory).
+func (h *PerfHistory) Save(path string) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return err
+	}
+	return durable.WriteFileBytes(path, append(data, '\n'))
+}
+
+var perfAreaRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// Validate checks the history against the schema documented in
+// ARCHITECTURE.md: version match, a well-formed area, and at least one
+// run whose stamp parses and whose results are finite and uniquely named.
+func (h *PerfHistory) Validate() error {
+	if h == nil {
+		return fmt.Errorf("perf history: nil")
+	}
+	if h.Schema != PerfSchema {
+		return fmt.Errorf("perf history: schema %d, this tool reads %d", h.Schema, PerfSchema)
+	}
+	if !perfAreaRe.MatchString(h.Area) {
+		return fmt.Errorf("perf history: bad area %q", h.Area)
+	}
+	if len(h.Runs) == 0 {
+		return fmt.Errorf("perf history %s: no runs", h.Area)
+	}
+	for i := range h.Runs {
+		if err := h.Runs[i].validate(); err != nil {
+			return fmt.Errorf("perf history %s: run %d: %w", h.Area, i, err)
+		}
+	}
+	return nil
+}
+
+func (s *PerfSnapshot) validate() error {
+	if s.GitSHA == "" {
+		return fmt.Errorf("empty git_sha")
+	}
+	if _, err := time.Parse(time.RFC3339, s.Time); err != nil {
+		return fmt.Errorf("bad time %q: %w", s.Time, err)
+	}
+	if s.GoVersion == "" || s.GOOS == "" || s.GOARCH == "" {
+		return fmt.Errorf("incomplete toolchain stamp %q/%q/%q", s.GoVersion, s.GOOS, s.GOARCH)
+	}
+	if s.NumCPU < 1 {
+		return fmt.Errorf("num_cpu %d", s.NumCPU)
+	}
+	if _, err := time.ParseDuration(s.Benchtime); err != nil {
+		return fmt.Errorf("bad benchtime %q: %w", s.Benchtime, err)
+	}
+	if len(s.Results) == 0 {
+		return fmt.Errorf("no results")
+	}
+	seen := make(map[string]bool, len(s.Results))
+	for _, r := range s.Results {
+		if r.Name == "" {
+			return fmt.Errorf("unnamed result")
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("duplicate result %q", r.Name)
+		}
+		seen[r.Name] = true
+		if !(r.NsPerOp > 0) || math.IsInf(r.NsPerOp, 0) {
+			return fmt.Errorf("%s: ns_per_op %v", r.Name, r.NsPerOp)
+		}
+		if r.AllocsPerOp < 0 || r.BytesPerOp < 0 ||
+			math.IsNaN(r.AllocsPerOp) || math.IsNaN(r.BytesPerOp) ||
+			math.IsInf(r.AllocsPerOp, 0) || math.IsInf(r.BytesPerOp, 0) {
+			return fmt.Errorf("%s: bad alloc metrics %v/%v", r.Name, r.AllocsPerOp, r.BytesPerOp)
+		}
+		for k, v := range r.Extra {
+			if k == "" {
+				return fmt.Errorf("%s: unnamed extra", r.Name)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%s: extra %s = %v", r.Name, k, v)
+			}
+		}
+	}
+	return nil
+}
+
+// PerfRegression is one metric that moved in the bad direction between
+// two snapshots by more than the compare threshold.
+type PerfRegression struct {
+	Bench  string
+	Metric string
+	Old    float64
+	New    float64
+	// Change is the relative move in the bad direction: 0.25 means 25%
+	// worse (slower, more allocation, or lower throughput). +Inf marks a
+	// metric that left zero — e.g. a benchmark that was allocation-free
+	// and no longer is.
+	Change float64
+}
+
+func (r PerfRegression) String() string {
+	change := fmt.Sprintf("%+.1f%%", 100*r.Change)
+	if math.IsInf(r.Change, 1) {
+		change = "from zero"
+	}
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (%s)", r.Bench, r.Metric, r.Old, r.New, change)
+}
+
+// ComparePerf diffs two snapshots and returns every metric that regressed
+// beyond threshold (relative; 0.10 flags >10% worse). Core metrics are
+// lower-is-better; Extra metrics are higher-is-better (the schema
+// convention). Benchmarks or extras present in only one snapshot are
+// skipped — compare flags regressions, not coverage changes.
+func ComparePerf(old, new *PerfSnapshot, threshold float64) []PerfRegression {
+	var regs []PerfRegression
+	lowerBetter := func(bench, metric string, o, n float64) {
+		switch {
+		case o == 0 && n > 0:
+			regs = append(regs, PerfRegression{bench, metric, o, n, math.Inf(1)})
+		case o > 0 && (n-o)/o > threshold:
+			regs = append(regs, PerfRegression{bench, metric, o, n, (n - o) / o})
+		}
+	}
+	for _, nr := range new.Results {
+		or := old.Result(nr.Name)
+		if or == nil {
+			continue
+		}
+		lowerBetter(nr.Name, "ns_per_op", or.NsPerOp, nr.NsPerOp)
+		lowerBetter(nr.Name, "allocs_per_op", or.AllocsPerOp, nr.AllocsPerOp)
+		lowerBetter(nr.Name, "bytes_per_op", or.BytesPerOp, nr.BytesPerOp)
+		for k, nv := range nr.Extra {
+			ov, ok := or.Extra[k]
+			if !ok || ov <= 0 {
+				continue
+			}
+			if (ov-nv)/ov > threshold {
+				regs = append(regs, PerfRegression{nr.Name, k, ov, nv, (ov - nv) / ov})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Bench != regs[j].Bench {
+			return regs[i].Bench < regs[j].Bench
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}
+
+// Markers bracketing the generated perf section of EXPERIMENTS.md.
+// `make experiments` replaces everything between them.
+const (
+	PerfBeginMarker = "<!-- BENCH:BEGIN — generated by `make experiments` from BENCH_*.json; do not edit by hand -->"
+	PerfEndMarker   = "<!-- BENCH:END -->"
+)
+
+// RenderPerfMarkdown renders each history's latest snapshot as a table
+// (with its machine stamp) plus a ns/op trajectory across all committed
+// runs — the content `make experiments` places between the BENCH markers.
+func RenderPerfMarkdown(hs []*PerfHistory) string {
+	var b strings.Builder
+	for _, h := range hs {
+		s := h.Latest()
+		if s == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "### `BENCH_%s.json` — latest snapshot\n\n", h.Area)
+		fmt.Fprintf(&b, "Measured at commit `%s` (%s) on %s %s/%s, %d CPUs, benchtime %s.\n\n",
+			shortSHA(s.GitSHA), s.Time, s.GoVersion, s.GOOS, s.GOARCH, s.NumCPU, s.Benchtime)
+		b.WriteString("| benchmark | ns/op | B/op | allocs/op | extras |\n")
+		b.WriteString("|---|---|---|---|---|\n")
+		for _, r := range s.Results {
+			fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s |\n",
+				r.Name, perfNum(r.NsPerOp), perfNum(r.BytesPerOp), perfNum(r.AllocsPerOp), renderExtras(r.Extra))
+		}
+		if len(h.Runs) > 1 {
+			fmt.Fprintf(&b, "\nTrajectory (ns/op per committed run):\n\n")
+			b.WriteString("| commit | date |")
+			names := make([]string, 0, len(s.Results))
+			for _, r := range s.Results {
+				names = append(names, r.Name)
+				fmt.Fprintf(&b, " `%s` |", r.Name)
+			}
+			b.WriteString("\n|---|---|")
+			b.WriteString(strings.Repeat("---|", len(names)))
+			b.WriteString("\n")
+			for i := range h.Runs {
+				run := &h.Runs[i]
+				fmt.Fprintf(&b, "| `%s` | %s |", shortSHA(run.GitSHA), run.Time[:10])
+				for _, name := range names {
+					if r := run.Result(name); r != nil {
+						fmt.Fprintf(&b, " %s |", perfNum(r.NsPerOp))
+					} else {
+						b.WriteString(" — |")
+					}
+				}
+				b.WriteString("\n")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return strings.TrimRight(b.String(), "\n") + "\n"
+}
+
+// UpdatePerfSection replaces the text between the BENCH markers of a
+// document with rendered, keeping the markers. It errors when the markers
+// are missing or out of order, so a truncated document is never written.
+func UpdatePerfSection(doc []byte, rendered string) ([]byte, error) {
+	text := string(doc)
+	begin := strings.Index(text, PerfBeginMarker)
+	end := strings.Index(text, PerfEndMarker)
+	if begin < 0 || end < 0 {
+		return nil, fmt.Errorf("perf markers not found (%q … %q)", PerfBeginMarker, PerfEndMarker)
+	}
+	if end < begin {
+		return nil, fmt.Errorf("perf markers out of order")
+	}
+	var b strings.Builder
+	b.WriteString(text[:begin+len(PerfBeginMarker)])
+	b.WriteString("\n\n")
+	b.WriteString(rendered)
+	b.WriteString("\n")
+	b.WriteString(text[end:])
+	return []byte(b.String()), nil
+}
+
+func shortSHA(sha string) string {
+	sha, dirty := strings.CutSuffix(sha, "-dirty")
+	if len(sha) > 8 {
+		sha = sha[:8]
+	}
+	if dirty {
+		sha += "-dirty"
+	}
+	return sha
+}
+
+// perfNum renders a metric with thin-space thousand grouping so the
+// generated tables stay readable at µs scale.
+func perfNum(v float64) string {
+	if v != math.Trunc(v) {
+		return fmt.Sprintf("%.2f", v)
+	}
+	s := fmt.Sprintf("%.0f", v)
+	if len(s) <= 4 {
+		return s
+	}
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+func renderExtras(extra map[string]float64) string {
+	if len(extra) == 0 {
+		return "—"
+	}
+	keys := make([]string, 0, len(extra))
+	for k := range extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s = %.4g", k, extra[k]))
+	}
+	return strings.Join(parts, ", ")
+}

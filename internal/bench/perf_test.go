@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testSnapshot(nsScale float64) PerfSnapshot {
+	return PerfSnapshot{
+		GitSHA:    "0123456789abcdef0123456789abcdef01234567",
+		Time:      "2026-08-08T12:00:00Z",
+		GoVersion: "go1.22",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		NumCPU:    4,
+		Benchtime: "1s",
+		Results: []PerfResult{
+			{Name: "ActorStepInference", NsPerOp: 10000 * nsScale, AllocsPerOp: 0, BytesPerOp: 0},
+			{Name: "ActorStepInferenceQuantized", NsPerOp: 7200 * nsScale, AllocsPerOp: 0, BytesPerOp: 0,
+				Extra: map[string]float64{"speedup_vs_float64": 1.39}},
+			{Name: "Generate32", NsPerOp: 2.1e6 * nsScale, AllocsPerOp: 2500, BytesPerOp: 700000,
+				Extra: map[string]float64{"queries_per_sec": 15000 / nsScale, "prefix_hit_rate": 0.22}},
+		},
+	}
+}
+
+func TestPerfHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_nn.json")
+	h := NewPerfHistory("nn")
+	h.Append(testSnapshot(1))
+	h.Append(testSnapshot(0.9))
+	if err := h.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPerfHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", h, got)
+	}
+	if got.Latest().Result("Generate32") == nil {
+		t.Fatal("Latest().Result lost a benchmark")
+	}
+
+	// Appending through LoadOrCreate preserves prior runs (the trajectory
+	// is append-only).
+	again, err := LoadOrCreatePerfHistory(path, "nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again.Append(testSnapshot(0.8))
+	if len(again.Runs) != 3 {
+		t.Fatalf("append after reload: %d runs, want 3", len(again.Runs))
+	}
+	if _, err := LoadOrCreatePerfHistory(path, "rl"); err == nil {
+		t.Fatal("area mismatch must fail")
+	}
+	fresh, err := LoadOrCreatePerfHistory(filepath.Join(t.TempDir(), "none.json"), "rl")
+	if err != nil || fresh.Area != "rl" || len(fresh.Runs) != 0 {
+		t.Fatalf("missing file must create empty history, got %+v, %v", fresh, err)
+	}
+}
+
+func TestPerfValidateRejects(t *testing.T) {
+	cases := map[string]func(h *PerfHistory){
+		"wrong schema":  func(h *PerfHistory) { h.Schema = 99 },
+		"bad area":      func(h *PerfHistory) { h.Area = "NN json" },
+		"no runs":       func(h *PerfHistory) { h.Runs = nil },
+		"empty sha":     func(h *PerfHistory) { h.Runs[0].GitSHA = "" },
+		"bad time":      func(h *PerfHistory) { h.Runs[0].Time = "yesterday" },
+		"bad benchtime": func(h *PerfHistory) { h.Runs[0].Benchtime = "fast" },
+		"no results":    func(h *PerfHistory) { h.Runs[0].Results = nil },
+		"zero ns":       func(h *PerfHistory) { h.Runs[0].Results[0].NsPerOp = 0 },
+		"nan extra": func(h *PerfHistory) {
+			h.Runs[0].Results[1].Extra["speedup_vs_float64"] = math.NaN()
+		},
+		"dup name": func(h *PerfHistory) {
+			h.Runs[0].Results[1].Name = h.Runs[0].Results[0].Name
+		},
+	}
+	for name, breakIt := range cases {
+		h := NewPerfHistory("nn")
+		h.Append(testSnapshot(1))
+		if err := h.Validate(); err != nil {
+			t.Fatalf("%s: baseline invalid: %v", name, err)
+		}
+		breakIt(h)
+		if err := h.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken history", name)
+		}
+	}
+}
+
+func TestComparePerfDetectsInjectedRegression(t *testing.T) {
+	old := testSnapshot(1)
+	// Clean run: within threshold both ways.
+	clean := testSnapshot(1.05)
+	if regs := ComparePerf(&old, &clean, 0.10); len(regs) != 0 {
+		t.Fatalf("5%% drift flagged at 10%% threshold: %v", regs)
+	}
+
+	// Injected regressions: a 2x slowdown, an alloc-free benchmark that
+	// allocates again, and a collapsed higher-is-better extra.
+	bad := testSnapshot(1)
+	bad.Results[0].NsPerOp *= 2
+	bad.Results[1].AllocsPerOp = 3
+	bad.Results[2].Extra["queries_per_sec"] = 100
+	regs := ComparePerf(&old, &bad, 0.10)
+	want := map[string]bool{
+		"ActorStepInference/ns_per_op":              false,
+		"ActorStepInferenceQuantized/allocs_per_op": false,
+		"Generate32/queries_per_sec":                false,
+	}
+	for _, r := range regs {
+		key := r.Bench + "/" + r.Metric
+		if _, ok := want[key]; !ok {
+			t.Errorf("unexpected regression %v", r)
+			continue
+		}
+		want[key] = true
+	}
+	for key, seen := range want {
+		if !seen {
+			t.Errorf("missed injected regression %s (got %v)", key, regs)
+		}
+	}
+	// The from-zero alloc regression reports +Inf change.
+	for _, r := range regs {
+		if r.Metric == "allocs_per_op" && !math.IsInf(r.Change, 1) {
+			t.Errorf("alloc regression from zero: Change = %v, want +Inf", r.Change)
+		}
+	}
+
+	// An improvement is never flagged.
+	better := testSnapshot(0.5)
+	if regs := ComparePerf(&old, &better, 0.10); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+func TestRenderPerfMarkdownAndSectionUpdate(t *testing.T) {
+	h := NewPerfHistory("nn")
+	h.Append(testSnapshot(1))
+	h.Append(testSnapshot(0.9))
+	md := RenderPerfMarkdown([]*PerfHistory{h})
+	for _, want := range []string{
+		"### `BENCH_nn.json`", "`01234567`", "go1.22 linux/amd64",
+		"`ActorStepInferenceQuantized`", "speedup_vs_float64 = 1.39",
+		"Trajectory",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+
+	doc := []byte("# Title\n\nprose\n\n" + PerfBeginMarker + "\nstale tables\n" + PerfEndMarker + "\n\ntail\n")
+	updated, err := UpdatePerfSection(doc, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(updated)
+	if strings.Contains(text, "stale tables") {
+		t.Error("stale content survived the update")
+	}
+	for _, want := range []string{"# Title", "tail", PerfBeginMarker, PerfEndMarker, "### `BENCH_nn.json`"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("updated doc missing %q", want)
+		}
+	}
+	// Idempotent: updating again with the same rendering changes nothing.
+	twice, err := UpdatePerfSection(updated, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(twice) != text {
+		t.Error("section update is not idempotent")
+	}
+	if _, err := UpdatePerfSection([]byte("no markers here"), md); err == nil {
+		t.Error("missing markers must fail, not truncate the document")
+	}
+}
+
+// TestRunPerfSuiteNN smoke-runs the programmatic nn suite at a tiny
+// benchtime and checks the snapshot validates against the schema — the
+// same path `make bench` takes to produce BENCH_nn.json.
+func TestRunPerfSuiteNN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	s, err := RunPerfSuite("nn", 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewPerfHistory("nn")
+	h.Append(s)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("nn suite snapshot invalid: %v", err)
+	}
+	q := s.Result("ActorStepInferenceQuantized")
+	if q == nil || q.Extra["speedup_vs_float64"] <= 0 {
+		t.Fatalf("quantized result missing speedup extra: %+v", q)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_nn.json")
+	if err := h.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPerfSuite("nope", 10*time.Millisecond); err == nil {
+		t.Fatal("unknown area must fail")
+	}
+}

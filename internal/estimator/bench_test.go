@@ -1,0 +1,65 @@
+package estimator
+
+import (
+	"testing"
+
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+)
+
+// The estimator is the RL environment's feedback signal: every rollout
+// step estimates a partial query, so these three shapes — a filtered
+// scan, a PK–FK join, and the memoized repeat — bound the reward cost a
+// single episode step pays. `make bench` runs them alongside the nn/rl
+// suites so estimator regressions surface in the same sweep.
+
+// BenchmarkEstimateScan measures a single-table range predicate — the
+// most common partial-query estimate during a rollout.
+func BenchmarkEstimateScan(b *testing.B) {
+	_, est := ordersDB(b)
+	q := amountQuery(250)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateJoin measures a PK–FK join with a categorical filter.
+func BenchmarkEstimateJoin(b *testing.B) {
+	_, est := ordersDB(b)
+	q := &sqlast.Select{
+		Tables: []string{"Orders", "Customer"},
+		Joins:  []sqlast.JoinCond{{Left: col("Orders", "cust"), Right: col("Customer", "id")}},
+		Items:  []sqlast.SelectItem{{Col: col("Orders", "id")}},
+		Where: &sqlast.Compare{Col: col("Customer", "region"), Op: sqlast.OpEq,
+			Value: sqltypes.NewString("north")},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateCachedHit measures the memoized path — what a repeated
+// partial query costs once the estimator cache has absorbed it.
+func BenchmarkEstimateCachedHit(b *testing.B) {
+	_, est := ordersDB(b)
+	c := NewCached(est, 64)
+	q := amountQuery(250)
+	if _, err := c.Estimate(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Estimate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -53,6 +53,29 @@ func BenchmarkActorStepInference(b *testing.B) {
 	}
 }
 
+// BenchmarkActorStepInferenceQuantized is BenchmarkActorStepInference on
+// the int8 fused kernels (Workspace.SetQuantized). The ratio of the two
+// is the quantized speedup recorded in BENCH_nn.json.
+func BenchmarkActorStepInferenceQuantized(b *testing.B) {
+	net := benchNet()
+	valid := []int{3, 17, 42, 99, 120, 200, 250}
+	ws := NewWorkspace(nil)
+	ws.SetQuantized(QuantizeSeqNet(net))
+	st := ws.Pool().GetState(net.Hidden)
+	steps := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if steps >= 64 {
+			ws.Recycle(st)
+			st = ws.Pool().GetState(net.Hidden)
+			steps = 0
+		}
+		net.StepMaskedInto(ws, st, i%300, valid, false, nil)
+		steps++
+	}
+}
+
 // BenchmarkSeqNetBackward measures full BPTT over a 32-step episode.
 func BenchmarkSeqNetBackward(b *testing.B) {
 	net := benchNet()

@@ -1,0 +1,462 @@
+package nn
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the inference-only quantized compute path: int8
+// weights with symmetric per-gate-row scales (zero-point 0), dynamically
+// quantized activations, int32 integer dot products, and float32
+// dequantization of the gate pre-activations. Recurrent state (h, c) and
+// the gate nonlinearities stay float64, so a QuantizedSeqNet reads and
+// writes the same SeqState the float64 kernels use — the prefix-state
+// trie, CopyRecurrentTo and every caller above remain oblivious.
+//
+// Three structural choices buy the speedup in pure Go:
+//
+//  1. The layer-1 input-side pre-activations Wx1·E[v] + b1 depend only on
+//     the token id, so QuantizeSeqNet tabulates them per token in float32
+//     (computed from the float64 weights — that term carries no
+//     quantization error at all) and the step replaces a 4H×EmbedDim
+//     matmul with a table row.
+//  2. Gate weights are packed element-interleaved: the four gate weights
+//     of hidden unit j for input element k sit in adjacent bytes, so one
+//     pass over the input vector feeds four independent int32
+//     accumulators — a quarter of the loop/index overhead of four
+//     row-major dot products, with no serial dependence between the
+//     accumulator chains.
+//  3. The gate nonlinearities use a clamped Padé approximant of tanh
+//     (absolute error < 2e-4, far inside the tolerance bounds below)
+//     instead of math.Exp-based sigmoid/tanh.
+//
+// Training never uses this path — quantization noise in gradients is not
+// tolerance-bounded — which is why the selection lives on the Workspace's
+// inference mode (SetQuantized) rather than on the network.
+
+// Documented tolerance bounds for the quantized inference path. The
+// byte-identity contract of the float64 stack is relaxed to these two
+// observational bounds; the conformance tests and the oracle sweep fail
+// if drift exceeds them.
+const (
+	// QuantMaxLogitError bounds |logit_int8 − logit_float64| per step when
+	// both paths consume the same token sequence (recurrent-state error
+	// compounds over an episode; the bound covers full-length episodes).
+	QuantMaxLogitError = 0.05
+	// QuantMinTopKAgreement is the minimum fraction of teacher-forced
+	// steps whose masked top-1 action matches between the two paths.
+	QuantMinTopKAgreement = 0.95
+)
+
+// fastTanh is a clamped Padé(7,6) approximant of tanh (Lambert's
+// continued fraction). Absolute error is below 2e-4 everywhere: ~1e-7
+// for |x| ≤ 3, worst at the |x| = 4.97 clamp where 1 − tanh ≈ 1.4e-4.
+func fastTanh(x float64) float64 {
+	if x > 4.97 {
+		return 1
+	}
+	if x < -4.97 {
+		return -1
+	}
+	x2 := x * x
+	p := x * (135135 + x2*(17325+x2*(378+x2)))
+	q := 135135 + x2*(62370+x2*(3150+28*x2))
+	return p / q
+}
+
+// fastSigmoid is σ(x) = (1 + tanh(x/2))/2 on fastTanh; absolute error
+// below 1e-4.
+func fastSigmoid(x float64) float64 { return 0.5 + 0.5*fastTanh(0.5*x) }
+
+// qmat is an int8 matrix with symmetric per-row scales: the float64
+// original's row i is approximately scale[i] · w[row i]. Used for the
+// head, where masked steps touch few independent rows.
+type qmat struct {
+	rows, cols int
+	w          []int8
+	scale      []float32
+}
+
+// quantizeMatInto fills q from m, reusing q's buffers when large enough.
+func quantizeMatInto(q *qmat, m *Mat) {
+	q.rows, q.cols = m.Rows, m.Cols
+	if cap(q.w) < len(m.Data) {
+		q.w = make([]int8, len(m.Data))
+	}
+	q.w = q.w[:len(m.Data)]
+	if cap(q.scale) < m.Rows {
+		q.scale = make([]float32, m.Rows)
+	}
+	q.scale = q.scale[:m.Rows]
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := rowScale(row)
+		inv := 1 / s
+		q.scale[i] = float32(s)
+		out := q.w[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			out[j] = int8(math.Round(v * inv)) // |v|·inv ≤ 127 by construction
+		}
+	}
+}
+
+// rowScale returns the symmetric int8 scale maxAbs/127 of a weight row
+// (1 for an all-zero row, where any scale round-trips to zero).
+func rowScale(row []float64) float64 {
+	maxAbs := 0.0
+	for _, v := range row {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 1
+	}
+	return maxAbs / 127
+}
+
+// row returns the int8 row i.
+func (q *qmat) row(i int) []int8 { return q.w[i*q.cols : (i+1)*q.cols] }
+
+// quantizeVecInto symmetrically quantizes x into dst (same length) and
+// returns the scale s with x[j] ≈ s · dst[j].
+func quantizeVecInto(x []float64, dst []int8) float32 {
+	maxAbs := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	s := maxAbs / 127
+	if s == 0 {
+		// All-zero input: dst must still be written — workspace buffers
+		// carry stale values from the previous episode.
+		for j := range dst {
+			dst[j] = 0
+		}
+		return 1
+	}
+	inv := 1 / s
+	for j, v := range x {
+		dst[j] = int8(math.Round(v * inv))
+	}
+	return float32(s)
+}
+
+// dotI8 is the int8·int8 → int32 inner product, unrolled so the four
+// independent partial products hide the widening-multiply latency.
+func dotI8(a, b []int8) int32 {
+	var acc int32
+	n := len(a)
+	b = b[:n] // bounds-check hint
+	j := 0
+	for ; j+3 < n; j += 4 {
+		acc += int32(a[j])*int32(b[j]) +
+			int32(a[j+1])*int32(b[j+1]) +
+			int32(a[j+2])*int32(b[j+2]) +
+			int32(a[j+3])*int32(b[j+3])
+	}
+	for ; j < n; j++ {
+		acc += int32(a[j]) * int32(b[j])
+	}
+	return acc
+}
+
+// qgates holds the gate weights of one LSTM matrix packed
+// element-interleaved: for hidden unit j and input element k, the four
+// gate weights (input, forget, output, candidate — source rows j, H+j,
+// 2H+j, 3H+j) occupy bytes w[j*4*cols + 4*k .. +3]. scale[4*j+g] is the
+// per-gate-row symmetric scale.
+type qgates struct {
+	hidden, cols int
+	w            []int8
+	scale        []float32
+}
+
+// pack fills g from the 4H×cols gate matrix m.
+func (g *qgates) pack(m *Mat, hidden int) {
+	cols := m.Cols
+	g.hidden, g.cols = hidden, cols
+	if cap(g.w) < len(m.Data) {
+		g.w = make([]int8, len(m.Data))
+	}
+	g.w = g.w[:len(m.Data)]
+	if cap(g.scale) < 4*hidden {
+		g.scale = make([]float32, 4*hidden)
+	}
+	g.scale = g.scale[:4*hidden]
+	for j := 0; j < hidden; j++ {
+		block := g.w[j*4*cols : (j+1)*4*cols]
+		for gate := 0; gate < 4; gate++ {
+			row := m.Data[(gate*hidden+j)*cols : (gate*hidden+j+1)*cols]
+			s := rowScale(row)
+			inv := 1 / s
+			g.scale[4*j+gate] = float32(s)
+			for k, v := range row {
+				block[4*k+gate] = int8(math.Round(v * inv))
+			}
+		}
+	}
+}
+
+// gemv4Into accumulates the dequantized gate pre-activations of every
+// hidden unit into pre (gate-interleaved, length 4·hidden): pre[4j+g] +=
+// scale[4j+g]·xs · Σₖ w[j,k,g]·x[k]. The inner reduction runs four
+// independent int32 accumulator chains over one pass of x, two elements
+// per iteration; one call covers the whole matrix, so the per-row
+// function-call and slice-header overhead of a rowwise dot is paid once
+// per layer instead of once per gate row.
+func (g *qgates) gemv4Into(x []int8, xs float32, pre []float32) {
+	n := len(x)
+	for j := 0; j < g.hidden; j++ {
+		w := g.w[j*4*g.cols : j*4*g.cols+4*n]
+		var a0, a1, a2, a3 int32
+		k := 0
+		for ; k+1 < n; k += 2 {
+			xk0 := int32(x[k])
+			xk1 := int32(x[k+1])
+			b := w[4*k : 4*k+8 : 4*k+8]
+			a0 += int32(b[0])*xk0 + int32(b[4])*xk1
+			a1 += int32(b[1])*xk0 + int32(b[5])*xk1
+			a2 += int32(b[2])*xk0 + int32(b[6])*xk1
+			a3 += int32(b[3])*xk0 + int32(b[7])*xk1
+		}
+		if k < n {
+			xk := int32(x[k])
+			b := w[4*k : 4*k+4 : 4*k+4]
+			a0 += int32(b[0]) * xk
+			a1 += int32(b[1]) * xk
+			a2 += int32(b[2]) * xk
+			a3 += int32(b[3]) * xk
+		}
+		s := g.scale[4*j : 4*j+4 : 4*j+4]
+		p := pre[4*j : 4*j+4 : 4*j+4]
+		p[0] += float32(a0) * (s[0] * xs)
+		p[1] += float32(a1) * (s[1] * xs)
+		p[2] += float32(a2) * (s[2] * xs)
+		p[3] += float32(a3) * (s[3] * xs)
+	}
+}
+
+// qLSTM is one quantized recurrent layer. wx is nil when the input-side
+// pre-activations come precomputed (layer 1, whose input is a pure
+// function of the token id); bias is then folded into that table.
+type qLSTM struct {
+	hidden int
+	wx     *qgates // nil → input side precomputed
+	wh     qgates
+	b      []float32 // nil when folded into the precomputed table
+}
+
+// step advances the layer in place: h and c (float64, length hidden) are
+// updated from the input side and the current h. The input side is
+// either the precomputed pre-activation row px (gate-interleaved, length
+// 4H, bias included) or the quantized vector (xq, xs) reduced against
+// wx with the bias added. Gate reduction is int32, dequantization and
+// pre-activation accumulation float32, and the nonlinearities and state
+// update float64 — matching LSTM.StepInto's structure with fastTanh in
+// place of math.Exp/math.Tanh.
+func (l *qLSTM) step(ws *Workspace, px []float32, xq []int8, xs float32, h, c []float64) {
+	H := l.hidden
+	ws.qh = growI8(ws.qh, H)
+	hs := quantizeVecInto(h, ws.qh)
+	ws.qpre = growF32(ws.qpre, 4*H)
+	pre := ws.qpre
+	if px != nil {
+		copy(pre, px[:4*H])
+	} else {
+		copy(pre, l.b)
+		l.wx.gemv4Into(xq, xs, pre)
+	}
+	l.wh.gemv4Into(ws.qh, hs, pre)
+	for j := 0; j < H; j++ {
+		p := pre[4*j : 4*j+4 : 4*j+4]
+		i := fastSigmoid(float64(p[0]))
+		f := fastSigmoid(float64(p[1]))
+		o := fastSigmoid(float64(p[2]))
+		g := fastTanh(float64(p[3]))
+		cn := f*c[j] + i*g
+		c[j] = cn
+		h[j] = o * fastTanh(cn)
+	}
+}
+
+// QuantizedSeqNet is an int8 inference snapshot of a SeqNet: layer 1
+// carries a per-token float32 table of its input-side gate
+// pre-activations (filled lazily, first use of each token), both LSTM
+// layers carry packed int8 gate weights, and the head is quantized per
+// row. The weight data is read-only after construction and the lazy
+// table is internally synchronized, so one snapshot may serve any number
+// of concurrent rollout workers. Build one per weight version — it does
+// not track later updates to the source network (the rollout engine
+// rebuilds it per inference batch, mirroring the prefix-state trie's
+// lifetime).
+type QuantizedSeqNet struct {
+	src    *SeqNet
+	hidden int
+	outDim int
+
+	// px[v·4H:(v+1)·4H] is Wx1·E[v] + b1, gate-interleaved, computed in
+	// float64 from the unquantized weights (that term carries no
+	// quantization error) the first time token v is stepped: a snapshot
+	// dies with one inference batch, and a batch's FSM walks touch a
+	// fraction of the vocabulary, so tabulating eagerly would cost more
+	// than the batch saves. pxReady[v] is the double-checked flag
+	// (atomic load on the hot path; pxMu serializes fills).
+	px      []float32
+	pxReady []uint32
+	pxMu    sync.Mutex
+
+	l1, l2 qLSTM
+	head   qmat
+	headB  []float32
+}
+
+// QuantizeSeqNet builds an int8 inference snapshot of n's current
+// weights: one pass over the recurrent and head parameters (layer 1's
+// input-side table fills lazily per token during rollout), cheap enough
+// that callers requantize whenever the source weights may have changed
+// rather than tracking versions.
+func QuantizeSeqNet(n *SeqNet) *QuantizedSeqNet {
+	return QuantizeSeqNetInto(nil, n)
+}
+
+// QuantizeSeqNetInto is QuantizeSeqNet reusing a previous snapshot's
+// buffers (nil q allocates a fresh one). The px table dominates a
+// snapshot's footprint — vocabulary × 4H float32 — so a caller that
+// requantizes every inference batch should recycle one snapshot value
+// instead of allocating it each time; only the lazy-fill flags are reset
+// (px rows refill on first use, gated by the flags, so their stale
+// content is never read). The caller must ensure no rollout worker still
+// steps through q when it is rebuilt.
+func QuantizeSeqNetInto(q *QuantizedSeqNet, n *SeqNet) *QuantizedSeqNet {
+	if q == nil {
+		q = &QuantizedSeqNet{}
+	}
+	q.src = n
+	q.hidden = n.Hidden
+	q.outDim = n.OutDim
+	H := n.Hidden
+	vocab := n.VocabSize + 1 // embedding includes the BOS row
+	if cap(q.px) < vocab*4*H {
+		q.px = make([]float32, vocab*4*H)
+	}
+	q.px = q.px[:vocab*4*H]
+	if cap(q.pxReady) < vocab {
+		q.pxReady = make([]uint32, vocab)
+	}
+	q.pxReady = q.pxReady[:vocab]
+	for i := range q.pxReady {
+		q.pxReady[i] = 0
+	}
+	q.l1.hidden = H
+	q.l1.wh.pack(n.L1.Wh.Val, H)
+	q.l2.hidden = H
+	if q.l2.wx == nil {
+		q.l2.wx = &qgates{}
+	}
+	q.l2.wx.pack(n.L2.Wx.Val, H)
+	q.l2.wh.pack(n.L2.Wh.Val, H)
+	if cap(q.l2.b) < 4*H {
+		q.l2.b = make([]float32, 4*H)
+	}
+	q.l2.b = q.l2.b[:4*H]
+	for gate := 0; gate < 4; gate++ {
+		for j := 0; j < H; j++ {
+			q.l2.b[4*j+gate] = float32(n.L2.B.Val.Data[gate*H+j])
+		}
+	}
+	quantizeMatInto(&q.head, n.Head.W.Val)
+	if cap(q.headB) < n.OutDim {
+		q.headB = make([]float32, n.OutDim)
+	}
+	q.headB = q.headB[:n.OutDim]
+	for i, v := range n.Head.B.Val.Data {
+		q.headB[i] = float32(v)
+	}
+	return q
+}
+
+// Src returns the network this snapshot was quantized from. The dispatch
+// in SeqNet.StepInto only takes the fast path when the stepped network is
+// the snapshot's source, so stale snapshots of other networks are inert.
+func (q *QuantizedSeqNet) Src() *SeqNet { return q.src }
+
+// pxRow returns token in's layer-1 input-side pre-activation row,
+// computing it on first use. The atomic flag read makes the filled row's
+// writes visible (fillPx publishes the flag after the row under pxMu).
+func (q *QuantizedSeqNet) pxRow(in int) []float32 {
+	if atomic.LoadUint32(&q.pxReady[in]) == 0 {
+		q.fillPx(in)
+	}
+	H := q.hidden
+	return q.px[in*4*H : (in+1)*4*H]
+}
+
+// fillPx computes px row in: exact float64 products of the unquantized
+// layer-1 input weights with the token's embedding, bias folded in,
+// gate-interleaved.
+func (q *QuantizedSeqNet) fillPx(in int) {
+	q.pxMu.Lock()
+	defer q.pxMu.Unlock()
+	if q.pxReady[in] == 1 { // raced with another worker's fill
+		return
+	}
+	n := q.src
+	H := q.hidden
+	e := n.E.Row(in)
+	wx := n.L1.Wx.Val
+	b := n.L1.B.Val.Data
+	out := q.px[in*4*H : (in+1)*4*H]
+	for gate := 0; gate < 4; gate++ {
+		for j := 0; j < H; j++ {
+			row := wx.Row(gate*H + j)
+			s := b[gate*H+j]
+			for k, ev := range e {
+				s += row[k] * ev
+			}
+			out[4*j+gate] = float32(s)
+		}
+	}
+	atomic.StoreUint32(&q.pxReady[in], 1)
+}
+
+// stepState advances both recurrent layers for input token in and leaves
+// st.h2 quantized in ws.qx (returning its scale) for the head.
+func (q *QuantizedSeqNet) stepState(ws *Workspace, st *SeqState, in int) float32 {
+	H := q.hidden
+	// Layer 1's input side is the precomputed pre-activation row.
+	q.l1.step(ws, q.pxRow(in), nil, 0, st.h1, st.c1)
+	// Layer 2 consumes the fresh h1, quantized dynamically.
+	ws.qx = growI8(ws.qx, H)
+	xs := quantizeVecInto(st.h1, ws.qx)
+	q.l2.step(ws, nil, ws.qx, xs, st.h2, st.c2)
+	// Quantize the fresh h2 for the head (qx is free again).
+	ws.qx = growI8(ws.qx, H)
+	return quantizeVecInto(st.h2, ws.qx)
+}
+
+// stepMaskedInto mirrors SeqNet.StepMaskedInto on the quantized path:
+// only the head rows in ids are computed; other entries of the returned
+// workspace-owned logits are stale.
+func (q *QuantizedSeqNet) stepMaskedInto(ws *Workspace, st *SeqState, in int, ids []int) []float64 {
+	hs := q.stepState(ws, st, in)
+	ws.logits = grow(ws.logits, q.outDim)
+	for _, id := range ids {
+		acc := dotI8(q.head.row(id), ws.qx)
+		ws.logits[id] = float64(float32(acc)*(q.head.scale[id]*hs) + q.headB[id])
+	}
+	return ws.logits
+}
+
+// stepInto mirrors SeqNet.StepInto: the full head output is computed.
+func (q *QuantizedSeqNet) stepInto(ws *Workspace, st *SeqState, in int) []float64 {
+	hs := q.stepState(ws, st, in)
+	ws.logits = grow(ws.logits, q.outDim)
+	for id := 0; id < q.outDim; id++ {
+		acc := dotI8(q.head.row(id), ws.qx)
+		ws.logits[id] = float64(float32(acc)*(q.head.scale[id]*hs) + q.headB[id])
+	}
+	return ws.logits
+}

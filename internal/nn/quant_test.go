@@ -1,0 +1,201 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quantTestNet mirrors the actor dimensions of the benchmark harness.
+func quantTestNet(seed int64) *SeqNet {
+	rng := rand.New(rand.NewSource(seed))
+	return NewSeqNet("q", 300, 32, 30, 300, 0.3, rng)
+}
+
+// quantValidSets returns pseudo-random masked action sets like an FSM
+// walk produces (sizes 3..40, ids in [0, vocab)).
+func quantValidSets(vocab, steps int, rng *rand.Rand) [][]int {
+	sets := make([][]int, steps)
+	for t := range sets {
+		n := 3 + rng.Intn(38)
+		seen := map[int]bool{}
+		var ids []int
+		for len(ids) < n {
+			id := rng.Intn(vocab)
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		sets[t] = ids
+	}
+	return sets
+}
+
+func argmaxMasked(logits []float64, ids []int) int {
+	best, bestV := ids[0], math.Inf(-1)
+	for _, id := range ids {
+		if logits[id] > bestV {
+			best, bestV = id, logits[id]
+		}
+	}
+	return best
+}
+
+// TestQuantizedObservationalEquivalence is the tolerance contract:
+// teacher-forced over long episodes, the int8 path's logits stay within
+// QuantMaxLogitError of the float64 path's on every masked id, and the
+// masked argmax agrees on at least QuantMinTopKAgreement of steps.
+// Both paths run their own recurrent state, so the measured error
+// includes the compounding state drift of a full episode.
+func TestQuantizedObservationalEquivalence(t *testing.T) {
+	const episodes, steps = 20, 64
+	net := quantTestNet(1)
+	q := QuantizeSeqNet(net)
+	wsF := NewWorkspace(nil)
+	wsQ := NewWorkspace(nil)
+	wsQ.SetQuantized(q)
+
+	rng := rand.New(rand.NewSource(7))
+	var agree, total int
+	maxErr := 0.0
+	for e := 0; e < episodes; e++ {
+		stF := wsF.Pool().GetState(net.Hidden)
+		stQ := wsQ.Pool().GetState(net.Hidden)
+		sets := quantValidSets(net.VocabSize, steps, rng)
+		in := net.BOS()
+		for _, ids := range sets {
+			lf := net.StepMaskedInto(wsF, stF, in, ids, false, nil)
+			lq := net.StepMaskedInto(wsQ, stQ, in, ids, false, nil)
+			for _, id := range ids {
+				if d := math.Abs(lf[id] - lq[id]); d > maxErr {
+					maxErr = d
+				}
+			}
+			if argmaxMasked(lf, ids) == argmaxMasked(lq, ids) {
+				agree++
+			}
+			total++
+			in = ids[rng.Intn(len(ids))] // teacher-forced: same token both paths
+		}
+		wsF.Recycle(stF)
+		wsQ.Recycle(stQ)
+	}
+	if maxErr > QuantMaxLogitError {
+		t.Errorf("max |quantized - float64| logit error %.4f exceeds documented bound %.2f",
+			maxErr, QuantMaxLogitError)
+	}
+	rate := float64(agree) / float64(total)
+	if rate < QuantMinTopKAgreement {
+		t.Errorf("masked argmax agreement %.4f below documented bound %.2f (%d/%d steps)",
+			rate, QuantMinTopKAgreement, agree, total)
+	}
+	t.Logf("teacher-forced over %d steps: max logit error %.4f (bound %.2f), argmax agreement %.4f (bound %.2f)",
+		total, maxErr, QuantMaxLogitError, rate, QuantMinTopKAgreement)
+}
+
+// TestQuantizedDeterministic: two snapshots of the same weights produce
+// bit-identical logits — quantization is a pure function of the weights.
+func TestQuantizedDeterministic(t *testing.T) {
+	net := quantTestNet(2)
+	ws1, ws2 := NewWorkspace(nil), NewWorkspace(nil)
+	ws1.SetQuantized(QuantizeSeqNet(net))
+	ws2.SetQuantized(QuantizeSeqNet(net))
+	st1 := ws1.Pool().GetState(net.Hidden)
+	st2 := ws2.Pool().GetState(net.Hidden)
+	ids := []int{3, 17, 42, 99, 120, 200, 250}
+	in := net.BOS()
+	for step := 0; step < 40; step++ {
+		l1 := net.StepMaskedInto(ws1, st1, in, ids, false, nil)
+		l2 := net.StepMaskedInto(ws2, st2, in, ids, false, nil)
+		for _, id := range ids {
+			if l1[id] != l2[id] {
+				t.Fatalf("step %d id %d: %v != %v", step, id, l1[id], l2[id])
+			}
+		}
+		in = ids[step%len(ids)]
+	}
+}
+
+// TestQuantizedTrainingStaysFloat64: a workspace in quantized inference
+// mode must leave training steps byte-identical to a plain workspace —
+// training never sees int8.
+func TestQuantizedTrainingStaysFloat64(t *testing.T) {
+	net := quantTestNet(3)
+	wsPlain := NewWorkspace(nil)
+	wsQuant := NewWorkspace(nil)
+	wsQuant.SetQuantized(QuantizeSeqNet(net))
+	stP := wsPlain.Pool().GetState(net.Hidden)
+	stQ := wsQuant.Pool().GetState(net.Hidden)
+	rngP := rand.New(rand.NewSource(11))
+	rngQ := rand.New(rand.NewSource(11))
+	ids := []int{1, 5, 9, 33, 77}
+	in := net.BOS()
+	for step := 0; step < 20; step++ {
+		lp := net.StepMaskedInto(wsPlain, stP, in, ids, true, rngP)
+		lq := net.StepMaskedInto(wsQuant, stQ, in, ids, true, rngQ)
+		for _, id := range ids {
+			if lp[id] != lq[id] {
+				t.Fatalf("training step %d diverged with quantized workspace: %v != %v", step, lp[id], lq[id])
+			}
+		}
+		in = ids[step%len(ids)]
+	}
+	if stQ.Len() != stP.Len() {
+		t.Fatalf("tape lengths differ: %d vs %d", stQ.Len(), stP.Len())
+	}
+	wsPlain.Recycle(stP)
+	wsQuant.Recycle(stQ)
+}
+
+// TestQuantizedOtherNetworkUnaffected: the fast path only fires for the
+// snapshot's source network; stepping a different net through the same
+// workspace stays float64-exact.
+func TestQuantizedOtherNetworkUnaffected(t *testing.T) {
+	netA, netB := quantTestNet(4), quantTestNet(5)
+	wsQ := NewWorkspace(nil)
+	wsQ.SetQuantized(QuantizeSeqNet(netA))
+	wsF := NewWorkspace(nil)
+	stQ := wsQ.Pool().GetState(netB.Hidden)
+	stF := wsF.Pool().GetState(netB.Hidden)
+	ids := []int{2, 8, 20, 111}
+	in := netB.BOS()
+	for step := 0; step < 10; step++ {
+		lq := netB.StepMaskedInto(wsQ, stQ, in, ids, false, nil)
+		lf := netB.StepMaskedInto(wsF, stF, in, ids, false, nil)
+		for _, id := range ids {
+			if lq[id] != lf[id] {
+				t.Fatalf("step %d: netB took the quantized path of netA's snapshot", step)
+			}
+		}
+		in = ids[step%len(ids)]
+	}
+}
+
+// TestQuantizeMatRoundTrip bounds the per-element weight error by half a
+// quantization step: |w − scale·q| ≤ scale/2 with scale = maxAbs/127.
+func TestQuantizeMatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMat(64, 48)
+	m.XavierInit(rng)
+	var q qmat
+	quantizeMatInto(&q, m)
+	for i := 0; i < m.Rows; i++ {
+		scale := float64(q.scale[i])
+		for j := 0; j < m.Cols; j++ {
+			got := scale * float64(q.w[i*m.Cols+j])
+			if d := math.Abs(got - m.At(i, j)); d > scale/2+1e-12 {
+				t.Fatalf("(%d,%d): |%.6f - %.6f| = %.6g > scale/2 = %.6g",
+					i, j, got, m.At(i, j), d, scale/2)
+			}
+		}
+	}
+	// All-zero rows round-trip to zero under the sentinel scale.
+	z := NewMat(2, 8)
+	quantizeMatInto(&q, z)
+	for _, w := range q.w {
+		if w != 0 {
+			t.Fatalf("zero row quantized to %d", w)
+		}
+	}
+}

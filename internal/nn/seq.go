@@ -170,8 +170,15 @@ func (n *SeqNet) stepInner(ws *Workspace, st *SeqState, in int, training bool, r
 // head output. The returned slice is workspace-owned scratch, valid only
 // until the workspace's next step — callers that retain it must copy.
 // training=true records the BPTT tape (pooled) and samples dropout from
-// rng; training=false skips tape capture entirely.
+// rng; training=false skips tape capture entirely and, when the workspace
+// holds a quantized snapshot of this network (Workspace.SetQuantized),
+// runs the int8 fused kernels within the quant.go tolerance contract.
 func (n *SeqNet) StepInto(ws *Workspace, st *SeqState, in int, training bool, rng *rand.Rand) []float64 {
+	if !training {
+		if q := ws.quant; q != nil && q.src == n {
+			return q.stepInto(ws, st, in)
+		}
+	}
 	headIn := n.stepInner(ws, st, in, training, rng)
 	ws.logits = grow(ws.logits, n.OutDim)
 	n.Head.ForwardInto(headIn, ws.logits)
@@ -183,6 +190,11 @@ func (n *SeqNet) StepInto(ws *Workspace, st *SeqState, in int, training bool, rn
 // must be masked downstream. It avoids the full |A|-sized head matmul,
 // which dominates the per-step cost.
 func (n *SeqNet) StepMaskedInto(ws *Workspace, st *SeqState, in int, ids []int, training bool, rng *rand.Rand) []float64 {
+	if !training {
+		if q := ws.quant; q != nil && q.src == n {
+			return q.stepMaskedInto(ws, st, in, ids)
+		}
+	}
 	headIn := n.stepInner(ws, st, in, training, rng)
 	ws.logits = grow(ws.logits, n.OutDim)
 	n.Head.ForwardSparse(headIn, ids, ws.logits)

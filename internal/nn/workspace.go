@@ -27,6 +27,14 @@ type Workspace struct {
 	dpre                   []float64 // 4H gate gradient
 	dh1, dc1, dh2, dc2     []float64
 	dmid, dheadIn, dxEmbed []float64
+
+	// Inference mode: a non-nil quant snapshot reroutes inference steps of
+	// its source network through the int8 kernels (see SetQuantized). The
+	// qx/qh buffers hold dynamically quantized activations; qpre holds the
+	// gate-interleaved float32 pre-activations.
+	quant  *QuantizedSeqNet
+	qx, qh []int8
+	qpre   []float32
 }
 
 // NewWorkspace builds a workspace backed by pool; a nil pool gets a fresh
@@ -41,6 +49,14 @@ func NewWorkspace(pool *CachePool) *Workspace {
 // Pool returns the cache pool backing this workspace.
 func (w *Workspace) Pool() *CachePool { return w.pool }
 
+// SetQuantized selects the workspace's inference mode: with a non-nil
+// snapshot, inference steps (training=false) of the snapshot's source
+// network run through the int8 fused kernels instead of the float64 path,
+// within the tolerance contract documented in quant.go. Training steps
+// and steps of any other network are unaffected, so training always stays
+// float64. Pass nil to restore pure float64 inference.
+func (w *Workspace) SetQuantized(q *QuantizedSeqNet) { w.quant = q }
+
 // grow returns buf resized to length n, reallocating only when the
 // capacity is short. Contents are unspecified.
 func grow(buf []float64, n int) []float64 {
@@ -53,6 +69,20 @@ func grow(buf []float64, n int) []float64 {
 func growBool(buf []bool, n int) []bool {
 	if cap(buf) < n {
 		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+func growI8(buf []int8, n int) []int8 {
+	if cap(buf) < n {
+		return make([]int8, n)
+	}
+	return buf[:n]
+}
+
+func growF32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
 	}
 	return buf[:n]
 }

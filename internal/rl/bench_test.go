@@ -35,6 +35,22 @@ func BenchmarkSampleBatchInference(b *testing.B) {
 	}
 }
 
+// BenchmarkSampleBatchInferenceQuantized is the generation batch on the
+// int8 fused kernels (Config.QuantizedInference); the snapshot is rebuilt
+// once per batch, so its cost is included.
+func BenchmarkSampleBatchInferenceQuantized(b *testing.B) {
+	env := testEnv(b)
+	cfg := fastConfig()
+	cfg.Workers = 1
+	cfg.QuantizedInference = true
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SampleBatch(tr.Actor(), tr.Actor().BOS(), 8, false, false)
+	}
+}
+
 // BenchmarkTrainEpoch covers the full train loop including the gradient
 // update at the batch barrier.
 func BenchmarkTrainEpoch(b *testing.B) {

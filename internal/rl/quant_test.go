@@ -1,0 +1,148 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+
+	"learnedsqlgen/internal/nn"
+)
+
+// TestQuantizedTraceEquality asserts that within the quantized inference
+// path, generation stays deterministic and independent of the worker
+// count and the prefix cache — the same invariants the float64 path
+// certifies, just against a quantized reference run.
+func TestQuantizedTraceEquality(t *testing.T) {
+	env := testEnv(t)
+	type run struct {
+		prefix  int
+		workers int
+	}
+	runs := []run{
+		{prefix: -1, workers: 1}, // reference: cache off, serial
+		{prefix: 0, workers: 1},  // default-sized cache, serial
+		{prefix: 0, workers: 4},  // cache shared across workers
+		{prefix: 8, workers: 4},  // tiny cache that fills mid-batch
+	}
+	var ref []string
+	for _, r := range runs {
+		cfg := fastConfig()
+		cfg.Seed = 11
+		cfg.Workers = r.workers
+		cfg.PrefixCacheSize = r.prefix
+		cfg.QuantizedInference = true
+		tr := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+		tr.Train(2, 16)
+		got := genSQL(tr.Generate(30))
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("prefix=%d workers=%d: query %d = %q, want %q",
+					r.prefix, r.workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestQuantizedTrainingUnaffected asserts the quantized flag changes only
+// inference: training traces are byte-identical with it on or off,
+// because training batches never build a snapshot.
+func TestQuantizedTrainingUnaffected(t *testing.T) {
+	env := testEnv(t)
+	var ref []EpochStats
+	for _, quantized := range []bool{false, true} {
+		cfg := fastConfig()
+		cfg.Seed = 7
+		cfg.Workers = 2
+		cfg.QuantizedInference = quantized
+		tr := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+		stats := tr.Train(3, 16)
+		if ref == nil {
+			ref = stats
+			continue
+		}
+		if len(stats) != len(ref) {
+			t.Fatalf("epoch count differs: %d vs %d", len(stats), len(ref))
+		}
+		for i := range ref {
+			if stats[i] != ref[i] {
+				t.Fatalf("epoch %d diverged with QuantizedInference=true: %+v vs %+v",
+					i, stats[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestQuantizedGenerationTolerance trains a policy, generates through the
+// quantized path, and then replays trained-policy episodes in
+// teacher-forced lockstep over the real FSM action masks, asserting the
+// two compute paths' logits stay within the documented tolerance bound on
+// every valid action of every step.
+func TestQuantizedGenerationTolerance(t *testing.T) {
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.Seed = 3
+	cfg.Workers = 1
+	tr := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+	tr.Train(2, 16)
+
+	// The quantized path must produce complete queries end to end.
+	tr.Cfg.QuantizedInference = true
+	for i, g := range tr.Generate(20) {
+		if g.SQL == "" {
+			t.Fatalf("quantized query %d is empty", i)
+		}
+	}
+
+	// Teacher-forced lockstep on the trained weights: episodes follow the
+	// float64 policy's samples; both paths score every valid action.
+	actor := tr.Actor()
+	quant := nn.QuantizeSeqNet(actor)
+	wsF := nn.NewWorkspace(nil)
+	wsQ := nn.NewWorkspace(nil)
+	wsQ.SetQuantized(quant)
+	rng := rand.New(rand.NewSource(99))
+	vocab := actor.OutDim
+	probs := make([]float64, vocab)
+	maxErr := 0.0
+	violations := 0
+	for e := 0; e < 20; e++ {
+		b := env.NewBuilder()
+		stF := wsF.Pool().GetState(actor.Hidden)
+		stQ := wsQ.Pool().GetState(actor.Hidden)
+		in := actor.BOS()
+		for !b.Done() {
+			valid := b.Valid()
+			lf := actor.StepMaskedInto(wsF, stF, in, valid, false, nil)
+			lq := actor.StepMaskedInto(wsQ, stQ, in, valid, false, nil)
+			for _, id := range valid {
+				d := lf[id] - lq[id]
+				if d < 0 {
+					d = -d
+				}
+				if d > maxErr {
+					maxErr = d
+				}
+				if d > nn.QuantMaxLogitError {
+					violations++
+				}
+			}
+			nn.MaskedSoftmaxInto(lf, valid, probs)
+			action := sampleFrom(probs, valid, rng)
+			if err := b.Apply(action); err != nil {
+				t.Fatalf("episode %d: %v", e, err)
+			}
+			in = action
+		}
+		wsF.Recycle(stF)
+		wsQ.Recycle(stQ)
+	}
+	if violations > 0 {
+		t.Fatalf("%d logit drift violations beyond nn.QuantMaxLogitError=%.2f (max %.4f)",
+			violations, nn.QuantMaxLogitError, maxErr)
+	}
+	t.Logf("max teacher-forced logit drift on trained policy: %.5f (bound %.2f)",
+		maxErr, nn.QuantMaxLogitError)
+}

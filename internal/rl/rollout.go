@@ -86,8 +86,19 @@ func (t *Trainer) SampleBatchContext(ctx context.Context, actor *nn.SeqNet, star
 	if !train && !withCritic && t.Cfg.PrefixCacheSize >= 0 {
 		trie = newPrefixTrie(t.prefixCap(), actor.Hidden)
 	}
+	// The int8 snapshot shares the trie's lifetime: both are pure
+	// functions of the current weights and are rebuilt per batch, so
+	// neither can straddle a gradient update. Only the buffers are
+	// recycled across batches (the px table is vocabulary-sized) — safe
+	// because the previous batch's workers have all joined, and
+	// SampleBatch is single-caller like the rest of the trainer.
+	var quant *nn.QuantizedSeqNet
+	if !train && !withCritic && t.Cfg.QuantizedInference {
+		t.quantSnap = nn.QuantizeSeqNetInto(t.quantSnap, actor)
+		quant = t.quantSnap
+	}
 	p := episodeParams{ctx: ctx, actor: actor, startIn: startIn,
-		withCritic: withCritic, train: train, trie: trie}
+		withCritic: withCritic, train: train, trie: trie, quant: quant}
 	var holes uint64 // episodes quarantined this batch, accessed atomically
 	w := t.workers()
 	if w > n {

@@ -61,6 +61,18 @@ type Config struct {
 	// gradient update, so generated queries are identical with the cache
 	// on or off.
 	PrefixCacheSize int
+	// QuantizedInference routes inference rollouts (Generate,
+	// GenerateSatisfied) through the actor's int8 fused kernels: each
+	// inference batch snapshots the current weights with
+	// nn.QuantizeSeqNet — the snapshot dies with the batch, like the
+	// prefix trie, so it can never observe two weight versions — and
+	// workers step through nn.Workspace.SetQuantized. Training batches
+	// always run float64. The quantized path trades byte-identity with
+	// the float64 path for speed under the documented tolerance contract
+	// (nn.QuantMaxLogitError, nn.QuantMinTopKAgreement); within the
+	// quantized path itself, rollouts remain deterministic and
+	// independent of Workers and of the prefix cache setting.
+	QuantizedInference bool
 	// TrainBudget bounds the wall-clock time of TrainContext and
 	// TrainUntilContext (and their ctx-less wrappers): a positive value
 	// installs a deadline whose cancellation cause is ErrBudgetExceeded.
@@ -216,6 +228,13 @@ type Trainer struct {
 	wdSnapActor   [][]float64
 	wdSnapCritic  [][]float64
 	watchdogTrips uint64
+
+	// quantSnap recycles the int8 inference snapshot's buffers across
+	// batches (Cfg.QuantizedInference). It is requantized from the live
+	// weights at the start of every inference batch — never carried
+	// across one — so it cannot go stale however the weights moved in
+	// between (rl updates, meta's own optimizers, checkpoint loads).
+	quantSnap *nn.QuantizedSeqNet
 }
 
 // NewTrainer builds fresh actor and critic networks for the environment.
@@ -341,6 +360,7 @@ type episodeParams struct {
 	withCritic bool
 	train      bool
 	trie       *prefixTrie
+	quant      *nn.QuantizedSeqNet // per-batch int8 snapshot (inference only)
 }
 
 // sampleEpisodeRNG is the episode body: it walks the FSM with the actor,
@@ -355,6 +375,9 @@ func (t *Trainer) sampleEpisodeRNG(p episodeParams, rng *rand.Rand, run *episode
 	ctx, actor, startIn := p.ctx, p.actor, p.startIn
 	withCritic, train, trie := p.withCritic, p.train, p.trie
 	ws := run.ws
+	// Select (or clear — workspaces are pooled across batches) the int8
+	// inference mode for this batch's weight snapshot.
+	ws.SetQuantized(p.quant)
 	b := t.Env.NewBuilder()
 	pool := ws.Pool()
 	vocab := actor.OutDim

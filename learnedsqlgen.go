@@ -71,6 +71,20 @@ type Options struct {
 	// recomputation. 0 selects the default (4096 entries); negative
 	// disables it. Generated queries are identical either way.
 	PrefixCacheSize int
+	// QuantizedInference generates with int8 fused inference kernels:
+	// each generation batch snapshots the policy network's weights into a
+	// quantized form and rolls episodes through it, leaving training in
+	// float64. The committed BENCH_nn.json / BENCH_rl.json snapshots
+	// record what it buys: ~1.3× on a bare policy step, less end-to-end
+	// (the per-batch snapshot rebuild and the environment's FSM/estimator
+	// work dilute it, so the batch-level gain grows with generation batch
+	// size and model size). The cost is exact byte-identity with the
+	// float64 path: quantized logits track float64 logits within
+	// a small documented tolerance, so individual sampled queries can
+	// occasionally differ where the policy was near-indifferent anyway.
+	// The quantized path itself stays deterministic and independent of
+	// Workers and PrefixCacheSize.
+	QuantizedInference bool
 	// TrainBudget bounds the wall-clock time of any training call on
 	// generators opened from this DB. When the budget expires, training
 	// stops at the next episode boundary and returns the trace so far
@@ -184,6 +198,13 @@ func (o *Options) prefixCacheSize() int {
 	return o.PrefixCacheSize
 }
 
+func (o *Options) quantizedInference() bool {
+	if o == nil {
+		return false
+	}
+	return o.QuantizedInference
+}
+
 func (o *Options) trainBudget() time.Duration {
 	if o == nil {
 		return 0
@@ -237,6 +258,7 @@ type DB struct {
 	seed            int64
 	workers         int
 	prefixCacheSize int
+	quantized       bool
 	trainBudget     time.Duration
 	onEpoch         func(EpochStats) error
 	maxGradNorm     float64
@@ -274,6 +296,7 @@ func openStorage(name string, raw *storage.Database, opt *Options) *DB {
 		seed:            opt.seed(),
 		workers:         opt.workers(),
 		prefixCacheSize: opt.prefixCacheSize(),
+		quantized:       opt.quantizedInference(),
 		trainBudget:     opt.trainBudget(),
 		onEpoch:         opt.onEpoch(),
 		maxGradNorm:     opt.maxGradNorm(),

@@ -23,7 +23,11 @@ type ConformanceViolation = oracle.Violation
 // the parse round-trip, FSM replay, differential cardinality
 // (executor vs estimator), and metamorphic checks. The RL producer's
 // determinism is re-verified with the actor prefix cache disabled, so the
-// optimization layers are certified byte-identical on every sweep.
+// optimization layers are certified byte-identical on every sweep. When
+// the DB was opened with Options.QuantizedInference, both RL samplers run
+// the int8 inference path (byte-identity is certified within the
+// quantized path; its drift from float64 is bounded separately by the
+// nn quantization tolerance tests).
 //
 // The error reports harness-level failures only (a cancelled ctx);
 // conformance failures land in the report, and report.Ok() is the
@@ -36,6 +40,7 @@ func (db *DB) SelfTest(ctx context.Context, c Constraint, queriesPerProducer int
 			cfg.Seed = db.seed
 			cfg.Workers = db.workers
 			cfg.PrefixCacheSize = prefixCache
+			cfg.QuantizedInference = db.quantized
 			return rl.NewTrainer(db.env, c, cfg), nil
 		}
 	}

@@ -28,6 +28,27 @@ func TestSelfTestCleanSweep(t *testing.T) {
 	}
 }
 
+// TestSelfTestQuantizedSweep runs the full conformance oracle with the
+// int8 inference path selected: the RL producer (and its cache-disabled
+// determinism twin) generate through quantized kernels, and the sweep
+// must stay violation-free — parse round-trips, FSM replay, differential
+// cardinality and metamorphic checks all hold on quantized output, and
+// byte-identity within the quantized path is certified by the twin.
+func TestSelfTestQuantizedSweep(t *testing.T) {
+	db, err := OpenBenchmark("xuetang", 0.05, &Options{QuantizedInference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := RangeConstraint(Cardinality, 1, 1000)
+	rep, err := db.SelfTest(context.Background(), c, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("conformance violations on the quantized path:\n%s", rep)
+	}
+}
+
 func TestSelfTestCancelled(t *testing.T) {
 	db, err := OpenBenchmark("xuetang", 0.05, nil)
 	if err != nil {
