@@ -11,7 +11,7 @@ BENCHTIME ?= 1s
 # bench-smoke job narrows this to the fast packages.
 BENCHPKGS ?= ./internal/nn/ ./internal/rl/ ./internal/estimator/ .
 
-.PHONY: build test vet staticcheck panic-gate race verify bench experiments fuzz chaos
+.PHONY: build test vet staticcheck panic-gate race verify bench experiments fuzz chaos engine-conformance
 
 build:
 	$(GO) build ./...
@@ -51,14 +51,14 @@ panic-gate:
 # bench integration tests alone run ~8 min under -race on one core, so
 # give the run headroom beyond go test's 10 min default.
 race:
-	$(GO) test -race -timeout 30m ./internal/rl/ ./internal/estimator/ ./internal/meta/ ./internal/bench/ .
+	$(GO) test -race -timeout 30m ./internal/rl/ ./internal/estimator/ ./internal/meta/ ./internal/bench/ ./internal/engine/ .
 
 verify: build vet staticcheck panic-gate test race
 
 # bench prints the go-test benchmark slices, then appends stamped
 # snapshots to the committed perf trajectory (BENCH_nn.json /
-# BENCH_rl.json) via the internal/bench perf suites. All runs share one
-# -benchtime so the numbers are comparable:
+# BENCH_rl.json / BENCH_engine.json) via the internal/bench perf suites.
+# All runs share one -benchtime so the numbers are comparable:
 #   make bench BENCHTIME=100ms BENCHPKGS="./internal/nn/ ./internal/rl/ ./internal/estimator/"
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ $(BENCHPKGS)
@@ -67,7 +67,15 @@ bench:
 # experiments regenerates the measured perf tables of EXPERIMENTS.md from
 # the committed BENCH_*.json snapshots (see the BENCH markers there).
 experiments:
-	$(GO) run ./cmd/benchfig -md -write EXPERIMENTS.md BENCH_nn.json BENCH_rl.json
+	$(GO) run ./cmd/benchfig -md -write EXPERIMENTS.md BENCH_nn.json BENCH_rl.json BENCH_engine.json
+
+# Engine conformance gate: the driver/dialect unit suite plus a bounded
+# cross-engine oracle sweep — every producer's statements rendered per
+# dialect, executed and estimated on both in-tree drivers over shared
+# data, with zero tolerated violations.
+engine-conformance:
+	$(GO) test -timeout 10m ./internal/engine/
+	$(GO) test -timeout 15m -run 'CrossEngine|TestSelfTestCross|TestCrossCheckFacade' ./internal/oracle/ .
 
 # Chaos gate: the fault-tolerance suites under the race detector — the
 # fault injector and retry/breaker units, durable-write crash safety,

@@ -6,6 +6,8 @@
 //	sqlgen -dataset tpch -metric cardinality -range 100:400 -n 10
 //	sqlgen -dataset xuetang -metric cost -point 10000 -n 5 -show-measure
 //	sqlgen -dataset xuetang -scale 0.1 -selftest
+//	sqlgen -dataset tpch -range 1:500 -n 5 -engine inprocess
+//	sqlgen -dataset xuetang -scale 0.1 -cross-check
 package main
 
 import (
@@ -52,8 +54,11 @@ func run() int {
 	ckptEvery := flag.Int("checkpoint-every", 0, "write a rotated, crash-safe checkpoint every N training epochs (0 = off)")
 	ckptDir := flag.String("checkpoint-dir", "sqlgen-checkpoints", "directory for -checkpoint-every checkpoints (rotated, with a last-good manifest)")
 	faultRate := flag.Float64("fault-rate", 0, "inject transient estimator/executor faults at this rate (chaos demo; enables the retry/breaker resilience layer)")
+	engineName := flag.String("engine", "", "route reward measurement through an engine driver: reference, inprocess, or sql (see -dsn); empty uses the in-tree backends directly")
+	dsn := flag.String("dsn", "", "engine DSN; empty shares the opened dataset with -engine reference/inprocess. Examples: 'dataset=tpch scale=0.05 seed=1', 'driver=<sql driver> dialect=postgres dsn=<url>'")
 	selftest := flag.Bool("selftest", false, "run a bounded conformance sweep (parse/FSM/differential/metamorphic oracles over four producers) instead of training; -point/-range optional")
 	selftestN := flag.Int("selftest-n", 250, "queries per producer for -selftest")
+	crossCheck := flag.Bool("cross-check", false, "run the conformance sweep with the cross-engine differential oracle: per-dialect render round trips, plus execution/estimation on the reference and in-process database/sql engines (and the -engine driver); implies -selftest")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -113,7 +118,7 @@ func run() int {
 		constraint = learnedsqlgen.RangeConstraint(metric, lo, hi)
 	case *point > 0:
 		constraint = learnedsqlgen.PointConstraint(metric, *point)
-	case *selftest:
+	case *selftest || *crossCheck:
 		// The sweep only needs some constraint to check measurement sanity
 		// against; a broad cardinality range covers every producer.
 		constraint = learnedsqlgen.RangeConstraint(metric, 1, 1000)
@@ -145,6 +150,8 @@ func run() int {
 		PrefixCacheSize:    *prefixCache,
 		QuantizedInference: *quantize,
 		TrainBudget:        *trainBudget,
+		Engine:             *engineName,
+		DSN:                *dsn,
 	}
 	if *faultRate > 0 {
 		// Chaos demo: inject transient faults beneath a retry/breaker layer
@@ -190,11 +197,16 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	defer db.Close()
 
-	if *selftest {
-		fmt.Fprintf(os.Stderr, "conformance sweep on %s: %d queries per producer, constraint %s\n",
-			*dataset, *selftestN, constraint)
-		rep, err := db.SelfTest(ctx, constraint, *selftestN)
+	if *selftest || *crossCheck {
+		mode, sweep := "conformance", db.SelfTest
+		if *crossCheck {
+			mode, sweep = "cross-engine conformance", db.CrossCheck
+		}
+		fmt.Fprintf(os.Stderr, "%s sweep on %s: %d queries per producer, constraint %s\n",
+			mode, *dataset, *selftestN, constraint)
+		rep, err := sweep(ctx, constraint, *selftestN)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "selftest:", err)
 			return 1
@@ -278,6 +290,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr,
 			"resilience: %d retries, %d exhausted, %d breaker opens, %d episodes quarantined, %d watchdog trips\n",
 			st.Retries, st.Exhausted, st.BreakerOpens, st.Quarantined, st.WatchdogTrips)
+	}
+	if es, ok := db.EngineStats(); ok {
+		fmt.Fprintf(os.Stderr, "engine %s (%s dialect): %d estimates, %d executes\n",
+			es.Engine, es.Dialect, es.Estimates, es.Executes)
 	}
 	for _, q := range queries {
 		if *showMeasure {

@@ -113,7 +113,7 @@ func OpenCustom(def SchemaDef, rows map[string][][]any, opt *Options) (*DB, erro
 	if name == "" {
 		name = "custom"
 	}
-	return openStorage(name, raw, opt), nil
+	return openStorage(name, raw, opt)
 }
 
 func toValue(cell any) (sqltypes.Value, error) {

@@ -101,6 +101,31 @@
 //     backends for chaos testing; `make chaos` runs the full suite under
 //     the race detector.
 //
+// # Engine drivers
+//
+// Options.Engine routes reward measurement through a pluggable engine
+// driver instead of calling the in-tree estimator/executor directly.
+// Three drivers ship in-tree: "reference" (the same engine behind the
+// driver interface; empty Options.DSN shares the opened dataset),
+// "inprocess" (the same engine reached through a real database/sql
+// driver — SQL out as text, EXPLAIN plans and rows back, exercising the
+// exact code path an external engine takes), and "sql" (a generic
+// database/sql adapter with per-engine dialect rendering — postgres,
+// mysql, sqlite, ansi — EXPLAIN-based estimates and a COUNT(*)
+// fallback). The resilience and fault-injection layers wrap the driver
+// exactly as they wrap the default backends, DB.EngineStats exposes the
+// driver's call counters, and DB.Close releases it:
+//
+//	db, _ := learnedsqlgen.OpenBenchmark("tpch", 0.05, &learnedsqlgen.Options{Engine: "inprocess"})
+//	defer db.Close()
+//
+// DB.CrossCheck (and `sqlgen -cross-check`) extends the conformance
+// sweep below with a cross-engine differential oracle: every produced
+// statement is rendered per dialect (and must read back identically),
+// executed and estimated on each engine, with exact cardinality
+// agreement demanded on shared data and per-engine q-error
+// distributions in the report.
+//
 // # Conformance self-test
 //
 // DB.SelfTest sweeps four query producers (raw FSM walk, the random and

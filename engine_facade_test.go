@@ -1,0 +1,148 @@
+package learnedsqlgen
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// openEngineDB opens the xuetang micro benchmark with rewards routed
+// through the named engine driver.
+func openEngineDB(t *testing.T, opt *Options) *DB {
+	t.Helper()
+	db, err := OpenBenchmark("xuetang", 0.05, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// TestEngineRewardsDriverSourced is the facade acceptance check: with
+// Options.Engine set, a trainer must reach satisfied queries with every
+// reward measurement sourced from the driver — proven by the driver's
+// own call counters — while the resilience layer's counters surface in
+// TrainStats.
+func TestEngineRewardsDriverSourced(t *testing.T) {
+	for _, name := range []string{"reference", "inprocess"} {
+		t.Run(name, func(t *testing.T) {
+			db := openEngineDB(t, &Options{
+				SampleValues: 10,
+				Seed:         1,
+				Engine:       name,
+				Resilience:   &ResilienceOptions{},
+				FaultInjection: &FaultInjectionOptions{
+					Seed:      5,
+					ErrorRate: 0.02,
+				},
+			})
+			es, ok := db.EngineStats()
+			if !ok || es.Engine != name {
+				t.Fatalf("EngineStats = %+v, %v; want engine %q", es, ok, name)
+			}
+
+			c := RangeConstraint(Cardinality, 1, 1000)
+			gen := db.NewGenerator(c)
+			gen.TrainAdaptive(10, 10)
+			sat, _ := gen.GenerateSatisfied(5, 500)
+			if len(sat) < 5 {
+				t.Fatalf("only %d/5 satisfied queries through engine %s", len(sat), name)
+			}
+			for _, q := range sat {
+				if !q.Satisfied {
+					t.Fatal("unsatisfied query returned as satisfied")
+				}
+			}
+
+			es, _ = db.EngineStats()
+			if es.Estimates == 0 {
+				t.Fatalf("engine %s: no estimate ever reached the driver — rewards were not driver-sourced (%+v)", name, es)
+			}
+			st := gen.Stats()
+			if st.Retries == 0 {
+				t.Errorf("engine %s: injected faults never surfaced as retries in TrainStats", name)
+			}
+		})
+	}
+}
+
+// TestEngineTrueExecutionThroughDriver routes true-execution rewards
+// through the driver: the Executes counter must advance.
+func TestEngineTrueExecutionThroughDriver(t *testing.T) {
+	db := openEngineDB(t, &Options{
+		SampleValues:         10,
+		Seed:                 1,
+		Engine:               "reference",
+		TrueExecutionRewards: true,
+	})
+	gen := db.NewGenerator(RangeConstraint(Cardinality, 1, 1000))
+	gen.Train(1, 5)
+	es, ok := db.EngineStats()
+	if !ok || es.Executes == 0 {
+		t.Fatalf("true-execution rewards bypassed the driver: %+v, %v", es, ok)
+	}
+}
+
+// TestEngineUnknownFails ensures a bad engine or DSN fails at open, not
+// at the first reward.
+func TestEngineUnknownFails(t *testing.T) {
+	if _, err := OpenBenchmark("xuetang", 0.05, &Options{Engine: "nope"}); err == nil {
+		t.Error("unknown engine must fail OpenBenchmark")
+	}
+	if _, err := OpenBenchmark("xuetang", 0.05, &Options{Engine: "inprocess", DSN: "handle=missing"}); err == nil {
+		t.Error("bad DSN must fail OpenBenchmark")
+	}
+}
+
+// TestSelfTestCrossChecksConfiguredEngine verifies SelfTest gains the
+// cross-engine oracle when a driver is configured: the report carries
+// the driver's per-engine distributions and stays clean.
+func TestSelfTestCrossChecksConfiguredEngine(t *testing.T) {
+	db := openEngineDB(t, &Options{SampleValues: 10, Seed: 1, Engine: "inprocess"})
+	rep, err := db.SelfTest(context.Background(), RangeConstraint(Cardinality, 1, 1000), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("violations with a shared-data driver:\n%s", rep)
+	}
+	for _, pr := range rep.Producers {
+		if len(pr.Engines) != 1 || pr.Engines[0].Engine != "inprocess" {
+			t.Fatalf("%s: engine reports %+v, want the configured driver", pr.Name, pr.Engines)
+		}
+		if pr.Engines[0].Executed == 0 || pr.Engines[0].Estimated == 0 {
+			t.Fatalf("%s: driver not exercised: %+v", pr.Name, pr.Engines[0])
+		}
+	}
+	if !strings.Contains(rep.String(), "engine inprocess") {
+		t.Errorf("report does not surface the engine:\n%s", rep)
+	}
+}
+
+// TestCrossCheckFacade runs the full CrossCheck sweep — configured
+// driver plus both in-tree engines — and demands a clean report with
+// per-engine coverage.
+func TestCrossCheckFacade(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 10
+	}
+	db := openEngineDB(t, &Options{SampleValues: 10, Seed: 1})
+	rep, err := db.CrossCheck(context.Background(), RangeConstraint(Cardinality, 1, 1000), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("cross-check violations:\n%s", rep)
+	}
+	for _, pr := range rep.Producers {
+		if len(pr.Engines) != 2 {
+			t.Fatalf("%s: %d engine reports, want reference + inprocess", pr.Name, len(pr.Engines))
+		}
+		for _, e := range pr.Engines {
+			if e.Executed == 0 || e.TruthQ.Max != 1 {
+				t.Fatalf("%s/%s: shared-data engine disagreed or idle: %+v", pr.Name, e.Engine, e)
+			}
+		}
+	}
+}

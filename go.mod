@@ -1,3 +1,3 @@
 module learnedsqlgen
 
-go 1.22
+go 1.23

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -16,17 +17,22 @@ import (
 	"testing"
 	"time"
 
+	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/engine"
 	"learnedsqlgen/internal/nn"
+	"learnedsqlgen/internal/parser"
 	"learnedsqlgen/internal/rl"
+	"learnedsqlgen/internal/sqlast"
 )
 
 // PerfAreas lists the areas `make bench` snapshots, in emission order.
-func PerfAreas() []string { return []string{"nn", "rl"} }
+func PerfAreas() []string { return []string{"nn", "rl", "engine"} }
 
 // RunPerfSuite measures one area's suite at the given per-benchmark time
 // budget and returns a stamped snapshot. Areas: "nn" (actor step kernels,
-// float64 vs quantized, BPTT) and "rl" (rollout batches, train epoch,
-// generation throughput).
+// float64 vs quantized, BPTT), "rl" (rollout batches, train epoch,
+// generation throughput) and "engine" (driver-backed estimate/execute
+// paths and dialect rendering).
 func RunPerfSuite(area string, benchtime time.Duration) (PerfSnapshot, error) {
 	restore, err := setBenchtime(benchtime)
 	if err != nil {
@@ -39,6 +45,11 @@ func RunPerfSuite(area string, benchtime time.Duration) (PerfSnapshot, error) {
 		results = perfSuiteNN()
 	case "rl":
 		results, err = perfSuiteRL()
+		if err != nil {
+			return PerfSnapshot{}, err
+		}
+	case "engine":
+		results, err = perfSuiteEngine()
 		if err != nil {
 			return PerfSnapshot{}, err
 		}
@@ -252,6 +263,95 @@ func perfSuiteRL() ([]PerfResult, error) {
 		"prefix_hit_rate": gen.Stats().PrefixHitRate,
 	}
 	return []PerfResult{train, infer, quant, epoch, generate}, nil
+}
+
+// perfSuiteEngine measures the engine driver layer on the micro TPC-H
+// dataset: the reference driver's direct estimate (the Options.Engine
+// "reference" reward path), the in-process database/sql adapter's
+// EXPLAIN-based estimate and row-returning execution (SQL text out, plan
+// text and driver rows back — the full external-engine code path), one
+// dialect rendering, and the combined per-query cost of a cross-engine
+// check (render + reparse + execute + estimate).
+func perfSuiteEngine() ([]PerfResult, error) {
+	db, err := datagen.Generate("tpch", 0.05, 1)
+	if err != nil {
+		return nil, err
+	}
+	ref := engine.NewReference(db)
+	engine.RegisterTestDatabase("bench-engine", db)
+	inproc, err := engine.Open("inprocess", "handle=bench-engine")
+	if err != nil {
+		return nil, err
+	}
+	defer inproc.Close()
+
+	sel, err := parser.Parse("SELECT customer.c_custkey FROM customer WHERE customer.c_acctbal > 1000")
+	if err != nil {
+		return nil, err
+	}
+	join, err := parser.Parse("SELECT orders.o_orderkey FROM orders JOIN customer ON orders.o_custkey = customer.c_custkey WHERE customer.c_acctbal > 0")
+	if err != nil {
+		return nil, err
+	}
+	nat, _ := engine.DialectByName("native")
+	pg, _ := engine.DialectByName("postgres")
+	ctx := context.Background()
+
+	refEst := measure("ReferenceEstimate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ref.EstimateContext(ctx, join); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	adapterEst := measure("AdapterEstimateExplain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := inproc.EstimateContext(ctx, join); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if refEst.NsPerOp > 0 {
+		// The committed record of what the SQL-text round trip costs over
+		// calling the estimator directly.
+		adapterEst.Extra = map[string]float64{
+			"overhead_vs_reference": adapterEst.NsPerOp / refEst.NsPerOp,
+		}
+	}
+	adapterExec := measure("AdapterExecute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := inproc.ExecuteContext(ctx, sel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	render := measure("DialectRenderPostgres", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if sqlast.Render(join, pg.Render) == "" {
+				b.Fatal("empty rendering")
+			}
+		}
+	})
+	cross := measure("CrossCheckQuery", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			text := sqlast.Render(join, nat.Render)
+			if _, err := parser.ParseWithOptions(text, nat.Reparse); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := inproc.ExecuteContext(ctx, join); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := inproc.EstimateContext(ctx, join); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return []PerfResult{refEst, adapterEst, adapterExec, render, cross}, nil
 }
 
 // gitSHA stamps snapshots with the commit they measured, suffixed

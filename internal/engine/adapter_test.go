@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"learnedsqlgen/internal/estimator"
+	"learnedsqlgen/internal/faultinject"
+	"learnedsqlgen/internal/resilience"
+	"learnedsqlgen/internal/sqlast"
+)
+
+// openInprocess registers db under a test handle and opens the full
+// database/sql path over it.
+func openInprocess(t *testing.T, handle string) Driver {
+	t.Helper()
+	RegisterTestDatabase(handle, exampleDB(t))
+	d, err := Open("inprocess", "handle="+handle)
+	if err != nil {
+		t.Fatalf("Open(inprocess): %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+// TestInprocessExplainEstimate drives the EXPLAIN estimate path end to
+// end: SQL text out, plan text back, estimate parsed — and the result
+// must equal the raw estimator's answer for the same statement.
+func TestInprocessExplainEstimate(t *testing.T) {
+	d := openInprocess(t, "explain-test")
+	ref := NewReference(exampleDB(t))
+	ctx := context.Background()
+
+	for _, src := range []string{
+		"SELECT Score.Grade FROM Score WHERE Score.Grade > 60",
+		"SELECT Student.Name, Score.Grade FROM Student JOIN Score ON Student.ID = Score.ID",
+		"SELECT Score.Course, AVG(Score.Grade) FROM Score GROUP BY Score.Course HAVING AVG(Score.Grade) > 50",
+	} {
+		st := mustParse(t, src)
+		got, err := d.EstimateContext(ctx, st)
+		if err != nil {
+			t.Fatalf("adapter estimate of %q: %v", src, err)
+		}
+		want, err := ref.EstimateContext(ctx, st)
+		if err != nil {
+			t.Fatalf("reference estimate of %q: %v", src, err)
+		}
+		// The plan text prints one decimal, so agree to 0.05 absolute.
+		if math.Abs(got.Card-want.Card) > 0.06 || math.Abs(got.Cost-want.Cost) > 0.06 {
+			t.Errorf("estimate of %q through EXPLAIN = %+v, reference %+v", src, got, want)
+		}
+	}
+}
+
+// TestCountFallback forces the no-EXPLAIN path: the ansi dialect has no
+// Explain hook, so the adapter must probe with COUNT(*) and return the
+// exact cardinality.
+func TestCountFallback(t *testing.T) {
+	db := exampleDB(t)
+	RegisterTestDatabase("count-test", db)
+	pool, err := sql.Open(SQLDriverName, "handle=count-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansi, _ := DialectByName("ansi")
+	a := NewSQLAdapter(pool, "inprocess-ansi", ansi)
+	a.ownsDB = true
+	defer a.Close()
+
+	ctx := context.Background()
+	st := mustParse(t, "SELECT Score.Grade FROM Score WHERE Score.Grade > 60")
+	est, err := a.EstimateContext(ctx, st)
+	if err != nil {
+		t.Fatalf("EstimateContext: %v", err)
+	}
+	if est.Card != 4 {
+		t.Fatalf("COUNT(*) fallback card = %v, want exactly 4", est.Card)
+	}
+
+	// DML has no COUNT fallback and ansi has no EXPLAIN: permanent error.
+	_, err = a.EstimateContext(ctx, mustParse(t, "DELETE FROM Score WHERE Score.Grade < 50"))
+	if err == nil {
+		t.Fatal("estimating DML without any path should fail")
+	}
+	if !errors.Is(err, estimator.ErrUnestimable) {
+		t.Fatalf("want ErrUnestimable, got %v", err)
+	}
+	if resilience.Classify(err) != resilience.ClassPermanent {
+		t.Fatalf("a missing estimate path must be permanent, got class %v", resilience.Classify(err))
+	}
+}
+
+// TestAdapterExecute compares adapter execution (rows through
+// database/sql value conversion) against the reference executor.
+func TestAdapterExecute(t *testing.T) {
+	d := openInprocess(t, "exec-test")
+	ref := NewReference(exampleDB(t))
+	ctx := context.Background()
+
+	st := mustParse(t, "SELECT Student.Name, Score.Grade FROM Student JOIN Score ON Student.ID = Score.ID WHERE Score.Grade > 60")
+	got, err := d.ExecuteContext(ctx, st)
+	if err != nil {
+		t.Fatalf("ExecuteContext: %v", err)
+	}
+	want, err := ref.ExecuteContext(ctx, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality != want.Cardinality || len(got.Rows) != len(want.Rows) {
+		t.Fatalf("cardinality %d, want %d", got.Cardinality, want.Cardinality)
+	}
+	if len(got.Columns) != len(want.Columns) {
+		t.Fatalf("columns %v, want %v", got.Columns, want.Columns)
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if got.Rows[i][j].SQL() != want.Rows[i][j].SQL() {
+				t.Fatalf("row %d col %d: %v, want %v", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+
+	// DML goes through ExecContext and reports affected rows; the shared
+	// data stays untouched (snapshot semantics of the in-process engine).
+	del, err := d.ExecuteContext(ctx, mustParse(t, "DELETE FROM Score WHERE Score.Grade < 90"))
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if del.Cardinality != 6 {
+		t.Fatalf("delete affected %d rows, want 6", del.Cardinality)
+	}
+	again, err := d.ExecuteContext(ctx, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cardinality != want.Cardinality {
+		t.Fatalf("DML leaked: select now returns %d rows, want %d", again.Cardinality, want.Cardinality)
+	}
+
+	if c, ok := d.(Counting); ok {
+		if n := c.Counters(); n.Executes != 3 {
+			t.Fatalf("Executes = %d, want 3", n.Executes)
+		}
+	} else {
+		t.Fatal("inprocess driver does not expose counters")
+	}
+}
+
+// TestDriverConcurrentUnderFaults is the -race check for the full
+// driver-backed stack: resilience → faultinject → adapter → database/sql
+// → in-process engine, hammered from many goroutines. Every call must
+// end in success, a transient exhaustion, or a breaker rejection — never
+// a permanent error, a lost retry accounting, or a data race.
+func TestDriverConcurrentUnderFaults(t *testing.T) {
+	d := openInprocess(t, "race-test")
+
+	inj := faultinject.New(faultinject.Config{Seed: 7, ErrorRate: 0.15})
+	met := &resilience.Metrics{}
+	pol := resilience.Policy{MaxAttempts: 4, BaseDelay: 1, MaxDelay: 100, Jitter: -1}
+	est := resilience.NewEstimator(faultinject.NewEstimator(d, inj), pol, met)
+	exec := resilience.NewExecutor(faultinject.NewExecutor(d, inj), pol, met)
+
+	stmts := []string{
+		"SELECT Score.Grade FROM Score WHERE Score.Grade > 60",
+		"SELECT Student.ID FROM Student",
+		"SELECT Score.Course, AVG(Score.Grade) FROM Score GROUP BY Score.Course",
+		"DELETE FROM Score WHERE Score.Grade < 50",
+	}
+	type workItem struct {
+		st  sqlast.Statement
+		dml bool
+	}
+	parsed := make([]workItem, len(stmts))
+	for i, s := range stmts {
+		parsed[i] = workItem{st: mustParse(t, s), dml: i == len(stmts)-1}
+	}
+
+	const workers = 8
+	const iters = 40
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*iters*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				p := parsed[(w+i)%len(parsed)]
+				if !p.dml {
+					if _, err := est.EstimateContext(ctx, p.st); err != nil {
+						errCh <- err
+					}
+				}
+				if _, err := exec.ExecuteContext(ctx, p.st); err != nil {
+					errCh <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+
+	for err := range errCh {
+		// Exhausted retries and breaker rejections are legal under
+		// injected faults; anything permanent is a real bug.
+		if resilience.Classify(err) != resilience.ClassTransient {
+			t.Fatalf("non-transient error escaped the resilient driver stack: %v", err)
+		}
+	}
+	if met.Retries.Load() == 0 {
+		t.Fatal("fault injection never triggered a retry — the test exercised nothing")
+	}
+	if c, ok := d.(Counting); ok {
+		n := c.Counters()
+		if n.Estimates == 0 || n.Executes == 0 {
+			t.Fatalf("driver counters did not advance: %+v", n)
+		}
+	}
+}

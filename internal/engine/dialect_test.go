@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"learnedsqlgen/internal/parser"
+	"learnedsqlgen/internal/sqlast"
+)
+
+// renderCorpus spans the generated grammar plus the dialect edge cases:
+// quoted/reserved/uppercase identifiers, strings containing quotes and
+// backslashes, float literals that canonicalize, every statement kind.
+var renderCorpus = []string{
+	"SELECT Student.ID FROM Student",
+	"SELECT Student.Name, Score.Grade FROM Student JOIN Score ON Student.ID = Score.ID WHERE Score.Grade > 60.5",
+	"SELECT Score.Course, AVG(Score.Grade) FROM Score GROUP BY Score.Course HAVING AVG(Score.Grade) > 50",
+	"SELECT COUNT(Score.ID) FROM Score",
+	"SELECT Student.ID FROM Student ORDER BY Student.ID",
+	"SELECT Student.Name FROM Student WHERE Student.ID IN (SELECT Score.ID FROM Score WHERE Score.Grade > 80)",
+	"SELECT Student.ID FROM Student WHERE (Student.ID = 1 OR Student.ID = 2) AND NOT EXISTS (SELECT Score.ID FROM Score)",
+	"SELECT Student.ID FROM Student WHERE Student.Name LIKE 'A%'",
+	"SELECT Student.ID FROM Student WHERE Student.Name = 'O''Hara'",
+	`SELECT Student.ID FROM Student WHERE Student.Name = 'a\b'`,
+	"SELECT t.a FROM t WHERE t.b = 1.0",
+	"SELECT t.a FROM t WHERE t.b = 1e300",
+	`SELECT "select"."from" FROM "select"`,
+	`SELECT t."weird col" FROM t WHERE t."weird col" = 1`,
+	"INSERT INTO Student VALUES (9, 'Zed')",
+	"UPDATE Student SET Name = 'Q' WHERE Student.ID = 1",
+	"DELETE FROM Score WHERE Score.Grade < 50",
+}
+
+// TestDialectRenderReparse is the per-dialect round-trip property: render
+// a statement in any registered dialect, read the text back under that
+// dialect's lexical conventions, and the parsed statement must be the
+// same statement (identical canonical rendering).
+func TestDialectRenderReparse(t *testing.T) {
+	for _, name := range Dialects() {
+		d, _ := DialectByName(name)
+		t.Run(name, func(t *testing.T) {
+			for _, src := range renderCorpus {
+				st, err := parser.Parse(src)
+				if err != nil {
+					t.Fatalf("corpus statement %q does not parse: %v", src, err)
+				}
+				want := st.SQL()
+				text := sqlast.Render(st, d.Render)
+				back, err := parser.ParseWithOptions(text, d.Reparse)
+				if err != nil {
+					t.Errorf("dialect %s rendering %q is unparseable: %q: %v", name, src, text, err)
+					continue
+				}
+				if got := back.SQL(); got != want {
+					t.Errorf("dialect %s round trip changed the statement:\n  src    %q\n  dialect %q\n  back   %q\n  want   %q",
+						name, src, text, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDialectRendering pins a few concrete cross-dialect renderings so a
+// quoting or escaping regression reads as a diff, not just a property
+// failure.
+func TestDialectRendering(t *testing.T) {
+	cases := []struct {
+		dialect string
+		src     string
+		want    string
+	}{
+		{"mysql", `SELECT "select".a FROM "select"`, "SELECT `select`.a FROM `select`"},
+		{"mysql", `SELECT t.a FROM t WHERE t.s = 'a\b'`, `SELECT t.a FROM t WHERE t.s = 'a\\b'`},
+		{"postgres", "SELECT Student.ID FROM Student", `SELECT "Student"."ID" FROM "Student"`},
+		{"postgres", "SELECT t.a FROM t WHERE t.b = 1.0", "SELECT t.a FROM t WHERE t.b = 1.0"},
+		{"ansi", "SELECT t.a FROM t WHERE t.b = 1.0", "SELECT t.a FROM t WHERE t.b = 1.0"},
+		{"sqlite", `SELECT t."weird col" FROM t`, `SELECT t."weird col" FROM t`},
+		{"native", "SELECT t.a FROM t WHERE t.b = 1.0", "SELECT t.a FROM t WHERE t.b = 1"},
+	}
+	for _, c := range cases {
+		d, ok := DialectByName(c.dialect)
+		if !ok {
+			t.Fatalf("dialect %q not registered", c.dialect)
+		}
+		st, err := parser.Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if got := sqlast.Render(st, d.Render); got != c.want {
+			t.Errorf("%s rendering of %q = %q, want %q", c.dialect, c.src, got, c.want)
+		}
+	}
+}
+
+func TestFloatLiteral(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1.0"},
+		{2.5, "2.5"},
+		{-3, "-3.0"},
+		{1e300, "1e+300"},
+		{0, "0.0"},
+	}
+	for _, c := range cases {
+		if got := FloatLiteral(c.in); got != c.want {
+			t.Errorf("FloatLiteral(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePostgresExplain(t *testing.T) {
+	rows := [][]string{
+		{"Seq Scan on t  (cost=0.00..17.50 rows=750 width=36)"},
+		{"  Filter: (a > 1)"},
+	}
+	card, cost, ok := parsePostgresExplain([]string{"QUERY PLAN"}, rows)
+	if !ok || card != 750 || cost != 17.50 {
+		t.Fatalf("parsePostgresExplain = (%v, %v, %v), want (750, 17.5, true)", card, cost, ok)
+	}
+	if _, _, ok := parsePostgresExplain([]string{"QUERY PLAN"}, [][]string{{"garbage"}}); ok {
+		t.Fatal("parsePostgresExplain accepted garbage")
+	}
+}
+
+func TestParseMySQLExplain(t *testing.T) {
+	cols := []string{"id", "select_type", "table", "rows", "Extra"}
+	rows := [][]string{
+		{"1", "SIMPLE", "t", "100", ""},
+		{"1", "SIMPLE", "u", "10", "Using where"},
+	}
+	card, cost, ok := parseMySQLExplain(cols, rows)
+	if !ok || card != 1000 || cost != 1000 {
+		t.Fatalf("parseMySQLExplain = (%v, %v, %v), want (1000, 1000, true)", card, cost, ok)
+	}
+	if _, _, ok := parseMySQLExplain([]string{"id"}, rows); ok {
+		t.Fatal("parseMySQLExplain accepted a grid without a rows column")
+	}
+}
+
+func TestParseNativeExplain(t *testing.T) {
+	rows := [][]string{
+		{"output  (rows=12.5 cost=340.0)"},
+		{"  scan t  (rows=100.0 cost=100.0)"},
+	}
+	card, cost, ok := parseNativeExplain([]string{"plan"}, rows)
+	if !ok || card != 12.5 || cost != 340.0 {
+		t.Fatalf("parseNativeExplain = (%v, %v, %v), want (12.5, 340, true)", card, cost, ok)
+	}
+}
+
+func TestDialectRegistry(t *testing.T) {
+	names := Dialects()
+	for _, want := range []string{"native", "ansi", "postgres", "mysql", "sqlite"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("dialect %q not registered (have %v)", want, names)
+		}
+	}
+	for _, n := range names {
+		d, ok := DialectByName(n)
+		if !ok || d.Name() != n {
+			t.Errorf("DialectByName(%q) inconsistent: ok=%v name=%q", n, ok, d.Name())
+		}
+		if (d.Explain == nil) != (d.ParseExplain == nil) {
+			t.Errorf("dialect %q has mismatched Explain/ParseExplain", n)
+		}
+		if d.Explain == nil && d.CountWrap == nil {
+			t.Errorf("dialect %q has no estimate path at all", n)
+		}
+	}
+}
+
+func TestCountWrap(t *testing.T) {
+	got := countWrapAliased("SELECT t.a FROM t")
+	want := "SELECT COUNT(*) FROM (SELECT t.a FROM t) AS q"
+	if got != want {
+		t.Fatalf("countWrapAliased = %q, want %q", got, want)
+	}
+	inner, ok := cutCountWrap(got)
+	if !ok || inner != "SELECT t.a FROM t" {
+		t.Fatalf("cutCountWrap(%q) = (%q, %v)", got, inner, ok)
+	}
+	if _, ok := cutCountWrap("SELECT t.a FROM t"); ok {
+		t.Fatal("cutCountWrap matched a plain SELECT")
+	}
+	if !strings.HasPrefix(got, "SELECT COUNT(*)") {
+		t.Fatal("count wrapper must be a COUNT query")
+	}
+}

@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"learnedsqlgen/internal/parser"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+)
+
+// Dialect bundles everything engine-specific about talking SQL to one
+// engine family: how statements render (sqlast.Dialect), how the text
+// reads back (parser.Options — the render→reparse property each dialect
+// must keep), and the cardinality-probe syntax the database/sql adapter
+// uses (EXPLAIN where the engine exposes estimates, a COUNT(*) wrapper
+// where it does not).
+type Dialect struct {
+	// Render formats identifiers, literals, placeholders and LIMIT.
+	Render sqlast.Dialect
+	// Reparse is the lexical convention that reads this dialect's output
+	// back; Render followed by parsing under Reparse must reproduce the
+	// statement.
+	Reparse parser.Options
+	// Explain wraps a rendered SELECT in the engine's EXPLAIN form, or is
+	// nil when the engine exposes no optimizer estimates (then the adapter
+	// falls back to CountWrap).
+	Explain func(sql string) string
+	// ParseExplain extracts (card, cost) from the EXPLAIN result grid.
+	// Engines without a cost column report the row estimate as the cost.
+	ParseExplain func(cols []string, rows [][]string) (card, cost float64, ok bool)
+	// CountWrap wraps a rendered SELECT so it returns one row holding the
+	// exact result cardinality, or is nil when unsupported.
+	CountWrap func(sql string) string
+}
+
+// Name is the dialect's registry name (that of its renderer).
+func (d Dialect) Name() string { return d.Render.Name() }
+
+var dialects = map[string]Dialect{
+	"native": {
+		Render:       sqlast.Native,
+		Explain:      func(sql string) string { return "EXPLAIN " + sql },
+		ParseExplain: parseNativeExplain,
+	},
+	"ansi": {
+		Render:    genericDialect{name: "ansi", quote: '"'},
+		CountWrap: countWrapAliased,
+	},
+	"postgres": {
+		Render:       genericDialect{name: "postgres", quote: '"', foldsCase: true, dollar: true},
+		Explain:      func(sql string) string { return "EXPLAIN " + sql },
+		ParseExplain: parsePostgresExplain,
+		CountWrap:    countWrapAliased,
+	},
+	"mysql": {
+		Render:       genericDialect{name: "mysql", quote: '`', backslash: true},
+		Reparse:      parser.Options{BackslashEscapes: true},
+		Explain:      func(sql string) string { return "EXPLAIN " + sql },
+		ParseExplain: parseMySQLExplain,
+		CountWrap:    countWrapAliased,
+	},
+	"sqlite": {
+		// EXPLAIN QUERY PLAN carries no row estimates, so sqlite always
+		// takes the COUNT(*) fallback.
+		Render:    genericDialect{name: "sqlite", quote: '"'},
+		CountWrap: countWrapAliased,
+	},
+}
+
+// DialectByName looks a dialect up by name.
+func DialectByName(name string) (Dialect, bool) {
+	d, ok := dialects[name]
+	return d, ok
+}
+
+// Dialects lists the registered dialect names, sorted.
+func Dialects() []string {
+	out := make([]string, 0, len(dialects))
+	for name := range dialects {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func countWrapAliased(sql string) string {
+	// The derived-table alias is mandatory in mysql and harmless
+	// everywhere else.
+	return "SELECT COUNT(*) FROM (" + sql + ") AS q"
+}
+
+// genericDialect renders for external engines. It differs from the
+// native dialect in exactly the ways that would break on a real engine:
+// floats always carry a decimal point or exponent (a bare "1" would be
+// read back as an integer and change the column type the engine infers),
+// string literals escape backslashes when the engine treats them as
+// escapes, and identifier quoting follows the engine's quote character
+// and case-folding rules.
+type genericDialect struct {
+	name      string
+	quote     byte // '"' (ANSI) or '`' (mysql)
+	foldsCase bool // engine folds unquoted identifiers (postgres): quote any ident with upper case
+	dollar    bool // $1-style placeholders (postgres)
+	backslash bool // backslash is an escape inside string literals (mysql)
+}
+
+func (d genericDialect) Name() string { return d.name }
+
+func (d genericDialect) QuoteIdent(ident string) string {
+	if sqlast.IdentNeedsQuoting(ident) || (d.foldsCase && hasUpper(ident)) {
+		q := string(d.quote)
+		return q + strings.ReplaceAll(ident, q, q+q) + q
+	}
+	return ident
+}
+
+func (d genericDialect) Literal(v sqltypes.Value) string {
+	switch v.Kind() {
+	case sqltypes.KindString:
+		s := v.Str()
+		if d.backslash {
+			s = strings.ReplaceAll(s, `\`, `\\`)
+		}
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	case sqltypes.KindFloat:
+		return FloatLiteral(v.Float())
+	default:
+		return v.SQL()
+	}
+}
+
+func (d genericDialect) Placeholder(n int) string {
+	if d.dollar {
+		return "$" + strconv.Itoa(n)
+	}
+	return "?"
+}
+
+func (d genericDialect) Limit(sql string, n int) string {
+	return sql + " LIMIT " + strconv.Itoa(n)
+}
+
+func hasUpper(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			return true
+		}
+	}
+	return false
+}
+
+// FloatLiteral renders f so it reads back as a float on any engine: the
+// shortest round-trippable decimal form, with ".0" appended when that
+// form has neither a decimal point nor an exponent. (The native dialect
+// deliberately lets 1.0 canonicalize to "1" — its parser types constants
+// by comparison context — but an external engine would infer an integer.)
+func FloatLiteral(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+var (
+	// e.g. "Seq Scan on t  (cost=0.00..17.50 rows=750 width=36)"
+	pgExplainRE = regexp.MustCompile(`\(cost=[0-9.]+\.\.([0-9.]+) rows=([0-9]+)`)
+	// our own PlanNode lines: "output  (rows=12.0 cost=340.5)"
+	nativeExplainRE = regexp.MustCompile(`\(rows=([0-9.eE+-]+) cost=([0-9.eE+-]+)\)`)
+)
+
+// parsePostgresExplain reads the first plan line of textual EXPLAIN
+// output; the root node carries the query's total cost and row estimate.
+func parsePostgresExplain(cols []string, rows [][]string) (float64, float64, bool) {
+	for _, row := range rows {
+		for _, cell := range row {
+			if m := pgExplainRE.FindStringSubmatch(cell); m != nil {
+				cost, err1 := strconv.ParseFloat(m[1], 64)
+				card, err2 := strconv.ParseFloat(m[2], 64)
+				if err1 == nil && err2 == nil {
+					return card, cost, true
+				}
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// parseMySQLExplain reads classic tabular EXPLAIN: the per-table "rows"
+// column multiplies into the join size estimate. Classic EXPLAIN exposes
+// no cost, so the estimate doubles as the cost.
+func parseMySQLExplain(cols []string, rows [][]string) (float64, float64, bool) {
+	idx := -1
+	for i, c := range cols {
+		if strings.EqualFold(c, "rows") {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || len(rows) == 0 {
+		return 0, 0, false
+	}
+	card := 1.0
+	for _, row := range rows {
+		if idx >= len(row) {
+			return 0, 0, false
+		}
+		n, err := strconv.ParseFloat(row[idx], 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		card *= n
+	}
+	return card, card, true
+}
+
+// parseNativeExplain reads the in-process engine's PlanNode rendering;
+// the first line is the root operator with the final estimate.
+func parseNativeExplain(cols []string, rows [][]string) (float64, float64, bool) {
+	for _, row := range rows {
+		for _, cell := range row {
+			if m := nativeExplainRE.FindStringSubmatch(cell); m != nil {
+				card, err1 := strconv.ParseFloat(m[1], 64)
+				cost, err2 := strconv.ParseFloat(m[2], 64)
+				if err1 == nil && err2 == nil {
+					return card, cost, true
+				}
+			}
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,206 @@
+// Package engine is the pluggable driver layer behind the PR 5 backend
+// seams: anything that can estimate or execute the generated SQL subset
+// can register here and become the RL environment's reward source and the
+// conformance oracle's comparison target.
+//
+// A Driver is one open engine connection. It satisfies both
+// estimator.Backend and executor.Backend, so the whole existing stack —
+// the memoizing estimator cache, the retry/breaker resilience layer, the
+// fault injector, the rollout quarantine — composes around a driver
+// exactly as it composes around the in-tree estimator and executor.
+//
+// Three drivers ship in-tree:
+//
+//   - "reference": the in-process storage/estimator/executor stack,
+//     exposed through the driver interface. It is the conformance
+//     baseline the cross-engine oracle trusts, and the test double every
+//     adapter feature is exercised against.
+//   - "inprocess": the reference data behind a real database/sql driver,
+//     driven through the generic SQLAdapter — the full external-engine
+//     code path (dialect rendering, EXPLAIN parsing, row scanning) with
+//     no external dependency.
+//   - "sql": the generic database/sql adapter for any driver linked into
+//     the binary (postgres, mysql, sqlite, ...), with the dialect chosen
+//     by name.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"learnedsqlgen/internal/estimator"
+	"learnedsqlgen/internal/executor"
+)
+
+// Capabilities describes what an open driver can do; the wiring layer
+// consults it to decide which backend seams the driver fills.
+type Capabilities struct {
+	// Engine is the driver's registry name.
+	Engine string
+	// Dialect names the SQL dialect the engine speaks (see Dialects).
+	Dialect string
+	// Estimate reports that EstimateContext yields optimizer-style
+	// estimates (native estimator or EXPLAIN-based).
+	Estimate bool
+	// Execute reports that ExecuteContext yields real execution results.
+	Execute bool
+	// SharedData reports that the driver executes against the very same
+	// in-process data the environment owns, so a cross-engine cardinality
+	// comparison must agree exactly, not just distributionally.
+	SharedData bool
+}
+
+// Driver is one open engine connection. EstimateContext and
+// ExecuteContext implement the estimator.Backend and executor.Backend
+// seams; decorators (resilience, fault injection, the estimator cache)
+// wrap a Driver the same way they wrap the raw in-tree backends.
+//
+// Drivers must be safe for concurrent use: the parallel rollout engine
+// calls them from many worker goroutines at once.
+type Driver interface {
+	estimator.Backend
+	executor.Backend
+	Capabilities() Capabilities
+	Close() error
+}
+
+// Counters are cumulative per-driver call counters, for tests and stats
+// surfaces that need to prove rewards were driver-sourced.
+type Counters struct {
+	Estimates uint64
+	Executes  uint64
+}
+
+// Counting is the optional driver interface exposing call counters.
+type Counting interface {
+	Counters() Counters
+}
+
+// Factory opens a driver from a DSN. The DSN syntax is driver-specific;
+// the in-tree drivers use space-separated key=value pairs
+// ("dataset=tpch scale=0.05 seed=1").
+type Factory func(dsn string) (Driver, error)
+
+var (
+	regMu     sync.RWMutex
+	factories = map[string]Factory{}
+)
+
+// Register makes a driver available to Open under name. Registering a
+// duplicate name panics — like database/sql, registration is an
+// init-time, program-wiring act where a clash is a bug.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if f == nil {
+		panic("engine: Register with nil factory")
+	}
+	if _, dup := factories[name]; dup {
+		panic("engine: Register called twice for driver " + name)
+	}
+	factories[name] = f
+}
+
+// Drivers lists the registered driver names, sorted.
+func Drivers() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open opens a driver by registry name.
+func Open(name, dsn string) (Driver, error) {
+	regMu.RLock()
+	f, ok := factories[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown driver %q (registered: %s)",
+			name, strings.Join(Drivers(), ", "))
+	}
+	d, err := f(dsn)
+	if err != nil {
+		return nil, fmt.Errorf("engine: open %s: %w", name, err)
+	}
+	return d, nil
+}
+
+// Error is an engine-layer failure talking to an external engine —
+// connection loss, driver errors, malformed responses. It is transient:
+// the resilience layer retries it, and the estimator cache refuses to
+// memoize it. Definitive refusals (unparseable statements, unsupported
+// features) are returned as plain errors instead and never retried.
+type Error struct {
+	Engine string
+	Op     string // "estimate", "execute", "explain"
+	Err    error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("engine %s: %s: %v", e.Engine, e.Op, e.Err)
+}
+
+// Unwrap yields the underlying driver error.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Transient marks the error retryable for the resilience layer.
+func (e *Error) Transient() bool { return true }
+
+// DSN is a parsed space-separated key=value connection string.
+type DSN map[string]string
+
+// ParseDSN splits "k1=v1 k2=v2" into a map. Empty input is an empty map;
+// a field without '=' is an error.
+func ParseDSN(dsn string) (DSN, error) {
+	out := DSN{}
+	for _, field := range strings.Fields(dsn) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("engine: malformed DSN field %q (want key=value)", field)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Str returns the value for key, or def when absent.
+func (d DSN) Str(key, def string) string {
+	if v, ok := d[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Float returns the float value for key, or def when absent.
+func (d DSN) Float(key string, def float64) (float64, error) {
+	v, ok := d[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("engine: DSN key %s: %w", key, err)
+	}
+	return f, nil
+}
+
+// Int returns the int64 value for key, or def when absent.
+func (d DSN) Int(key string, def int64) (int64, error) {
+	v, ok := d[key]
+	if !ok {
+		return def, nil
+	}
+	i, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("engine: DSN key %s: %w", key, err)
+	}
+	return i, nil
+}

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"learnedsqlgen/internal/parser"
+	"learnedsqlgen/internal/resilience"
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/storage"
+)
+
+// exampleDB builds the paper's running example: Score(ID, Course, Grade)
+// referencing Student(ID, Name).
+func exampleDB(t testing.TB) *storage.Database {
+	t.Helper()
+	s, err := schema.NewBuilder("example").
+		Table("Student", "T2",
+			schema.Column{Name: "ID", Kind: sqltypes.KindInt, PrimaryKey: true},
+			schema.Column{Name: "Name", Kind: sqltypes.KindString},
+		).
+		Table("Score", "T1",
+			schema.Column{Name: "ID", Kind: sqltypes.KindInt},
+			schema.Column{Name: "Course", Kind: sqltypes.KindString, Categorical: true},
+			schema.Column{Name: "Grade", Kind: sqltypes.KindFloat},
+		).
+		ForeignKey("Score", "ID", "Student", "ID").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(s)
+	for _, st := range []struct {
+		id   int64
+		name string
+	}{{1, "Ann"}, {2, "Bob"}, {3, "Cyd"}, {4, "Dee"}} {
+		if err := db.Table("Student").Append(storage.Row{
+			sqltypes.NewInt(st.id), sqltypes.NewString(st.name)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sc := range []struct {
+		id     int64
+		course string
+		grade  float64
+	}{
+		{1, "math", 95}, {1, "cs", 80}, {2, "math", 60}, {2, "cs", 70},
+		{3, "math", 88}, {4, "cs", 52}, {4, "math", 45},
+	} {
+		if err := db.Table("Score").Append(storage.Row{
+			sqltypes.NewInt(sc.id), sqltypes.NewString(sc.course),
+			sqltypes.NewFloat(sc.grade)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func mustParse(t testing.TB, src string) sqlast.Statement {
+	t.Helper()
+	st, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestRegistry(t *testing.T) {
+	names := Drivers()
+	for _, want := range []string{"reference", "inprocess", "sql"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("driver %q not registered (have %v)", want, names)
+		}
+	}
+	if _, err := Open("no-such-engine", ""); err == nil {
+		t.Fatal("Open of an unknown driver succeeded")
+	}
+}
+
+func TestParseDSN(t *testing.T) {
+	kv, err := ParseDSN("dataset=tpch scale=0.05 seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv.Str("dataset", "") != "tpch" {
+		t.Errorf("dataset = %q", kv.Str("dataset", ""))
+	}
+	if f, _ := kv.Float("scale", 0); f != 0.05 {
+		t.Errorf("scale = %v", f)
+	}
+	if i, _ := kv.Int("seed", 0); i != 7 {
+		t.Errorf("seed = %v", i)
+	}
+	if i, _ := kv.Int("missing", 42); i != 42 {
+		t.Errorf("missing default = %v", i)
+	}
+	if _, err := ParseDSN("garbage-without-equals"); err == nil {
+		t.Fatal("malformed DSN accepted")
+	}
+	if _, err := kv.Float("dataset", 0); err == nil {
+		t.Fatal("non-numeric Float accepted")
+	}
+}
+
+func TestReferenceDriver(t *testing.T) {
+	db := exampleDB(t)
+	ref := NewReference(db)
+	defer ref.Close()
+
+	caps := ref.Capabilities()
+	if !caps.Estimate || !caps.Execute || !caps.SharedData {
+		t.Fatalf("unexpected capabilities: %+v", caps)
+	}
+
+	ctx := context.Background()
+	sel := mustParse(t, "SELECT Score.Grade FROM Score WHERE Score.Grade > 60")
+	est, err := ref.EstimateContext(ctx, sel)
+	if err != nil {
+		t.Fatalf("EstimateContext: %v", err)
+	}
+	if est.Card <= 0 || est.Cost <= 0 {
+		t.Fatalf("degenerate estimate: %+v", est)
+	}
+	res, err := ref.ExecuteContext(ctx, sel)
+	if err != nil {
+		t.Fatalf("ExecuteContext: %v", err)
+	}
+	if res.Cardinality != 4 {
+		t.Fatalf("Cardinality = %d, want 4", res.Cardinality)
+	}
+
+	// DML runs on a snapshot: the shared database must not change.
+	before := db.Table("Score").NumRows()
+	del, err := ref.ExecuteContext(ctx, mustParse(t, "DELETE FROM Score WHERE Score.Grade < 90"))
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if del.Cardinality == 0 {
+		t.Fatal("delete affected no rows")
+	}
+	if after := db.Table("Score").NumRows(); after != before {
+		t.Fatalf("DML leaked into the shared database: %d -> %d rows", before, after)
+	}
+
+	c := ref.Counters()
+	if c.Estimates != 1 || c.Executes != 2 {
+		t.Fatalf("counters = %+v, want 1 estimate / 2 executes", c)
+	}
+}
+
+func TestReferenceFactory(t *testing.T) {
+	d, err := Open("reference", "dataset=tpch scale=0.01 seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	est, err := d.EstimateContext(context.Background(),
+		mustParse(t, "SELECT customer.c_custkey FROM customer"))
+	if err != nil {
+		t.Fatalf("EstimateContext: %v", err)
+	}
+	if est.Card <= 0 {
+		t.Fatalf("estimate over generated dataset is degenerate: %+v", est)
+	}
+	if _, err := Open("reference", "scale=bogus"); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+// TestErrorClassification pins the contract with the resilience layer:
+// engine errors are transient (retried), but a wrapped context
+// cancellation still aborts.
+func TestErrorClassification(t *testing.T) {
+	e := &Error{Engine: "x", Op: "estimate", Err: errors.New("connection reset")}
+	if resilience.Classify(e) != resilience.ClassTransient {
+		t.Fatal("engine.Error must classify as transient")
+	}
+	cancelled := &Error{Engine: "x", Op: "execute", Err: context.Canceled}
+	if resilience.Classify(cancelled) != resilience.ClassAbort {
+		t.Fatal("wrapped context.Canceled must classify as abort")
+	}
+	if !errors.Is(cancelled, context.Canceled) {
+		t.Fatal("Unwrap chain broken")
+	}
+}

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/estimator"
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/stats"
+	"learnedsqlgen/internal/storage"
+)
+
+// Reference is the in-process reference driver: the in-tree estimator and
+// executor behind the Driver interface. It is the baseline the
+// cross-engine oracle compares other engines against, and the default
+// engine when the facade is asked for driver-backed rewards without an
+// external DSN.
+//
+// Execution is snapshot-isolated: every ExecuteContext call runs against
+// a fresh copy-on-write clone, so DML never mutates the benchmark data —
+// the same contract the RL environment's default execution backend keeps.
+type Reference struct {
+	db  *storage.Database
+	est *estimator.Estimator
+
+	estimates atomic.Uint64
+	executes  atomic.Uint64
+}
+
+// NewReference wraps an existing database (typically the environment's
+// own) as a driver. Estimates come from freshly collected statistics.
+func NewReference(db *storage.Database) *Reference {
+	return &Reference{db: db, est: estimator.New(db.Schema, stats.Collect(db))}
+}
+
+// EstimateContext implements estimator.Backend.
+func (r *Reference) EstimateContext(ctx context.Context, st sqlast.Statement) (estimator.Estimate, error) {
+	r.estimates.Add(1)
+	return r.est.EstimateContext(ctx, st)
+}
+
+// ExecuteContext implements executor.Backend.
+func (r *Reference) ExecuteContext(ctx context.Context, st sqlast.Statement) (*executor.Result, error) {
+	r.executes.Add(1)
+	return executor.New(r.db.Clone()).ExecuteContext(ctx, st)
+}
+
+// Explain exposes the operator-level estimate breakdown; the in-process
+// database/sql driver serves EXPLAIN queries through it.
+func (r *Reference) Explain(st sqlast.Statement) (*estimator.PlanNode, error) {
+	return r.est.Explain(st)
+}
+
+// Database returns the wrapped database (shared, not a clone).
+func (r *Reference) Database() *storage.Database { return r.db }
+
+// Capabilities implements Driver.
+func (r *Reference) Capabilities() Capabilities {
+	return Capabilities{
+		Engine:     "reference",
+		Dialect:    "native",
+		Estimate:   true,
+		Execute:    true,
+		SharedData: true,
+	}
+}
+
+// Counters implements Counting.
+func (r *Reference) Counters() Counters {
+	return Counters{Estimates: r.estimates.Load(), Executes: r.executes.Load()}
+}
+
+// Close implements Driver; the reference driver holds no resources.
+func (r *Reference) Close() error { return nil }
+
+func init() {
+	Register("reference", func(dsn string) (Driver, error) {
+		db, err := openDataset(dsn)
+		if err != nil {
+			return nil, err
+		}
+		return NewReference(db), nil
+	})
+}
+
+// openDataset materializes the benchmark dataset a key=value DSN names:
+// "dataset=tpch scale=0.05 seed=1". Generation is deterministic, so two
+// drivers opened with the same DSN hold bit-identical data.
+func openDataset(dsn string) (*storage.Database, error) {
+	kv, err := ParseDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	scale, err := kv.Float("scale", 0.01)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := kv.Int("seed", 1)
+	if err != nil {
+		return nil, err
+	}
+	name := kv.Str("dataset", "tpch")
+	db, err := datagen.Generate(name, scale, seed)
+	if err != nil {
+		return nil, fmt.Errorf("generate dataset %q: %w", name, err)
+	}
+	return db, nil
+}

@@ -1,0 +1,265 @@
+package engine
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"sync/atomic"
+
+	"learnedsqlgen/internal/estimator"
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/storage"
+)
+
+// SQLAdapter drives any database/sql connection pool as an engine
+// Driver. Statements render through the engine's dialect; cardinality
+// estimates come from EXPLAIN where the dialect can parse one, falling
+// back to an exact COUNT(*) probe; execution returns real rows converted
+// back into the in-tree value model.
+//
+// Infrastructure failures surface as *Error (transient — retried by the
+// resilience layer, never memoized by the estimator cache); statements
+// the engine definitively cannot handle surface as permanent errors.
+type SQLAdapter struct {
+	db      *sql.DB
+	name    string
+	dialect Dialect
+	// ownsDB: Close also closes the pool (set when the adapter opened it).
+	ownsDB bool
+
+	estimates atomic.Uint64
+	executes  atomic.Uint64
+}
+
+// NewSQLAdapter wraps an open pool. The caller keeps ownership of db
+// unless the adapter was produced by a registered factory.
+func NewSQLAdapter(db *sql.DB, name string, dialect Dialect) *SQLAdapter {
+	return &SQLAdapter{db: db, name: name, dialect: dialect}
+}
+
+func init() {
+	// The "sql" driver drives whatever third-party database/sql driver is
+	// linked into the binary: "sql" with DSN "driver=postgres dialect=postgres
+	// dsn=postgres://...". Nothing beyond the stdlib ships in-tree, so
+	// opening it only works in binaries that import a driver; the in-tree
+	// test double is the "inprocess" engine.
+	Register("sql", func(dsn string) (Driver, error) {
+		kv, err := ParseDSN(dsn)
+		if err != nil {
+			return nil, err
+		}
+		drv := kv.Str("driver", "")
+		if drv == "" {
+			return nil, fmt.Errorf("engine: sql driver requires driver= in DSN")
+		}
+		dname := kv.Str("dialect", "ansi")
+		d, ok := DialectByName(dname)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown dialect %q (have %v)", dname, Dialects())
+		}
+		pool, err := sql.Open(drv, kv.Str("dsn", ""))
+		if err != nil {
+			return nil, err
+		}
+		a := NewSQLAdapter(pool, drv, d)
+		a.ownsDB = true
+		return a, nil
+	})
+}
+
+// Dialect returns the dialect the adapter renders with.
+func (a *SQLAdapter) Dialect() Dialect { return a.dialect }
+
+// Capabilities implements Driver.
+func (a *SQLAdapter) Capabilities() Capabilities {
+	return Capabilities{
+		Engine:   a.name,
+		Dialect:  a.dialect.Name(),
+		Estimate: a.dialect.Explain != nil || a.dialect.CountWrap != nil,
+		Execute:  true,
+		// COUNT(*)-only estimation scans the true data, so when the pool
+		// points at the same dataset the estimates are exact; but the
+		// adapter cannot know what the DSN points at.
+		SharedData: false,
+	}
+}
+
+// Counters implements Counting.
+func (a *SQLAdapter) Counters() Counters {
+	return Counters{Estimates: a.estimates.Load(), Executes: a.executes.Load()}
+}
+
+// Close implements Driver.
+func (a *SQLAdapter) Close() error {
+	if a.ownsDB {
+		return a.db.Close()
+	}
+	return nil
+}
+
+// EstimateContext implements estimator.Backend: EXPLAIN when the dialect
+// parses one, COUNT(*) otherwise.
+func (a *SQLAdapter) EstimateContext(ctx context.Context, st sqlast.Statement) (estimator.Estimate, error) {
+	a.estimates.Add(1)
+	text := sqlast.Render(st, a.dialect.Render)
+
+	if a.dialect.Explain != nil {
+		est, err := a.explain(ctx, text)
+		if err == nil {
+			return est, nil
+		}
+		if _, fallback := err.(errUnparsedExplain); !fallback {
+			return estimator.Estimate{}, err
+		}
+		// EXPLAIN ran but yielded nothing the dialect recognizes — fall
+		// through to the exact probe when one exists.
+	}
+
+	if _, isSelect := st.(*sqlast.Select); isSelect && a.dialect.CountWrap != nil {
+		var n int64
+		row := a.db.QueryRowContext(ctx, a.dialect.CountWrap(text))
+		if err := row.Scan(&n); err != nil {
+			return estimator.Estimate{}, a.fail("estimate", err)
+		}
+		// An exact probe has no separate cost model; the cardinality
+		// doubles as the cost signal.
+		return estimator.Estimate{Card: float64(n), Cost: float64(n)}, nil
+	}
+
+	return estimator.Estimate{}, fmt.Errorf("%w: engine %s has no estimate path for %s",
+		estimator.ErrUnestimable, a.name, text)
+}
+
+// errUnparsedExplain marks "EXPLAIN succeeded but output was
+// unrecognizable" internally so EstimateContext can fall back.
+type errUnparsedExplain struct{ error }
+
+func (a *SQLAdapter) explain(ctx context.Context, text string) (estimator.Estimate, error) {
+	rows, err := a.db.QueryContext(ctx, a.dialect.Explain(text))
+	if err != nil {
+		return estimator.Estimate{}, a.fail("explain", err)
+	}
+	defer rows.Close()
+	cols, grid, err := scanGrid(rows)
+	if err != nil {
+		return estimator.Estimate{}, a.fail("explain", err)
+	}
+	strGrid := make([][]string, len(grid))
+	for i, r := range grid {
+		strGrid[i] = make([]string, len(r))
+		for j, v := range r {
+			strGrid[i][j] = fmt.Sprint(valueOf(v))
+		}
+	}
+	card, cost, ok := a.dialect.ParseExplain(cols, strGrid)
+	if !ok {
+		return estimator.Estimate{}, errUnparsedExplain{
+			fmt.Errorf("engine %s: unparseable EXPLAIN output (%d rows)", a.name, len(grid))}
+	}
+	return estimator.Estimate{Card: card, Cost: cost}, nil
+}
+
+// ExecuteContext implements executor.Backend.
+func (a *SQLAdapter) ExecuteContext(ctx context.Context, st sqlast.Statement) (*executor.Result, error) {
+	a.executes.Add(1)
+	text := sqlast.Render(st, a.dialect.Render)
+
+	if _, isSelect := st.(*sqlast.Select); !isSelect {
+		res, err := a.db.ExecContext(ctx, text)
+		if err != nil {
+			return nil, a.fail("execute", err)
+		}
+		n, err := res.RowsAffected()
+		if err != nil {
+			return nil, a.fail("execute", err)
+		}
+		return &executor.Result{Cardinality: int(n), Work: float64(n)}, nil
+	}
+
+	rows, err := a.db.QueryContext(ctx, text)
+	if err != nil {
+		return nil, a.fail("execute", err)
+	}
+	defer rows.Close()
+	cols, grid, err := scanGrid(rows)
+	if err != nil {
+		return nil, a.fail("execute", err)
+	}
+	out := &executor.Result{Columns: cols, Cardinality: len(grid)}
+	out.Rows = make([]storage.Row, len(grid))
+	for i, r := range grid {
+		row := make(storage.Row, len(r))
+		for j, v := range r {
+			row[j] = toValue(v)
+		}
+		out.Rows[i] = row
+	}
+	// External engines expose no operator-work counter; the row count is
+	// the closest observable effort proxy.
+	out.Work = float64(len(grid))
+	return out, nil
+}
+
+// fail wraps an infrastructure error as transient. Context cancellation
+// stays visible through Unwrap, so resilience still classifies it as an
+// abort rather than retrying.
+func (a *SQLAdapter) fail(op string, err error) error {
+	return &Error{Engine: a.name, Op: op, Err: err}
+}
+
+// scanGrid drains a result set into generic cells.
+func scanGrid(rows *sql.Rows) ([]string, [][]any, error) {
+	cols, err := rows.Columns()
+	if err != nil {
+		return nil, nil, err
+	}
+	var grid [][]any
+	for rows.Next() {
+		cells := make([]any, len(cols))
+		ptrs := make([]any, len(cols))
+		for i := range cells {
+			ptrs[i] = &cells[i]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			return nil, nil, err
+		}
+		grid = append(grid, cells)
+	}
+	return cols, grid, rows.Err()
+}
+
+// valueOf unboxes driver cells for textual EXPLAIN parsing.
+func valueOf(v any) any {
+	if b, ok := v.([]byte); ok {
+		return string(b)
+	}
+	return v
+}
+
+// toValue converts a database/sql cell into the in-tree value model.
+func toValue(v any) sqltypes.Value {
+	switch t := v.(type) {
+	case nil:
+		return sqltypes.Null
+	case int64:
+		return sqltypes.NewInt(t)
+	case float64:
+		return sqltypes.NewFloat(t)
+	case bool:
+		if t {
+			return sqltypes.NewInt(1)
+		}
+		return sqltypes.NewInt(0)
+	case []byte:
+		return sqltypes.NewString(string(t))
+	case string:
+		return sqltypes.NewString(t)
+	default:
+		return sqltypes.NewString(fmt.Sprint(t))
+	}
+}
+
+var _ Driver = (*SQLAdapter)(nil)
+var _ Driver = (*Reference)(nil)

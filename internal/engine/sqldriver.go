@@ -1,0 +1,279 @@
+package engine
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/parser"
+	"learnedsqlgen/internal/sqltypes"
+	"learnedsqlgen/internal/storage"
+)
+
+// This file implements a real database/sql driver over the in-process
+// engine. It exists so the generic SQLAdapter — the code path every
+// external engine takes — can be exercised end to end with zero external
+// dependencies: SQL arrives as text, is parsed, planned and executed, and
+// rows travel back through driver.Rows value conversion exactly as they
+// would from postgres or mysql.
+//
+// The driver understands three query shapes:
+//
+//	EXPLAIN <select>                        -> one "plan" column, one row per operator line
+//	SELECT COUNT(*) FROM (<select>) AS q    -> the adapter's cardinality fallback
+//	any statement of the generated grammar  -> parsed and executed (DML on a snapshot)
+
+// SQLDriverName is the name the in-process driver registers with
+// database/sql.
+const SQLDriverName = "learnedsqlgen"
+
+func init() {
+	sql.Register(SQLDriverName, memDriver{})
+
+	Register("inprocess", func(dsn string) (Driver, error) {
+		db, err := sql.Open(SQLDriverName, dsn)
+		if err != nil {
+			return nil, err
+		}
+		// Fail fast on a bad DSN instead of at the first estimate.
+		if err := db.Ping(); err != nil {
+			db.Close()
+			return nil, err
+		}
+		d, _ := DialectByName("native")
+		a := NewSQLAdapter(db, "inprocess", d)
+		a.ownsDB = true
+		return a, nil
+	})
+}
+
+// RegisterTestDatabase makes db reachable through DSN "handle=<name>",
+// letting tests and the facade hand a live in-memory database to the
+// database/sql layer. Re-registering a handle replaces it.
+func RegisterTestDatabase(name string, db *storage.Database) {
+	handleMu.Lock()
+	defer handleMu.Unlock()
+	handles[name] = NewReference(db)
+}
+
+var (
+	handleMu sync.Mutex
+	handles  = map[string]*Reference{}
+
+	datasetMu sync.Mutex
+	// datasets caches generated datasets per DSN so each sql.Conn of a
+	// pool shares one database instead of regenerating per connection.
+	datasets = map[string]*Reference{}
+)
+
+func resolveDSN(dsn string) (*Reference, error) {
+	kv, err := ParseDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	if h := kv.Str("handle", ""); h != "" {
+		handleMu.Lock()
+		defer handleMu.Unlock()
+		ref, ok := handles[h]
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown database handle %q", h)
+		}
+		return ref, nil
+	}
+	datasetMu.Lock()
+	defer datasetMu.Unlock()
+	if ref, ok := datasets[dsn]; ok {
+		return ref, nil
+	}
+	db, err := openDataset(dsn)
+	if err != nil {
+		return nil, err
+	}
+	ref := NewReference(db)
+	datasets[dsn] = ref
+	return ref, nil
+}
+
+// memDriver implements driver.Driver.
+type memDriver struct{}
+
+func (memDriver) Open(dsn string) (driver.Conn, error) {
+	ref, err := resolveDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &memConn{ref: ref}, nil
+}
+
+// memConn is one connection; all connections of a DSN share the same
+// underlying database (reads are concurrent-safe, DML runs on clones).
+type memConn struct {
+	ref *Reference
+}
+
+var (
+	_ driver.QueryerContext = (*memConn)(nil)
+	_ driver.ExecerContext  = (*memConn)(nil)
+)
+
+func (c *memConn) Prepare(query string) (driver.Stmt, error) {
+	return &memStmt{conn: c, query: query}, nil
+}
+
+func (c *memConn) Close() error { return nil }
+
+func (c *memConn) Begin() (driver.Tx, error) {
+	return nil, errors.New("engine: transactions not supported")
+}
+
+func (c *memConn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	if len(args) != 0 {
+		return nil, errors.New("engine: bind parameters not supported")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	if inner, ok := strings.CutPrefix(query, "EXPLAIN "); ok {
+		st, err := parser.Parse(inner)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := c.ref.Explain(st)
+		if err != nil {
+			return nil, err
+		}
+		lines := strings.Split(strings.TrimRight(plan.String(), "\n"), "\n")
+		rows := make([][]driver.Value, len(lines))
+		for i, l := range lines {
+			rows[i] = []driver.Value{l}
+		}
+		return &memRows{cols: []string{"plan"}, rows: rows}, nil
+	}
+
+	if inner, ok := cutCountWrap(query); ok {
+		st, err := parser.Parse(inner)
+		if err != nil {
+			return nil, err
+		}
+		res, err := c.ref.ExecuteContext(ctx, st)
+		if err != nil {
+			return nil, err
+		}
+		return &memRows{
+			cols: []string{"count"},
+			rows: [][]driver.Value{{int64(res.Cardinality)}},
+		}, nil
+	}
+
+	st, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.ref.ExecuteContext(ctx, st)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]driver.Value, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = rowToDriver(r)
+	}
+	return &memRows{cols: res.Columns, rows: rows}, nil
+}
+
+func (c *memConn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	if len(args) != 0 {
+		return nil, errors.New("engine: bind parameters not supported")
+	}
+	st, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.ref.ExecuteContext(ctx, st)
+	if err != nil {
+		return nil, err
+	}
+	return memResult{affected: int64(res.Cardinality)}, nil
+}
+
+// cutCountWrap recognizes the adapter's COUNT(*) wrapper and returns the
+// inner SELECT.
+func cutCountWrap(query string) (string, bool) {
+	inner, ok := strings.CutPrefix(query, "SELECT COUNT(*) FROM (")
+	if !ok {
+		return "", false
+	}
+	inner, ok = strings.CutSuffix(inner, ") AS q")
+	if !ok {
+		return "", false
+	}
+	return inner, true
+}
+
+func rowToDriver(r storage.Row) []driver.Value {
+	out := make([]driver.Value, len(r))
+	for i, v := range r {
+		switch v.Kind() {
+		case sqltypes.KindInt:
+			out[i] = v.Int()
+		case sqltypes.KindFloat:
+			out[i] = v.Float()
+		case sqltypes.KindString:
+			out[i] = v.Str()
+		default:
+			out[i] = nil
+		}
+	}
+	return out
+}
+
+// memStmt backs Prepare for callers that don't use the Context fast
+// paths.
+type memStmt struct {
+	conn  *memConn
+	query string
+}
+
+func (s *memStmt) Close() error  { return nil }
+func (s *memStmt) NumInput() int { return 0 }
+
+func (s *memStmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.conn.ExecContext(context.Background(), s.query, nil)
+}
+
+func (s *memStmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.conn.QueryContext(context.Background(), s.query, nil)
+}
+
+type memResult struct{ affected int64 }
+
+func (r memResult) LastInsertId() (int64, error) {
+	return 0, errors.New("engine: LastInsertId not supported")
+}
+func (r memResult) RowsAffected() (int64, error) { return r.affected, nil }
+
+type memRows struct {
+	cols []string
+	rows [][]driver.Value
+	pos  int
+}
+
+func (r *memRows) Columns() []string { return r.cols }
+func (r *memRows) Close() error      { return nil }
+
+func (r *memRows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.rows) {
+		return io.EOF
+	}
+	copy(dest, r.rows[r.pos])
+	r.pos++
+	return nil
+}
+
+var _ executor.Backend = (*Reference)(nil)

@@ -55,7 +55,7 @@ func (c *checker) check(ctx context.Context, item Item, pr *ProducerReport) []Vi
 			pr.Replayed++
 		}
 	}
-	res, vs := c.checkDifferential(ctx, item, pr)
+	res, estOK, vs := c.checkDifferential(ctx, item, pr)
 	out = append(out, vs...)
 	if res != nil {
 		if v := c.checkMonotonic(ctx, item, res, pr); v != nil {
@@ -63,6 +63,9 @@ func (c *checker) check(ctx context.Context, item Item, pr *ProducerReport) []Vi
 		}
 	}
 	out = append(out, c.checkConstraint(ctx, item)...)
+	if len(c.cfg.Engines) > 0 {
+		out = append(out, c.checkCrossEngine(ctx, item, res, estOK, pr)...)
+	}
 	return out
 }
 
@@ -129,13 +132,16 @@ func (c *checker) execute(ctx context.Context, st sqlast.Statement) (*executor.R
 // expected; hard failures are only the impossible outcomes — estimator
 // refusal of an executable statement, non-finite or negative estimates,
 // or the executor rejecting an FSM-produced statement. The executor
-// result is returned for the metamorphic stage (nil when unavailable).
-func (c *checker) checkDifferential(ctx context.Context, item Item, pr *ProducerReport) (*executor.Result, []Violation) {
+// result is returned for the metamorphic stage (nil when unavailable),
+// along with whether the in-tree estimator priced the statement (the
+// cross-engine oracle convicts engine refusals only for statements our
+// own estimator handles).
+func (c *checker) checkDifferential(ctx context.Context, item Item, pr *ProducerReport) (*executor.Result, bool, []Violation) {
 	var out []Violation
 	res, execErr := c.execute(ctx, item.Statement)
 	if execErr != nil {
 		if ctx.Err() != nil {
-			return nil, nil
+			return nil, false, nil
 		}
 		if item.Tokens != nil {
 			// §5: every completed FSM walk must execute.
@@ -150,7 +156,7 @@ func (c *checker) checkDifferential(ctx context.Context, item Item, pr *Producer
 	est, estErr := c.cfg.Env.Est.EstimateContext(ctx, item.Statement)
 	switch {
 	case estErr != nil && ctx.Err() != nil:
-		return res, out
+		return res, false, out
 	case estErr != nil && execErr == nil:
 		out = append(out, c.violation(KindDifferential, item.SQL,
 			"estimator refused an executable statement: %v", estErr))
@@ -173,7 +179,7 @@ func (c *checker) checkDifferential(ctx context.Context, item Item, pr *Producer
 			pr.QError.add(q)
 		}
 	}
-	return res, out
+	return res, estErr == nil, out
 }
 
 // checkMonotonic is the predicate-tightening metamorphic check: appending

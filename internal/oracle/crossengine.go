@@ -1,0 +1,148 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+
+	"learnedsqlgen/internal/estimator"
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/parser"
+	"learnedsqlgen/internal/sqlast"
+)
+
+// EngineUnderTest configures one external engine for the cross-engine
+// differential oracle. The oracle depends only on the backend seams and
+// the dialect interfaces, not on internal/engine, so any estimator or
+// executor implementation can stand in; the facade wires engine.Driver
+// instances through this struct.
+type EngineUnderTest struct {
+	// Name labels the engine in reports.
+	Name string
+	// Dialect renders each statement for the engine; nil skips the
+	// render↔reparse check (the engine speaks the native dialect).
+	Dialect sqlast.Dialect
+	// Reparse is the lexical convention that reads Dialect's output back.
+	Reparse parser.Options
+	// Est, when non-nil, is estimated against and compared to the ground
+	// truth cardinality.
+	Est estimator.Backend
+	// Exec, when non-nil, executes every statement our executor runs.
+	Exec executor.Backend
+	// ExactCardinality asserts the engine holds the same data as the
+	// environment: any cardinality difference is a hard violation instead
+	// of a distribution entry.
+	ExactCardinality bool
+}
+
+// EngineQError tallies one engine's cross-check coverage and q-error
+// distributions for one producer.
+type EngineQError struct {
+	Engine string
+	// Rendered counts statements whose dialect rendering read back as the
+	// same statement.
+	Rendered int
+	// Executed / Estimated count engine calls that returned a result.
+	Executed  int
+	Estimated int
+	// Skipped counts transient engine failures — infrastructure, not
+	// conformance, so the query is skipped rather than convicted.
+	Skipped int
+	// TruthQ is the q-error between the engine's executed cardinality and
+	// the in-tree executor's (1.0 everywhere on shared data).
+	TruthQ QErrorStats
+	// EstQ is the q-error between the engine's estimate and the in-tree
+	// executor's true cardinality.
+	EstQ QErrorStats
+}
+
+// transientErr mirrors the resilience layer's structural classification.
+func transientErr(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+func qerror(truth, estimate float64) float64 {
+	q := (truth + 1) / (estimate + 1)
+	if q < 1 {
+		q = 1 / q
+	}
+	return q
+}
+
+// checkCrossEngine pushes one item through every configured engine:
+// dialect round trip, execution against ground truth, and estimate
+// quality. ours is the in-tree executor result (nil when it refused);
+// ourEstOK reports whether the in-tree estimator priced the statement.
+func (c *checker) checkCrossEngine(ctx context.Context, item Item, ours *executor.Result, ourEstOK bool, pr *ProducerReport) []Violation {
+	var out []Violation
+	for i := range c.cfg.Engines {
+		e := &c.cfg.Engines[i]
+		ec := &pr.Engines[i]
+
+		if e.Dialect != nil {
+			text := sqlast.Render(item.Statement, e.Dialect)
+			back, err := parser.ParseWithOptions(text, e.Reparse)
+			switch {
+			case err != nil:
+				out = append(out, c.violation(KindCrossEngine, item.SQL,
+					"engine %s: dialect rendering %q does not parse back: %v", e.Name, text, err))
+			case back.SQL() != item.Statement.SQL():
+				out = append(out, c.violation(KindCrossEngine, item.SQL,
+					"engine %s: dialect round trip changed the statement: %q reads back as %q",
+					e.Name, text, back.SQL()))
+			default:
+				ec.Rendered++
+			}
+		}
+
+		if e.Exec != nil && ours != nil {
+			res, err := e.Exec.ExecuteContext(ctx, item.Statement)
+			switch {
+			case err != nil && ctx.Err() != nil:
+				return out
+			case err != nil && transientErr(err):
+				ec.Skipped++
+			case err != nil:
+				out = append(out, c.violation(KindCrossEngine, item.SQL,
+					"engine %s rejected a statement our executor runs: %v", e.Name, err))
+			default:
+				ec.Executed++
+				if res.Cardinality < 0 {
+					out = append(out, c.violation(KindCrossEngine, item.SQL,
+						"engine %s returned impossible cardinality %d", e.Name, res.Cardinality))
+					break
+				}
+				ec.TruthQ.add(qerror(float64(ours.Cardinality), float64(res.Cardinality)))
+				if e.ExactCardinality && res.Cardinality != ours.Cardinality {
+					out = append(out, c.violation(KindCrossEngine, item.SQL,
+						"engine %s cardinality %d != reference %d on shared data",
+						e.Name, res.Cardinality, ours.Cardinality))
+				}
+			}
+		}
+
+		if e.Est != nil {
+			est, err := e.Est.EstimateContext(ctx, item.Statement)
+			switch {
+			case err != nil && ctx.Err() != nil:
+				return out
+			case err != nil && transientErr(err):
+				ec.Skipped++
+			case err != nil && ourEstOK:
+				out = append(out, c.violation(KindCrossEngine, item.SQL,
+					"engine %s refused to estimate a statement our estimator prices: %v", e.Name, err))
+			case err == nil:
+				ec.Estimated++
+				if !finiteNonNegative(est.Card) || !finiteNonNegative(est.Cost) {
+					out = append(out, c.violation(KindCrossEngine, item.SQL,
+						"engine %s returned impossible estimate card=%v cost=%v", e.Name, est.Card, est.Cost))
+					break
+				}
+				if ours != nil {
+					ec.EstQ.add(qerror(float64(ours.Cardinality), est.Card))
+				}
+			}
+		}
+	}
+	return out
+}

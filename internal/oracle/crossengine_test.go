@@ -1,0 +1,176 @@
+package oracle
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"learnedsqlgen/internal/engine"
+	"learnedsqlgen/internal/estimator"
+	"learnedsqlgen/internal/executor"
+	"learnedsqlgen/internal/fsm"
+	"learnedsqlgen/internal/rl"
+	"learnedsqlgen/internal/sqlast"
+)
+
+// crossEngines wires the two in-tree drivers over the environment's own
+// database — the configuration `sqlgen -cross-check` uses — plus a
+// render-only entry for a dialect with no engine behind it.
+func crossEngines(t *testing.T, env *rl.Env) []EngineUnderTest {
+	t.Helper()
+	ref := engine.NewReference(env.DB)
+
+	engine.RegisterTestDatabase("oracle-cross", env.DB)
+	inproc, err := engine.Open("inprocess", "handle=oracle-cross")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inproc.Close() })
+
+	nat, _ := engine.DialectByName("native")
+	pg, _ := engine.DialectByName("postgres")
+	my, _ := engine.DialectByName("mysql")
+	return []EngineUnderTest{
+		{Name: "reference", Est: ref, Exec: ref, ExactCardinality: true},
+		{Name: "inprocess", Dialect: nat.Render, Reparse: nat.Reparse,
+			Est: inproc, Exec: inproc, ExactCardinality: true},
+		{Name: "postgres-dialect", Dialect: pg.Render, Reparse: pg.Reparse},
+		{Name: "mysql-dialect", Dialect: my.Render, Reparse: my.Reparse},
+	}
+}
+
+// TestCrossEngineConformance is the acceptance sweep for the engine
+// layer: every producer's queries rendered per dialect, executed and
+// estimated on both in-tree drivers over shared data — zero hard
+// violations, exact cardinality agreement, full coverage.
+func TestCrossEngineConformance(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 30
+	}
+	env := testEnv(t, fsm.DefaultConfig())
+	c := testConstraint()
+	rep, err := Run(context.Background(), Config{
+		Env:         env,
+		Producers:   allProducers(env, c),
+		PerProducer: n,
+		Constraint:  &c,
+		Seed:        3,
+		Engines:     crossEngines(t, env),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("cross-engine violations:\n%s", rep)
+	}
+	for _, pr := range rep.Producers {
+		if len(pr.Engines) != 4 {
+			t.Fatalf("%s: %d engine reports, want 4", pr.Name, len(pr.Engines))
+		}
+		for _, e := range pr.Engines {
+			if e.Engine == "reference" {
+				if e.Rendered != 0 {
+					t.Errorf("%s/%s: dialect-less engine rendered %d", pr.Name, e.Engine, e.Rendered)
+				}
+			} else if e.Rendered != pr.Queries {
+				t.Errorf("%s/%s: dialect round trip covered %d/%d", pr.Name, e.Engine, e.Rendered, pr.Queries)
+			}
+			if e.Engine == "reference" || e.Engine == "inprocess" {
+				if e.Executed == 0 || e.Estimated == 0 {
+					t.Errorf("%s/%s: coverage hole: %+v", pr.Name, e.Engine, e)
+				}
+				// Shared data: the truth q-error must be identically 1.
+				if e.TruthQ.Count == 0 || e.TruthQ.Max != 1 {
+					t.Errorf("%s/%s: truth q-error %+v, want exactly 1.0", pr.Name, e.Engine, e.TruthQ)
+				}
+				if e.EstQ.Count == 0 {
+					t.Errorf("%s/%s: no estimate q-error distribution", pr.Name, e.Engine)
+				}
+				if e.Skipped != 0 {
+					t.Errorf("%s/%s: %d calls skipped without fault injection", pr.Name, e.Engine, e.Skipped)
+				}
+			}
+		}
+	}
+	out := rep.String()
+	if !strings.Contains(out, "engine reference") || !strings.Contains(out, "est-q mean") {
+		t.Errorf("report does not surface engine distributions:\n%s", out)
+	}
+}
+
+// skewExec wraps a backend and corrupts every cardinality by one — the
+// cross-engine oracle must convict it on shared data.
+type skewExec struct{ inner executor.Backend }
+
+func (s skewExec) ExecuteContext(ctx context.Context, st sqlast.Statement) (*executor.Result, error) {
+	res, err := s.inner.ExecuteContext(ctx, st)
+	if err != nil {
+		return nil, err
+	}
+	out := *res
+	out.Cardinality++
+	return &out, nil
+}
+
+func TestCrossEngineDetectsDisagreement(t *testing.T) {
+	env := testEnv(t, fsm.DefaultConfig())
+	ref := engine.NewReference(env.DB)
+	rep, err := Run(context.Background(), Config{
+		Env:         env,
+		Producers:   []Producer{FSMWalk(env, 3)},
+		PerProducer: 5,
+		Engines: []EngineUnderTest{
+			{Name: "skewed", Exec: skewExec{ref}, ExactCardinality: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("oracle missed a cardinality disagreement on shared data")
+	}
+	for _, v := range rep.Violations {
+		if v.Kind != KindCrossEngine {
+			t.Fatalf("unexpected violation kind %s: %s", v.Kind, v)
+		}
+	}
+	if rep.Producers[0].Engines[0].TruthQ.Max <= 1 {
+		t.Fatal("skewed cardinalities did not widen the truth q-error")
+	}
+}
+
+type transientStubErr struct{}
+
+func (transientStubErr) Error() string   { return "stub: transient" }
+func (transientStubErr) Transient() bool { return true }
+
+// alwaysTransientEst is an estimator.Backend that only ever fails
+// transiently; the oracle must skip, not convict.
+type alwaysTransientEst struct{}
+
+func (alwaysTransientEst) EstimateContext(ctx context.Context, st sqlast.Statement) (estimator.Estimate, error) {
+	return estimator.Estimate{}, transientStubErr{}
+}
+
+func TestCrossEngineSkipsTransientFaults(t *testing.T) {
+	env := testEnv(t, fsm.DefaultConfig())
+	rep, err := Run(context.Background(), Config{
+		Env:         env,
+		Producers:   []Producer{FSMWalk(env, 3)},
+		PerProducer: 5,
+		Engines: []EngineUnderTest{
+			{Name: "flaky", Est: alwaysTransientEst{}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("transient engine faults were convicted:\n%s", rep)
+	}
+	e := rep.Producers[0].Engines[0]
+	if e.Skipped != 5 || e.Estimated != 0 {
+		t.Fatalf("skip accounting wrong: %+v", e)
+	}
+}

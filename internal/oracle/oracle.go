@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"learnedsqlgen/internal/rl"
@@ -54,6 +55,11 @@ const (
 	// walk, an episode error) — not a query-level check, but still a
 	// conformance failure of the stack under test.
 	KindProducer
+	// KindCrossEngine: a configured external engine disagreed with the
+	// in-tree stack — the dialect rendering did not read back as the same
+	// statement, the engine rejected a statement our executor runs, or
+	// (on shared data) returned a different cardinality.
+	KindCrossEngine
 )
 
 // String names the oracle.
@@ -71,6 +77,8 @@ func (k Kind) String() string {
 		return "determinism"
 	case KindProducer:
 		return "producer"
+	case KindCrossEngine:
+		return "cross-engine"
 	default:
 		return fmt.Sprintf("Kind(%d)", k)
 	}
@@ -118,6 +126,13 @@ type Config struct {
 	// Seed drives the metamorphic conjunct sampling. The default 0 is a
 	// valid seed.
 	Seed int64
+	// Engines, when non-empty, enables the cross-engine differential
+	// oracle: every query is additionally rendered in each engine's
+	// dialect (and must read back as the same statement), executed and
+	// estimated on the engine, and compared against the in-tree results.
+	// Transient engine failures skip the query rather than convict it —
+	// the resilience layer, not the oracle, owns infrastructure faults.
+	Engines []EngineUnderTest
 }
 
 func (c *Config) perProducer() int {
@@ -157,13 +172,24 @@ type QErrorStats struct {
 	Count int
 	Sum   float64
 	Max   float64
+	// sample retains the first qErrorSampleCap observations so the
+	// distribution (not just mean/max) can be reported; conformance
+	// sweeps rarely exceed the cap, and an approximate tail quantile is
+	// all drift detection needs.
+	sample []float64
 }
+
+// qErrorSampleCap bounds the retained q-error sample.
+const qErrorSampleCap = 4096
 
 func (q *QErrorStats) add(v float64) {
 	q.Count++
 	q.Sum += v
 	if v > q.Max {
 		q.Max = v
+	}
+	if len(q.sample) < qErrorSampleCap {
+		q.sample = append(q.sample, v)
 	}
 }
 
@@ -173,6 +199,24 @@ func (q QErrorStats) Mean() float64 {
 		return 0
 	}
 	return q.Sum / float64(q.Count)
+}
+
+// Quantile returns the p-quantile (p in [0, 1]) of the retained sample,
+// or 0 before any observation.
+func (q QErrorStats) Quantile(p float64) float64 {
+	if len(q.sample) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), q.sample...)
+	sort.Float64s(s)
+	idx := int(p*float64(len(s)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
 }
 
 // ProducerReport summarizes one producer's sweep.
@@ -186,6 +230,9 @@ type ProducerReport struct {
 	Metamorphic int // predicate-tightening pairs executed
 	Violations  int
 	QError      QErrorStats
+	// Engines holds the per-engine cross-check tallies and q-error
+	// distributions, index-aligned with Config.Engines.
+	Engines []EngineQError
 }
 
 // Report is the outcome of one Run.
@@ -206,9 +253,22 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "%-16s %5d queries: parse %d, fsm-replay %d, exec %d, est %d, metamorphic %d",
 			p.Name, p.Queries, p.Parsed, p.Replayed, p.Executed, p.Estimated, p.Metamorphic)
 		if p.QError.Count > 0 {
-			fmt.Fprintf(&b, ", q-error mean %.2f max %.2f", p.QError.Mean(), p.QError.Max)
+			fmt.Fprintf(&b, ", q-error mean %.2f p50 %.2f p95 %.2f max %.2f",
+				p.QError.Mean(), p.QError.Quantile(0.5), p.QError.Quantile(0.95), p.QError.Max)
 		}
 		fmt.Fprintf(&b, ", violations %d\n", p.Violations)
+		for _, e := range p.Engines {
+			fmt.Fprintf(&b, "  engine %-12s rendered %d, exec %d, est %d, skipped %d",
+				e.Engine, e.Rendered, e.Executed, e.Estimated, e.Skipped)
+			if e.TruthQ.Count > 0 {
+				fmt.Fprintf(&b, ", truth-q mean %.2f max %.2f", e.TruthQ.Mean(), e.TruthQ.Max)
+			}
+			if e.EstQ.Count > 0 {
+				fmt.Fprintf(&b, ", est-q mean %.2f p50 %.2f p95 %.2f max %.2f",
+					e.EstQ.Mean(), e.EstQ.Quantile(0.5), e.EstQ.Quantile(0.95), e.EstQ.Max)
+			}
+			b.WriteString("\n")
+		}
 	}
 	if len(r.Violations) == 0 {
 		b.WriteString("conformance: OK\n")
@@ -273,6 +333,9 @@ func runProducer(ctx context.Context, cfg *Config, p Producer, report *Report) (
 		return pr, nil
 	}
 	ck := newChecker(cfg, p.Name)
+	for _, e := range cfg.Engines {
+		pr.Engines = append(pr.Engines, EngineQError{Engine: e.Name})
+	}
 	var trace []string
 	detPrefix := cfg.determinismPrefix()
 	for i := 0; i < cfg.perProducer(); i++ {

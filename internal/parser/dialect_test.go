@@ -1,0 +1,150 @@
+package parser
+
+import (
+	"testing"
+
+	"learnedsqlgen/internal/sqlast"
+)
+
+// TestQuotedIdentifiers covers the quoted-identifier path the dialect
+// refactor opened: ANSI "..." and mysql `...` quoting both lex to plain
+// identifiers, keywords lose their meaning inside quotes, and rendering
+// re-quotes exactly the identifiers that need it.
+func TestQuotedIdentifiers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical native rendering (fixed point)
+	}{
+		{`SELECT "t"."a" FROM "t"`, "SELECT t.a FROM t"},
+		{"SELECT `t`.`a` FROM `t`", "SELECT t.a FROM t"},
+		{`SELECT "select"."from" FROM "select"`, `SELECT "select"."from" FROM "select"`},
+		{`SELECT t."weird col" FROM t WHERE t."weird col" = 1`,
+			`SELECT t."weird col" FROM t WHERE t."weird col" = 1`},
+		{`SELECT "a""b".c FROM "a""b"`, `SELECT "a""b".c FROM "a""b"`},
+		{"SELECT `a``b`.c FROM `a``b`", `SELECT "a` + "`" + `b".c FROM "a` + "`" + `b"`},
+	}
+	for _, c := range cases {
+		st, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		got := st.SQL()
+		if got != c.want {
+			t.Errorf("Parse(%q).SQL() = %q, want %q", c.in, got, c.want)
+		}
+		// The canonical rendering must be a fixed point.
+		again, err := Parse(got)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", got, err)
+		}
+		if got2 := again.SQL(); got2 != got {
+			t.Errorf("render not a fixed point: %q -> %q", got, got2)
+		}
+	}
+}
+
+func TestUnterminatedQuotedIdent(t *testing.T) {
+	for _, in := range []string{`SELECT "t.a FROM t`, "SELECT `t.a FROM t"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted an unterminated quoted identifier", in)
+		}
+	}
+}
+
+// TestBackslashEscapes exercises the mysql string convention behind
+// Options.BackslashEscapes: with it on, backslash escapes the next
+// character; with it off (native/ANSI), backslash is an ordinary byte.
+func TestBackslashEscapes(t *testing.T) {
+	in := `SELECT t.a FROM t WHERE t.s = 'a\'b'`
+	st, err := ParseWithOptions(in, Options{BackslashEscapes: true})
+	if err != nil {
+		t.Fatalf("ParseWithOptions: %v", err)
+	}
+	sel := st.(*sqlast.Select)
+	cmp := sel.Where.(*sqlast.Compare)
+	if got := cmp.Value.Str(); got != "a'b" {
+		t.Errorf("backslash-escaped string = %q, want %q", got, "a'b")
+	}
+
+	// Same text under native rules: '...' ends at the first ', leaving
+	// `b'` as trailing garbage — a parse error, not silent acceptance.
+	if _, err := Parse(in); err == nil {
+		t.Errorf("native parse of backslash-escaped string should fail")
+	}
+
+	// Double-backslash reads as one backslash under mysql rules and two
+	// under native rules.
+	bs := `SELECT t.a FROM t WHERE t.s = '\\'`
+	st, err = ParseWithOptions(bs, Options{BackslashEscapes: true})
+	if err != nil {
+		t.Fatalf("ParseWithOptions: %v", err)
+	}
+	if got := st.(*sqlast.Select).Where.(*sqlast.Compare).Value.Str(); got != `\` {
+		t.Errorf("mysql double backslash = %q, want single backslash", got)
+	}
+	st, err = Parse(bs)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := st.(*sqlast.Select).Where.(*sqlast.Compare).Value.Str(); got != `\\` {
+		t.Errorf("native double backslash = %q, want two backslashes", got)
+	}
+}
+
+// TestReservedWordsInSync pins the duplicated keyword tables together:
+// every lexer keyword must be reserved in sqlast (or the renderer would
+// emit it bare and the lexer would read a keyword back), and vice versa.
+func TestReservedWordsInSync(t *testing.T) {
+	for kw := range keywords {
+		if !sqlast.ReservedWord(kw) {
+			t.Errorf("lexer keyword %q is not sqlast.ReservedWord", kw)
+		}
+	}
+	count := 0
+	for kw := range keywords {
+		_ = kw
+		count++
+	}
+	// sqlast has no exported iteration; probe equality by size via a
+	// spot-check list of every word sqlast reserves.
+	for _, kw := range []string{
+		"SELECT", "FROM", "WHERE", "JOIN", "ON", "GROUP", "BY", "HAVING",
+		"ORDER", "AND", "OR", "NOT", "IN", "EXISTS", "LIKE", "INSERT",
+		"INTO", "VALUES", "UPDATE", "SET", "DELETE", "MAX", "MIN", "SUM",
+		"AVG", "COUNT",
+	} {
+		if !keywords[kw] {
+			t.Errorf("sqlast reserves %q but the lexer does not", kw)
+		}
+	}
+}
+
+// TestFloatLiteralRoundTrip documents the float edge cases surfaced by
+// the dialect refactor: integral floats canonicalize to integer literals
+// at the text level (still a fixed point), exponent forms survive, and
+// negative zero normalizes to zero.
+func TestFloatLiteralRoundTrip(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT t.a FROM t WHERE t.b = 1.0", "SELECT t.a FROM t WHERE t.b = 1"},
+		{"SELECT t.a FROM t WHERE t.b = -0.0", "SELECT t.a FROM t WHERE t.b = 0"},
+		{"SELECT t.a FROM t WHERE t.b = 1e300", "SELECT t.a FROM t WHERE t.b = 1e+300"},
+		{"SELECT t.a FROM t WHERE t.b = 2.5", "SELECT t.a FROM t WHERE t.b = 2.5"},
+	}
+	for _, c := range cases {
+		st, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		got := st.SQL()
+		if got != c.want {
+			t.Errorf("Parse(%q).SQL() = %q, want %q", c.in, got, c.want)
+		}
+		again, err := Parse(got)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", got, err)
+		}
+		if got2 := again.SQL(); got2 != got {
+			t.Errorf("render not a fixed point: %q -> %q", got, got2)
+		}
+	}
+}

@@ -45,8 +45,20 @@ func (t token) String() string {
 	return t.text
 }
 
+// Options selects the lexical conventions of the SQL dialect being read.
+// The zero value is the native/ANSI convention every renderer in this
+// repo round-trips with. Quoted identifiers ("ident" and `ident`) are
+// always accepted — they are unambiguous in every supported dialect.
+type Options struct {
+	// BackslashEscapes treats backslash as an escape character inside
+	// string literals (MySQL's default), so `\\` reads as one backslash
+	// and `\'` as a quote. Off, backslash is an ordinary character
+	// (ANSI / postgres standard_conforming_strings / sqlite).
+	BackslashEscapes bool
+}
+
 // lex splits input into tokens. Errors report byte offsets.
-func lex(input string) ([]token, error) {
+func lex(input string, o Options) ([]token, error) {
 	var toks []token
 	i := 0
 	n := len(input)
@@ -61,6 +73,11 @@ func lex(input string) ([]token, error) {
 			var sb strings.Builder
 			closed := false
 			for i < n {
+				if o.BackslashEscapes && input[i] == '\\' && i+1 < n {
+					sb.WriteByte(input[i+1])
+					i += 2
+					continue
+				}
 				if input[i] == '\'' {
 					if i+1 < n && input[i+1] == '\'' { // escaped quote
 						sb.WriteByte('\'')
@@ -78,6 +95,32 @@ func lex(input string) ([]token, error) {
 				return nil, fmt.Errorf("parser: unterminated string at offset %d", start)
 			}
 			toks = append(toks, token{tokString, sb.String(), start})
+		case c == '"' || c == '`':
+			// Quoted identifier: "ident" (ANSI/postgres/sqlite) or
+			// `ident` (mysql). The closing quote doubles to escape itself;
+			// keywords lose their special meaning inside quotes.
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == c {
+					if i+1 < n && input[i+1] == c { // escaped quote
+						sb.WriteByte(c)
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("parser: unterminated quoted identifier at offset %d", start)
+			}
+			toks = append(toks, token{tokIdent, sb.String(), start})
 		case c >= '0' && c <= '9' ||
 			(c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9' && startsValue(toks)):
 			start := i
@@ -179,7 +222,7 @@ func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unico
 // LexValue(v.SQL()) — a single literal of the matching kind — or the FSM
 // would emit queries whose constants the parser reads back differently.
 func LexValue(input string) (sqltypes.Value, error) {
-	toks, err := lex(input)
+	toks, err := lex(input, Options{})
 	if err != nil {
 		return sqltypes.Null, err
 	}

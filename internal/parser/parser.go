@@ -10,9 +10,17 @@ import (
 	"learnedsqlgen/internal/sqltypes"
 )
 
-// Parse parses one SQL statement.
+// Parse parses one SQL statement written in the native dialect.
 func Parse(input string) (sqlast.Statement, error) {
-	toks, err := lex(input)
+	return ParseWithOptions(input, Options{})
+}
+
+// ParseWithOptions parses one SQL statement under the given lexical
+// conventions — the re-parse half of per-dialect round-trip checks
+// (internal/engine renders a statement in an engine's dialect; parsing it
+// back with that dialect's Options must rebuild the same AST).
+func ParseWithOptions(input string, o Options) (sqlast.Statement, error) {
+	toks, err := lex(input, o)
 	if err != nil {
 		return nil, err
 	}

@@ -119,12 +119,11 @@ type SelectItem struct {
 	Col schema.QualifiedColumn
 }
 
-// SQL renders the projection term.
+// SQL renders the projection term in the native dialect.
 func (s SelectItem) SQL() string {
-	if s.Agg == AggNone {
-		return s.Col.String()
-	}
-	return s.Agg.String() + "(" + s.Col.String() + ")"
+	r := renderer{d: Native}
+	r.item(s)
+	return r.b.String()
 }
 
 // JoinCond is one auto-derived equi-join condition between a newly joined
@@ -150,10 +149,8 @@ type Compare struct {
 
 func (*Compare) isPredicate() {}
 
-// SQL renders the comparison.
-func (c *Compare) SQL() string {
-	return c.Col.String() + " " + c.Op.String() + " " + c.Value.SQL()
-}
+// SQL renders the comparison in the native dialect.
+func (c *Compare) SQL() string { return RenderPredicate(c, Native) }
 
 // CompareSub is `col op (subquery)` where the subquery yields a scalar
 // (single aggregate select item, no GROUP BY).
@@ -165,10 +162,8 @@ type CompareSub struct {
 
 func (*CompareSub) isPredicate() {}
 
-// SQL renders the scalar-subquery comparison.
-func (c *CompareSub) SQL() string {
-	return c.Col.String() + " " + c.Op.String() + " (" + c.Sub.SQL() + ")"
-}
+// SQL renders the scalar-subquery comparison in the native dialect.
+func (c *CompareSub) SQL() string { return RenderPredicate(c, Native) }
 
 // Like is `col LIKE 'pattern'` where pattern uses % as the multi-character
 // wildcard. The paper's §5 leaves LIKE as future work and sketches the
@@ -181,10 +176,8 @@ type Like struct {
 
 func (*Like) isPredicate() {}
 
-// SQL renders the LIKE predicate.
-func (p *Like) SQL() string {
-	return p.Col.String() + " LIKE " + sqltypes.NewString(p.Pattern).SQL()
-}
+// SQL renders the LIKE predicate in the native dialect.
+func (p *Like) SQL() string { return RenderPredicate(p, Native) }
 
 // MatchLike evaluates a LIKE pattern (with % wildcards only) against a
 // string, SQL-style: the pattern must cover the whole input.
@@ -232,14 +225,8 @@ type In struct {
 
 func (*In) isPredicate() {}
 
-// SQL renders the IN predicate.
-func (p *In) SQL() string {
-	kw := " IN ("
-	if p.Negate {
-		kw = " NOT IN ("
-	}
-	return p.Col.String() + kw + p.Sub.SQL() + ")"
-}
+// SQL renders the IN predicate in the native dialect.
+func (p *In) SQL() string { return RenderPredicate(p, Native) }
 
 // Exists is `[NOT] EXISTS (subquery)`.
 type Exists struct {
@@ -249,14 +236,8 @@ type Exists struct {
 
 func (*Exists) isPredicate() {}
 
-// SQL renders the EXISTS predicate.
-func (p *Exists) SQL() string {
-	kw := "EXISTS ("
-	if p.Negate {
-		kw = "NOT EXISTS ("
-	}
-	return kw + p.Sub.SQL() + ")"
-}
+// SQL renders the EXISTS predicate in the native dialect.
+func (p *Exists) SQL() string { return RenderPredicate(p, Native) }
 
 // And is a conjunction.
 type And struct{ Left, Right Predicate }
@@ -265,7 +246,7 @@ func (*And) isPredicate() {}
 
 // SQL renders the conjunction (left-assoc, no parens needed for AND chains;
 // OR operands are parenthesized at the Or level).
-func (p *And) SQL() string { return p.Left.SQL() + " AND " + p.Right.SQL() }
+func (p *And) SQL() string { return RenderPredicate(p, Native) }
 
 // Or is a disjunction. Rendering parenthesizes both sides to keep the
 // round-trip through the parser unambiguous.
@@ -274,7 +255,7 @@ type Or struct{ Left, Right Predicate }
 func (*Or) isPredicate() {}
 
 // SQL renders the disjunction.
-func (p *Or) SQL() string { return "(" + p.Left.SQL() + " OR " + p.Right.SQL() + ")" }
+func (p *Or) SQL() string { return RenderPredicate(p, Native) }
 
 // Not negates a predicate.
 type Not struct{ Inner Predicate }
@@ -282,7 +263,7 @@ type Not struct{ Inner Predicate }
 func (*Not) isPredicate() {}
 
 // SQL renders the negation.
-func (p *Not) SQL() string { return "NOT (" + p.Inner.SQL() + ")" }
+func (p *Not) SQL() string { return RenderPredicate(p, Native) }
 
 // Having is `agg(attr) op (value | subquery)`.
 type Having struct {
@@ -293,13 +274,11 @@ type Having struct {
 	Sub   *Select
 }
 
-// SQL renders the HAVING condition.
+// SQL renders the HAVING condition in the native dialect.
 func (h *Having) SQL() string {
-	lhs := h.Agg.String() + "(" + h.Col.String() + ") " + h.Op.String() + " "
-	if h.Sub != nil {
-		return lhs + "(" + h.Sub.SQL() + ")"
-	}
-	return lhs + h.Value.SQL()
+	r := renderer{d: Native}
+	r.having(h)
+	return r.b.String()
 }
 
 // Select is a SELECT query (possibly a subquery).
@@ -323,55 +302,9 @@ type Statement interface {
 
 func (*Select) isStatement() {}
 
-// SQL renders the canonical form of the query.
-func (s *Select) SQL() string {
-	var b strings.Builder
-	b.WriteString("SELECT ")
-	for i, it := range s.Items {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		b.WriteString(it.SQL())
-	}
-	b.WriteString(" FROM ")
-	b.WriteString(s.Tables[0])
-	for i := 1; i < len(s.Tables); i++ {
-		j := s.Joins[i-1]
-		b.WriteString(" JOIN ")
-		b.WriteString(s.Tables[i])
-		b.WriteString(" ON ")
-		b.WriteString(j.Left.String())
-		b.WriteString(" = ")
-		b.WriteString(j.Right.String())
-	}
-	if s.Where != nil {
-		b.WriteString(" WHERE ")
-		b.WriteString(s.Where.SQL())
-	}
-	if len(s.GroupBy) > 0 {
-		b.WriteString(" GROUP BY ")
-		for i, c := range s.GroupBy {
-			if i > 0 {
-				b.WriteString(", ")
-			}
-			b.WriteString(c.String())
-		}
-	}
-	if s.Having != nil {
-		b.WriteString(" HAVING ")
-		b.WriteString(s.Having.SQL())
-	}
-	if len(s.OrderBy) > 0 {
-		b.WriteString(" ORDER BY ")
-		for i, c := range s.OrderBy {
-			if i > 0 {
-				b.WriteString(", ")
-			}
-			b.WriteString(c.String())
-		}
-	}
-	return b.String()
-}
+// SQL renders the canonical form of the query — Render in the native
+// dialect, the fixed point of the parser round-trip.
+func (s *Select) SQL() string { return Render(s, Native) }
 
 // HasAggregate reports whether any select item aggregates.
 func (s *Select) HasAggregate() bool {
@@ -392,27 +325,8 @@ type Insert struct {
 
 func (*Insert) isStatement() {}
 
-// SQL renders the insert statement.
-func (s *Insert) SQL() string {
-	var b strings.Builder
-	b.WriteString("INSERT INTO ")
-	b.WriteString(s.Table)
-	if s.Sub != nil {
-		b.WriteString(" (")
-		b.WriteString(s.Sub.SQL())
-		b.WriteString(")")
-		return b.String()
-	}
-	b.WriteString(" VALUES (")
-	for i, v := range s.Values {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		b.WriteString(v.SQL())
-	}
-	b.WriteString(")")
-	return b.String()
-}
+// SQL renders the insert statement in the native dialect.
+func (s *Insert) SQL() string { return Render(s, Native) }
 
 // SetClause is one `col = value` assignment of an UPDATE.
 type SetClause struct {
@@ -429,26 +343,8 @@ type Update struct {
 
 func (*Update) isStatement() {}
 
-// SQL renders the update statement.
-func (s *Update) SQL() string {
-	var b strings.Builder
-	b.WriteString("UPDATE ")
-	b.WriteString(s.Table)
-	b.WriteString(" SET ")
-	for i, sc := range s.Sets {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		b.WriteString(sc.Col)
-		b.WriteString(" = ")
-		b.WriteString(sc.Value.SQL())
-	}
-	if s.Where != nil {
-		b.WriteString(" WHERE ")
-		b.WriteString(s.Where.SQL())
-	}
-	return b.String()
-}
+// SQL renders the update statement in the native dialect.
+func (s *Update) SQL() string { return Render(s, Native) }
 
 // Delete is `DELETE FROM table WHERE pred`.
 type Delete struct {
@@ -458,17 +354,8 @@ type Delete struct {
 
 func (*Delete) isStatement() {}
 
-// SQL renders the delete statement.
-func (s *Delete) SQL() string {
-	var b strings.Builder
-	b.WriteString("DELETE FROM ")
-	b.WriteString(s.Table)
-	if s.Where != nil {
-		b.WriteString(" WHERE ")
-		b.WriteString(s.Where.SQL())
-	}
-	return b.String()
-}
+// SQL renders the delete statement in the native dialect.
+func (s *Delete) SQL() string { return Render(s, Native) }
 
 // WalkPredicates calls fn on every predicate node of p in depth-first
 // order, descending into AND/OR/NOT but not into subqueries.

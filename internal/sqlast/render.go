@@ -1,0 +1,317 @@
+package sqlast
+
+import (
+	"strings"
+
+	"learnedsqlgen/internal/schema"
+	"learnedsqlgen/internal/sqltypes"
+)
+
+// Dialect controls the engine-specific surface syntax of rendered SQL:
+// identifier quoting, literal formatting, parameter placeholders and the
+// LIMIT clause. The AST itself is dialect-free; Render walks it once and
+// consults the dialect only at the leaves, so adding an engine means
+// implementing this interface, not a renderer.
+//
+// The canonical implementation is Native — the dialect the in-tree
+// lexer/parser round-trips with and the one every SQL() method uses.
+// Engine-specific dialects (ANSI, postgres, mysql, sqlite) live in
+// internal/engine, next to the drivers that speak them.
+type Dialect interface {
+	// Name identifies the dialect ("native", "postgres", ...).
+	Name() string
+	// QuoteIdent renders one identifier, quoting it if the dialect
+	// requires (reserved word, unusual characters, case folding).
+	QuoteIdent(ident string) string
+	// Literal renders a constant value as a SQL literal.
+	Literal(v sqltypes.Value) string
+	// Placeholder renders the n-th (1-based) bind parameter ("?", "$1").
+	Placeholder(n int) string
+	// Limit appends the dialect's row-limit syntax to a rendered SELECT.
+	// Dialect-specific probe queries (the database/sql adapter's
+	// cardinality fallback) use it; generated workloads do not.
+	Limit(sql string, n int) string
+}
+
+// Native is the dialect of the in-tree stack: the renderer the
+// lexer/parser round-trips with and the FSM's canonical token stream.
+// Identifiers are emitted verbatim unless quoting is required for
+// re-parsing (reserved words, non-identifier characters); literals use
+// sqltypes.Value.SQL.
+var Native Dialect = nativeDialect{}
+
+type nativeDialect struct{}
+
+func (nativeDialect) Name() string { return "native" }
+
+func (nativeDialect) QuoteIdent(ident string) string {
+	if IdentNeedsQuoting(ident) {
+		return QuoteIdentANSI(ident)
+	}
+	return ident
+}
+
+func (nativeDialect) Literal(v sqltypes.Value) string { return v.SQL() }
+
+func (nativeDialect) Placeholder(n int) string { return "?" }
+
+func (nativeDialect) Limit(sql string, n int) string { return sql }
+
+// reservedWords mirrors the parser's keyword table: an identifier spelled
+// like one of these must be quoted or the lexer reads it back as a
+// keyword and the render/parse fixed point breaks. (The parser cannot be
+// imported here — it depends on this package — so the set is duplicated;
+// parser tests assert the two stay in sync.)
+var reservedWords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "ON": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "EXISTS": true, "LIKE": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true,
+	"MAX": true, "MIN": true, "SUM": true, "AVG": true, "COUNT": true,
+}
+
+// ReservedWord reports whether ident collides with a grammar keyword
+// (case-insensitively).
+func ReservedWord(ident string) bool { return reservedWords[strings.ToUpper(ident)] }
+
+// IdentNeedsQuoting reports whether ident can NOT appear bare in native
+// SQL: it is empty, a reserved word, starts with a non-letter, or
+// contains characters outside [A-Za-z0-9_].
+func IdentNeedsQuoting(ident string) bool {
+	if ident == "" || ReservedWord(ident) {
+		return true
+	}
+	for i := 0; i < len(ident); i++ {
+		c := ident[i]
+		switch {
+		case c == '_', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return true
+			}
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// QuoteIdentANSI double-quotes an identifier, doubling embedded quotes —
+// the SQL-standard form shared by the native, ANSI, postgres and sqlite
+// dialects.
+func QuoteIdentANSI(ident string) string {
+	return `"` + strings.ReplaceAll(ident, `"`, `""`) + `"`
+}
+
+// Render renders a statement in the given dialect. Render(st, Native) is
+// the canonical form and equals st.SQL().
+func Render(st Statement, d Dialect) string {
+	r := renderer{d: d}
+	r.statement(st)
+	return r.b.String()
+}
+
+// RenderPredicate renders one predicate in the given dialect.
+func RenderPredicate(p Predicate, d Dialect) string {
+	r := renderer{d: d}
+	r.predicate(p)
+	return r.b.String()
+}
+
+// renderer walks the AST once, emitting into one builder and consulting
+// the dialect at identifier and literal leaves only.
+type renderer struct {
+	b strings.Builder
+	d Dialect
+}
+
+func (r *renderer) s(s string)                    { r.b.WriteString(s) }
+func (r *renderer) ident(id string)               { r.b.WriteString(r.d.QuoteIdent(id)) }
+func (r *renderer) value(v sqltypes.Value)        { r.b.WriteString(r.d.Literal(v)) }
+func (r *renderer) qcol(q schema.QualifiedColumn) { r.ident(q.Table); r.s("."); r.ident(q.Column) }
+
+func (r *renderer) statement(st Statement) {
+	switch t := st.(type) {
+	case *Select:
+		r.selectStmt(t)
+	case *Insert:
+		r.insertStmt(t)
+	case *Update:
+		r.updateStmt(t)
+	case *Delete:
+		r.deleteStmt(t)
+	}
+}
+
+func (r *renderer) selectStmt(s *Select) {
+	r.s("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			r.s(", ")
+		}
+		r.item(it)
+	}
+	r.s(" FROM ")
+	r.ident(s.Tables[0])
+	for i := 1; i < len(s.Tables); i++ {
+		j := s.Joins[i-1]
+		r.s(" JOIN ")
+		r.ident(s.Tables[i])
+		r.s(" ON ")
+		r.qcol(j.Left)
+		r.s(" = ")
+		r.qcol(j.Right)
+	}
+	if s.Where != nil {
+		r.s(" WHERE ")
+		r.predicate(s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		r.s(" GROUP BY ")
+		for i, c := range s.GroupBy {
+			if i > 0 {
+				r.s(", ")
+			}
+			r.qcol(c)
+		}
+	}
+	if s.Having != nil {
+		r.s(" HAVING ")
+		r.having(s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		r.s(" ORDER BY ")
+		for i, c := range s.OrderBy {
+			if i > 0 {
+				r.s(", ")
+			}
+			r.qcol(c)
+		}
+	}
+}
+
+func (r *renderer) item(it SelectItem) {
+	if it.Agg == AggNone {
+		r.qcol(it.Col)
+		return
+	}
+	r.s(it.Agg.String())
+	r.s("(")
+	r.qcol(it.Col)
+	r.s(")")
+}
+
+func (r *renderer) having(h *Having) {
+	r.s(h.Agg.String())
+	r.s("(")
+	r.qcol(h.Col)
+	r.s(") ")
+	r.s(h.Op.String())
+	r.s(" ")
+	if h.Sub != nil {
+		r.s("(")
+		r.selectStmt(h.Sub)
+		r.s(")")
+		return
+	}
+	r.value(h.Value)
+}
+
+func (r *renderer) predicate(p Predicate) {
+	switch t := p.(type) {
+	case *Compare:
+		r.qcol(t.Col)
+		r.s(" ")
+		r.s(t.Op.String())
+		r.s(" ")
+		r.value(t.Value)
+	case *CompareSub:
+		r.qcol(t.Col)
+		r.s(" ")
+		r.s(t.Op.String())
+		r.s(" (")
+		r.selectStmt(t.Sub)
+		r.s(")")
+	case *Like:
+		r.qcol(t.Col)
+		r.s(" LIKE ")
+		r.value(sqltypes.NewString(t.Pattern))
+	case *In:
+		r.qcol(t.Col)
+		if t.Negate {
+			r.s(" NOT IN (")
+		} else {
+			r.s(" IN (")
+		}
+		r.selectStmt(t.Sub)
+		r.s(")")
+	case *Exists:
+		if t.Negate {
+			r.s("NOT ")
+		}
+		r.s("EXISTS (")
+		r.selectStmt(t.Sub)
+		r.s(")")
+	case *And:
+		r.predicate(t.Left)
+		r.s(" AND ")
+		r.predicate(t.Right)
+	case *Or:
+		r.s("(")
+		r.predicate(t.Left)
+		r.s(" OR ")
+		r.predicate(t.Right)
+		r.s(")")
+	case *Not:
+		r.s("NOT (")
+		r.predicate(t.Inner)
+		r.s(")")
+	}
+}
+
+func (r *renderer) insertStmt(s *Insert) {
+	r.s("INSERT INTO ")
+	r.ident(s.Table)
+	if s.Sub != nil {
+		r.s(" (")
+		r.selectStmt(s.Sub)
+		r.s(")")
+		return
+	}
+	r.s(" VALUES (")
+	for i, v := range s.Values {
+		if i > 0 {
+			r.s(", ")
+		}
+		r.value(v)
+	}
+	r.s(")")
+}
+
+func (r *renderer) updateStmt(s *Update) {
+	r.s("UPDATE ")
+	r.ident(s.Table)
+	r.s(" SET ")
+	for i, sc := range s.Sets {
+		if i > 0 {
+			r.s(", ")
+		}
+		r.ident(sc.Col)
+		r.s(" = ")
+		r.value(sc.Value)
+	}
+	if s.Where != nil {
+		r.s(" WHERE ")
+		r.predicate(s.Where)
+	}
+}
+
+func (r *renderer) deleteStmt(s *Delete) {
+	r.s("DELETE FROM ")
+	r.ident(s.Table)
+	if s.Where != nil {
+		r.s(" WHERE ")
+		r.predicate(s.Where)
+	}
+}

@@ -2,9 +2,11 @@ package learnedsqlgen
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/engine"
 	"learnedsqlgen/internal/estimator"
 	"learnedsqlgen/internal/executor"
 	"learnedsqlgen/internal/faultinject"
@@ -110,6 +112,24 @@ type Options struct {
 	// backend stack beneath the resilience layer. It exists for chaos
 	// testing the training runtime; production runs leave it nil.
 	FaultInjection *FaultInjectionOptions
+	// Engine routes reward measurement (estimates and, under
+	// TrueExecutionRewards, execution) through a registered engine driver
+	// instead of wiring the in-tree estimator/executor directly. In-tree
+	// drivers: "reference" (the estimator/executor behind the driver
+	// interface), "inprocess" (the same engine reached through a real
+	// database/sql driver — SQL text out, plan text and rows back), and
+	// "sql" (a generic database/sql adapter for external engines; see
+	// DSN). Empty keeps the default direct wiring. The resilience and
+	// fault-injection layers wrap the driver exactly as they wrap the
+	// default backends, and SelfTest cross-checks the driver against the
+	// in-tree executor when one is configured.
+	Engine string
+	// DSN configures the Options.Engine driver. Empty shares the opened
+	// dataset with a "reference" or "inprocess" engine; otherwise it is
+	// driver-specific — "dataset=tpch scale=0.05 seed=1" opens a generated
+	// dataset, "handle=<name>" a registered in-memory database, and the
+	// "sql" driver takes "driver=<sql driver> dialect=<name> dsn=<dsn>".
+	DSN string
 	// MaxGradNorm tunes the divergence watchdog guarding every gradient
 	// update: batches with non-finite or exploding gradients are discarded
 	// and a diverged step is rolled back to the last healthy weights, so
@@ -226,6 +246,20 @@ func (o *Options) maxGradNorm() float64 {
 	return o.MaxGradNorm
 }
 
+func (o *Options) engineName() string {
+	if o == nil {
+		return ""
+	}
+	return o.Engine
+}
+
+func (o *Options) engineDSN() string {
+	if o == nil {
+		return ""
+	}
+	return o.DSN
+}
+
 func (o *Options) fsmConfig() fsm.Config {
 	cfg := fsm.DefaultConfig()
 	if o == nil || o.Grammar == nil {
@@ -264,6 +298,12 @@ type DB struct {
 	maxGradNorm     float64
 	env             *rl.Env
 	raw             *storage.Database
+	// driver is the Options.Engine driver reward measurement routes
+	// through; nil with the default direct wiring. driverShared records
+	// that the driver provably wraps this DB's own storage (empty DSN),
+	// which lets SelfTest demand exact cardinality agreement.
+	driver       engine.Driver
+	driverShared bool
 }
 
 // OpenBenchmark opens one of the paper's three evaluation datasets
@@ -274,16 +314,19 @@ func OpenBenchmark(name string, scale float64, opt *Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return openStorage(name, raw, opt), nil
+	return openStorage(name, raw, opt)
 }
 
-func openStorage(name string, raw *storage.Database, opt *Options) *DB {
+func openStorage(name string, raw *storage.Database, opt *Options) (*DB, error) {
 	vocab := token.Build(raw, opt.sampleValues(), opt.seed())
 	env := rl.NewEnv(raw, vocab, opt.fsmConfig())
 	if opt != nil && opt.TrueExecutionRewards {
 		env.TrueExecution = true
 	}
-	wireBackends(env, raw, opt)
+	drv, shared, err := wireBackends(env, raw, opt)
+	if err != nil {
+		return nil, err
+	}
 	if opt != nil {
 		if opt.EstimatorCacheSize < 0 {
 			env.DisableCache()
@@ -302,20 +345,56 @@ func openStorage(name string, raw *storage.Database, opt *Options) *DB {
 		maxGradNorm:     opt.maxGradNorm(),
 		env:             env,
 		raw:             raw,
+		driver:          drv,
+		driverShared:    shared,
+	}, nil
+}
+
+// openEngine resolves Options.Engine to a driver. An empty DSN with one
+// of the in-tree engines shares the opened dataset — "reference" wraps
+// it directly, "inprocess" registers it under a handle and reaches it
+// through the database/sql layer; shared reports that case.
+func openEngine(raw *storage.Database, opt *Options) (drv engine.Driver, shared bool, err error) {
+	name := opt.engineName()
+	if name == "" {
+		return nil, false, nil
 	}
+	if opt.engineDSN() == "" {
+		switch name {
+		case "reference":
+			return engine.NewReference(raw), true, nil
+		case "inprocess":
+			handle := fmt.Sprintf("facade-%p", raw)
+			engine.RegisterTestDatabase(handle, raw)
+			drv, err = engine.Open(name, "handle="+handle)
+			return drv, true, err
+		}
+	}
+	drv, err = engine.Open(name, opt.engineDSN())
+	return drv, false, err
 }
 
 // wireBackends layers the environment's backend stacks according to opt:
 // cache (kept outermost by Env.SetBackend) → resilience → fault
-// injection → raw estimator, and resilience → fault injection → fresh
-// executor-per-snapshot for true execution. With both options nil the
-// environment keeps its raw backends and behaves exactly as before.
-func wireBackends(env *rl.Env, raw *storage.Database, opt *Options) {
-	if opt == nil || (opt.Resilience == nil && opt.FaultInjection == nil) {
-		return
+// injection → raw backend, where the raw backend is the Options.Engine
+// driver when one is configured and the in-tree estimator (or a fresh
+// executor-per-snapshot for true execution) otherwise. With no engine
+// and both decorator options nil the environment keeps its raw backends
+// and behaves exactly as before.
+func wireBackends(env *rl.Env, raw *storage.Database, opt *Options) (engine.Driver, bool, error) {
+	drv, shared, err := openEngine(raw, opt)
+	if err != nil {
+		return nil, false, err
+	}
+	if drv == nil && (opt == nil || (opt.Resilience == nil && opt.FaultInjection == nil)) {
+		return nil, false, nil
 	}
 	var estB estimator.Backend = env.Est
 	var execB executor.Backend = rl.CloneExec{DB: raw}
+	if drv != nil {
+		estB = drv
+		execB = drv
+	}
 	if fi := opt.FaultInjection; fi != nil {
 		inj := faultinject.New(faultinject.Config{
 			Seed:        fi.Seed,
@@ -344,6 +423,47 @@ func wireBackends(env *rl.Env, raw *storage.Database, opt *Options) {
 	}
 	env.SetBackend(estB)
 	env.SetExecBackend(execB)
+	return drv, shared, nil
+}
+
+// EngineStats reports the configured engine driver's identity and call
+// counters; ok is false when the DB uses the default direct wiring (or
+// the driver does not count calls). Nonzero counters prove rewards were
+// driver-sourced.
+type EngineStats struct {
+	// Engine and Dialect echo the driver's capabilities.
+	Engine  string
+	Dialect string
+	// Estimates and Executes count backend calls that reached the driver
+	// (cache hits and injected faults never do).
+	Estimates uint64
+	Executes  uint64
+}
+
+// EngineStats snapshots the Options.Engine driver's call counters.
+func (db *DB) EngineStats() (EngineStats, bool) {
+	if db.driver == nil {
+		return EngineStats{}, false
+	}
+	caps := db.driver.Capabilities()
+	st := EngineStats{Engine: caps.Engine, Dialect: caps.Dialect}
+	c, ok := db.driver.(engine.Counting)
+	if !ok {
+		return st, false
+	}
+	n := c.Counters()
+	st.Estimates, st.Executes = n.Estimates, n.Executes
+	return st, true
+}
+
+// Close releases the Options.Engine driver (connection pools for
+// database/sql-backed engines). It is a no-op for the default wiring;
+// a DB opened onto an external engine is unusable after Close.
+func (db *DB) Close() error {
+	if db.driver == nil {
+		return nil
+	}
+	return db.driver.Close()
 }
 
 // Name returns the dataset name this DB was opened as.

@@ -2,7 +2,9 @@ package learnedsqlgen
 
 import (
 	"context"
+	"fmt"
 
+	"learnedsqlgen/internal/engine"
 	"learnedsqlgen/internal/oracle"
 	"learnedsqlgen/internal/rl"
 )
@@ -27,13 +29,35 @@ type ConformanceViolation = oracle.Violation
 // the DB was opened with Options.QuantizedInference, both RL samplers run
 // the int8 inference path (byte-identity is certified within the
 // quantized path; its drift from float64 is bounded separately by the
-// nn quantization tolerance tests).
+// nn quantization tolerance tests). When the DB was opened with
+// Options.Engine, the driver is additionally cross-checked against the
+// in-tree executor on every statement (see CrossCheck).
 //
 // The error reports harness-level failures only (a cancelled ctx);
 // conformance failures land in the report, and report.Ok() is the
 // verdict. SelfTest is read-only — DML statements under test run against
 // throwaway clones.
 func (db *DB) SelfTest(ctx context.Context, c Constraint, queriesPerProducer int) (*ConformanceReport, error) {
+	return db.selfTest(ctx, c, queriesPerProducer, db.engineUnderTest())
+}
+
+// CrossCheck is SelfTest plus the full cross-engine differential oracle:
+// every produced statement is also rendered through each engine dialect
+// (and must read back as the same statement), executed and estimated on
+// the in-tree reference driver and the in-process database/sql engine
+// over the opened data — plus the Options.Engine driver when one is
+// configured. Engines sharing the data must agree on cardinality
+// exactly; per-engine q-error distributions land in the report.
+func (db *DB) CrossCheck(ctx context.Context, c Constraint, queriesPerProducer int) (*ConformanceReport, error) {
+	engines, cleanup, err := db.crossEngines()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	return db.selfTest(ctx, c, queriesPerProducer, engines)
+}
+
+func (db *DB) selfTest(ctx context.Context, c Constraint, queriesPerProducer int, engines []oracle.EngineUnderTest) (*ConformanceReport, error) {
 	mkTrainer := func(prefixCache int) func() (*rl.Trainer, error) {
 		return func() (*rl.Trainer, error) {
 			cfg := rl.FastConfig()
@@ -55,5 +79,66 @@ func (db *DB) SelfTest(ctx context.Context, c Constraint, queriesPerProducer int
 		PerProducer: queriesPerProducer,
 		Constraint:  &c,
 		Seed:        db.seed,
+		Engines:     engines,
 	})
+}
+
+// engineUnderTest wraps the configured driver (when any) for the
+// cross-engine oracle, looking its dialect up in the registry.
+func (db *DB) engineUnderTest() []oracle.EngineUnderTest {
+	if db.driver == nil {
+		return nil
+	}
+	caps := db.driver.Capabilities()
+	e := oracle.EngineUnderTest{
+		Name: caps.Engine,
+		// Demand exact agreement only when the driver provably wraps this
+		// DB's own storage — a DSN-opened engine may hold different data.
+		ExactCardinality: db.driverShared,
+	}
+	if d, ok := engine.DialectByName(caps.Dialect); ok {
+		e.Dialect = d.Render
+		e.Reparse = d.Reparse
+	}
+	if caps.Estimate {
+		e.Est = db.driver
+	}
+	if caps.Execute {
+		e.Exec = db.driver
+	}
+	return []oracle.EngineUnderTest{e}
+}
+
+// crossEngines assembles the CrossCheck engine set: the configured
+// driver (if any) plus the two in-tree drivers over the opened data,
+// skipping in-tree entries the configured driver already covers.
+func (db *DB) crossEngines() ([]oracle.EngineUnderTest, func(), error) {
+	engines := db.engineUnderTest()
+	have := map[string]bool{}
+	for _, e := range engines {
+		have[e.Name] = true
+	}
+	cleanup := func() {}
+
+	if !have["reference"] {
+		ref := engine.NewReference(db.raw)
+		engines = append(engines, oracle.EngineUnderTest{
+			Name: "reference", Est: ref, Exec: ref, ExactCardinality: true,
+		})
+	}
+	if !have["inprocess"] {
+		handle := fmt.Sprintf("cross-%p", db.raw)
+		engine.RegisterTestDatabase(handle, db.raw)
+		inproc, err := engine.Open("inprocess", "handle="+handle)
+		if err != nil {
+			return nil, nil, err
+		}
+		cleanup = func() { inproc.Close() }
+		nat, _ := engine.DialectByName("native")
+		engines = append(engines, oracle.EngineUnderTest{
+			Name: "inprocess", Dialect: nat.Render, Reparse: nat.Reparse,
+			Est: inproc, Exec: inproc, ExactCardinality: true,
+		})
+	}
+	return engines, cleanup, nil
 }
