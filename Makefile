@@ -11,7 +11,7 @@ BENCHTIME ?= 1s
 # bench-smoke job narrows this to the fast packages.
 BENCHPKGS ?= ./internal/nn/ ./internal/rl/ ./internal/estimator/ .
 
-.PHONY: build test vet staticcheck panic-gate race verify bench experiments fuzz chaos engine-conformance
+.PHONY: build test vet staticcheck panic-gate race verify bench experiments fuzz chaos engine-conformance serve-smoke
 
 build:
 	$(GO) build ./...
@@ -47,17 +47,19 @@ panic-gate:
 	fi
 
 # The full suite under -race is slow on small machines; the rl, estimator,
-# meta and bench packages exercise every goroutine this repo spawns. The
+# meta, bench and service packages exercise every goroutine this repo
+# spawns (the service adds the session/registry/drain concurrency). The
 # bench integration tests alone run ~8 min under -race on one core, so
 # give the run headroom beyond go test's 10 min default.
 race:
-	$(GO) test -race -timeout 30m ./internal/rl/ ./internal/estimator/ ./internal/meta/ ./internal/bench/ ./internal/engine/ .
+	$(GO) test -race -timeout 30m ./internal/rl/ ./internal/estimator/ ./internal/meta/ ./internal/bench/ ./internal/engine/ ./internal/service/ ./internal/wire/ .
 
 verify: build vet staticcheck panic-gate test race
 
 # bench prints the go-test benchmark slices, then appends stamped
 # snapshots to the committed perf trajectory (BENCH_nn.json /
-# BENCH_rl.json / BENCH_engine.json) via the internal/bench perf suites.
+# BENCH_rl.json / BENCH_engine.json / BENCH_serve.json) via the
+# internal/bench perf suites.
 # All runs share one -benchtime so the numbers are comparable:
 #   make bench BENCHTIME=100ms BENCHPKGS="./internal/nn/ ./internal/rl/ ./internal/estimator/"
 bench:
@@ -67,7 +69,15 @@ bench:
 # experiments regenerates the measured perf tables of EXPERIMENTS.md from
 # the committed BENCH_*.json snapshots (see the BENCH markers there).
 experiments:
-	$(GO) run ./cmd/benchfig -md -write EXPERIMENTS.md BENCH_nn.json BENCH_rl.json BENCH_engine.json
+	$(GO) run ./cmd/benchfig -md -write EXPERIMENTS.md BENCH_nn.json BENCH_rl.json BENCH_engine.json BENCH_serve.json
+
+# serve-smoke proves the generation service end to end with the real
+# binary: build sqlgen, start `sqlgen serve`, stream queries through the
+# Go client under a 100ms-per-row budget, then SIGTERM and require a
+# clean drain. The env-gated binary test in cmd/sqlgen drives it.
+serve-smoke:
+	$(GO) build -o /tmp/sqlgen-smoke ./cmd/sqlgen
+	SQLGEN_BIN=/tmp/sqlgen-smoke $(GO) test -v -timeout 5m -run TestServeBinarySmoke ./cmd/sqlgen/
 
 # Engine conformance gate: the driver/dialect unit suite plus a bounded
 # cross-engine oracle sweep — every producer's statements rendered per

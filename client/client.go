@@ -1,0 +1,289 @@
+// Package client is the Go client for the learnedsqlgen generation
+// service (internal/service, `sqlgen serve`): dial, handshake, then
+// stream constraint-satisfying queries row by row.
+//
+//	conn, err := client.Dial(addr, &client.Config{Seed: 42})
+//	defer conn.Close()
+//	stream, err := conn.Generate(ctx, client.Request{
+//		Dataset: "xuetang", Metric: "cardinality",
+//		IsRange: true, Lo: 1, Hi: 1000, N: 5,
+//	})
+//	for stream.Next() {
+//		fmt.Println(stream.Row().SQL)
+//	}
+//	err = stream.Err()
+//
+// The Hello seed keys the session's deterministic stream fan-out: the
+// same seed and the same request sequence replay byte-identical queries,
+// so a workload streamed from a server is reproducible by construction.
+// A Conn carries one request stream at a time (the protocol itself
+// multiplexes by request id; this client keeps the simple form).
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"learnedsqlgen/internal/wire"
+)
+
+// Config tunes Dial. The zero value (or nil) is usable.
+type Config struct {
+	// Seed keys the session's deterministic generation streams.
+	Seed int64
+	// Name identifies the client in the server's Hello handling
+	// (diagnostics only).
+	Name string
+	// DialTimeout bounds connection establishment (default 10s); it also
+	// bounds the handshake round-trip.
+	DialTimeout time.Duration
+}
+
+// Request asks for N satisfied queries under one constraint.
+type Request struct {
+	// Dataset names the benchmark; empty selects the server's only open
+	// dataset when there is exactly one.
+	Dataset string
+	// Metric is "cardinality" or "cost".
+	Metric string
+	// IsRange selects Lo/Hi; otherwise Point (with the paper's 10%
+	// tolerance).
+	IsRange bool
+	Point   float64
+	Lo, Hi  float64
+	// N is the number of satisfied queries wanted; MaxAttempts caps the
+	// search (0 selects the server default).
+	N           int
+	MaxAttempts int
+}
+
+// Row is one streamed satisfied query.
+type Row struct {
+	SQL       string
+	Measured  float64
+	Satisfied bool
+}
+
+// Conn is one client session.
+type Conn struct {
+	conn      net.Conn
+	maxFrame  int
+	sessionID uint64
+	datasets  []string
+	seed      int64
+	nextID    uint64
+	inflight  *Stream
+	closed    bool
+}
+
+// Dial connects, performs the Hello/Welcome handshake, and returns the
+// ready session.
+func Dial(addr string, cfg *Config) (*Conn, error) {
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	timeout := cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{conn: nc, seed: cfg.Seed}
+	nc.SetDeadline(time.Now().Add(timeout))
+	name := cfg.Name
+	if name == "" {
+		name = "learnedsqlgen/client"
+	}
+	if err := wire.WriteMessage(nc, &wire.Hello{Version: wire.Version, Client: name, Seed: cfg.Seed}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	msg, err := wire.ReadMessage(nc, c.maxFrame)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	switch m := msg.(type) {
+	case *wire.Welcome:
+		c.sessionID = m.SessionID
+		c.datasets = m.Datasets
+	case *wire.Error:
+		nc.Close()
+		return nil, fmt.Errorf("client: server refused session: %s", m.Msg)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: expected Welcome, got %T", msg)
+	}
+	nc.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// SessionID is the server-assigned session id.
+func (c *Conn) SessionID() uint64 { return c.sessionID }
+
+// Datasets lists the datasets the server is serving.
+func (c *Conn) Datasets() []string { return append([]string(nil), c.datasets...) }
+
+// Seed echoes the session seed sent in Hello.
+func (c *Conn) Seed() int64 { return c.seed }
+
+// Close sends Goodbye and closes the connection. Safe after errors.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	wire.WriteMessage(c.conn, &wire.Goodbye{}) // best-effort
+	return c.conn.Close()
+}
+
+// ErrStreamInFlight is returned by Generate while a previous stream has
+// not been consumed to completion.
+var ErrStreamInFlight = errors.New("client: a stream is already in flight on this connection")
+
+// Generate sends one request and returns its row stream. Cancelling ctx
+// sends a Cancel frame; the stream then ends with ctx's error after the
+// server's Done{Canceled} arrives. Only one stream may be in flight per
+// Conn — consume it (Next until false) before the next Generate.
+func (c *Conn) Generate(ctx context.Context, req Request) (*Stream, error) {
+	if c.closed {
+		return nil, errors.New("client: connection closed")
+	}
+	if c.inflight != nil && !c.inflight.done {
+		return nil, ErrStreamInFlight
+	}
+	c.nextID++
+	id := c.nextID
+	g := &wire.Generate{
+		ID: id, Dataset: req.Dataset, Metric: req.Metric,
+		IsRange: req.IsRange, Point: req.Point, Lo: req.Lo, Hi: req.Hi,
+		N: req.N, MaxAttempts: req.MaxAttempts,
+	}
+	if err := wire.WriteMessage(c.conn, g); err != nil {
+		return nil, err
+	}
+	st := &Stream{conn: c, id: id, ctx: ctx, cancelSent: make(chan struct{})}
+	if ctx != nil && ctx.Done() != nil {
+		st.stopWatch = make(chan struct{})
+		go st.watchCancel()
+	}
+	c.inflight = st
+	return st, nil
+}
+
+// Stream is one request's row stream. Not safe for concurrent use.
+type Stream struct {
+	conn *Conn
+	id   uint64
+	ctx  context.Context
+
+	cur  Row
+	err  error
+	done bool
+
+	found, attempts int
+	canceled        bool
+	lastProgress    wire.Progress
+
+	stopWatch  chan struct{}
+	cancelSent chan struct{}
+}
+
+// watchCancel forwards ctx cancellation as a Cancel frame.
+func (st *Stream) watchCancel() {
+	select {
+	case <-st.ctx.Done():
+		st.conn.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		wire.WriteMessage(st.conn.conn, &wire.Cancel{ID: st.id})
+		close(st.cancelSent)
+	case <-st.stopWatch:
+	}
+}
+
+// Next advances to the next row. It returns false when the stream ends —
+// then Err reports how (nil for a completed request, the cancellation
+// cause, or the transport/server error).
+func (st *Stream) Next() bool {
+	if st.done {
+		return false
+	}
+	for {
+		msg, err := wire.ReadMessage(st.conn.conn, st.conn.maxFrame)
+		if err != nil {
+			st.finish(err)
+			return false
+		}
+		switch m := msg.(type) {
+		case *wire.Row:
+			if m.ID != st.id {
+				continue // stale frame from an abandoned request
+			}
+			st.cur = Row{SQL: m.SQL, Measured: m.Measured, Satisfied: m.Satisfied}
+			return true
+		case *wire.Progress:
+			if m.ID == st.id {
+				st.lastProgress = *m
+			}
+		case *wire.Done:
+			if m.ID != st.id {
+				continue
+			}
+			st.found, st.attempts, st.canceled = m.Found, m.Attempts, m.Canceled
+			var err error
+			if m.Canceled && st.ctx != nil && st.ctx.Err() != nil {
+				err = context.Cause(st.ctx)
+			}
+			st.finish(err)
+			return false
+		case *wire.Error:
+			if m.ID != 0 && m.ID != st.id {
+				continue
+			}
+			st.finish(fmt.Errorf("client: server error: %s", m.Msg))
+			return false
+		default:
+			st.finish(fmt.Errorf("client: unexpected %T frame mid-stream", msg))
+			return false
+		}
+	}
+}
+
+// finish seals the stream.
+func (st *Stream) finish(err error) {
+	st.err = err
+	st.done = true
+	if st.stopWatch != nil {
+		select {
+		case <-st.cancelSent: // watcher already fired; let it exit
+		default:
+			close(st.stopWatch)
+		}
+		st.stopWatch = nil
+	}
+}
+
+// Row returns the current row after a true Next.
+func (st *Stream) Row() Row { return st.cur }
+
+// Err reports why the stream ended; nil means the request ran to Done
+// without cancellation.
+func (st *Stream) Err() error { return st.err }
+
+// Stats reports the request's final accounting (valid after Next
+// returned false): satisfied queries found, episodes attempted, and
+// whether the stream was cut short.
+func (st *Stream) Stats() (found, attempts int, canceled bool) {
+	return st.found, st.attempts, st.canceled
+}
+
+// Progress reports the most recent Progress frame's counters — liveness
+// for long searches.
+func (st *Stream) Progress() (attempts, found int) {
+	return st.lastProgress.Attempts, st.lastProgress.Found
+}

@@ -27,7 +27,12 @@ import (
 )
 
 // main delegates to run so deferred profile writers flush before exit.
+// The `serve` subcommand starts the long-running generation service
+// instead of a one-shot train/generate run.
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(runServe(os.Args[2:]))
+	}
 	os.Exit(run())
 }
 

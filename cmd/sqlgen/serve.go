@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"learnedsqlgen/internal/service"
+)
+
+// runServe is the `sqlgen serve` subcommand: a long-running generation
+// service. It opens the requested datasets, warm-starts the model
+// registry from its checkpoint directory, and streams satisfied queries
+// to clients over the wire protocol until SIGTERM/SIGINT, which drains
+// in-flight sessions and checkpoints the registry before exit.
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("sqlgen serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7878", "listen address")
+	datasets := fs.String("datasets", "tpch:0.1", "comma-separated dataset:scale list to serve (e.g. tpch:0.1,xuetang:0.05)")
+	seed := fs.Int64("seed", 1, "server seed: keys dataset generation and registry pretraining")
+	sampleK := fs.Int("k", 100, "sampled values per column")
+	workers := fs.Int("workers", 0, "parallel rollout workers per pretraining run (0 = all CPUs)")
+	tasks := fs.Int("tasks", 4, "meta-training tasks per registry entry (constraint sub-ranges)")
+	warmRounds := fs.Int("warm-rounds", 3, "meta-training rounds when pretraining a registry entry")
+	warmEpisodes := fs.Int("warm-episodes", 24, "episodes per task per warm round")
+	memBudget := fs.Int64("mem-budget", 256<<20, "registry memory budget in bytes; LRU-evicts idle entries above it")
+	ckptDir := fs.String("checkpoint-dir", "sqlgen-serve-checkpoints", "registry checkpoint directory (entries persist and warm-start the next run); empty disables")
+	ckptKeep := fs.Int("checkpoint-keep", 0, "rotated checkpoints kept per entry (0 = store default)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget: in-flight requests finish within it, then are cancelled")
+	quantize := fs.Bool("quantize", false, "serve with int8 fused inference kernels")
+	prefixCache := fs.Int("prefix-cache", 0, "actor prefix-state cache entries per request (0 = default, negative = off)")
+	maxAttempts := fs.Int("max-attempts", 1000, "default per-request generation attempt cap")
+	fs.Parse(args)
+
+	specs, err := parseDatasetSpecs(*datasets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	srv, err := service.New(service.Config{
+		Datasets:           specs,
+		Seed:               *seed,
+		SampleValues:       *sampleK,
+		Workers:            *workers,
+		PrefixCacheSize:    *prefixCache,
+		QuantizedInference: *quantize,
+		K:                  *tasks,
+		WarmRounds:         *warmRounds,
+		WarmEpisodes:       *warmEpisodes,
+		MemoryBudget:       *memBudget,
+		CheckpointDir:      *ckptDir,
+		CheckpointKeep:     *ckptKeep,
+		DrainTimeout:       *drainTimeout,
+		DefaultMaxAttempts: *maxAttempts,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "%s: draining (budget %s)...\n", sig, *drainTimeout)
+		if err := srv.Shutdown(context.Background()); err != nil {
+			fmt.Fprintln(os.Stderr, "shutdown:", err)
+			return 1
+		}
+		<-errc // ListenAndServe returns once the drain stops the accept loop
+		fmt.Fprintln(os.Stderr, "drained; registry checkpointed")
+		return 0
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	}
+}
+
+// parseDatasetSpecs parses "name:scale,name:scale"; a bare name gets
+// scale 1.0.
+func parseDatasetSpecs(s string) ([]service.DatasetSpec, error) {
+	var specs []service.DatasetSpec
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, scaleStr, ok := strings.Cut(field, ":")
+		spec := service.DatasetSpec{Name: name, Scale: 1.0}
+		if ok {
+			sc, err := strconv.ParseFloat(scaleStr, 64)
+			if err != nil || sc <= 0 {
+				return nil, fmt.Errorf("bad dataset spec %q (want name:scale)", field)
+			}
+			spec.Scale = sc
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-datasets: at least one dataset required")
+	}
+	return specs, nil
+}

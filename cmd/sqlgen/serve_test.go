@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"learnedsqlgen/client"
+)
+
+// TestServeBinarySmoke drives the real `sqlgen serve` binary end to end:
+// start the server, stream satisfied queries through the Go client with
+// a 100ms-per-row liveness budget, send SIGTERM, and require a clean
+// drain (exit 0, checkpointed registry). It runs only when SQLGEN_BIN
+// points at a built binary — `make serve-smoke` is the entry point.
+func TestServeBinarySmoke(t *testing.T) {
+	bin := os.Getenv("SQLGEN_BIN")
+	if bin == "" {
+		t.Skip("SQLGEN_BIN not set; run via `make serve-smoke`")
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // the binary re-binds the free port
+
+	ckptDir := t.TempDir()
+	cmd := exec.Command(bin, "serve",
+		"-addr", addr,
+		"-datasets", "xuetang:0.05",
+		"-k", "10",
+		"-tasks", "2",
+		"-warm-rounds", "1",
+		"-warm-episodes", "4",
+		"-checkpoint-dir", ckptDir,
+		"-drain-timeout", "5s",
+	)
+	var logBuf strings.Builder
+	cmd.Stderr = &logBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// exited is closed after the exit error is delivered, so the deferred
+	// cleanup's receive never blocks when the test body already reaped the
+	// process.
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait(); close(exited) }()
+	defer func() {
+		select {
+		case <-exited:
+		default:
+			cmd.Process.Kill()
+			<-exited
+		}
+	}()
+
+	// Wait for the listener, then stream queries. The registry pre-trains
+	// on the first request, so give the dial loop and the stream generous
+	// outer deadlines while holding each row to the 100ms budget.
+	var conn *client.Conn
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		conn, err = client.Dial(addr, &client.Config{Seed: 7, DialTimeout: time.Second})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v\nserver log:\n%s", err, logBuf.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	defer conn.Close()
+
+	const wantRows = 5
+	st, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000,
+		N: wantRows, MaxAttempts: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	rowBudget := time.AfterFunc(45*time.Second, func() { conn.Close() }) // registry pretrain happens before row 1
+	for st.Next() {
+		rows++
+		if st.Row().SQL == "" {
+			t.Fatal("empty SQL row")
+		}
+		// After the first row the model is warm: each further row must
+		// arrive within the 100ms liveness budget.
+		rowBudget.Stop()
+		rowBudget = time.AfterFunc(100*time.Millisecond, func() { conn.Close() })
+	}
+	rowBudget.Stop()
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream after %d rows: %v", rows, err)
+	}
+	if rows != wantRows {
+		t.Fatalf("streamed %d rows, want %d", rows, wantRows)
+	}
+
+	// Graceful drain: SIGTERM must exit 0 after checkpointing the registry.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("serve exited non-zero after SIGTERM: %v\nserver log:\n%s", err, logBuf.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("serve did not drain after SIGTERM\nserver log:\n%s", logBuf.String())
+	}
+	if _, err := os.Stat(fmt.Sprintf("%s/registry.json", ckptDir)); err != nil {
+		t.Fatalf("drain did not checkpoint the registry: %v\nserver log:\n%s", err, logBuf.String())
+	}
+}

@@ -126,6 +126,36 @@
 // agreement demanded on shared data and per-engine q-error
 // distributions in the report.
 //
+// # Generation as a service
+//
+// The `sqlgen serve` subcommand runs the stack as a long-running,
+// multi-tenant generation service: clients dial a framed TCP protocol
+// (internal/wire), name a dataset and a constraint, and satisfied
+// queries stream back as they are found. Generators are served from a
+// warm model registry keyed by (dataset fingerprint, constraint
+// domain): each entry is a pre-trained meta-critic whose nearest task
+// actor serves requests frozen — no per-request retraining — with
+// ref-counting, LRU eviction under a memory budget, and rotated
+// checkpoints so a restarted server warm-starts the same entries.
+// Request streams derive deterministically from the session's Hello
+// seed, so a streamed workload is reproducible by construction, and
+// SIGTERM drains gracefully (in-flight streams finish within the drain
+// timeout, then the registry state is checkpointed). The Go client
+// lives in the learnedsqlgen/client package:
+//
+//	conn, _ := client.Dial("127.0.0.1:7878", &client.Config{Seed: 42})
+//	defer conn.Close()
+//	stream, _ := conn.Generate(ctx, client.Request{
+//	    Dataset: "tpch", Metric: "cardinality", IsRange: true, Lo: 100, Hi: 400, N: 10,
+//	})
+//	for stream.Next() {
+//	    fmt.Println(stream.Row().SQL)
+//	}
+//
+// DB.Close participates in the same lifecycle discipline: it cancels
+// in-flight training/generation streams (their errors wrap ErrDBClosed),
+// waits for them to drain, and only then releases the engine driver.
+//
 // # Conformance self-test
 //
 // DB.SelfTest sweeps four query producers (raw FSM walk, the random and

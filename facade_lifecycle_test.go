@@ -1,0 +1,158 @@
+package learnedsqlgen
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"learnedsqlgen/internal/engine"
+	"learnedsqlgen/internal/estimator"
+	"learnedsqlgen/internal/sqlast"
+)
+
+// trackedDriver wraps an engine driver and records the exact race
+// DB.Close's drain exists to prevent: an estimate running against (or
+// arriving after) a closed connection.
+type trackedDriver struct {
+	engine.Driver
+	estCalls         atomic.Int64
+	estInFlight      atomic.Int32
+	closed           atomic.Bool
+	estAfterClose    atomic.Bool
+	closeWhileActive atomic.Bool
+}
+
+func (d *trackedDriver) EstimateContext(ctx context.Context, st sqlast.Statement) (estimator.Estimate, error) {
+	d.estInFlight.Add(1)
+	defer d.estInFlight.Add(-1)
+	d.estCalls.Add(1)
+	if d.closed.Load() {
+		d.estAfterClose.Store(true)
+	}
+	return d.Driver.EstimateContext(ctx, st)
+}
+
+func (d *trackedDriver) Close() error {
+	if d.estInFlight.Load() > 0 {
+		d.closeWhileActive.Store(true)
+	}
+	d.closed.Store(true)
+	return d.Driver.Close()
+}
+
+var lastTracked atomic.Pointer[trackedDriver]
+
+func init() {
+	engine.Register("tracked", func(dsn string) (engine.Driver, error) {
+		inner, err := engine.Open("inprocess", dsn)
+		if err != nil {
+			return nil, err
+		}
+		d := &trackedDriver{Driver: inner}
+		lastTracked.Store(d)
+		return d, nil
+	})
+}
+
+// TestCloseDrainsInFlightStreams is the lifecycle regression check:
+// Close while a GenerateSatisfiedContext stream is running must cancel
+// the stream (cause ErrDBClosed), wait for it to drain, and only then
+// close the engine driver — never the reverse order.
+func TestCloseDrainsInFlightStreams(t *testing.T) {
+	db, err := OpenBenchmark("xuetang", 0.05, &Options{
+		SampleValues: 10,
+		Seed:         1,
+		Engine:       "tracked",
+		DSN:          "dataset=xuetang scale=0.05 seed=1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := lastTracked.Load()
+	if d == nil {
+		t.Fatal("tracked driver factory never ran")
+	}
+
+	gen := db.NewGenerator(RangeConstraint(Cardinality, 1, 1000))
+	gen.Train(1, 4)
+
+	// An unreachable constraint keeps the stream estimating until Close
+	// cancels it: nothing satisfies cardinality in [1e17, 1e18].
+	long := db.NewGenerator(RangeConstraint(Cardinality, 1e17, 1e18))
+	streamErr := make(chan error, 1)
+	base := d.estCalls.Load()
+	go func() {
+		_, _, err := long.GenerateSatisfiedContext(context.Background(), 1, 1<<30)
+		streamErr <- err
+	}()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for d.estCalls.Load() == base {
+		if time.Now().After(deadline) {
+			t.Fatal("stream never reached the driver")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-streamErr:
+		if !errors.Is(err, ErrDBClosed) {
+			t.Fatalf("in-flight stream ended with %v; want cause ErrDBClosed", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("stream did not end after Close")
+	}
+	if d.closeWhileActive.Load() {
+		t.Fatal("driver closed while an estimate was in flight — Close did not drain first")
+	}
+	if d.estAfterClose.Load() {
+		t.Fatal("estimate reached the driver after Close — stream outlived the drain")
+	}
+
+	if _, _, err := gen.GenerateSatisfiedContext(context.Background(), 1, 10); !errors.Is(err, ErrDBClosed) {
+		t.Fatalf("generation after Close = %v; want ErrDBClosed", err)
+	}
+	if _, err := gen.TrainContext(context.Background(), 1, 4); !errors.Is(err, ErrDBClosed) {
+		t.Fatalf("training after Close = %v; want ErrDBClosed", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// refusingDriver is a database/sql driver whose every connection attempt
+// fails — a stand-in for a down or misaddressed external engine.
+type refusingDriver struct{}
+
+func (refusingDriver) Open(string) (driver.Conn, error) {
+	return nil, errors.New("connection refused")
+}
+
+func init() { sql.Register("refusing", refusingDriver{}) }
+
+// TestUnreachableEngineFailsAtOpen pins the open-time reachability
+// probe: an -engine/-dsn pointing at a dead server must fail
+// OpenBenchmark with one clean error (which cmd/sqlgen prints and exits
+// non-zero on), never reach training, and never panic.
+func TestUnreachableEngineFailsAtOpen(t *testing.T) {
+	_, err := OpenBenchmark("xuetang", 0.05, &Options{
+		SampleValues: 10,
+		Seed:         1,
+		Engine:       "sql",
+		DSN:          "driver=refusing dialect=postgres dsn=nowhere",
+	})
+	if err == nil {
+		t.Fatal("unreachable engine must fail OpenBenchmark")
+	}
+	if !strings.Contains(err.Error(), "unreachable") || !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("error does not name the unreachable engine: %v", err)
+	}
+}

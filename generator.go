@@ -31,6 +31,7 @@ type EpochAbortError = rl.EpochAbortError
 // Generator is a trained (or trainable) constraint-aware SQL generator —
 // the LearnedSQLGen agent of the paper.
 type Generator struct {
+	db      *DB
 	trainer *rl.Trainer
 }
 
@@ -46,14 +47,15 @@ func (db *DB) NewGenerator(c Constraint) *Generator {
 	cfg.TrainBudget = db.trainBudget
 	cfg.OnEpoch = db.onEpoch
 	cfg.MaxGradNorm = db.maxGradNorm
-	return &Generator{trainer: rl.NewTrainer(db.env, c, cfg)}
+	return &Generator{db: db, trainer: rl.NewTrainer(db.env, c, cfg)}
 }
 
 // Train runs epochs × episodesPerEpoch training episodes and returns the
 // per-epoch reward/satisfaction trace. 250 × 25 converges on the bundled
 // benchmarks.
 func (g *Generator) Train(epochs, episodesPerEpoch int) []EpochStats {
-	return g.trainer.Train(epochs, episodesPerEpoch)
+	out, _ := g.TrainContext(context.Background(), epochs, episodesPerEpoch)
+	return out
 }
 
 // TrainContext is Train with lifecycle control: ctx cancellation (or an
@@ -64,7 +66,12 @@ func (g *Generator) Train(epochs, episodesPerEpoch int) []EpochStats {
 // Train calls all remain valid, so interrupted training resumes rather
 // than restarts.
 func (g *Generator) TrainContext(ctx context.Context, epochs, episodesPerEpoch int) ([]EpochStats, error) {
-	return g.trainer.TrainContext(ctx, epochs, episodesPerEpoch)
+	octx, end, err := g.db.beginOp(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer end()
+	return g.trainer.TrainContext(octx, epochs, episodesPerEpoch)
 }
 
 // TrainAdaptive trains with early stopping: it stops once three quarters
@@ -72,45 +79,63 @@ func (g *Generator) TrainContext(ctx context.Context, epochs, episodesPerEpoch i
 // epochs, or after maxEpochs. Easy constraints converge in seconds; hard
 // point constraints use the full budget.
 func (g *Generator) TrainAdaptive(maxEpochs, episodesPerEpoch int) []EpochStats {
-	return g.trainer.TrainUntil(0.75, 2, maxEpochs, episodesPerEpoch)
+	out, _ := g.TrainAdaptiveContext(context.Background(), maxEpochs, episodesPerEpoch)
+	return out
 }
 
 // TrainAdaptiveContext is TrainAdaptive with the lifecycle semantics of
 // TrainContext.
 func (g *Generator) TrainAdaptiveContext(ctx context.Context, maxEpochs, episodesPerEpoch int) ([]EpochStats, error) {
-	return g.trainer.TrainUntilContext(ctx, 0.75, 2, maxEpochs, episodesPerEpoch)
+	octx, end, err := g.db.beginOp(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer end()
+	return g.trainer.TrainUntilContext(octx, 0.75, 2, maxEpochs, episodesPerEpoch)
 }
 
 // Generate samples n statements from the current policy (Algorithm 2);
 // unsatisfied statements are included so callers can compute accuracy.
 func (g *Generator) Generate(n int) []Generated {
-	return g.trainer.Generate(n)
+	out, _ := g.GenerateContext(context.Background(), n)
+	return out
 }
 
 // GenerateContext is Generate with cancellation; on early stop it returns
 // nil and ctx's cause.
 func (g *Generator) GenerateContext(ctx context.Context, n int) ([]Generated, error) {
-	return g.trainer.GenerateContext(ctx, n)
+	octx, end, err := g.db.beginOp(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer end()
+	return g.trainer.GenerateContext(octx, n)
 }
 
 // GenerateSatisfied samples until n satisfied statements are produced or
 // maxAttempts episodes have run.
 func (g *Generator) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
-	return g.trainer.GenerateSatisfied(n, maxAttempts)
+	out, attempts, _ := g.GenerateSatisfiedContext(context.Background(), n, maxAttempts)
+	return out, attempts
 }
 
 // GenerateSatisfiedContext is GenerateSatisfied with cancellation: it
 // returns the satisfied statements found before ctx was done, the
 // attempts consumed, and a non-nil error iff the search was cut short.
 func (g *Generator) GenerateSatisfiedContext(ctx context.Context, n, maxAttempts int) ([]Generated, int, error) {
-	return g.trainer.GenerateSatisfiedContext(ctx, n, maxAttempts)
+	octx, end, err := g.db.beginOp(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer end()
+	return g.trainer.GenerateSatisfiedContext(octx, n, maxAttempts)
 }
 
 // MustGenerateSatisfied is GenerateSatisfied but panics if fewer than n
 // satisfied statements were found within maxAttempts — convenient in
 // examples and scripts.
 func (g *Generator) MustGenerateSatisfied(n, maxAttempts int) []Generated {
-	out, attempts := g.trainer.GenerateSatisfied(n, maxAttempts)
+	out, attempts := g.GenerateSatisfied(n, maxAttempts)
 	if len(out) < n {
 		panic(fmt.Sprintf("learnedsqlgen: found only %d/%d satisfied queries in %d attempts (constraint %s)",
 			len(out), n, attempts, g.trainer.Constraint))
@@ -151,6 +176,7 @@ type MetaDomain = meta.Domain
 // MetaGenerator wraps the §6 meta-critic: pre-train once over a domain,
 // then adapt quickly to any constraint inside it.
 type MetaGenerator struct {
+	db      *DB
 	trainer *meta.MetaTrainer
 }
 
@@ -164,12 +190,13 @@ func (db *DB) NewMetaGenerator(domain MetaDomain) *MetaGenerator {
 	cfg.TrainBudget = db.trainBudget
 	cfg.OnEpoch = db.onEpoch
 	cfg.MaxGradNorm = db.maxGradNorm
-	return &MetaGenerator{trainer: meta.NewMetaTrainer(db.env, domain, cfg)}
+	return &MetaGenerator{db: db, trainer: meta.NewMetaTrainer(db.env, domain, cfg)}
 }
 
 // Pretrain cycles the domain's tasks for the given rounds.
 func (m *MetaGenerator) Pretrain(rounds, episodesPerTask int) []EpochStats {
-	return m.trainer.Pretrain(rounds, episodesPerTask)
+	out, _ := m.PretrainContext(context.Background(), rounds, episodesPerTask)
+	return out
 }
 
 // PretrainContext is Pretrain with the lifecycle semantics of
@@ -178,7 +205,12 @@ func (m *MetaGenerator) Pretrain(rounds, episodesPerTask int) []EpochStats {
 // cause; the meta-critic and per-task actors keep their last completed
 // updates and adapt or pre-train further from there.
 func (m *MetaGenerator) PretrainContext(ctx context.Context, rounds, episodesPerTask int) ([]EpochStats, error) {
-	return m.trainer.PretrainContext(ctx, rounds, episodesPerTask)
+	octx, end, err := m.db.beginOp(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer end()
+	return m.trainer.PretrainContext(octx, rounds, episodesPerTask)
 }
 
 // Stats snapshots the pre-training rollout throughput and cache counters.
@@ -187,43 +219,64 @@ func (m *MetaGenerator) Stats() TrainStats { return m.trainer.Stats() }
 // Adapt prepares a generator for a new constraint, warm-started from the
 // nearest pre-trained task and guided by the shared meta-critic.
 func (m *MetaGenerator) Adapt(c Constraint) *AdaptedGenerator {
-	return &AdaptedGenerator{adapted: m.trainer.Adapt(c)}
+	return &AdaptedGenerator{db: m.db, adapted: m.trainer.Adapt(c)}
 }
 
 // AdaptedGenerator is a meta-critic-backed generator for one new
 // constraint.
 type AdaptedGenerator struct {
+	db      *DB
 	adapted *meta.Adapted
 }
 
 // Train fine-tunes the adapted policy.
 func (a *AdaptedGenerator) Train(epochs, episodesPerEpoch int) []EpochStats {
-	return a.adapted.Train(epochs, episodesPerEpoch)
+	out, _ := a.TrainContext(context.Background(), epochs, episodesPerEpoch)
+	return out
 }
 
 // TrainContext is Train with the lifecycle semantics of
 // Generator.TrainContext.
 func (a *AdaptedGenerator) TrainContext(ctx context.Context, epochs, episodesPerEpoch int) ([]EpochStats, error) {
-	return a.adapted.TrainContext(ctx, epochs, episodesPerEpoch)
+	octx, end, err := a.db.beginOp(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer end()
+	return a.adapted.TrainContext(octx, epochs, episodesPerEpoch)
 }
 
 // Generate samples n statements.
-func (a *AdaptedGenerator) Generate(n int) []Generated { return a.adapted.Generate(n) }
+func (a *AdaptedGenerator) Generate(n int) []Generated {
+	out, _ := a.GenerateContext(context.Background(), n)
+	return out
+}
 
 // GenerateContext is Generate with cancellation.
 func (a *AdaptedGenerator) GenerateContext(ctx context.Context, n int) ([]Generated, error) {
-	return a.adapted.GenerateContext(ctx, n)
+	octx, end, err := a.db.beginOp(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer end()
+	return a.adapted.GenerateContext(octx, n)
 }
 
 // GenerateSatisfied samples until n satisfied statements or maxAttempts.
 func (a *AdaptedGenerator) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
-	return a.adapted.GenerateSatisfied(n, maxAttempts)
+	out, attempts, _ := a.GenerateSatisfiedContext(context.Background(), n, maxAttempts)
+	return out, attempts
 }
 
 // GenerateSatisfiedContext is GenerateSatisfied with cancellation,
 // mirroring Generator.GenerateSatisfiedContext.
 func (a *AdaptedGenerator) GenerateSatisfiedContext(ctx context.Context, n, maxAttempts int) ([]Generated, int, error) {
-	return a.adapted.GenerateSatisfiedContext(ctx, n, maxAttempts)
+	octx, end, err := a.db.beginOp(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer end()
+	return a.adapted.GenerateSatisfiedContext(octx, n, maxAttempts)
 }
 
 // Stats snapshots the adapted generator's rollout throughput and cache

@@ -10,29 +10,34 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"learnedsqlgen/client"
 	"learnedsqlgen/internal/datagen"
 	"learnedsqlgen/internal/engine"
 	"learnedsqlgen/internal/nn"
 	"learnedsqlgen/internal/parser"
 	"learnedsqlgen/internal/rl"
+	"learnedsqlgen/internal/service"
 	"learnedsqlgen/internal/sqlast"
 )
 
 // PerfAreas lists the areas `make bench` snapshots, in emission order.
-func PerfAreas() []string { return []string{"nn", "rl", "engine"} }
+func PerfAreas() []string { return []string{"nn", "rl", "engine", "serve"} }
 
 // RunPerfSuite measures one area's suite at the given per-benchmark time
 // budget and returns a stamped snapshot. Areas: "nn" (actor step kernels,
 // float64 vs quantized, BPTT), "rl" (rollout batches, train epoch,
-// generation throughput) and "engine" (driver-backed estimate/execute
-// paths and dialect rendering).
+// generation throughput), "engine" (driver-backed estimate/execute
+// paths and dialect rendering) and "serve" (end-to-end request and
+// first-row latency through the generation service).
 func RunPerfSuite(area string, benchtime time.Duration) (PerfSnapshot, error) {
 	restore, err := setBenchtime(benchtime)
 	if err != nil {
@@ -50,6 +55,11 @@ func RunPerfSuite(area string, benchtime time.Duration) (PerfSnapshot, error) {
 		}
 	case "engine":
 		results, err = perfSuiteEngine()
+		if err != nil {
+			return PerfSnapshot{}, err
+		}
+	case "serve":
+		results, err = perfSuiteServe()
 		if err != nil {
 			return PerfSnapshot{}, err
 		}
@@ -352,6 +362,108 @@ func perfSuiteEngine() ([]PerfResult, error) {
 		}
 	})
 	return []PerfResult{refEst, adapterEst, adapterExec, render, cross}, nil
+}
+
+// perfSuiteServe measures the generation service end to end on the
+// micro xuetang dataset: a loopback server with a pre-warmed registry
+// entry, one persistent client session, and per-op full request streams.
+// ServeRequest8 is one 8-query request consumed to Done (with
+// requests/sec and rows/sec extras); the first-row results record the
+// p50/p95 latency from sending Generate to receiving the first Row —
+// the interactive time-to-first-query a service client experiences.
+func perfSuiteServe() ([]PerfResult, error) {
+	srv, err := service.New(service.Config{
+		Datasets:     []service.DatasetSpec{{Name: "xuetang", Scale: 0.05}},
+		Seed:         1,
+		SampleValues: 10,
+		Workers:      1,
+		K:            2,
+		WarmRounds:   1,
+		WarmEpisodes: 4,
+		DrainTimeout: 2 * time.Second,
+		Logf:         func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+
+	conn, err := client.Dial(ln.Addr().String(), &client.Config{Seed: 42, Name: "bench"})
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	const reqN = 8
+	req := client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000,
+		N: reqN, MaxAttempts: 4000,
+	}
+	// First request pre-trains the registry entry; everything measured
+	// below serves from the warm model.
+	if err := drainStream(conn, req); err != nil {
+		return nil, err
+	}
+
+	serveReq := measure("ServeRequest8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := drainStream(conn, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	serveReq.Extra = map[string]float64{
+		"requests_per_sec": 1e9 / serveReq.NsPerOp,
+		"rows_per_sec":     float64(reqN) * 1e9 / serveReq.NsPerOp,
+	}
+
+	// Time-to-first-row over dedicated single-row requests: wall clock
+	// from Generate to the first Row frame.
+	const samples = 30
+	one := req
+	one.N = 1
+	lats := make([]float64, 0, samples)
+	for i := 0; i < samples; i++ {
+		start := time.Now()
+		st, err := conn.Generate(context.Background(), one)
+		if err != nil {
+			return nil, err
+		}
+		first := false
+		for st.Next() {
+			if !first {
+				lats = append(lats, float64(time.Since(start).Nanoseconds()))
+				first = true
+			}
+		}
+		if err := st.Err(); err != nil {
+			return nil, err
+		}
+		if !first {
+			return nil, fmt.Errorf("bench: no satisfied row within %d attempts", one.MaxAttempts)
+		}
+	}
+	sort.Float64s(lats)
+	p50 := PerfResult{Name: "ServeFirstRowP50", NsPerOp: lats[len(lats)/2]}
+	p95 := PerfResult{Name: "ServeFirstRowP95", NsPerOp: lats[len(lats)*95/100]}
+	return []PerfResult{serveReq, p50, p95}, nil
+}
+
+// drainStream runs one request and consumes its stream to Done.
+func drainStream(conn *client.Conn, req client.Request) error {
+	st, err := conn.Generate(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	for st.Next() {
+	}
+	return st.Err()
 }
 
 // gitSHA stamps snapshots with the commit they measured, suffixed

@@ -8,6 +8,7 @@
 package durable
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -61,4 +62,15 @@ func WriteFileBytes(path string, data []byte) error {
 		_, err := w.Write(data)
 		return err
 	})
+}
+
+// WriteJSON atomically replaces path with v marshaled as indented JSON —
+// the small durable state files (the service registry's warm-start
+// manifest) share the crash-safety contract of every other artifact.
+func WriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("durable: marshal %s: %w", path, err)
+	}
+	return WriteFileBytes(path, append(data, '\n'))
 }

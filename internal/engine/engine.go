@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -65,6 +66,15 @@ type Driver interface {
 	executor.Backend
 	Capabilities() Capabilities
 	Close() error
+}
+
+// Pinger is the optional driver interface for a reachability probe.
+// Drivers backed by a network connection implement it so the facade can
+// fail fast at open time — one clean error instead of a training loop
+// discovering a dead engine at its first reward. In-memory drivers may
+// omit it; the probe is skipped.
+type Pinger interface {
+	Ping(ctx context.Context) error
 }
 
 // Counters are cumulative per-driver call counters, for tests and stats

@@ -72,6 +72,16 @@ func init() {
 // Dialect returns the dialect the adapter renders with.
 func (a *SQLAdapter) Dialect() Dialect { return a.dialect }
 
+// Ping implements Pinger: it verifies the pool can actually reach the
+// engine, so a bad address or a down server fails at open time rather
+// than at the first reward measurement.
+func (a *SQLAdapter) Ping(ctx context.Context) error {
+	if err := a.db.PingContext(ctx); err != nil {
+		return &Error{Engine: a.name, Op: "ping", Err: err}
+	}
+	return nil
+}
+
 // Capabilities implements Driver.
 func (a *SQLAdapter) Capabilities() Capabilities {
 	return Capabilities{

@@ -2,6 +2,8 @@ package meta
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"math"
 	"math/rand"
 
@@ -65,9 +67,12 @@ func NewMetaTrainer(env *rl.Env, domain Domain, cfg rl.Config) *MetaTrainer {
 		sampler:  rl.NewSampler(env, domain.Tasks()[0], cfg),
 		rng:      rng,
 	}
-	for range m.Tasks {
+	// Each task actor gets a distinct name: checkpoint serialization
+	// (Save/Load) matches parameters by name, so K same-named actors
+	// would collide in one file.
+	for i := range m.Tasks {
 		m.actors = append(m.actors,
-			nn.NewSeqNet("actor", vocab, cfg.EmbedDim, cfg.Hidden, vocab, cfg.Dropout, rng))
+			nn.NewSeqNet(fmt.Sprintf("task%02d", i), vocab, cfg.EmbedDim, cfg.Hidden, vocab, cfg.Dropout, rng))
 		m.actorOpts = append(m.actorOpts, nn.NewAdam(cfg.ActorLR))
 	}
 	return m
@@ -215,18 +220,51 @@ type Adapted struct {
 	sampler    *rl.Trainer
 }
 
-// Adapt prepares training for a new constraint inside the domain.
-func (m *MetaTrainer) Adapt(c rl.Constraint) *Adapted {
-	// Warm-start from the nearest pre-trained task.
+// ActorFor returns the pre-trained actor of the task nearest to c — the
+// §6 warm-start policy for a new constraint inside the domain, served
+// without any retraining. The returned network is shared, read-only
+// state: callers sample from it (or CopyWeightsFrom it) but never train
+// it. Once Pretrain has returned, concurrent readers are safe — the
+// generation service hands one warm MetaTrainer's actors to many
+// sessions at once this way.
+func (m *MetaTrainer) ActorFor(c rl.Constraint) *nn.SeqNet {
 	best, bestDist := 0, math.Inf(1)
 	for i, task := range m.Tasks {
 		if d := math.Abs(center(task) - center(c)); d < bestDist {
 			best, bestDist = i, d
 		}
 	}
+	return m.actors[best]
+}
+
+// Params lists every trainable parameter of the multi-task setup — the
+// K task actors followed by the shared meta-critic — in a stable order,
+// so checkpoints round-trip through nn.SaveParams/LoadParams.
+func (m *MetaTrainer) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, a := range m.actors {
+		ps = append(ps, a.Params()...)
+	}
+	ps = append(ps, m.valueNet.Params()...)
+	return ps
+}
+
+// Save writes the pre-trained task actors and meta-critic weights to w.
+// Together with Load it makes a MetaTrainer rl.Store-checkpointable: a
+// server restart warm-loads the domain's policies instead of
+// re-pretraining them.
+func (m *MetaTrainer) Save(w io.Writer) error { return nn.SaveParams(w, m.Params()) }
+
+// Load restores weights written by Save. The MetaTrainer must have been
+// built over the same vocabulary, configuration and domain (K decides
+// the actor count).
+func (m *MetaTrainer) Load(r io.Reader) error { return nn.LoadParams(r, m.Params()) }
+
+// Adapt prepares training for a new constraint inside the domain.
+func (m *MetaTrainer) Adapt(c rl.Constraint) *Adapted {
 	vocab := m.Env.Vocab.Size()
 	actor := nn.NewSeqNet("adapted", vocab, m.Cfg.EmbedDim, m.Cfg.Hidden, vocab, m.Cfg.Dropout, m.rng)
-	actor.CopyWeightsFrom(m.actors[best])
+	actor.CopyWeightsFrom(m.ActorFor(c))
 	return &Adapted{
 		meta:       m,
 		Constraint: c,

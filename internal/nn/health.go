@@ -97,6 +97,32 @@ func ResetMoments(params []*Param) {
 // pair with ResetMoments when rolling weights back to a snapshot.
 func (a *Adam) Reset() { a.t = 0 }
 
+// ParamsSize returns the total number of weight scalars across params —
+// the service model registry prices registry entries (8 bytes per
+// float64 weight) against its memory budget with it.
+func ParamsSize(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += len(p.Val.Data)
+	}
+	return n
+}
+
+// ChecksumSnapshot is ChecksumParams over a SnapshotParams copy, so
+// detached weight snapshots (registry entries, drained checkpoints) can
+// assert byte-identity without rebuilding a network around them.
+func ChecksumSnapshot(snap [][]float64) uint32 {
+	crc := crc32.New(crcTable)
+	var b [8]byte
+	for _, vec := range snap {
+		for _, v := range vec {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			crc.Write(b[:])
+		}
+	}
+	return crc.Sum32()
+}
+
 // ChecksumParams returns a CRC-32C over the weight bytes of params in
 // order — a cheap content fingerprint for "these weights are byte-exactly
 // those weights" assertions in checkpoint and rollback tests.

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -217,8 +218,10 @@ type MLP struct {
 // NewMLP builds an MLP with the given layer sizes (len ≥ 2).
 func NewMLP(name string, sizes []int, rng *rand.Rand) *MLP {
 	m := &MLP{}
+	// Layers carry indexed names: checkpoint serialization matches
+	// parameters by name, so same-named layers would collide in one file.
 	for i := 0; i+1 < len(sizes); i++ {
-		m.Layers = append(m.Layers, NewLinear(name, sizes[i], sizes[i+1], rng))
+		m.Layers = append(m.Layers, NewLinear(fmt.Sprintf("%s.l%d", name, i), sizes[i], sizes[i+1], rng))
 	}
 	return m
 }

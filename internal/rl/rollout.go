@@ -11,11 +11,21 @@ import (
 	"learnedsqlgen/internal/nn"
 )
 
-// fanSeed derives episode ep's RNG seed from the trainer seed with a
-// splitmix64 finalizer, giving every episode an independent, deterministic
-// random stream. Because an episode's stream depends only on (seed, ep) —
-// not on which goroutine runs it — rollouts are byte-identical for every
-// Workers setting.
+// FanSeed derives stream n's RNG seed from a base seed with a splitmix64
+// finalizer, giving every stream an independent, deterministic random
+// source. The rollout engine fans per-episode streams out of the trainer
+// seed this way — an episode's stream depends only on (seed, episode),
+// not on which goroutine runs it, so rollouts are byte-identical for
+// every Workers setting. The service layer reuses the same fan-out one
+// level up: a session's per-request generation seeds derive from
+// (session seed, request id), which is what makes a session's streams
+// individually reproducible.
+func FanSeed(seed int64, n uint64) int64 {
+	return fanSeed(seed, n)
+}
+
+// fanSeed is FanSeed's implementation (kept unexported-call-cheap on the
+// per-episode hot path).
 func fanSeed(seed int64, ep uint64) int64 {
 	z := uint64(seed)*0x9e3779b97f4a7c15 + (ep+1)*0xbf58476d1ce4e5b9
 	z ^= z >> 30

@@ -3,6 +3,7 @@ package rl
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -92,9 +93,19 @@ func seq(name string) int {
 	return n
 }
 
+// Checkpointable is anything the Store can rotate to disk: a model whose
+// weights serialize to a stream and restore from one. *Trainer implements
+// it, and so does the meta package's MetaTrainer — the generation
+// service's warm model registry checkpoints whole pre-trained domains
+// through the same rotated, manifest-guarded store as single trainers.
+type Checkpointable interface {
+	Save(w io.Writer) error
+	Load(r io.Reader) error
+}
+
 // Save writes t's weights as the next checkpoint in the rotation and
 // returns the path written.
-func (s *Store) Save(t *Trainer) (string, error) {
+func (s *Store) Save(t Checkpointable) (string, error) {
 	names := s.manifest()
 	next := 0
 	for _, name := range names {
@@ -104,7 +115,7 @@ func (s *Store) Save(t *Trainer) (string, error) {
 	}
 	name := fmt.Sprintf("ckpt-%06d.lsgc", next)
 	path := filepath.Join(s.dir, name)
-	if err := t.SaveFile(path); err != nil {
+	if err := durable.WriteFile(path, t.Save); err != nil {
 		return "", err
 	}
 
@@ -134,11 +145,11 @@ func (s *Store) Save(t *Trainer) (string, error) {
 // corrupt or missing entries, and returns the path it loaded. The error
 // is ErrNoCheckpoint when nothing was loadable; the last corruption error
 // is attached for diagnosis.
-func (s *Store) Load(t *Trainer) (string, error) {
+func (s *Store) Load(t Checkpointable) (string, error) {
 	var lastErr error
 	for _, name := range s.manifest() {
 		path := filepath.Join(s.dir, name)
-		err := t.LoadFile(path)
+		err := loadFile(t, path)
 		if err == nil {
 			return path, nil
 		}
@@ -153,4 +164,14 @@ func (s *Store) Load(t *Trainer) (string, error) {
 		return "", fmt.Errorf("%w (last error: %v)", ErrNoCheckpoint, lastErr)
 	}
 	return "", ErrNoCheckpoint
+}
+
+// loadFile restores one checkpoint file into t.
+func loadFile(t Checkpointable, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.Load(f)
 }

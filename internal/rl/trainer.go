@@ -805,29 +805,66 @@ func (t *Trainer) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
 // statements found so far, the attempts consumed, and ctx's cause wrapped.
 func (t *Trainer) GenerateSatisfiedContext(ctx context.Context, n, maxAttempts int) ([]Generated, int, error) {
 	var out []Generated
-	attempts := 0
-	for attempts < maxAttempts && len(out) < n {
+	_, attempts, err := t.GenerateSatisfiedStreamContext(ctx, n, maxAttempts,
+		func(g Generated) error { out = append(out, g); return nil }, nil)
+	return out, attempts, err
+}
+
+// GenerateSatisfiedStreamContext is the streaming form of
+// GenerateSatisfiedContext: onRow is invoked with each satisfied
+// statement the moment its batch completes, in deterministic episode
+// order, instead of the results accumulating into a slice — the
+// generation service sends each one down the wire as it appears. onBatch,
+// when non-nil, is invoked after every sampled batch with the cumulative
+// attempt and found counts (the service's Progress frames). A non-nil
+// error from either callback stops sampling and is returned verbatim;
+// the episode accounting, batching and therefore the produced statements
+// are byte-identical to GenerateSatisfiedContext for the same trainer
+// state and seed.
+func (t *Trainer) GenerateSatisfiedStreamContext(ctx context.Context, n, maxAttempts int,
+	onRow func(Generated) error, onBatch func(attempts, found int) error) (found, attempts int, err error) {
+	return t.StreamSatisfied(ctx, t.actor, n, maxAttempts, onRow, onBatch)
+}
+
+// StreamSatisfied is GenerateSatisfiedStreamContext sampling from an
+// explicit actor instead of the trainer's own. It is how the generation
+// service serves a warm registry policy to many sessions at once: each
+// session runs its own NewSampler trainer (own seed, episode counter,
+// prefix cache and compute workspaces — no contention) while all of them
+// read the one shared, frozen actor. The actor's weights are only read;
+// the caller must not train it concurrently.
+func (t *Trainer) StreamSatisfied(ctx context.Context, actor *nn.SeqNet, n, maxAttempts int,
+	onRow func(Generated) error, onBatch func(attempts, found int) error) (found, attempts int, err error) {
+	for attempts < maxAttempts && found < n {
 		chunk := t.Cfg.BatchSize
 		if rest := maxAttempts - attempts; chunk > rest {
 			chunk = rest
 		}
-		batch, err := t.SampleBatchContext(ctx, t.actor, t.actor.BOS(), chunk, false, false)
+		batch, err := t.SampleBatchContext(ctx, actor, actor.BOS(), chunk, false, false)
 		if err != nil {
-			return out, attempts, err
+			return found, attempts, err
 		}
 		for _, traj := range batch {
 			if attempts++; traj.Satisfied {
-				out = append(out, Generated{
+				found++
+				if err := onRow(Generated{
 					Statement: traj.Final,
 					SQL:       traj.Final.SQL(),
 					Measured:  traj.Measured,
 					Satisfied: true,
-				})
-				if len(out) == n {
+				}); err != nil {
+					return found, attempts, err
+				}
+				if found == n {
 					break
 				}
 			}
 		}
+		if onBatch != nil {
+			if err := onBatch(attempts, found); err != nil {
+				return found, attempts, err
+			}
+		}
 	}
-	return out, attempts, nil
+	return found, attempts, nil
 }

@@ -1,0 +1,80 @@
+// Package service is the generation-as-a-service layer: a long-running
+// TCP server speaking the wire package's framed protocol, streaming
+// constraint-satisfying queries to many concurrent client sessions from
+// a warm model registry.
+//
+// The layering mirrors the library stack it fronts. A Server owns one or
+// more open Datasets (generated data + token vocabulary + RL
+// environment) and one Registry of pre-trained domain policies. Each
+// accepted connection becomes a session — a per-connection context tree
+// whose cancellation fans out to every in-flight request the moment the
+// peer disconnects. Each Generate request acquires the registry entry
+// covering its constraint's domain (pre-training or checkpoint-loading
+// it on first touch), then streams queries from the entry's frozen
+// policy through a request-private sampler, so concurrent sessions
+// never contend on inference state.
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"learnedsqlgen/internal/datagen"
+	"learnedsqlgen/internal/fsm"
+	"learnedsqlgen/internal/rl"
+	"learnedsqlgen/internal/token"
+)
+
+// Dataset is one open benchmark the server generates against: the
+// synthesized storage, its token vocabulary, and the shared RL
+// environment every session's sampler measures rewards through (the
+// environment's estimator cache is concurrency-safe and shared on
+// purpose — sessions absorb each other's repeated partial-query
+// estimations).
+type Dataset struct {
+	Name  string
+	Scale float64
+	Env   *rl.Env
+	// Fingerprint identifies the dataset's generation inputs and the
+	// resulting schema + vocabulary. It is half of a registry key: a
+	// checkpointed policy is only ever re-served against byte-identical
+	// token/vocabulary geometry.
+	Fingerprint string
+}
+
+// OpenDataset generates the named benchmark at scale and builds its
+// vocabulary (k sampled cell values per non-categorical column) and RL
+// environment, exactly as the facade's OpenBenchmark does with default
+// grammar.
+func OpenDataset(name string, scale float64, sampleValues int, seed int64) (*Dataset, error) {
+	if sampleValues <= 0 {
+		sampleValues = 100
+	}
+	raw, err := datagen.Generate(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	vocab := token.Build(raw, sampleValues, seed)
+	env := rl.NewEnv(raw, vocab, fsm.DefaultConfig())
+	ds := &Dataset{Name: name, Scale: scale, Env: env}
+	ds.Fingerprint = fingerprint(name, scale, seed, sampleValues, ds)
+	return ds, nil
+}
+
+// fingerprint hashes everything that decides a policy's input geometry:
+// the generation parameters plus the realized schema (tables, columns,
+// kinds) and vocabulary size. Same fingerprint ⇒ same token ids ⇒ a
+// saved policy's weights mean the same thing.
+func fingerprint(name string, scale float64, seed int64, sampleValues int, ds *Dataset) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%x|%d|%d", name, math.Float64bits(scale), seed, sampleValues)
+	for _, t := range ds.Env.DB.Schema.Tables {
+		fmt.Fprintf(h, "|%s", t.Name)
+		for _, c := range t.Columns {
+			fmt.Fprintf(h, ",%s:%d", c.Name, c.Kind)
+		}
+	}
+	fmt.Fprintf(h, "|v%d", ds.Env.Vocab.Size())
+	return fmt.Sprintf("%s@%g#%016x", name, scale, h.Sum64())
+}

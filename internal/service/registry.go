@@ -1,0 +1,420 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"path/filepath"
+	"sync"
+
+	"learnedsqlgen/internal/durable"
+	"learnedsqlgen/internal/meta"
+	"learnedsqlgen/internal/nn"
+	"learnedsqlgen/internal/rl"
+)
+
+// Key identifies one warm registry entry: a dataset's exact
+// schema/vocabulary geometry plus the decade-bucketed constraint domain
+// the entry's policies were pre-trained over. Two requests with
+// different constraints that fall in the same bucket share one entry.
+type Key struct {
+	Fingerprint string
+	Domain      string
+}
+
+// DomainFor buckets a constraint into the covering decade-aligned
+// domain: [10^floor(log10(lo)), 10^ceil(log10(hi))], clamped below at 1,
+// divided into k meta-learning tasks. Bucketing is what makes the
+// registry warm — every constraint inside [2, 800] maps to the
+// [1, 1000] domain, so the second such request (any session) reuses the
+// first one's pre-trained policies instead of training its own.
+func DomainFor(c rl.Constraint, k int) meta.Domain {
+	lo, hi := c.Lo, c.Hi
+	if !c.IsRange {
+		lo, hi = c.Point, c.Point
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	dlo := math.Pow(10, math.Floor(math.Log10(lo)))
+	dhi := math.Pow(10, math.Ceil(math.Log10(hi)))
+	if dhi <= dlo {
+		dhi = dlo * 10
+	}
+	if k <= 0 {
+		k = DefaultDomainTasks
+	}
+	return meta.Domain{Metric: c.Metric, Lo: dlo, Hi: dhi, K: k}
+}
+
+// DomainKey renders a domain as a stable registry key half.
+func DomainKey(d meta.Domain) string {
+	return fmt.Sprintf("%s[%g,%g]k%d", d.Metric, d.Lo, d.Hi, d.K)
+}
+
+// DefaultDomainTasks is the per-domain task count when RegistryConfig.K
+// is zero.
+const DefaultDomainTasks = 4
+
+// Entry is one warm model: a domain's pre-trained MetaTrainer (K task
+// actors + shared meta-critic), frozen after build. Sessions acquire it,
+// read ActorFor's nearest-task policy, and release it; the weights are
+// never trained after the ready channel closes, so any number of
+// concurrent readers is safe.
+type Entry struct {
+	Key    Key
+	Domain meta.Domain
+
+	ready chan struct{} // closed when model/err is settled
+	model *meta.MetaTrainer
+	err   error
+
+	weights int // scalar count, priced at 8 bytes each against the budget
+	refs    int // guarded by Registry.mu
+	lastUse uint64
+	loaded  bool // came from a checkpoint rather than fresh pre-training
+}
+
+// ActorFor returns the frozen pre-trained policy nearest the constraint
+// — §6 adaptation without retraining, shared read-only across sessions.
+func (e *Entry) ActorFor(c rl.Constraint) *nn.SeqNet { return e.model.ActorFor(c) }
+
+// Checksum fingerprints the entry's weight bytes (actors + meta-critic).
+func (e *Entry) Checksum() uint32 { return nn.ChecksumParams(e.model.Params()) }
+
+// Bytes is the entry's budget charge.
+func (e *Entry) Bytes() int64 { return int64(e.weights) * 8 }
+
+// RegistryConfig tunes the warm model registry.
+type RegistryConfig struct {
+	// Budget bounds resident entry weight bytes; entries past it are
+	// LRU-evicted once unreferenced. 0 selects DefaultMemoryBudget.
+	Budget int64
+	// Dir persists entries as rotated rl.Store checkpoints (one
+	// subdirectory per key) plus a registry.json warm-start manifest.
+	// Empty disables persistence: evicted entries re-train on next use.
+	Dir string
+	// Keep is the checkpoint rotation depth per entry (rl.Store
+	// semantics).
+	Keep int
+	// Seed fans out per-entry pre-training seeds (FanSeed over the key
+	// hash), so a registry's entries are reproducible individually.
+	Seed int64
+	// K is the task count per domain; WarmRounds × WarmEpisodes is the
+	// pre-training budget of a cold entry.
+	K            int
+	WarmRounds   int
+	WarmEpisodes int
+	// Base is the rl configuration entries pre-train and sessions sample
+	// under (Seed and OnEpoch are overridden per entry/request).
+	Base rl.Config
+	// Logf, when non-nil, receives one line per slow registry event
+	// (train, load, evict).
+	Logf func(format string, args ...any)
+}
+
+// DefaultMemoryBudget is the registry's resident-weights budget when
+// RegistryConfig.Budget is zero: 256 MiB.
+const DefaultMemoryBudget = 256 << 20
+
+// StateFileName is the registry's warm-start manifest inside Dir.
+const StateFileName = "registry.json"
+
+// Registry is the warm model store: ref-counted, LRU-evicted entries of
+// pre-trained domain policies, checkpointed through rl.Store so a
+// restarted server warm-loads instead of re-training.
+type Registry struct {
+	cfg RegistryConfig
+
+	mu      sync.Mutex
+	entries map[Key]*Entry
+	clock   uint64
+	bytes   int64 // resident entry bytes (settled entries only)
+
+	hits, trains, loads, evictions uint64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	if cfg.Budget <= 0 {
+		cfg.Budget = DefaultMemoryBudget
+	}
+	if cfg.K <= 0 {
+		cfg.K = DefaultDomainTasks
+	}
+	if cfg.WarmRounds <= 0 {
+		cfg.WarmRounds = 3
+	}
+	if cfg.WarmEpisodes <= 0 {
+		cfg.WarmEpisodes = 24
+	}
+	return &Registry{cfg: cfg, entries: map[Key]*Entry{}}
+}
+
+func (r *Registry) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Acquire returns the settled entry covering c's domain on ds,
+// ref-counted for the caller. The first acquirer of a key builds the
+// entry — loading its newest checkpoint when Dir holds one, otherwise
+// pre-training from scratch and checkpointing the result — while later
+// acquirers block on the same build (or ctx). Release every non-error
+// return.
+func (r *Registry) Acquire(ctx context.Context, ds *Dataset, c rl.Constraint) (*Entry, error) {
+	return r.acquireDomain(ctx, ds, DomainFor(c, r.cfg.K))
+}
+
+func (r *Registry) acquireDomain(ctx context.Context, ds *Dataset, d meta.Domain) (*Entry, error) {
+	key := Key{Fingerprint: ds.Fingerprint, Domain: DomainKey(d)}
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		e.refs++
+		r.clock++
+		e.lastUse = r.clock
+		r.hits++
+		r.mu.Unlock()
+		return r.await(ctx, e)
+	}
+	e := &Entry{Key: key, Domain: d, ready: make(chan struct{}), refs: 1}
+	r.entries[key] = e
+	r.clock++
+	e.lastUse = r.clock
+	r.mu.Unlock()
+
+	model, loaded, err := r.build(ctx, ds, d, key)
+	r.mu.Lock()
+	if err != nil {
+		e.err = err
+		delete(r.entries, key) // a later Acquire retries the build
+	} else {
+		e.model = model
+		e.loaded = loaded
+		e.weights = nn.ParamsSize(model.Params())
+		r.bytes += e.Bytes()
+		if loaded {
+			r.loads++
+		} else {
+			r.trains++
+		}
+		r.evictLocked()
+	}
+	close(e.ready)
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// await blocks until e settles or ctx cancels. The caller already holds
+// a reference; error paths drop it.
+func (r *Registry) await(ctx context.Context, e *Entry) (*Entry, error) {
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		r.Release(e)
+		return nil, context.Cause(ctx)
+	}
+	if e.err != nil {
+		// Failed entries never enter the resident set; just drop the ref.
+		r.mu.Lock()
+		e.refs--
+		r.mu.Unlock()
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// Release returns a reference taken by Acquire; unreferenced entries
+// become eviction candidates when the registry is over budget.
+func (r *Registry) Release(e *Entry) {
+	if e == nil {
+		return
+	}
+	r.mu.Lock()
+	e.refs--
+	r.evictLocked()
+	r.mu.Unlock()
+}
+
+// evictLocked drops least-recently-used, unreferenced, settled entries
+// until the resident bytes fit the budget. Entries persist as
+// checkpoints (written at build time), so eviction costs a reload, not a
+// re-train, when Dir is set.
+func (r *Registry) evictLocked() {
+	for r.bytes > r.cfg.Budget {
+		var victim *Entry
+		for _, e := range r.entries {
+			if e.refs > 0 || e.model == nil {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(r.entries, victim.Key)
+		r.bytes -= victim.Bytes()
+		r.evictions++
+		r.logf("service: registry evicted %s/%s (%d KiB resident)",
+			victim.Key.Fingerprint, victim.Key.Domain, r.bytes/1024)
+	}
+}
+
+// entryDir is the per-key checkpoint subdirectory name.
+func entryDir(key Key) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s", key.Fingerprint, key.Domain)
+	return fmt.Sprintf("entry-%016x", h.Sum64())
+}
+
+// entrySeed fans a deterministic pre-training seed out of the registry
+// seed and the key, so each entry's policies are individually
+// reproducible no matter the order entries are built in.
+func (r *Registry) entrySeed(key Key) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s", key.Fingerprint, key.Domain)
+	return rl.FanSeed(r.cfg.Seed, h.Sum64())
+}
+
+// build produces the entry's model: checkpoint-load when possible,
+// otherwise pre-train and checkpoint. Runs outside the registry lock.
+func (r *Registry) build(ctx context.Context, ds *Dataset, d meta.Domain, key Key) (*meta.MetaTrainer, bool, error) {
+	cfg := r.cfg.Base
+	cfg.Seed = r.entrySeed(key)
+	cfg.OnEpoch = nil
+	mt := meta.NewMetaTrainer(ds.Env, d, cfg)
+	var store *rl.Store
+	if r.cfg.Dir != "" {
+		st, err := rl.NewStore(filepath.Join(r.cfg.Dir, entryDir(key)), r.cfg.Keep)
+		if err != nil {
+			return nil, false, err
+		}
+		store = st
+		if path, err := store.Load(mt); err == nil {
+			r.logf("service: registry loaded %s from %s", key.Domain, path)
+			return mt, true, nil
+		} else if !errors.Is(err, rl.ErrNoCheckpoint) {
+			return nil, false, err
+		}
+	}
+	if _, err := mt.PretrainContext(ctx, r.cfg.WarmRounds, r.cfg.WarmEpisodes); err != nil {
+		return nil, false, err
+	}
+	if store != nil {
+		if _, err := store.Save(mt); err != nil {
+			return nil, false, err
+		}
+	}
+	r.logf("service: registry pre-trained %s (%d rounds × %d episodes/task)",
+		key.Domain, r.cfg.WarmRounds, r.cfg.WarmEpisodes)
+	return mt, false, nil
+}
+
+// RegistryStats snapshots the registry's counters.
+type RegistryStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Trains    uint64 `json:"trains"`
+	Loads     uint64 `json:"loads"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats snapshots the registry.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RegistryStats{
+		Entries: len(r.entries), Bytes: r.bytes,
+		Hits: r.hits, Trains: r.trains, Loads: r.loads, Evictions: r.evictions,
+	}
+}
+
+// registryState is the durable warm-start manifest: which (dataset,
+// domain) entries were resident at drain time, with weight checksums for
+// post-restore verification.
+type registryState struct {
+	Version int          `json:"version"`
+	Entries []stateEntry `json:"entries"`
+}
+
+type stateEntry struct {
+	Fingerprint string      `json:"fingerprint"`
+	Domain      meta.Domain `json:"domain"`
+	Checksum    uint32      `json:"checksum"`
+	Weights     int         `json:"weights"`
+}
+
+// SaveState durably writes the warm-start manifest into Dir. No-op
+// without persistence.
+func (r *Registry) SaveState() error {
+	if r.cfg.Dir == "" {
+		return nil
+	}
+	st := registryState{Version: 1}
+	r.mu.Lock()
+	for _, e := range r.entries {
+		if e.model == nil {
+			continue
+		}
+		st.Entries = append(st.Entries, stateEntry{
+			Fingerprint: e.Key.Fingerprint,
+			Domain:      e.Domain,
+			Checksum:    e.Checksum(),
+			Weights:     e.weights,
+		})
+	}
+	r.mu.Unlock()
+	return durable.WriteJSON(filepath.Join(r.cfg.Dir, StateFileName), st)
+}
+
+// WarmStart replays the manifest written by SaveState: every recorded
+// entry whose dataset is open again is checkpoint-loaded before the
+// first request needs it. Entries for unknown fingerprints (different
+// scale, seed or schema) are skipped — their checkpoints stay on disk
+// but cannot be safely served. Returns how many entries were warmed.
+func (r *Registry) WarmStart(ctx context.Context, datasets map[string]*Dataset) (int, error) {
+	if r.cfg.Dir == "" {
+		return 0, nil
+	}
+	var st registryState
+	if err := readJSON(filepath.Join(r.cfg.Dir, StateFileName), &st); err != nil {
+		return 0, err // includes fs.ErrNotExist; caller decides
+	}
+	byFP := map[string]*Dataset{}
+	for _, ds := range datasets {
+		byFP[ds.Fingerprint] = ds
+	}
+	warmed := 0
+	for _, se := range st.Entries {
+		ds, ok := byFP[se.Fingerprint]
+		if !ok {
+			r.logf("service: registry skipping %s/%s (dataset not open)", se.Fingerprint, DomainKey(se.Domain))
+			continue
+		}
+		e, err := r.acquireDomain(ctx, ds, se.Domain)
+		if err != nil {
+			return warmed, err
+		}
+		if got := e.Checksum(); got != se.Checksum {
+			// A degraded rotation (newest checkpoint corrupt, older one
+			// loaded) or a re-train — serveable either way, just note it.
+			r.logf("service: registry %s checksum changed across restart (%08x → %08x)",
+				DomainKey(se.Domain), se.Checksum, got)
+		}
+		r.Release(e)
+		warmed++
+	}
+	return warmed, nil
+}

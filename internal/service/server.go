@@ -1,0 +1,322 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"learnedsqlgen/internal/rl"
+)
+
+// DatasetSpec names one benchmark the server opens at startup.
+type DatasetSpec struct {
+	Name  string
+	Scale float64
+}
+
+// Config tunes a Server. The zero value of most fields selects a
+// sensible default, documented per field.
+type Config struct {
+	// Datasets are opened (generated + vocabulary + environment) before
+	// the server accepts connections. At least one is required.
+	Datasets []DatasetSpec
+	// Seed drives dataset generation and fans out registry pre-training
+	// seeds; session streams are keyed by the client's Hello seed, not
+	// this one.
+	Seed int64
+	// SampleValues is the vocabulary's k (default 100).
+	SampleValues int
+	// Workers is each request sampler's rollout concurrency (default 1;
+	// streams are byte-identical for every value).
+	Workers int
+	// PrefixCacheSize / QuantizedInference configure request samplers
+	// exactly as the facade Options of the same names.
+	PrefixCacheSize    int
+	QuantizedInference bool
+	// K, WarmRounds, WarmEpisodes and MemoryBudget configure the model
+	// registry (see RegistryConfig).
+	K            int
+	WarmRounds   int
+	WarmEpisodes int
+	MemoryBudget int64
+	// CheckpointDir persists registry entries and the warm-start
+	// manifest; empty disables persistence. CheckpointKeep is the
+	// rotation depth.
+	CheckpointDir  string
+	CheckpointKeep int
+	// DrainTimeout bounds how long Shutdown waits for in-flight streams
+	// to finish before cancelling them (default 5s).
+	DrainTimeout time.Duration
+	// ProgressEvery is the attempt interval between Progress frames
+	// (default 64).
+	ProgressEvery int
+	// DefaultMaxAttempts caps a request's episodes when the client sends
+	// MaxAttempts 0 (default 1000).
+	DefaultMaxAttempts int
+	// MaxFrame bounds inbound frame payloads (default wire.DefaultMaxFrame).
+	MaxFrame int
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// ErrServerClosed is returned by Serve after Shutdown begins.
+var ErrServerClosed = errors.New("service: server closed")
+
+// Server is the generation service: an accept loop handing connections
+// to sessions, a warm model registry behind them, and a graceful drain.
+type Server struct {
+	cfg      Config
+	datasets map[string]*Dataset
+	reg      *Registry
+
+	// baseCtx parents every session context; cancelAll is the drain
+	// deadline's hammer — it stops every in-flight stream at its next
+	// episode-batch boundary.
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*session
+	nextID   uint64
+	draining bool
+	wg       sync.WaitGroup // one count per live session
+}
+
+// New opens cfg's datasets, builds the registry, and warm-starts it from
+// a previous run's manifest when CheckpointDir holds one.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Datasets) == 0 {
+		return nil, errors.New("service: Config.Datasets must name at least one dataset")
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = 64
+	}
+	if cfg.DefaultMaxAttempts <= 0 {
+		cfg.DefaultMaxAttempts = 1000
+	}
+	s := &Server{cfg: cfg, datasets: map[string]*Dataset{}, sessions: map[uint64]*session{}}
+	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
+	for _, spec := range cfg.Datasets {
+		ds, err := OpenDataset(spec.Name, spec.Scale, cfg.SampleValues, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("service: open dataset %s: %w", spec.Name, err)
+		}
+		s.datasets[spec.Name] = ds
+		s.logf("service: dataset %s open (scale %g, vocab %d)", spec.Name, spec.Scale, ds.Env.Vocab.Size())
+	}
+	base := rl.FastConfig()
+	base.Workers = cfg.Workers
+	base.PrefixCacheSize = cfg.PrefixCacheSize
+	base.QuantizedInference = cfg.QuantizedInference
+	s.reg = NewRegistry(RegistryConfig{
+		Budget: cfg.MemoryBudget,
+		Dir:    cfg.CheckpointDir,
+		Keep:   cfg.CheckpointKeep,
+		Seed:   cfg.Seed,
+		K:      cfg.K, WarmRounds: cfg.WarmRounds, WarmEpisodes: cfg.WarmEpisodes,
+		Base: base,
+		Logf: cfg.Logf,
+	})
+	if cfg.CheckpointDir != "" {
+		warmed, err := s.reg.WarmStart(s.baseCtx, s.datasets)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// First run: nothing to warm.
+		case err != nil:
+			return nil, fmt.Errorf("service: warm start: %w", err)
+		case warmed > 0:
+			s.logf("service: warm-started %d registry entries", warmed)
+		}
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Registry exposes the warm model registry (stats, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Dataset returns an open dataset by name (tests).
+func (s *Server) Dataset(name string) *Dataset { return s.datasets[name] }
+
+// datasetNames lists open datasets in stable order for Welcome frames.
+func (s *Server) datasetNames() []string {
+	names := make([]string, 0, len(s.datasets))
+	for _, spec := range s.cfg.Datasets {
+		if _, ok := s.datasets[spec.Name]; ok && !contains(names, spec.Name) {
+			names = append(names, spec.Name)
+		}
+	}
+	return names
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ListenAndServe listens on addr ("host:port") and runs Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown closes it. Each
+// connection becomes a session goroutine; Serve itself returns nil on a
+// drain-initiated stop and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.logf("service: serving on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.startSession(conn)
+	}
+}
+
+// Addr reports the listener address once Serve has one (tests dial it).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) startSession(conn net.Conn) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.nextID++
+	sess := newSession(s, s.nextID, conn)
+	s.sessions[sess.id] = sess
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		sess.run()
+		s.mu.Lock()
+		delete(s.sessions, sess.id)
+		s.mu.Unlock()
+	}()
+}
+
+// Shutdown drains the server: stop accepting, let in-flight streams
+// finish for up to DrainTimeout (bounded further by ctx), then cancel
+// whatever remains, join every session, and checkpoint the registry's
+// warm-start manifest. Idle sessions close immediately; busy ones close
+// the moment their last stream sends Done. Safe to call once; later
+// calls return immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, sess := range sessions {
+		sess.drain()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(s.cfg.DrainTimeout)
+	defer timer.Stop()
+	forced := false
+	select {
+	case <-done:
+	case <-timer.C:
+		forced = true
+	case <-ctx.Done():
+		forced = true
+	}
+	if forced {
+		s.logf("service: drain deadline hit, cancelling in-flight streams")
+		s.cancelAll()
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			sess.conn.Close() // unblocks read loops mid-frame
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.cancelAll() // release the base context either way
+	if err := s.reg.SaveState(); err != nil {
+		return fmt.Errorf("service: checkpoint registry state: %w", err)
+	}
+	s.logf("service: drained (%d sessions at drain start)", len(sessions))
+	return nil
+}
+
+// readJSON loads a JSON file into v.
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// parseMetric maps a wire metric name to rl.Metric.
+func parseMetric(name string) (rl.Metric, error) {
+	switch strings.ToLower(name) {
+	case "cardinality", "card":
+		return rl.Cardinality, nil
+	case "cost":
+		return rl.Cost, nil
+	}
+	return 0, fmt.Errorf("unknown metric %q (want cardinality or cost)", name)
+}

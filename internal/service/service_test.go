@@ -1,0 +1,558 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"learnedsqlgen/client"
+	"learnedsqlgen/internal/rl"
+)
+
+// testConfig is a micro server configuration: tiny dataset, tiny
+// vocabulary, a one-round warm-up per registry entry — seconds, not
+// minutes.
+func testConfig() Config {
+	return Config{
+		Datasets:     []DatasetSpec{{Name: "xuetang", Scale: 0.05}},
+		Seed:         1,
+		SampleValues: 10,
+		K:            2,
+		WarmRounds:   1,
+		WarmEpisodes: 4,
+		DrainTimeout: 5 * time.Second,
+	}
+}
+
+// startServer runs a server on a loopback listener and returns its
+// address plus a shutdown func.
+func startServer(t *testing.T, cfg Config) (*Server, string, func()) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveDone; err != nil {
+			t.Errorf("Serve returned %v after drain", err)
+		}
+	}
+	return srv, ln.Addr().String(), shutdown
+}
+
+// collect drains a stream into its SQL strings, failing the test on any
+// stream error.
+func collect(t *testing.T, st *client.Stream) []string {
+	t.Helper()
+	var out []string
+	for st.Next() {
+		row := st.Row()
+		if !row.Satisfied {
+			t.Errorf("unsatisfied row streamed: %s", row.SQL)
+		}
+		out = append(out, row.SQL)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	return out
+}
+
+// TestTwoConcurrentSessions is the acceptance e2e: two clients with
+// different constraints stream concurrently against one server, each
+// receiving at least N satisfied queries, and each session's stream
+// replays byte-identically from its seed on a fresh connection.
+func TestTwoConcurrentSessions(t *testing.T) {
+	_, addr, shutdown := startServer(t, testConfig())
+	defer shutdown()
+
+	reqs := []client.Request{
+		{Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 3, MaxAttempts: 2000},
+		{Metric: "cost", IsRange: true, Lo: 1, Hi: 1e9, N: 3, MaxAttempts: 2000},
+	}
+	seeds := []int64{42, 1337}
+	results := make([][]string, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := client.Dial(addr, &client.Config{Seed: seeds[i]})
+			if err != nil {
+				t.Errorf("session %d dial: %v", i, err)
+				return
+			}
+			defer conn.Close()
+			st, err := conn.Generate(context.Background(), reqs[i])
+			if err != nil {
+				t.Errorf("session %d generate: %v", i, err)
+				return
+			}
+			results[i] = collect(t, st)
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, rows := range results {
+		if len(rows) < reqs[i].N {
+			t.Fatalf("session %d streamed %d rows, want ≥ %d", i, len(rows), reqs[i].N)
+		}
+	}
+
+	// Byte-identical replay: same session seed, same request sequence ⇒
+	// same stream, row for row.
+	for i := range reqs {
+		conn, err := client.Dial(addr, &client.Config{Seed: seeds[i]})
+		if err != nil {
+			t.Fatalf("replay dial: %v", err)
+		}
+		st, err := conn.Generate(context.Background(), reqs[i])
+		if err != nil {
+			t.Fatalf("replay generate: %v", err)
+		}
+		replay := collect(t, st)
+		conn.Close()
+		if len(replay) != len(results[i]) {
+			t.Fatalf("session %d replay streamed %d rows, first run %d", i, len(replay), len(results[i]))
+		}
+		for j := range replay {
+			if replay[j] != results[i][j] {
+				t.Fatalf("session %d row %d diverged:\n first: %s\nreplay: %s", i, j, results[i][j], replay[j])
+			}
+		}
+	}
+}
+
+// TestSessionSeedsIndependent checks the fan-out direction: two sessions
+// with different seeds running the same request stream different queries
+// (FanSeed independence), while both still satisfy the constraint.
+func TestSessionSeedsIndependent(t *testing.T) {
+	_, addr, shutdown := startServer(t, testConfig())
+	defer shutdown()
+	req := client.Request{Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 4, MaxAttempts: 2000}
+	var streams [2][]string
+	for i, seed := range []int64{7, 8} {
+		conn, err := client.Dial(addr, &client.Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		st, err := conn.Generate(context.Background(), req)
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		streams[i] = collect(t, st)
+		conn.Close()
+	}
+	if strings.Join(streams[0], "\n") == strings.Join(streams[1], "\n") {
+		t.Fatalf("different session seeds produced identical streams:\n%s", strings.Join(streams[0], "\n"))
+	}
+}
+
+// TestCancelMidStream cancels a request's context mid-stream and expects
+// the cancellation cause back plus a live connection-level drain (the
+// server answers Done{Canceled}).
+func TestCancelMidStream(t *testing.T) {
+	_, addr, shutdown := startServer(t, testConfig())
+	defer shutdown()
+	conn, err := client.Dial(addr, &client.Config{Seed: 5})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st, err := conn.Generate(ctx, client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1000000, MaxAttempts: 1 << 30,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	rows := 0
+	for st.Next() {
+		if rows++; rows == 2 {
+			cancel()
+		}
+	}
+	if err := st.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("stream ended with %v, want context.Canceled", err)
+	}
+	if _, _, canceled := st.Stats(); !canceled {
+		t.Fatalf("Done frame not marked canceled")
+	}
+}
+
+// TestGracefulDrain is the acceptance drain test: SIGTERM-equivalent
+// Shutdown while a stream is in flight finishes (or cancels) the stream
+// within the deadline, Serve returns nil, and no goroutines leak.
+func TestGracefulDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	cfg := testConfig()
+	cfg.DrainTimeout = 300 * time.Millisecond
+	srv, addr, _ := startServer(t, cfg)
+
+	conn, err := client.Dial(addr, &client.Config{Seed: 11})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// An effectively unbounded stream, so drain must cut it.
+	st, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1 << 30, MaxAttempts: 1 << 30,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if !st.Next() {
+		t.Fatalf("no first row before drain: %v", st.Err())
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for st.Next() {
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("drain took %v, deadline was 300ms", elapsed)
+	}
+	<-done
+
+	// New connections must be refused after drain.
+	if c2, err := client.Dial(addr, &client.Config{Seed: 1}); err == nil {
+		c2.Close()
+		t.Fatalf("dial succeeded after drain")
+	}
+
+	// Zero goroutine leaks: the count returns to (at most) the baseline,
+	// allowing the runtime a moment to reap.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after drain: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDrainFinishesShortStream checks the polite half of drain: a stream
+// that can finish within the deadline runs to a clean, uncanceled Done.
+func TestDrainFinishesShortStream(t *testing.T) {
+	srv, addr, _ := startServer(t, testConfig())
+	conn, err := client.Dial(addr, &client.Config{Seed: 3})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	st, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 2, MaxAttempts: 2000,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if !st.Next() { // entry is warm and the stream is live before drain
+		t.Fatalf("no first row: %v", st.Err())
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	rows := 1
+	for st.Next() {
+		rows++
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream error during polite drain: %v", err)
+	}
+	if _, _, canceled := st.Stats(); canceled {
+		t.Fatalf("short stream was canceled; drain should have let it finish")
+	}
+	if rows < 2 {
+		t.Fatalf("streamed %d rows, want 2", rows)
+	}
+}
+
+// TestRegistrySharingAndEviction drives the registry directly: requests
+// in the same decade bucket share one entry, eviction under a tiny
+// budget drops it once unreferenced, and the next acquire reloads it
+// from its checkpoint byte-identically.
+func TestRegistrySharingAndEviction(t *testing.T) {
+	ds, err := OpenDataset("xuetang", 0.05, 10, 1)
+	if err != nil {
+		t.Fatalf("open dataset: %v", err)
+	}
+	dir := t.TempDir()
+	reg := NewRegistry(RegistryConfig{
+		Budget: 1, // any settled entry is over budget once unreferenced
+		Dir:    dir, Seed: 1, K: 2, WarmRounds: 1, WarmEpisodes: 4,
+		Base: rl.FastConfig(),
+	})
+	ctx := context.Background()
+	c1 := rl.RangeConstraint(rl.Cardinality, 2, 800)
+	c2 := rl.RangeConstraint(rl.Cardinality, 1, 1000)
+	e1, err := reg.Acquire(ctx, ds, c1)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	sum := e1.Checksum()
+	e2, err := reg.Acquire(ctx, ds, c2)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if e1 != e2 {
+		t.Fatalf("constraints [2,800] and [1,1000] should share the [1,1000] domain entry")
+	}
+	st := reg.Stats()
+	if st.Trains != 1 || st.Hits != 1 {
+		t.Fatalf("stats after shared acquire: %+v, want 1 train + 1 hit", st)
+	}
+	reg.Release(e1)
+	if reg.Stats().Entries != 1 {
+		t.Fatalf("entry evicted while still referenced")
+	}
+	reg.Release(e2)
+	st = reg.Stats()
+	if st.Entries != 0 || st.Evictions != 1 {
+		t.Fatalf("stats after final release: %+v, want 0 entries / 1 eviction", st)
+	}
+
+	// Reacquire: checkpoint reload, not retrain, and the same weights.
+	e3, err := reg.Acquire(ctx, ds, c1)
+	if err != nil {
+		t.Fatalf("reacquire: %v", err)
+	}
+	defer reg.Release(e3)
+	st = reg.Stats()
+	if st.Loads != 1 || st.Trains != 1 {
+		t.Fatalf("stats after reacquire: %+v, want 1 load and still 1 train", st)
+	}
+	if got := e3.Checksum(); got != sum {
+		t.Fatalf("reloaded entry checksum %08x != original %08x", got, sum)
+	}
+}
+
+// TestRegistryConcurrentAccess races N acquirers of one shared entry
+// against eviction (tiny budget: every full release evicts) and
+// checkpoint reloads — the -race regression for the registry's locking.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	ds, err := OpenDataset("xuetang", 0.05, 10, 1)
+	if err != nil {
+		t.Fatalf("open dataset: %v", err)
+	}
+	reg := NewRegistry(RegistryConfig{
+		Budget: 1,
+		Dir:    t.TempDir(), Seed: 1, K: 2, WarmRounds: 1, WarmEpisodes: 4,
+		Base: rl.FastConfig(),
+	})
+	c := rl.RangeConstraint(rl.Cardinality, 1, 1000)
+	// Settle the entry once so the concurrent phase races reloads, not
+	// one long pre-train.
+	e, err := reg.Acquire(context.Background(), ds, c)
+	if err != nil {
+		t.Fatalf("warm acquire: %v", err)
+	}
+	sum := e.Checksum()
+	reg.Release(e) // evicts; concurrent phase starts cold
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				e, err := reg.Acquire(context.Background(), ds, c)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d acquire %d: %w", g, i, err)
+					return
+				}
+				if got := e.Checksum(); got != sum {
+					errs <- fmt.Errorf("goroutine %d acquire %d: checksum %08x != %08x", g, i, got, sum)
+				}
+				// Sample a token step's worth of read access.
+				_ = e.ActorFor(c)
+				reg.Release(e)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := reg.Stats()
+	if st.Trains != 1 {
+		t.Errorf("entry retrained under race: %+v (checkpoint reload should cover evictions)", st)
+	}
+	if st.Evictions == 0 || st.Loads == 0 {
+		t.Errorf("race exercised no evictions/reloads: %+v", st)
+	}
+}
+
+// TestWarmRestart drains a server with a checkpoint dir, restarts it on
+// the same dir, and expects (a) the registry warm-loaded instead of
+// re-training and (b) a session replaying its seed to get byte-identical
+// rows across the restart.
+func TestWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.CheckpointDir = dir
+
+	srv1, addr1, _ := startServer(t, cfg)
+	req := client.Request{Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 3, MaxAttempts: 2000}
+	conn, err := client.Dial(addr1, &client.Config{Seed: 99})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	st, err := conn.Generate(context.Background(), req)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	first := collect(t, st)
+	conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, StateFileName)); err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	var state registryState
+	if err := readJSON(filepath.Join(dir, StateFileName), &state); err != nil {
+		t.Fatalf("drain did not checkpoint registry state: %v", err)
+	}
+	if len(state.Entries) != 1 {
+		t.Fatalf("registry state holds %d entries, want 1", len(state.Entries))
+	}
+
+	srv2, addr2, shutdown2 := startServer(t, cfg)
+	defer shutdown2()
+	st2 := srv2.Registry().Stats()
+	if st2.Loads == 0 || st2.Trains != 0 {
+		t.Fatalf("restart stats %+v: want warm loads, zero re-trains", st2)
+	}
+	conn2, err := client.Dial(addr2, &client.Config{Seed: 99})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn2.Close()
+	s2, err := conn2.Generate(context.Background(), req)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	replay := collect(t, s2)
+	if strings.Join(first, "\n") != strings.Join(replay, "\n") {
+		t.Fatalf("stream diverged across warm restart:\nbefore: %v\n after: %v", first, replay)
+	}
+}
+
+// TestWarmStartMissingManifest: a fresh checkpoint dir is not an error.
+func TestWarmStartMissingManifest(t *testing.T) {
+	ds, err := OpenDataset("xuetang", 0.05, 10, 1)
+	if err != nil {
+		t.Fatalf("open dataset: %v", err)
+	}
+	reg := NewRegistry(RegistryConfig{Dir: t.TempDir(), Base: rl.FastConfig()})
+	_, err = reg.WarmStart(context.Background(), map[string]*Dataset{"xuetang": ds})
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("WarmStart on empty dir: %v, want fs.ErrNotExist", err)
+	}
+}
+
+// TestProtocolErrors covers the request-level error paths end to end.
+func TestProtocolErrors(t *testing.T) {
+	_, addr, shutdown := startServer(t, testConfig())
+	defer shutdown()
+	conn, err := client.Dial(addr, &client.Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	for _, req := range []client.Request{
+		{Dataset: "nope", Metric: "cardinality", IsRange: true, Lo: 1, Hi: 10, N: 1},
+		{Metric: "latency", IsRange: true, Lo: 1, Hi: 10, N: 1},
+		{Metric: "cardinality", IsRange: true, Lo: 1, Hi: 10, N: 0},
+	} {
+		st, err := conn.Generate(context.Background(), req)
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		if st.Next() {
+			t.Fatalf("invalid request %+v streamed a row", req)
+		}
+		if st.Err() == nil {
+			t.Fatalf("invalid request %+v ended without error", req)
+		}
+	}
+	// The connection survives request errors: a valid request still works.
+	st, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1, MaxAttempts: 2000,
+	})
+	if err != nil {
+		t.Fatalf("generate after errors: %v", err)
+	}
+	if rows := collect(t, st); len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+}
+
+// TestDomainFor pins the decade-bucketing rule.
+func TestDomainFor(t *testing.T) {
+	for _, tc := range []struct {
+		c      rl.Constraint
+		lo, hi float64
+	}{
+		{rl.RangeConstraint(rl.Cardinality, 1, 1000), 1, 1000},
+		{rl.RangeConstraint(rl.Cardinality, 2, 800), 1, 1000},
+		{rl.RangeConstraint(rl.Cardinality, 0, 10), 1, 10},
+		{rl.RangeConstraint(rl.Cardinality, 10, 500), 10, 1000},
+		{rl.PointConstraint(rl.Cardinality, 500), 100, 1000},
+		{rl.PointConstraint(rl.Cardinality, 100), 100, 1000},
+		{rl.PointConstraint(rl.Cardinality, 1), 1, 10},
+	} {
+		d := DomainFor(tc.c, 2)
+		if d.Lo != tc.lo || d.Hi != tc.hi {
+			t.Errorf("DomainFor(%v) = [%g, %g], want [%g, %g]", tc.c, d.Lo, d.Hi, tc.lo, tc.hi)
+		}
+	}
+	if k1, k2 := DomainKey(DomainFor(rl.RangeConstraint(rl.Cardinality, 2, 800), 2)),
+		DomainKey(DomainFor(rl.RangeConstraint(rl.Cardinality, 1, 1000), 2)); k1 != k2 {
+		t.Errorf("bucketed keys differ: %s vs %s", k1, k2)
+	}
+}

@@ -1,0 +1,267 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"learnedsqlgen/internal/rl"
+	"learnedsqlgen/internal/wire"
+)
+
+// session is one accepted connection: a context subtree rooted in the
+// server's base context (cancel-on-disconnect fans out to every
+// in-flight request), a write mutex serializing response frames, and the
+// client's seed from which every request's generation stream derives
+// deterministically.
+type session struct {
+	id   uint64
+	srv  *Server
+	conn net.Conn
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	seed int64 // client Hello seed; request streams fan out of it
+
+	wmu sync.Mutex // serializes whole frames onto conn
+
+	mu       sync.Mutex
+	active   map[uint64]context.CancelFunc // in-flight request cancels, by id
+	draining bool
+
+	reqWG sync.WaitGroup // in-flight request goroutines
+}
+
+// handshakeTimeout bounds how long a fresh connection may sit silent
+// before Hello; writeTimeout bounds any single frame write.
+const (
+	handshakeTimeout = 10 * time.Second
+	writeTimeout     = 30 * time.Second
+)
+
+func newSession(srv *Server, id uint64, conn net.Conn) *session {
+	s := &session{id: id, srv: srv, conn: conn, active: map[uint64]context.CancelFunc{}}
+	s.ctx, s.cancel = context.WithCancel(srv.baseCtx)
+	return s
+}
+
+// run is the session's read loop: handshake, then dispatch frames until
+// the peer leaves, the connection dies, or the server drains it. The
+// exit path cancels the request subtree first, joins every request
+// goroutine, and only then closes the connection — no request ever
+// writes to a closed socket it didn't know about.
+func (s *session) run() {
+	defer func() {
+		s.cancel()
+		s.reqWG.Wait()
+		s.conn.Close()
+	}()
+	if !s.handshake() {
+		return
+	}
+	maxFrame := s.srv.cfg.MaxFrame
+	for {
+		msg, err := wire.ReadMessage(s.conn, maxFrame)
+		if err != nil {
+			return // disconnect, drain close, or protocol violation
+		}
+		switch m := msg.(type) {
+		case *wire.Generate:
+			s.startGenerate(m)
+		case *wire.Cancel:
+			s.cancelRequest(m.ID)
+		case *wire.Goodbye:
+			return
+		default:
+			s.send(&wire.Error{Msg: fmt.Sprintf("unexpected %T frame", msg)})
+			return
+		}
+	}
+}
+
+// handshake reads Hello and answers Welcome (or a versioning Error).
+func (s *session) handshake() bool {
+	s.conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	msg, err := wire.ReadMessage(s.conn, s.srv.cfg.MaxFrame)
+	if err != nil {
+		return false
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		s.send(&wire.Error{Msg: fmt.Sprintf("expected Hello, got %T", msg)})
+		return false
+	}
+	if hello.Version != wire.Version {
+		s.send(&wire.Error{Msg: fmt.Sprintf("protocol version %d unsupported (server speaks %d)", hello.Version, wire.Version)})
+		return false
+	}
+	s.conn.SetReadDeadline(time.Time{})
+	s.seed = hello.Seed
+	return s.send(&wire.Welcome{
+		Version:   wire.Version,
+		Server:    "learnedsqlgen",
+		SessionID: s.id,
+		Datasets:  s.srv.datasetNames(),
+	}) == nil
+}
+
+// send serializes one frame onto the connection. Frame writes are whole
+// (one Write call inside wire.WriteMessage) and mutex-ordered, so
+// concurrent request streams never interleave bytes.
+func (s *session) send(m wire.Message) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	return wire.WriteMessage(s.conn, m)
+}
+
+// startGenerate validates and launches one request stream. Runs on the
+// read loop goroutine, so reqWG.Add always happens-before run's Wait.
+func (s *session) startGenerate(m *wire.Generate) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.send(&wire.Error{ID: m.ID, Msg: "server draining"})
+		return
+	}
+	if _, dup := s.active[m.ID]; dup {
+		s.mu.Unlock()
+		s.send(&wire.Error{ID: m.ID, Msg: fmt.Sprintf("request id %d already in flight", m.ID)})
+		return
+	}
+	rctx, rcancel := context.WithCancel(s.ctx)
+	s.active[m.ID] = rcancel
+	s.mu.Unlock()
+	s.reqWG.Add(1)
+	go func() {
+		defer s.reqWG.Done()
+		defer s.finishRequest(m.ID, rcancel)
+		s.serveGenerate(rctx, m)
+	}()
+}
+
+// cancelRequest handles a Cancel frame; unknown ids are ignored (the
+// stream may have just finished — Done and Cancel cross on the wire).
+func (s *session) cancelRequest(id uint64) {
+	s.mu.Lock()
+	cancel := s.active[id]
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// finishRequest retires an in-flight request and, when the session is
+// draining and nothing remains in flight, closes the connection so the
+// read loop exits — the per-session half of graceful drain.
+func (s *session) finishRequest(id uint64, cancel context.CancelFunc) {
+	cancel()
+	s.mu.Lock()
+	delete(s.active, id)
+	closeNow := s.draining && len(s.active) == 0
+	s.mu.Unlock()
+	if closeNow {
+		s.conn.Close()
+	}
+}
+
+// drain flips the session into drain mode: new Generate frames are
+// refused, and the connection closes as soon as the in-flight count hits
+// zero (immediately for idle sessions).
+func (s *session) drain() {
+	s.mu.Lock()
+	s.draining = true
+	closeNow := len(s.active) == 0
+	s.mu.Unlock()
+	if closeNow {
+		s.conn.Close()
+	}
+}
+
+// serveGenerate runs one request stream: acquire the warm registry entry
+// covering the constraint's domain, build a request-private sampler
+// seeded by FanSeed(session seed, request id), and stream satisfied
+// queries as Row frames with periodic Progress until Done. The sampler
+// owns its own compute workspaces and prefix cache; the only shared
+// state it touches are the frozen entry weights (read-only) and the
+// dataset's concurrency-safe estimator cache.
+func (s *session) serveGenerate(ctx context.Context, m *wire.Generate) {
+	ds, c, err := s.resolve(m)
+	if err != nil {
+		s.send(&wire.Error{ID: m.ID, Msg: err.Error()})
+		return
+	}
+	entry, err := s.srv.reg.Acquire(ctx, ds, c)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.send(&wire.Done{ID: m.ID, Canceled: true})
+		} else {
+			s.send(&wire.Error{ID: m.ID, Msg: fmt.Sprintf("warm model: %v", err)})
+		}
+		return
+	}
+	defer s.srv.reg.Release(entry)
+
+	cfg := s.srv.reg.cfg.Base
+	cfg.Seed = rl.FanSeed(s.seed, m.ID)
+	sampler := rl.NewSampler(ds.Env, c, cfg)
+	actor := entry.ActorFor(c)
+
+	maxAttempts := m.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = s.srv.cfg.DefaultMaxAttempts
+	}
+	every := s.srv.cfg.ProgressEvery
+	lastProgress := 0
+	found, attempts, err := sampler.StreamSatisfied(ctx, actor, m.N, maxAttempts,
+		func(g rl.Generated) error {
+			return s.send(&wire.Row{ID: m.ID, SQL: g.SQL, Measured: g.Measured, Satisfied: true})
+		},
+		func(attempts, found int) error {
+			if attempts-lastProgress < every || found >= m.N {
+				return nil
+			}
+			lastProgress = attempts
+			return s.send(&wire.Progress{ID: m.ID, Attempts: attempts, Found: found})
+		})
+	if err != nil && ctx.Err() == nil {
+		// A send failure or sampler error that wasn't a cancellation: the
+		// Error frame is best-effort (the connection may already be gone).
+		s.send(&wire.Error{ID: m.ID, Msg: err.Error()})
+		return
+	}
+	s.send(&wire.Done{ID: m.ID, Found: found, Attempts: attempts, Canceled: ctx.Err() != nil})
+}
+
+// resolve maps a Generate frame onto an open dataset and a validated
+// constraint. An empty dataset name selects the server's only dataset
+// when exactly one is open.
+func (s *session) resolve(m *wire.Generate) (*Dataset, rl.Constraint, error) {
+	name := m.Dataset
+	if name == "" && len(s.srv.datasets) == 1 {
+		for n := range s.srv.datasets {
+			name = n
+		}
+	}
+	ds := s.srv.datasets[name]
+	if ds == nil {
+		return nil, rl.Constraint{}, fmt.Errorf("unknown dataset %q (serving %v)", m.Dataset, s.srv.datasetNames())
+	}
+	metric, err := parseMetric(m.Metric)
+	if err != nil {
+		return nil, rl.Constraint{}, err
+	}
+	if m.N <= 0 {
+		return nil, rl.Constraint{}, fmt.Errorf("n must be positive, got %d", m.N)
+	}
+	if m.IsRange {
+		if m.Hi < m.Lo {
+			return nil, rl.Constraint{}, fmt.Errorf("range [%g, %g] is empty", m.Lo, m.Hi)
+		}
+		return ds, rl.RangeConstraint(metric, m.Lo, m.Hi), nil
+	}
+	return ds, rl.PointConstraint(metric, m.Point), nil
+}

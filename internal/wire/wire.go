@@ -1,0 +1,220 @@
+// Package wire is the generation service's framed protocol: a small
+// pgwire-style binary framing (one type byte, a big-endian uint32 payload
+// length, then the payload) carrying typed JSON messages. The framing —
+// not the payload encoding — is the contract: readers dispatch on the
+// type byte and enforce a maximum frame size before touching the payload,
+// so a malformed or hostile peer can never make the server allocate
+// unboundedly or misparse a stream.
+//
+// The conversation is strictly client-initiated:
+//
+//	client                          server
+//	  Hello ————————————————————————→
+//	   ←———————————————————————— Welcome
+//	  Generate{id, …} ————————————————→
+//	   ←——————————————————————— Row{id}   (repeated, as queries are found)
+//	   ←————————————————————— Progress{id} (periodic)
+//	   ←—————————————————————————— Done{id}  (or Error{id})
+//	  Cancel{id} ————————————————————→    (optional, any time)
+//	  Goodbye ————————————————————————→
+//
+// Several Generate requests may be in flight on one connection; every
+// server frame carries the request id it belongs to, so clients demux by
+// id. Rows stream as they are found — the server never buffers a result
+// set.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version spoken by this package. Hello carries
+// the client's version; the server refuses mismatches in Welcome's stead
+// with an Error frame, so old clients fail loudly at handshake time.
+const Version = 1
+
+// DefaultMaxFrame bounds a frame's payload size (1 MiB). Generated SQL
+// statements are a few hundred bytes; anything near the bound is a
+// protocol violation, not a workload.
+const DefaultMaxFrame = 1 << 20
+
+// Frame type bytes. Values are stable protocol surface; never renumber.
+const (
+	TypeHello    = byte('H')
+	TypeWelcome  = byte('W')
+	TypeGenerate = byte('G')
+	TypeRow      = byte('R')
+	TypeProgress = byte('P')
+	TypeDone     = byte('D')
+	TypeError    = byte('E')
+	TypeCancel   = byte('C')
+	TypeGoodbye  = byte('B')
+)
+
+// Message is one typed protocol message. Type returns the frame type
+// byte the message travels under.
+type Message interface {
+	Type() byte
+}
+
+// Hello opens a session. Seed keys the session's deterministic stream
+// fan-out: the same seed and the same request sequence replay the same
+// generated queries byte for byte.
+type Hello struct {
+	Version int    `json:"version"`
+	Client  string `json:"client,omitempty"`
+	Seed    int64  `json:"seed"`
+}
+
+// Welcome acknowledges Hello with the server identity and session id.
+type Welcome struct {
+	Version   int    `json:"version"`
+	Server    string `json:"server,omitempty"`
+	SessionID uint64 `json:"session_id"`
+	// Datasets lists the dataset names this server is warm for.
+	Datasets []string `json:"datasets,omitempty"`
+}
+
+// Generate asks for up to N satisfied queries under a constraint against
+// a named dataset. ID is chosen by the client and must be unique among
+// the connection's in-flight requests; every response frame echoes it.
+type Generate struct {
+	ID      uint64 `json:"id"`
+	Dataset string `json:"dataset"`
+	// Metric is "cardinality" or "cost".
+	Metric string `json:"metric"`
+	// IsRange selects Lo/Hi; otherwise Point (with the paper's 10%
+	// tolerance).
+	IsRange bool    `json:"is_range"`
+	Point   float64 `json:"point,omitempty"`
+	Lo      float64 `json:"lo,omitempty"`
+	Hi      float64 `json:"hi,omitempty"`
+	// N is the number of satisfied queries wanted; MaxAttempts caps the
+	// episodes spent finding them (0 selects the server default).
+	N           int `json:"n"`
+	MaxAttempts int `json:"max_attempts,omitempty"`
+}
+
+// Row streams one satisfied query the moment it is found.
+type Row struct {
+	ID        uint64  `json:"id"`
+	SQL       string  `json:"sql"`
+	Measured  float64 `json:"measured"`
+	Satisfied bool    `json:"satisfied"`
+}
+
+// Progress reports a request's attempt consumption at batch boundaries,
+// so clients can show liveness on hard constraints.
+type Progress struct {
+	ID       uint64 `json:"id"`
+	Attempts int    `json:"attempts"`
+	Found    int    `json:"found"`
+}
+
+// Done terminates a request's stream: every Row for ID has been sent.
+type Done struct {
+	ID       uint64 `json:"id"`
+	Found    int    `json:"found"`
+	Attempts int    `json:"attempts"`
+	// Canceled reports the stream was cut short (client Cancel, session
+	// close, or server drain) rather than running to completion.
+	Canceled bool `json:"canceled,omitempty"`
+}
+
+// Error terminates a request's stream (ID != 0) or the session (ID == 0)
+// with a reason.
+type Error struct {
+	ID  uint64 `json:"id,omitempty"`
+	Msg string `json:"msg"`
+}
+
+// Cancel asks the server to stop a request's stream; the server still
+// finishes the frame in flight and answers with Done{Canceled: true}.
+type Cancel struct {
+	ID uint64 `json:"id"`
+}
+
+// Goodbye announces an orderly client departure.
+type Goodbye struct{}
+
+// Type implementations pin each message to its frame byte.
+func (Hello) Type() byte    { return TypeHello }
+func (Welcome) Type() byte  { return TypeWelcome }
+func (Generate) Type() byte { return TypeGenerate }
+func (Row) Type() byte      { return TypeRow }
+func (Progress) Type() byte { return TypeProgress }
+func (Done) Type() byte     { return TypeDone }
+func (Error) Type() byte    { return TypeError }
+func (Cancel) Type() byte   { return TypeCancel }
+func (Goodbye) Type() byte  { return TypeGoodbye }
+
+// WriteMessage frames and writes one message: type byte, big-endian
+// payload length, JSON payload. It performs exactly one Write call, so
+// concurrent writers serialized by a mutex never interleave frames.
+func WriteMessage(w io.Writer, m Message) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: marshal %T: %w", m, err)
+	}
+	if len(payload) > DefaultMaxFrame {
+		return fmt.Errorf("wire: %T payload %d bytes exceeds max frame %d", m, len(payload), DefaultMaxFrame)
+	}
+	buf := make([]byte, 5+len(payload))
+	buf[0] = m.Type()
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	copy(buf[5:], payload)
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadMessage reads one frame and decodes it into its typed message.
+// maxFrame <= 0 selects DefaultMaxFrame. Unknown type bytes and
+// oversized frames return an error without consuming the payload — the
+// stream is unrecoverable at that point and must be closed.
+func ReadMessage(r io.Reader, maxFrame int) (Message, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if int(n) > maxFrame {
+		return nil, fmt.Errorf("wire: frame type %q length %d exceeds max %d", hdr[0], n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: truncated frame type %q: %w", hdr[0], err)
+	}
+	var m Message
+	switch hdr[0] {
+	case TypeHello:
+		m = &Hello{}
+	case TypeWelcome:
+		m = &Welcome{}
+	case TypeGenerate:
+		m = &Generate{}
+	case TypeRow:
+		m = &Row{}
+	case TypeProgress:
+		m = &Progress{}
+	case TypeDone:
+		m = &Done{}
+	case TypeError:
+		m = &Error{}
+	case TypeCancel:
+		m = &Cancel{}
+	case TypeGoodbye:
+		m = &Goodbye{}
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type %q", hdr[0])
+	}
+	if err := json.Unmarshal(payload, m); err != nil {
+		return nil, fmt.Errorf("wire: decode frame %q: %w", hdr[0], err)
+	}
+	return m, nil
+}

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRoundTrip frames and re-reads one of every message type.
+func TestRoundTrip(t *testing.T) {
+	msgs := []Message{
+		&Hello{Version: Version, Client: "test", Seed: 42},
+		&Welcome{Version: Version, Server: "sqlgen", SessionID: 7, Datasets: []string{"tpch", "xuetang"}},
+		&Generate{ID: 3, Dataset: "tpch", Metric: "cardinality", IsRange: true, Lo: 1, Hi: 1000, N: 10, MaxAttempts: 500},
+		&Generate{ID: 4, Dataset: "job", Metric: "cost", Point: 12000, N: 1},
+		&Row{ID: 3, SQL: "SELECT a FROM t", Measured: 41, Satisfied: true},
+		&Progress{ID: 3, Attempts: 64, Found: 5},
+		&Done{ID: 3, Found: 10, Attempts: 96},
+		&Done{ID: 4, Found: 0, Attempts: 8, Canceled: true},
+		&Error{ID: 4, Msg: "unknown dataset"},
+		&Cancel{ID: 4},
+		&Goodbye{},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("write %T: %v", m, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadMessage(&buf, 0)
+		if err != nil {
+			t.Fatalf("read %T: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip %T: got %+v want %+v", want, got, want)
+		}
+	}
+	if _, err := ReadMessage(&buf, 0); err != io.EOF {
+		t.Errorf("drained stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestTruncatedFrame verifies a frame cut mid-payload surfaces as an
+// error naming the frame, not a silent short read.
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Row{ID: 1, SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 3, 5, len(full) - 1} {
+		if _, err := ReadMessage(bytes.NewReader(full[:cut]), 0); err == nil {
+			t.Errorf("cut at %d bytes: no error", cut)
+		}
+	}
+}
+
+// TestOversizeFrame verifies the max-frame guard fires before the
+// payload is read.
+func TestOversizeFrame(t *testing.T) {
+	hdr := make([]byte, 5)
+	hdr[0] = TypeRow
+	binary.BigEndian.PutUint32(hdr[1:], 1<<30)
+	_, err := ReadMessage(bytes.NewReader(hdr), 0)
+	if err == nil || !strings.Contains(err.Error(), "exceeds max") {
+		t.Errorf("oversize frame: err = %v", err)
+	}
+	// A small custom cap applies too.
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Row{ID: 1, SQL: strings.Repeat("x", 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMessage(&buf, 16); err == nil {
+		t.Error("frame above custom cap accepted")
+	}
+}
+
+// TestUnknownType verifies unknown frame types are refused.
+func TestUnknownType(t *testing.T) {
+	frame := []byte{'Z', 0, 0, 0, 2, '{', '}'}
+	if _, err := ReadMessage(bytes.NewReader(frame), 0); err == nil || !strings.Contains(err.Error(), "unknown frame type") {
+		t.Errorf("unknown type: err = %v", err)
+	}
+}

@@ -2,7 +2,9 @@ package learnedsqlgen
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"learnedsqlgen/internal/datagen"
@@ -304,6 +306,49 @@ type DB struct {
 	// which lets SelfTest demand exact cardinality agreement.
 	driver       engine.Driver
 	driverShared bool
+
+	// Operation lifecycle: every training/generation call on generators
+	// opened from this DB registers itself here, so Close can cancel
+	// in-flight streams and drain them before the engine driver goes
+	// away — a stream never races a closing connection pool.
+	lifeMu   sync.Mutex
+	closed   bool
+	opSeq    uint64
+	ops      map[uint64]context.CancelFunc
+	inflight sync.WaitGroup
+}
+
+// ErrDBClosed is returned by operations started after Close (in-flight
+// operations instead end with a cancellation whose cause is ErrDBClosed).
+var ErrDBClosed = errors.New("learnedsqlgen: database is closed")
+
+// beginOp registers one training/generation operation: it derives the
+// operation context Close will cancel, and returns the completion func
+// the caller must defer. Begun after Close, it fails with ErrDBClosed.
+func (db *DB) beginOp(ctx context.Context) (context.Context, func(), error) {
+	db.lifeMu.Lock()
+	defer db.lifeMu.Unlock()
+	if db.closed {
+		return nil, nil, ErrDBClosed
+	}
+	octx, cancel := context.WithCancelCause(ctx)
+	db.opSeq++
+	id := db.opSeq
+	if db.ops == nil {
+		db.ops = map[uint64]context.CancelFunc{}
+	}
+	db.ops[id] = func() { cancel(ErrDBClosed) }
+	// Add under lifeMu: Close flips closed before it Waits, so no Add can
+	// race the Wait.
+	db.inflight.Add(1)
+	end := func() {
+		cancel(nil)
+		db.lifeMu.Lock()
+		delete(db.ops, id)
+		db.lifeMu.Unlock()
+		db.inflight.Done()
+	}
+	return octx, end, nil
 }
 
 // OpenBenchmark opens one of the paper's three evaluation datasets
@@ -371,7 +416,30 @@ func openEngine(raw *storage.Database, opt *Options) (drv engine.Driver, shared 
 		}
 	}
 	drv, err = engine.Open(name, opt.engineDSN())
-	return drv, false, err
+	if err != nil {
+		return nil, false, err
+	}
+	if err := pingEngine(drv, name); err != nil {
+		drv.Close()
+		return nil, false, err
+	}
+	return drv, false, nil
+}
+
+// pingEngine probes a freshly opened driver's reachability when it
+// supports the probe, so `-engine sql` with a dead DSN is one clean
+// open-time error instead of a stalled training loop.
+func pingEngine(drv engine.Driver, name string) error {
+	p, ok := drv.(engine.Pinger)
+	if !ok {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Ping(ctx); err != nil {
+		return fmt.Errorf("learnedsqlgen: engine %q unreachable: %w", name, err)
+	}
+	return nil
 }
 
 // wireBackends layers the environment's backend stacks according to opt:
@@ -456,10 +524,28 @@ func (db *DB) EngineStats() (EngineStats, bool) {
 	return st, true
 }
 
-// Close releases the Options.Engine driver (connection pools for
-// database/sql-backed engines). It is a no-op for the default wiring;
-// a DB opened onto an external engine is unusable after Close.
+// Close shuts the DB down in order: new operations are refused with
+// ErrDBClosed, every in-flight training/generation stream is cancelled
+// (it observes cancellation at its next episode boundary and returns
+// with cause ErrDBClosed), the last stream drains, and only then is the
+// Options.Engine driver released (connection pools for
+// database/sql-backed engines). Safe to call multiple times.
 func (db *DB) Close() error {
+	db.lifeMu.Lock()
+	if db.closed {
+		db.lifeMu.Unlock()
+		return nil
+	}
+	db.closed = true
+	cancels := make([]context.CancelFunc, 0, len(db.ops))
+	for _, c := range db.ops {
+		cancels = append(cancels, c)
+	}
+	db.lifeMu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	db.inflight.Wait()
 	if db.driver == nil {
 		return nil
 	}
