@@ -11,7 +11,7 @@ BENCHTIME ?= 1s
 # bench-smoke job narrows this to the fast packages.
 BENCHPKGS ?= ./internal/nn/ ./internal/rl/ ./internal/estimator/ .
 
-.PHONY: build test vet staticcheck panic-gate race verify bench experiments fuzz chaos engine-conformance serve-smoke
+.PHONY: build test vet staticcheck panic-gate race verify bench experiments fuzz chaos engine-conformance fleet-conformance serve-smoke
 
 build:
 	$(GO) build ./...
@@ -69,7 +69,7 @@ bench:
 # experiments regenerates the measured perf tables of EXPERIMENTS.md from
 # the committed BENCH_*.json snapshots (see the BENCH markers there).
 experiments:
-	$(GO) run ./cmd/benchfig -md -write EXPERIMENTS.md BENCH_nn.json BENCH_rl.json BENCH_engine.json BENCH_serve.json
+	$(GO) run ./cmd/benchfig -md -write EXPERIMENTS.md BENCH_nn.json BENCH_rl.json BENCH_engine.json BENCH_serve.json BENCH_fleet.json
 
 # serve-smoke proves the generation service end to end with the real
 # binary: build sqlgen, start `sqlgen serve`, stream queries through the
@@ -86,6 +86,22 @@ serve-smoke:
 engine-conformance:
 	$(GO) test -timeout 10m ./internal/engine/
 	$(GO) test -timeout 15m -run 'CrossEngine|TestSelfTestCross|TestCrossCheckFacade' ./internal/oracle/ .
+
+# Fleet gate: the sharded-trainer conformance matrix under the race
+# detector — shards=1 byte-identity, sharded replay identity, the meta
+# pretrain equivalents, shard-failure chaos refills — plus the wire /
+# session / client demux regressions, then a statement-coverage floor on
+# internal/rl (the profile is left in cover_rl.out for CI to upload).
+RL_COVER_FLOOR ?= 85
+fleet-conformance:
+	$(GO) test -race -timeout 20m -run 'Shard|Fleet|SplitEpisodes' ./internal/rl/ ./internal/meta/
+	$(GO) test -race -timeout 20m -run 'Pipe|Handshake|Malformed|CancelRacesDone' ./internal/wire/ ./internal/service/
+	$(GO) test -race -timeout 20m ./client/
+	$(GO) test -coverprofile=cover_rl.out -covermode=atomic -timeout 30m ./internal/rl/
+	@total=$$($(GO) tool cover -func=cover_rl.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/rl coverage: $$total% (floor $(RL_COVER_FLOOR)%)"; \
+	awk -v have=$$total -v floor=$(RL_COVER_FLOOR) 'BEGIN { exit !(have+0 >= floor+0) }' || \
+		{ echo "internal/rl coverage $$total% fell below the $(RL_COVER_FLOOR)% floor"; exit 1; }
 
 # Chaos gate: the fault-tolerance suites under the race detector — the
 # fault injector and retry/breaker units, durable-write crash safety,

@@ -35,6 +35,7 @@ func (s *CheckpointStore) Dir() string { return s.store.Dir() }
 // Save checkpoints the generator's current weights and returns the path
 // written.
 func (s *CheckpointStore) Save(g *Generator) (string, error) {
+	s.bindFleet(g)
 	return s.store.Save(g.trainer)
 }
 
@@ -42,5 +43,17 @@ func (s *CheckpointStore) Save(g *Generator) (string, error) {
 // returns the path it came from. Corrupt entries are skipped in favor of
 // older good ones; ErrNoCheckpoint means nothing was loadable.
 func (s *CheckpointStore) Load(g *Generator) (string, error) {
+	s.bindFleet(g)
 	return s.store.Load(g.trainer)
+}
+
+// bindFleet makes the store the durable refill source of a fleet-backed
+// generator (Options.Shards > 1): after every all-reduce the fleet
+// rotates a checkpoint here, and a crashed or quarantined shard restores
+// from the newest loadable one. Single-trainer generators have no refill
+// protocol; for them the store is only what Save/Load use explicitly.
+func (s *CheckpointStore) bindFleet(g *Generator) {
+	if fleet, ok := g.trainer.(*rl.ShardedTrainer); ok {
+		fleet.SetStore(s.store)
+	}
 }

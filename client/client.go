@@ -16,8 +16,12 @@
 // The Hello seed keys the session's deterministic stream fan-out: the
 // same seed and the same request sequence replay byte-identical queries,
 // so a workload streamed from a server is reproducible by construction.
-// A Conn carries one request stream at a time (the protocol itself
-// multiplexes by request id; this client keeps the simple form).
+//
+// A Conn multiplexes: any number of Generate streams may be in flight at
+// once. A background read loop demultiplexes server frames by request id
+// into per-stream queues, so two concurrent streams never steal each
+// other's rows — each Stream remains single-consumer, but different
+// Streams may be consumed from different goroutines.
 package client
 
 import (
@@ -25,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"learnedsqlgen/internal/wire"
@@ -67,20 +72,26 @@ type Row struct {
 	Satisfied bool
 }
 
-// Conn is one client session.
+// Conn is one client session. Safe for concurrent use: Generate may be
+// called from multiple goroutines and every returned Stream consumed
+// independently.
 type Conn struct {
 	conn      net.Conn
 	maxFrame  int
 	sessionID uint64
 	datasets  []string
 	seed      int64
-	nextID    uint64
-	inflight  *Stream
-	closed    bool
+
+	wmu sync.Mutex // serializes whole request frames onto conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	streams map[uint64]*Stream // in-flight, by request id
+	closed  bool
 }
 
-// Dial connects, performs the Hello/Welcome handshake, and returns the
-// ready session.
+// Dial connects, performs the Hello/Welcome handshake, starts the demux
+// read loop, and returns the ready session.
 func Dial(addr string, cfg *Config) (*Conn, error) {
 	if cfg == nil {
 		cfg = &Config{}
@@ -93,7 +104,7 @@ func Dial(addr string, cfg *Config) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Conn{conn: nc, seed: cfg.Seed}
+	c := &Conn{conn: nc, seed: cfg.Seed, streams: map[uint64]*Stream{}}
 	nc.SetDeadline(time.Now().Add(timeout))
 	name := cfg.Name
 	if name == "" {
@@ -120,6 +131,7 @@ func Dial(addr string, cfg *Config) (*Conn, error) {
 		return nil, fmt.Errorf("client: expected Welcome, got %T", msg)
 	}
 	nc.SetDeadline(time.Time{})
+	go c.readLoop()
 	return c, nil
 }
 
@@ -132,56 +144,146 @@ func (c *Conn) Datasets() []string { return append([]string(nil), c.datasets...)
 // Seed echoes the session seed sent in Hello.
 func (c *Conn) Seed() int64 { return c.seed }
 
-// Close sends Goodbye and closes the connection. Safe after errors.
+// Close sends Goodbye and closes the connection; in-flight streams end
+// with a connection error. Safe after errors and safe to call twice.
 func (c *Conn) Close() error {
+	c.mu.Lock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
+	c.mu.Unlock()
+	c.wmu.Lock()
 	c.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
 	wire.WriteMessage(c.conn, &wire.Goodbye{}) // best-effort
+	c.wmu.Unlock()
 	return c.conn.Close()
 }
 
-// ErrStreamInFlight is returned by Generate while a previous stream has
-// not been consumed to completion.
+// send serializes one frame onto the connection (whole frames only — one
+// Write call inside wire.WriteMessage — so concurrent Generate and Cancel
+// frames never interleave bytes).
+func (c *Conn) send(m wire.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	return wire.WriteMessage(c.conn, m)
+}
+
+// readLoop is the connection's only reader: it demultiplexes every server
+// frame to its stream's queue by request id. On a connection error (or a
+// session-level Error frame) every in-flight stream is failed and the
+// loop exits; frames for unknown ids — streams already retired — are
+// dropped.
+func (c *Conn) readLoop() {
+	for {
+		msg, err := wire.ReadMessage(c.conn, c.maxFrame)
+		if err != nil {
+			c.failAll(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		var id uint64
+		switch m := msg.(type) {
+		case *wire.Row:
+			id = m.ID
+		case *wire.Progress:
+			id = m.ID
+		case *wire.Done:
+			id = m.ID
+		case *wire.Error:
+			if m.ID == 0 {
+				c.failAll(fmt.Errorf("client: server error: %s", m.Msg))
+				return
+			}
+			id = m.ID
+		default:
+			c.failAll(fmt.Errorf("client: unexpected %T frame mid-stream", msg))
+			return
+		}
+		c.mu.Lock()
+		st := c.streams[id]
+		c.mu.Unlock()
+		if st != nil {
+			st.deliver(msg)
+		}
+	}
+}
+
+// failAll seals every in-flight stream with err.
+func (c *Conn) failAll(err error) {
+	c.mu.Lock()
+	streams := make([]*Stream, 0, len(c.streams))
+	for _, st := range c.streams {
+		streams = append(streams, st)
+	}
+	c.streams = map[uint64]*Stream{}
+	c.mu.Unlock()
+	for _, st := range streams {
+		st.fail(err)
+	}
+}
+
+// retire forgets an ended stream's id (its queue is sealed).
+func (c *Conn) retire(id uint64) {
+	c.mu.Lock()
+	delete(c.streams, id)
+	c.mu.Unlock()
+}
+
+// ErrStreamInFlight is a historical error: older clients allowed only one
+// stream per connection and returned this from Generate. The connection
+// now demultiplexes concurrent streams by request id, so Generate no
+// longer returns it. Kept exported for compatibility.
 var ErrStreamInFlight = errors.New("client: a stream is already in flight on this connection")
 
 // Generate sends one request and returns its row stream. Cancelling ctx
 // sends a Cancel frame; the stream then ends with ctx's error after the
-// server's Done{Canceled} arrives. Only one stream may be in flight per
-// Conn — consume it (Next until false) before the next Generate.
+// server's Done{Canceled} arrives. Streams multiplex: any number may be
+// in flight on one Conn, each consumed independently (a single Stream
+// remains single-consumer).
 func (c *Conn) Generate(ctx context.Context, req Request) (*Stream, error) {
+	c.mu.Lock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, errors.New("client: connection closed")
-	}
-	if c.inflight != nil && !c.inflight.done {
-		return nil, ErrStreamInFlight
 	}
 	c.nextID++
 	id := c.nextID
+	st := &Stream{conn: c, id: id, ctx: ctx, cancelSent: make(chan struct{})}
+	st.cond = sync.NewCond(&st.qmu)
+	c.streams[id] = st
+	c.mu.Unlock()
+
 	g := &wire.Generate{
 		ID: id, Dataset: req.Dataset, Metric: req.Metric,
 		IsRange: req.IsRange, Point: req.Point, Lo: req.Lo, Hi: req.Hi,
 		N: req.N, MaxAttempts: req.MaxAttempts,
 	}
-	if err := wire.WriteMessage(c.conn, g); err != nil {
+	if err := c.send(g); err != nil {
+		c.retire(id)
 		return nil, err
 	}
-	st := &Stream{conn: c, id: id, ctx: ctx, cancelSent: make(chan struct{})}
 	if ctx != nil && ctx.Done() != nil {
 		st.stopWatch = make(chan struct{})
 		go st.watchCancel()
 	}
-	c.inflight = st
 	return st, nil
 }
 
-// Stream is one request's row stream. Not safe for concurrent use.
+// Stream is one request's row stream. The consumer side (Next/Row/Err)
+// is single-goroutine; different Streams of one Conn may be consumed
+// concurrently.
 type Stream struct {
 	conn *Conn
 	id   uint64
 	ctx  context.Context
+
+	// qmu/cond guard the demux hand-off from the connection's read loop.
+	qmu     sync.Mutex
+	cond    *sync.Cond
+	queue   []wire.Message // this stream's frames, in arrival order
+	connErr error          // terminal connection error, queue drains first
 
 	cur  Row
 	err  error
@@ -195,12 +297,44 @@ type Stream struct {
 	cancelSent chan struct{}
 }
 
+// deliver enqueues one frame from the read loop.
+func (st *Stream) deliver(m wire.Message) {
+	st.qmu.Lock()
+	st.queue = append(st.queue, m)
+	st.qmu.Unlock()
+	st.cond.Signal()
+}
+
+// fail seals the queue with a connection error; queued frames still
+// drain first.
+func (st *Stream) fail(err error) {
+	st.qmu.Lock()
+	st.connErr = err
+	st.qmu.Unlock()
+	st.cond.Signal()
+}
+
+// nextMsg blocks for this stream's next frame; a nil return means the
+// connection died (the error is the second result).
+func (st *Stream) nextMsg() (wire.Message, error) {
+	st.qmu.Lock()
+	defer st.qmu.Unlock()
+	for len(st.queue) == 0 && st.connErr == nil {
+		st.cond.Wait()
+	}
+	if len(st.queue) > 0 {
+		m := st.queue[0]
+		st.queue = st.queue[1:]
+		return m, nil
+	}
+	return nil, st.connErr
+}
+
 // watchCancel forwards ctx cancellation as a Cancel frame.
 func (st *Stream) watchCancel() {
 	select {
 	case <-st.ctx.Done():
-		st.conn.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-		wire.WriteMessage(st.conn.conn, &wire.Cancel{ID: st.id})
+		st.conn.send(&wire.Cancel{ID: st.id}) //nolint:errcheck // best-effort
 		close(st.cancelSent)
 	case <-st.stopWatch:
 	}
@@ -214,26 +348,18 @@ func (st *Stream) Next() bool {
 		return false
 	}
 	for {
-		msg, err := wire.ReadMessage(st.conn.conn, st.conn.maxFrame)
+		msg, err := st.nextMsg()
 		if err != nil {
 			st.finish(err)
 			return false
 		}
 		switch m := msg.(type) {
 		case *wire.Row:
-			if m.ID != st.id {
-				continue // stale frame from an abandoned request
-			}
 			st.cur = Row{SQL: m.SQL, Measured: m.Measured, Satisfied: m.Satisfied}
 			return true
 		case *wire.Progress:
-			if m.ID == st.id {
-				st.lastProgress = *m
-			}
+			st.lastProgress = *m
 		case *wire.Done:
-			if m.ID != st.id {
-				continue
-			}
 			st.found, st.attempts, st.canceled = m.Found, m.Attempts, m.Canceled
 			var err error
 			if m.Canceled && st.ctx != nil && st.ctx.Err() != nil {
@@ -242,22 +368,17 @@ func (st *Stream) Next() bool {
 			st.finish(err)
 			return false
 		case *wire.Error:
-			if m.ID != 0 && m.ID != st.id {
-				continue
-			}
 			st.finish(fmt.Errorf("client: server error: %s", m.Msg))
-			return false
-		default:
-			st.finish(fmt.Errorf("client: unexpected %T frame mid-stream", msg))
 			return false
 		}
 	}
 }
 
-// finish seals the stream.
+// finish seals the stream and retires its id.
 func (st *Stream) finish(err error) {
 	st.err = err
 	st.done = true
+	st.conn.retire(st.id)
 	if st.stopWatch != nil {
 		select {
 		case <-st.cancelSent: // watcher already fired; let it exit

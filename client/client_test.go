@@ -1,0 +1,236 @@
+package client_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"learnedsqlgen/client"
+	"learnedsqlgen/internal/service"
+)
+
+// startServer runs a tiny generation service on loopback.
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv, err := service.New(service.Config{
+		Datasets:     []service.DatasetSpec{{Name: "xuetang", Scale: 0.05}},
+		Seed:         1,
+		SampleValues: 10,
+		K:            2,
+		WarmRounds:   1,
+		WarmEpisodes: 4,
+		DrainTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveDone; err != nil {
+			t.Errorf("Serve returned %v after drain", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+func drain(t *testing.T, st *client.Stream) []client.Row {
+	t.Helper()
+	var rows []client.Row
+	for st.Next() {
+		rows = append(rows, st.Row())
+	}
+	if err := st.Err(); err != nil {
+		t.Errorf("stream error: %v", err)
+	}
+	return rows
+}
+
+// TestConcurrentStreamsDoNotInterleave is the demux regression: two
+// Generate requests in flight on ONE connection, consumed from separate
+// goroutines, must each receive exactly their own rows. Before the
+// per-id demux, whichever stream read the socket first would steal (or
+// drop) frames belonging to the other.
+func TestConcurrentStreamsDoNotInterleave(t *testing.T) {
+	addr := startServer(t)
+	conn, err := client.Dial(addr, &client.Config{Seed: 42})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	reqs := []client.Request{
+		{Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 3, MaxAttempts: 2000},
+		{Metric: "cost", IsRange: true, Lo: 1, Hi: 1e9, N: 3, MaxAttempts: 2000},
+	}
+	// Open both streams before consuming either: both are in flight on the
+	// same connection, so the server interleaves their Row frames.
+	streams := make([]*client.Stream, len(reqs))
+	for i, req := range reqs {
+		st, err := conn.Generate(context.Background(), req)
+		if err != nil {
+			t.Fatalf("generate %d: %v", i, err)
+		}
+		streams[i] = st
+	}
+	results := make([][]client.Row, len(reqs))
+	var wg sync.WaitGroup
+	for i, st := range streams {
+		wg.Add(1)
+		go func(i int, st *client.Stream) {
+			defer wg.Done()
+			results[i] = drain(t, st)
+		}(i, st)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, rows := range results {
+		if len(rows) < reqs[i].N {
+			t.Fatalf("stream %d got %d rows, want >= %d", i, len(rows), reqs[i].N)
+		}
+		if found, _, canceled := streams[i].Stats(); canceled || found != len(rows) {
+			t.Fatalf("stream %d stats: found %d, canceled %v, rows %d", i, found, canceled, len(rows))
+		}
+	}
+
+	// Sequential replays of each request on fresh connections are the
+	// ground truth: the concurrent run must have routed every row to the
+	// right stream (and the streams are deterministic in the request id,
+	// so opening order here mirrors the concurrent run).
+	truth, err := client.Dial(addr, &client.Config{Seed: 42})
+	if err != nil {
+		t.Fatalf("replay dial: %v", err)
+	}
+	defer truth.Close()
+	for i, req := range reqs {
+		st, err := truth.Generate(context.Background(), req)
+		if err != nil {
+			t.Fatalf("replay generate %d: %v", i, err)
+		}
+		want := drain(t, st)
+		if len(want) != len(results[i]) {
+			t.Fatalf("stream %d: concurrent run %d rows, sequential truth %d", i, len(results[i]), len(want))
+		}
+		for j := range want {
+			if results[i][j] != want[j] {
+				t.Fatalf("stream %d row %d routed wrong:\nconcurrent: %+v\nsequential: %+v", i, j, results[i][j], want[j])
+			}
+		}
+	}
+}
+
+// TestManyStreamsOneConnection stress-routes a batch of concurrent
+// streams over one connection under -race; every stream must finish
+// uncanceled with its own satisfied rows.
+func TestManyStreamsOneConnection(t *testing.T) {
+	addr := startServer(t)
+	conn, err := client.Dial(addr, &client.Config{Seed: 7})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	const streams = 6
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := conn.Generate(context.Background(), client.Request{
+				Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000,
+				N: 2, MaxAttempts: 2000,
+			})
+			if err != nil {
+				t.Errorf("generate %d: %v", i, err)
+				return
+			}
+			rows := drain(t, st)
+			if len(rows) < 2 {
+				t.Errorf("stream %d got %d rows, want 2", i, len(rows))
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestStreamErrorsAreRoutedById: a request-level server error must end
+// only its own stream; an unrelated in-flight stream on the same
+// connection keeps streaming to a clean Done.
+func TestStreamErrorsAreRoutedById(t *testing.T) {
+	addr := startServer(t)
+	conn, err := client.Dial(addr, &client.Config{Seed: 3})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	good, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 2, MaxAttempts: 2000,
+	})
+	if err != nil {
+		t.Fatalf("generate good: %v", err)
+	}
+	bad, err := conn.Generate(context.Background(), client.Request{
+		Dataset: "nope", Metric: "cardinality", IsRange: true, Lo: 1, Hi: 10, N: 1,
+	})
+	if err != nil {
+		t.Fatalf("generate bad: %v", err)
+	}
+	if bad.Next() {
+		t.Fatal("unknown-dataset request streamed a row")
+	}
+	if bad.Err() == nil {
+		t.Fatal("unknown-dataset request ended without error")
+	}
+	rows := drain(t, good)
+	if len(rows) < 2 {
+		t.Fatalf("healthy stream got %d rows, want 2 (killed by its neighbor's error?)", len(rows))
+	}
+}
+
+// TestConnCloseFailsInFlightStreams: closing the connection ends every
+// in-flight stream with an error instead of hanging its consumer.
+func TestConnCloseFailsInFlightStreams(t *testing.T) {
+	addr := startServer(t)
+	conn, err := client.Dial(addr, &client.Config{Seed: 9})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	st, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1 << 30, MaxAttempts: 1 << 30,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if !st.Next() {
+		t.Fatalf("no first row: %v", st.Err())
+	}
+	conn.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for st.Next() {
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream consumer hung after Close")
+	}
+	if st.Err() == nil {
+		t.Fatal("in-flight stream ended without error after Close")
+	}
+}

@@ -47,6 +47,7 @@ func run() int {
 	sampleK := flag.Int("k", 100, "sampled values per column")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "parallel rollout workers (0 = all CPUs); output is identical for any value")
+	shards := flag.Int("shards", 1, "data-parallel trainer shards (fleet training with per-epoch all-reduce parameter averaging); 1 = the plain single-process trainer, byte-identical output")
 	showMeasure := flag.Bool("show-measure", false, "print the estimated metric next to each query")
 	maxAttempts := flag.Int("max-attempts", 10000, "generation attempt cap")
 	out := flag.String("out", "", "write the satisfied queries to a SQL workload file")
@@ -152,6 +153,7 @@ func run() int {
 		SampleValues:       *sampleK,
 		Seed:               *seed,
 		Workers:            *workers,
+		Shards:             *shards,
 		PrefixCacheSize:    *prefixCache,
 		QuantizedInference: *quantize,
 		TrainBudget:        *trainBudget,
@@ -249,7 +251,14 @@ func run() int {
 		if maxEpochs <= 0 {
 			maxEpochs = 800
 		}
-		trace, trainErr := gen.TrainAdaptiveContext(ctx, maxEpochs, 25)
+		// Weak scaling for fleet training: each shard rolls out a full
+		// 25-episode slice per epoch, so the per-epoch episode budget grows
+		// with -shards and the all-reduce average converges in fewer epochs.
+		episodesPerEpoch := 25 * *shards
+		if *shards <= 1 {
+			episodesPerEpoch = 25
+		}
+		trace, trainErr := gen.TrainAdaptiveContext(ctx, maxEpochs, episodesPerEpoch)
 		rate := 0.0
 		if len(trace) > 0 {
 			rate = trace[len(trace)-1].SatisfiedRate

@@ -29,6 +29,7 @@ func runServe(args []string) int {
 	tasks := fs.Int("tasks", 4, "meta-training tasks per registry entry (constraint sub-ranges)")
 	warmRounds := fs.Int("warm-rounds", 3, "meta-training rounds when pretraining a registry entry")
 	warmEpisodes := fs.Int("warm-episodes", 24, "episodes per task per warm round")
+	shards := fs.Int("shards", 1, "data-parallel replica shards for registry pretraining (per-round all-reduce averaging); 1 = single-process")
 	memBudget := fs.Int64("mem-budget", 256<<20, "registry memory budget in bytes; LRU-evicts idle entries above it")
 	ckptDir := fs.String("checkpoint-dir", "sqlgen-serve-checkpoints", "registry checkpoint directory (entries persist and warm-start the next run); empty disables")
 	ckptKeep := fs.Int("checkpoint-keep", 0, "rotated checkpoints kept per entry (0 = store default)")
@@ -54,6 +55,7 @@ func runServe(args []string) int {
 		K:                  *tasks,
 		WarmRounds:         *warmRounds,
 		WarmEpisodes:       *warmEpisodes,
+		Shards:             *shards,
 		MemoryBudget:       *memBudget,
 		CheckpointDir:      *ckptDir,
 		CheckpointKeep:     *ckptKeep,

@@ -27,13 +27,24 @@
 //
 // Episode rollouts are embarrassingly parallel between gradient updates,
 // and repeated partial queries dominate estimator cost, so Options
-// exposes four throughput knobs:
+// exposes five throughput knobs:
 //
 //   - Options.Workers sets the number of concurrent rollout goroutines
 //     per training batch (default 1, i.e. serial). Each episode owns its
 //     own RNG stream fanned out deterministically from Options.Seed, so
 //     generated queries and learning traces are byte-identical for every
 //     Workers value — set it to runtime.GOMAXPROCS(0) freely.
+//   - Options.Shards trains N data-parallel trainer shards ("fleet
+//     training"): each shard owns a cloned environment and a full
+//     per-shard episode slice, and the shards exchange weights once per
+//     epoch by synchronous all-reduce parameter averaging (with linear
+//     learning-rate scaling). Per-shard episode streams fan out
+//     deterministically from Options.Seed, so Shards <= 1 is
+//     byte-identical to the single trainer and a sharded run replays
+//     byte-identically for a given seed; a crashed or quarantined shard
+//     is refilled from the last-good checkpoint. See the "Fleet
+//     training" section of ARCHITECTURE.md for the topology, seed
+//     fan-out, and refill protocol.
 //   - Options.EstimatorCacheSize bounds the LRU cache memoizing the
 //     cardinality/cost estimator across episodes (default 65536 entries;
 //     negative disables it). Estimation is a pure function of the

@@ -28,11 +28,28 @@ var ErrBudgetExceeded = rl.ErrBudgetExceeded
 // Unwrap yields the callback's error.
 type EpochAbortError = rl.EpochAbortError
 
+// trainerBackend is the training engine behind a Generator: the
+// single-process rl.Trainer by default, or the sharded data-parallel
+// fleet (rl.ShardedTrainer) when the DB was opened with Options.Shards
+// greater than one. Both satisfy the same training, generation and
+// checkpoint contract, so the Generator API is fleet-size-agnostic.
+type trainerBackend interface {
+	rl.Checkpointable // stream Save/Load, used by CheckpointStore
+	TrainContext(ctx context.Context, epochs, episodesPerEpoch int) ([]rl.EpochStats, error)
+	TrainUntilContext(ctx context.Context, target float64, patience, maxEpochs, episodesPerEpoch int) ([]rl.EpochStats, error)
+	GenerateContext(ctx context.Context, n int) ([]rl.Generated, error)
+	GenerateSatisfiedContext(ctx context.Context, n, maxAttempts int) ([]rl.Generated, int, error)
+	Stats() rl.TrainStats
+	SaveFile(path string) error
+	LoadFile(path string) error
+}
+
 // Generator is a trained (or trainable) constraint-aware SQL generator —
 // the LearnedSQLGen agent of the paper.
 type Generator struct {
-	db      *DB
-	trainer *rl.Trainer
+	db         *DB
+	constraint Constraint
+	trainer    trainerBackend
 }
 
 // NewGenerator builds an untrained generator for the constraint. Training
@@ -47,7 +64,13 @@ func (db *DB) NewGenerator(c Constraint) *Generator {
 	cfg.TrainBudget = db.trainBudget
 	cfg.OnEpoch = db.onEpoch
 	cfg.MaxGradNorm = db.maxGradNorm
-	return &Generator{db: db, trainer: rl.NewTrainer(db.env, c, cfg)}
+	var tr trainerBackend
+	if db.shards > 1 {
+		tr = rl.NewShardedTrainer(db.env, c, cfg, db.shards)
+	} else {
+		tr = rl.NewTrainer(db.env, c, cfg)
+	}
+	return &Generator{db: db, constraint: c, trainer: tr}
 }
 
 // Train runs epochs × episodesPerEpoch training episodes and returns the
@@ -138,13 +161,13 @@ func (g *Generator) MustGenerateSatisfied(n, maxAttempts int) []Generated {
 	out, attempts := g.GenerateSatisfied(n, maxAttempts)
 	if len(out) < n {
 		panic(fmt.Sprintf("learnedsqlgen: found only %d/%d satisfied queries in %d attempts (constraint %s)",
-			len(out), n, attempts, g.trainer.Constraint))
+			len(out), n, attempts, g.constraint))
 	}
 	return out
 }
 
 // Constraint returns the generator's target.
-func (g *Generator) Constraint() Constraint { return g.trainer.Constraint }
+func (g *Generator) Constraint() Constraint { return g.constraint }
 
 // Stats snapshots the generator's rollout throughput and the estimator
 // cache's hit/miss counters (cache counters are shared across all
@@ -203,14 +226,18 @@ func (m *MetaGenerator) Pretrain(rounds, episodesPerTask int) []EpochStats {
 // Generator.TrainContext: cancellation or Options.TrainBudget expiry
 // stops between rounds, returning the completed rounds' stats and the
 // cause; the meta-critic and per-task actors keep their last completed
-// updates and adapt or pre-train further from there.
+// updates and adapt or pre-train further from there. With Options.Shards
+// > 1 pre-training runs on a fleet of data-parallel replicas whose
+// weights are averaged at every round barrier (each replica trains
+// episodesPerTask per task per round — the fleet consumes Shards× the
+// episodes).
 func (m *MetaGenerator) PretrainContext(ctx context.Context, rounds, episodesPerTask int) ([]EpochStats, error) {
 	octx, end, err := m.db.beginOp(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer end()
-	return m.trainer.PretrainContext(octx, rounds, episodesPerTask)
+	return m.trainer.PretrainShardedContext(octx, m.db.shards, rounds, episodesPerTask)
 }
 
 // Stats snapshots the pre-training rollout throughput and cache counters.

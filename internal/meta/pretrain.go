@@ -188,24 +188,35 @@ func (m *MetaTrainer) PretrainContext(ctx context.Context, rounds, episodesPerTa
 	defer cancel()
 	var out []rl.EpochStats
 	for r := 0; r < rounds; r++ {
-		agg := rl.EpochStats{}
-		for i, c := range m.Tasks {
-			s, err := m.trainActor(tctx, m.actors[i], m.actorOpts[i], c, episodesPerTask)
-			if err != nil {
-				return out, stopErr(len(out), tctx)
-			}
-			agg.Episodes += s.Episodes
-			agg.AvgReward += s.AvgReward
-			agg.SatisfiedRate += s.SatisfiedRate
+		agg, err := m.pretrainRound(tctx, episodesPerTask)
+		if err != nil {
+			return out, stopErr(len(out), tctx)
 		}
-		agg.AvgReward /= float64(len(m.Tasks))
-		agg.SatisfiedRate /= float64(len(m.Tasks))
 		out = append(out, agg)
 		if err := onEpoch(m.Cfg, len(out), agg); err != nil {
 			return out, err
 		}
 	}
 	return out, nil
+}
+
+// pretrainRound runs one full cycle over the K tasks and returns the
+// task-averaged stats — the unit both the single-process and the sharded
+// pre-training loops are built from.
+func (m *MetaTrainer) pretrainRound(ctx context.Context, episodesPerTask int) (rl.EpochStats, error) {
+	agg := rl.EpochStats{}
+	for i, c := range m.Tasks {
+		s, err := m.trainActor(ctx, m.actors[i], m.actorOpts[i], c, episodesPerTask)
+		if err != nil {
+			return agg, err
+		}
+		agg.Episodes += s.Episodes
+		agg.AvgReward += s.AvgReward
+		agg.SatisfiedRate += s.SatisfiedRate
+	}
+	agg.AvgReward /= float64(len(m.Tasks))
+	agg.SatisfiedRate /= float64(len(m.Tasks))
+	return agg, nil
 }
 
 // Adapted is a new-constraint trainer backed by the pre-trained

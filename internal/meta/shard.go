@@ -1,0 +1,131 @@
+package meta
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"learnedsqlgen/internal/nn"
+	"learnedsqlgen/internal/rl"
+)
+
+// PretrainShardedContext is PretrainContext over a fleet of data-parallel
+// replicas, mirroring rl.ShardedTrainer for the service registry's warm
+// path: each replica owns a cloned Env and its own copies of the K task
+// actors plus the shared meta-critic, runs a full round (episodesPerTask
+// per task) against its own rl.FanSeed-derived episode stream, and at the
+// round barrier every parameter — actors and meta-critic alike — is
+// averaged across replicas in replica-index order and broadcast back.
+//
+// shards <= 1 delegates to PretrainContext verbatim, so the sharded entry
+// point is byte-identical to the single-process one there. shards > 1
+// weak-scales: the fleet consumes shards× the episodes per round, and each
+// replica's Adam learning rates are linearly scaled to match the shards×
+// effective batch per consensus step, trading extra aggregate compute for
+// fewer rounds to a warm registry. After the final round (or an abort) the
+// last synchronized consensus is copied back into m with optimizer moments
+// reset, so an interrupted pre-train still leaves m serving whole-round
+// weights.
+func (m *MetaTrainer) PretrainShardedContext(ctx context.Context, shards, rounds, episodesPerTask int) ([]rl.EpochStats, error) {
+	if shards <= 1 {
+		return m.PretrainContext(ctx, rounds, episodesPerTask)
+	}
+	tctx, cancel := trainCtx(ctx, m.Cfg)
+	defer cancel()
+
+	src := nn.SnapshotParams(nil, m.Params())
+	reps := make([]*MetaTrainer, shards)
+	for i := range reps {
+		env := m.Env
+		if i > 0 {
+			env = m.Env.Clone()
+		}
+		r := NewMetaTrainer(env, m.Domain, m.Cfg)
+		nn.RestoreParams(r.Params(), src)
+		r.Cfg.TrainBudget = 0 // the fleet-level tctx already enforces it
+		r.Cfg.OnEpoch = nil   // rounds report through the fleet, not per replica
+		r.sampler.Cfg.Seed = rl.FanSeed(m.Cfg.Seed, uint64(i))
+		for _, opt := range r.actorOpts {
+			opt.LR *= float64(shards)
+		}
+		r.valOpt.LR *= float64(shards)
+		reps[i] = r
+	}
+
+	// consensus holds the last round-barrier average; it is what lands
+	// back in m on every exit path below.
+	var consensus [][]float64
+	adopt := func() {
+		if consensus == nil {
+			return
+		}
+		nn.RestoreParams(m.Params(), consensus)
+		nn.ResetMoments(m.Params())
+		for _, opt := range m.actorOpts {
+			opt.Reset()
+		}
+		m.valOpt.Reset()
+	}
+
+	var out []rl.EpochStats
+	for r := 0; r < rounds; r++ {
+		stats := make([]rl.EpochStats, shards)
+		errs := make([]error, shards)
+		var wg sync.WaitGroup
+		for i, rep := range reps {
+			wg.Add(1)
+			go func(i int, rep *MetaTrainer) {
+				defer wg.Done()
+				stats[i], errs[i] = rep.pretrainRound(tctx, episodesPerTask)
+			}(i, rep)
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			adopt()
+			return out, stopErr(len(out), tctx)
+		}
+
+		consensus = averageReplicaParams(consensus, reps)
+		for _, rep := range reps {
+			nn.RestoreParams(rep.Params(), consensus)
+		}
+
+		agg := rl.EpochStats{}
+		for _, s := range stats {
+			agg.Episodes += s.Episodes
+			agg.AvgReward += s.AvgReward
+			agg.SatisfiedRate += s.SatisfiedRate
+		}
+		agg.AvgReward /= float64(shards)
+		agg.SatisfiedRate /= float64(shards)
+		out = append(out, agg)
+		if err := onEpoch(m.Cfg, len(out), agg); err != nil {
+			adopt()
+			return out, err
+		}
+	}
+	adopt()
+	return out, nil
+}
+
+// averageReplicaParams element-averages every replica's full parameter
+// list (task actors then meta-critic, the Params order) into dst,
+// accumulating in replica-index order so the result is replayable.
+func averageReplicaParams(dst [][]float64, reps []*MetaTrainer) [][]float64 {
+	dst = nn.SnapshotParams(dst, reps[0].Params())
+	for _, rep := range reps[1:] {
+		for pi, p := range rep.Params() {
+			d := dst[pi]
+			for j, v := range p.Val.Data {
+				d[j] += v
+			}
+		}
+	}
+	inv := 1.0 / float64(len(reps))
+	for _, d := range dst {
+		for j := range d {
+			d[j] *= inv
+		}
+	}
+	return dst
+}

@@ -1,0 +1,83 @@
+package meta
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"learnedsqlgen/internal/nn"
+	"learnedsqlgen/internal/rl"
+)
+
+func metaChecksum(m *MetaTrainer) uint32 { return nn.ChecksumParams(m.Params()) }
+
+// PretrainShardedContext with shards=1 must delegate to PretrainContext —
+// identical trace and identical weights for the same seed.
+func TestMetaShardsOneDelegates(t *testing.T) {
+	env1, env2 := testEnv(t), testEnv(t)
+	d := Domain{Metric: rl.Cardinality, Lo: 0, Hi: 2000, K: 2}
+	cfg := fastCfg()
+
+	a := NewMetaTrainer(env1, d, cfg)
+	traceA, errA := a.PretrainContext(context.Background(), 2, 8)
+
+	b := NewMetaTrainer(env2, d, cfg)
+	traceB, errB := b.PretrainShardedContext(context.Background(), 1, 2, 8)
+
+	if errA != nil || errB != nil {
+		t.Fatalf("errs: %v %v", errA, errB)
+	}
+	if len(traceA) != len(traceB) {
+		t.Fatalf("trace lens %d vs %d", len(traceA), len(traceB))
+	}
+	for i := range traceA {
+		if traceA[i] != traceB[i] {
+			t.Errorf("round %d: %+v vs %+v", i, traceA[i], traceB[i])
+		}
+	}
+	if metaChecksum(a) != metaChecksum(b) {
+		t.Error("weights diverged between PretrainContext and shards=1 PretrainShardedContext")
+	}
+}
+
+// A sharded pre-train must replay byte-identically for the same seed and
+// actually move the weights to a finite consensus.
+func TestMetaShardedReplayIdentity(t *testing.T) {
+	run := func() ([]rl.EpochStats, uint32) {
+		m := NewMetaTrainer(testEnv(t), Domain{Metric: rl.Cardinality, Lo: 0, Hi: 2000, K: 2}, fastCfg())
+		trace, err := m.PretrainShardedContext(context.Background(), 2, 2, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace, metaChecksum(m)
+	}
+	traceA, sumA := run()
+	traceB, sumB := run()
+	if sumA != sumB {
+		t.Errorf("replay checksums differ: %d vs %d", sumA, sumB)
+	}
+	for i := range traceA {
+		if traceA[i] != traceB[i] {
+			t.Errorf("round %d replay mismatch: %+v vs %+v", i, traceA[i], traceB[i])
+		}
+	}
+	// Weak scaling: 2 shards × 2 tasks × 8 episodes per round.
+	if traceA[0].Episodes != 2*2*8 {
+		t.Errorf("round episodes = %d, want 32", traceA[0].Episodes)
+	}
+	m := NewMetaTrainer(testEnv(t), Domain{Metric: rl.Cardinality, Lo: 0, Hi: 2000, K: 2}, fastCfg())
+	before := metaChecksum(m)
+	if _, err := m.PretrainShardedContext(context.Background(), 2, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if metaChecksum(m) == before {
+		t.Error("sharded pre-train left weights untouched")
+	}
+	for _, p := range m.Params() {
+		for _, v := range p.Val.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite consensus weight")
+			}
+		}
+	}
+}

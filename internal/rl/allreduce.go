@@ -1,0 +1,73 @@
+package rl
+
+import "learnedsqlgen/internal/nn"
+
+// All-reduce for the trainer fleet: synchronous parameter averaging at
+// the epoch barrier. The reduction runs in shard-index order over a fixed
+// survivor list, so the floating-point summation order — and therefore
+// the averaged weights — is a pure function of which shards survived the
+// epoch, never of goroutine scheduling. That is what lets a sharded run
+// replay byte-identically per seed.
+
+// averageInto snapshots the element-wise mean of every trainer's
+// parameter list into dst (reusing dst's buffers when shapes match, like
+// nn.SnapshotParams). The trainers must share one architecture; the mean
+// accumulates in shard-index order.
+func averageInto(dst [][]float64, trainers []*Trainer, pick func(*Trainer) []*nn.Param) [][]float64 {
+	dst = nn.SnapshotParams(dst, pick(trainers[0]))
+	for _, tr := range trainers[1:] {
+		for pi, p := range pick(tr) {
+			d := dst[pi]
+			for j, v := range p.Val.Data {
+				d[j] += v
+			}
+		}
+	}
+	inv := 1.0 / float64(len(trainers))
+	for _, d := range dst {
+		for j := range d {
+			d[j] *= inv
+		}
+	}
+	return dst
+}
+
+func actorParams(tr *Trainer) []*nn.Param  { return tr.actor.Params() }
+func criticParams(tr *Trainer) []*nn.Param { return tr.critic.Params() }
+
+// allReduce averages the surviving shards' actor and critic weights and
+// broadcasts the means to every shard (survivors and refilled shards
+// alike), leaving the whole fleet weight-synchronized. The averages land
+// in the last-good scratch buffers, which noteGood then blesses as the
+// refill source — by the time allReduce runs, this epoch's refills have
+// already consumed the previous snapshot.
+func (s *ShardedTrainer) allReduce(survivors []*Trainer) {
+	s.goodActor = averageInto(s.goodActor, survivors, actorParams)
+	s.goodCritic = averageInto(s.goodCritic, survivors, criticParams)
+	for _, tr := range s.shards {
+		nn.RestoreParams(tr.actor.Params(), s.goodActor)
+		nn.RestoreParams(tr.critic.Params(), s.goodCritic)
+	}
+}
+
+// broadcastFrom copies src's weights into every other shard — used after
+// a checkpoint restore, where one shard holds the loaded weights and the
+// rest of the fleet must re-synchronize. Optimizer moments reset fleet-
+// wide: they describe the trajectory that was just replaced.
+func (s *ShardedTrainer) broadcastFrom(src *Trainer) {
+	if len(s.shards) == 1 {
+		return
+	}
+	s.goodActor = nn.SnapshotParams(s.goodActor, src.actor.Params())
+	s.goodCritic = nn.SnapshotParams(s.goodCritic, src.critic.Params())
+	for _, tr := range s.shards {
+		if tr != src {
+			nn.RestoreParams(tr.actor.Params(), s.goodActor)
+			nn.RestoreParams(tr.critic.Params(), s.goodCritic)
+		}
+		nn.ResetMoments(tr.actor.Params())
+		nn.ResetMoments(tr.critic.Params())
+		tr.actorOpt.Reset()
+		tr.criticOpt.Reset()
+	}
+}

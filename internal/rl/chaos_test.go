@@ -286,3 +286,129 @@ func TestInvariantErrorQuarantine(t *testing.T) {
 		t.Error("poisoned workspace was not replaced after the panic")
 	}
 }
+
+// TestChaosFleetShardFailureRefills is the fleet-scale acceptance run of
+// the refill protocol: a 3-shard fleet trains with ~5% transient
+// estimator faults everywhere, one shard whose replica backend panics on
+// every episode (systematic failure — its every epoch dies mid-sampling),
+// and one shard flooded with NaN estimates. The fleet must complete the
+// full run on the survivors, refill the dead shard from the last-good
+// rl.Store checkpoint each epoch, keep every weight finite and
+// synchronized, and leak no goroutines.
+func TestChaosFleetShardFailureRefills(t *testing.T) {
+	before := runtime.NumGoroutine()
+	env := testEnv(t)
+	// Fleet-wide transient faults; each replica shares the stack (Clone
+	// copies the decorated backend) so retries heal them on every shard.
+	injectFaults(env, faultinject.Config{Seed: 7, ErrorRate: 0.05})
+
+	cfg := fastConfig()
+	cfg.Seed = 11
+	cfg.Workers = 2
+	s := NewShardedTrainer(env, RangeConstraint(Cardinality, 1, 1000), cfg, 3)
+	store, err := NewStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetStore(store)
+
+	// Shard 1: systematic mid-episode panics — every epoch it runs fails
+	// with a *QuarantineError and the fleet refills it at the barrier.
+	bad := s.Shard(1).Env
+	bad.SetBackend(faultinject.NewEstimator(bad.Est,
+		faultinject.New(faultinject.Config{Seed: 3, PanicRate: 1})))
+	// Shard 2: poisoned estimates — the divergence watchdog discards its
+	// updates but the shard itself stays in the fleet.
+	poisoned := s.Shard(2).Env
+	poisoned.SetBackend(faultinject.NewEstimator(poisoned.Est,
+		faultinject.New(faultinject.Config{Seed: 5, NaNRate: 1})))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	trace, err := s.TrainContext(ctx, 3, 24)
+	if err != nil {
+		t.Fatalf("fleet training under fault injection failed: %v", err)
+	}
+	if len(trace) != 3 {
+		t.Fatalf("completed %d fleet epochs, want 3", len(trace))
+	}
+	// Shard 1 died and was refilled every epoch. Epoch 1's refill drains
+	// the then-empty store and falls back to the in-memory snapshot;
+	// epochs 2 and 3 restore the checkpoint rotated by the previous
+	// all-reduce.
+	if got := s.Refills(); got < 3 {
+		t.Errorf("refills = %d, want >= 3 (one per epoch for the dead shard)", got)
+	}
+
+	st := s.Stats()
+	if st.Retries == 0 {
+		t.Error("no retries recorded despite fleet-wide transient faults")
+	}
+	if st.Quarantined == 0 {
+		t.Error("systematically panicking shard recorded no quarantines")
+	}
+	if st.WatchdogTrips == 0 {
+		t.Error("NaN-flooded shard never tripped the divergence watchdog")
+	}
+	if st.ShardRefills != s.Refills() {
+		t.Errorf("Stats().ShardRefills = %d, Refills() = %d", st.ShardRefills, s.Refills())
+	}
+
+	// Every shard ends finite and synchronized on the broadcast consensus.
+	want := nn.ChecksumParams(append(s.Shard(0).Actor().Params(), s.Shard(0).Critic().Params()...))
+	for i := 0; i < s.NumShards(); i++ {
+		tr := s.Shard(i)
+		if !nn.ParamsFinite(tr.Actor().Params()) || !nn.ParamsFinite(tr.Critic().Params()) {
+			t.Errorf("shard %d weights non-finite after chaos training", i)
+		}
+		got := nn.ChecksumParams(append(tr.Actor().Params(), tr.Critic().Params()...))
+		if got != want {
+			t.Errorf("shard %d desynchronized after chaos training: %08x vs %08x", i, got, want)
+		}
+	}
+
+	// The refill path restores the durable checkpoint directly: scribble
+	// over the dead shard's weights and refill — the store's consensus
+	// comes back.
+	s.Shard(1).Actor().Params()[0].Val.Data[0] = 99
+	refillsBefore := s.Refills()
+	s.refillShard(1)
+	if s.Refills() != refillsBefore+1 {
+		t.Error("refillShard did not advance the refill counter")
+	}
+	if got := nn.ChecksumParams(append(s.Shard(1).Actor().Params(), s.Shard(1).Critic().Params()...)); got != want {
+		t.Errorf("store-backed refill restored %08x, want the checkpointed consensus %08x", got, want)
+	}
+
+	// The healthy shard still generates; the fleet survived the chaos.
+	for _, g := range s.Generate(5) {
+		if g.SQL == "" {
+			t.Fatal("post-chaos fleet generation produced an empty statement")
+		}
+	}
+	waitGoroutines(t, before)
+}
+
+// TestChaosFleetAllShardsFail: when every shard's epoch dies the fleet
+// must surface the failure instead of refilling forever.
+func TestChaosFleetAllShardsFail(t *testing.T) {
+	before := runtime.NumGoroutine()
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.Workers = 2
+	s := NewShardedTrainer(env, RangeConstraint(Cardinality, 1, 1000), cfg, 2)
+	for i := 0; i < s.NumShards(); i++ {
+		senv := s.Shard(i).Env
+		senv.SetBackend(faultinject.NewEstimator(senv.Est,
+			faultinject.New(faultinject.Config{Seed: int64(i + 1), PanicRate: 1})))
+	}
+	_, err := s.TrainContext(context.Background(), 2, 16)
+	if err == nil {
+		t.Fatal("fleet with every shard dead reported success")
+	}
+	var qe *QuarantineError
+	if !errors.As(err, &qe) {
+		t.Errorf("want the shard *QuarantineError as the cause, got %v", err)
+	}
+	waitGoroutines(t, before)
+}

@@ -92,6 +92,31 @@ func (e *Env) SetBackend(b estimator.Backend) {
 // per-call executor over a snapshot.
 func (e *Env) SetExecBackend(b executor.Backend) { e.execBackend = b }
 
+// Clone returns a replica environment for a trainer shard: the same
+// read-only dataset, vocabulary, grammar and estimator statistics, and the
+// same decorated backend stacks (engine driver, resilience, fault
+// injection — whatever SetBackend/SetExecBackend installed), but its own
+// memoizing estimator cache of equal capacity, so fleet shards measuring
+// concurrently never contend on one LRU mutex. Replica measurements are
+// value-identical to the original's: the estimator is a pure function of
+// (statement, statistics) and the cache only memoizes it.
+func (e *Env) Clone() *Env {
+	clone := &Env{
+		DB:            e.DB,
+		Vocab:         e.Vocab,
+		Est:           e.Est,
+		Cfg:           e.Cfg,
+		TrueExecution: e.TrueExecution,
+		Res:           e.Res,
+		backend:       e.backend,
+		execBackend:   e.execBackend,
+	}
+	if e.Cache != nil {
+		clone.Cache = estimator.NewCached(e.estBackend(), e.Cache.Stats().Capacity)
+	}
+	return clone
+}
+
 // SetCacheSize replaces the estimator cache with a fresh one of the given
 // capacity (entries); capacity <= 0 selects the default size.
 func (e *Env) SetCacheSize(capacity int) {

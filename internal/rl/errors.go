@@ -34,10 +34,16 @@ func (e *EpochAbortError) Unwrap() error { return e.Err }
 // ErrBudgetExceeded, so budget expiry is distinguishable from a caller
 // cancel. The returned CancelFunc must always be called.
 func (t *Trainer) trainCtx(ctx context.Context) (context.Context, context.CancelFunc) {
-	if t.Cfg.TrainBudget <= 0 {
+	return budgetCtx(ctx, t.Cfg)
+}
+
+// budgetCtx is trainCtx's implementation, shared with the sharded fleet
+// trainer (whose budget governs the whole fleet, not any one shard).
+func budgetCtx(ctx context.Context, cfg Config) (context.Context, context.CancelFunc) {
+	if cfg.TrainBudget <= 0 {
 		return ctx, func() {}
 	}
-	return context.WithTimeoutCause(ctx, t.Cfg.TrainBudget, ErrBudgetExceeded)
+	return context.WithTimeoutCause(ctx, cfg.TrainBudget, ErrBudgetExceeded)
 }
 
 // cancelCause resolves a done context to its most informative error:

@@ -245,6 +245,10 @@ type TrainStats struct {
 	// discarded or rolled back.
 	Quarantined   uint64
 	WatchdogTrips uint64
+	// ShardRefills counts fleet shards restored from the last-good
+	// checkpoint after a crashed or quarantined epoch (always 0 for a
+	// single-process Trainer; see ShardedTrainer).
+	ShardRefills uint64
 }
 
 // Stats snapshots the trainer's throughput counters.

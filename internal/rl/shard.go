@@ -1,0 +1,602 @@
+package rl
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"learnedsqlgen/internal/nn"
+)
+
+// ShardMode selects how fleet shards exchange weights.
+type ShardMode uint8
+
+const (
+	// ShardSync (default) runs the shards in lockstep: every fleet epoch
+	// splits its episode quota across the shards, each shard trains its
+	// slice concurrently, and the epoch barrier all-reduces the weights by
+	// parameter averaging and broadcasts the result. The fleet is
+	// synchronized after every epoch, and a fixed seed replays the whole
+	// run byte-identically regardless of scheduling.
+	ShardSync ShardMode = iota
+	// ShardAsync removes the epoch barrier: shards train their rounds at
+	// their own pace and exchange weights with a parameter-server
+	// goroutine that blends each shard's contribution into a running fleet
+	// average. Throughput-oriented — stragglers never stall the fleet —
+	// but the blend order depends on scheduling, so async runs are not
+	// byte-replayable. Training drivers still return a deterministic-shape
+	// stats trace (per-round, aggregated over shards after completion).
+	ShardAsync
+)
+
+// ShardedTrainer scales the single-process Trainer out to a fleet of N
+// data-parallel trainer shards. Every shard owns a replica environment
+// (Env.Clone: shared dataset, statistics and backend stack, private
+// estimator cache) and runs the ordinary worker-pool rollout loop; the
+// shards exchange weights per epoch via synchronous all-reduce parameter
+// averaging (or the async parameter-server mode, see ShardMode).
+//
+// Determinism mirrors the per-episode RNG fan-out one level up: shard i's
+// episode streams derive from FanSeed(Cfg.Seed, i) — the shard id is the
+// stream index — so a fleet run is a pure function of (seed, shards, mode)
+// and replays byte-identically under ShardSync. With shards <= 1 every
+// method delegates to a single embedded Trainer built verbatim from the
+// configuration, so a one-shard fleet is byte-identical to today's
+// Trainer by construction.
+//
+// Fault tolerance composes with the per-shard resilience stack: a shard
+// whose epoch dies (systematic quarantine, poisoned backend) is refilled
+// from the last-good checkpoint — the rl.Store installed via SetStore
+// when available, the in-memory post-all-reduce snapshot otherwise — and
+// rejoins the fleet at the next broadcast instead of losing the run. Only
+// an epoch in which every shard fails surfaces an error.
+type ShardedTrainer struct {
+	Constraint Constraint
+	Cfg        Config
+	// Mode selects the weight-exchange protocol; mutate it only between
+	// training calls.
+	Mode ShardMode
+
+	shards []*Trainer
+
+	// store, when set, receives a durable fleet checkpoint after every
+	// successful all-reduce and seeds shard refills.
+	store   *Store
+	refills uint64
+
+	// Last-good fleet weights (post-broadcast; the initial weights before
+	// the first epoch) — the in-memory refill source and the all-reduce
+	// scratch. Single-goroutine at the epoch barrier.
+	goodActor, goodCritic [][]float64
+}
+
+// NewShardedTrainer builds a fleet of `shards` trainer shards for the
+// constraint. Every shard initializes its networks from cfg.Seed — the
+// shards start weight-identical, which is what makes parameter averaging
+// meaningful — while shard i's episode streams fan out from
+// FanSeed(cfg.Seed, i). shards <= 1 builds the plain single-trainer form.
+// cfg.Workers applies per shard, so the fleet rolls out up to
+// shards × Workers episodes concurrently.
+func NewShardedTrainer(env *Env, c Constraint, cfg Config, shards int) *ShardedTrainer {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &ShardedTrainer{Constraint: c, Cfg: cfg}
+	for i := 0; i < shards; i++ {
+		senv := env
+		if i > 0 {
+			senv = env.Clone()
+		}
+		tr := NewTrainer(senv, c, cfg)
+		if shards > 1 {
+			// Episode-stream fan-out only: the networks above were already
+			// initialized from the base seed. The fleet drives budget and
+			// progress callbacks itself, once per fleet epoch.
+			tr.Cfg.Seed = FanSeed(cfg.Seed, uint64(i))
+			tr.Cfg.TrainBudget = 0
+			tr.Cfg.OnEpoch = nil
+			// Large-batch linear LR scaling: averaging N shards' epochs is
+			// one update from an N×-sized effective batch, so each shard
+			// steps N× as hard for the average to make single-shard
+			// progress per epoch. Pairs with weak-scaling episode budgets
+			// (grow the per-epoch episode count with the fleet — see
+			// TrainEpochContext); that is what buys the fleet its
+			// fewer-epochs-to-target convergence.
+			tr.actorOpt.LR *= float64(shards)
+			tr.criticOpt.LR *= float64(shards)
+		}
+		s.shards = append(s.shards, tr)
+	}
+	if shards > 1 {
+		s.snapshotGood()
+	}
+	return s
+}
+
+// NumShards reports the fleet size.
+func (s *ShardedTrainer) NumShards() int { return len(s.shards) }
+
+// Shard exposes shard i's trainer — read-only inspection (stats, weights)
+// and test instrumentation (per-shard fault injection on its replica
+// Env). Callers must not train a shard directly.
+func (s *ShardedTrainer) Shard(i int) *Trainer { return s.shards[i] }
+
+// SetStore installs the checkpoint store the fleet rotates its last-good
+// weights through: every successful all-reduce saves one checkpoint, and
+// a crashed or quarantined shard reloads from the newest loadable entry.
+// With no store the fleet falls back to an in-memory last-good snapshot
+// (refill still works; it just does not survive the process).
+func (s *ShardedTrainer) SetStore(st *Store) { s.store = st }
+
+// Refills counts shards restored from the last-good checkpoint after a
+// failed epoch, over the fleet's lifetime.
+func (s *ShardedTrainer) Refills() uint64 { return atomic.LoadUint64(&s.refills) }
+
+// single reports the delegation case: a one-shard fleet is exactly the
+// embedded Trainer.
+func (s *ShardedTrainer) single() *Trainer {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	return nil
+}
+
+// splitEpisodes spreads an epoch's episode quota across n shards as
+// evenly as possible (the first total%n shards take one extra episode).
+func splitEpisodes(total, n int) []int {
+	out := make([]int, n)
+	base, extra := total/n, total%n
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// snapshotGood records the current fleet weights (shard 0's; the fleet is
+// synchronized whenever this runs) as the in-memory refill source.
+func (s *ShardedTrainer) snapshotGood() {
+	t := s.shards[0]
+	s.goodActor = nn.SnapshotParams(s.goodActor, t.actor.Params())
+	s.goodCritic = nn.SnapshotParams(s.goodCritic, t.critic.Params())
+}
+
+// noteGood refreshes the last-good checkpoint after a successful epoch:
+// the in-memory snapshot always, plus a durable Store rotation when one
+// is installed (best-effort: a full disk must not kill a healthy fleet —
+// the in-memory snapshot still guards the run).
+func (s *ShardedTrainer) noteGood() {
+	s.snapshotGood()
+	if s.store != nil {
+		s.store.Save(s) //nolint:errcheck // best-effort durable rotation
+	}
+}
+
+// refillShard restores a failed shard from the last-good checkpoint —
+// Store first (proving durability), in-memory snapshot otherwise — and
+// resets its optimizer moments, which were computed against the lost
+// trajectory. The next broadcast re-synchronizes it with the fleet.
+func (s *ShardedTrainer) refillShard(i int) {
+	tr := s.shards[i]
+	restored := false
+	if s.store != nil {
+		if _, err := s.store.Load(tr); err == nil {
+			restored = true
+		}
+	}
+	if !restored {
+		nn.RestoreParams(tr.actor.Params(), s.goodActor)
+		nn.RestoreParams(tr.critic.Params(), s.goodCritic)
+	}
+	nn.ResetMoments(tr.actor.Params())
+	nn.ResetMoments(tr.critic.Params())
+	tr.actorOpt.Reset()
+	tr.criticOpt.Reset()
+	atomic.AddUint64(&s.refills, 1)
+}
+
+// shardResult is one shard's epoch outcome.
+type shardResult struct {
+	stats EpochStats
+	err   error
+}
+
+// TrainEpochContext runs one fleet epoch: the episode quota splits across
+// the shards, every shard trains its slice concurrently on its replica
+// environment, failed shards are refilled from the last-good checkpoint,
+// and the barrier all-reduces the survivors' weights by parameter
+// averaging and broadcasts the result to the whole fleet. The returned
+// stats aggregate the surviving shards' episodes (episode-weighted
+// means). The error is non-nil only when ctx ended the epoch or every
+// shard failed.
+func (s *ShardedTrainer) TrainEpochContext(ctx context.Context, episodes int) (EpochStats, error) {
+	if t := s.single(); t != nil {
+		return t.TrainEpochContext(ctx, episodes)
+	}
+	quotas := splitEpisodes(episodes, len(s.shards))
+	results := make([]shardResult, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i].stats, results[i].err = s.shards[i].TrainEpochContext(ctx, quotas[i])
+		}(i)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return EpochStats{}, fmt.Errorf("rl: fleet epoch interrupted: %w", cancelCause(ctx))
+	}
+
+	agg := EpochStats{}
+	var survivors []*Trainer
+	var lastErr error
+	for i, r := range results {
+		if r.err != nil {
+			lastErr = r.err
+			s.refillShard(i)
+			continue
+		}
+		survivors = append(survivors, s.shards[i])
+		agg.Episodes += r.stats.Episodes
+		agg.AvgReward += r.stats.AvgReward * float64(r.stats.Episodes)
+		agg.SatisfiedRate += r.stats.SatisfiedRate * float64(r.stats.Episodes)
+	}
+	if len(survivors) == 0 {
+		return EpochStats{}, fmt.Errorf("rl: every fleet shard failed the epoch: %w", lastErr)
+	}
+	if agg.Episodes > 0 {
+		agg.AvgReward /= float64(agg.Episodes)
+		agg.SatisfiedRate /= float64(agg.Episodes)
+	}
+	s.allReduce(survivors)
+	s.noteGood()
+	return agg, nil
+}
+
+// TrainEpoch is TrainEpochContext without cancellation.
+func (s *ShardedTrainer) TrainEpoch(episodes int) EpochStats {
+	st, _ := s.TrainEpochContext(context.Background(), episodes)
+	return st
+}
+
+// fleetOnEpoch invokes the fleet-level progress callback.
+func (s *ShardedTrainer) fleetOnEpoch(epochs int, st EpochStats) error {
+	if s.Cfg.OnEpoch == nil {
+		return nil
+	}
+	if err := s.Cfg.OnEpoch(st); err != nil {
+		return &EpochAbortError{Epoch: epochs, Err: err}
+	}
+	return nil
+}
+
+// TrainContext runs fleet epochs under ctx, Config.TrainBudget and
+// Config.OnEpoch, with the trace and error semantics of
+// Trainer.TrainContext. Under ShardAsync the epochs become per-shard
+// rounds against the parameter server (see ShardMode).
+func (s *ShardedTrainer) TrainContext(ctx context.Context, epochs, episodesPerEpoch int) ([]EpochStats, error) {
+	if t := s.single(); t != nil {
+		return t.TrainContext(ctx, epochs, episodesPerEpoch)
+	}
+	tctx, cancel := budgetCtx(ctx, s.Cfg)
+	defer cancel()
+	if s.Mode == ShardAsync {
+		return s.trainAsync(tctx, epochs, episodesPerEpoch)
+	}
+	out := make([]EpochStats, 0, epochs)
+	for i := 0; i < epochs; i++ {
+		st, err := s.TrainEpochContext(tctx, episodesPerEpoch)
+		if err != nil {
+			if cause := cancelCause(tctx); cause != nil {
+				return out, trainStopErr(len(out), cause)
+			}
+			return out, trainStopErr(len(out), err)
+		}
+		out = append(out, st)
+		if err := s.fleetOnEpoch(len(out), st); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Train is TrainContext without cancellation.
+func (s *ShardedTrainer) Train(epochs, episodesPerEpoch int) []EpochStats {
+	out, _ := s.TrainContext(context.Background(), epochs, episodesPerEpoch)
+	return out
+}
+
+// psExchange is one shard's round trip with the parameter server: the
+// shard snapshots its weights into the buffers, the server blends them
+// into (for a push) or overwrites them with (for a pull, used by refill)
+// the fleet average, and the shard restores the buffers into its
+// networks after done closes.
+type psExchange struct {
+	actor, critic [][]float64
+	push          bool
+	done          chan struct{}
+}
+
+// trainAsync is the ShardAsync training driver: a parameter-server
+// goroutine owns the fleet weights and every shard trains its rounds at
+// its own pace, blending its weights into the server's after each local
+// epoch (θ ← (1−α)θ + α·θ_shard, α = 1/shards) and adopting the blend.
+// No barrier means stragglers never stall the fleet, at the cost of
+// byte-replayability: the blend order is whatever the scheduler made it.
+// A shard whose round fails pulls the server's current blend instead of
+// a checkpoint (the server IS the fleet's live consensus) and counts a
+// refill. The trace aggregates round r across shards after the fleet
+// joins, and the fleet-level OnEpoch callback runs post-hoc over that
+// aggregated trace — an abort truncates the trace but cannot stop
+// already-finished work.
+func (s *ShardedTrainer) trainAsync(ctx context.Context, epochs, episodesPerEpoch int) ([]EpochStats, error) {
+	n := len(s.shards)
+	quotas := splitEpisodes(episodesPerEpoch, n)
+	alpha := 1.0 / float64(n)
+
+	reqs := make(chan *psExchange)
+	// The fleet is synchronized on entry, so shard 0 holds the weights.
+	// Snapshot before the shards start training — they mutate in place.
+	srvActor := nn.SnapshotParams(nil, s.shards[0].actor.Params())
+	srvCritic := nn.SnapshotParams(nil, s.shards[0].critic.Params())
+	var srv sync.WaitGroup
+	srv.Add(1)
+	go func() {
+		defer srv.Done()
+		blend := func(dst, src [][]float64) {
+			for i, d := range dst {
+				for j := range d {
+					d[j] = (1-alpha)*d[j] + alpha*src[i][j]
+				}
+			}
+		}
+		copyInto := func(dst, src [][]float64) {
+			for i, d := range dst {
+				copy(d, src[i])
+			}
+		}
+		for req := range reqs {
+			if req.push {
+				blend(srvActor, req.actor)
+				blend(srvCritic, req.critic)
+			}
+			copyInto(req.actor, srvActor)
+			copyInto(req.critic, srvCritic)
+			close(req.done)
+		}
+		// Park the final blend in the last-good buffers for the post-join
+		// broadcast.
+		s.goodActor, s.goodCritic = srvActor, srvCritic
+	}()
+
+	traces := make([][]EpochStats, n)
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := s.shards[i]
+			ex := &psExchange{}
+			trace := make([]EpochStats, 0, epochs)
+			for r := 0; r < epochs && ctx.Err() == nil; r++ {
+				st, err := tr.TrainEpochContext(ctx, quotas[i])
+				if ctx.Err() != nil {
+					break
+				}
+				ex.actor = nn.SnapshotParams(ex.actor, tr.actor.Params())
+				ex.critic = nn.SnapshotParams(ex.critic, tr.critic.Params())
+				if err != nil {
+					// Failed round: adopt the server's live consensus and
+					// retry the next round from there.
+					ex.push = false
+					atomic.AddUint64(&s.refills, 1)
+				} else {
+					ex.push = true
+					trace = append(trace, st)
+				}
+				ex.done = make(chan struct{})
+				reqs <- ex
+				<-ex.done
+				nn.RestoreParams(tr.actor.Params(), ex.actor)
+				nn.RestoreParams(tr.critic.Params(), ex.critic)
+				if !ex.push {
+					nn.ResetMoments(tr.actor.Params())
+					nn.ResetMoments(tr.critic.Params())
+					tr.actorOpt.Reset()
+					tr.criticOpt.Reset()
+				}
+			}
+			traces[i] = trace
+		}(i)
+	}
+	wg.Wait()
+	close(reqs)
+	srv.Wait()
+
+	// Everyone adopts the final blend; snapshotGood is implicit (the blend
+	// already lives in the last-good buffers).
+	for _, tr := range s.shards {
+		nn.RestoreParams(tr.actor.Params(), s.goodActor)
+		nn.RestoreParams(tr.critic.Params(), s.goodCritic)
+	}
+	if s.store != nil {
+		s.store.Save(s) //nolint:errcheck // best-effort durable rotation
+	}
+
+	rounds := 0
+	for _, tr := range traces {
+		if len(tr) > rounds {
+			rounds = len(tr)
+		}
+	}
+	out := make([]EpochStats, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		agg := EpochStats{}
+		for _, tr := range traces {
+			if r >= len(tr) {
+				continue
+			}
+			agg.Episodes += tr[r].Episodes
+			agg.AvgReward += tr[r].AvgReward * float64(tr[r].Episodes)
+			agg.SatisfiedRate += tr[r].SatisfiedRate * float64(tr[r].Episodes)
+		}
+		if agg.Episodes > 0 {
+			agg.AvgReward /= float64(agg.Episodes)
+			agg.SatisfiedRate /= float64(agg.Episodes)
+		}
+		out = append(out, agg)
+		if err := s.fleetOnEpoch(len(out), agg); err != nil {
+			return out, err
+		}
+	}
+	if cause := cancelCause(ctx); cause != nil {
+		return out, trainStopErr(len(out), cause)
+	}
+	return out, nil
+}
+
+// TrainUntilContext trains until the fleet's per-epoch satisfied rate
+// reaches target on `patience` consecutive epochs, or maxEpochs elapse —
+// Trainer.TrainUntilContext at fleet scale.
+func (s *ShardedTrainer) TrainUntilContext(ctx context.Context, target float64, patience, maxEpochs, episodesPerEpoch int) ([]EpochStats, error) {
+	if t := s.single(); t != nil {
+		return t.TrainUntilContext(ctx, target, patience, maxEpochs, episodesPerEpoch)
+	}
+	if patience < 1 {
+		patience = 1
+	}
+	tctx, cancel := budgetCtx(ctx, s.Cfg)
+	defer cancel()
+	var out []EpochStats
+	streak := 0
+	for i := 0; i < maxEpochs; i++ {
+		st, err := s.TrainEpochContext(tctx, episodesPerEpoch)
+		if err != nil {
+			if cause := cancelCause(tctx); cause != nil {
+				return out, trainStopErr(len(out), cause)
+			}
+			return out, trainStopErr(len(out), err)
+		}
+		out = append(out, st)
+		if err := s.fleetOnEpoch(len(out), st); err != nil {
+			return out, err
+		}
+		if st.SatisfiedRate >= target {
+			streak++
+			if streak >= patience {
+				break
+			}
+		} else {
+			streak = 0
+		}
+	}
+	return out, nil
+}
+
+// TrainUntil is TrainUntilContext without cancellation.
+func (s *ShardedTrainer) TrainUntil(target float64, patience, maxEpochs, episodesPerEpoch int) []EpochStats {
+	out, _ := s.TrainUntilContext(context.Background(), target, patience, maxEpochs, episodesPerEpoch)
+	return out
+}
+
+// GenerateContext samples n statements from the fleet policy. The fleet
+// is weight-synchronized after every training call, so inference runs on
+// shard 0 — its episode streams make generation a deterministic
+// continuation of the shard-0 sequence, exactly like a single trainer.
+func (s *ShardedTrainer) GenerateContext(ctx context.Context, n int) ([]Generated, error) {
+	return s.shards[0].GenerateContext(ctx, n)
+}
+
+// Generate is GenerateContext without cancellation.
+func (s *ShardedTrainer) Generate(n int) []Generated {
+	out, _ := s.GenerateContext(context.Background(), n)
+	return out
+}
+
+// GenerateSatisfiedContext samples until n satisfied statements or
+// maxAttempts episodes, on shard 0 (see GenerateContext).
+func (s *ShardedTrainer) GenerateSatisfiedContext(ctx context.Context, n, maxAttempts int) ([]Generated, int, error) {
+	return s.shards[0].GenerateSatisfiedContext(ctx, n, maxAttempts)
+}
+
+// GenerateSatisfied is GenerateSatisfiedContext without cancellation.
+func (s *ShardedTrainer) GenerateSatisfied(n, maxAttempts int) ([]Generated, int) {
+	out, attempts, _ := s.GenerateSatisfiedContext(context.Background(), n, maxAttempts)
+	return out, attempts
+}
+
+// Stats aggregates the fleet's lifetime throughput counters: episode,
+// rollout-time, quarantine and watchdog counters sum across shards;
+// cache counters sum across the replica environments; the refill counter
+// is fleet-level.
+func (s *ShardedTrainer) Stats() TrainStats {
+	agg := TrainStats{}
+	for _, tr := range s.shards {
+		st := tr.Stats()
+		agg.Episodes += st.Episodes
+		agg.RolloutSeconds += st.RolloutSeconds
+		agg.EstimatorCalls += st.EstimatorCalls
+		agg.CacheHits += st.CacheHits
+		agg.CacheMisses += st.CacheMisses
+		agg.PrefixHits += st.PrefixHits
+		agg.PrefixMisses += st.PrefixMisses
+		agg.Quarantined += st.Quarantined
+		agg.WatchdogTrips += st.WatchdogTrips
+	}
+	// Resilience counters are fleet-shared (one metrics sink behind every
+	// replica): read them once instead of summing duplicates.
+	if m := s.shards[0].Env.Res; m != nil {
+		agg.Retries = m.Retries.Load()
+		agg.Exhausted = m.Exhausted.Load()
+		agg.BreakerOpens = m.BreakerOpens.Load()
+	}
+	if agg.RolloutSeconds > 0 {
+		agg.EpisodesPerSec = float64(agg.Episodes) / agg.RolloutSeconds
+	}
+	if total := agg.CacheHits + agg.CacheMisses; total > 0 {
+		agg.CacheHitRate = float64(agg.CacheHits) / float64(total)
+	}
+	if total := agg.PrefixHits + agg.PrefixMisses; total > 0 {
+		agg.PrefixHitRate = float64(agg.PrefixHits) / float64(total)
+	}
+	agg.ShardRefills = s.Refills()
+	return agg
+}
+
+// Save writes the fleet's weights (shard 0's — the fleet is synchronized
+// between training calls) in the single-trainer checkpoint format, so
+// fleet checkpoints and single-trainer checkpoints interchange freely.
+func (s *ShardedTrainer) Save(w io.Writer) error { return s.shards[0].Save(w) }
+
+// Load restores weights written by Save (or by a single Trainer) into
+// every shard, re-synchronizing the fleet.
+func (s *ShardedTrainer) Load(r io.Reader) error {
+	if err := s.shards[0].Load(r); err != nil {
+		return err
+	}
+	s.broadcastFrom(s.shards[0])
+	if len(s.shards) > 1 {
+		s.snapshotGood()
+	}
+	return nil
+}
+
+// SaveFile writes the fleet checkpoint durably (see Trainer.SaveFile).
+func (s *ShardedTrainer) SaveFile(path string) error { return s.shards[0].SaveFile(path) }
+
+// LoadFile restores a checkpoint from path into every shard.
+func (s *ShardedTrainer) LoadFile(path string) error {
+	if err := s.shards[0].LoadFile(path); err != nil {
+		return err
+	}
+	s.broadcastFrom(s.shards[0])
+	if len(s.shards) > 1 {
+		s.snapshotGood()
+	}
+	return nil
+}

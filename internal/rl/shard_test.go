@@ -1,0 +1,291 @@
+package rl
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"learnedsqlgen/internal/nn"
+)
+
+// fleetChecksum fingerprints the whole fleet's weights: every shard's
+// actor and critic, in shard order.
+func fleetChecksum(s *ShardedTrainer) []uint32 {
+	var sums []uint32
+	for i := 0; i < s.NumShards(); i++ {
+		tr := s.Shard(i)
+		sums = append(sums, nn.ChecksumParams(tr.actor.Params()), nn.ChecksumParams(tr.critic.Params()))
+	}
+	return sums
+}
+
+// runFleet trains a fresh fleet on the fixed workload and returns the
+// learning trace, generated SQL and the final weight fingerprint.
+func runFleet(t *testing.T, shards, workers int, seed int64) ([]EpochStats, []string, []uint32) {
+	t.Helper()
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.Seed = seed
+	cfg.Workers = workers
+	s := NewShardedTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg, shards)
+	trace := s.Train(2, 24)
+	var sqls []string
+	for _, g := range s.Generate(20) {
+		sqls = append(sqls, g.SQL)
+	}
+	return trace, sqls, fleetChecksum(s)
+}
+
+// TestShardsOneByteIdentical is the scale-out contract's anchor: a
+// one-shard fleet IS the single-process trainer — same learning trace,
+// same generated SQL, same final weights, byte for byte.
+func TestShardsOneByteIdentical(t *testing.T) {
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.Seed = 11
+	legacy := NewTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg)
+	wantTrace := legacy.Train(2, 24)
+	var wantSQL []string
+	for _, g := range legacy.Generate(20) {
+		wantSQL = append(wantSQL, g.SQL)
+	}
+	wantActor := nn.ChecksumParams(legacy.actor.Params())
+	wantCritic := nn.ChecksumParams(legacy.critic.Params())
+
+	trace, sqls, sums := runFleet(t, 1, 1, 11)
+	if len(trace) != len(wantTrace) {
+		t.Fatalf("trace length %d vs legacy %d", len(trace), len(wantTrace))
+	}
+	for i := range wantTrace {
+		if trace[i] != wantTrace[i] {
+			t.Errorf("epoch %d stats diverged from legacy: %+v vs %+v", i, trace[i], wantTrace[i])
+		}
+	}
+	if len(sqls) != len(wantSQL) {
+		t.Fatalf("generated %d vs legacy %d queries", len(sqls), len(wantSQL))
+	}
+	for i := range wantSQL {
+		if sqls[i] != wantSQL[i] {
+			t.Errorf("query %d differs:\n  legacy: %s\n  fleet:  %s", i, wantSQL[i], sqls[i])
+		}
+	}
+	if sums[0] != wantActor || sums[1] != wantCritic {
+		t.Errorf("weights diverged from legacy: %v vs [%d %d]", sums, wantActor, wantCritic)
+	}
+}
+
+// TestShardReplayIdentity: a sharded run is a pure function of its seed —
+// replaying shards∈{2,4} (with worker pools racing inside every shard)
+// reproduces the trace, the queries and every shard's weights exactly.
+func TestShardReplayIdentity(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		trace1, sqls1, sums1 := runFleet(t, shards, 2, 7)
+		trace2, sqls2, sums2 := runFleet(t, shards, 3, 7)
+		if len(trace1) != len(trace2) {
+			t.Fatalf("shards=%d: trace length %d vs %d", shards, len(trace1), len(trace2))
+		}
+		for i := range trace1 {
+			if trace1[i] != trace2[i] {
+				t.Errorf("shards=%d: epoch %d stats diverged across replays: %+v vs %+v",
+					shards, i, trace1[i], trace2[i])
+			}
+		}
+		if len(sqls1) != len(sqls2) {
+			t.Fatalf("shards=%d: generated %d vs %d queries", shards, len(sqls1), len(sqls2))
+		}
+		for i := range sqls1 {
+			if sqls1[i] != sqls2[i] {
+				t.Errorf("shards=%d: query %d differs across replays:\n  a: %s\n  b: %s",
+					shards, i, sqls1[i], sqls2[i])
+			}
+		}
+		if len(sums1) != len(sums2) {
+			t.Fatalf("shards=%d: fingerprint lengths differ", shards)
+		}
+		for i := range sums1 {
+			if sums1[i] != sums2[i] {
+				t.Errorf("shards=%d: weight fingerprint %d diverged: %d vs %d",
+					shards, i, sums1[i], sums2[i])
+			}
+		}
+		// All-reduce broadcasts after every epoch, so the fleet must end
+		// weight-synchronized: every shard carries identical weights.
+		for i := 2; i < len(sums1); i += 2 {
+			if sums1[i] != sums1[0] || sums1[i+1] != sums1[1] {
+				t.Errorf("shards=%d: shard %d not synchronized with shard 0 after training",
+					shards, i/2)
+			}
+		}
+	}
+}
+
+// TestShardSeedSensitivity guards against a degenerate fan-out (all
+// shards training the same episode stream): different seeds must explore
+// differently, and within one fleet the shards' episode streams differ.
+func TestShardSeedSensitivity(t *testing.T) {
+	_, sqlsA, _ := runFleet(t, 2, 1, 7)
+	_, sqlsB, _ := runFleet(t, 2, 1, 8)
+	same := len(sqlsA) == len(sqlsB)
+	if same {
+		for i := range sqlsA {
+			if sqlsA[i] != sqlsB[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 generated identical query sets")
+	}
+}
+
+// TestSplitEpisodes pins the deterministic quota split.
+func TestSplitEpisodes(t *testing.T) {
+	cases := []struct {
+		total, n int
+		want     []int
+	}{
+		{24, 4, []int{6, 6, 6, 6}},
+		{10, 4, []int{3, 3, 2, 2}},
+		{3, 4, []int{1, 1, 1, 0}},
+		{5, 1, []int{5}},
+	}
+	for _, c := range cases {
+		got := splitEpisodes(c.total, c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("splitEpisodes(%d,%d) = %v, want %v", c.total, c.n, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitEpisodes(%d,%d) = %v, want %v", c.total, c.n, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestShardedCheckpointInterchange: fleet checkpoints use the
+// single-trainer format, load into every shard, and re-synchronize the
+// fleet.
+func TestShardedCheckpointInterchange(t *testing.T) {
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.Seed = 5
+	s := NewShardedTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg, 2)
+	s.Train(1, 16)
+	path := t.TempDir() + "/fleet.ckpt"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+
+	// A plain trainer reads the fleet checkpoint...
+	single := NewTrainer(testEnv(t), RangeConstraint(Cardinality, 10, 500), cfg)
+	if err := single.LoadFile(path); err != nil {
+		t.Fatalf("single LoadFile: %v", err)
+	}
+	if got, want := nn.ChecksumParams(single.actor.Params()), nn.ChecksumParams(s.Shard(0).actor.Params()); got != want {
+		t.Errorf("single trainer loaded different actor weights: %d vs %d", got, want)
+	}
+
+	// ...and a fresh fleet restores it into every shard.
+	s2 := NewShardedTrainer(testEnv(t), RangeConstraint(Cardinality, 10, 500), cfg, 3)
+	if err := s2.LoadFile(path); err != nil {
+		t.Fatalf("fleet LoadFile: %v", err)
+	}
+	want := fleetChecksum(s)[:2]
+	sums := fleetChecksum(s2)
+	for i := 0; i < len(sums); i += 2 {
+		if sums[i] != want[0] || sums[i+1] != want[1] {
+			t.Errorf("shard %d not restored to checkpoint weights", i/2)
+		}
+	}
+}
+
+// TestShardAsyncTrains smoke-tests the parameter-server mode: it must
+// train to finite, fleet-synchronized weights and report a full trace,
+// even though the blend order is scheduling-dependent.
+func TestShardAsyncTrains(t *testing.T) {
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.Seed = 13
+	cfg.Workers = 2
+	s := NewShardedTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg, 3)
+	s.Mode = ShardAsync
+	trace, err := s.TrainContext(t.Context(), 2, 24)
+	if err != nil {
+		t.Fatalf("async train: %v", err)
+	}
+	if len(trace) != 2 {
+		t.Fatalf("async trace length %d, want 2", len(trace))
+	}
+	for i, st := range trace {
+		if st.Episodes == 0 || math.IsNaN(st.AvgReward) {
+			t.Errorf("async round %d stats degenerate: %+v", i, st)
+		}
+	}
+	sums := fleetChecksum(s)
+	for i := 2; i < len(sums); i += 2 {
+		if sums[i] != sums[0] || sums[i+1] != sums[1] {
+			t.Errorf("async shard %d not synchronized after final broadcast", i/2)
+		}
+	}
+	for i := 0; i < s.NumShards(); i++ {
+		tr := s.Shard(i)
+		if !nn.ParamsFinite(tr.actor.Params()) || !nn.ParamsFinite(tr.critic.Params()) {
+			t.Errorf("async shard %d weights not finite", i)
+		}
+	}
+	if len(s.Generate(5)) != 5 {
+		t.Error("async fleet failed to generate")
+	}
+}
+
+// TestShardedBudget: the fleet-level TrainBudget governs the whole run
+// and surfaces as ErrBudgetExceeded, exactly like the single trainer.
+func TestShardedBudget(t *testing.T) {
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.Seed = 3
+	cfg.TrainBudget = 1 // nanosecond — expires before the first epoch
+	s := NewShardedTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg, 2)
+	_, err := s.TrainContext(t.Context(), 50, 16)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestShardedOnEpoch: the fleet drives the progress callback once per
+// fleet epoch with aggregated stats, and an abort surfaces as
+// EpochAbortError.
+func TestShardedOnEpoch(t *testing.T) {
+	env := testEnv(t)
+	cfg := fastConfig()
+	cfg.Seed = 3
+	calls := 0
+	boom := errors.New("boom")
+	cfg.OnEpoch = func(st EpochStats) error {
+		calls++
+		if st.Episodes != 16 {
+			t.Errorf("callback saw %d episodes, want the full fleet epoch (16)", st.Episodes)
+		}
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	}
+	s := NewShardedTrainer(env, RangeConstraint(Cardinality, 10, 500), cfg, 2)
+	trace, err := s.TrainContext(t.Context(), 5, 16)
+	var abort *EpochAbortError
+	if !errors.As(err, &abort) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want EpochAbortError wrapping boom", err)
+	}
+	if calls != 2 || len(trace) != 2 {
+		t.Errorf("calls=%d trace=%d, want 2/2", calls, len(trace))
+	}
+	// Per-shard callbacks must not fire: the fleet owns progress.
+	for i := 0; i < s.NumShards(); i++ {
+		if s.Shard(i).Cfg.OnEpoch != nil {
+			t.Errorf("shard %d kept a per-shard OnEpoch callback", i)
+		}
+	}
+}

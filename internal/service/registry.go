@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"os"
 	"path/filepath"
 	"sync"
 
@@ -110,6 +111,12 @@ type RegistryConfig struct {
 	K            int
 	WarmRounds   int
 	WarmEpisodes int
+	// Shards > 1 pre-trains cold entries on a fleet of data-parallel
+	// replicas (meta.MetaTrainer.PretrainShardedContext): each replica
+	// runs WarmEpisodes per task per round on its own cloned Env and the
+	// weights are averaged at every round barrier. 0 or 1 keeps the
+	// single-process pre-train.
+	Shards int
 	// Base is the rl configuration entries pre-train and sessions sample
 	// under (Seed and OnEpoch are overridden per entry/request).
 	Base rl.Config
@@ -308,7 +315,7 @@ func (r *Registry) build(ctx context.Context, ds *Dataset, d meta.Domain, key Ke
 			return nil, false, err
 		}
 	}
-	if _, err := mt.PretrainContext(ctx, r.cfg.WarmRounds, r.cfg.WarmEpisodes); err != nil {
+	if _, err := mt.PretrainShardedContext(ctx, r.cfg.Shards, r.cfg.WarmRounds, r.cfg.WarmEpisodes); err != nil {
 		return nil, false, err
 	}
 	if store != nil {
@@ -316,8 +323,8 @@ func (r *Registry) build(ctx context.Context, ds *Dataset, d meta.Domain, key Ke
 			return nil, false, err
 		}
 	}
-	r.logf("service: registry pre-trained %s (%d rounds × %d episodes/task)",
-		key.Domain, r.cfg.WarmRounds, r.cfg.WarmEpisodes)
+	r.logf("service: registry pre-trained %s (%d rounds × %d episodes/task, %d shard(s))",
+		key.Domain, r.cfg.WarmRounds, r.cfg.WarmEpisodes, max(1, r.cfg.Shards))
 	return mt, false, nil
 }
 
@@ -376,6 +383,12 @@ func (r *Registry) SaveState() error {
 		})
 	}
 	r.mu.Unlock()
+	// Entry builds create Dir via their rl.Store, but a server can shut
+	// down before any entry was ever built — the manifest write must not
+	// depend on that.
+	if err := os.MkdirAll(r.cfg.Dir, 0o755); err != nil {
+		return err
+	}
 	return durable.WriteJSON(filepath.Join(r.cfg.Dir, StateFileName), st)
 }
 

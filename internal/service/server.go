@@ -46,6 +46,9 @@ type Config struct {
 	WarmRounds   int
 	WarmEpisodes int
 	MemoryBudget int64
+	// Shards > 1 pre-trains cold registry entries on a data-parallel
+	// replica fleet (see RegistryConfig.Shards).
+	Shards int
 	// CheckpointDir persists registry entries and the warm-start
 	// manifest; empty disables persistence. CheckpointKeep is the
 	// rotation depth.
@@ -125,7 +128,8 @@ func New(cfg Config) (*Server, error) {
 		Keep:   cfg.CheckpointKeep,
 		Seed:   cfg.Seed,
 		K:      cfg.K, WarmRounds: cfg.WarmRounds, WarmEpisodes: cfg.WarmEpisodes,
-		Base: base,
+		Shards: cfg.Shards,
+		Base:   base,
 		Logf: cfg.Logf,
 	})
 	if cfg.CheckpointDir != "" {

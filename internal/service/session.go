@@ -156,7 +156,9 @@ func (s *session) cancelRequest(id uint64) {
 
 // finishRequest retires an in-flight request and, when the session is
 // draining and nothing remains in flight, closes the connection so the
-// read loop exits — the per-session half of graceful drain.
+// read loop exits — the per-session half of graceful drain. Normally
+// terminal() has already retired the id; this is the backstop that also
+// runs the drain check.
 func (s *session) finishRequest(id uint64, cancel context.CancelFunc) {
 	cancel()
 	s.mu.Lock()
@@ -166,6 +168,21 @@ func (s *session) finishRequest(id uint64, cancel context.CancelFunc) {
 	if closeNow {
 		s.conn.Close()
 	}
+}
+
+// terminal retires the request id and then writes its terminal frame
+// (Done or Error). Retirement must happen-before the terminal write: the
+// client may reuse the id the moment it reads the terminal frame, and
+// its next Generate would race the read loop against this goroutine's
+// deferred finishRequest if the id were still in the active map.
+func (s *session) terminal(id uint64, m wire.Message) {
+	s.mu.Lock()
+	if cancel := s.active[id]; cancel != nil {
+		cancel()
+		delete(s.active, id)
+	}
+	s.mu.Unlock()
+	s.send(m)
 }
 
 // drain flips the session into drain mode: new Generate frames are
@@ -191,15 +208,15 @@ func (s *session) drain() {
 func (s *session) serveGenerate(ctx context.Context, m *wire.Generate) {
 	ds, c, err := s.resolve(m)
 	if err != nil {
-		s.send(&wire.Error{ID: m.ID, Msg: err.Error()})
+		s.terminal(m.ID, &wire.Error{ID: m.ID, Msg: err.Error()})
 		return
 	}
 	entry, err := s.srv.reg.Acquire(ctx, ds, c)
 	if err != nil {
 		if ctx.Err() != nil {
-			s.send(&wire.Done{ID: m.ID, Canceled: true})
+			s.terminal(m.ID, &wire.Done{ID: m.ID, Canceled: true})
 		} else {
-			s.send(&wire.Error{ID: m.ID, Msg: fmt.Sprintf("warm model: %v", err)})
+			s.terminal(m.ID, &wire.Error{ID: m.ID, Msg: fmt.Sprintf("warm model: %v", err)})
 		}
 		return
 	}
@@ -230,10 +247,10 @@ func (s *session) serveGenerate(ctx context.Context, m *wire.Generate) {
 	if err != nil && ctx.Err() == nil {
 		// A send failure or sampler error that wasn't a cancellation: the
 		// Error frame is best-effort (the connection may already be gone).
-		s.send(&wire.Error{ID: m.ID, Msg: err.Error()})
+		s.terminal(m.ID, &wire.Error{ID: m.ID, Msg: err.Error()})
 		return
 	}
-	s.send(&wire.Done{ID: m.ID, Found: found, Attempts: attempts, Canceled: ctx.Err() != nil})
+	s.terminal(m.ID, &wire.Done{ID: m.ID, Found: found, Attempts: attempts, Canceled: ctx.Err() != nil})
 }
 
 // resolve maps a Generate frame onto an open dataset and a validated

@@ -1,0 +1,215 @@
+package service
+
+import (
+	"context"
+	"encoding/binary"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"learnedsqlgen/internal/wire"
+)
+
+// pipeServer builds a server with no listener and returns a dialer that
+// wires raw net.Pipe connections straight into real sessions — the
+// protocol error paths get exercised against the live read loop without a
+// TCP stack in the way.
+func pipeServer(t *testing.T) (*Server, func() net.Conn) {
+	t.Helper()
+	srv, err := New(testConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return srv, func() net.Conn {
+		cli, side := net.Pipe()
+		srv.startSession(side)
+		return cli
+	}
+}
+
+func writeFrame(t *testing.T, c net.Conn, m wire.Message) {
+	t.Helper()
+	c.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	if err := wire.WriteMessage(c, m); err != nil {
+		t.Fatalf("write %T: %v", m, err)
+	}
+}
+
+func readFrame(t *testing.T, c net.Conn) wire.Message {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(60 * time.Second))
+	m, err := wire.ReadMessage(c, 0)
+	if err != nil {
+		t.Fatalf("read frame: %v", err)
+	}
+	return m
+}
+
+// handshake performs the client half of a good handshake.
+func handshake(t *testing.T, c net.Conn, seed int64) {
+	t.Helper()
+	writeFrame(t, c, &wire.Hello{Version: wire.Version, Client: "pipe-test", Seed: seed})
+	if w, ok := readFrame(t, c).(*wire.Welcome); !ok || w.Version != wire.Version {
+		t.Fatalf("handshake did not return a Welcome (got %#v)", w)
+	}
+}
+
+// waitSessionsGone polls until the server has reaped every session.
+func waitSessionsGone(t *testing.T, srv *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		srv.mu.Lock()
+		n := len(srv.sessions)
+		srv.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("session never terminated after protocol violation")
+}
+
+// TestSessionHandshakeRejects is the table of handshakes the server must
+// refuse with a descriptive Error frame and a closed connection: a
+// version-mismatch Hello and a conversation opened by the wrong frame.
+func TestSessionHandshakeRejects(t *testing.T) {
+	srv, dial := pipeServer(t)
+	cases := []struct {
+		name    string
+		open    wire.Message
+		wantMsg string
+	}{
+		{
+			name:    "version mismatch",
+			open:    &wire.Hello{Version: wire.Version + 41, Seed: 1},
+			wantMsg: "protocol version",
+		},
+		{
+			name:    "not a hello",
+			open:    &wire.Generate{ID: 1, Metric: "cardinality", N: 1},
+			wantMsg: "expected Hello",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn := dial()
+			defer conn.Close()
+			writeFrame(t, conn, tc.open)
+			e, ok := readFrame(t, conn).(*wire.Error)
+			if !ok || !strings.Contains(e.Msg, tc.wantMsg) {
+				t.Fatalf("want Error containing %q, got %#v", tc.wantMsg, e)
+			}
+			// The server hangs up after the refusal.
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			if m, err := wire.ReadMessage(conn, 0); err == nil {
+				t.Fatalf("read %T after refusal, want closed connection", m)
+			}
+			waitSessionsGone(t, srv)
+		})
+	}
+}
+
+// TestSessionMalformedFrames is the table of raw-byte protocol
+// violations after a good handshake: the session must terminate (closing
+// the connection) rather than hang, misparse, or allocate the claimed
+// payload.
+func TestSessionMalformedFrames(t *testing.T) {
+	srv, dial := pipeServer(t)
+	oversize := make([]byte, 5)
+	oversize[0] = wire.TypeGenerate
+	binary.BigEndian.PutUint32(oversize[1:], 1<<30)
+
+	full := frameBytes(t, &wire.Generate{ID: 1, Metric: "cardinality", IsRange: true, Lo: 1, Hi: 10, N: 1})
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{name: "oversized frame", raw: oversize},
+		{name: "truncated header", raw: full[:3]},
+		{name: "truncated payload", raw: full[:len(full)-2]},
+		{name: "unknown frame type", raw: []byte{'Z', 0, 0, 0, 2, '{', '}'}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn := dial()
+			handshake(t, conn, 1)
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if _, err := conn.Write(tc.raw); err != nil {
+				t.Fatalf("write raw bytes: %v", err)
+			}
+			conn.Close() // emulate the peer vanishing mid-frame
+			waitSessionsGone(t, srv)
+		})
+	}
+}
+
+// frameBytes renders one message to its raw frame bytes.
+func frameBytes(t *testing.T, m wire.Message) []byte {
+	t.Helper()
+	var sb strings.Builder
+	if err := wire.WriteMessage(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	return []byte(sb.String())
+}
+
+// TestCancelRacesDone fires Cancel immediately after a short Generate, so
+// the Cancel lands before, during, or after the stream finishes depending
+// on scheduling. Whatever the interleaving: exactly one Done for the id,
+// never an Error, a Cancel for the now-retired id is ignored, and the id
+// becomes reusable.
+func TestCancelRacesDone(t *testing.T) {
+	_, dial := pipeServer(t)
+	conn := dial()
+	defer conn.Close()
+	handshake(t, conn, 21)
+
+	req := func(id uint64) *wire.Generate {
+		return &wire.Generate{
+			ID: id, Metric: "cardinality", IsRange: true,
+			Lo: 1, Hi: 100000, N: 1, MaxAttempts: 2000,
+		}
+	}
+	drainToDone := func(id uint64) *wire.Done {
+		t.Helper()
+		for {
+			switch m := readFrame(t, conn).(type) {
+			case *wire.Row, *wire.Progress:
+			case *wire.Done:
+				if m.ID != id {
+					t.Fatalf("Done for id %d, want %d", m.ID, id)
+				}
+				return m
+			default:
+				t.Fatalf("unexpected %#v while draining id %d", m, id)
+			}
+		}
+	}
+
+	for round := uint64(0); round < 3; round++ {
+		id := 100 + round
+		writeFrame(t, conn, req(id))
+		writeFrame(t, conn, &wire.Cancel{ID: id})
+		done := drainToDone(id)
+		if !done.Canceled && done.Found < 1 {
+			t.Fatalf("round %d: uncanceled Done with %d rows", round, done.Found)
+		}
+		// Cancel crossing an already-sent Done must be a no-op.
+		writeFrame(t, conn, &wire.Cancel{ID: id})
+		// The id is retired: reusing it streams normally.
+		writeFrame(t, conn, req(id))
+		if done := drainToDone(id); done.Canceled || done.Found < 1 {
+			t.Fatalf("round %d: reused id %d got %+v, want a clean 1-row stream", round, id, done)
+		}
+	}
+	writeFrame(t, conn, &wire.Goodbye{})
+}

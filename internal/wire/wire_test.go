@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/binary"
 	"io"
+	"net"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestRoundTrip frames and re-reads one of every message type.
@@ -84,5 +86,108 @@ func TestUnknownType(t *testing.T) {
 	frame := []byte{'Z', 0, 0, 0, 2, '{', '}'}
 	if _, err := ReadMessage(bytes.NewReader(frame), 0); err == nil || !strings.Contains(err.Error(), "unknown frame type") {
 		t.Errorf("unknown type: err = %v", err)
+	}
+}
+
+// TestPipeErrorPaths drives the reader over a real net.Pipe — a
+// synchronous, deadline-capable net.Conn — instead of an in-memory
+// buffer, so the error paths are exercised the way a live session's read
+// loop sees them: the writer is a concurrent peer, a truncated frame ends
+// with the connection closing mid-payload, and errors must surface
+// without hanging either side.
+func TestPipeErrorPaths(t *testing.T) {
+	row := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, &Row{ID: 9, SQL: "SELECT 1"}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	cases := []struct {
+		name string
+		// raw bytes the peer writes before closing its end
+		raw []byte
+		// maxFrame passed to ReadMessage (0 = default)
+		maxFrame int
+		wantErr  string // "" means any non-nil error (close/EOF-driven)
+	}{
+		{
+			name: "oversized frame",
+			raw: func() []byte {
+				hdr := make([]byte, 5)
+				hdr[0] = TypeRow
+				binary.BigEndian.PutUint32(hdr[1:], 1<<30)
+				return hdr
+			}(),
+			wantErr: "exceeds max",
+		},
+		{
+			name:     "frame above custom cap",
+			raw:      row,
+			maxFrame: 4,
+			wantErr:  "exceeds max",
+		},
+		{
+			name:    "truncated header",
+			raw:     row[:3],
+			wantErr: "", // io.ErrUnexpectedEOF once the peer closes
+		},
+		{
+			name:    "truncated payload",
+			raw:     row[:len(row)-2],
+			wantErr: "truncated frame",
+		},
+		{
+			name:    "unknown frame type",
+			raw:     []byte{'Z', 0, 0, 0, 2, '{', '}'},
+			wantErr: "unknown frame type",
+		},
+		{
+			name:    "malformed payload",
+			raw:     []byte{TypeRow, 0, 0, 0, 3, 'x', 'y', 'z'},
+			wantErr: "decode frame",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cli, srv := net.Pipe()
+			defer srv.Close()
+			go func() {
+				cli.Write(tc.raw)
+				cli.Close()
+			}()
+			srv.SetReadDeadline(time.Now().Add(5 * time.Second))
+			msg, err := ReadMessage(srv, tc.maxFrame)
+			if err == nil {
+				t.Fatalf("ReadMessage = %+v, want error", msg)
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestPipeRoundTrip sanity-checks the happy path over the same transport:
+// a full WriteMessage/ReadMessage exchange across net.Pipe with the
+// writer on its own goroutine (net.Pipe writes block until read).
+func TestPipeRoundTrip(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	want := &Generate{ID: 3, Dataset: "tpch", Metric: "cardinality", IsRange: true, Lo: 1, Hi: 1000, N: 10}
+	errc := make(chan error, 1)
+	go func() { errc <- WriteMessage(cli, want) }()
+	srv.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := ReadMessage(srv, 0)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip: got %+v want %+v", got, want)
 	}
 }

@@ -65,6 +65,18 @@ type Options struct {
 	// draws from its own RNG stream fanned out deterministically from
 	// Seed — so raising Workers only changes wall-clock time.
 	Workers int
+	// Shards is the number of data-parallel trainer shards generators
+	// opened from this DB train with. 0 or 1 uses the single-process
+	// trainer. With N > 1 every generator runs an rl.ShardedTrainer: N
+	// replicas of the environment train concurrently (each with its own
+	// Workers-sized rollout pool) and exchange weights per epoch by
+	// all-reduce parameter averaging. shards=1 is byte-identical to the
+	// plain trainer, and a sharded run replays byte-identically per Seed
+	// (shard episode streams fan out of Seed exactly like per-episode
+	// streams do). Per-epoch episode budgets should grow with the fleet
+	// (weak scaling) — see the "Fleet training" section of
+	// ARCHITECTURE.md.
+	Shards int
 	// EstimatorCacheSize bounds the memoizing estimator cache (entries)
 	// that absorbs repeated partial-query estimations across episodes.
 	// 0 selects the default (65536); negative disables memoization.
@@ -213,6 +225,13 @@ func (o *Options) workers() int {
 	return o.Workers
 }
 
+func (o *Options) shards() int {
+	if o == nil || o.Shards < 1 {
+		return 1
+	}
+	return o.Shards
+}
+
 func (o *Options) prefixCacheSize() int {
 	if o == nil {
 		return 0
@@ -293,6 +312,7 @@ type DB struct {
 	name            string
 	seed            int64
 	workers         int
+	shards          int
 	prefixCacheSize int
 	quantized       bool
 	trainBudget     time.Duration
@@ -383,6 +403,7 @@ func openStorage(name string, raw *storage.Database, opt *Options) (*DB, error) 
 		name:            name,
 		seed:            opt.seed(),
 		workers:         opt.workers(),
+		shards:          opt.shards(),
 		prefixCacheSize: opt.prefixCacheSize(),
 		quantized:       opt.quantizedInference(),
 		trainBudget:     opt.trainBudget(),
