@@ -11,7 +11,7 @@ BENCHTIME ?= 1s
 # bench-smoke job narrows this to the fast packages.
 BENCHPKGS ?= ./internal/nn/ ./internal/rl/ ./internal/estimator/ .
 
-.PHONY: build test vet staticcheck panic-gate race verify bench experiments fuzz chaos engine-conformance fleet-conformance serve-smoke
+.PHONY: build test vet staticcheck panic-gate race verify bench experiments fuzz chaos engine-conformance fleet-conformance serve-conformance serve-smoke
 
 build:
 	$(GO) build ./...
@@ -52,7 +52,7 @@ panic-gate:
 # bench integration tests alone run ~8 min under -race on one core, so
 # give the run headroom beyond go test's 10 min default.
 race:
-	$(GO) test -race -timeout 30m ./internal/rl/ ./internal/estimator/ ./internal/meta/ ./internal/bench/ ./internal/engine/ ./internal/service/ ./internal/wire/ .
+	$(GO) test -race -timeout 30m ./internal/rl/ ./internal/estimator/ ./internal/meta/ ./internal/bench/ ./internal/engine/ ./internal/service/ ./internal/wire/ ./internal/netchaos/ .
 
 verify: build vet staticcheck panic-gate test race
 
@@ -71,13 +71,29 @@ bench:
 experiments:
 	$(GO) run ./cmd/benchfig -md -write EXPERIMENTS.md BENCH_nn.json BENCH_rl.json BENCH_engine.json BENCH_serve.json BENCH_fleet.json
 
+# Serve gate: the admission-control and tenancy surface under the race
+# detector — the chaos harness units, the tenant-isolation acceptance
+# test (stalled + reset tenants vs healthy byte-identical tenants), the
+# auth/quota/deadline/drain-race suites, client retry replay — then a
+# statement-coverage floor on internal/service.
+SERVICE_COVER_FLOOR ?= 75
+serve-conformance:
+	$(GO) test -race -timeout 20m ./internal/netchaos/
+	$(GO) test -race -timeout 20m -run 'Chaos|Auth|Quota|Tenant|Sheds|Deadline|Idle|DrainRaces|V1|Resolve|Timeout' ./internal/service/
+	$(GO) test -race -timeout 20m ./client/ ./internal/wire/
+	$(GO) test -coverprofile=cover_service.out -covermode=atomic -timeout 30m ./internal/service/
+	@total=$$($(GO) tool cover -func=cover_service.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/service coverage: $$total% (floor $(SERVICE_COVER_FLOOR)%)"; \
+	awk -v have=$$total -v floor=$(SERVICE_COVER_FLOOR) 'BEGIN { exit !(have+0 >= floor+0) }' || \
+		{ echo "internal/service coverage $$total% fell below the $(SERVICE_COVER_FLOOR)% floor"; exit 1; }
+
 # serve-smoke proves the generation service end to end with the real
 # binary: build sqlgen, start `sqlgen serve`, stream queries through the
 # Go client under a 100ms-per-row budget, then SIGTERM and require a
 # clean drain. The env-gated binary test in cmd/sqlgen drives it.
 serve-smoke:
 	$(GO) build -o /tmp/sqlgen-smoke ./cmd/sqlgen
-	SQLGEN_BIN=/tmp/sqlgen-smoke $(GO) test -v -timeout 5m -run TestServeBinarySmoke ./cmd/sqlgen/
+	SQLGEN_BIN=/tmp/sqlgen-smoke $(GO) test -v -timeout 5m -run 'TestServeBinarySmoke|TestServeBinaryAuthQuota' ./cmd/sqlgen/
 
 # Engine conformance gate: the driver/dialect unit suite plus a bounded
 # cross-engine oracle sweep — every producer's statements rendered per

@@ -28,10 +28,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"learnedsqlgen/internal/resilience"
 	"learnedsqlgen/internal/wire"
 )
 
@@ -42,10 +44,90 @@ type Config struct {
 	// Name identifies the client in the server's Hello handling
 	// (diagnostics only).
 	Name string
+	// Token authenticates the session when the server has tenants
+	// configured; servers without auth ignore it.
+	Token string
 	// DialTimeout bounds connection establishment (default 10s); it also
 	// bounds the handshake round-trip.
 	DialTimeout time.Duration
+	// Retry, when non-nil, re-issues requests that the server refused or
+	// cut short with a retryable coded error (quota_exceeded, overloaded,
+	// draining) after an exponential backoff, as long as the stream has
+	// delivered no rows yet — a retried request reuses its id, so the
+	// server's seed fan-out replays the exact same row stream the
+	// original would have produced. nil disables retry.
+	Retry *RetryConfig
 }
+
+// RetryConfig shapes the client's retry backoff. Zero fields take the
+// shared resilience defaults (4 attempts, 1ms base, 100ms cap, 2x
+// growth, 50% jitter).
+type RetryConfig struct {
+	// MaxAttempts is the total tries per request, the first included.
+	MaxAttempts int
+	// BaseDelay / MaxDelay / Multiplier / Jitter shape the backoff
+	// exactly as resilience.Policy.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	Jitter     float64
+	// Seed seeds the jitter RNG (default: the session seed).
+	Seed int64
+}
+
+func (rc *RetryConfig) policy() resilience.Policy {
+	p := resilience.Policy{
+		MaxAttempts: rc.MaxAttempts,
+		BaseDelay:   rc.BaseDelay,
+		MaxDelay:    rc.MaxDelay,
+		Multiplier:  rc.Multiplier,
+		Jitter:      rc.Jitter,
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	return p
+}
+
+// ServerError is a coded refusal or stream failure from the server.
+// Errors returned by Dial, Generate and Stream.Err unwrap to it, so
+// callers can switch on Code:
+//
+//	var se *client.ServerError
+//	if errors.As(st.Err(), &se) && se.Code == wire.CodeQuotaExceeded { ... }
+type ServerError struct {
+	// Code is the stable machine-readable cause (wire.Code*); empty on
+	// errors from servers predating coded errors.
+	Code string
+	// Msg is the server's human-readable message.
+	Msg string
+	// RetryAfter is the server's backoff hint, when it sent one.
+	RetryAfter time.Duration
+	retryable  bool
+}
+
+func newServerError(m *wire.Error) *ServerError {
+	return &ServerError{
+		Code:       m.Code,
+		Msg:        m.Msg,
+		RetryAfter: time.Duration(m.RetryAfterMillis) * time.Millisecond,
+		retryable:  m.Retryable || wire.RetryableCode(m.Code),
+	}
+}
+
+func (e *ServerError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("client: server error (%s): %s", e.Code, e.Msg)
+	}
+	return fmt.Sprintf("client: server error: %s", e.Msg)
+}
+
+// Retryable reports whether re-issuing the request may succeed.
+func (e *ServerError) Retryable() bool { return e.retryable }
+
+// Transient aliases Retryable so resilience.Classify treats retryable
+// refusals as transient faults.
+func (e *ServerError) Transient() bool { return e.retryable }
 
 // Request asks for N satisfied queries under one constraint.
 type Request struct {
@@ -63,6 +145,10 @@ type Request struct {
 	// search (0 selects the server default).
 	N           int
 	MaxAttempts int
+	// Deadline bounds the request's wall clock server-side (clamped to
+	// the server's maximum). Zero derives it from the Generate context's
+	// deadline when one is set; negative sends none.
+	Deadline time.Duration
 }
 
 // Row is one streamed satisfied query.
@@ -77,10 +163,16 @@ type Row struct {
 // independently.
 type Conn struct {
 	conn      net.Conn
+	rd        *wire.Reader // read loop's reusable framed reader
 	maxFrame  int
 	sessionID uint64
+	version   int // negotiated protocol version from Welcome
 	datasets  []string
 	seed      int64
+
+	retry *resilience.Policy // nil: no request retry
+	rngMu sync.Mutex
+	rng   *rand.Rand // jitter draws for retry backoff
 
 	wmu sync.Mutex // serializes whole request frames onto conn
 
@@ -105,16 +197,26 @@ func Dial(addr string, cfg *Config) (*Conn, error) {
 		return nil, err
 	}
 	c := &Conn{conn: nc, seed: cfg.Seed, streams: map[uint64]*Stream{}}
+	c.rd = wire.NewReader(nc, c.maxFrame)
+	if cfg.Retry != nil {
+		pol := cfg.Retry.policy()
+		c.retry = &pol
+		jseed := cfg.Retry.Seed
+		if jseed == 0 {
+			jseed = cfg.Seed
+		}
+		c.rng = rand.New(rand.NewSource(jseed))
+	}
 	nc.SetDeadline(time.Now().Add(timeout))
 	name := cfg.Name
 	if name == "" {
 		name = "learnedsqlgen/client"
 	}
-	if err := wire.WriteMessage(nc, &wire.Hello{Version: wire.Version, Client: name, Seed: cfg.Seed}); err != nil {
+	if err := wire.WriteMessage(nc, &wire.Hello{Version: wire.Version, Client: name, Seed: cfg.Seed, Token: cfg.Token}); err != nil {
 		nc.Close()
 		return nil, err
 	}
-	msg, err := wire.ReadMessage(nc, c.maxFrame)
+	msg, err := c.rd.ReadMessage()
 	if err != nil {
 		nc.Close()
 		return nil, err
@@ -122,10 +224,11 @@ func Dial(addr string, cfg *Config) (*Conn, error) {
 	switch m := msg.(type) {
 	case *wire.Welcome:
 		c.sessionID = m.SessionID
+		c.version = m.Version
 		c.datasets = m.Datasets
 	case *wire.Error:
 		nc.Close()
-		return nil, fmt.Errorf("client: server refused session: %s", m.Msg)
+		return nil, fmt.Errorf("client: server refused session: %w", newServerError(m))
 	default:
 		nc.Close()
 		return nil, fmt.Errorf("client: expected Welcome, got %T", msg)
@@ -134,6 +237,9 @@ func Dial(addr string, cfg *Config) (*Conn, error) {
 	go c.readLoop()
 	return c, nil
 }
+
+// Version is the protocol version the server negotiated in Welcome.
+func (c *Conn) Version() int { return c.version }
 
 // SessionID is the server-assigned session id.
 func (c *Conn) SessionID() uint64 { return c.sessionID }
@@ -178,7 +284,7 @@ func (c *Conn) send(m wire.Message) error {
 // dropped.
 func (c *Conn) readLoop() {
 	for {
-		msg, err := wire.ReadMessage(c.conn, c.maxFrame)
+		msg, err := c.rd.ReadMessage()
 		if err != nil {
 			c.failAll(fmt.Errorf("client: connection lost: %w", err))
 			return
@@ -193,7 +299,7 @@ func (c *Conn) readLoop() {
 			id = m.ID
 		case *wire.Error:
 			if m.ID == 0 {
-				c.failAll(fmt.Errorf("client: server error: %s", m.Msg))
+				c.failAll(fmt.Errorf("client: session failed: %w", newServerError(m)))
 				return
 			}
 			id = m.ID
@@ -255,11 +361,21 @@ func (c *Conn) Generate(ctx context.Context, req Request) (*Stream, error) {
 	c.streams[id] = st
 	c.mu.Unlock()
 
+	deadline := req.Deadline
+	if deadline == 0 && ctx != nil {
+		if until, ok := ctx.Deadline(); ok {
+			deadline = time.Until(until)
+		}
+	}
 	g := &wire.Generate{
 		ID: id, Dataset: req.Dataset, Metric: req.Metric,
 		IsRange: req.IsRange, Point: req.Point, Lo: req.Lo, Hi: req.Hi,
 		N: req.N, MaxAttempts: req.MaxAttempts,
 	}
+	if deadline > 0 {
+		g.DeadlineMillis = deadline.Milliseconds()
+	}
+	st.req = *g
 	if err := c.send(g); err != nil {
 		c.retire(id)
 		return nil, err
@@ -278,6 +394,10 @@ type Stream struct {
 	conn *Conn
 	id   uint64
 	ctx  context.Context
+	req  wire.Generate // the frame as sent, re-issued verbatim on retry
+
+	rowsDelivered int // rows the consumer has seen; >0 bars retry
+	retries       int // re-issues so far
 
 	// qmu/cond guard the demux hand-off from the connection's read loop.
 	qmu     sync.Mutex
@@ -355,6 +475,7 @@ func (st *Stream) Next() bool {
 		}
 		switch m := msg.(type) {
 		case *wire.Row:
+			st.rowsDelivered++
 			st.cur = Row{SQL: m.SQL, Measured: m.Measured, Satisfied: m.Satisfied}
 			return true
 		case *wire.Progress:
@@ -368,10 +489,80 @@ func (st *Stream) Next() bool {
 			st.finish(err)
 			return false
 		case *wire.Error:
-			st.finish(fmt.Errorf("client: server error: %s", m.Msg))
+			se := newServerError(m)
+			if st.maybeRetry(se) {
+				continue
+			}
+			st.finish(se)
 			return false
 		}
 	}
+}
+
+// maybeRetry re-issues the request after a retryable refusal. The server
+// retires a request id before writing its terminal Error, so re-sending
+// the identical Generate frame under the same id is legal — and, because
+// the server's stream seed is FanSeed(session seed, id), the retried
+// stream replays byte-identical rows. Only streams that have delivered
+// nothing retry: after the first row, a retry would restart the stream
+// from row one and the consumer would see duplicates.
+func (st *Stream) maybeRetry(se *ServerError) bool {
+	c := st.conn
+	if c.retry == nil || !se.Retryable() || st.rowsDelivered > 0 {
+		return false
+	}
+	if st.retries+1 >= c.retry.MaxAttempts {
+		return false
+	}
+	if st.ctx != nil && st.ctx.Err() != nil {
+		return false
+	}
+	st.retries++
+	delay := c.retry.NextDelay(st.retries, c.jitterDraw())
+	if se.RetryAfter > delay {
+		delay = se.RetryAfter
+	}
+	if !st.sleep(delay) {
+		return false
+	}
+	if err := c.send(&st.req); err != nil {
+		return false // finish with the server error; the conn is dying anyway
+	}
+	return true
+}
+
+// sleep waits d or until the stream's context ends (false on cancel).
+func (st *Stream) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	if st.ctx == nil || st.ctx.Done() == nil {
+		<-t.C
+		return true
+	}
+	select {
+	case <-t.C:
+		return true
+	case <-st.ctx.Done():
+		return false
+	}
+}
+
+// Retries reports how many times the request was transparently
+// re-issued after retryable refusals.
+func (st *Stream) Retries() int { return st.retries }
+
+// jitterDraw pulls one uniform [0,1) draw for retry jitter (nominal 0.5
+// when retry is unconfigured).
+func (c *Conn) jitterDraw() float64 {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	if c.rng == nil {
+		return 0.5
+	}
+	return c.rng.Float64()
 }
 
 // finish seals the stream and retires its id.

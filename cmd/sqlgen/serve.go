@@ -37,9 +37,24 @@ func runServe(args []string) int {
 	quantize := fs.Bool("quantize", false, "serve with int8 fused inference kernels")
 	prefixCache := fs.Int("prefix-cache", 0, "actor prefix-state cache entries per request (0 = default, negative = off)")
 	maxAttempts := fs.Int("max-attempts", 1000, "default per-request generation attempt cap")
+	tokens := fs.String("tokens", "", "comma-separated name=token tenant list; non-empty turns on per-session auth (Hello must carry a matching token)")
+	maxSessions := fs.Int("max-sessions", 0, "server-wide concurrent session cap; excess handshakes are shed with a retryable 'overloaded' error (0 = unlimited)")
+	maxStreams := fs.Int("max-streams", 0, "server-wide in-flight stream cap; excess requests are shed with 'overloaded' (0 = unlimited)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant Generate admissions per second (token bucket; 0 = unlimited)")
+	tenantBurst := fs.Int("tenant-burst", 0, "per-tenant admission burst (bucket capacity; 0 = 1 when rated)")
+	tenantStreams := fs.Int("tenant-streams", 0, "per-tenant concurrent stream cap (0 = unlimited)")
+	tenantAttempts := fs.Int("tenant-attempts", 0, "per-tenant generation-attempt budget per window; exhausted streams end with 'quota_exceeded' (0 = unlimited)")
+	tenantWindow := fs.Duration("tenant-window", 0, "attempt-budget window (0 = 1m)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "reap sessions idle this long with nothing in flight (0 = 2m, negative = never)")
+	requestTimeout := fs.Duration("request-timeout", 0, "server-side cap on any request's wall clock; client deadlines are clamped to it (0 = uncapped)")
 	fs.Parse(args)
 
 	specs, err := parseDatasetSpecs(*datasets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	tenants, err := parseTenantSpecs(*tokens)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
@@ -61,6 +76,18 @@ func runServe(args []string) int {
 		CheckpointKeep:     *ckptKeep,
 		DrainTimeout:       *drainTimeout,
 		DefaultMaxAttempts: *maxAttempts,
+		Tenants:            tenants,
+		DefaultLimits: service.TenantLimits{
+			RatePerSec:    *tenantRate,
+			Burst:         *tenantBurst,
+			MaxStreams:    *tenantStreams,
+			AttemptBudget: *tenantAttempts,
+			AttemptWindow: *tenantWindow,
+		},
+		MaxSessions:       *maxSessions,
+		MaxStreams:        *maxStreams,
+		IdleTimeout:       *idleTimeout,
+		MaxRequestTimeout: *requestTimeout,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		},
@@ -89,6 +116,25 @@ func runServe(args []string) int {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		return 1
 	}
+}
+
+// parseTenantSpecs parses "-tokens name=token,name=token" into tenant
+// configs. Empty input means no auth (every session shares the default
+// tenant). Per-tenant limits come from the -tenant-* default flags.
+func parseTenantSpecs(s string) ([]service.TenantConfig, error) {
+	var tenants []service.TenantConfig
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, token, ok := strings.Cut(field, "=")
+		if !ok || name == "" || token == "" {
+			return nil, fmt.Errorf("bad tenant spec %q (want name=token)", field)
+		}
+		tenants = append(tenants, service.TenantConfig{Name: name, Token: token})
+	}
+	return tenants, nil
 }
 
 // parseDatasetSpecs parses "name:scale,name:scale"; a bare name gets

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"learnedsqlgen/client"
+	"learnedsqlgen/internal/wire"
 )
 
 // TestServeBinarySmoke drives the real `sqlgen serve` binary end to end:
@@ -121,5 +123,127 @@ func TestServeBinarySmoke(t *testing.T) {
 	}
 	if _, err := os.Stat(fmt.Sprintf("%s/registry.json", ckptDir)); err != nil {
 		t.Fatalf("drain did not checkpoint the registry: %v\nserver log:\n%s", err, logBuf.String())
+	}
+}
+
+// TestServeBinaryAuthQuota drives the admission layer through the real
+// binary: `-tokens` turns on auth (tokenless dials refused with the
+// stable unauthenticated code), an authenticated session streams
+// normally, a rate-limited tenant's back-to-back request is refused
+// with quota_exceeded, and the drain log carries the per-tenant stats
+// line. Gated on SQLGEN_BIN like the smoke test above.
+func TestServeBinaryAuthQuota(t *testing.T) {
+	bin := os.Getenv("SQLGEN_BIN")
+	if bin == "" {
+		t.Skip("SQLGEN_BIN not set; run via `make serve-smoke`")
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cmd := exec.Command(bin, "serve",
+		"-addr", addr,
+		"-datasets", "xuetang:0.05",
+		"-k", "10",
+		"-tasks", "2",
+		"-warm-rounds", "1",
+		"-warm-episodes", "4",
+		"-checkpoint-dir", t.TempDir(),
+		"-drain-timeout", "5s",
+		"-tokens", "smoke=smoke-token",
+		"-tenant-rate", "0.01", // bucket refills one admission per 100s: burst 1, then refusals
+	)
+	var logBuf strings.Builder
+	cmd.Stderr = &logBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait(); close(exited) }()
+	defer func() {
+		select {
+		case <-exited:
+		default:
+			cmd.Process.Kill()
+			<-exited
+		}
+	}()
+
+	// An unauthenticated dial must be refused with the stable code once
+	// the server is up (connection-refused errors mean it isn't yet).
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, err := client.Dial(addr, &client.Config{Seed: 7, DialTimeout: time.Second})
+		var se *client.ServerError
+		if errors.As(err, &se) {
+			if se.Code != wire.CodeUnauthenticated {
+				t.Fatalf("tokenless dial: code %q, want unauthenticated", se.Code)
+			}
+			break
+		}
+		if err == nil {
+			t.Fatal("tokenless dial succeeded against an authed server")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v\nserver log:\n%s", err, logBuf.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	conn, err := client.Dial(addr, &client.Config{Seed: 7, Token: "smoke-token"})
+	if err != nil {
+		t.Fatalf("authenticated dial: %v\nserver log:\n%s", err, logBuf.String())
+	}
+	defer conn.Close()
+
+	// First request: the burst token admits it; it must stream its row.
+	st, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1, MaxAttempts: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for st.Next() {
+		rows++
+	}
+	if err := st.Err(); err != nil || rows != 1 {
+		t.Fatalf("authenticated stream: %d rows, err %v\nserver log:\n%s", rows, err, logBuf.String())
+	}
+
+	// Second request: the bucket is empty for the next 100 seconds.
+	st2, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1, MaxAttempts: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for st2.Next() {
+		t.Fatal("rate-limited request streamed a row")
+	}
+	var se *client.ServerError
+	if err := st2.Err(); !errors.As(err, &se) || se.Code != wire.CodeQuotaExceeded {
+		t.Fatalf("rate-limited request ended with %v, want quota_exceeded", err)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("serve exited non-zero after SIGTERM: %v\nserver log:\n%s", err, logBuf.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("serve did not drain after SIGTERM\nserver log:\n%s", logBuf.String())
+	}
+	// The drain log line carries the tenant's accounting.
+	log := logBuf.String()
+	if !strings.Contains(log, "service: stats:") || !strings.Contains(log, "smoke:") {
+		t.Fatalf("drain log missing per-tenant stats line:\n%s", log)
 	}
 }

@@ -163,6 +163,25 @@
 //	    fmt.Println(stream.Row().SQL)
 //	}
 //
+// The service carries a full protection layer for hostile or overloaded
+// deployments. `-tokens name=token,...` turns on per-session auth
+// (tokenless dials are refused with the stable `unauthenticated` code);
+// the `-tenant-rate`, `-tenant-burst`, `-tenant-streams`,
+// `-tenant-attempts` and `-tenant-window` flags set the default
+// per-tenant quotas — a token-bucket admission rate, a concurrent-stream
+// cap, and a rolling sampler-attempt budget charged by compute actually
+// burned; `-max-sessions`/`-max-streams` shed server-wide overload with
+// a retryable `overloaded` refusal and a retry-after hint;
+// `-idle-timeout` reaps silent sessions; `-request-timeout` caps every
+// request's deadline (clients can send a tighter one via
+// Request.Deadline). Every refusal is an Error frame with a stable code
+// and a retryable flag; client.Config.Retry makes the Go client re-issue
+// retryable refusals transparently with backoff, reusing the same
+// request id so the retried stream is byte-identical. See the
+// "Admission control & tenancy" section of ARCHITECTURE.md for the
+// error-code table, quota semantics, and the isolation guarantees the
+// internal/netchaos harness enforces.
+//
 // DB.Close participates in the same lifecycle discipline: it cancels
 // in-flight training/generation streams (their errors wrap ErrDBClosed),
 // waits for them to drain, and only then releases the engine driver.

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"learnedsqlgen/internal/rl"
 	"learnedsqlgen/internal/service"
 	"learnedsqlgen/internal/sqlast"
+	"learnedsqlgen/internal/wire"
 )
 
 // PerfAreas lists the areas `make bench` snapshots, in emission order.
@@ -417,17 +419,48 @@ func perfSuiteServe() ([]PerfResult, error) {
 		return nil, err
 	}
 
-	serveReq := measure("ServeRequest8", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if err := drainStream(conn, req); err != nil {
-				b.Fatal(err)
+	// The admission twin: identical server plus the full protection layer
+	// (authenticated tenant, rate bucket, stream caps, deadline cap,
+	// attempt budget — all sized to never refuse the benchmark), so the
+	// delta is the pure bookkeeping cost of protection. The two servers'
+	// measurements are interleaved A/B/A/B and each keeps its fastest
+	// round: machine drift between rounds hits both sides equally instead
+	// of biasing whichever ran last. The committed admission_overhead_pct
+	// is the contract that protection stays <5%.
+	admitConn, admitCleanup, err := dialAdmissionTwin(req)
+	if err != nil {
+		return nil, err
+	}
+	defer admitCleanup()
+
+	bench := func(name string, c *client.Conn) PerfResult {
+		return measure(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := drainStream(c, req); err != nil {
+					b.Fatal(err)
+				}
 			}
+		})
+	}
+	var serveReq, admitReq PerfResult
+	for round := 0; round < 3; round++ {
+		plain := bench("ServeRequest8", conn)
+		admit := bench("ServeRequest8Admission", admitConn)
+		if round == 0 || plain.NsPerOp < serveReq.NsPerOp {
+			serveReq = plain
 		}
-	})
+		if round == 0 || admit.NsPerOp < admitReq.NsPerOp {
+			admitReq = admit
+		}
+	}
 	serveReq.Extra = map[string]float64{
 		"requests_per_sec": 1e9 / serveReq.NsPerOp,
 		"rows_per_sec":     float64(reqN) * 1e9 / serveReq.NsPerOp,
+	}
+	admitReq.Extra = map[string]float64{
+		"requests_per_sec":       1e9 / admitReq.NsPerOp,
+		"admission_overhead_pct": (admitReq.NsPerOp - serveReq.NsPerOp) / serveReq.NsPerOp * 100,
 	}
 
 	// Time-to-first-row over dedicated single-row requests: wall clock
@@ -459,7 +492,103 @@ func perfSuiteServe() ([]PerfResult, error) {
 	sort.Float64s(lats)
 	p50 := PerfResult{Name: "ServeFirstRowP50", NsPerOp: lats[len(lats)/2]}
 	p95 := PerfResult{Name: "ServeFirstRowP95", NsPerOp: lats[len(lats)*95/100]}
-	return []PerfResult{serveReq, p50, p95}, nil
+
+	results := []PerfResult{serveReq, admitReq, p50, p95}
+	results = append(results, perfWireReader()...)
+	return results, nil
+}
+
+// dialAdmissionTwin builds the protection-enabled twin of the serve
+// benchmark server (token check, bucket math, stream caps, deadline
+// context, attempt metering — every quota configured, none binding),
+// pre-trains its registry entry with one request, and returns an
+// authenticated connection plus a cleanup that tears both down.
+func dialAdmissionTwin(req client.Request) (*client.Conn, func(), error) {
+	srv, err := service.New(service.Config{
+		Datasets:     []service.DatasetSpec{{Name: "xuetang", Scale: 0.05}},
+		Seed:         1,
+		SampleValues: 10,
+		Workers:      1,
+		K:            2,
+		WarmRounds:   1,
+		WarmEpisodes: 4,
+		DrainTimeout: 2 * time.Second,
+		Tenants: []service.TenantConfig{{
+			Name: "bench", Token: "bench-token",
+			Limits: service.TenantLimits{
+				RatePerSec: 1e6, Burst: 1 << 20, MaxStreams: 1 << 20,
+				AttemptBudget: 1 << 40, AttemptWindow: time.Hour,
+			},
+		}},
+		MaxSessions:       1 << 20,
+		MaxStreams:        1 << 20,
+		MaxRequestTimeout: time.Hour,
+		Logf:              func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	go srv.Serve(ln)
+
+	conn, err := client.Dial(ln.Addr().String(), &client.Config{Seed: 42, Name: "bench", Token: "bench-token"})
+	if err != nil {
+		srv.Shutdown(context.Background())
+		return nil, nil, err
+	}
+	cleanup := func() {
+		conn.Close()
+		srv.Shutdown(context.Background())
+	}
+	if err := drainStream(conn, req); err != nil { // pre-train the twin's entry
+		cleanup()
+		return nil, nil, err
+	}
+	return conn, cleanup, nil
+}
+
+// perfWireReader measures per-frame decode cost of the two wire readers
+// on a representative Row frame: ReadMessage allocates a fresh payload
+// buffer per frame; Reader amortizes one grow-only buffer across frames
+// — the allocation the session read loop and the client demux loop no
+// longer pay per row.
+func perfWireReader() []PerfResult {
+	var frame bytes.Buffer
+	wire.WriteMessage(&frame, &wire.Row{
+		ID: 7, SQL: "SELECT s.id FROM student s WHERE s.age > 21 AND s.score < 95", Measured: 1234, Satisfied: true,
+	})
+	raw := frame.Bytes()
+
+	fresh := measure("WireReadMessage", func(b *testing.B) {
+		b.ReportAllocs()
+		r := bytes.NewReader(raw)
+		for i := 0; i < b.N; i++ {
+			r.Reset(raw)
+			if _, err := wire.ReadMessage(r, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	reused := measure("WireReaderReuse", func(b *testing.B) {
+		b.ReportAllocs()
+		r := bytes.NewReader(raw)
+		rd := wire.NewReader(r, 0)
+		for i := 0; i < b.N; i++ {
+			r.Reset(raw)
+			if _, err := rd.ReadMessage(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if reused.AllocsPerOp > 0 || fresh.AllocsPerOp > 0 {
+		reused.Extra = map[string]float64{
+			"allocs_saved_per_frame": fresh.AllocsPerOp - reused.AllocsPerOp,
+		}
+	}
+	return []PerfResult{fresh, reused}
 }
 
 // fleetShardCounts are the fleet sizes the fleet suite sweeps.

@@ -1,0 +1,347 @@
+// Package netchaos injects hostile-network behavior — latency spikes,
+// torn writes, byte-level truncation, mid-stream resets, and stalled
+// peers — into real net.Conn traffic, deterministically from a seed.
+//
+// Two entry points:
+//
+//   - Wrap decorates a single net.Conn. Every fault the wrapper injects
+//     is decided by its own seeded RNG, so a failing test replays
+//     exactly with the same seed.
+//   - Proxy is a TCP man-in-the-middle: dial the proxy instead of the
+//     real server and every accepted connection is piped through a
+//     wrapped conn with a per-connection fan-out of the base seed.
+//
+// The faults model the distinct ways a network hurts a framed protocol:
+// latency stretches frames across time without corrupting them; partial
+// writes deliver a frame in arbitrary chunks (any correct reader must
+// reassemble); a reset after N bytes tears the stream mid-frame, which a
+// server must treat as fatal for that one session; and a stall holds the
+// connection open while moving nothing — the peer that never drains and
+// only a write deadline can unmask.
+package netchaos
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config selects which faults a wrapped connection injects. The zero
+// value injects nothing (a transparent wrapper).
+type Config struct {
+	// Seed drives every fault decision. Same seed, same traffic, same
+	// faults.
+	Seed int64
+	// LatencyProb is the per-operation chance (0..1) of sleeping a
+	// uniform duration in [LatencyMin, LatencyMax] before the op.
+	LatencyProb float64
+	LatencyMin  time.Duration
+	LatencyMax  time.Duration
+	// PartialWriteProb is the per-Write chance of delivering the payload
+	// in several smaller writes (with latency eligible between chunks)
+	// instead of one — frames arrive torn across packets.
+	PartialWriteProb float64
+	// ResetAfterBytes abruptly closes the connection once this many
+	// bytes have moved through it (reads + writes), truncating whatever
+	// frame is in flight at an arbitrary byte. 0 disables.
+	ResetAfterBytes int64
+	// StallAfterBytes stops moving bytes once this many have passed:
+	// reads and writes block until the connection is closed, while the
+	// connection itself stays open — a live-but-dead peer. 0 disables.
+	StallAfterBytes int64
+}
+
+// ErrReset is returned by operations on a connection the chaos layer
+// reset mid-stream.
+var ErrReset = errors.New("netchaos: connection reset by chaos")
+
+// ErrStalled is returned once a stalled connection is finally closed.
+var ErrStalled = errors.New("netchaos: connection stalled by chaos")
+
+// Conn is a net.Conn with faults injected per Config. Read and Write
+// may each be used by one goroutine at a time (the usual net.Conn
+// discipline); fault bookkeeping is internally locked.
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	moved  int64 // total bytes through the conn, both directions
+	reset  bool
+	closed chan struct{} // closed by Close; unblocks stalled ops
+	once   sync.Once
+}
+
+// Wrap decorates c with the faults cfg selects.
+func Wrap(c net.Conn, cfg Config) *Conn {
+	return &Conn{
+		Conn:   c,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		closed: make(chan struct{}),
+	}
+}
+
+// maybeLatency sleeps a seeded-random duration with probability
+// LatencyProb, abandoning the sleep if the conn closes first.
+func (c *Conn) maybeLatency() {
+	c.mu.Lock()
+	hit := c.cfg.LatencyProb > 0 && c.rng.Float64() < c.cfg.LatencyProb
+	var d time.Duration
+	if hit {
+		d = c.cfg.LatencyMin
+		if span := c.cfg.LatencyMax - c.cfg.LatencyMin; span > 0 {
+			d += time.Duration(c.rng.Int63n(int64(span)))
+		}
+	}
+	c.mu.Unlock()
+	if !hit || d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.closed:
+	}
+}
+
+// budget reports how many of n bytes may still move, and what to do
+// when the allowance runs out: ok false with reset true means tear the
+// connection down, ok false with reset false means stall forever.
+func (c *Conn) budget(n int) (allowed int, reset, stall bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reset {
+		return 0, true, false
+	}
+	allowed = n
+	if r := c.cfg.ResetAfterBytes; r > 0 {
+		if left := r - c.moved; left <= int64(n) {
+			allowed, reset = int(max64(left, 0)), true
+			c.reset = true
+		}
+	}
+	if s := c.cfg.StallAfterBytes; s > 0 && !reset {
+		if left := s - c.moved; left <= int64(n) {
+			allowed, stall = int(max64(left, 0)), true
+		}
+	}
+	c.moved += int64(allowed)
+	return allowed, reset, stall
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// stallUntilClosed blocks until Close, then reports the stall.
+func (c *Conn) stallUntilClosed() error {
+	<-c.closed
+	return ErrStalled
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.maybeLatency()
+	allowed, reset, stall := c.budget(len(p))
+	if allowed > 0 {
+		n, err := c.Conn.Read(p[:allowed])
+		c.refund(allowed - n)
+		if n > 0 || err != nil {
+			if reset && err == nil {
+				c.Conn.Close()
+			}
+			return n, err
+		}
+	}
+	if reset {
+		c.Conn.Close()
+		return 0, ErrReset
+	}
+	if stall {
+		return 0, c.stallUntilClosed()
+	}
+	return c.Conn.Read(p[:0]) // len(p)==0 passthrough
+}
+
+// refund returns unconsumed budget (a short Read) to the meter.
+func (c *Conn) refund(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.moved -= int64(n)
+	c.mu.Unlock()
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.maybeLatency()
+	c.mu.Lock()
+	torn := c.cfg.PartialWriteProb > 0 && len(p) > 1 && c.rng.Float64() < c.cfg.PartialWriteProb
+	c.mu.Unlock()
+	if !torn {
+		return c.writeChunk(p, 0)
+	}
+	// Deliver the payload in 2..4 random chunks with latency eligible
+	// between them: a whole-frame Write on the other side of the wrapper
+	// arrives as several TCP segments.
+	written := 0
+	for written < len(p) {
+		rest := p[written:]
+		c.mu.Lock()
+		n := 1 + c.rng.Intn(len(rest))
+		c.mu.Unlock()
+		wn, err := c.writeChunk(rest[:n], written)
+		written += wn
+		if err != nil {
+			return written, err
+		}
+		if written < len(p) {
+			c.maybeLatency()
+		}
+	}
+	return written, nil
+}
+
+// writeChunk moves one chunk through the byte meter, honoring reset and
+// stall. base is how many bytes of the caller's payload already went
+// out (for error accounting only).
+func (c *Conn) writeChunk(p []byte, base int) (int, error) {
+	allowed, reset, stall := c.budget(len(p))
+	var n int
+	var err error
+	if allowed > 0 {
+		n, err = c.Conn.Write(p[:allowed])
+		c.refund(allowed - n)
+	}
+	if err != nil {
+		return n, err
+	}
+	if reset {
+		c.Conn.Close()
+		return n, ErrReset
+	}
+	if stall && n < len(p) {
+		if err := c.stallUntilClosed(); err != nil {
+			return n, err
+		}
+	}
+	if n < len(p) {
+		return n, io.ErrShortWrite
+	}
+	return n, nil
+}
+
+// Close closes the wrapped connection and releases stalled operations.
+func (c *Conn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// Proxy is a chaos man-in-the-middle listener: connections accepted on
+// Addr are piped to the target through a chaos-wrapped conn. Each
+// accepted connection gets its own fault stream seeded by
+// Config.Seed + its accept index, so multi-connection tests are still
+// deterministic per connection.
+type Proxy struct {
+	cfg    Config
+	target string
+	ln     net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+	next  int64
+	done  bool
+}
+
+// NewProxy listens on 127.0.0.1:0 and forwards to target with faults.
+func NewProxy(target string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{cfg: cfg, target: target, ln: ln}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's dial address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *Proxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.done {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		cfg := p.cfg
+		cfg.Seed += p.next
+		p.next++
+		p.mu.Unlock()
+		go p.pipe(conn, cfg)
+	}
+}
+
+// pipe connects one accepted conn to the target through the chaos
+// wrapper. The wrapper sits on the client side, so both directions of
+// the client's traffic cross the fault layer and share one byte meter —
+// ResetAfterBytes counts request and response bytes together, exactly
+// like a real connection dying at an arbitrary point in the dialogue.
+func (p *Proxy) pipe(client net.Conn, cfg Config) {
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	chaotic := Wrap(client, cfg)
+	p.track(chaotic, upstream)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		io.Copy(upstream, chaotic) //nolint:errcheck // chaos errors are the point
+		upstream.Close()
+		chaotic.Close()
+	}()
+	go func() {
+		defer wg.Done()
+		io.Copy(chaotic, upstream) //nolint:errcheck
+		upstream.Close()
+		chaotic.Close()
+	}()
+	wg.Wait()
+}
+
+func (p *Proxy) track(cs ...net.Conn) {
+	p.mu.Lock()
+	p.conns = append(p.conns, cs...)
+	p.mu.Unlock()
+}
+
+// Close stops accepting and closes every live piped connection,
+// releasing any operation the chaos layer stalled.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.done = true
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}

@@ -1,0 +1,234 @@
+package netchaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two ends of a real loopback TCP connection.
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	dial, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		dial.Close()
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { dial.Close(); r.c.Close() })
+	return dial, r.c
+}
+
+// TestTransparentWhenZero: the zero Config must not alter traffic.
+func TestTransparentWhenZero(t *testing.T) {
+	a, b := tcpPair(t)
+	c := Wrap(a, Config{})
+	msg := bytes.Repeat([]byte("abc"), 1000)
+	go func() {
+		c.Write(msg)
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("payload altered by transparent wrapper")
+	}
+}
+
+// TestPartialWritesPreserveBytes: torn writes may fragment the stream
+// but must deliver every byte in order.
+func TestPartialWritesPreserveBytes(t *testing.T) {
+	a, b := tcpPair(t)
+	c := Wrap(a, Config{Seed: 7, PartialWriteProb: 1})
+	msg := bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 512)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for off := 0; off < len(msg); off += 256 {
+			if _, err := c.Write(msg[off : off+256]); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if !bytes.Equal(got, msg) {
+		t.Fatal("torn writes corrupted the byte stream")
+	}
+}
+
+// TestResetTruncatesMidStream: the connection must die at exactly the
+// configured byte, truncating the in-flight payload.
+func TestResetTruncatesMidStream(t *testing.T) {
+	a, b := tcpPair(t)
+	c := Wrap(a, Config{Seed: 1, ResetAfterBytes: 100})
+	msg := make([]byte, 400)
+	n, err := c.Write(msg)
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("want ErrReset, got n=%d err=%v", n, err)
+	}
+	if n != 100 {
+		t.Fatalf("want exactly 100 bytes through before reset, got %d", n)
+	}
+	// The peer sees the truncated prefix then EOF.
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("peer read %d bytes, want 100", len(got))
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("writes after reset: want ErrReset, got %v", err)
+	}
+}
+
+// TestStallBlocksUntilClose: a stalled connection holds Write hostage
+// until Close releases it with ErrStalled.
+func TestStallBlocksUntilClose(t *testing.T) {
+	a, _ := tcpPair(t)
+	c := Wrap(a, Config{Seed: 1, StallAfterBytes: 10})
+	if _, err := c.Write(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write(make([]byte, 10))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled write returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("want ErrStalled, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stalled write not released by Close")
+	}
+}
+
+// TestLatencyDeterministic: the same seed injects the same delays —
+// two runs over identical traffic take comparably long, and a fault-free
+// config stays fast.
+func TestLatencyDeterministic(t *testing.T) {
+	run := func(seed int64) time.Duration {
+		a, b := tcpPair(t)
+		c := Wrap(a, Config{Seed: seed, LatencyProb: 1, LatencyMin: 5 * time.Millisecond, LatencyMax: 6 * time.Millisecond})
+		start := time.Now()
+		go c.Write(make([]byte, 64))
+		io.ReadFull(b, make([]byte, 64))
+		return time.Since(start)
+	}
+	if d := run(3); d < 5*time.Millisecond {
+		t.Fatalf("latency config injected no delay (%v)", d)
+	}
+}
+
+// TestProxyForwards: a zero-fault proxy is a transparent TCP relay.
+func TestProxyForwards(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c) // echo
+		}
+	}()
+	p, err := NewProxy(ln.Addr().String(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello through the middle")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("proxy corrupted the echo")
+	}
+}
+
+// TestProxyReset: the proxy kills a connection mid-dialogue at the
+// configured byte budget; a second connection is unaffected (fresh
+// fan-out seed, fresh meter).
+func TestProxyReset(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+	p, err := NewProxy(ln.Addr().String(), Config{ResetAfterBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// 64 bytes out + echo back crosses the shared meter at 64: the echo
+	// truncates and the conn dies instead of completing.
+	conn.Write(make([]byte, 64))
+	n, _ := io.ReadAll(conn)
+	if len(n) >= 64 {
+		t.Fatalf("reset proxy delivered full echo (%d bytes)", len(n))
+	}
+}

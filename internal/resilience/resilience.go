@@ -22,6 +22,7 @@ package resilience
 import (
 	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -121,6 +122,40 @@ func (p Policy) withDefaults() Policy {
 		p.BreakerCooldown = 250 * time.Millisecond
 	}
 	return p
+}
+
+// NextDelay reports the backoff before the n'th retry (n = 1 for the
+// first retry) under the policy: BaseDelay grown by Multiplier per
+// retry, capped at MaxDelay, then jittered across [1-Jitter, 1+Jitter]
+// by u, a uniform [0,1) draw (0.5 yields the nominal, jitter-free
+// schedule). It is the schedule do() follows, exported for callers that
+// drive their own retry loop — the service client's request re-issue —
+// so every retry path in the repo backs off identically.
+func (p Policy) NextDelay(n int, u float64) time.Duration {
+	p = p.withDefaults()
+	if n < 1 {
+		n = 1
+	}
+	d := p.BaseDelay
+	for i := 1; i < n; i++ {
+		d = time.Duration(float64(d) * p.Multiplier)
+		if d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if j := p.Jitter; j > 0 {
+		if u < 0 {
+			u = 0
+		} else if u >= 1 {
+			u = math.Nextafter(1, 0)
+		}
+		d = time.Duration(float64(d) * (1 - j + 2*j*u))
+	}
+	return d
 }
 
 // Metrics aggregates resilience counters across every wrapper sharing it.

@@ -241,3 +241,50 @@ func TestExecutorWrapperRetries(t *testing.T) {
 		t.Fatalf("Retries = %d, want 1", r)
 	}
 }
+
+// TestNextDelay pins the exported backoff schedule: geometric growth
+// from BaseDelay, the MaxDelay cap, and the jitter envelope, so external
+// retry loops (the service client) stay in lockstep with do().
+func TestNextDelay(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Multiplier: 2, Jitter: -1}
+	for i, want := range []time.Duration{
+		10 * time.Millisecond, // retry 1
+		20 * time.Millisecond, // retry 2
+		40 * time.Millisecond, // retry 3
+		80 * time.Millisecond, // retry 4 hits the cap
+		80 * time.Millisecond, // and stays there
+	} {
+		if got := p.NextDelay(i+1, 0.5); got != want {
+			t.Errorf("NextDelay(%d) = %v, want %v", i+1, got, want)
+		}
+	}
+	// n < 1 clamps to the first retry.
+	if got := p.NextDelay(0, 0.5); got != 10*time.Millisecond {
+		t.Errorf("NextDelay(0) = %v, want BaseDelay", got)
+	}
+
+	// Jitter: u sweeps the [1-J, 1+J] envelope; 0.5 is the nominal value.
+	j := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0.5}
+	if got := j.NextDelay(1, 0.5); got != 100*time.Millisecond {
+		t.Errorf("nominal jitter draw: %v, want 100ms", got)
+	}
+	if got := j.NextDelay(1, 0); got != 50*time.Millisecond {
+		t.Errorf("low jitter draw: %v, want 50ms", got)
+	}
+	if got := j.NextDelay(1, 0.999); got <= 100*time.Millisecond || got > 150*time.Millisecond {
+		t.Errorf("high jitter draw: %v, want (100ms, 150ms]", got)
+	}
+	// Out-of-range draws clamp instead of exploding the envelope.
+	if got := j.NextDelay(1, 2); got > 150*time.Millisecond {
+		t.Errorf("clamped high draw: %v, want ≤ 150ms", got)
+	}
+	if got := j.NextDelay(1, -1); got != 50*time.Millisecond {
+		t.Errorf("clamped low draw: %v, want 50ms", got)
+	}
+
+	// The zero policy normalizes to the documented defaults.
+	var zero Policy
+	if got := zero.NextDelay(1, 0.5); got != time.Millisecond {
+		t.Errorf("zero-policy NextDelay(1) = %v, want 1ms", got)
+	}
+}

@@ -1,0 +1,513 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"learnedsqlgen/client"
+	"learnedsqlgen/internal/netchaos"
+	"learnedsqlgen/internal/wire"
+)
+
+// tenantConfig is testConfig plus four authenticated tenants and tight
+// write deadlines, the setup for the hostile-network acceptance tests.
+func tenantConfig() Config {
+	cfg := testConfig()
+	cfg.Tenants = []TenantConfig{
+		{Name: "alpha", Token: "tok-alpha"},
+		{Name: "bravo", Token: "tok-bravo"},
+		{Name: "charlie", Token: "tok-charlie"},
+		{Name: "delta", Token: "tok-delta"},
+	}
+	cfg.WriteTimeout = 300 * time.Millisecond
+	return cfg
+}
+
+// waitNoSessions polls until every session is gone from the server.
+func waitNoSessions(t *testing.T, srv *Server, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if srv.Stats().ActiveSessions == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("sessions still alive after %v: %s", within, srv.Stats())
+}
+
+// TestTenantIsolationUnderChaos is the acceptance test for the
+// protection layer: four tenants share one server — one stalls mid-read
+// and never drains its rows, one arrives through a chaos proxy that
+// resets the connection mid-stream, and the two healthy tenants must
+// still complete, receiving streams byte-identical to the same requests
+// against an unloaded twin server. Afterwards the stalled and reset
+// sessions are gone (each killed its own session and nothing else) and
+// no goroutines leak.
+func TestTenantIsolationUnderChaos(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := tenantConfig()
+	srv, addr, shutdown := startServer(t, cfg)
+
+	// The unloaded twin: identical config and seeds, no chaos, no load.
+	// Byte-identical streams across the two prove the hostile tenants
+	// could not perturb the healthy tenants' generation.
+	twin, twinAddr, twinShutdown := startServer(t, cfg)
+	_ = twin
+
+	req := client.Request{Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 3, MaxAttempts: 2000}
+
+	var want [2][]string
+	for i, token := range []string{"tok-charlie", "tok-delta"} {
+		conn, err := client.Dial(twinAddr, &client.Config{Seed: int64(100 + i), Token: token})
+		if err != nil {
+			t.Fatalf("twin dial: %v", err)
+		}
+		st, err := conn.Generate(context.Background(), req)
+		if err != nil {
+			t.Fatalf("twin generate: %v", err)
+		}
+		want[i] = collect(t, st)
+		conn.Close()
+	}
+	twinShutdown()
+
+	// Tenant alpha: a stalled reader over a synchronous pipe — it
+	// handshakes, requests an unbounded stream, then never reads another
+	// byte. The server's first blocked Row write must trip WriteTimeout
+	// and kill only this session.
+	stalled, side := net.Pipe()
+	defer stalled.Close()
+	srv.startSession(side)
+	writeFrame(t, stalled, &wire.Hello{Version: wire.Version, Client: "stalled", Seed: 7, Token: "tok-alpha"})
+	if _, ok := readFrame(t, stalled).(*wire.Welcome); !ok {
+		t.Fatal("stalled tenant handshake failed")
+	}
+	writeFrame(t, stalled, &wire.Generate{ID: 1, Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1 << 30, MaxAttempts: 1 << 30})
+	// ...and now alpha reads nothing, ever.
+
+	// Tenant bravo: a real TCP client behind a chaos proxy that tears the
+	// connection down mid-stream at a byte budget past the handshake.
+	proxy, err := netchaos.NewProxy(addr, netchaos.Config{
+		Seed:             99,
+		ResetAfterBytes:  2200,
+		PartialWriteProb: 0.5,
+	})
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer proxy.Close()
+	bravoDone := make(chan error, 1)
+	go func() {
+		conn, err := client.Dial(proxy.Addr(), &client.Config{Seed: 8, Token: "tok-bravo"})
+		if err != nil {
+			bravoDone <- err // reset during handshake still counts as "died alone"
+			return
+		}
+		defer conn.Close()
+		st, err := conn.Generate(context.Background(), client.Request{
+			Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1 << 30, MaxAttempts: 1 << 30,
+		})
+		if err != nil {
+			bravoDone <- err
+			return
+		}
+		for st.Next() {
+		}
+		bravoDone <- st.Err()
+	}()
+
+	// Tenants charlie and delta: healthy concurrent clients that must be
+	// untouched by the hostility around them.
+	var got [2][]string
+	var wg sync.WaitGroup
+	for i, token := range []string{"tok-charlie", "tok-delta"} {
+		wg.Add(1)
+		go func(i int, token string) {
+			defer wg.Done()
+			conn, err := client.Dial(addr, &client.Config{Seed: int64(100 + i), Token: token})
+			if err != nil {
+				t.Errorf("tenant %s dial: %v", token, err)
+				return
+			}
+			defer conn.Close()
+			st, err := conn.Generate(context.Background(), req)
+			if err != nil {
+				t.Errorf("tenant %s generate: %v", token, err)
+				return
+			}
+			got[i] = collect(t, st)
+		}(i, token)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := range got {
+		if strings.Join(got[i], "\n") != strings.Join(want[i], "\n") {
+			t.Fatalf("healthy tenant %d diverged from unloaded twin under chaos:\n got: %v\nwant: %v", i, got[i], want[i])
+		}
+	}
+
+	// Bravo's connection must die on its own (the chaos reset), not hang.
+	select {
+	case err := <-bravoDone:
+		if err == nil {
+			t.Fatal("reset tenant finished cleanly; the proxy should have torn it down")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("reset tenant still hanging after 30s")
+	}
+
+	// Alpha's stalled session dies at the write deadline; bravo's at the
+	// reset. Both sessions must be reaped with no one else harmed.
+	waitNoSessions(t, srv, 15*time.Second)
+	st := srv.Stats()
+	for _, tn := range st.Tenants {
+		if tn.ActiveStreams != 0 {
+			t.Errorf("tenant %s still holds %d admission slots after its sessions died", tn.Name, tn.ActiveStreams)
+		}
+	}
+	shutdown()
+
+	// Zero goroutine leaks across servers, proxy, chaos, and clients.
+	proxy.Close()
+	stalled.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestAuthHandshake: with tenants configured, a missing or wrong token
+// is refused with CodeUnauthenticated; the right token is admitted.
+func TestAuthHandshake(t *testing.T) {
+	_, addr, shutdown := startServer(t, tenantConfig())
+	defer shutdown()
+
+	for _, token := range []string{"", "wrong-token"} {
+		_, err := client.Dial(addr, &client.Config{Seed: 1, Token: token})
+		if err == nil {
+			t.Fatalf("dial with token %q succeeded, want unauthenticated refusal", token)
+		}
+		var se *client.ServerError
+		if !errors.As(err, &se) || se.Code != wire.CodeUnauthenticated {
+			t.Fatalf("dial with token %q: %v, want ServerError{unauthenticated}", token, err)
+		}
+		if se.Retryable() {
+			t.Fatal("unauthenticated must not be retryable")
+		}
+	}
+
+	conn, err := client.Dial(addr, &client.Config{Seed: 1, Token: "tok-alpha"})
+	if err != nil {
+		t.Fatalf("authenticated dial: %v", err)
+	}
+	defer conn.Close()
+	if conn.Version() != wire.Version {
+		t.Fatalf("negotiated version %d, want %d", conn.Version(), wire.Version)
+	}
+	st, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1, MaxAttempts: 2000,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if rows := collect(t, st); len(rows) != 1 {
+		t.Fatalf("authenticated stream returned %d rows, want 1", len(rows))
+	}
+}
+
+// TestQuotaRetryReplaysIdentically: a rate-limited tenant's second
+// request is refused with quota_exceeded; the client's retry layer
+// re-issues it transparently after the backoff, and because the retry
+// reuses the request id, the rows are byte-identical to a fresh
+// connection replaying the same seed and request sequence.
+func TestQuotaRetryReplaysIdentically(t *testing.T) {
+	cfg := testConfig()
+	cfg.Tenants = []TenantConfig{{
+		Name: "metered", Token: "tok-metered",
+		Limits: TenantLimits{RatePerSec: 2, Burst: 1},
+	}}
+	srv, addr, shutdown := startServer(t, cfg)
+	defer shutdown()
+
+	// Both Generate frames go out back-to-back before either stream is
+	// consumed, so the two admission decisions are microseconds apart:
+	// burst 1 admits the first and must refuse the second (the bucket
+	// cannot refill a 500ms token in between), whatever the machine load.
+	run := func() (rows [2][]string, retries int) {
+		conn, err := client.Dial(addr, &client.Config{
+			Seed: 42, Token: "tok-metered",
+			Retry: &client.RetryConfig{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 400 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer conn.Close()
+		req := client.Request{Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 2, MaxAttempts: 2000}
+		var sts [2]*client.Stream
+		for i := range sts {
+			if sts[i], err = conn.Generate(context.Background(), req); err != nil {
+				t.Fatalf("generate %d: %v", i, err)
+			}
+		}
+		for i, st := range sts {
+			rows[i] = collect(t, st)
+			retries += st.Retries()
+		}
+		return rows, retries
+	}
+
+	first, retries1 := run()
+	if retries1 == 0 {
+		t.Fatal("rate limit never triggered a retry; quota path untested")
+	}
+	second, _ := run()
+	for i := range first {
+		if strings.Join(first[i], "\n") != strings.Join(second[i], "\n") {
+			t.Fatalf("request %d rows diverged across retried replays:\n first: %v\nsecond: %v", i, first[i], second[i])
+		}
+	}
+	if st := srv.Stats(); st.Tenants[0].RateRefusals == 0 {
+		t.Fatalf("server metered no rate refusals: %s", st)
+	}
+}
+
+// TestTenantStreamCap: a tenant at its concurrent-stream cap gets
+// quota_exceeded for the excess stream while the in-flight one lives.
+func TestTenantStreamCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.Tenants = []TenantConfig{{
+		Name: "narrow", Token: "tok-narrow",
+		Limits: TenantLimits{MaxStreams: 1},
+	}}
+	_, addr, shutdown := startServer(t, cfg)
+	defer shutdown()
+
+	conn, err := client.Dial(addr, &client.Config{Seed: 5, Token: "tok-narrow"})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	long, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1 << 30, MaxAttempts: 1 << 30,
+	})
+	if err != nil {
+		t.Fatalf("generate long: %v", err)
+	}
+	if !long.Next() {
+		t.Fatalf("long stream produced nothing: %v", long.Err())
+	}
+	st, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1, MaxAttempts: 2000,
+	})
+	if err != nil {
+		t.Fatalf("generate second: %v", err)
+	}
+	for st.Next() {
+		t.Fatal("over-cap stream delivered a row")
+	}
+	var se *client.ServerError
+	if err := st.Err(); !errors.As(err, &se) || se.Code != wire.CodeQuotaExceeded {
+		t.Fatalf("over-cap stream ended with %v, want quota_exceeded", err)
+	}
+	if !se.Retryable() {
+		t.Fatal("quota_exceeded should be retryable")
+	}
+	// The long stream is unharmed by its sibling's refusal.
+	if !long.Next() {
+		t.Fatalf("long stream died after sibling refusal: %v", long.Err())
+	}
+}
+
+// TestAttemptBudgetCutsStream: a stream that exhausts the tenant's
+// per-window episode budget ends with quota_exceeded mid-flight, with a
+// retry-after pointing at the window rollover.
+func TestAttemptBudgetCutsStream(t *testing.T) {
+	cfg := testConfig()
+	cfg.Tenants = []TenantConfig{{
+		Name: "budgeted", Token: "tok-budgeted",
+		Limits: TenantLimits{AttemptBudget: 30, AttemptWindow: time.Hour},
+	}}
+	_, addr, shutdown := startServer(t, cfg)
+	defer shutdown()
+
+	conn, err := client.Dial(addr, &client.Config{Seed: 5, Token: "tok-budgeted"})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	st, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1 << 30, MaxAttempts: 1 << 30,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	for st.Next() {
+	}
+	var se *client.ServerError
+	if err := st.Err(); !errors.As(err, &se) || se.Code != wire.CodeQuotaExceeded {
+		t.Fatalf("stream ended with %v, want quota_exceeded", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Fatalf("budget refusal carried no retry-after hint: %+v", se)
+	}
+}
+
+// TestMaxSessionsSheds: the server-wide session cap refuses the excess
+// handshake with a retryable overloaded error, and capacity returns when
+// a session leaves.
+func TestMaxSessionsSheds(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSessions = 1
+	_, addr, shutdown := startServer(t, cfg)
+	defer shutdown()
+
+	first, err := client.Dial(addr, &client.Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("first dial: %v", err)
+	}
+	_, err = client.Dial(addr, &client.Config{Seed: 2})
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Code != wire.CodeOverloaded {
+		t.Fatalf("second dial: %v, want ServerError{overloaded}", err)
+	}
+	if !se.Retryable() || se.RetryAfter <= 0 {
+		t.Fatalf("overloaded refusal should be retryable with a hint: %+v", se)
+	}
+	first.Close()
+	// Capacity frees once the first session is reaped.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := client.Dial(addr, &client.Config{Seed: 3})
+		if err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dial still refused after capacity freed: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMaxStreamsShedsRequests: the server-wide in-flight stream cap
+// refuses the excess request with overloaded while the session and its
+// existing stream survive.
+func TestMaxStreamsShedsRequests(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxStreams = 1
+	_, addr, shutdown := startServer(t, cfg)
+	defer shutdown()
+
+	conn, err := client.Dial(addr, &client.Config{Seed: 4})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	long, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1 << 30, MaxAttempts: 1 << 30,
+	})
+	if err != nil {
+		t.Fatalf("generate long: %v", err)
+	}
+	if !long.Next() {
+		t.Fatalf("long stream produced nothing: %v", long.Err())
+	}
+	st, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1, MaxAttempts: 2000,
+	})
+	if err != nil {
+		t.Fatalf("generate second: %v", err)
+	}
+	for st.Next() {
+	}
+	var se *client.ServerError
+	if err := st.Err(); !errors.As(err, &se) || se.Code != wire.CodeOverloaded {
+		t.Fatalf("shed stream ended with %v, want overloaded", err)
+	}
+	if !long.Next() {
+		t.Fatalf("long stream died after shedding its sibling: %v", long.Err())
+	}
+}
+
+// TestRequestDeadline: a request whose deadline expires mid-stream ends
+// with CodeDeadlineExceeded — not Done, not a hung stream — and the
+// session survives to serve the next request.
+func TestRequestDeadline(t *testing.T) {
+	_, addr, shutdown := startServer(t, testConfig())
+	defer shutdown()
+
+	conn, err := client.Dial(addr, &client.Config{Seed: 9})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	st, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000,
+		N: 1 << 30, MaxAttempts: 1 << 30,
+		Deadline: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	start := time.Now()
+	for st.Next() {
+	}
+	var se *client.ServerError
+	if err := st.Err(); !errors.As(err, &se) || se.Code != wire.CodeDeadlineExceeded {
+		t.Fatalf("stream ended with %v, want deadline_exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline enforcement took %v for a 200ms deadline", elapsed)
+	}
+	// The session is intact: the next request streams normally.
+	st2, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1, MaxAttempts: 2000,
+	})
+	if err != nil {
+		t.Fatalf("generate after deadline: %v", err)
+	}
+	if rows := collect(t, st2); len(rows) != 1 {
+		t.Fatalf("post-deadline stream returned %d rows, want 1", len(rows))
+	}
+}
+
+// TestServerMaxRequestTimeout: the server-side cap bounds requests that
+// declared no deadline of their own.
+func TestServerMaxRequestTimeout(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxRequestTimeout = 200 * time.Millisecond
+	_, addr, shutdown := startServer(t, cfg)
+	defer shutdown()
+
+	conn, err := client.Dial(addr, &client.Config{Seed: 10})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	st, err := conn.Generate(context.Background(), client.Request{
+		Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1 << 30, MaxAttempts: 1 << 30,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	for st.Next() {
+	}
+	var se *client.ServerError
+	if err := st.Err(); !errors.As(err, &se) || se.Code != wire.CodeDeadlineExceeded {
+		t.Fatalf("uncapped request ended with %v, want server-imposed deadline_exceeded", err)
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"learnedsqlgen/internal/rl"
+	"learnedsqlgen/internal/wire"
 )
 
 // DatasetSpec names one benchmark the server opens at startup.
@@ -65,6 +67,38 @@ type Config struct {
 	DefaultMaxAttempts int
 	// MaxFrame bounds inbound frame payloads (default wire.DefaultMaxFrame).
 	MaxFrame int
+
+	// Tenants, when non-empty, turns on per-session auth: every Hello
+	// must carry a Token matching one tenant, or the handshake is refused
+	// with CodeUnauthenticated. Each tenant's limits gate its sessions.
+	Tenants []TenantConfig
+	// DefaultLimits fills zero-valued fields of every tenant's limits and
+	// bounds the anonymous tenant that all sessions share when Tenants is
+	// empty. The zero value imposes no limits.
+	DefaultLimits TenantLimits
+	// MaxSessions caps concurrently-open sessions; excess handshakes are
+	// shed with CodeOverloaded plus a retry-after hint (0 = unlimited).
+	MaxSessions int
+	// MaxStreams caps total in-flight Generate streams server-wide;
+	// excess requests are shed with CodeOverloaded (0 = unlimited).
+	MaxStreams int
+	// IdleTimeout reaps sessions with no inbound frames and nothing in
+	// flight (default 2 minutes; negative disables). Sessions with live
+	// streams are exempt — TCP backpressure plus WriteTimeout covers dead
+	// peers there.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds any single frame write (default 30s). A stalled
+	// peer that never drains its rows trips it and loses only its own
+	// session — the write mutex is per-session, so no other tenant waits.
+	WriteTimeout time.Duration
+	// MaxRequestTimeout caps every request's wall clock: a client
+	// DeadlineMillis is clamped to it, and requests without a deadline
+	// get it outright (0 = requests are bounded only by MaxAttempts).
+	MaxRequestTimeout time.Duration
+	// RetryAfterHint is the backoff hint attached to CodeOverloaded
+	// refusals (default 1s).
+	RetryAfterHint time.Duration
+
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -85,12 +119,26 @@ type Server struct {
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 
+	// tenants maps Hello tokens to tenant state; anon is the shared
+	// tenant of every session when auth is not configured.
+	tenants map[string]*tenant
+	anon    *tenant
+
+	inFlight atomic.Int64 // total admitted streams across sessions
+
 	mu       sync.Mutex
 	ln       net.Listener
 	sessions map[uint64]*session
 	nextID   uint64
 	draining bool
 	wg       sync.WaitGroup // one count per live session
+
+	// admission counters (under mu)
+	acceptedSessions int64
+	shedSessions     int64
+	shedStreams      int64
+	unauthenticated  int64
+	idleReaped       int64
 }
 
 // New opens cfg's datasets, builds the registry, and warm-starts it from
@@ -108,7 +156,31 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DefaultMaxAttempts <= 0 {
 		cfg.DefaultMaxAttempts = 1000
 	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 2 * time.Minute
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.RetryAfterHint <= 0 {
+		cfg.RetryAfterHint = time.Second
+	}
 	s := &Server{cfg: cfg, datasets: map[string]*Dataset{}, sessions: map[uint64]*session{}}
+	s.tenants = make(map[string]*tenant, len(cfg.Tenants))
+	for _, tc := range cfg.Tenants {
+		if tc.Token == "" {
+			return nil, fmt.Errorf("service: tenant %q has an empty token", tc.Name)
+		}
+		if _, dup := s.tenants[tc.Token]; dup {
+			return nil, fmt.Errorf("service: duplicate tenant token (tenant %q)", tc.Name)
+		}
+		name := tc.Name
+		if name == "" {
+			name = fmt.Sprintf("tenant-%d", len(s.tenants)+1)
+		}
+		s.tenants[tc.Token] = newTenant(name, resolveLimits(tc.Limits, cfg.DefaultLimits))
+	}
+	s.anon = newTenant("default", resolveLimits(TenantLimits{}, cfg.DefaultLimits))
 	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
 	for _, spec := range cfg.Datasets {
 		ds, err := OpenDataset(spec.Name, spec.Scale, cfg.SampleValues, cfg.Seed)
@@ -130,7 +202,7 @@ func New(cfg Config) (*Server, error) {
 		K:      cfg.K, WarmRounds: cfg.WarmRounds, WarmEpisodes: cfg.WarmEpisodes,
 		Shards: cfg.Shards,
 		Base:   base,
-		Logf: cfg.Logf,
+		Logf:   cfg.Logf,
 	})
 	if cfg.CheckpointDir != "" {
 		warmed, err := s.reg.WarmStart(s.baseCtx, s.datasets)
@@ -150,6 +222,83 @@ func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
 	}
+}
+
+// authenticate maps a Hello token to its tenant. With no tenants
+// configured every session shares the anonymous tenant (token ignored);
+// with tenants configured a missing or unknown token is refused with
+// CodeUnauthenticated.
+func (s *Server) authenticate(token string) (*tenant, string) {
+	if len(s.tenants) == 0 {
+		return s.anon, ""
+	}
+	if t := s.tenants[token]; t != nil {
+		return t, ""
+	}
+	s.mu.Lock()
+	s.unauthenticated++
+	s.mu.Unlock()
+	return nil, wire.CodeUnauthenticated
+}
+
+// ServerStats is a point-in-time snapshot of the server's admission and
+// per-tenant accounting.
+type ServerStats struct {
+	// Sessions counts handshake-accepted sessions since start;
+	// ActiveSessions is the current count (pre-handshake included).
+	Sessions       int64
+	ActiveSessions int
+	// ActiveStreams is the current total of in-flight Generate streams.
+	ActiveStreams int64
+	// ShedSessions / ShedStreams count CodeOverloaded refusals at the two
+	// admission points; Unauthenticated counts refused handshakes;
+	// IdleReaped counts sessions closed by the idle timeout.
+	ShedSessions    int64
+	ShedStreams     int64
+	Unauthenticated int64
+	IdleReaped      int64
+	// Tenants holds per-tenant snapshots, sorted by name. The "default"
+	// tenant appears only when auth is not configured.
+	Tenants []TenantStats
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	st := ServerStats{
+		Sessions:        s.acceptedSessions,
+		ActiveSessions:  len(s.sessions),
+		ShedSessions:    s.shedSessions,
+		ShedStreams:     s.shedStreams,
+		Unauthenticated: s.unauthenticated,
+		IdleReaped:      s.idleReaped,
+	}
+	s.mu.Unlock()
+	st.ActiveStreams = s.inFlight.Load()
+	if len(s.tenants) == 0 {
+		st.Tenants = []TenantStats{s.anon.stats()}
+	} else {
+		st.Tenants = make([]TenantStats, 0, len(s.tenants))
+		for _, t := range s.tenants {
+			st.Tenants = append(st.Tenants, t.stats())
+		}
+		sortTenantStats(st.Tenants)
+	}
+	return st
+}
+
+// String renders the snapshot as the one-line form `sqlgen serve` logs.
+func (st ServerStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sessions %d (active %d) streams active %d shed %d/%d unauth %d idle-reaped %d",
+		st.Sessions, st.ActiveSessions, st.ActiveStreams,
+		st.ShedSessions, st.ShedStreams, st.Unauthenticated, st.IdleReaped)
+	for _, t := range st.Tenants {
+		fmt.Fprintf(&b, " | %s: sessions %d streams %d (active %d) rows %d attempts %d refused rate %d/streams %d/budget %d",
+			t.Name, t.Sessions, t.Streams, t.ActiveStreams, t.Rows, t.Attempts,
+			t.RateRefusals, t.StreamRefusals, t.BudgetStops)
+	}
+	return b.String()
 }
 
 // Registry exposes the warm model registry (stats, tests).
@@ -302,6 +451,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return fmt.Errorf("service: checkpoint registry state: %w", err)
 	}
 	s.logf("service: drained (%d sessions at drain start)", len(sessions))
+	s.logf("service: stats: %s", s.Stats())
 	return nil
 }
 

@@ -2,7 +2,9 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -15,16 +17,20 @@ import (
 // server's base context (cancel-on-disconnect fans out to every
 // in-flight request), a write mutex serializing response frames, and the
 // client's seed from which every request's generation stream derives
-// deterministically.
+// deterministically. After the handshake the session belongs to exactly
+// one tenant, whose quotas gate every request it starts.
 type session struct {
 	id   uint64
 	srv  *Server
 	conn net.Conn
+	rd   *wire.Reader // single-goroutine framed reader (grow-only buffer)
 
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	seed int64 // client Hello seed; request streams fan out of it
+	seed    int64 // client Hello seed; request streams fan out of it
+	version int   // negotiated protocol version
+	tenant  *tenant
 
 	wmu sync.Mutex // serializes whole frames onto conn
 
@@ -36,23 +42,31 @@ type session struct {
 }
 
 // handshakeTimeout bounds how long a fresh connection may sit silent
-// before Hello; writeTimeout bounds any single frame write.
-const (
-	handshakeTimeout = 10 * time.Second
-	writeTimeout     = 30 * time.Second
-)
+// before Hello.
+const handshakeTimeout = 10 * time.Second
+
+// errRequestDeadline is the cancellation cause distinguishing a
+// per-request deadline (client DeadlineMillis or the server max) from a
+// session-level cancel, so the stream's terminal frame carries
+// CodeDeadlineExceeded instead of Done{Canceled}.
+var errRequestDeadline = errors.New("service: request deadline exceeded")
+
+// errAttemptBudget is returned from the sampler's progress callback when
+// the tenant's per-window attempts budget runs dry mid-stream.
+var errAttemptBudget = errors.New("service: tenant attempt budget exhausted")
 
 func newSession(srv *Server, id uint64, conn net.Conn) *session {
 	s := &session{id: id, srv: srv, conn: conn, active: map[uint64]context.CancelFunc{}}
+	s.rd = wire.NewReader(conn, srv.cfg.MaxFrame)
 	s.ctx, s.cancel = context.WithCancel(srv.baseCtx)
 	return s
 }
 
 // run is the session's read loop: handshake, then dispatch frames until
-// the peer leaves, the connection dies, or the server drains it. The
-// exit path cancels the request subtree first, joins every request
-// goroutine, and only then closes the connection — no request ever
-// writes to a closed socket it didn't know about.
+// the peer leaves, the connection dies, the idle reaper fires, or the
+// server drains it. The exit path cancels the request subtree first,
+// joins every request goroutine, and only then closes the connection —
+// no request ever writes to a closed socket it didn't know about.
 func (s *session) run() {
 	defer func() {
 		s.cancel()
@@ -62,11 +76,26 @@ func (s *session) run() {
 	if !s.handshake() {
 		return
 	}
-	maxFrame := s.srv.cfg.MaxFrame
+	idle := s.srv.cfg.IdleTimeout
 	for {
-		msg, err := wire.ReadMessage(s.conn, maxFrame)
+		if idle > 0 {
+			s.conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		msg, err := s.rd.ReadMessage()
 		if err != nil {
-			return // disconnect, drain close, or protocol violation
+			if idle > 0 && isTimeout(err) && !s.rd.Dirty() {
+				// A clean idle expiry: no frame bytes in flight. Sessions
+				// with live streams are just quiet consumers — re-arm and
+				// keep reading (dead peers die at the write deadline
+				// instead). Truly idle ones are reaped.
+				if s.inFlight() > 0 {
+					continue
+				}
+				s.srv.noteIdleReaped()
+				s.send(&wire.Error{Code: wire.CodeIdleTimeout,
+					Msg: fmt.Sprintf("session idle longer than %s with nothing in flight", idle)})
+			}
+			return // disconnect, torn frame, drain close, or idle reap
 		}
 		switch m := msg.(type) {
 		case *wire.Generate:
@@ -76,32 +105,74 @@ func (s *session) run() {
 		case *wire.Goodbye:
 			return
 		default:
-			s.send(&wire.Error{Msg: fmt.Sprintf("unexpected %T frame", msg)})
+			s.send(&wire.Error{Code: wire.CodeProtocol, Msg: fmt.Sprintf("unexpected %T frame", msg)})
 			return
 		}
 	}
 }
 
-// handshake reads Hello and answers Welcome (or a versioning Error).
+// isTimeout reports whether err is a deadline expiry rather than a real
+// connection failure.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// inFlight is the session's current request count.
+func (s *session) inFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
+// handshake reads Hello and answers Welcome, or refuses with a coded
+// Error: unsupported version, failed auth (when tenants are configured),
+// or server-wide session shedding.
 func (s *session) handshake() bool {
 	s.conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
-	msg, err := wire.ReadMessage(s.conn, s.srv.cfg.MaxFrame)
+	msg, err := s.rd.ReadMessage()
 	if err != nil {
 		return false
 	}
 	hello, ok := msg.(*wire.Hello)
 	if !ok {
-		s.send(&wire.Error{Msg: fmt.Sprintf("expected Hello, got %T", msg)})
+		s.send(&wire.Error{Code: wire.CodeProtocol, Msg: fmt.Sprintf("expected Hello, got %T", msg)})
 		return false
 	}
-	if hello.Version != wire.Version {
-		s.send(&wire.Error{Msg: fmt.Sprintf("protocol version %d unsupported (server speaks %d)", hello.Version, wire.Version)})
+	if hello.Version < wire.MinVersion || hello.Version > wire.Version {
+		s.send(&wire.Error{Code: wire.CodeUnsupportedVersion,
+			Msg: fmt.Sprintf("protocol version %d unsupported (server speaks %d through %d)", hello.Version, wire.MinVersion, wire.Version)})
+		return false
+	}
+	if mx := s.srv.cfg.MaxSessions; mx > 0 {
+		s.srv.mu.Lock()
+		over := len(s.srv.sessions) > mx // this session is already registered
+		if over {
+			s.srv.shedSessions++
+		}
+		s.srv.mu.Unlock()
+		if over {
+			s.send(&wire.Error{Code: wire.CodeOverloaded, Retryable: true,
+				RetryAfterMillis: s.srv.cfg.RetryAfterHint.Milliseconds(),
+				Msg:              fmt.Sprintf("server at max sessions (%d)", mx)})
+			return false
+		}
+	}
+	tn, code := s.srv.authenticate(hello.Token)
+	if code != "" {
+		s.send(&wire.Error{Code: code, Msg: "unknown or missing token"})
 		return false
 	}
 	s.conn.SetReadDeadline(time.Time{})
 	s.seed = hello.Seed
+	s.version = hello.Version
+	s.tenant = tn
+	tn.noteSession()
+	s.srv.mu.Lock()
+	s.srv.acceptedSessions++
+	s.srv.mu.Unlock()
 	return s.send(&wire.Welcome{
-		Version:   wire.Version,
+		Version:   hello.Version, // negotiated: the client's version, which we speak
 		Server:    "learnedsqlgen",
 		SessionID: s.id,
 		Datasets:  s.srv.datasetNames(),
@@ -110,29 +181,74 @@ func (s *session) handshake() bool {
 
 // send serializes one frame onto the connection. Frame writes are whole
 // (one Write call inside wire.WriteMessage) and mutex-ordered, so
-// concurrent request streams never interleave bytes.
+// concurrent request streams never interleave bytes. A failed write —
+// including a write-deadline expiry against a peer that stopped draining
+// — leaves the stream unframeable, so it kills this session (cancel the
+// request subtree, close the socket) and only this session: the write
+// mutex and deadline are per-connection, so a stalled tenant never
+// blocks another tenant's stream.
 func (s *session) send(m wire.Message) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	s.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-	return wire.WriteMessage(s.conn, m)
+	s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.WriteTimeout))
+	err := wire.WriteMessage(s.conn, m)
+	if err != nil {
+		s.cancel()
+		s.conn.Close()
+	}
+	return err
 }
 
-// startGenerate validates and launches one request stream. Runs on the
-// read loop goroutine, so reqWG.Add always happens-before run's Wait.
+// startGenerate validates, admits, and launches one request stream. Runs
+// on the read loop goroutine, so reqWG.Add always happens-before run's
+// Wait. Admission order: drain state, duplicate id, server-wide stream
+// cap, then the tenant's stream cap and rate bucket — each refusal is a
+// coded, request-scoped Error and the session lives on.
 func (s *session) startGenerate(m *wire.Generate) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		s.send(&wire.Error{ID: m.ID, Msg: "server draining"})
+		s.send(&wire.Error{ID: m.ID, Code: wire.CodeDraining, Retryable: true,
+			RetryAfterMillis: s.srv.cfg.RetryAfterHint.Milliseconds(), Msg: "server draining"})
 		return
 	}
 	if _, dup := s.active[m.ID]; dup {
 		s.mu.Unlock()
-		s.send(&wire.Error{ID: m.ID, Msg: fmt.Sprintf("request id %d already in flight", m.ID)})
+		s.send(&wire.Error{ID: m.ID, Code: wire.CodeProtocol, Msg: fmt.Sprintf("request id %d already in flight", m.ID)})
 		return
 	}
-	rctx, rcancel := context.WithCancel(s.ctx)
+	s.mu.Unlock()
+
+	if mx := int64(s.srv.cfg.MaxStreams); mx > 0 && s.srv.inFlight.Load() >= mx {
+		s.srv.mu.Lock()
+		s.srv.shedStreams++
+		s.srv.mu.Unlock()
+		s.send(&wire.Error{ID: m.ID, Code: wire.CodeOverloaded, Retryable: true,
+			RetryAfterMillis: s.srv.cfg.RetryAfterHint.Milliseconds(),
+			Msg:              fmt.Sprintf("server at max in-flight streams (%d)", mx)})
+		return
+	}
+	if code, after := s.tenant.admitStream(); code != "" {
+		s.send(&wire.Error{ID: m.ID, Code: code, Retryable: wire.RetryableCode(code),
+			RetryAfterMillis: after.Milliseconds(),
+			Msg:              fmt.Sprintf("tenant %s over quota", s.tenant.name)})
+		return
+	}
+	s.srv.inFlight.Add(1)
+
+	rctx, rcancel := s.requestContext(m)
+	s.mu.Lock()
+	if s.draining {
+		// Drain flipped between the first check and admission: refuse
+		// deterministically rather than racing the connection close.
+		s.mu.Unlock()
+		rcancel()
+		s.tenant.releaseStream()
+		s.srv.inFlight.Add(-1)
+		s.send(&wire.Error{ID: m.ID, Code: wire.CodeDraining, Retryable: true,
+			RetryAfterMillis: s.srv.cfg.RetryAfterHint.Milliseconds(), Msg: "server draining"})
+		return
+	}
 	s.active[m.ID] = rcancel
 	s.mu.Unlock()
 	s.reqWG.Add(1)
@@ -141,6 +257,22 @@ func (s *session) startGenerate(m *wire.Generate) {
 		defer s.finishRequest(m.ID, rcancel)
 		s.serveGenerate(rctx, m)
 	}()
+}
+
+// requestContext derives the request's context: the session subtree,
+// bounded by the client's DeadlineMillis clamped to the server's
+// MaxRequestTimeout (which also applies alone when the client sent no
+// deadline). The deadline's cause is errRequestDeadline so the terminal
+// frame can name it.
+func (s *session) requestContext(m *wire.Generate) (context.Context, context.CancelFunc) {
+	d := time.Duration(m.DeadlineMillis) * time.Millisecond
+	if max := s.srv.cfg.MaxRequestTimeout; max > 0 && (d <= 0 || d > max) {
+		d = max
+	}
+	if d <= 0 {
+		return context.WithCancel(s.ctx)
+	}
+	return context.WithTimeoutCause(s.ctx, d, errRequestDeadline)
 }
 
 // cancelRequest handles a Cancel frame; unknown ids are ignored (the
@@ -154,13 +286,16 @@ func (s *session) cancelRequest(id uint64) {
 	}
 }
 
-// finishRequest retires an in-flight request and, when the session is
+// finishRequest retires an in-flight request — releasing its tenant and
+// server admission slots exactly once — and, when the session is
 // draining and nothing remains in flight, closes the connection so the
-// read loop exits — the per-session half of graceful drain. Normally
+// read loop exits: the per-session half of graceful drain. Normally
 // terminal() has already retired the id; this is the backstop that also
 // runs the drain check.
 func (s *session) finishRequest(id uint64, cancel context.CancelFunc) {
 	cancel()
+	s.tenant.releaseStream()
+	s.srv.inFlight.Add(-1)
 	s.mu.Lock()
 	delete(s.active, id)
 	closeNow := s.draining && len(s.active) == 0
@@ -198,25 +333,27 @@ func (s *session) drain() {
 	}
 }
 
-// serveGenerate runs one request stream: acquire the warm registry entry
-// covering the constraint's domain, build a request-private sampler
-// seeded by FanSeed(session seed, request id), and stream satisfied
-// queries as Row frames with periodic Progress until Done. The sampler
-// owns its own compute workspaces and prefix cache; the only shared
-// state it touches are the frozen entry weights (read-only) and the
-// dataset's concurrency-safe estimator cache.
+// serveGenerate runs one admitted request stream: acquire the warm
+// registry entry covering the constraint's domain, build a
+// request-private sampler seeded by FanSeed(session seed, request id),
+// and stream satisfied queries as Row frames with periodic Progress
+// until Done. The sampler owns its own compute workspaces and prefix
+// cache; the only shared state it touches are the frozen entry weights
+// (read-only) and the dataset's concurrency-safe estimator cache. The
+// tenant's attempts budget is charged at every batch boundary through
+// the progress callback.
 func (s *session) serveGenerate(ctx context.Context, m *wire.Generate) {
-	ds, c, err := s.resolve(m)
+	ds, c, code, err := s.resolve(m)
 	if err != nil {
-		s.terminal(m.ID, &wire.Error{ID: m.ID, Msg: err.Error()})
+		s.terminal(m.ID, &wire.Error{ID: m.ID, Code: code, Msg: err.Error()})
 		return
 	}
 	entry, err := s.srv.reg.Acquire(ctx, ds, c)
 	if err != nil {
 		if ctx.Err() != nil {
-			s.terminal(m.ID, &wire.Done{ID: m.ID, Canceled: true})
+			s.terminalCtx(ctx, m, 0, 0)
 		} else {
-			s.terminal(m.ID, &wire.Error{ID: m.ID, Msg: fmt.Sprintf("warm model: %v", err)})
+			s.terminal(m.ID, &wire.Error{ID: m.ID, Code: wire.CodeInternal, Msg: fmt.Sprintf("warm model: %v", err)})
 		}
 		return
 	}
@@ -232,31 +369,61 @@ func (s *session) serveGenerate(ctx context.Context, m *wire.Generate) {
 		maxAttempts = s.srv.cfg.DefaultMaxAttempts
 	}
 	every := s.srv.cfg.ProgressEvery
-	lastProgress := 0
+	lastProgress, lastAttempts := 0, 0
+	var budgetAfter time.Duration
 	found, attempts, err := sampler.StreamSatisfied(ctx, actor, m.N, maxAttempts,
 		func(g rl.Generated) error {
+			s.tenant.noteRow()
 			return s.send(&wire.Row{ID: m.ID, SQL: g.SQL, Measured: g.Measured, Satisfied: true})
 		},
 		func(attempts, found int) error {
+			ok, after := s.tenant.consumeAttempts(attempts - lastAttempts)
+			lastAttempts = attempts
+			if !ok {
+				budgetAfter = after
+				return errAttemptBudget
+			}
 			if attempts-lastProgress < every || found >= m.N {
 				return nil
 			}
 			lastProgress = attempts
 			return s.send(&wire.Progress{ID: m.ID, Attempts: attempts, Found: found})
 		})
-	if err != nil && ctx.Err() == nil {
+	switch {
+	case errors.Is(err, errAttemptBudget):
+		s.terminal(m.ID, &wire.Error{ID: m.ID, Code: wire.CodeQuotaExceeded, Retryable: true,
+			RetryAfterMillis: budgetAfter.Milliseconds(),
+			Msg: fmt.Sprintf("tenant %s attempt budget exhausted after %d attempts (%d/%d found)",
+				s.tenant.name, attempts, found, m.N)})
+	case err != nil && ctx.Err() == nil:
 		// A send failure or sampler error that wasn't a cancellation: the
 		// Error frame is best-effort (the connection may already be gone).
-		s.terminal(m.ID, &wire.Error{ID: m.ID, Msg: err.Error()})
+		s.terminal(m.ID, &wire.Error{ID: m.ID, Code: wire.CodeInternal, Msg: err.Error()})
+	default:
+		s.terminalCtx(ctx, m, found, attempts)
+	}
+}
+
+// terminalCtx writes the stream's end-of-life frame for a (possibly)
+// cancelled context: a deadline expiry becomes a coded Error, every
+// other cancellation the usual Done{Canceled}, and a live context a
+// clean Done.
+func (s *session) terminalCtx(ctx context.Context, m *wire.Generate, found, attempts int) {
+	if ctx.Err() != nil && errors.Is(context.Cause(ctx), errRequestDeadline) {
+		s.terminal(m.ID, &wire.Error{ID: m.ID, Code: wire.CodeDeadlineExceeded,
+			Msg: fmt.Sprintf("request deadline exceeded after %d attempts (%d/%d found)", attempts, found, m.N)})
 		return
 	}
 	s.terminal(m.ID, &wire.Done{ID: m.ID, Found: found, Attempts: attempts, Canceled: ctx.Err() != nil})
 }
 
 // resolve maps a Generate frame onto an open dataset and a validated
-// constraint. An empty dataset name selects the server's only dataset
-// when exactly one is open.
-func (s *session) resolve(m *wire.Generate) (*Dataset, rl.Constraint, error) {
+// constraint, with the wire error code for each refusal. An empty
+// dataset name selects the server's only dataset when exactly one is
+// open. Constraint bounds must be finite: NaN compares false against
+// everything, so an unchecked NaN range would slip past the emptiness
+// test and poison the sampler's reward math.
+func (s *session) resolve(m *wire.Generate) (*Dataset, rl.Constraint, string, error) {
 	name := m.Dataset
 	if name == "" && len(s.srv.datasets) == 1 {
 		for n := range s.srv.datasets {
@@ -265,20 +432,39 @@ func (s *session) resolve(m *wire.Generate) (*Dataset, rl.Constraint, error) {
 	}
 	ds := s.srv.datasets[name]
 	if ds == nil {
-		return nil, rl.Constraint{}, fmt.Errorf("unknown dataset %q (serving %v)", m.Dataset, s.srv.datasetNames())
+		return nil, rl.Constraint{}, wire.CodeUnknownDataset,
+			fmt.Errorf("unknown dataset %q (serving %v)", m.Dataset, s.srv.datasetNames())
 	}
 	metric, err := parseMetric(m.Metric)
 	if err != nil {
-		return nil, rl.Constraint{}, err
+		return nil, rl.Constraint{}, wire.CodeInvalidArgument, err
 	}
 	if m.N <= 0 {
-		return nil, rl.Constraint{}, fmt.Errorf("n must be positive, got %d", m.N)
+		return nil, rl.Constraint{}, wire.CodeInvalidArgument, fmt.Errorf("n must be positive, got %d", m.N)
 	}
 	if m.IsRange {
-		if m.Hi < m.Lo {
-			return nil, rl.Constraint{}, fmt.Errorf("range [%g, %g] is empty", m.Lo, m.Hi)
+		if !isFinite(m.Lo) || !isFinite(m.Hi) {
+			return nil, rl.Constraint{}, wire.CodeInvalidArgument,
+				fmt.Errorf("range bounds must be finite, got [%g, %g]", m.Lo, m.Hi)
 		}
-		return ds, rl.RangeConstraint(metric, m.Lo, m.Hi), nil
+		if m.Hi < m.Lo {
+			return nil, rl.Constraint{}, wire.CodeInvalidArgument, fmt.Errorf("range [%g, %g] is empty", m.Lo, m.Hi)
+		}
+		return ds, rl.RangeConstraint(metric, m.Lo, m.Hi), "", nil
 	}
-	return ds, rl.PointConstraint(metric, m.Point), nil
+	if !isFinite(m.Point) {
+		return nil, rl.Constraint{}, wire.CodeInvalidArgument,
+			fmt.Errorf("point must be finite, got %g", m.Point)
+	}
+	return ds, rl.PointConstraint(metric, m.Point), "", nil
+}
+
+// isFinite reports a float is neither NaN nor ±Inf.
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// noteIdleReaped counts one idle-timeout session close.
+func (s *Server) noteIdleReaped() {
+	s.mu.Lock()
+	s.idleReaped++
+	s.mu.Unlock()
 }

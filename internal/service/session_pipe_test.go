@@ -3,8 +3,10 @@ package service
 import (
 	"context"
 	"encoding/binary"
+	"math"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -17,7 +19,13 @@ import (
 // TCP stack in the way.
 func pipeServer(t *testing.T) (*Server, func() net.Conn) {
 	t.Helper()
-	srv, err := New(testConfig())
+	return pipeServerCfg(t, testConfig())
+}
+
+// pipeServerCfg is pipeServer with a caller-chosen config.
+func pipeServerCfg(t *testing.T, cfg Config) (*Server, func() net.Conn) {
+	t.Helper()
+	srv, err := New(cfg)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -212,4 +220,208 @@ func TestCancelRacesDone(t *testing.T) {
 		}
 	}
 	writeFrame(t, conn, &wire.Goodbye{})
+}
+
+// TestV1ClientCompat: a protocol-1 Hello (no token field existed in v1)
+// still handshakes against the v2 server — the Welcome echoes version 1
+// — and generates normally when auth is not configured.
+func TestV1ClientCompat(t *testing.T) {
+	_, dial := pipeServer(t)
+	conn := dial()
+	defer conn.Close()
+	writeFrame(t, conn, &wire.Hello{Version: 1, Client: "legacy", Seed: 17})
+	w, ok := readFrame(t, conn).(*wire.Welcome)
+	if !ok {
+		t.Fatalf("v1 Hello refused: %#v", w)
+	}
+	if w.Version != 1 {
+		t.Fatalf("Welcome echoed version %d to a v1 client, want 1", w.Version)
+	}
+	writeFrame(t, conn, &wire.Generate{ID: 1, Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1, MaxAttempts: 2000})
+	rows := 0
+	for {
+		switch m := readFrame(t, conn).(type) {
+		case *wire.Row:
+			rows++
+		case *wire.Progress:
+		case *wire.Done:
+			if rows < 1 {
+				t.Fatalf("v1 stream finished with %d rows: %+v", rows, m)
+			}
+			writeFrame(t, conn, &wire.Goodbye{})
+			return
+		default:
+			t.Fatalf("unexpected %#v on v1 stream", m)
+		}
+	}
+}
+
+// TestV1ClientUnauthenticated: against a server with tenants configured,
+// a v1 client (which cannot carry a token) is refused with the stable
+// unauthenticated code rather than a protocol error.
+func TestV1ClientUnauthenticated(t *testing.T) {
+	cfg := testConfig()
+	cfg.Tenants = []TenantConfig{{Name: "only", Token: "tok"}}
+	_, dial := pipeServerCfg(t, cfg)
+	conn := dial()
+	defer conn.Close()
+	writeFrame(t, conn, &wire.Hello{Version: 1, Client: "legacy", Seed: 17})
+	e, ok := readFrame(t, conn).(*wire.Error)
+	if !ok || e.Code != wire.CodeUnauthenticated {
+		t.Fatalf("v1 tokenless Hello got %#v, want Error{unauthenticated}", e)
+	}
+}
+
+// TestResolveRejectsNonFiniteBounds: NaN and ±Inf constraint bounds are
+// refused as invalid_argument before they can reach the sampler. JSON
+// cannot encode non-finite numbers, so today's wire layer can't deliver
+// them — this pins the service-boundary invariant directly so a future
+// codec or in-process caller can't reintroduce the hole (NaN compares
+// false with everything, so it would sail past the Hi < Lo emptiness
+// check and poison the reward math).
+func TestResolveRejectsNonFiniteBounds(t *testing.T) {
+	srv, err := New(testConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	sess := &session{srv: srv}
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		m    *wire.Generate
+	}{
+		{"nan point", &wire.Generate{Metric: "cardinality", Point: nan, N: 1}},
+		{"inf point", &wire.Generate{Metric: "cardinality", Point: inf, N: 1}},
+		{"nan lo", &wire.Generate{Metric: "cardinality", IsRange: true, Lo: nan, Hi: 10, N: 1}},
+		{"nan hi", &wire.Generate{Metric: "cardinality", IsRange: true, Lo: 1, Hi: nan, N: 1}},
+		{"inf hi", &wire.Generate{Metric: "cardinality", IsRange: true, Lo: 1, Hi: inf, N: 1}},
+		{"neg inf lo", &wire.Generate{Metric: "cardinality", IsRange: true, Lo: math.Inf(-1), Hi: 10, N: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, code, err := sess.resolve(tc.m)
+			if err == nil {
+				t.Fatalf("non-finite bounds resolved: %+v", tc.m)
+			}
+			if code != wire.CodeInvalidArgument {
+				t.Fatalf("code %q, want invalid_argument (err: %v)", code, err)
+			}
+			if !strings.Contains(err.Error(), "finite") {
+				t.Fatalf("error %q does not name the finiteness requirement", err)
+			}
+		})
+	}
+	// The finite versions of the same shapes resolve fine.
+	if _, _, _, err := sess.resolve(&wire.Generate{Metric: "cardinality", IsRange: true, Lo: 1, Hi: 10, N: 1}); err != nil {
+		t.Fatalf("finite range refused: %v", err)
+	}
+	if _, _, _, err := sess.resolve(&wire.Generate{Metric: "cardinality", Point: 100, N: 1}); err != nil {
+		t.Fatalf("finite point refused: %v", err)
+	}
+}
+
+// TestIdleSessionReaped: a session with nothing in flight that goes
+// quiet past IdleTimeout is closed with a CodeIdleTimeout Error.
+func TestIdleSessionReaped(t *testing.T) {
+	cfg := testConfig()
+	cfg.IdleTimeout = 80 * time.Millisecond
+	srv, dial := pipeServerCfg(t, cfg)
+	conn := dial()
+	defer conn.Close()
+	handshake(t, conn, 1)
+	e, ok := readFrame(t, conn).(*wire.Error)
+	if !ok || e.Code != wire.CodeIdleTimeout {
+		t.Fatalf("idle session got %#v, want Error{idle_timeout}", e)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if m, err := wire.ReadMessage(conn, 0); err == nil {
+		t.Fatalf("read %T after idle reap, want closed connection", m)
+	}
+	waitSessionsGone(t, srv)
+	if st := srv.Stats(); st.IdleReaped != 1 {
+		t.Fatalf("stats %s: want 1 idle-reaped", st)
+	}
+}
+
+// TestDrainRacesNewRequest fires a Generate concurrently with the
+// session flipping into drain: whatever the interleaving, the client
+// gets a deterministic terminal answer for the id — a coded draining
+// Error, a normal stream ending in Done, or a closed connection — and
+// never a hung stream. Many rounds shake the schedule around the
+// admission window.
+func TestDrainRacesNewRequest(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		cfg := testConfig()
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		cli, side := net.Pipe()
+		srv.startSession(side)
+		handshake(t, cli, int64(round))
+
+		srv.mu.Lock()
+		var sess *session
+		for _, s := range srv.sessions {
+			sess = s
+		}
+		srv.mu.Unlock()
+		if sess == nil {
+			t.Fatal("no session registered after handshake")
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess.drain()
+		}()
+		cli.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		writeErr := wire.WriteMessage(cli, &wire.Generate{
+			ID: 1, Metric: "cardinality", IsRange: true, Lo: 1, Hi: 100000, N: 1, MaxAttempts: 2000,
+		})
+		wg.Wait()
+
+		// Read until the terminal outcome. A closed connection is legal
+		// (drain with nothing in flight closes immediately); so is a
+		// draining Error; so is a full stream ending in Done.
+		outcome := ""
+		if writeErr != nil {
+			outcome = "conn closed before write"
+		}
+		cli.SetReadDeadline(time.Now().Add(30 * time.Second))
+		for outcome == "" {
+			m, err := wire.ReadMessage(cli, 0)
+			if err != nil {
+				outcome = "conn closed"
+				break
+			}
+			switch m := m.(type) {
+			case *wire.Row, *wire.Progress:
+			case *wire.Done:
+				outcome = "done"
+			case *wire.Error:
+				if m.Code != wire.CodeDraining {
+					t.Fatalf("round %d: error code %q, want draining", round, m.Code)
+				}
+				if !m.Retryable {
+					t.Fatalf("round %d: draining refusal not marked retryable", round)
+				}
+				outcome = "refused"
+			default:
+				t.Fatalf("round %d: unexpected %#v", round, m)
+			}
+		}
+		cli.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("round %d (%s): shutdown: %v", round, outcome, err)
+		}
+		cancel()
+	}
 }

@@ -1,0 +1,214 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"learnedsqlgen/internal/wire"
+)
+
+// TenantLimits bounds one tenant's resource draw. The zero value of a
+// field means "fall back to the server's DefaultLimits field"; a
+// negative value means explicitly unlimited, overriding the default.
+type TenantLimits struct {
+	// RatePerSec refills the tenant's Generate admission token bucket.
+	RatePerSec float64
+	// Burst is the bucket capacity — how many Generates may arrive
+	// back-to-back before the rate gates them (default 1 when rated).
+	Burst int
+	// MaxStreams caps the tenant's concurrent in-flight streams.
+	MaxStreams int
+	// AttemptBudget caps sampling episodes per AttemptWindow, enforced at
+	// batch boundaries inside the sampler's progress callback — a stream
+	// that exhausts the window's budget ends with CodeQuotaExceeded.
+	AttemptBudget int
+	// AttemptWindow is the budget window (default 1 minute).
+	AttemptWindow time.Duration
+}
+
+// TenantConfig declares one tenant of the static token→tenant map.
+type TenantConfig struct {
+	// Name identifies the tenant in stats and logs.
+	Name string
+	// Token is the Hello credential; must be unique across tenants.
+	Token string
+	// Limits bounds the tenant; zero fields inherit Config.DefaultLimits.
+	Limits TenantLimits
+}
+
+// TenantCounters is one tenant's cumulative accounting.
+type TenantCounters struct {
+	// Sessions counts handshakes authenticated as this tenant.
+	Sessions int64
+	// Streams counts Generate requests admitted.
+	Streams int64
+	// Rows counts satisfied queries streamed.
+	Rows int64
+	// Attempts counts sampling episodes consumed.
+	Attempts int64
+	// RateRefusals / StreamRefusals count Generates refused by the token
+	// bucket and the concurrent-stream cap; BudgetStops counts streams
+	// cut mid-flight by the attempts budget.
+	RateRefusals   int64
+	StreamRefusals int64
+	BudgetStops    int64
+}
+
+// TenantStats is one tenant's snapshot in ServerStats.
+type TenantStats struct {
+	Name          string
+	ActiveStreams int
+	TenantCounters
+}
+
+// tenant is a tenant's runtime state: limits, a token bucket, the
+// concurrent-stream count, and the rolling attempts window. One instance
+// is shared by every session authenticated with the tenant's token.
+type tenant struct {
+	name   string
+	limits TenantLimits
+	now    func() time.Time // injectable clock (tests)
+
+	mu          sync.Mutex
+	tokens      float64   // admission bucket level
+	last        time.Time // last bucket refill
+	streams     int       // concurrent in-flight streams
+	windowStart time.Time
+	windowUsed  int
+	c           TenantCounters
+}
+
+// resolveLimits folds per-tenant limits over the server defaults:
+// zero fields inherit, negative fields mean unlimited.
+func resolveLimits(l, def TenantLimits) TenantLimits {
+	if l.RatePerSec == 0 {
+		l.RatePerSec = def.RatePerSec
+	}
+	if l.Burst == 0 {
+		l.Burst = def.Burst
+	}
+	if l.MaxStreams == 0 {
+		l.MaxStreams = def.MaxStreams
+	}
+	if l.AttemptBudget == 0 {
+		l.AttemptBudget = def.AttemptBudget
+	}
+	if l.AttemptWindow == 0 {
+		l.AttemptWindow = def.AttemptWindow
+	}
+	// Negative = explicitly unlimited; normalize for the checks below.
+	if l.RatePerSec < 0 {
+		l.RatePerSec = 0
+	}
+	if l.MaxStreams < 0 {
+		l.MaxStreams = 0
+	}
+	if l.AttemptBudget < 0 {
+		l.AttemptBudget = 0
+	}
+	if l.Burst <= 0 {
+		l.Burst = 1
+	}
+	if l.AttemptWindow <= 0 {
+		l.AttemptWindow = time.Minute
+	}
+	return l
+}
+
+func newTenant(name string, limits TenantLimits) *tenant {
+	t := &tenant{name: name, limits: limits, now: time.Now}
+	t.tokens = float64(limits.Burst) // buckets start full
+	return t
+}
+
+func (t *tenant) noteSession() {
+	t.mu.Lock()
+	t.c.Sessions++
+	t.mu.Unlock()
+}
+
+func (t *tenant) noteRow() {
+	t.mu.Lock()
+	t.c.Rows++
+	t.mu.Unlock()
+}
+
+// refillLocked tops the token bucket up for the time elapsed since the
+// last refill. Call with t.mu held and RatePerSec > 0.
+func (t *tenant) refillLocked(now time.Time) {
+	if t.last.IsZero() {
+		t.last = now
+		return
+	}
+	t.tokens += now.Sub(t.last).Seconds() * t.limits.RatePerSec
+	if max := float64(t.limits.Burst); t.tokens > max {
+		t.tokens = max
+	}
+	t.last = now
+}
+
+// admitStream gates one Generate. On refusal it returns the wire error
+// code and a retry-after hint; code "" means admitted (the caller must
+// pair it with releaseStream exactly once).
+func (t *tenant) admitStream() (code string, retryAfter time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.limits.MaxStreams > 0 && t.streams >= t.limits.MaxStreams {
+		t.c.StreamRefusals++
+		return wire.CodeQuotaExceeded, time.Second
+	}
+	if t.limits.RatePerSec > 0 {
+		now := t.now()
+		t.refillLocked(now)
+		if t.tokens < 1 {
+			t.c.RateRefusals++
+			wait := time.Duration((1 - t.tokens) / t.limits.RatePerSec * float64(time.Second))
+			return wire.CodeQuotaExceeded, wait
+		}
+		t.tokens--
+	}
+	t.streams++
+	t.c.Streams++
+	return "", 0
+}
+
+func (t *tenant) releaseStream() {
+	t.mu.Lock()
+	t.streams--
+	t.mu.Unlock()
+}
+
+// consumeAttempts charges n sampling episodes against the tenant's
+// window budget. ok false means the budget is exhausted; retryAfter is
+// the time until the window rolls over.
+func (t *tenant) consumeAttempts(n int) (ok bool, retryAfter time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.c.Attempts += int64(n)
+	if t.limits.AttemptBudget <= 0 {
+		return true, 0
+	}
+	now := t.now()
+	if t.windowStart.IsZero() || now.Sub(t.windowStart) >= t.limits.AttemptWindow {
+		t.windowStart = now
+		t.windowUsed = 0
+	}
+	t.windowUsed += n
+	if t.windowUsed > t.limits.AttemptBudget {
+		t.c.BudgetStops++
+		return false, t.windowStart.Add(t.limits.AttemptWindow).Sub(now)
+	}
+	return true, 0
+}
+
+func (t *tenant) stats() TenantStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TenantStats{Name: t.name, ActiveStreams: t.streams, TenantCounters: t.c}
+}
+
+// sortTenantStats orders snapshots by tenant name for stable output.
+func sortTenantStats(ts []TenantStats) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Name < ts[j].Name })
+}

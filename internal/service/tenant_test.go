@@ -1,0 +1,127 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"learnedsqlgen/internal/wire"
+)
+
+// fakeClock is an injectable tenant clock.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time             { return f.t }
+func (f *fakeClock) advance(d time.Duration)    { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock                  { return &fakeClock{t: time.Unix(1000, 0)} }
+func withClock(t *tenant, c *fakeClock) *tenant { t.now = c.now; return t }
+
+// TestResolveLimits pins the inherit/override semantics: zero inherits
+// the default, negative means explicitly unlimited, and the derived
+// fields get their floors.
+func TestResolveLimits(t *testing.T) {
+	def := TenantLimits{RatePerSec: 10, Burst: 5, MaxStreams: 3, AttemptBudget: 100, AttemptWindow: time.Second}
+	got := resolveLimits(TenantLimits{}, def)
+	if got != def {
+		t.Fatalf("zero limits should inherit defaults wholesale: %+v", got)
+	}
+	got = resolveLimits(TenantLimits{RatePerSec: -1, MaxStreams: -1, AttemptBudget: -1}, def)
+	if got.RatePerSec != 0 || got.MaxStreams != 0 || got.AttemptBudget != 0 {
+		t.Fatalf("negative limits should normalize to unlimited: %+v", got)
+	}
+	got = resolveLimits(TenantLimits{RatePerSec: 2}, TenantLimits{})
+	if got.Burst != 1 {
+		t.Fatalf("rated tenant without burst should get burst 1, got %d", got.Burst)
+	}
+	if got.AttemptWindow != time.Minute {
+		t.Fatalf("default attempt window should be 1m, got %v", got.AttemptWindow)
+	}
+}
+
+// TestTokenBucket drives the admission bucket through burst, depletion,
+// refill, and the retry-after arithmetic on a fake clock.
+func TestTokenBucket(t *testing.T) {
+	clk := newFakeClock()
+	tn := withClock(newTenant("a", resolveLimits(TenantLimits{RatePerSec: 2, Burst: 2}, TenantLimits{})), clk)
+
+	for i := 0; i < 2; i++ {
+		if code, _ := tn.admitStream(); code != "" {
+			t.Fatalf("burst admit %d refused with %q", i, code)
+		}
+	}
+	code, after := tn.admitStream()
+	if code != wire.CodeQuotaExceeded {
+		t.Fatalf("empty bucket admitted (code %q)", code)
+	}
+	// 2/s refill and an empty bucket: one token is 500ms away.
+	if after <= 0 || after > 500*time.Millisecond {
+		t.Fatalf("retry-after %v, want (0, 500ms]", after)
+	}
+	clk.advance(time.Second) // refills 2 tokens, capped at burst
+	if code, _ := tn.admitStream(); code != "" {
+		t.Fatalf("refilled bucket refused with %q", code)
+	}
+	st := tn.stats()
+	if st.Streams != 3 || st.RateRefusals != 1 {
+		t.Fatalf("counters %+v, want 3 admits / 1 rate refusal", st.TenantCounters)
+	}
+}
+
+// TestAdmitStreamCap: the concurrent-stream cap refuses independently of
+// the rate bucket and releases restore capacity.
+func TestAdmitStreamCap(t *testing.T) {
+	tn := newTenant("b", resolveLimits(TenantLimits{MaxStreams: 2}, TenantLimits{}))
+	for i := 0; i < 2; i++ {
+		if code, _ := tn.admitStream(); code != "" {
+			t.Fatalf("admit %d refused with %q", i, code)
+		}
+	}
+	if code, _ := tn.admitStream(); code != wire.CodeQuotaExceeded {
+		t.Fatalf("over-cap admit got code %q, want quota_exceeded", code)
+	}
+	tn.releaseStream()
+	if code, _ := tn.admitStream(); code != "" {
+		t.Fatalf("admit after release refused with %q", code)
+	}
+	if st := tn.stats(); st.ActiveStreams != 2 || st.StreamRefusals != 1 {
+		t.Fatalf("stats %+v, want 2 active / 1 stream refusal", st)
+	}
+}
+
+// TestAttemptBudgetWindow: the episode budget rolls with its window and
+// reports time-to-rollover on exhaustion.
+func TestAttemptBudgetWindow(t *testing.T) {
+	clk := newFakeClock()
+	tn := withClock(newTenant("c", resolveLimits(TenantLimits{AttemptBudget: 10, AttemptWindow: time.Second}, TenantLimits{})), clk)
+
+	if ok, _ := tn.consumeAttempts(10); !ok {
+		t.Fatal("within-budget consume refused")
+	}
+	ok, after := tn.consumeAttempts(1)
+	if ok {
+		t.Fatal("over-budget consume allowed")
+	}
+	if after <= 0 || after > time.Second {
+		t.Fatalf("retry-after %v, want (0, 1s]", after)
+	}
+	clk.advance(time.Second) // window rolls
+	if ok, _ := tn.consumeAttempts(10); !ok {
+		t.Fatal("consume refused after window rollover")
+	}
+	st := tn.stats()
+	if st.Attempts != 21 || st.BudgetStops != 1 {
+		t.Fatalf("counters %+v: want all 21 attempts metered, 1 budget stop", st.TenantCounters)
+	}
+}
+
+// TestUnlimitedTenant: the zero-limit tenant never refuses.
+func TestUnlimitedTenant(t *testing.T) {
+	tn := newTenant("free", resolveLimits(TenantLimits{}, TenantLimits{}))
+	for i := 0; i < 100; i++ {
+		if code, _ := tn.admitStream(); code != "" {
+			t.Fatalf("unlimited tenant refused at %d with %q", i, code)
+		}
+		if ok, _ := tn.consumeAttempts(1000); !ok {
+			t.Fatalf("unlimited tenant budget refused at %d", i)
+		}
+	}
+}

@@ -31,10 +31,22 @@ import (
 	"io"
 )
 
-// Version is the protocol version spoken by this package. Hello carries
-// the client's version; the server refuses mismatches in Welcome's stead
-// with an Error frame, so old clients fail loudly at handshake time.
-const Version = 1
+// Version is the newest protocol version spoken by this package. Hello
+// carries the client's version; the server accepts anything in
+// [MinVersion, Version] and echoes the negotiated version in Welcome, so
+// old clients keep working and too-new clients fail loudly at handshake
+// time with an Error frame.
+//
+// Version 2 adds per-session auth (Hello.Token), per-request deadlines
+// (Generate.DeadlineMillis), and structured refusals (Error.Code /
+// Retryable / RetryAfterMillis). Every addition is an optional JSON
+// field, and version-1 decoders ignore unknown fields, so a v1 peer
+// interoperates untouched — it simply cannot authenticate or set
+// deadlines.
+const Version = 2
+
+// MinVersion is the oldest client protocol version the server accepts.
+const MinVersion = 1
 
 // DefaultMaxFrame bounds a frame's payload size (1 MiB). Generated SQL
 // statements are a few hundred bytes; anything near the bound is a
@@ -67,6 +79,9 @@ type Hello struct {
 	Version int    `json:"version"`
 	Client  string `json:"client,omitempty"`
 	Seed    int64  `json:"seed"`
+	// Token authenticates the session when the server has tenants
+	// configured (v2). Servers without auth ignore it.
+	Token string `json:"token,omitempty"`
 }
 
 // Welcome acknowledges Hello with the server identity and session id.
@@ -96,6 +111,11 @@ type Generate struct {
 	// episodes spent finding them (0 selects the server default).
 	N           int `json:"n"`
 	MaxAttempts int `json:"max_attempts,omitempty"`
+	// DeadlineMillis bounds the request's wall clock from server receipt
+	// (v2). 0 means no client deadline; the server may still cap every
+	// request with its own maximum. Expiry ends the stream with an Error
+	// carrying CodeDeadlineExceeded.
+	DeadlineMillis int64 `json:"deadline_millis,omitempty"`
 }
 
 // Row streams one satisfied query the moment it is found.
@@ -125,10 +145,62 @@ type Done struct {
 }
 
 // Error terminates a request's stream (ID != 0) or the session (ID == 0)
-// with a reason.
+// with a reason. Code (v2) is the stable, machine-readable refusal class;
+// Retryable tells the client whether re-issuing the identical request
+// later can succeed (the deterministic seed fan-out makes the replay
+// byte-identical), and RetryAfterMillis hints how long to wait first.
 type Error struct {
-	ID  uint64 `json:"id,omitempty"`
-	Msg string `json:"msg"`
+	ID               uint64 `json:"id,omitempty"`
+	Msg              string `json:"msg"`
+	Code             string `json:"code,omitempty"`
+	Retryable        bool   `json:"retryable,omitempty"`
+	RetryAfterMillis int64  `json:"retry_after_millis,omitempty"`
+}
+
+// Stable Error.Code values. Strings are protocol surface; never rename.
+const (
+	// CodeUnauthenticated: the Hello token is missing or unknown while the
+	// server requires auth. Not retryable — fix the credential.
+	CodeUnauthenticated = "unauthenticated"
+	// CodeQuotaExceeded: a per-tenant limit (request rate, concurrent
+	// streams, or attempts budget) refused or cut the request. Retryable
+	// after the hinted delay.
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeOverloaded: a server-wide admission limit (max sessions or max
+	// in-flight streams) shed the work. Retryable.
+	CodeOverloaded = "overloaded"
+	// CodeDeadlineExceeded: the request's deadline (client-set or the
+	// server max) expired before N queries were found. Not retryable.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeDraining: the server is shutting down and refuses new work.
+	// Retryable — against this instance's successor.
+	CodeDraining = "draining"
+	// CodeInvalidArgument: the request is malformed (non-finite bounds,
+	// non-positive N, unknown metric). Not retryable.
+	CodeInvalidArgument = "invalid_argument"
+	// CodeUnknownDataset: the named dataset is not served here.
+	CodeUnknownDataset = "unknown_dataset"
+	// CodeIdleTimeout: the session sat idle (no frames, nothing in
+	// flight) past the server's idle limit and was reaped.
+	CodeIdleTimeout = "idle_timeout"
+	// CodeUnsupportedVersion: the Hello version is outside
+	// [MinVersion, Version].
+	CodeUnsupportedVersion = "unsupported_version"
+	// CodeProtocol: a frame violated the conversation's state machine.
+	CodeProtocol = "protocol"
+	// CodeInternal: the server failed while serving a well-formed request.
+	CodeInternal = "internal"
+)
+
+// RetryableCode is the default retryability classification of a code —
+// the fallback when an Error frame (e.g. from a v1 server) does not set
+// Retryable explicitly.
+func RetryableCode(code string) bool {
+	switch code {
+	case CodeQuotaExceeded, CodeOverloaded, CodeDraining:
+		return true
+	}
+	return false
 }
 
 // Cancel asks the server to stop a request's stream; the server still
@@ -170,51 +242,112 @@ func WriteMessage(w io.Writer, m Message) error {
 	return err
 }
 
+// newMessage maps a frame type byte to a fresh zero message of its type.
+func newMessage(typ byte) (Message, error) {
+	switch typ {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeWelcome:
+		return &Welcome{}, nil
+	case TypeGenerate:
+		return &Generate{}, nil
+	case TypeRow:
+		return &Row{}, nil
+	case TypeProgress:
+		return &Progress{}, nil
+	case TypeDone:
+		return &Done{}, nil
+	case TypeError:
+		return &Error{}, nil
+	case TypeCancel:
+		return &Cancel{}, nil
+	case TypeGoodbye:
+		return &Goodbye{}, nil
+	}
+	return nil, fmt.Errorf("wire: unknown frame type %q", typ)
+}
+
+// decodeFrame reads one frame into buf (which must hold at least the
+// payload; callers size it) and decodes the typed message. It reports
+// whether any bytes were consumed before a failure, so deadline-driven
+// readers can tell a clean timeout from a torn frame.
+func decodeFrame(r io.Reader, maxFrame int, grow func(n int) []byte) (m Message, consumed bool, err error) {
+	var hdr [5]byte
+	if n, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, n > 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if int(n) > maxFrame {
+		return nil, true, fmt.Errorf("wire: frame type %q length %d exceeds max %d", hdr[0], n, maxFrame)
+	}
+	payload := grow(int(n))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, true, fmt.Errorf("wire: truncated frame type %q: %w", hdr[0], err)
+	}
+	m, err = newMessage(hdr[0])
+	if err != nil {
+		return nil, true, err
+	}
+	if err := json.Unmarshal(payload, m); err != nil {
+		return nil, true, fmt.Errorf("wire: decode frame %q: %w", hdr[0], err)
+	}
+	return m, true, nil
+}
+
 // ReadMessage reads one frame and decodes it into its typed message.
 // maxFrame <= 0 selects DefaultMaxFrame. Unknown type bytes and
 // oversized frames return an error without consuming the payload — the
-// stream is unrecoverable at that point and must be closed.
+// stream is unrecoverable at that point and must be closed. Each call
+// allocates a fresh payload buffer; long-lived single-goroutine readers
+// (the server session read loop, the client demux loop) should use a
+// Reader instead.
 func ReadMessage(r io.Reader, maxFrame int) (Message, error) {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
 	}
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+	m, _, err := decodeFrame(r, maxFrame, func(n int) []byte { return make([]byte, n) })
+	return m, err
+}
+
+// Reader reads frames through a grow-only payload buffer, amortizing the
+// per-frame allocation of ReadMessage to zero in steady state. It is NOT
+// safe for concurrent use — it exists precisely for the protocol's
+// single-goroutine readers. The decoded Message never aliases the buffer
+// (encoding/json copies what it keeps), so the previous message stays
+// valid across the next ReadMessage.
+type Reader struct {
+	r        io.Reader
+	maxFrame int
+	buf      []byte
+	dirty    bool
+}
+
+// NewReader wraps r; maxFrame <= 0 selects DefaultMaxFrame.
+func NewReader(r io.Reader, maxFrame int) *Reader {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
 	}
-	n := binary.BigEndian.Uint32(hdr[1:5])
-	if int(n) > maxFrame {
-		return nil, fmt.Errorf("wire: frame type %q length %d exceeds max %d", hdr[0], n, maxFrame)
+	return &Reader{r: r, maxFrame: maxFrame}
+}
+
+// Dirty reports whether the last failed ReadMessage had already consumed
+// bytes of a frame. A clean timeout (Dirty false) leaves the stream
+// aligned, so the caller may re-arm its deadline and read again; a dirty
+// failure tore a frame and the connection must be closed.
+func (rd *Reader) Dirty() bool { return rd.dirty }
+
+// ReadMessage reads and decodes one frame, reusing the internal buffer.
+func (rd *Reader) ReadMessage() (Message, error) {
+	m, consumed, err := decodeFrame(rd.r, rd.maxFrame, rd.grow)
+	rd.dirty = err != nil && consumed
+	return m, err
+}
+
+// grow returns an n-byte prefix of the reusable buffer, growing it only
+// when a frame exceeds every previous one.
+func (rd *Reader) grow(n int) []byte {
+	if cap(rd.buf) < n {
+		rd.buf = make([]byte, n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("wire: truncated frame type %q: %w", hdr[0], err)
-	}
-	var m Message
-	switch hdr[0] {
-	case TypeHello:
-		m = &Hello{}
-	case TypeWelcome:
-		m = &Welcome{}
-	case TypeGenerate:
-		m = &Generate{}
-	case TypeRow:
-		m = &Row{}
-	case TypeProgress:
-		m = &Progress{}
-	case TypeDone:
-		m = &Done{}
-	case TypeError:
-		m = &Error{}
-	case TypeCancel:
-		m = &Cancel{}
-	case TypeGoodbye:
-		m = &Goodbye{}
-	default:
-		return nil, fmt.Errorf("wire: unknown frame type %q", hdr[0])
-	}
-	if err := json.Unmarshal(payload, m); err != nil {
-		return nil, fmt.Errorf("wire: decode frame %q: %w", hdr[0], err)
-	}
-	return m, nil
+	return rd.buf[:n]
 }

@@ -15,14 +15,17 @@ import (
 func TestRoundTrip(t *testing.T) {
 	msgs := []Message{
 		&Hello{Version: Version, Client: "test", Seed: 42},
+		&Hello{Version: Version, Client: "test", Seed: 42, Token: "tenant-a-token"},
 		&Welcome{Version: Version, Server: "sqlgen", SessionID: 7, Datasets: []string{"tpch", "xuetang"}},
 		&Generate{ID: 3, Dataset: "tpch", Metric: "cardinality", IsRange: true, Lo: 1, Hi: 1000, N: 10, MaxAttempts: 500},
 		&Generate{ID: 4, Dataset: "job", Metric: "cost", Point: 12000, N: 1},
+		&Generate{ID: 5, Dataset: "tpch", Metric: "cardinality", IsRange: true, Lo: 1, Hi: 10, N: 1, DeadlineMillis: 1500},
 		&Row{ID: 3, SQL: "SELECT a FROM t", Measured: 41, Satisfied: true},
 		&Progress{ID: 3, Attempts: 64, Found: 5},
 		&Done{ID: 3, Found: 10, Attempts: 96},
 		&Done{ID: 4, Found: 0, Attempts: 8, Canceled: true},
-		&Error{ID: 4, Msg: "unknown dataset"},
+		&Error{ID: 4, Msg: "unknown dataset", Code: CodeUnknownDataset},
+		&Error{ID: 5, Msg: "tenant over rate", Code: CodeQuotaExceeded, Retryable: true, RetryAfterMillis: 250},
 		&Cancel{ID: 4},
 		&Goodbye{},
 	}
@@ -166,6 +169,158 @@ func TestPipeErrorPaths(t *testing.T) {
 				t.Errorf("err = %v, want substring %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestRetryableCode pins the default retryability classification.
+func TestRetryableCode(t *testing.T) {
+	for _, code := range []string{CodeQuotaExceeded, CodeOverloaded, CodeDraining} {
+		if !RetryableCode(code) {
+			t.Errorf("RetryableCode(%q) = false, want true", code)
+		}
+	}
+	for _, code := range []string{CodeUnauthenticated, CodeDeadlineExceeded, CodeInvalidArgument,
+		CodeUnknownDataset, CodeIdleTimeout, CodeUnsupportedVersion, CodeProtocol, CodeInternal, ""} {
+		if RetryableCode(code) {
+			t.Errorf("RetryableCode(%q) = true, want false", code)
+		}
+	}
+}
+
+// TestV1HelloDecodes proves back-compat at the frame level: a version-1
+// Hello (no token field on the wire) decodes on a v2 reader, and a v2
+// Hello with a token decodes on a reader that only knows the v1 fields
+// (encoding/json ignores unknown keys).
+func TestV1HelloDecodes(t *testing.T) {
+	raw := []byte(`{"version":1,"client":"old","seed":9}`)
+	frame := append([]byte{TypeHello, 0, 0, 0, byte(len(raw))}, raw...)
+	m, err := ReadMessage(bytes.NewReader(frame), 0)
+	if err != nil {
+		t.Fatalf("read v1 hello: %v", err)
+	}
+	h, ok := m.(*Hello)
+	if !ok || h.Version != 1 || h.Seed != 9 || h.Token != "" {
+		t.Fatalf("v1 hello decoded as %#v", m)
+	}
+}
+
+// TestReaderReusesBuffer checks the Reader contract: a frame sequence
+// round-trips identically to ReadMessage, the payload buffer grows only
+// to the high-water mark, and a previously returned message stays valid
+// after later reads (no aliasing into the reused buffer).
+func TestReaderReusesBuffer(t *testing.T) {
+	big := &Row{ID: 1, SQL: strings.Repeat("SELECT a FROM t WHERE x; ", 40)}
+	small := &Progress{ID: 1, Attempts: 10, Found: 1}
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		for _, m := range []Message{big, small} {
+			if err := WriteMessage(&buf, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rd := NewReader(&buf, 0)
+	first, err := rd.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstRow, ok := first.(*Row)
+	if !ok || firstRow.SQL != big.SQL {
+		t.Fatalf("first frame decoded as %#v", first)
+	}
+	capAfterBig := cap(rd.buf)
+	for i := 0; i < 5; i++ {
+		if _, err := rd.ReadMessage(); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if cap(rd.buf) != capAfterBig {
+		t.Errorf("buffer reallocated under the high-water mark: cap %d → %d", capAfterBig, cap(rd.buf))
+	}
+	if firstRow.SQL != big.SQL {
+		t.Error("earlier message corrupted by buffer reuse")
+	}
+	if _, err := rd.ReadMessage(); err != io.EOF {
+		t.Errorf("drained reader: err = %v, want io.EOF", err)
+	}
+	if rd.Dirty() {
+		t.Error("clean EOF left the reader dirty")
+	}
+}
+
+// TestReaderDirty distinguishes a clean idle timeout (no bytes consumed —
+// the stream is still aligned, the caller may re-arm and retry) from a
+// deadline firing mid-frame (torn stream, must close).
+func TestReaderDirty(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	rd := NewReader(srv, 0)
+
+	// Clean timeout: nothing on the wire.
+	srv.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	if _, err := rd.ReadMessage(); err == nil {
+		t.Fatal("read with nothing on the wire succeeded")
+	}
+	if rd.Dirty() {
+		t.Fatal("clean timeout marked dirty")
+	}
+
+	// The stream is still usable: a whole frame now parses.
+	go WriteMessage(cli, &Cancel{ID: 4}) //nolint:errcheck
+	srv.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if m, err := rd.ReadMessage(); err != nil {
+		t.Fatalf("read after clean timeout: %v (%T)", err, m)
+	}
+
+	// Torn frame: a partial header then silence past the deadline.
+	go cli.Write([]byte{TypeCancel, 0, 0})
+	time.Sleep(50 * time.Millisecond) // let the partial bytes land
+	srv.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := rd.ReadMessage(); err == nil {
+		t.Fatal("torn frame read succeeded")
+	}
+	if !rd.Dirty() {
+		t.Fatal("mid-frame timeout not marked dirty")
+	}
+}
+
+// BenchmarkReadMessage / BenchmarkReader quantify the per-frame payload
+// allocation the Reader amortizes away (the serve bench area snapshots
+// the same comparison end to end).
+func benchFrames(b *testing.B) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Row{ID: 7, SQL: "SELECT l_orderkey FROM lineitem WHERE l_tax < 0.05", Measured: 1200, Satisfied: true}); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkReadMessage(b *testing.B) {
+	frame := benchFrames(b)
+	r := bytes.NewReader(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		if _, err := ReadMessage(r, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReader(b *testing.B) {
+	frame := benchFrames(b)
+	r := bytes.NewReader(nil)
+	rd := NewReader(r, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		if _, err := rd.ReadMessage(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
